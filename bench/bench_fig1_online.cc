@@ -1,0 +1,79 @@
+/// Figure 1(c): online (per-query) wall-clock time of every approximate
+/// method across the dataset suite, averaged over --seeds random seeds.
+/// Rows are "OOM" when the method could not preprocess within the budget.
+
+#include <iostream>
+
+#include "eval/experiment.h"
+#include "graph/presets.h"
+#include "method/registry.h"
+#include "util/table_printer.h"
+
+namespace tpa {
+namespace {
+
+int Run(int argc, char** argv) {
+  auto args = BenchArgs::Parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << args.status() << "\n";
+    return 1;
+  }
+  std::vector<std::string> all_names;
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    all_names.emplace_back(spec.name);
+  }
+  auto specs = args->SelectDatasets(all_names);
+  if (!specs.ok()) {
+    std::cerr << specs.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "== Figure 1(c): online time per query, avg over "
+            << args->seeds << " seeds ==\n";
+  TablePrinter table({"Dataset", "Method", "OnlineTime(s)"});
+
+  for (const DatasetSpec& spec : *specs) {
+    auto graph = MakePresetGraph(spec, args->scale);
+    if (!graph.ok()) {
+      std::cerr << graph.status() << "\n";
+      return 1;
+    }
+    const std::vector<NodeId> seeds = PickQuerySeeds(*graph, args->seeds);
+    MethodConfig config;
+    config.tpa_family_window = spec.s;
+    config.tpa_stranger_start = spec.t;
+
+    for (std::string_view name : ApproximateMethodNames()) {
+      auto method = CreateMethod(name, config);
+      if (!method.ok()) {
+        std::cerr << method.status() << "\n";
+        return 1;
+      }
+      auto prep = MeasurePreprocess(**method, *graph, args->budget_bytes);
+      if (!prep.ok()) {
+        std::cerr << spec.name << "/" << name << ": " << prep.status() << "\n";
+        return 1;
+      }
+      if (prep->out_of_memory) {
+        table.AddRow({std::string(spec.name), std::string(name), "OOM"});
+        continue;
+      }
+      auto seconds = MeasureOnlineSeconds(**method, seeds);
+      if (!seconds.ok()) {
+        std::cerr << spec.name << "/" << name << ": " << seconds.status()
+                  << "\n";
+        return 1;
+      }
+      table.AddRow({std::string(spec.name), std::string(name),
+                    TablePrinter::FormatDouble(*seconds, 4)});
+    }
+  }
+  Status emitted = EmitTable(table, *args);
+  if (!emitted.ok()) std::cerr << emitted << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace tpa
+
+int main(int argc, char** argv) { return tpa::Run(argc, argv); }

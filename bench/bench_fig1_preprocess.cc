@@ -1,0 +1,78 @@
+/// Figure 1(a) + 1(b): size of preprocessed data and preprocessing time of
+/// every preprocessing method (TPA, BEAR-APPROX, NB-LIN, HubPPR, FORA)
+/// across the dataset suite.  Methods whose preprocessing exceeds the memory
+/// budget print "OOM" — the paper's missing bars.
+
+#include <iostream>
+
+#include "eval/experiment.h"
+#include "graph/presets.h"
+#include "method/registry.h"
+#include "util/table_printer.h"
+
+namespace tpa {
+namespace {
+
+int Run(int argc, char** argv) {
+  auto args = BenchArgs::Parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << args.status() << "\n";
+    return 1;
+  }
+  std::vector<std::string> all_names;
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    all_names.emplace_back(spec.name);
+  }
+  auto specs = args->SelectDatasets(all_names);
+  if (!specs.ok()) {
+    std::cerr << specs.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "== Figure 1(a)/(b): preprocessed data size and "
+               "preprocessing time (budget="
+            << TablePrinter::FormatBytes(args->budget_bytes) << ") ==\n";
+  TablePrinter table(
+      {"Dataset", "Method", "PreprocessedData", "PreprocessTime(s)"});
+
+  for (const DatasetSpec& spec : *specs) {
+    auto graph = MakePresetGraph(spec, args->scale);
+    if (!graph.ok()) {
+      std::cerr << graph.status() << "\n";
+      return 1;
+    }
+    MethodConfig config;
+    config.tpa_family_window = spec.s;
+    config.tpa_stranger_start = spec.t;
+
+    for (std::string_view name : PreprocessingMethodNames()) {
+      auto method = CreateMethod(name, config);
+      if (!method.ok()) {
+        std::cerr << method.status() << "\n";
+        return 1;
+      }
+      auto result = MeasurePreprocess(**method, *graph, args->budget_bytes);
+      if (!result.ok()) {
+        std::cerr << spec.name << "/" << name << ": " << result.status()
+                  << "\n";
+        return 1;
+      }
+      if (result->out_of_memory) {
+        table.AddRow({std::string(spec.name), std::string(name), "OOM",
+                      "OOM"});
+      } else {
+        table.AddRow({std::string(spec.name), std::string(name),
+                      TablePrinter::FormatBytes(result->preprocessed_bytes),
+                      TablePrinter::FormatDouble(result->seconds, 3)});
+      }
+    }
+  }
+  Status emitted = EmitTable(table, *args);
+  if (!emitted.ok()) std::cerr << emitted << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace tpa
+
+int main(int argc, char** argv) { return tpa::Run(argc, argv); }

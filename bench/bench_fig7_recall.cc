@@ -1,0 +1,99 @@
+/// Figure 7: recall of top-k RWR vertices (k = 100..500) for every
+/// approximate method on the Slashdot / Pokec / WikiLink / Twitter
+/// stand-ins, against the exact top-k.  Rows are "OOM" when a method cannot
+/// preprocess within the budget (the paper's omitted lines).
+
+#include <iostream>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/oracle.h"
+#include "graph/presets.h"
+#include "method/registry.h"
+#include "util/table_printer.h"
+
+namespace tpa {
+namespace {
+
+int Run(int argc, char** argv) {
+  auto args = BenchArgs::Parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << args.status() << "\n";
+    return 1;
+  }
+  auto specs = args->SelectDatasets(
+      {"slashdot-sim", "pokec-sim", "wikilink-sim", "twitter-sim"});
+  if (!specs.ok()) {
+    std::cerr << specs.status() << "\n";
+    return 1;
+  }
+  const std::vector<size_t> ks = {100, 200, 300, 400, 500};
+
+  std::cout << "== Figure 7: recall of top-k RWR vertices, avg over "
+            << args->seeds << " seeds ==\n";
+  std::vector<std::string> headers = {"Dataset", "Method"};
+  for (size_t k : ks) headers.push_back("k=" + std::to_string(k));
+  TablePrinter table(headers);
+
+  for (const DatasetSpec& spec : *specs) {
+    auto graph = MakePresetGraph(spec, args->scale);
+    if (!graph.ok()) {
+      std::cerr << graph.status() << "\n";
+      return 1;
+    }
+    const std::vector<NodeId> seeds = PickQuerySeeds(*graph, args->seeds);
+    GroundTruthOracle oracle(*graph);
+    MethodConfig config;
+    config.tpa_family_window = spec.s;
+    config.tpa_stranger_start = spec.t;
+
+    for (std::string_view name : ApproximateMethodNames()) {
+      auto method = CreateMethod(name, config);
+      if (!method.ok()) {
+        std::cerr << method.status() << "\n";
+        return 1;
+      }
+      auto prep = MeasurePreprocess(**method, *graph, args->budget_bytes);
+      if (!prep.ok()) {
+        std::cerr << spec.name << "/" << name << ": " << prep.status() << "\n";
+        return 1;
+      }
+      std::vector<std::string> row = {std::string(spec.name),
+                                      std::string(name)};
+      if (prep->out_of_memory) {
+        for (size_t i = 0; i < ks.size(); ++i) row.push_back("OOM");
+        table.AddRow(std::move(row));
+        continue;
+      }
+      std::vector<double> recall_sum(ks.size(), 0.0);
+      for (NodeId seed : seeds) {
+        auto exact = oracle.Exact(seed);
+        if (!exact.ok()) {
+          std::cerr << exact.status() << "\n";
+          return 1;
+        }
+        auto scores = (*method)->Query(seed);
+        if (!scores.ok()) {
+          std::cerr << scores.status() << "\n";
+          return 1;
+        }
+        for (size_t i = 0; i < ks.size(); ++i) {
+          recall_sum[i] += RecallAtK(*scores, *exact, ks[i]);
+        }
+      }
+      for (size_t i = 0; i < ks.size(); ++i) {
+        row.push_back(TablePrinter::FormatDouble(
+            recall_sum[i] / static_cast<double>(seeds.size()), 3));
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  Status emitted = EmitTable(table, *args);
+  if (!emitted.ok()) std::cerr << emitted << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace tpa
+
+int main(int argc, char** argv) { return tpa::Run(argc, argv); }

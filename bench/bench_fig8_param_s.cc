@@ -1,0 +1,80 @@
+/// Figure 8: effect of S (the family-window size) on TPA's online time and
+/// L1 error, with T fixed at 10, on the LiveJournal and Pokec stand-ins.
+/// Expectation: time grows with S, error shrinks.
+
+#include <iostream>
+
+#include "core/cpi.h"
+#include "core/tpa.h"
+#include "eval/experiment.h"
+#include "eval/oracle.h"
+#include "graph/presets.h"
+#include "la/vector_ops.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace tpa {
+namespace {
+
+int Run(int argc, char** argv) {
+  auto args = BenchArgs::Parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << args.status() << "\n";
+    return 1;
+  }
+  auto specs = args->SelectDatasets({"livejournal-sim", "pokec-sim"});
+  if (!specs.ok()) {
+    std::cerr << specs.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "== Figure 8: effect of S on online time and L1 error "
+               "(T=10), avg over "
+            << args->seeds << " seeds ==\n";
+  TablePrinter table({"Dataset", "S", "OnlineTime(s)", "L1Error"});
+
+  for (const DatasetSpec& spec : *specs) {
+    auto graph = MakePresetGraph(spec, args->scale);
+    if (!graph.ok()) {
+      std::cerr << graph.status() << "\n";
+      return 1;
+    }
+    const std::vector<NodeId> seeds = PickQuerySeeds(*graph, args->seeds);
+    GroundTruthOracle oracle(*graph);
+
+    for (int s = 2; s <= 6; ++s) {
+      TpaOptions options;
+      options.family_window = s;
+      options.stranger_start = 10;
+      auto tpa = Tpa::Preprocess(*graph, options);
+      if (!tpa.ok()) {
+        std::cerr << tpa.status() << "\n";
+        return 1;
+      }
+      double seconds = 0.0, error = 0.0;
+      for (NodeId seed : seeds) {
+        Stopwatch timer;
+        std::vector<double> approx = tpa->Query(seed);
+        seconds += timer.ElapsedSeconds();
+        auto exact = oracle.Exact(seed);
+        if (!exact.ok()) {
+          std::cerr << exact.status() << "\n";
+          return 1;
+        }
+        error += la::L1Distance(approx, *exact);
+      }
+      const double n = static_cast<double>(seeds.size());
+      table.AddRow({std::string(spec.name), std::to_string(s),
+                    TablePrinter::FormatDouble(seconds / n, 4),
+                    TablePrinter::FormatDouble(error / n, 4)});
+    }
+  }
+  Status emitted = EmitTable(table, *args);
+  if (!emitted.ok()) std::cerr << emitted << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace tpa
+
+int main(int argc, char** argv) { return tpa::Run(argc, argv); }

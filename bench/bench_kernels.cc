@@ -1,0 +1,135 @@
+/// Kernel microbenchmarks (google-benchmark) for the design choices called
+/// out in DESIGN.md §6:
+///  * push (scatter/CSR) vs pull (gather/CSC) transition matvec,
+///  * one CPI iteration and full CPI convergence,
+///  * forward push and random-walk sampling,
+///  * sparse CSR matvec from the block-elimination substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cpi.h"
+#include "core/tpa.h"
+#include "graph/presets.h"
+#include "la/sparse_matrix.h"
+#include "method/monte_carlo.h"
+#include "method/push.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace tpa {
+namespace {
+
+const Graph& BenchGraph() {
+  static const Graph* graph = [] {
+    auto spec = FindDatasetSpec("slashdot-sim");
+    TPA_CHECK(spec.ok());
+    auto g = MakePresetGraph(*spec, 1.0);
+    TPA_CHECK(g.ok());
+    return new Graph(std::move(g).value());
+  }();
+  return *graph;
+}
+
+void BM_MatVecPush(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  std::vector<double> x(graph.num_nodes(), 1.0 / graph.num_nodes());
+  std::vector<double> y;
+  for (auto _ : state) {
+    graph.MultiplyTranspose(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_edges());
+}
+BENCHMARK(BM_MatVecPush);
+
+void BM_MatVecPull(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  std::vector<double> x(graph.num_nodes(), 1.0 / graph.num_nodes());
+  std::vector<double> y;
+  for (auto _ : state) {
+    graph.MultiplyTransposePull(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_edges());
+}
+BENCHMARK(BM_MatVecPull);
+
+void BM_CpiExactQuery(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  for (auto _ : state) {
+    auto result = Cpi::ExactRwr(graph, 0, {});
+    TPA_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->data());
+  }
+}
+BENCHMARK(BM_CpiExactQuery);
+
+void BM_TpaOnlineQuery(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  static const Tpa* tpa = [] {
+    auto t = Tpa::Preprocess(BenchGraph(), {});
+    TPA_CHECK(t.ok());
+    return new Tpa(std::move(t).value());
+  }();
+  NodeId seed = 0;
+  for (auto _ : state) {
+    auto scores = tpa->Query(seed % graph.num_nodes());
+    benchmark::DoNotOptimize(scores.data());
+    seed += 17;
+  }
+}
+BENCHMARK(BM_TpaOnlineQuery);
+
+void BM_ForwardPush(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  const double r_max = 1e-5;
+  NodeId seed = 0;
+  for (auto _ : state) {
+    auto push = ForwardPush(graph, seed % graph.num_nodes(), 0.15, r_max);
+    TPA_CHECK(push.ok());
+    benchmark::DoNotOptimize(push->reserve.data());
+    seed += 29;
+  }
+}
+BENCHMARK(BM_ForwardPush);
+
+void BM_RandomWalks(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  Rng rng(5);
+  for (auto _ : state) {
+    NodeId endpoint = RandomWalkEndpoint(graph, 0, 0.15, rng);
+    benchmark::DoNotOptimize(endpoint);
+  }
+}
+BENCHMARK(BM_RandomWalks);
+
+void BM_SparseMatVec(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  static const la::SparseMatrix* matrix = [] {
+    const Graph& g = BenchGraph();
+    std::vector<la::Triplet> triplets;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      const double value = 1.0 / std::max<uint32_t>(1, g.OutDegree(u));
+      for (NodeId v : g.OutNeighbors(u)) {
+        triplets.push_back({v, u, value});
+      }
+    }
+    auto m = la::SparseMatrix::FromTriplets(g.num_nodes(), g.num_nodes(),
+                                            std::move(triplets));
+    TPA_CHECK(m.ok());
+    return new la::SparseMatrix(std::move(m).value());
+  }();
+  std::vector<double> x(graph.num_nodes(), 1.0 / graph.num_nodes());
+  std::vector<double> y;
+  for (auto _ : state) {
+    matrix->MatVec(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * matrix->nnz());
+}
+BENCHMARK(BM_SparseMatVec);
+
+}  // namespace
+}  // namespace tpa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+/// Table III: actual L1 errors of the neighbor approximation (NA), stranger
+/// approximation (SA), and the combined TPA, against their theoretical
+/// bounds (Lemmas 1, 3; Theorem 2), per dataset with the Table II S and T.
+
+#include <iostream>
+
+#include "core/cpi.h"
+#include "core/tpa.h"
+#include "eval/experiment.h"
+#include "graph/presets.h"
+#include "la/vector_ops.h"
+#include "util/table_printer.h"
+
+namespace tpa {
+namespace {
+
+int Run(int argc, char** argv) {
+  auto args = BenchArgs::Parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << args.status() << "\n";
+    return 1;
+  }
+  std::vector<std::string> all_names;
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    all_names.emplace_back(spec.name);
+  }
+  auto specs = args->SelectDatasets(all_names);
+  if (!specs.ok()) {
+    std::cerr << specs.status() << "\n";
+    return 1;
+  }
+  const double c = 0.15;
+
+  std::cout << "== Table III: approximation errors vs theoretical bounds, "
+               "avg over "
+            << args->seeds << " seeds ==\n";
+  TablePrinter table({"Dataset", "NA-bound", "NA-actual", "NA-%", "SA-bound",
+                      "SA-actual", "SA-%", "TPA-bound", "TPA-actual",
+                      "TPA-%"});
+
+  for (const DatasetSpec& spec : *specs) {
+    auto graph = MakePresetGraph(spec, args->scale);
+    if (!graph.ok()) {
+      std::cerr << graph.status() << "\n";
+      return 1;
+    }
+    TpaOptions options;
+    options.family_window = spec.s;
+    options.stranger_start = spec.t;
+    auto tpa = Tpa::Preprocess(*graph, options);
+    if (!tpa.ok()) {
+      std::cerr << tpa.status() << "\n";
+      return 1;
+    }
+
+    CpiOptions exact_options;
+    exact_options.tolerance = 1e-12;
+    double na_error = 0.0, sa_error = 0.0, total_error = 0.0;
+    const std::vector<NodeId> seeds = PickQuerySeeds(*graph, args->seeds);
+    for (NodeId seed : seeds) {
+      std::vector<double> q(graph->num_nodes(), 0.0);
+      q[seed] = 1.0;
+      auto windows =
+          Cpi::RunWindowed(*graph, q, {0, spec.s, spec.t}, exact_options);
+      if (!windows.ok()) {
+        std::cerr << windows.status() << "\n";
+        return 1;
+      }
+      Tpa::QueryParts parts = tpa->QueryDecomposed(seed);
+      na_error += la::L1Distance(parts.neighbor_est, (*windows)[1]);
+      sa_error += la::L1Distance(tpa->stranger_scores(), (*windows)[2]);
+      std::vector<double> exact = (*windows)[0];
+      la::Axpy(1.0, (*windows)[1], exact);
+      la::Axpy(1.0, (*windows)[2], exact);
+      total_error += la::L1Distance(parts.total, exact);
+    }
+    const double n = static_cast<double>(seeds.size());
+    na_error /= n;
+    sa_error /= n;
+    total_error /= n;
+
+    const double na_bound = NeighborErrorBound(c, spec.s, spec.t);
+    const double sa_bound = StrangerErrorBound(c, spec.t);
+    const double total_bound = TotalErrorBound(c, spec.s);
+    auto percent = [](double actual, double bound) {
+      return TablePrinter::FormatDouble(100.0 * actual / bound, 1) + "%";
+    };
+    table.AddRow({std::string(spec.name),
+                  TablePrinter::FormatDouble(na_bound, 4),
+                  TablePrinter::FormatDouble(na_error, 4),
+                  percent(na_error, na_bound),
+                  TablePrinter::FormatDouble(sa_bound, 4),
+                  TablePrinter::FormatDouble(sa_error, 4),
+                  percent(sa_error, sa_bound),
+                  TablePrinter::FormatDouble(total_bound, 4),
+                  TablePrinter::FormatDouble(total_error, 4),
+                  percent(total_error, total_bound)});
+  }
+  Status emitted = EmitTable(table, *args);
+  if (!emitted.ok()) std::cerr << emitted << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace tpa
+
+int main(int argc, char** argv) { return tpa::Run(argc, argv); }

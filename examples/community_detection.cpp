@@ -1,0 +1,112 @@
+/// Local community detection by RWR sweep cut — the classic Andersen/
+/// Chung/Lang use of personalized PageRank that the paper cites as an RWR
+/// application (community detection, Section I).
+///
+///   $ ./example_community_detection
+///
+/// Generates a DCSBM graph with planted communities, computes the RWR
+/// vector of a seed with TPA, sorts nodes by degree-normalized score, and
+/// sweeps a prefix cut minimizing conductance.  The recovered set is
+/// compared against the seed's planted community.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/tpa.h"
+#include "graph/generators.h"
+
+namespace {
+
+/// Conductance of the node set marked by `in_set`: cut edges / min(vol, v̄ol).
+double Conductance(const tpa::Graph& graph, const std::vector<bool>& in_set) {
+  uint64_t cut = 0, vol = 0, total_vol = 2 * graph.num_edges();
+  for (tpa::NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (!in_set[u]) continue;
+    vol += graph.OutDegree(u) + graph.InDegree(u);
+    for (tpa::NodeId v : graph.OutNeighbors(u)) {
+      if (!in_set[v]) ++cut;
+    }
+    for (tpa::NodeId v : graph.InNeighbors(u)) {
+      if (!in_set[v]) ++cut;
+    }
+  }
+  const uint64_t smaller = std::min(vol, total_vol - vol);
+  return smaller == 0 ? 1.0
+                      : static_cast<double>(cut) / static_cast<double>(smaller);
+}
+
+}  // namespace
+
+int main() {
+  tpa::DcsbmOptions generator;
+  generator.nodes = 4000;
+  generator.edges = 36000;
+  generator.blocks = 16;  // planted communities of 250 nodes
+  generator.intra_fraction = 0.9;
+  generator.seed = 7;
+  auto graph = tpa::GenerateDcsbm(generator);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const tpa::NodeId block_size =
+      (generator.nodes + generator.blocks - 1) / generator.blocks;
+
+  auto engine = tpa::Tpa::Preprocess(*graph, {});
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  const tpa::NodeId seed = 1000;  // inside planted community 4
+  const tpa::NodeId planted = seed / block_size;
+  std::vector<double> scores = engine->Query(seed);
+
+  // Sweep cut over nodes ranked by score / degree.
+  std::vector<tpa::NodeId> order;
+  for (tpa::NodeId v = 0; v < graph->num_nodes(); ++v) {
+    if (scores[v] > 0.0) order.push_back(v);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](tpa::NodeId a, tpa::NodeId b) {
+              const double da = std::max(1u, graph->OutDegree(a));
+              const double db = std::max(1u, graph->OutDegree(b));
+              return scores[a] / da > scores[b] / db;
+            });
+
+  std::vector<bool> in_set(graph->num_nodes(), false);
+  std::vector<bool> best_set;
+  double best_conductance = 1.0;
+  size_t best_size = 0;
+  const size_t sweep_limit = std::min<size_t>(order.size(), 2 * block_size);
+  for (size_t i = 0; i < sweep_limit; ++i) {
+    in_set[order[i]] = true;
+    if (i < 8) continue;  // skip degenerate tiny prefixes
+    const double phi = Conductance(*graph, in_set);
+    if (phi < best_conductance) {
+      best_conductance = phi;
+      best_size = i + 1;
+      best_set = in_set;
+    }
+  }
+
+  // Compare the best sweep set against the planted community.
+  size_t overlap = 0;
+  for (tpa::NodeId v = planted * block_size;
+       v < std::min<tpa::NodeId>(graph->num_nodes(),
+                                 (planted + 1) * block_size);
+       ++v) {
+    if (best_set[v]) ++overlap;
+  }
+  std::printf("seed %u lives in planted community %u (%u nodes)\n", seed,
+              planted, block_size);
+  std::printf("sweep cut found %zu nodes at conductance %.3f\n", best_size,
+              best_conductance);
+  std::printf("overlap with planted community: %zu/%u (%.1f%%), precision "
+              "%.1f%%\n",
+              overlap, block_size,
+              100.0 * overlap / block_size,
+              100.0 * overlap / best_size);
+  return best_conductance < 0.5 ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+/// Quickstart: build a small graph, preprocess TPA once, answer RWR queries.
+///
+///   $ ./example_quickstart
+///
+/// Walks through the whole public API surface in ~60 lines: GraphBuilder,
+/// Tpa::Preprocess / Query, and a comparison against exact CPI.
+
+#include <cstdio>
+
+#include "core/cpi.h"
+#include "core/tpa.h"
+#include "graph/builder.h"
+#include "la/vector_ops.h"
+
+int main() {
+  // A two-community toy graph: triangle {0,1,2} and triangle {3,4,5},
+  // bridged by 2→3 and 5→0.
+  tpa::GraphBuilder builder(6);
+  const std::pair<tpa::NodeId, tpa::NodeId> edges[] = {
+      {0, 1}, {1, 2}, {2, 0}, {1, 0}, {2, 1}, {0, 2},  // community A
+      {3, 4}, {4, 5}, {5, 3}, {4, 3}, {5, 4}, {3, 5},  // community B
+      {2, 3}, {5, 0},                                  // bridges
+  };
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  auto graph = builder.Build();
+  if (!graph.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("graph: %u nodes, %llu edges\n", graph->num_nodes(),
+              static_cast<unsigned long long>(graph->num_edges()));
+
+  // Preprocess once per graph (Algorithm 2): computes the PageRank tail.
+  tpa::TpaOptions options;
+  options.family_window = 3;   // S
+  options.stranger_start = 6;  // T
+  auto tpa = tpa::Tpa::Preprocess(*graph, options);
+  if (!tpa.ok()) {
+    std::fprintf(stderr, "preprocess failed: %s\n",
+                 tpa.status().ToString().c_str());
+    return 1;
+  }
+
+  // Query any seed (Algorithm 3) — here node 0.
+  const tpa::NodeId seed = 0;
+  std::vector<double> approx = tpa->Query(seed);
+
+  // Exact RWR via converged CPI, for comparison.
+  auto exact = tpa::Cpi::ExactRwr(*graph, seed, {});
+  if (!exact.ok()) {
+    std::fprintf(stderr, "exact failed: %s\n",
+                 exact.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nRWR scores from seed %u (c = %.2f):\n", seed,
+              options.restart_probability);
+  std::printf("%6s %12s %12s\n", "node", "TPA", "exact");
+  for (tpa::NodeId v = 0; v < graph->num_nodes(); ++v) {
+    std::printf("%6u %12.6f %12.6f\n", v, approx[v], (*exact)[v]);
+  }
+  std::printf("\nL1 error %.4f (Theorem 2 bound: %.4f)\n",
+              tpa::la::L1Distance(approx, *exact),
+              tpa::TotalErrorBound(options.restart_probability,
+                                   options.family_window));
+  std::printf("note: nodes 0-2 (the seed's community) dominate, as they "
+              "should.\n");
+  return 0;
+}

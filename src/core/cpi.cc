@@ -1,0 +1,163 @@
+#include "core/cpi.h"
+
+#include <cmath>
+
+#include "la/vector_ops.h"
+#include "util/check.h"
+
+namespace tpa {
+
+namespace {
+
+Status ValidateOptions(const CpiOptions& options) {
+  TPA_RETURN_IF_ERROR(ValidateCpiParameters(options.restart_probability,
+                                            options.tolerance));
+  if (options.start_iteration < 0) {
+    return InvalidArgumentError("start_iteration must be non-negative");
+  }
+  if (options.terminal_iteration < options.start_iteration) {
+    return InvalidArgumentError(
+        "terminal_iteration must be at least start_iteration");
+  }
+  return OkStatus();
+}
+
+void Propagate(const Graph& graph, bool use_pull, double decay,
+               const std::vector<double>& x, std::vector<double>& y) {
+  if (use_pull) {
+    graph.MultiplyTransposePull(x, y);
+  } else {
+    graph.MultiplyTranspose(x, y);
+  }
+  la::Scale(decay, y);
+}
+
+}  // namespace
+
+Status ValidateCpiParameters(double restart_probability, double tolerance) {
+  if (!(restart_probability > 0.0 && restart_probability < 1.0)) {
+    return InvalidArgumentError("restart probability must be in (0,1)");
+  }
+  if (!(tolerance > 0.0)) {
+    return InvalidArgumentError("tolerance must be positive");
+  }
+  return OkStatus();
+}
+
+int CpiIterationCount(double restart_probability, double tolerance) {
+  const double c = restart_probability;
+  return static_cast<int>(
+      std::ceil(std::log(tolerance / c) / std::log(1.0 - c)));
+}
+
+StatusOr<Cpi::Result> Cpi::Run(const Graph& graph,
+                               const std::vector<NodeId>& seeds,
+                               const CpiOptions& options) {
+  if (seeds.empty()) return InvalidArgumentError("seed set must be non-empty");
+  std::vector<double> q(graph.num_nodes(), 0.0);
+  const double share = 1.0 / static_cast<double>(seeds.size());
+  for (NodeId s : seeds) {
+    if (s >= graph.num_nodes()) {
+      return OutOfRangeError("seed node out of range");
+    }
+    q[s] += share;
+  }
+  return RunWithSeedVector(graph, q, options);
+}
+
+StatusOr<Cpi::Result> Cpi::RunWithSeedVector(const Graph& graph,
+                                             const std::vector<double>& q,
+                                             const CpiOptions& options) {
+  TPA_RETURN_IF_ERROR(ValidateOptions(options));
+  if (q.size() != graph.num_nodes()) {
+    return InvalidArgumentError("seed vector size must equal node count");
+  }
+  const double c = options.restart_probability;
+  const double decay = 1.0 - c;
+
+  Result result;
+  result.scores.assign(graph.num_nodes(), 0.0);
+
+  // x(0) = c·q.
+  std::vector<double> x = q;
+  la::Scale(c, x);
+  std::vector<double> next(graph.num_nodes());
+
+  if (options.start_iteration == 0) la::Axpy(1.0, x, result.scores);
+  result.last_interim_norm = la::NormL1(x);
+  if (result.last_interim_norm < options.tolerance) {
+    result.converged = true;
+    return result;
+  }
+
+  for (int i = 1; i <= options.terminal_iteration; ++i) {
+    Propagate(graph, options.use_pull, decay, x, next);
+    x.swap(next);
+    result.last_iteration = i;
+    if (i >= options.start_iteration) la::Axpy(1.0, x, result.scores);
+    result.last_interim_norm = la::NormL1(x);
+    if (result.last_interim_norm < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+StatusOr<std::vector<std::vector<double>>> Cpi::RunWindowed(
+    const Graph& graph, const std::vector<double>& q,
+    const std::vector<int>& breakpoints, const CpiOptions& options) {
+  TPA_RETURN_IF_ERROR(ValidateCpiParameters(options.restart_probability,
+                                            options.tolerance));
+  if (q.size() != graph.num_nodes()) {
+    return InvalidArgumentError("seed vector size must equal node count");
+  }
+  if (breakpoints.empty() || breakpoints.front() != 0) {
+    return InvalidArgumentError("breakpoints must start at 0");
+  }
+  for (size_t w = 1; w < breakpoints.size(); ++w) {
+    if (breakpoints[w] <= breakpoints[w - 1]) {
+      return InvalidArgumentError("breakpoints must be strictly increasing");
+    }
+  }
+  const double c = options.restart_probability;
+  const double decay = 1.0 - c;
+  const size_t num_windows = breakpoints.size();
+
+  std::vector<std::vector<double>> windows(
+      num_windows, std::vector<double>(graph.num_nodes(), 0.0));
+  auto window_of = [&breakpoints, num_windows](int i) {
+    size_t w = num_windows - 1;
+    while (w > 0 && i < breakpoints[w]) --w;
+    return w;
+  };
+
+  std::vector<double> x = q;
+  la::Scale(c, x);
+  std::vector<double> next(graph.num_nodes());
+  la::Axpy(1.0, x, windows[window_of(0)]);
+
+  for (int i = 1;; ++i) {
+    if (la::NormL1(x) < options.tolerance) break;
+    Propagate(graph, options.use_pull, decay, x, next);
+    x.swap(next);
+    la::Axpy(1.0, x, windows[window_of(i)]);
+  }
+  return windows;
+}
+
+StatusOr<std::vector<double>> Cpi::PageRank(const Graph& graph,
+                                            const CpiOptions& options) {
+  std::vector<double> q(graph.num_nodes(),
+                        1.0 / static_cast<double>(graph.num_nodes()));
+  TPA_ASSIGN_OR_RETURN(Result result, RunWithSeedVector(graph, q, options));
+  return std::move(result.scores);
+}
+
+StatusOr<std::vector<double>> Cpi::ExactRwr(const Graph& graph, NodeId seed,
+                                            const CpiOptions& options) {
+  TPA_ASSIGN_OR_RETURN(Result result, Run(graph, {seed}, options));
+  return std::move(result.scores);
+}
+
+}  // namespace tpa

@@ -1,0 +1,90 @@
+#ifndef TPA_CORE_CPI_H_
+#define TPA_CORE_CPI_H_
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace tpa {
+
+/// Options for Cumulative Power Iteration (paper Algorithm 1).
+struct CpiOptions {
+  /// Restart probability c (the paper uses 0.15 everywhere).
+  double restart_probability = 0.15;
+  /// Convergence tolerance ε: iteration stops once ‖x(i)‖₁ < ε.
+  double tolerance = 1e-9;
+  /// First accumulated iteration (s_iter).  0 includes the seed mass x(0).
+  int start_iteration = 0;
+  /// Last accumulated iteration (t_iter), inclusive; kUnbounded runs to
+  /// convergence.
+  int terminal_iteration = kUnbounded;
+  /// Gather (pull) matvec over in-edges instead of scatter over out-edges;
+  /// identical results, different memory access pattern (ablation knob).
+  bool use_pull = false;
+
+  static constexpr int kUnbounded = std::numeric_limits<int>::max();
+};
+
+/// Cumulative Power Iteration: interprets RWR as score propagation,
+///   x(0) = c·q,   x(i) = (1-c)·Ã^T·x(i-1),   r = Σ_{s_iter ≤ i ≤ t_iter} x(i).
+///
+/// With a single-entry seed vector this computes RWR; with the uniform seed
+/// vector it computes PageRank; with a multi-node seed set, personalized
+/// PageRank.  TPA composes three windowed CPI runs (family / neighbor /
+/// stranger parts).
+class Cpi {
+ public:
+  struct Result {
+    /// The accumulated window sum Σ x(i).
+    std::vector<double> scores;
+    /// Index of the last iteration whose interim vector was computed.
+    int last_iteration = 0;
+    /// True when ‖x(i)‖₁ < ε stopped the run (as opposed to t_iter).
+    bool converged = false;
+    /// ‖x(i)‖₁ at the last computed iteration.
+    double last_interim_norm = 0.0;
+  };
+
+  /// Runs CPI from a uniform distribution over `seeds` (Algorithm 1 line 1).
+  /// Fails on invalid options, empty or out-of-range seeds.
+  static StatusOr<Result> Run(const Graph& graph,
+                              const std::vector<NodeId>& seeds,
+                              const CpiOptions& options);
+
+  /// Runs CPI from an arbitrary distribution `q` (‖q‖₁ should be 1; scores
+  /// scale linearly otherwise).  The seed vector is multiplied by c
+  /// internally, matching x(0) = c·q.
+  static StatusOr<Result> RunWithSeedVector(const Graph& graph,
+                                            const std::vector<double>& q,
+                                            const CpiOptions& options);
+
+  /// Single-pass windowed CPI: runs to convergence and returns one partial
+  /// sum per window, where window w covers iterations
+  /// [breakpoints[w], breakpoints[w+1]) and the final window extends to ∞.
+  /// E.g. breakpoints {0, S, T} yields exactly the paper's family, neighbor,
+  /// and stranger parts in one sweep.  Breakpoints must start at 0 and be
+  /// strictly increasing.
+  static StatusOr<std::vector<std::vector<double>>> RunWindowed(
+      const Graph& graph, const std::vector<double>& q,
+      const std::vector<int>& breakpoints, const CpiOptions& options);
+
+  /// Convenience: full PageRank vector via CPI with the uniform seed vector.
+  static StatusOr<std::vector<double>> PageRank(const Graph& graph,
+                                                const CpiOptions& options);
+
+  /// Convenience: exact RWR vector for one seed (runs to convergence).
+  static StatusOr<std::vector<double>> ExactRwr(const Graph& graph, NodeId seed,
+                                                const CpiOptions& options);
+};
+
+/// Number of iterations CPI needs to converge: log_{1-c}(ε/c) (Lemma 4).
+int CpiIterationCount(double restart_probability, double tolerance);
+
+/// Validates restart probability and tolerance; shared by CPI and TPA.
+Status ValidateCpiParameters(double restart_probability, double tolerance);
+
+}  // namespace tpa
+
+#endif  // TPA_CORE_CPI_H_

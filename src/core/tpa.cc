@@ -1,0 +1,112 @@
+#include "core/tpa.h"
+
+#include <cmath>
+
+#include "la/vector_ops.h"
+#include "util/check.h"
+
+namespace tpa {
+
+Status ValidateTpaOptions(const TpaOptions& options) {
+  TPA_RETURN_IF_ERROR(ValidateCpiParameters(options.restart_probability,
+                                            options.tolerance));
+  if (options.family_window < 1) {
+    return InvalidArgumentError("family window S must be at least 1");
+  }
+  if (options.stranger_start <= options.family_window) {
+    return InvalidArgumentError("stranger start T must exceed S");
+  }
+  return OkStatus();
+}
+
+StatusOr<Tpa> Tpa::Preprocess(const Graph& graph, const TpaOptions& options) {
+  TPA_RETURN_IF_ERROR(ValidateTpaOptions(options));
+
+  // Algorithm 2: r̃_stranger = CPI(Ã, {1..n}, c, ε, T, ∞) — the tail of the
+  // PageRank series from iteration T on.
+  CpiOptions cpi;
+  cpi.restart_probability = options.restart_probability;
+  cpi.tolerance = options.tolerance;
+  cpi.start_iteration = options.stranger_start;
+  cpi.terminal_iteration = CpiOptions::kUnbounded;
+  cpi.use_pull = options.use_pull;
+
+  std::vector<double> uniform(graph.num_nodes(),
+                              1.0 / static_cast<double>(graph.num_nodes()));
+  TPA_ASSIGN_OR_RETURN(Cpi::Result result,
+                       Cpi::RunWithSeedVector(graph, uniform, cpi));
+  return Tpa(&graph, options, std::move(result.scores));
+}
+
+double Tpa::NeighborScale() const {
+  const double decay = 1.0 - options_.restart_probability;
+  const double ds = std::pow(decay, options_.family_window);
+  const double dt = std::pow(decay, options_.stranger_start);
+  return (ds - dt) / (1.0 - ds);
+}
+
+Tpa::QueryParts Tpa::QueryDecomposed(NodeId seed) const {
+  TPA_CHECK_LT(seed, graph_->num_nodes());
+
+  // Algorithm 3 line 2: r_family = CPI(Ã, {s}, c, ε, 0, S-1).
+  CpiOptions cpi;
+  cpi.restart_probability = options_.restart_probability;
+  cpi.tolerance = options_.tolerance;
+  cpi.start_iteration = 0;
+  cpi.terminal_iteration = options_.family_window - 1;
+  cpi.use_pull = options_.use_pull;
+
+  StatusOr<Cpi::Result> family = Cpi::Run(*graph_, {seed}, cpi);
+  TPA_CHECK(family.ok());  // options were validated at Preprocess time
+
+  QueryParts parts;
+  parts.family = std::move(family->scores);
+
+  // Line 3: r̃_neighbor = (‖r_neighbor‖₁/‖r_family‖₁) · r_family.
+  parts.neighbor_est = parts.family;
+  la::Scale(NeighborScale(), parts.neighbor_est);
+
+  // Line 4: r_TPA = r_family + r̃_neighbor + r̃_stranger.
+  parts.total = parts.family;
+  la::Axpy(1.0, parts.neighbor_est, parts.total);
+  la::Axpy(1.0, stranger_, parts.total);
+  return parts;
+}
+
+std::vector<double> Tpa::Query(NodeId seed) const {
+  return QueryDecomposed(seed).total;
+}
+
+StatusOr<std::vector<double>> Tpa::QueryPersonalized(
+    const std::vector<NodeId>& seeds) const {
+  CpiOptions cpi;
+  cpi.restart_probability = options_.restart_probability;
+  cpi.tolerance = options_.tolerance;
+  cpi.start_iteration = 0;
+  cpi.terminal_iteration = options_.family_window - 1;
+  cpi.use_pull = options_.use_pull;
+  TPA_ASSIGN_OR_RETURN(Cpi::Result family, Cpi::Run(*graph_, seeds, cpi));
+
+  std::vector<double> total = std::move(family.scores);
+  // total = (1 + scale)·family + stranger, by the same Algorithm 3 merge.
+  la::Scale(1.0 + NeighborScale(), total);
+  la::Axpy(1.0, stranger_, total);
+  return total;
+}
+
+double StrangerErrorBound(double restart_probability, int stranger_start) {
+  return 2.0 * std::pow(1.0 - restart_probability, stranger_start);
+}
+
+double NeighborErrorBound(double restart_probability, int family_window,
+                          int stranger_start) {
+  const double decay = 1.0 - restart_probability;
+  return 2.0 * std::pow(decay, family_window) -
+         2.0 * std::pow(decay, stranger_start);
+}
+
+double TotalErrorBound(double restart_probability, int family_window) {
+  return 2.0 * std::pow(1.0 - restart_probability, family_window);
+}
+
+}  // namespace tpa

@@ -1,0 +1,99 @@
+#ifndef TPA_CORE_TPA_H_
+#define TPA_CORE_TPA_H_
+
+#include <vector>
+
+#include "core/cpi.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace tpa {
+
+/// TPA parameters.  The defaults are the paper's global settings; S and T
+/// are tuned per dataset (Table II) and available through DatasetSpec.
+struct TpaOptions {
+  /// Restart probability c.
+  double restart_probability = 0.15;
+  /// CPI convergence tolerance ε.
+  double tolerance = 1e-9;
+  /// S: starting iteration of the neighbor part.  The online phase computes
+  /// exactly the family iterations 0 .. S-1.
+  int family_window = 5;
+  /// T: starting iteration of the stranger part.  Iterations S .. T-1 are
+  /// estimated by scaling the family part; T .. ∞ by the PageRank tail.
+  int stranger_start = 10;
+  /// Matvec flavor (ablation knob; results identical).
+  bool use_pull = false;
+};
+
+/// Two Phase Approximation for RWR (the paper's proposed method).
+///
+/// Usage:
+///   TPA_ASSIGN_OR_RETURN(Tpa tpa, Tpa::Preprocess(graph, options));
+///   std::vector<double> scores = tpa.Query(seed);
+///
+/// `Preprocess` runs Algorithm 2 once per graph (PageRank stranger tail via
+/// CPI); `Query` runs Algorithm 3 per seed (S sparse matvecs + two scaled
+/// vector adds).  The Tpa object borrows the graph: it must not outlive it.
+class Tpa {
+ public:
+  /// Algorithm 2: precomputes r̃_stranger = Σ_{i≥T} x'(i) of PageRank.
+  static StatusOr<Tpa> Preprocess(const Graph& graph, const TpaOptions& options);
+
+  /// Algorithm 3: approximate RWR vector for `seed`.
+  /// CHECK-fails on an out-of-range seed (programming error).
+  std::vector<double> Query(NodeId seed) const;
+
+  /// Personalized-PageRank generalization: approximate RWR for a *set* of
+  /// seeds restarted uniformly (Section II-C notes CPI supports seed sets;
+  /// TPA's two approximations apply unchanged because both are linear in
+  /// the seed vector).  Fails on an empty or out-of-range seed set.
+  StatusOr<std::vector<double>> QueryPersonalized(
+      const std::vector<NodeId>& seeds) const;
+
+  /// The decomposition Algorithm 3 produces, exposed for the accuracy
+  /// experiments (Table III, Figures 8–9).
+  struct QueryParts {
+    std::vector<double> family;        // exact r_family
+    std::vector<double> neighbor_est;  // r̃_neighbor (scaled family)
+    std::vector<double> total;         // r_TPA
+  };
+  QueryParts QueryDecomposed(NodeId seed) const;
+
+  /// The precomputed approximate stranger vector (PageRank tail).
+  const std::vector<double>& stranger_scores() const { return stranger_; }
+
+  /// Lemma 2 scaling factor ‖r_neighbor‖₁ / ‖r_family‖₁ =
+  /// ((1-c)^S − (1-c)^T) / (1 − (1-c)^S).
+  double NeighborScale() const;
+
+  /// Logical size of the preprocessed data: one double per node.
+  size_t PreprocessedBytes() const {
+    return stranger_.size() * sizeof(double);
+  }
+
+  const TpaOptions& options() const { return options_; }
+
+ private:
+  Tpa(const Graph* graph, TpaOptions options, std::vector<double> stranger)
+      : graph_(graph),
+        options_(options),
+        stranger_(std::move(stranger)) {}
+
+  const Graph* graph_;  // not owned
+  TpaOptions options_;
+  std::vector<double> stranger_;
+};
+
+/// Theoretical L1 error bounds (Lemmas 1, 3; Theorem 2).
+double StrangerErrorBound(double restart_probability, int stranger_start);
+double NeighborErrorBound(double restart_probability, int family_window,
+                          int stranger_start);
+double TotalErrorBound(double restart_probability, int family_window);
+
+/// Validates a TpaOptions bundle (c, ε ranges; 1 ≤ S < T).
+Status ValidateTpaOptions(const TpaOptions& options);
+
+}  // namespace tpa
+
+#endif  // TPA_CORE_TPA_H_

@@ -1,0 +1,123 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace tpa {
+
+std::vector<NodeId> PickQuerySeeds(const Graph& graph, size_t count,
+                                   uint64_t rng_seed) {
+  Rng rng(rng_seed);
+  count = std::min<size_t>(count, graph.num_nodes());
+  std::vector<uint64_t> raw =
+      rng.SampleWithoutReplacement(graph.num_nodes(), count);
+  std::vector<NodeId> seeds(raw.begin(), raw.end());
+  std::sort(seeds.begin(), seeds.end());
+  return seeds;
+}
+
+StatusOr<PreprocessMeasurement> MeasurePreprocess(RwrMethod& method,
+                                                  const Graph& graph,
+                                                  size_t budget_bytes) {
+  MemoryBudget budget(budget_bytes);
+  Stopwatch timer;
+  Status status = method.Preprocess(graph, budget);
+  PreprocessMeasurement out;
+  out.seconds = timer.ElapsedSeconds();
+  if (status.code() == StatusCode::kResourceExhausted) {
+    out.out_of_memory = true;
+    return out;
+  }
+  TPA_RETURN_IF_ERROR(status);
+  out.preprocessed_bytes = method.PreprocessedBytes();
+  return out;
+}
+
+StatusOr<double> MeasureOnlineSeconds(RwrMethod& method,
+                                      const std::vector<NodeId>& seeds) {
+  if (seeds.empty()) return InvalidArgumentError("no query seeds");
+  Stopwatch timer;
+  for (NodeId seed : seeds) {
+    TPA_ASSIGN_OR_RETURN(std::vector<double> scores, method.Query(seed));
+    (void)scores;
+  }
+  return timer.ElapsedSeconds() / static_cast<double>(seeds.size());
+}
+
+StatusOr<BenchArgs> BenchArgs::Parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next_value = [&]() -> StatusOr<std::string> {
+      if (i + 1 >= argc) {
+        return InvalidArgumentError("missing value for " + flag);
+      }
+      return std::string(argv[++i]);
+    };
+    if (flag == "--scale") {
+      TPA_ASSIGN_OR_RETURN(std::string value, next_value());
+      args.scale = std::atof(value.c_str());
+      if (args.scale <= 0.0) {
+        return InvalidArgumentError("--scale must be positive");
+      }
+    } else if (flag == "--seeds") {
+      TPA_ASSIGN_OR_RETURN(std::string value, next_value());
+      args.seeds = static_cast<size_t>(std::atoll(value.c_str()));
+      if (args.seeds == 0) {
+        return InvalidArgumentError("--seeds must be positive");
+      }
+    } else if (flag == "--budget-mb") {
+      TPA_ASSIGN_OR_RETURN(std::string value, next_value());
+      args.budget_bytes =
+          static_cast<size_t>(std::atoll(value.c_str())) << 20;
+    } else if (flag == "--csv") {
+      TPA_ASSIGN_OR_RETURN(args.csv_path, next_value());
+    } else if (flag == "--datasets") {
+      TPA_ASSIGN_OR_RETURN(std::string value, next_value());
+      std::stringstream ss(value);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (!item.empty()) args.datasets.push_back(item);
+      }
+    } else if (flag == "--help" || flag == "-h") {
+      std::cout << "flags: --scale F  --seeds N  --budget-mb N  --csv PATH"
+                   "  --datasets a,b,c\n";
+      std::exit(0);
+    } else {
+      return InvalidArgumentError("unknown flag: " + flag);
+    }
+  }
+  return args;
+}
+
+StatusOr<std::vector<DatasetSpec>> BenchArgs::SelectDatasets(
+    const std::vector<std::string>& fallback) const {
+  const std::vector<std::string>* names = datasets.empty() ? &fallback
+                                                           : &datasets;
+  std::vector<DatasetSpec> specs;
+  for (const std::string& name : *names) {
+    TPA_ASSIGN_OR_RETURN(DatasetSpec spec, FindDatasetSpec(name));
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+Status EmitTable(const TablePrinter& table, const BenchArgs& args) {
+  table.PrintText(std::cout);
+  if (args.csv_path.empty()) return OkStatus();
+  std::ofstream out(args.csv_path);
+  if (!out) {
+    return InvalidArgumentError("cannot open csv path: " + args.csv_path);
+  }
+  table.PrintCsv(out);
+  return OkStatus();
+}
+
+}  // namespace tpa

@@ -1,0 +1,121 @@
+#include "eval/matrix_power.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tpa {
+
+namespace {
+
+/// Advances every column of `m` by one application of Ã^T.
+void StepColumns(const Graph& graph, la::DenseMatrix& m,
+                 std::vector<double>& col, std::vector<double>& out) {
+  const size_t n = graph.num_nodes();
+  for (size_t j = 0; j < m.cols(); ++j) {
+    for (size_t i = 0; i < n; ++i) col[i] = m.At(i, j);
+    graph.MultiplyTranspose(col, out);
+    for (size_t i = 0; i < n; ++i) m.At(i, j) = out[i];
+  }
+}
+
+uint64_t CountNonzeros(const la::DenseMatrix& m) {
+  uint64_t nnz = 0;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.RowPtr(i);
+    for (size_t j = 0; j < m.cols(); ++j) {
+      if (row[j] != 0.0) ++nnz;
+    }
+  }
+  return nnz;
+}
+
+Status CheckDenseFits(const Graph& graph, uint64_t max_dense_elements) {
+  const uint64_t n = graph.num_nodes();
+  if (n * n > max_dense_elements) {
+    return ResourceExhaustedError(
+        "graph too large for dense matrix-power analysis; use a smaller "
+        "--scale");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<std::vector<MatrixPowerStats>> AnalyzeMatrixPowers(
+    const Graph& graph, int max_power, const std::vector<NodeId>& ci_seeds,
+    uint64_t max_dense_elements) {
+  if (max_power < 1) return InvalidArgumentError("max_power must be >= 1");
+  TPA_RETURN_IF_ERROR(CheckDenseFits(graph, max_dense_elements));
+  for (NodeId s : ci_seeds) {
+    if (s >= graph.num_nodes()) return OutOfRangeError("seed out of range");
+  }
+  const size_t n = graph.num_nodes();
+
+  // M_0 = I.
+  la::DenseMatrix m = la::DenseMatrix::Identity(n);
+  std::vector<double> col(n), out(n);
+  std::vector<MatrixPowerStats> stats;
+  stats.reserve(max_power);
+
+  for (int power = 1; power <= max_power; ++power) {
+    StepColumns(graph, m, col, out);
+
+    MatrixPowerStats entry;
+    entry.power = power;
+    entry.nnz = CountNonzeros(m);
+
+    if (!ci_seeds.empty()) {
+      // C_i = (1/n) Σ_{j≠s} ‖c_s − c_j‖₁, averaged over seeds.  Columns of
+      // (Ã^T)^i live in the matrix's columns.
+      double total = 0.0;
+      for (NodeId s : ci_seeds) {
+        double sum = 0.0;
+        for (size_t j = 0; j < n; ++j) {
+          if (j == s) continue;
+          double diff = 0.0;
+          for (size_t i = 0; i < n; ++i) {
+            diff += std::abs(m.At(i, s) - m.At(i, j));
+          }
+          sum += diff;
+        }
+        total += sum / static_cast<double>(n);
+      }
+      entry.avg_ci = total / static_cast<double>(ci_seeds.size());
+    }
+    stats.push_back(entry);
+  }
+  return stats;
+}
+
+StatusOr<la::DenseMatrix> SpyGrid(const Graph& graph, int power, size_t grid,
+                                  uint64_t max_dense_elements) {
+  if (power < 1) return InvalidArgumentError("power must be >= 1");
+  if (grid == 0) return InvalidArgumentError("grid must be positive");
+  TPA_RETURN_IF_ERROR(CheckDenseFits(graph, max_dense_elements));
+  const size_t n = graph.num_nodes();
+
+  la::DenseMatrix m = la::DenseMatrix::Identity(n);
+  std::vector<double> col(n), out(n);
+  for (int p = 0; p < power; ++p) StepColumns(graph, m, col, out);
+
+  grid = std::min(grid, n);
+  la::DenseMatrix cells(grid, grid);
+  const double cell_size = static_cast<double>(n) / static_cast<double>(grid);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t gi = std::min(grid - 1, static_cast<size_t>(i / cell_size));
+    for (size_t j = 0; j < n; ++j) {
+      if (m.At(i, j) == 0.0) continue;
+      const size_t gj = std::min(grid - 1, static_cast<size_t>(j / cell_size));
+      cells.At(gi, gj) += 1.0;
+    }
+  }
+  // Normalize by cell capacity.
+  const double capacity = cell_size * cell_size;
+  for (size_t r = 0; r < grid; ++r) {
+    for (size_t c = 0; c < grid; ++c) cells.At(r, c) /= capacity;
+  }
+  return cells;
+}
+
+}  // namespace tpa

@@ -1,0 +1,40 @@
+#ifndef TPA_EVAL_MATRIX_POWER_H_
+#define TPA_EVAL_MATRIX_POWER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "la/dense_matrix.h"
+#include "util/status.h"
+
+namespace tpa {
+
+/// Per-power statistics of (Ã^T)^i backing Figures 3 and 4:
+///  * nnz  — nonzero count (Figure 4(a); Figure 3 shows its spatial layout),
+///  * c_i  — (1/n)·Σ_{j≠s} ‖c_s^{(i)} − c_j^{(i)}‖₁ averaged over the given
+///           seeds, the stranger-approximation error driver (Figure 4(b)).
+struct MatrixPowerStats {
+  int power = 0;
+  uint64_t nnz = 0;
+  double avg_ci = 0.0;
+};
+
+/// Tracks the dense matrix M_i = (Ã^T)^i for i = 1..max_power and reports
+/// stats at each power.  Ω(n²) memory — intended for the small analysis
+/// graphs the paper uses (Slashdot/Google scale-downs).  Fails if
+/// n² would exceed `max_dense_elements`.
+StatusOr<std::vector<MatrixPowerStats>> AnalyzeMatrixPowers(
+    const Graph& graph, int max_power, const std::vector<NodeId>& ci_seeds,
+    uint64_t max_dense_elements = 64ull << 20);
+
+/// The i-th power's nonzero density on a coarse grid (Figure 3's spy plot,
+/// printable as text).  cell(r, c) = nnz share of the corresponding
+/// submatrix, in [0, 1].
+StatusOr<la::DenseMatrix> SpyGrid(const Graph& graph, int power,
+                                  size_t grid = 16,
+                                  uint64_t max_dense_elements = 64ull << 20);
+
+}  // namespace tpa
+
+#endif  // TPA_EVAL_MATRIX_POWER_H_

@@ -1,0 +1,43 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/vector_ops.h"
+#include "util/check.h"
+
+namespace tpa {
+
+double RecallAtK(const std::vector<double>& approx,
+                 const std::vector<double>& exact, size_t k) {
+  TPA_CHECK_EQ(approx.size(), exact.size());
+  k = std::min(k, exact.size());
+  if (k == 0) return 1.0;
+  std::vector<size_t> top_approx = la::TopKIndices(approx, k);
+  std::vector<size_t> top_exact = la::TopKIndices(exact, k);
+  std::sort(top_approx.begin(), top_approx.end());
+  std::sort(top_exact.begin(), top_exact.end());
+  std::vector<size_t> common;
+  std::set_intersection(top_approx.begin(), top_approx.end(),
+                        top_exact.begin(), top_exact.end(),
+                        std::back_inserter(common));
+  return static_cast<double>(common.size()) / static_cast<double>(k);
+}
+
+double L1Error(const std::vector<double>& approx,
+               const std::vector<double>& exact) {
+  return la::L1Distance(approx, exact);
+}
+
+double TopKAbsoluteError(const std::vector<double>& approx,
+                         const std::vector<double>& exact, size_t k) {
+  TPA_CHECK_EQ(approx.size(), exact.size());
+  k = std::min(k, exact.size());
+  if (k == 0) return 0.0;
+  std::vector<size_t> top_exact = la::TopKIndices(exact, k);
+  double sum = 0.0;
+  for (size_t idx : top_exact) sum += std::abs(approx[idx] - exact[idx]);
+  return sum / static_cast<double>(k);
+}
+
+}  // namespace tpa

@@ -1,0 +1,27 @@
+#ifndef TPA_EVAL_METRICS_H_
+#define TPA_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tpa {
+
+/// Recall of the approximate top-k against the exact top-k:
+/// |top_k(approx) ∩ top_k(exact)| / k — the paper's Figure 7 metric
+/// (Twitter's "Who to Follow" framing).  k is clamped to the vector size.
+double RecallAtK(const std::vector<double>& approx,
+                 const std::vector<double>& exact, size_t k);
+
+/// L1 norm of (approx − exact) — the paper's error metric for Table III and
+/// Figures 8–9.  Vectors must be equal length.
+double L1Error(const std::vector<double>& approx,
+               const std::vector<double>& exact);
+
+/// Average of per-element |approx − exact| over the exact top-k entries,
+/// useful as a secondary quality signal in the examples.
+double TopKAbsoluteError(const std::vector<double>& approx,
+                         const std::vector<double>& exact, size_t k);
+
+}  // namespace tpa
+
+#endif  // TPA_EVAL_METRICS_H_

@@ -1,0 +1,20 @@
+#include "eval/oracle.h"
+
+#include "core/cpi.h"
+
+namespace tpa {
+
+StatusOr<std::vector<double>> GroundTruthOracle::Exact(NodeId seed) {
+  auto it = cache_.find(seed);
+  if (it != cache_.end()) return it->second;
+
+  CpiOptions options;
+  options.restart_probability = restart_probability_;
+  options.tolerance = tolerance_;
+  TPA_ASSIGN_OR_RETURN(std::vector<double> exact,
+                       Cpi::ExactRwr(*graph_, seed, options));
+  cache_.emplace(seed, exact);
+  return exact;
+}
+
+}  // namespace tpa

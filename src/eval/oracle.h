@@ -1,0 +1,42 @@
+#ifndef TPA_EVAL_ORACLE_H_
+#define TPA_EVAL_ORACLE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace tpa {
+
+/// Exact-RWR oracle used as ground truth by the accuracy experiments.
+///
+/// The paper uses BePI for ground truth; CPI run to a very tight tolerance
+/// solves the identical fixed point (the test suite cross-checks the two).
+/// Vectors are cached per seed, since Figure 7 / Table III evaluate many
+/// methods against the same exact answers.
+class GroundTruthOracle {
+ public:
+  /// The graph must outlive the oracle.
+  explicit GroundTruthOracle(const Graph& graph,
+                             double restart_probability = 0.15,
+                             double tolerance = 1e-12)
+      : graph_(&graph),
+        restart_probability_(restart_probability),
+        tolerance_(tolerance) {}
+
+  /// Exact RWR vector for `seed` (computed once, then cached).
+  StatusOr<std::vector<double>> Exact(NodeId seed);
+
+  size_t cached_queries() const { return cache_.size(); }
+
+ private:
+  const Graph* graph_;
+  double restart_probability_;
+  double tolerance_;
+  std::unordered_map<NodeId, std::vector<double>> cache_;
+};
+
+}  // namespace tpa
+
+#endif  // TPA_EVAL_ORACLE_H_

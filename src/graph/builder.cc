@@ -1,0 +1,81 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tpa {
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  TPA_CHECK_LT(u, num_nodes_);
+  TPA_CHECK_LT(v, num_nodes_);
+  edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::AddEdges(const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  edges_.reserve(edges_.size() + edges.size());
+  for (const auto& [u, v] : edges) AddEdge(u, v);
+}
+
+StatusOr<Graph> GraphBuilder::Build(const BuildOptions& options) {
+  if (num_nodes_ == 0) {
+    return InvalidArgumentError("graph must have at least one node");
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges = std::move(edges_);
+  edges_.clear();
+
+  if (options.remove_self_loops) {
+    std::erase_if(edges, [](const auto& e) { return e.first == e.second; });
+  }
+  std::sort(edges.begin(), edges.end());
+  if (options.deduplicate) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  if (options.dangling_policy == DanglingPolicy::kAddSelfLoop) {
+    // Find nodes with no out-edge and append self-loops, keeping sort order
+    // by a final merge.
+    std::vector<bool> has_out(num_nodes_, false);
+    for (const auto& [u, v] : edges) has_out[u] = true;
+    std::vector<std::pair<NodeId, NodeId>> loops;
+    for (NodeId u = 0; u < num_nodes_; ++u) {
+      if (!has_out[u]) loops.emplace_back(u, u);
+    }
+    if (!loops.empty()) {
+      const size_t mid = edges.size();
+      edges.insert(edges.end(), loops.begin(), loops.end());
+      std::inplace_merge(edges.begin(),
+                         edges.begin() + static_cast<long>(mid), edges.end());
+    }
+  }
+
+  const size_t m = edges.size();
+  std::vector<uint64_t> out_offsets(static_cast<size_t>(num_nodes_) + 1, 0);
+  std::vector<NodeId> out_targets(m);
+  for (const auto& [u, v] : edges) ++out_offsets[u + 1];
+  for (size_t i = 1; i < out_offsets.size(); ++i) {
+    out_offsets[i] += out_offsets[i - 1];
+  }
+  {
+    std::vector<uint64_t> cursor(out_offsets.begin(), out_offsets.end() - 1);
+    for (const auto& [u, v] : edges) out_targets[cursor[u]++] = v;
+  }
+
+  // Transpose (counting sort by target); sources end up sorted within each
+  // in-list because `edges` is sorted by (u, v).
+  std::vector<uint64_t> in_offsets(static_cast<size_t>(num_nodes_) + 1, 0);
+  std::vector<NodeId> in_sources(m);
+  for (const auto& [u, v] : edges) ++in_offsets[v + 1];
+  for (size_t i = 1; i < in_offsets.size(); ++i) {
+    in_offsets[i] += in_offsets[i - 1];
+  }
+  {
+    std::vector<uint64_t> cursor(in_offsets.begin(), in_offsets.end() - 1);
+    for (const auto& [u, v] : edges) in_sources[cursor[v]++] = u;
+  }
+
+  return Graph(num_nodes_, std::move(out_offsets), std::move(out_targets),
+               std::move(in_offsets), std::move(in_sources));
+}
+
+}  // namespace tpa

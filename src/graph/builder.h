@@ -1,0 +1,58 @@
+#ifndef TPA_GRAPH_BUILDER_H_
+#define TPA_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace tpa {
+
+/// Policy for out-degree-zero nodes at build time.
+enum class DanglingPolicy {
+  /// Keep dangling nodes as-is; propagation loses their mass (CPI treats the
+  /// transition matrix as column-substochastic).
+  kKeep,
+  /// Add a self-loop to every dangling node, making Ã^T exactly column
+  /// stochastic (the setting assumed by the paper's lemmas).
+  kAddSelfLoop,
+};
+
+struct BuildOptions {
+  /// Drop u→u edges present in the input (self-loops added by the dangling
+  /// policy are exempt).
+  bool remove_self_loops = true;
+  /// Collapse duplicate (u, v) pairs to a single edge.
+  bool deduplicate = true;
+  DanglingPolicy dangling_policy = DanglingPolicy::kAddSelfLoop;
+};
+
+/// Accumulates an edge list and finalizes it into an immutable CSR Graph.
+///
+/// Build is O(m log m) (sort-based) and produces neighbor lists sorted by id,
+/// which downstream code relies on for binary-searchable adjacency.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Adds the directed edge u → v.  Fails fast (CHECK) on out-of-range ids.
+  void AddEdge(NodeId u, NodeId v);
+
+  /// Bulk variant of AddEdge.
+  void AddEdges(const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  size_t PendingEdges() const { return edges_.size(); }
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Finalizes into a Graph; the builder is left empty.
+  /// Fails if num_nodes is 0.
+  StatusOr<Graph> Build(const BuildOptions& options = {});
+
+ private:
+  NodeId num_nodes_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace tpa
+
+#endif  // TPA_GRAPH_BUILDER_H_

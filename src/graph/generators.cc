@@ -1,0 +1,145 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/random.h"
+
+namespace tpa {
+
+namespace {
+
+uint64_t PackEdge(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+StatusOr<Graph> GenerateErdosRenyi(const ErdosRenyiOptions& options) {
+  const NodeId n = options.nodes;
+  if (n == 0) return InvalidArgumentError("nodes must be positive");
+  const uint64_t max_edges =
+      static_cast<uint64_t>(n) * (static_cast<uint64_t>(n) - 1);
+  if (options.edges > max_edges) {
+    return InvalidArgumentError("edge count exceeds n*(n-1)");
+  }
+
+  Rng rng(options.seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(options.edges * 2);
+  GraphBuilder builder(n);
+  while (seen.size() < options.edges) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (seen.insert(PackEdge(u, v)).second) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+StatusOr<Graph> GenerateRmat(const RmatOptions& options) {
+  if (options.edges == 0) return InvalidArgumentError("edges must be positive");
+  const double a = options.a, b = options.b, c = options.c;
+  const double d = 1.0 - a - b - c;
+  if (a <= 0 || b <= 0 || c <= 0 || d <= 0) {
+    return InvalidArgumentError("quadrant probabilities must be in (0,1)");
+  }
+  const NodeId n = NodeId{1} << options.scale;
+
+  Rng rng(options.seed);
+  GraphBuilder builder(n);
+  for (uint64_t e = 0; e < options.edges; ++e) {
+    NodeId u = 0, v = 0;
+    for (uint32_t bit = options.scale; bit-- > 0;) {
+      const double p = rng.NextDouble();
+      if (p < a) {
+        // top-left quadrant: both bits 0
+      } else if (p < a + b) {
+        v |= NodeId{1} << bit;
+      } else if (p < a + b + c) {
+        u |= NodeId{1} << bit;
+      } else {
+        u |= NodeId{1} << bit;
+        v |= NodeId{1} << bit;
+      }
+    }
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+StatusOr<Graph> GenerateDcsbm(const DcsbmOptions& options) {
+  const NodeId n = options.nodes;
+  if (n == 0) return InvalidArgumentError("nodes must be positive");
+  if (options.edges == 0) return InvalidArgumentError("edges must be positive");
+  if (options.blocks == 0 || options.blocks > n) {
+    return InvalidArgumentError("blocks must be in [1, nodes]");
+  }
+  if (options.intra_fraction < 0.0 || options.intra_fraction > 1.0) {
+    return InvalidArgumentError("intra_fraction must be in [0,1]");
+  }
+  if (options.inter_weight_exponent < 0.0) {
+    return InvalidArgumentError("inter_weight_exponent must be non-negative");
+  }
+
+  const uint32_t num_blocks = options.blocks;
+  const NodeId block_size = (n + num_blocks - 1) / num_blocks;
+  auto block_of = [block_size](NodeId u) { return u / block_size; };
+  // With ceil-divided block sizes the last blocks may be short or empty;
+  // clamp both ends so the per-block weight slices stay well formed.
+  auto block_begin = [block_size, n](uint32_t blk) {
+    return std::min<NodeId>(n, blk * block_size);
+  };
+  auto block_end = [block_size, n](uint32_t blk) {
+    return std::min<NodeId>(n, (blk + 1) * block_size);
+  };
+
+  // Zipf-like degree weights.  Ranks are scattered over node ids with a
+  // multiplicative hash so hubs spread across blocks rather than piling up
+  // in block 0.
+  Rng rng(options.seed);
+  std::vector<double> weight(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const uint64_t rank = (u * 0x9e3779b97f4a7c15ULL) % n;
+    weight[u] =
+        std::pow(static_cast<double>(rank + 1), -options.zipf_theta);
+  }
+
+  AliasSampler global(weight);
+  std::vector<double> inter_weight(n);
+  for (NodeId u = 0; u < n; ++u) {
+    inter_weight[u] = std::pow(weight[u], options.inter_weight_exponent);
+  }
+  AliasSampler inter(inter_weight);
+  // Empty trailing blocks have no member nodes, so their samplers are never
+  // consulted; leave them unset.
+  std::vector<std::optional<AliasSampler>> per_block(num_blocks);
+  for (uint32_t blk = 0; blk < num_blocks; ++blk) {
+    if (block_begin(blk) >= block_end(blk)) continue;
+    std::vector<double> w(weight.begin() + block_begin(blk),
+                          weight.begin() + block_end(blk));
+    per_block[blk].emplace(w);
+  }
+
+  GraphBuilder builder(n);
+  for (uint64_t e = 0; e < options.edges; ++e) {
+    NodeId u, v;
+    if (rng.NextDouble() < options.intra_fraction) {
+      u = static_cast<NodeId>(global.Sample(rng));
+      const uint32_t blk = block_of(u);
+      v = block_begin(blk) +
+          static_cast<NodeId>(per_block[blk]->Sample(rng));
+    } else {
+      u = static_cast<NodeId>(inter.Sample(rng));
+      v = static_cast<NodeId>(inter.Sample(rng));
+    }
+    if (u == v) continue;  // collapsed by builder anyway; skip early
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+}  // namespace tpa

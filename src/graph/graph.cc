@@ -1,0 +1,66 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tpa {
+
+Graph::Graph(NodeId num_nodes, std::vector<uint64_t> out_offsets,
+             std::vector<NodeId> out_targets, std::vector<uint64_t> in_offsets,
+             std::vector<NodeId> in_sources)
+    : num_nodes_(num_nodes),
+      out_offsets_(std::move(out_offsets)),
+      out_targets_(std::move(out_targets)),
+      in_offsets_(std::move(in_offsets)),
+      in_sources_(std::move(in_sources)) {
+  TPA_CHECK_EQ(out_offsets_.size(), static_cast<size_t>(num_nodes_) + 1);
+  TPA_CHECK_EQ(in_offsets_.size(), static_cast<size_t>(num_nodes_) + 1);
+  TPA_CHECK_EQ(out_targets_.size(), in_sources_.size());
+  TPA_CHECK_EQ(out_offsets_.back(), out_targets_.size());
+  TPA_CHECK_EQ(in_offsets_.back(), in_sources_.size());
+}
+
+NodeId Graph::CountDangling() const {
+  NodeId count = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    if (OutDegree(u) == 0) ++count;
+  }
+  return count;
+}
+
+void Graph::MultiplyTranspose(const std::vector<double>& x,
+                              std::vector<double>& y) const {
+  TPA_DCHECK(x.size() == num_nodes_);
+  y.assign(num_nodes_, 0.0);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    const uint64_t begin = out_offsets_[u];
+    const uint64_t end = out_offsets_[u + 1];
+    if (begin == end) continue;
+    const double share = x[u] / static_cast<double>(end - begin);
+    if (share == 0.0) continue;
+    for (uint64_t e = begin; e < end; ++e) y[out_targets_[e]] += share;
+  }
+}
+
+void Graph::MultiplyTransposePull(const std::vector<double>& x,
+                                  std::vector<double>& y) const {
+  TPA_DCHECK(x.size() == num_nodes_);
+  y.assign(num_nodes_, 0.0);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    double sum = 0.0;
+    for (NodeId u : InNeighbors(v)) {
+      sum += x[u] / static_cast<double>(OutDegree(u));
+    }
+    y[v] = sum;
+  }
+}
+
+size_t Graph::SizeBytes() const {
+  return out_offsets_.size() * sizeof(uint64_t) +
+         out_targets_.size() * sizeof(NodeId) +
+         in_offsets_.size() * sizeof(uint64_t) +
+         in_sources_.size() * sizeof(NodeId);
+}
+
+}  // namespace tpa

@@ -1,0 +1,88 @@
+#ifndef TPA_GRAPH_GRAPH_H_
+#define TPA_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tpa {
+
+/// Node identifier.  32 bits covers every graph this repository targets
+/// (the paper's largest graph has 68M nodes).
+using NodeId = uint32_t;
+
+/// Immutable directed graph in CSR form, with both out-adjacency (CSR) and
+/// in-adjacency (CSC, i.e. CSR of the transpose) materialized.
+///
+/// The in/out dual layout supports the two transition-matrix products used
+/// throughout the library:
+///  * push (scatter) over out-edges  — natural for CPI/TPA,
+///  * pull (gather) over in-edges    — natural for per-node residual updates
+///    in push-style local methods and exposed for the ablation benchmarks.
+///
+/// The RWR transition matrix is the row-normalized adjacency matrix Ã; all
+/// methods use products with Ã^T.  Row-normalization is implicit: edge
+/// weights are 1/out-degree(u), never stored.
+///
+/// Dangling nodes (out-degree 0) lose their score mass during propagation,
+/// matching CPI's column-substochastic treatment; graph sources that need
+/// strict stochasticity (the paper's convergence lemmas assume it) should
+/// build with GraphBuilder's self-loop policy.
+class Graph {
+ public:
+  /// Builds from a sorted, deduplicated edge set.  Use GraphBuilder instead
+  /// of calling this directly.
+  Graph(NodeId num_nodes, std::vector<uint64_t> out_offsets,
+        std::vector<NodeId> out_targets, std::vector<uint64_t> in_offsets,
+        std::vector<NodeId> in_sources);
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return out_targets_.size(); }
+
+  uint32_t OutDegree(NodeId u) const {
+    return static_cast<uint32_t>(out_offsets_[u + 1] - out_offsets_[u]);
+  }
+  uint32_t InDegree(NodeId v) const {
+    return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    return {out_targets_.data() + out_offsets_[u],
+            out_targets_.data() + out_offsets_[u + 1]};
+  }
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    return {in_sources_.data() + in_offsets_[v],
+            in_sources_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Number of dangling (out-degree zero) nodes.
+  NodeId CountDangling() const;
+
+  /// y = Ã^T x via push/scatter over out-edges.  y is resized and zeroed.
+  void MultiplyTranspose(const std::vector<double>& x,
+                         std::vector<double>& y) const;
+
+  /// y = Ã^T x via pull/gather over in-edges; bitwise-equal semantics to
+  /// MultiplyTranspose up to floating point association order.
+  void MultiplyTransposePull(const std::vector<double>& x,
+                             std::vector<double>& y) const;
+
+  /// Logical bytes held by the CSR+CSC arrays (experiment reporting).
+  size_t SizeBytes() const;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<uint64_t> out_offsets_;  // size n+1
+  std::vector<NodeId> out_targets_;    // size m, sorted within each row
+  std::vector<uint64_t> in_offsets_;   // size n+1
+  std::vector<NodeId> in_sources_;     // size m, sorted within each column
+};
+
+}  // namespace tpa
+
+#endif  // TPA_GRAPH_GRAPH_H_

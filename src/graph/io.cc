@@ -1,0 +1,86 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace tpa {
+
+namespace {
+
+/// Parses "u v" from a line; returns false for malformed content.
+bool ParseEdgeLine(std::string_view line, uint64_t& u, uint64_t& v) {
+  const char* ptr = line.data();
+  const char* end = line.data() + line.size();
+  auto skip_ws = [&]() {
+    while (ptr != end && (*ptr == ' ' || *ptr == '\t' || *ptr == '\r')) ++ptr;
+  };
+  skip_ws();
+  auto r1 = std::from_chars(ptr, end, u);
+  if (r1.ec != std::errc()) return false;
+  ptr = r1.ptr;
+  skip_ws();
+  auto r2 = std::from_chars(ptr, end, v);
+  if (r2.ec != std::errc()) return false;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Graph> LoadEdgeList(const std::string& path, NodeId num_nodes,
+                             const BuildOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open edge list: " + path);
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  uint64_t max_id = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    uint64_t u = 0, v = 0;
+    if (!ParseEdgeLine(line, u, v)) {
+      std::ostringstream oss;
+      oss << "malformed edge at " << path << ":" << line_no;
+      return InvalidArgumentError(oss.str());
+    }
+    if (num_nodes != 0 && (u >= num_nodes || v >= num_nodes)) {
+      std::ostringstream oss;
+      oss << "node id out of range at " << path << ":" << line_no;
+      return OutOfRangeError(oss.str());
+    }
+    max_id = std::max({max_id, u, v});
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  const NodeId n =
+      num_nodes != 0 ? num_nodes : static_cast<NodeId>(max_id + 1);
+  GraphBuilder builder(n);
+  builder.AddEdges(edges);
+  return builder.Build(options);
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return InvalidArgumentError("cannot open for writing: " + path);
+  }
+  out << "# directed edge list: " << graph.num_nodes() << " nodes, "
+      << graph.num_edges() << " edges\n";
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      out << u << ' ' << v << '\n';
+    }
+  }
+  if (!out) {
+    return InternalError("write failed: " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace tpa

@@ -1,0 +1,24 @@
+#ifndef TPA_GRAPH_IO_H_
+#define TPA_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace tpa {
+
+/// Loads a whitespace-separated directed edge list ("u v" per line).
+/// Lines starting with '#' or '%' are comments (KONECT/SNAP conventions).
+/// Node ids must be < num_nodes when `num_nodes` > 0; with num_nodes == 0
+/// the node count is inferred as max id + 1.
+StatusOr<Graph> LoadEdgeList(const std::string& path, NodeId num_nodes = 0,
+                             const BuildOptions& options = {});
+
+/// Writes the graph as a "u v" edge list with a header comment.
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace tpa
+
+#endif  // TPA_GRAPH_IO_H_

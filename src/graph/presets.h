@@ -1,0 +1,47 @@
+#ifndef TPA_GRAPH_PRESETS_H_
+#define TPA_GRAPH_PRESETS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace tpa {
+
+/// Scaled-down synthetic stand-in for one of the paper's seven datasets
+/// (Table II).  `s` and `t` are the per-dataset TPA parameters the paper
+/// tuned; we keep them verbatim.  `nodes`/`edges` follow the originals'
+/// relative ordering and average degree at roughly 1/10–1/600 scale.
+struct DatasetSpec {
+  std::string_view name;   // e.g. "slashdot-sim"
+  NodeId nodes;
+  uint64_t edges;          // edge draws; built graphs land within a few %
+  int s;                   // starting iteration of the neighbor part
+  int t;                   // starting iteration of the stranger part
+  uint32_t blocks;         // DCSBM planted communities
+  double intra_fraction;   // DCSBM in-community edge probability
+  double zipf_theta;       // DCSBM degree skew
+  uint64_t seed;           // generator seed (fixed: datasets are reproducible)
+};
+
+/// All seven presets, smallest to largest (slashdot-sim … friendster-sim).
+const std::vector<DatasetSpec>& AllDatasetSpecs();
+
+/// Looks up a preset by name; NOT_FOUND for unknown names.
+StatusOr<DatasetSpec> FindDatasetSpec(std::string_view name);
+
+/// Generates the preset's graph.  `scale` multiplies node and edge counts
+/// (clamped to at least 64 nodes); 1.0 is the default experiment size.
+StatusOr<Graph> MakePresetGraph(const DatasetSpec& spec, double scale = 1.0);
+
+/// Erdős–Rényi twin of an already-built graph: same node count, same edge
+/// count, random edge placement — the Figure 6 "random graph" baseline.
+/// (Built edge counts differ from the draw count because duplicate draws
+/// collapse, so the twin is matched to the realized graph, not the spec.)
+StatusOr<Graph> MakeRandomTwin(const Graph& graph, uint64_t seed = 7777);
+
+}  // namespace tpa
+
+#endif  // TPA_GRAPH_PRESETS_H_

@@ -1,0 +1,26 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+
+namespace tpa {
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.nodes = graph.num_nodes();
+  stats.edges = graph.num_edges();
+  stats.avg_out_degree =
+      stats.nodes == 0
+          ? 0.0
+          : static_cast<double>(stats.edges) / static_cast<double>(stats.nodes);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const uint32_t out = graph.OutDegree(u);
+    const uint32_t in = graph.InDegree(u);
+    stats.max_out_degree = std::max(stats.max_out_degree, out);
+    stats.max_in_degree = std::max(stats.max_in_degree, in);
+    if (out == 0) ++stats.dangling_nodes;
+    if (out == 0 && in == 0) ++stats.isolated_nodes;
+  }
+  return stats;
+}
+
+}  // namespace tpa

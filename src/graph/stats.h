@@ -1,0 +1,25 @@
+#ifndef TPA_GRAPH_STATS_H_
+#define TPA_GRAPH_STATS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace tpa {
+
+/// Summary statistics used by the Table II bench and the examples.
+struct GraphStats {
+  NodeId nodes = 0;
+  uint64_t edges = 0;
+  double avg_out_degree = 0.0;
+  uint32_t max_out_degree = 0;
+  uint32_t max_in_degree = 0;
+  NodeId dangling_nodes = 0;
+  NodeId isolated_nodes = 0;  // no in- and no out-edges
+};
+
+GraphStats ComputeGraphStats(const Graph& graph);
+
+}  // namespace tpa
+
+#endif  // TPA_GRAPH_STATS_H_

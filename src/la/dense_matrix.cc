@@ -1,0 +1,84 @@
+#include "la/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tpa::la {
+
+DenseMatrix DenseMatrix::Identity(size_t n) {
+  DenseMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> DenseMatrix::MatVec(const std::vector<double>& x) const {
+  TPA_CHECK_EQ(x.size(), cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+std::vector<double> DenseMatrix::MatVecTranspose(
+    const std::vector<double>& x) const {
+  TPA_CHECK_EQ(x.size(), rows_);
+  std::vector<double> y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::MatMul(const DenseMatrix& other) const {
+  TPA_CHECK_EQ(cols_, other.rows());
+  DenseMatrix out(rows_, other.cols());
+  // i-k-j loop order: streams through `other` rows, cache friendly.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = RowPtr(i);
+    double* out_row = out.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = a_row[k];
+      if (aik == 0.0) continue;
+      const double* b_row = other.RowPtr(k);
+      for (size_t j = 0; j < other.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+double DenseMatrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double DenseMatrix::MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  TPA_CHECK_EQ(a.rows(), b.rows());
+  TPA_CHECK_EQ(a.cols(), b.cols());
+  double best = 0.0;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      best = std::max(best, std::abs(a.At(r, c) - b.At(r, c)));
+    }
+  }
+  return best;
+}
+
+}  // namespace tpa::la

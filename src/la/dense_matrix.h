@@ -1,0 +1,61 @@
+#ifndef TPA_LA_DENSE_MATRIX_H_
+#define TPA_LA_DENSE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tpa::la {
+
+/// Row-major dense matrix of doubles.
+///
+/// Used for the small dense blocks that appear inside the block-elimination
+/// methods (BEAR, BePI) and for the rank-t core matrix of NB-LIN.  Sized for
+/// "thousands of rows" workloads; not a general BLAS replacement.
+class DenseMatrix {
+ public:
+  DenseMatrix() : rows_(0), cols_(0) {}
+  DenseMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static DenseMatrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Raw row pointer (row-major layout).
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Logical storage footprint in bytes (used for preprocessed-size
+  /// accounting in the experiments).
+  size_t SizeBytes() const { return data_.size() * sizeof(double); }
+
+  /// y = this * x.  Requires x.size() == cols().
+  std::vector<double> MatVec(const std::vector<double>& x) const;
+
+  /// y = this^T * x.  Requires x.size() == rows().
+  std::vector<double> MatVecTranspose(const std::vector<double>& x) const;
+
+  /// C = this * other.  Requires cols() == other.rows().
+  DenseMatrix MatMul(const DenseMatrix& other) const;
+
+  DenseMatrix Transposed() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Max |a_ij - b_ij|; handy in tests.
+  static double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b);
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace tpa::la
+
+#endif  // TPA_LA_DENSE_MATRIX_H_

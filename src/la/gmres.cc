@@ -1,0 +1,125 @@
+#include "la/gmres.h"
+
+#include <cmath>
+
+#include "la/vector_ops.h"
+#include "util/check.h"
+
+namespace tpa::la {
+
+StatusOr<GmresResult> Gmres(const LinearOperator& a,
+                            const std::vector<double>& b,
+                            const GmresOptions& options) {
+  if (a.rows != a.cols) {
+    return InvalidArgumentError("GMRES requires a square operator");
+  }
+  if (b.size() != a.rows) {
+    return InvalidArgumentError("rhs size does not match operator");
+  }
+  const size_t n = a.rows;
+  const size_t m = options.restart;
+  if (m == 0) return InvalidArgumentError("restart must be positive");
+
+  const double b_norm = NormL2(b);
+  GmresResult result;
+  result.x.assign(n, 0.0);
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> r(n), w(n);
+  size_t total_iters = 0;
+
+  while (total_iters < options.max_iterations) {
+    // r = b - A x
+    a.apply(result.x, r);
+    for (size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    double beta = NormL2(r);
+    result.relative_residual = beta / b_norm;
+    if (result.relative_residual <= options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+
+    // Arnoldi basis (m+1 vectors) and Hessenberg in Givens-rotated form.
+    std::vector<std::vector<double>> basis;
+    basis.reserve(m + 1);
+    basis.push_back(r);
+    Scale(1.0 / beta, basis[0]);
+
+    std::vector<std::vector<double>> h(m + 1, std::vector<double>(m, 0.0));
+    std::vector<double> cs(m, 0.0), sn(m, 0.0);
+    std::vector<double> g(m + 1, 0.0);  // rotated rhs of the LSQ problem
+    g[0] = beta;
+
+    size_t k = 0;
+    for (; k < m && total_iters < options.max_iterations; ++k) {
+      ++total_iters;
+      a.apply(basis[k], w);
+      // Modified Gram–Schmidt.
+      for (size_t i = 0; i <= k; ++i) {
+        h[i][k] = Dot(w, basis[i]);
+        Axpy(-h[i][k], basis[i], w);
+      }
+      h[k + 1][k] = NormL2(w);
+      if (h[k + 1][k] > 0.0) {
+        std::vector<double> next = w;
+        Scale(1.0 / h[k + 1][k], next);
+        basis.push_back(std::move(next));
+      }
+
+      // Apply existing Givens rotations to the new column.
+      for (size_t i = 0; i < k; ++i) {
+        const double tmp = cs[i] * h[i][k] + sn[i] * h[i + 1][k];
+        h[i + 1][k] = -sn[i] * h[i][k] + cs[i] * h[i + 1][k];
+        h[i][k] = tmp;
+      }
+      // New rotation annihilating h[k+1][k].
+      const double denom =
+          std::sqrt(h[k][k] * h[k][k] + h[k + 1][k] * h[k + 1][k]);
+      if (denom == 0.0) {
+        cs[k] = 1.0;
+        sn[k] = 0.0;
+      } else {
+        cs[k] = h[k][k] / denom;
+        sn[k] = h[k + 1][k] / denom;
+      }
+      h[k][k] = cs[k] * h[k][k] + sn[k] * h[k + 1][k];
+      h[k + 1][k] = 0.0;
+      g[k + 1] = -sn[k] * g[k];
+      g[k] = cs[k] * g[k];
+
+      result.relative_residual = std::abs(g[k + 1]) / b_norm;
+      if (result.relative_residual <= options.tolerance) {
+        ++k;
+        break;
+      }
+      if (basis.size() == k + 1) break;  // happy breakdown: exact solution
+    }
+
+    // Back substitution for y in H y = g, then x += V y.
+    std::vector<double> y(k, 0.0);
+    for (size_t i = k; i-- > 0;) {
+      double sum = g[i];
+      for (size_t j = i + 1; j < k; ++j) sum -= h[i][j] * y[j];
+      if (h[i][i] == 0.0) {
+        return FailedPreconditionError("GMRES breakdown: singular Hessenberg");
+      }
+      y[i] = sum / h[i][i];
+    }
+    for (size_t i = 0; i < k; ++i) Axpy(y[i], basis[i], result.x);
+
+    if (result.relative_residual <= options.tolerance) {
+      result.converged = true;
+      result.iterations = total_iters;
+      return result;
+    }
+  }
+
+  result.iterations = total_iters;
+  result.converged = result.relative_residual <= options.tolerance;
+  return result;
+}
+
+}  // namespace tpa::la

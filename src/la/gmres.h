@@ -1,0 +1,36 @@
+#ifndef TPA_LA_GMRES_H_
+#define TPA_LA_GMRES_H_
+
+#include <vector>
+
+#include "la/linear_operator.h"
+#include "util/status.h"
+
+namespace tpa::la {
+
+struct GmresOptions {
+  size_t restart = 30;        // Krylov subspace size before restarting
+  size_t max_iterations = 1000;  // total matvec budget
+  double tolerance = 1e-9;    // relative residual target ‖r‖₂/‖b‖₂
+};
+
+struct GmresResult {
+  std::vector<double> x;
+  double relative_residual = 0.0;
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Restarted GMRES(m) for the square system A x = b.
+///
+/// BePI's online phase solves its Schur-complement system with this routine;
+/// the operator is passed matrix-free so the Schur complement is never
+/// materialized.  Arnoldi uses modified Gram–Schmidt and the Hessenberg
+/// least-squares problem is solved incrementally with Givens rotations.
+StatusOr<GmresResult> Gmres(const LinearOperator& a,
+                            const std::vector<double>& b,
+                            const GmresOptions& options);
+
+}  // namespace tpa::la
+
+#endif  // TPA_LA_GMRES_H_

@@ -1,0 +1,27 @@
+#ifndef TPA_LA_LINEAR_OPERATOR_H_
+#define TPA_LA_LINEAR_OPERATOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace tpa::la {
+
+/// Matrix-free linear operator: y = A x.
+///
+/// The iterative solvers in this library (GMRES, subspace-iteration SVD)
+/// only need the action of a matrix, never its entries, which lets the graph
+/// methods hand in CSR matvecs, Schur complements, and shifted systems
+/// without materializing anything.
+struct LinearOperator {
+  size_t rows = 0;
+  size_t cols = 0;
+  /// Computes y = A x; y is pre-sized to `rows` and zeroed by the caller's
+  /// contract being: implementations must overwrite, not accumulate.
+  std::function<void(const std::vector<double>& x, std::vector<double>& y)>
+      apply;
+};
+
+}  // namespace tpa::la
+
+#endif  // TPA_LA_LINEAR_OPERATOR_H_

@@ -1,0 +1,89 @@
+#include "la/lu.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tpa::la {
+
+StatusOr<LuDecomposition> LuDecomposition::Compute(const DenseMatrix& a) {
+  if (a.rows() != a.cols()) {
+    return InvalidArgumentError("LU requires a square matrix");
+  }
+  const size_t n = a.rows();
+  DenseMatrix lu = a;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude entry in column k.
+    size_t pivot = k;
+    double best = std::abs(lu.At(k, k));
+    for (size_t r = k + 1; r < n; ++r) {
+      const double cand = std::abs(lu.At(r, k));
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (best == 0.0) {
+      return FailedPreconditionError("matrix is singular");
+    }
+    if (pivot != k) {
+      for (size_t c = 0; c < n; ++c) std::swap(lu.At(k, c), lu.At(pivot, c));
+      std::swap(perm[k], perm[pivot]);
+      sign = -sign;
+    }
+    const double diag = lu.At(k, k);
+    for (size_t r = k + 1; r < n; ++r) {
+      const double factor = lu.At(r, k) / diag;
+      lu.At(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (size_t c = k + 1; c < n; ++c) {
+        lu.At(r, c) -= factor * lu.At(k, c);
+      }
+    }
+  }
+  return LuDecomposition(std::move(lu), std::move(perm), sign);
+}
+
+std::vector<double> LuDecomposition::Solve(const std::vector<double>& b) const {
+  const size_t n = size();
+  TPA_CHECK_EQ(b.size(), n);
+  std::vector<double> x(n);
+  // Forward substitution on L (unit diagonal), applying the permutation.
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[perm_[i]];
+    for (size_t j = 0; j < i; ++j) sum -= lu_.At(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Back substitution on U.
+  for (size_t i = n; i-- > 0;) {
+    double sum = x[i];
+    for (size_t j = i + 1; j < n; ++j) sum -= lu_.At(i, j) * x[j];
+    x[i] = sum / lu_.At(i, i);
+  }
+  return x;
+}
+
+DenseMatrix LuDecomposition::Inverse() const {
+  const size_t n = size();
+  DenseMatrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    std::vector<double> col = Solve(e);
+    for (size_t r = 0; r < n; ++r) inv.At(r, c) = col[r];
+    e[c] = 0.0;
+  }
+  return inv;
+}
+
+double LuDecomposition::Determinant() const {
+  double det = perm_sign_;
+  for (size_t i = 0; i < size(); ++i) det *= lu_.At(i, i);
+  return det;
+}
+
+}  // namespace tpa::la

@@ -1,0 +1,44 @@
+#ifndef TPA_LA_LU_H_
+#define TPA_LA_LU_H_
+
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "util/status.h"
+
+namespace tpa::la {
+
+/// LU factorization with partial pivoting (PA = LU) of a square dense matrix.
+///
+/// Used by NB-LIN for the rank-t core matrix inverse and by BEAR/BePI for the
+/// small diagonal blocks produced by hub-and-spoke reordering.
+class LuDecomposition {
+ public:
+  /// Factorizes `a`.  Fails with FAILED_PRECONDITION if `a` is singular to
+  /// working precision.
+  static StatusOr<LuDecomposition> Compute(const DenseMatrix& a);
+
+  /// Solves A x = b.
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  /// Returns A^{-1} (column-by-column solve).
+  DenseMatrix Inverse() const;
+
+  /// det(A); may overflow to ±inf for large well-conditioned systems, fine
+  /// for the small blocks we factorize.
+  double Determinant() const;
+
+  size_t size() const { return lu_.rows(); }
+
+ private:
+  LuDecomposition(DenseMatrix lu, std::vector<size_t> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), perm_sign_(sign) {}
+
+  DenseMatrix lu_;            // packed L (unit diag, below) and U (on/above)
+  std::vector<size_t> perm_;  // row permutation: row i of PA is row perm_[i]
+  int perm_sign_;
+};
+
+}  // namespace tpa::la
+
+#endif  // TPA_LA_LU_H_

@@ -1,0 +1,88 @@
+#include "la/qr.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tpa::la {
+
+StatusOr<QrDecomposition> QrDecomposition::ComputeThin(const DenseMatrix& a) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (m < n) {
+    return InvalidArgumentError("thin QR requires rows >= cols");
+  }
+
+  DenseMatrix r_work = a;          // becomes R in its upper triangle
+  DenseMatrix v(m, n);             // Householder vectors, column k in col k
+  std::vector<double> betas(n, 0.0);
+
+  for (size_t k = 0; k < n; ++k) {
+    double norm_sq = 0.0;
+    for (size_t i = k; i < m; ++i) {
+      norm_sq += r_work.At(i, k) * r_work.At(i, k);
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm == 0.0) continue;  // zero column: reflector is identity
+
+    const double alpha = r_work.At(k, k) >= 0 ? -norm : norm;
+    // v = x - alpha * e_k on rows k..m-1.
+    for (size_t i = k; i < m; ++i) v.At(i, k) = r_work.At(i, k);
+    v.At(k, k) -= alpha;
+    double v_norm_sq = 0.0;
+    for (size_t i = k; i < m; ++i) v_norm_sq += v.At(i, k) * v.At(i, k);
+    if (v_norm_sq == 0.0) continue;
+    betas[k] = 2.0 / v_norm_sq;
+
+    // Apply (I - beta v v^T) to columns k..n-1 of r_work.
+    for (size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) dot += v.At(i, k) * r_work.At(i, j);
+      const double scale = betas[k] * dot;
+      if (scale == 0.0) continue;
+      for (size_t i = k; i < m; ++i) r_work.At(i, j) -= scale * v.At(i, k);
+    }
+  }
+
+  DenseMatrix r(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) r.At(i, j) = r_work.At(i, j);
+  }
+
+  // Thin Q: apply reflectors H_0 ... H_{n-1} in reverse to the first n
+  // columns of the identity (Q = H_0 H_1 ... H_{n-1} [I_n; 0]).
+  DenseMatrix q(m, n);
+  for (size_t j = 0; j < n; ++j) q.At(j, j) = 1.0;
+  for (size_t k = n; k-- > 0;) {
+    if (betas[k] == 0.0) continue;
+    for (size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) dot += v.At(i, k) * q.At(i, j);
+      const double scale = betas[k] * dot;
+      if (scale == 0.0) continue;
+      for (size_t i = k; i < m; ++i) q.At(i, j) -= scale * v.At(i, k);
+    }
+  }
+
+  return QrDecomposition(std::move(q), std::move(r));
+}
+
+StatusOr<std::vector<double>> QrDecomposition::LeastSquares(
+    const std::vector<double>& b) const {
+  TPA_CHECK_EQ(b.size(), q_.rows());
+  const size_t n = r_.cols();
+  std::vector<double> qtb = q_.MatVecTranspose(b);
+  // Back substitution on R x = Q^T b.
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    if (r_.At(i, i) == 0.0) {
+      return FailedPreconditionError("rank-deficient matrix in least squares");
+    }
+    double sum = qtb[i];
+    for (size_t j = i + 1; j < n; ++j) sum -= r_.At(i, j) * x[j];
+    x[i] = sum / r_.At(i, i);
+  }
+  return x;
+}
+
+}  // namespace tpa::la

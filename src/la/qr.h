@@ -1,0 +1,39 @@
+#ifndef TPA_LA_QR_H_
+#define TPA_LA_QR_H_
+
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "util/status.h"
+
+namespace tpa::la {
+
+/// Householder QR of a tall matrix A (rows >= cols), in thin form:
+/// A = Q R with Q (rows × cols) having orthonormal columns and R
+/// (cols × cols) upper triangular.
+///
+/// Used to orthonormalize the subspace basis in the truncated-SVD iteration
+/// (NB-LIN's preprocessing) and for least-squares sanity checks in tests.
+class QrDecomposition {
+ public:
+  /// Factorizes `a`.  Fails if rows < cols.
+  static StatusOr<QrDecomposition> ComputeThin(const DenseMatrix& a);
+
+  const DenseMatrix& q() const { return q_; }
+  const DenseMatrix& r() const { return r_; }
+
+  /// Solves min ‖A x − b‖₂ via R x = Q^T b.  Requires b.size() == rows.
+  /// Fails if R is singular (rank-deficient A).
+  StatusOr<std::vector<double>> LeastSquares(const std::vector<double>& b) const;
+
+ private:
+  QrDecomposition(DenseMatrix q, DenseMatrix r)
+      : q_(std::move(q)), r_(std::move(r)) {}
+
+  DenseMatrix q_;
+  DenseMatrix r_;
+};
+
+}  // namespace tpa::la
+
+#endif  // TPA_LA_QR_H_

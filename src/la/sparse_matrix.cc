@@ -1,0 +1,99 @@
+#include "la/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tpa::la {
+
+StatusOr<SparseMatrix> SparseMatrix::FromTriplets(
+    uint32_t rows, uint32_t cols, std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    if (t.row >= rows || t.col >= cols) {
+      return OutOfRangeError("triplet index out of range");
+    }
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;
+            });
+
+  std::vector<uint64_t> offsets(static_cast<size_t>(rows) + 1, 0);
+  std::vector<uint32_t> indices;
+  std::vector<double> values;
+  indices.reserve(triplets.size());
+  values.reserve(triplets.size());
+
+  size_t i = 0;
+  while (i < triplets.size()) {
+    const uint32_t r = triplets[i].row;
+    const uint32_t c = triplets[i].col;
+    double sum = 0.0;
+    while (i < triplets.size() && triplets[i].row == r &&
+           triplets[i].col == c) {
+      sum += triplets[i].value;
+      ++i;
+    }
+    if (sum != 0.0) {
+      indices.push_back(c);
+      values.push_back(sum);
+      ++offsets[r + 1];
+    }
+  }
+  for (size_t r = 1; r < offsets.size(); ++r) offsets[r] += offsets[r - 1];
+  return SparseMatrix(rows, cols, std::move(offsets), std::move(indices),
+                      std::move(values));
+}
+
+void SparseMatrix::MatVec(const std::vector<double>& x,
+                          std::vector<double>& y) const {
+  TPA_DCHECK(x.size() == cols_);
+  y.assign(rows_, 0.0);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const uint64_t begin = offsets_[r];
+    const uint64_t end = offsets_[r + 1];
+    for (uint64_t e = begin; e < end; ++e) sum += values_[e] * x[indices_[e]];
+    y[r] = sum;
+  }
+}
+
+void SparseMatrix::MatVecTranspose(const std::vector<double>& x,
+                                   std::vector<double>& y) const {
+  TPA_DCHECK(x.size() == rows_);
+  y.assign(cols_, 0.0);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const uint64_t begin = offsets_[r];
+    const uint64_t end = offsets_[r + 1];
+    for (uint64_t e = begin; e < end; ++e) y[indices_[e]] += values_[e] * xr;
+  }
+}
+
+SparseMatrix SparseMatrix::Dropped(double threshold) const {
+  std::vector<uint64_t> offsets(static_cast<size_t>(rows_) + 1, 0);
+  std::vector<uint32_t> indices;
+  std::vector<double> values;
+  for (uint32_t r = 0; r < rows_; ++r) {
+    for (uint64_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
+      if (std::abs(values_[e]) >= threshold) {
+        indices.push_back(indices_[e]);
+        values.push_back(values_[e]);
+        ++offsets[r + 1];
+      }
+    }
+  }
+  for (size_t r = 1; r < offsets.size(); ++r) offsets[r] += offsets[r - 1];
+  return SparseMatrix(rows_, cols_, std::move(offsets), std::move(indices),
+                      std::move(values));
+}
+
+size_t SparseMatrix::SizeBytes() const {
+  return offsets_.size() * sizeof(uint64_t) +
+         indices_.size() * sizeof(uint32_t) + values_.size() * sizeof(double);
+}
+
+}  // namespace tpa::la

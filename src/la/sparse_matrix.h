@@ -1,0 +1,77 @@
+#ifndef TPA_LA_SPARSE_MATRIX_H_
+#define TPA_LA_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tpa::la {
+
+/// Coordinate-form entry used to assemble sparse matrices.
+struct Triplet {
+  uint32_t row;
+  uint32_t col;
+  double value;
+};
+
+/// Immutable CSR sparse matrix of doubles.
+///
+/// This is the storage format for everything the block-elimination methods
+/// (BEAR, BePI) precompute: the partitioned H blocks, sparsified inverses,
+/// and Schur-complement factors.  Duplicate triplets are summed during
+/// assembly.
+class SparseMatrix {
+ public:
+  SparseMatrix() : rows_(0), cols_(0) {}
+
+  /// Assembles from triplets (any order; duplicates are summed; explicit
+  /// zeros are dropped).  Fails on out-of-range indices.
+  static StatusOr<SparseMatrix> FromTriplets(uint32_t rows, uint32_t cols,
+                                             std::vector<Triplet> triplets);
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  std::span<const uint32_t> RowIndices(uint32_t r) const {
+    return {indices_.data() + offsets_[r], indices_.data() + offsets_[r + 1]};
+  }
+  std::span<const double> RowValues(uint32_t r) const {
+    return {values_.data() + offsets_[r], values_.data() + offsets_[r + 1]};
+  }
+
+  /// y = A x (y overwritten).  Requires x.size() == cols().
+  void MatVec(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// y = A^T x (y overwritten).  Requires x.size() == rows().
+  void MatVecTranspose(const std::vector<double>& x,
+                       std::vector<double>& y) const;
+
+  /// Returns a copy with entries |v| < threshold removed (BEAR-APPROX's
+  /// drop-tolerance sparsification).
+  SparseMatrix Dropped(double threshold) const;
+
+  /// Logical storage bytes (offsets + indices + values).
+  size_t SizeBytes() const;
+
+ private:
+  SparseMatrix(uint32_t rows, uint32_t cols, std::vector<uint64_t> offsets,
+               std::vector<uint32_t> indices, std::vector<double> values)
+      : rows_(rows),
+        cols_(cols),
+        offsets_(std::move(offsets)),
+        indices_(std::move(indices)),
+        values_(std::move(values)) {}
+
+  uint32_t rows_;
+  uint32_t cols_;
+  std::vector<uint64_t> offsets_;   // size rows+1
+  std::vector<uint32_t> indices_;   // column ids, sorted within a row
+  std::vector<double> values_;
+};
+
+}  // namespace tpa::la
+
+#endif  // TPA_LA_SPARSE_MATRIX_H_

@@ -1,0 +1,82 @@
+#include "la/symmetric_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tpa::la {
+
+StatusOr<SymmetricEigen> ComputeSymmetricEigen(const DenseMatrix& a,
+                                               int max_sweeps, double tol) {
+  if (a.rows() != a.cols()) {
+    return InvalidArgumentError("symmetric eigen requires a square matrix");
+  }
+  const size_t n = a.rows();
+  DenseMatrix m = a;
+  DenseMatrix v = DenseMatrix::Identity(n);
+
+  auto off_diagonal_norm = [&m, n]() {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) sum += m.At(i, j) * m.At(i, j);
+    }
+    return std::sqrt(sum);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tol) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = m.At(p, q);
+        if (std::abs(apq) <= tol * 1e-3) continue;
+        const double app = m.At(p, p);
+        const double aqq = m.At(q, q);
+        // Classic Jacobi rotation annihilating m[p][q].
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double mkp = m.At(k, p);
+          const double mkq = m.At(k, q);
+          m.At(k, p) = c * mkp - s * mkq;
+          m.At(k, q) = s * mkp + c * mkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double mpk = m.At(p, k);
+          const double mqk = m.At(q, k);
+          m.At(p, k) = c * mpk - s * mqk;
+          m.At(q, k) = s * mpk + c * mqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v.At(k, p);
+          const double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by decreasing eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&m](size_t x, size_t y) {
+    return m.At(x, x) > m.At(y, y);
+  });
+
+  SymmetricEigen out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = DenseMatrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = m.At(order[j], order[j]);
+    for (size_t i = 0; i < n; ++i) {
+      out.eigenvectors.At(i, j) = v.At(i, order[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace tpa::la

@@ -1,0 +1,32 @@
+#ifndef TPA_LA_SYMMETRIC_EIGEN_H_
+#define TPA_LA_SYMMETRIC_EIGEN_H_
+
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "util/status.h"
+
+namespace tpa::la {
+
+/// Eigendecomposition of a small symmetric matrix via the cyclic Jacobi
+/// method.  A = V diag(w) V^T with orthonormal V.
+///
+/// This finishes the truncated SVD used by NB-LIN: after subspace iteration,
+/// the t×t Gram matrix B^T B is symmetric and tiny, so Jacobi is both simple
+/// and accurate.
+struct SymmetricEigen {
+  /// Eigenvalues in decreasing order.
+  std::vector<double> eigenvalues;
+  /// Column j of `eigenvectors` is the eigenvector for eigenvalues[j].
+  DenseMatrix eigenvectors;
+};
+
+/// Computes the decomposition.  `a` must be square and symmetric (only the
+/// upper triangle is read).  Fails on non-square input.
+StatusOr<SymmetricEigen> ComputeSymmetricEigen(const DenseMatrix& a,
+                                               int max_sweeps = 64,
+                                               double tol = 1e-12);
+
+}  // namespace tpa::la
+
+#endif  // TPA_LA_SYMMETRIC_EIGEN_H_

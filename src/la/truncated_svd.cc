@@ -1,0 +1,100 @@
+#include "la/truncated_svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/qr.h"
+#include "la/symmetric_eigen.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace tpa::la {
+
+namespace {
+
+/// Extracts column j of `m` into a vector.
+std::vector<double> Column(const DenseMatrix& m, size_t j) {
+  std::vector<double> col(m.rows());
+  for (size_t i = 0; i < m.rows(); ++i) col[i] = m.At(i, j);
+  return col;
+}
+
+void SetColumn(DenseMatrix& m, size_t j, const std::vector<double>& col) {
+  TPA_DCHECK(col.size() == m.rows());
+  for (size_t i = 0; i < m.rows(); ++i) m.At(i, j) = col[i];
+}
+
+/// Applies `op` to every column of `x`: returns [op(x_0) ... op(x_t)].
+StatusOr<DenseMatrix> ApplyToColumns(const LinearOperator& op,
+                                     const DenseMatrix& x) {
+  if (x.rows() != op.cols) {
+    return InvalidArgumentError("operator/column dimension mismatch");
+  }
+  DenseMatrix out(op.rows, x.cols());
+  std::vector<double> y(op.rows);
+  for (size_t j = 0; j < x.cols(); ++j) {
+    std::vector<double> col = Column(x, j);
+    op.apply(col, y);
+    SetColumn(out, j, y);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<TruncatedSvd> ComputeTruncatedSvd(const LinearOperator& a,
+                                           const LinearOperator& at,
+                                           const TruncatedSvdOptions& options) {
+  const size_t rank = options.rank;
+  if (rank == 0) return InvalidArgumentError("rank must be positive");
+  if (rank > std::min(a.rows, a.cols)) {
+    return InvalidArgumentError("rank exceeds matrix dimensions");
+  }
+  if (a.rows != at.cols || a.cols != at.rows) {
+    return InvalidArgumentError("A and A^T dimensions are inconsistent");
+  }
+
+  // Random start basis V (cols × rank), orthonormalized.
+  Rng rng(options.seed);
+  DenseMatrix v(a.cols, rank);
+  for (size_t i = 0; i < a.cols; ++i) {
+    for (size_t j = 0; j < rank; ++j) v.At(i, j) = rng.NextGaussian();
+  }
+  {
+    TPA_ASSIGN_OR_RETURN(QrDecomposition qr, QrDecomposition::ComputeThin(v));
+    v = qr.q();
+  }
+
+  // Subspace iteration on A^T A, re-orthonormalizing each sweep.
+  for (int iter = 0; iter < options.power_iterations; ++iter) {
+    TPA_ASSIGN_OR_RETURN(DenseMatrix w, ApplyToColumns(a, v));    // A V
+    TPA_ASSIGN_OR_RETURN(DenseMatrix z, ApplyToColumns(at, w));   // A^T A V
+    TPA_ASSIGN_OR_RETURN(QrDecomposition qr, QrDecomposition::ComputeThin(z));
+    v = qr.q();
+  }
+
+  // Rayleigh–Ritz: B = A V; eigendecompose the small Gram matrix B^T B.
+  TPA_ASSIGN_OR_RETURN(DenseMatrix b, ApplyToColumns(a, v));
+  DenseMatrix gram = b.Transposed().MatMul(b);  // rank × rank
+  TPA_ASSIGN_OR_RETURN(SymmetricEigen eig, ComputeSymmetricEigen(gram));
+
+  TruncatedSvd out;
+  out.singular.resize(rank);
+  for (size_t j = 0; j < rank; ++j) {
+    out.singular[j] = std::sqrt(std::max(0.0, eig.eigenvalues[j]));
+  }
+  // Right singular vectors: V_final = V Z.
+  out.v = v.MatMul(eig.eigenvectors);
+  // Left singular vectors: U = B Z / sigma (columns with sigma==0 are left
+  // as zero; they carry no energy).
+  DenseMatrix bz = b.MatMul(eig.eigenvectors);
+  out.u = DenseMatrix(a.rows, rank);
+  for (size_t j = 0; j < rank; ++j) {
+    const double sigma = out.singular[j];
+    if (sigma <= 0.0) continue;
+    for (size_t i = 0; i < a.rows; ++i) out.u.At(i, j) = bz.At(i, j) / sigma;
+  }
+  return out;
+}
+
+}  // namespace tpa::la

@@ -1,0 +1,42 @@
+#ifndef TPA_LA_TRUNCATED_SVD_H_
+#define TPA_LA_TRUNCATED_SVD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "la/linear_operator.h"
+#include "util/status.h"
+
+namespace tpa::la {
+
+/// Rank-t truncated SVD, A ≈ U diag(s) V^T, computed matrix-free by subspace
+/// (block power) iteration on A^T A followed by a small dense
+/// eigendecomposition.  This is NB-LIN's preprocessing workhorse.
+struct TruncatedSvd {
+  DenseMatrix u;                 // rows × t, orthonormal columns
+  std::vector<double> singular;  // t values, decreasing
+  DenseMatrix v;                 // cols × t, orthonormal columns
+
+  /// Logical bytes of the three factors (for preprocessed-size accounting).
+  size_t SizeBytes() const {
+    return u.SizeBytes() + v.SizeBytes() + singular.size() * sizeof(double);
+  }
+};
+
+struct TruncatedSvdOptions {
+  size_t rank = 10;
+  int power_iterations = 12;  // subspace iteration sweeps
+  uint64_t seed = 1;          // random start basis
+};
+
+/// Computes the decomposition of the operator pair (A, A^T).
+/// `a` maps cols→rows, `at` maps rows→cols.  Fails if rank is 0 or exceeds
+/// min(rows, cols).
+StatusOr<TruncatedSvd> ComputeTruncatedSvd(const LinearOperator& a,
+                                           const LinearOperator& at,
+                                           const TruncatedSvdOptions& options);
+
+}  // namespace tpa::la
+
+#endif  // TPA_LA_TRUNCATED_SVD_H_

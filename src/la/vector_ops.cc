@@ -1,0 +1,66 @@
+#include "la/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tpa::la {
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  TPA_DCHECK(x.size() == y.size());
+  const size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::vector<double>& x) {
+  for (double& v : x) v *= alpha;
+}
+
+double Dot(const std::vector<double>& x, const std::vector<double>& y) {
+  TPA_DCHECK(x.size() == y.size());
+  double sum = 0.0;
+  const size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+double NormL1(const std::vector<double>& x) {
+  double sum = 0.0;
+  for (double v : x) sum += std::abs(v);
+  return sum;
+}
+
+double NormL2(const std::vector<double>& x) { return std::sqrt(Dot(x, x)); }
+
+double NormInf(const std::vector<double>& x) {
+  double best = 0.0;
+  for (double v : x) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double L1Distance(const std::vector<double>& x, const std::vector<double>& y) {
+  TPA_DCHECK(x.size() == y.size());
+  double sum = 0.0;
+  const size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) sum += std::abs(x[i] - y[i]);
+  return sum;
+}
+
+void SetZero(std::vector<double>& x) { std::fill(x.begin(), x.end(), 0.0); }
+
+std::vector<size_t> TopKIndices(const std::vector<double>& x, size_t k) {
+  k = std::min(k, x.size());
+  std::vector<size_t> idx(x.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  auto better = [&x](size_t a, size_t b) {
+    if (x[a] != x[b]) return x[a] > x[b];
+    return a < b;
+  };
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k), idx.end(),
+                    better);
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace tpa::la

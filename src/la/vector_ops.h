@@ -1,0 +1,44 @@
+#ifndef TPA_LA_VECTOR_OPS_H_
+#define TPA_LA_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tpa::la {
+
+/// BLAS-1 style kernels over std::vector<double>.  All score vectors in the
+/// library (RWR vectors, CPI interim vectors, residuals) use this
+/// representation; keeping the kernels in one place makes the cost model of
+/// every method explicit.
+
+/// y += alpha * x.  Sizes must match.
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+
+/// x *= alpha.
+void Scale(double alpha, std::vector<double>& x);
+
+/// Dot product <x, y>.  Sizes must match.
+double Dot(const std::vector<double>& x, const std::vector<double>& y);
+
+/// L1 norm: sum of |x_i|.
+double NormL1(const std::vector<double>& x);
+
+/// L2 (Euclidean) norm.
+double NormL2(const std::vector<double>& x);
+
+/// Max (infinity) norm.
+double NormInf(const std::vector<double>& x);
+
+/// ‖x − y‖₁; the paper's error metric.  Sizes must match.
+double L1Distance(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Sets all entries to zero (keeps capacity).
+void SetZero(std::vector<double>& x);
+
+/// Returns the indices of the k largest entries, in decreasing value order
+/// (ties broken by smaller index first).  k is clamped to x.size().
+std::vector<size_t> TopKIndices(const std::vector<double>& x, size_t k);
+
+}  // namespace tpa::la
+
+#endif  // TPA_LA_VECTOR_OPS_H_

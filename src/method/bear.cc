@@ -1,0 +1,166 @@
+#include "method/bear.h"
+
+#include <cmath>
+
+#include "la/lu.h"
+#include "la/vector_ops.h"
+#include "util/check.h"
+
+namespace tpa {
+
+Status BearApprox::Preprocess(const Graph& graph, MemoryBudget& budget) {
+  if (!(options_.restart_probability > 0.0 &&
+        options_.restart_probability < 1.0)) {
+    return InvalidArgumentError("restart probability must be in (0,1)");
+  }
+  graph_ = &graph;
+  const double drop =
+      options_.drop_tolerance >= 0.0
+          ? options_.drop_tolerance
+          : 1.0 / std::sqrt(static_cast<double>(graph.num_nodes()));
+
+  TPA_ASSIGN_OR_RETURN(
+      HPartition partition,
+      BuildHPartition(graph, options_.restart_probability, options_.slashburn));
+  const size_t n2 = partition.n2();
+
+  // Fail fast on the dense Schur workspace (S and S^{-1}) before doing any
+  // heavy work — this is where the paper's out-of-memory runs die.
+  const size_t schur_peak = 2 * n2 * n2 * sizeof(double);
+  TPA_RETURN_IF_ERROR(budget.Reserve(schur_peak));
+  TPA_RETURN_IF_ERROR(budget.Reserve(partition.SizeBytes()));
+
+  TPA_ASSIGN_OR_RETURN(
+      la::SparseMatrix h11_inv,
+      InvertBlockDiagonal(partition.h11, partition.ordering.blocks, drop,
+                          budget));
+
+  // S = H22 − H21 H11^{-1} H12, built row by row:
+  //   S[i,:] = H22[i,:] − z H12   with   z = H21[i,:] · H11^{-1}.
+  la::DenseMatrix s(n2, n2);
+  const NodeId n1 = partition.n1();
+  std::vector<double> z(n1);
+  for (uint32_t i = 0; i < n2; ++i) {
+    std::fill(z.begin(), z.end(), 0.0);
+    {
+      const auto cols = partition.h21.RowIndices(i);
+      const auto vals = partition.h21.RowValues(i);
+      for (size_t e = 0; e < cols.size(); ++e) {
+        // z += H21[i,k] · (row k of H11^{-1}); the inverse is symmetric in
+        // *structure* only, so use its rows via the transpose identity:
+        // (H21[i,:]·M)[j] = Σ_k H21[i,k]·M[k,j].
+        const auto inv_cols = h11_inv.RowIndices(cols[e]);
+        const auto inv_vals = h11_inv.RowValues(cols[e]);
+        for (size_t f = 0; f < inv_cols.size(); ++f) {
+          z[inv_cols[f]] += vals[e] * inv_vals[f];
+        }
+      }
+    }
+    double* s_row = s.RowPtr(i);
+    {
+      const auto cols = partition.h22.RowIndices(i);
+      const auto vals = partition.h22.RowValues(i);
+      for (size_t e = 0; e < cols.size(); ++e) s_row[cols[e]] += vals[e];
+    }
+    for (uint32_t j = 0; j < n1; ++j) {
+      if (z[j] == 0.0) continue;
+      const auto cols = partition.h12.RowIndices(j);
+      const auto vals = partition.h12.RowValues(j);
+      for (size_t e = 0; e < cols.size(); ++e) {
+        s_row[cols[e]] -= z[j] * vals[e];
+      }
+    }
+  }
+
+  la::SparseMatrix s_inv;
+  if (n2 > 0) {
+    TPA_ASSIGN_OR_RETURN(la::LuDecomposition lu,
+                         la::LuDecomposition::Compute(s));
+    la::DenseMatrix inverse = lu.Inverse();
+    std::vector<la::Triplet> kept;
+    for (uint32_t r = 0; r < n2; ++r) {
+      for (uint32_t c = 0; c < n2; ++c) {
+        const double value = inverse.At(r, c);
+        if (value != 0.0 && std::abs(value) >= drop) {
+          kept.push_back({r, c, value});
+        }
+      }
+    }
+    TPA_ASSIGN_OR_RETURN(
+        s_inv, la::SparseMatrix::FromTriplets(static_cast<uint32_t>(n2),
+                                              static_cast<uint32_t>(n2),
+                                              std::move(kept)));
+  } else {
+    TPA_ASSIGN_OR_RETURN(s_inv, la::SparseMatrix::FromTriplets(0, 0, {}));
+  }
+
+  // Swap the dense Schur scratch for the retained sparse inverse.
+  budget.Release(schur_peak);
+  TPA_RETURN_IF_ERROR(budget.Reserve(s_inv.SizeBytes()));
+
+  partition_.emplace(std::move(partition));
+  h11_inv_ = std::move(h11_inv);
+  s_inv_ = std::move(s_inv);
+  return OkStatus();
+}
+
+StatusOr<std::vector<double>> BearApprox::Query(NodeId seed) {
+  if (!partition_.has_value()) {
+    return FailedPreconditionError("Preprocess must be called before Query");
+  }
+  if (seed >= graph_->num_nodes()) {
+    return OutOfRangeError("seed out of range");
+  }
+  const HPartition& part = *partition_;
+  const NodeId n1 = part.n1();
+  const NodeId n2 = part.n2();
+  const double c = options_.restart_probability;
+  const NodeId p = part.ordering.new_of_old[seed];
+
+  // q split into spoke / hub parts (a unit vector).
+  std::vector<double> q1(n1, 0.0), q2(n2, 0.0);
+  if (p < n1) {
+    q1[p] = 1.0;
+  } else {
+    q2[p - n1] = 1.0;
+  }
+
+  // t1 = H11^{-1} q1
+  std::vector<double> t1(n1, 0.0);
+  h11_inv_.MatVec(q1, t1);
+  // rhs2 = q2 − H21 t1
+  std::vector<double> rhs2(n2, 0.0);
+  part.h21.MatVec(t1, rhs2);
+  for (NodeId i = 0; i < n2; ++i) rhs2[i] = q2[i] - rhs2[i];
+  // r2 = c · S^{-1} rhs2
+  std::vector<double> r2(n2, 0.0);
+  s_inv_.MatVec(rhs2, r2);
+  la::Scale(c, r2);
+  // r1 = H11^{-1}(c q1 − H12 r2) = c t1 − H11^{-1} (H12 r2)
+  std::vector<double> w(n1, 0.0);
+  part.h12.MatVec(r2, w);
+  std::vector<double> correction(n1, 0.0);
+  h11_inv_.MatVec(w, correction);
+  std::vector<double> r1 = t1;
+  la::Scale(c, r1);
+  la::Axpy(-1.0, correction, r1);
+
+  // Back to original node ids.
+  std::vector<double> scores(graph_->num_nodes(), 0.0);
+  for (NodeId pos = 0; pos < n1; ++pos) {
+    scores[part.ordering.old_of_new[pos]] = r1[pos];
+  }
+  for (NodeId pos = 0; pos < n2; ++pos) {
+    scores[part.ordering.old_of_new[n1 + pos]] = r2[pos];
+  }
+  return scores;
+}
+
+size_t BearApprox::PreprocessedBytes() const {
+  if (!partition_.has_value()) return 0;
+  return partition_->h12.SizeBytes() + partition_->h21.SizeBytes() +
+         h11_inv_.SizeBytes() + s_inv_.SizeBytes() +
+         partition_->ordering.old_of_new.size() * sizeof(NodeId) * 2;
+}
+
+}  // namespace tpa

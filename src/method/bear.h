@@ -1,0 +1,55 @@
+#ifndef TPA_METHOD_BEAR_H_
+#define TPA_METHOD_BEAR_H_
+
+#include <optional>
+
+#include "method/block_elimination.h"
+#include "method/rwr_method.h"
+
+namespace tpa {
+
+struct BearOptions {
+  double restart_probability = 0.15;
+  /// Drop tolerance for stored inverses; negative selects the paper's
+  /// n^{-1/2}.
+  double drop_tolerance = -1.0;
+  SlashBurnOptions slashburn = {
+      .hub_fraction_per_round = 0.02,
+      .max_spoke_size = 512,
+      .max_hub_fraction = 0.18,
+  };
+};
+
+/// BEAR-APPROX (Shin, Jung, Sael & Kang, "BEAR: Block elimination approach
+/// for random walk with restart on large graphs", SIGMOD 2015).
+///
+/// Preprocessing reorders the graph hub-and-spoke (SlashBurn), inverts the
+/// block-diagonal spoke system H11 block by block, materializes the hub
+/// Schur complement S = H22 − H21 H11^{-1} H12, inverts it densely, and
+/// sparsifies everything with the drop tolerance.  The dense n2×n2 Schur
+/// work is the method's scalability wall: preprocessing takes Θ(n2³) time
+/// and Θ(n2²) peak memory, which is why the paper reports OOM from Pokec
+/// upward — reproduced here through the memory budget.
+///
+/// Online phase is four sparse matvecs (fast, like the paper's Figure 1(c)).
+class BearApprox final : public RwrMethod {
+ public:
+  explicit BearApprox(BearOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "BEAR-APPROX"; }
+
+  Status Preprocess(const Graph& graph, MemoryBudget& budget) override;
+  StatusOr<std::vector<double>> Query(NodeId seed) override;
+  size_t PreprocessedBytes() const override;
+
+ private:
+  BearOptions options_;
+  const Graph* graph_ = nullptr;
+  std::optional<HPartition> partition_;
+  la::SparseMatrix h11_inv_;  // sparsified block-diagonal inverse
+  la::SparseMatrix s_inv_;    // sparsified Schur complement inverse
+};
+
+}  // namespace tpa
+
+#endif  // TPA_METHOD_BEAR_H_

@@ -1,0 +1,107 @@
+#include "method/bepi.h"
+
+#include "la/vector_ops.h"
+
+namespace tpa {
+
+Status Bepi::Preprocess(const Graph& graph, MemoryBudget& budget) {
+  if (!(options_.restart_probability > 0.0 &&
+        options_.restart_probability < 1.0)) {
+    return InvalidArgumentError("restart probability must be in (0,1)");
+  }
+  graph_ = &graph;
+
+  TPA_ASSIGN_OR_RETURN(
+      HPartition partition,
+      BuildHPartition(graph, options_.restart_probability, options_.slashburn));
+  TPA_RETURN_IF_ERROR(budget.Reserve(partition.SizeBytes()));
+
+  // Exact (undropped) block inverses: the blocks are small by construction.
+  TPA_ASSIGN_OR_RETURN(la::SparseMatrix h11_inv,
+                       InvertBlockDiagonal(partition.h11,
+                                           partition.ordering.blocks,
+                                           /*drop_tolerance=*/0.0, budget));
+  partition_.emplace(std::move(partition));
+  h11_inv_ = std::move(h11_inv);
+  return OkStatus();
+}
+
+StatusOr<std::vector<double>> Bepi::Query(NodeId seed) {
+  if (!partition_.has_value()) {
+    return FailedPreconditionError("Preprocess must be called before Query");
+  }
+  if (seed >= graph_->num_nodes()) {
+    return OutOfRangeError("seed out of range");
+  }
+  const HPartition& part = *partition_;
+  const NodeId n1 = part.n1();
+  const NodeId n2 = part.n2();
+  const double c = options_.restart_probability;
+  const NodeId p = part.ordering.new_of_old[seed];
+
+  std::vector<double> q1(n1, 0.0), q2(n2, 0.0);
+  if (p < n1) {
+    q1[p] = 1.0;
+  } else {
+    q2[p - n1] = 1.0;
+  }
+
+  // rhs = c (q2 − H21 H11^{-1} q1).
+  std::vector<double> t1(n1, 0.0);
+  h11_inv_.MatVec(q1, t1);
+  std::vector<double> rhs(n2, 0.0);
+  part.h21.MatVec(t1, rhs);
+  for (NodeId i = 0; i < n2; ++i) rhs[i] = c * (q2[i] - rhs[i]);
+
+  // Matrix-free Schur operator: y = H22 x − H21 H11^{-1} H12 x.
+  std::vector<double> r2(n2, 0.0);
+  last_gmres_iterations_ = 0;
+  if (n2 > 0) {
+    std::vector<double> w1(n1), w2(n1), y22(n2), y21(n2);
+    la::LinearOperator schur{
+        n2, n2,
+        [&](const std::vector<double>& x, std::vector<double>& y) {
+          part.h12.MatVec(x, w1);        // H12 x
+          h11_inv_.MatVec(w1, w2);       // H11^{-1} H12 x
+          part.h21.MatVec(w2, y21);      // H21 ...
+          part.h22.MatVec(x, y22);       // H22 x
+          y.resize(n2);
+          for (NodeId i = 0; i < n2; ++i) y[i] = y22[i] - y21[i];
+        }};
+
+    la::GmresOptions gmres;
+    gmres.tolerance = options_.gmres_tolerance;
+    gmres.restart = options_.gmres_restart;
+    gmres.max_iterations = options_.gmres_max_iterations;
+    TPA_ASSIGN_OR_RETURN(la::GmresResult solved, la::Gmres(schur, rhs, gmres));
+    if (!solved.converged) {
+      return InternalError("BePI GMRES did not converge");
+    }
+    r2 = std::move(solved.x);
+    last_gmres_iterations_ = solved.iterations;
+  }
+
+  // r1 = H11^{-1}(c q1 − H12 r2).
+  std::vector<double> w(n1, 0.0);
+  part.h12.MatVec(r2, w);
+  for (NodeId i = 0; i < n1; ++i) w[i] = c * q1[i] - w[i];
+  std::vector<double> r1(n1, 0.0);
+  h11_inv_.MatVec(w, r1);
+
+  std::vector<double> scores(graph_->num_nodes(), 0.0);
+  for (NodeId pos = 0; pos < n1; ++pos) {
+    scores[part.ordering.old_of_new[pos]] = r1[pos];
+  }
+  for (NodeId pos = 0; pos < n2; ++pos) {
+    scores[part.ordering.old_of_new[n1 + pos]] = r2[pos];
+  }
+  return scores;
+}
+
+size_t Bepi::PreprocessedBytes() const {
+  if (!partition_.has_value()) return 0;
+  return partition_->SizeBytes() + h11_inv_.SizeBytes() +
+         partition_->ordering.old_of_new.size() * sizeof(NodeId) * 2;
+}
+
+}  // namespace tpa

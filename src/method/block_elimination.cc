@@ -1,0 +1,132 @@
+#include "method/block_elimination.h"
+
+#include <cmath>
+
+#include "la/lu.h"
+#include "util/check.h"
+
+namespace tpa {
+
+StatusOr<HPartition> BuildHPartition(const Graph& graph,
+                                     double restart_probability,
+                                     const SlashBurnOptions& slashburn) {
+  if (!(restart_probability > 0.0 && restart_probability < 1.0)) {
+    return InvalidArgumentError("restart probability must be in (0,1)");
+  }
+  TPA_ASSIGN_OR_RETURN(HubSpokeOrdering ordering, SlashBurn(graph, slashburn));
+
+  const NodeId n = graph.num_nodes();
+  const NodeId n1 = ordering.num_spokes;
+  const NodeId n2 = ordering.num_hubs();
+  const double decay = 1.0 - restart_probability;
+
+  std::vector<la::Triplet> t11, t12, t21, t22;
+  // Identity diagonal.
+  for (NodeId p = 0; p < n; ++p) {
+    if (p < n1) {
+      t11.push_back({p, p, 1.0});
+    } else {
+      t22.push_back({p - n1, p - n1, 1.0});
+    }
+  }
+  // −(1-c)·Ã^T: edge u→v contributes −(1-c)/outdeg(u) at (new(v), new(u)).
+  for (NodeId u = 0; u < n; ++u) {
+    const auto neighbors = graph.OutNeighbors(u);
+    if (neighbors.empty()) continue;
+    const double value = -decay / static_cast<double>(neighbors.size());
+    const NodeId pu = ordering.new_of_old[u];
+    for (NodeId v : neighbors) {
+      const NodeId pv = ordering.new_of_old[v];
+      if (pv < n1 && pu < n1) {
+        t11.push_back({pv, pu, value});
+      } else if (pv < n1) {
+        t12.push_back({pv, pu - n1, value});
+      } else if (pu < n1) {
+        t21.push_back({pv - n1, pu, value});
+      } else {
+        t22.push_back({pv - n1, pu - n1, value});
+      }
+    }
+  }
+
+  HPartition partition;
+  TPA_ASSIGN_OR_RETURN(partition.h11,
+                       la::SparseMatrix::FromTriplets(n1, n1, std::move(t11)));
+  TPA_ASSIGN_OR_RETURN(partition.h12,
+                       la::SparseMatrix::FromTriplets(n1, n2, std::move(t12)));
+  TPA_ASSIGN_OR_RETURN(partition.h21,
+                       la::SparseMatrix::FromTriplets(n2, n1, std::move(t21)));
+  TPA_ASSIGN_OR_RETURN(partition.h22,
+                       la::SparseMatrix::FromTriplets(n2, n2, std::move(t22)));
+  partition.ordering = std::move(ordering);
+  return partition;
+}
+
+StatusOr<la::SparseMatrix> InvertBlockDiagonal(
+    const la::SparseMatrix& h11,
+    const std::vector<std::pair<NodeId, NodeId>>& blocks, double drop_tolerance,
+    MemoryBudget& budget) {
+  if (drop_tolerance < 0.0) {
+    return InvalidArgumentError("drop_tolerance must be non-negative");
+  }
+  std::vector<la::Triplet> triplets;
+  size_t reserved_storage = 0;
+
+  for (const auto& [begin, end] : blocks) {
+    const uint32_t b = end - begin;
+    TPA_CHECK_GT(b, 0u);
+    const size_t scratch = 2 * static_cast<size_t>(b) * b * sizeof(double);
+    TPA_RETURN_IF_ERROR(budget.Reserve(scratch));
+
+    // Extract the dense block; H11's block-diagonality guarantees all
+    // nonzeros of these rows fall inside [begin, end).
+    la::DenseMatrix dense(b, b);
+    for (uint32_t r = begin; r < end; ++r) {
+      const auto cols = h11.RowIndices(r);
+      const auto vals = h11.RowValues(r);
+      for (size_t e = 0; e < cols.size(); ++e) {
+        if (cols[e] < begin || cols[e] >= end) {
+          budget.Release(scratch);
+          return InternalError(
+              "H11 is not block diagonal: SlashBurn ordering violated");
+        }
+        dense.At(r - begin, cols[e] - begin) = vals[e];
+      }
+    }
+
+    auto lu = la::LuDecomposition::Compute(dense);
+    if (!lu.ok()) {
+      budget.Release(scratch);
+      return lu.status();
+    }
+    la::DenseMatrix inverse = lu->Inverse();
+
+    size_t kept = 0;
+    for (uint32_t r = 0; r < b; ++r) {
+      for (uint32_t c = 0; c < b; ++c) {
+        const double value = inverse.At(r, c);
+        if (value != 0.0 && std::abs(value) >= drop_tolerance) {
+          triplets.push_back({begin + r, begin + c, value});
+          ++kept;
+        }
+      }
+    }
+    budget.Release(scratch);
+    const size_t stored = kept * sizeof(la::Triplet);
+    TPA_RETURN_IF_ERROR(budget.Reserve(stored));
+    reserved_storage += stored;
+  }
+
+  auto result = la::SparseMatrix::FromTriplets(h11.rows(), h11.cols(),
+                                               std::move(triplets));
+  if (!result.ok()) {
+    budget.Release(reserved_storage);
+    return result.status();
+  }
+  // Swap the triplet reservation for the final CSR footprint.
+  budget.Release(reserved_storage);
+  TPA_RETURN_IF_ERROR(budget.Reserve(result->SizeBytes()));
+  return result;
+}
+
+}  // namespace tpa

@@ -1,0 +1,58 @@
+#ifndef TPA_METHOD_BLOCK_ELIMINATION_H_
+#define TPA_METHOD_BLOCK_ELIMINATION_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "la/sparse_matrix.h"
+#include "reorder/slashburn.h"
+#include "util/memory_budget.h"
+#include "util/status.h"
+
+namespace tpa {
+
+/// The reordered linear system shared by the block-elimination methods
+/// (BEAR, BePI).  With P the hub-and-spoke permutation, the RWR fixed point
+/// (I − (1-c)Ã^T) r = c·q becomes H r' = c·q' where
+///
+///   H = [ H11  H12 ]   spokes (n1, first)
+///       [ H21  H22 ]   hubs   (n2, last)
+///
+/// and H11 is block diagonal with the SlashBurn spoke blocks.
+struct HPartition {
+  HubSpokeOrdering ordering;
+  la::SparseMatrix h11;  // n1 × n1, block diagonal
+  la::SparseMatrix h12;  // n1 × n2
+  la::SparseMatrix h21;  // n2 × n1
+  la::SparseMatrix h22;  // n2 × n2
+
+  NodeId n1() const { return ordering.num_spokes; }
+  NodeId n2() const { return ordering.num_hubs(); }
+
+  size_t SizeBytes() const {
+    return h11.SizeBytes() + h12.SizeBytes() + h21.SizeBytes() +
+           h22.SizeBytes();
+  }
+};
+
+/// Runs SlashBurn and assembles the four H blocks.
+StatusOr<HPartition> BuildHPartition(const Graph& graph,
+                                     double restart_probability,
+                                     const SlashBurnOptions& slashburn);
+
+/// Inverts the block-diagonal H11 block by block (dense LU per block) and
+/// returns the inverse as one sparse matrix, with entries below
+/// `drop_tolerance` removed (pass 0 to keep everything — BePI keeps exact
+/// inverses, BEAR-APPROX drops).
+///
+/// Reserves the per-block dense scratch and the retained storage against
+/// `budget`; scratch is released before returning.
+StatusOr<la::SparseMatrix> InvertBlockDiagonal(
+    const la::SparseMatrix& h11,
+    const std::vector<std::pair<NodeId, NodeId>>& blocks, double drop_tolerance,
+    MemoryBudget& budget);
+
+}  // namespace tpa
+
+#endif  // TPA_METHOD_BLOCK_ELIMINATION_H_

@@ -1,0 +1,98 @@
+#include "method/brppr.h"
+
+#include "core/cpi.h"
+#include "la/vector_ops.h"
+
+namespace tpa {
+
+Status Brppr::Preprocess(const Graph& graph, MemoryBudget& budget) {
+  (void)budget;
+  TPA_RETURN_IF_ERROR(ValidateCpiParameters(options_.restart_probability,
+                                            options_.tolerance));
+  if (options_.expansion_threshold <= 0.0) {
+    return InvalidArgumentError("expansion_threshold must be positive");
+  }
+  if (options_.max_iterations < 1) {
+    return InvalidArgumentError("max_iterations must be positive");
+  }
+  graph_ = &graph;
+  return OkStatus();
+}
+
+StatusOr<std::vector<double>> Brppr::Query(NodeId seed) {
+  if (graph_ == nullptr) {
+    return FailedPreconditionError("Preprocess must be called before Query");
+  }
+  if (seed >= graph_->num_nodes()) {
+    return OutOfRangeError("seed out of range");
+  }
+  const Graph& graph = *graph_;
+  const NodeId n = graph.num_nodes();
+  const double c = options_.restart_probability;
+
+  std::vector<double> scores(n, 0.0);   // accumulated RWR estimate
+  std::vector<double> interim(n, 0.0);  // x(i), propagating mass
+  std::vector<double> parked(n, 0.0);   // mass held at inactive nodes
+  std::vector<bool> active(n, false);
+  std::vector<NodeId> active_list;
+
+  active[seed] = true;
+  active_list.push_back(seed);
+  interim[seed] = c;
+  scores[seed] += c;
+  double interim_mass = c;
+
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    if (interim_mass < options_.tolerance) break;
+
+    // Propagate one step, but only out of active nodes.
+    for (NodeId u : active_list) {
+      const double x_u = interim[u];
+      if (x_u == 0.0) continue;
+      interim[u] = 0.0;
+      const uint32_t deg = graph.OutDegree(u);
+      if (deg == 0) continue;  // dangling mass evaporates, as in CPI
+      const double share = (1.0 - c) * x_u / static_cast<double>(deg);
+      for (NodeId v : graph.OutNeighbors(u)) next[v] += share;
+    }
+
+    // Activation sweep: active nodes keep their mass flowing; inactive ones
+    // park it until the expansion threshold is crossed.
+    interim_mass = 0.0;
+    for (NodeId u : active_list) {
+      if (next[u] == 0.0) continue;
+      interim[u] = next[u];
+      scores[u] += next[u];
+      interim_mass += next[u];
+      next[u] = 0.0;
+    }
+    // Scan for newly parked mass.  `next` only has nonzeros at out-neighbors
+    // of previously active nodes, so iterate those neighborhoods.
+    for (size_t idx = active_list.size(); idx-- > 0;) {
+      const NodeId u = active_list[idx];
+      for (NodeId v : graph.OutNeighbors(u)) {
+        if (next[v] == 0.0) continue;
+        parked[v] += next[v];
+        next[v] = 0.0;
+        if (!active[v] && parked[v] >= options_.expansion_threshold) {
+          active[v] = true;
+          active_list.push_back(v);
+          // Release parked mass into the propagation.
+          interim[v] += parked[v];
+          scores[v] += parked[v];
+          interim_mass += parked[v];
+          parked[v] = 0.0;
+        }
+      }
+    }
+  }
+
+  // Parked mass that never activated is reported where it sits — the
+  // boundary approximation of the original method.
+  la::Axpy(1.0, parked, scores);
+  last_active_count_ = active_list.size();
+  return scores;
+}
+
+}  // namespace tpa

@@ -1,0 +1,55 @@
+#ifndef TPA_METHOD_BRPPR_H_
+#define TPA_METHOD_BRPPR_H_
+
+#include "method/rwr_method.h"
+
+namespace tpa {
+
+/// Parameters of boundary-restricted personalized PageRank.
+struct BrpprOptions {
+  double restart_probability = 0.15;
+  /// Expansion threshold: an inactive node joins the active set once the
+  /// score mass parked on it reaches this value (the paper sets 1e-4 for
+  /// the RPPR/BRPPR competitors).
+  double expansion_threshold = 1e-4;
+  /// Global convergence tolerance on the propagating interim mass.
+  double tolerance = 1e-9;
+  /// Safety cap on propagation rounds.
+  int max_iterations = 1000;
+};
+
+/// BRPPR (Gleich & Polito, "Approximating personalized PageRank with
+/// minimal use of web graph data").
+///
+/// The method restricts power iteration to an *active* vertex set that
+/// starts as {seed} and grows lazily: score propagates only out of active
+/// nodes; mass arriving at an inactive node is parked there, and the node is
+/// activated (its parked mass released into the propagation) only when the
+/// parked mass crosses `expansion_threshold`.  Mass that never crosses the
+/// threshold stays parked, which is exactly the approximation error — the
+/// method reads only the subgraph around the seed, its selling point on
+/// web-scale graphs.
+///
+/// Online-only: no preprocessing phase, PreprocessedBytes() == 0.
+class Brppr final : public RwrMethod {
+ public:
+  explicit Brppr(BrpprOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "BRPPR"; }
+
+  Status Preprocess(const Graph& graph, MemoryBudget& budget) override;
+  StatusOr<std::vector<double>> Query(NodeId seed) override;
+  size_t PreprocessedBytes() const override { return 0; }
+
+  /// Active-set size of the last query (experiment diagnostics).
+  size_t last_active_count() const { return last_active_count_; }
+
+ private:
+  BrpprOptions options_;
+  const Graph* graph_ = nullptr;
+  size_t last_active_count_ = 0;
+};
+
+}  // namespace tpa
+
+#endif  // TPA_METHOD_BRPPR_H_

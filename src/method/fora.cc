@@ -1,0 +1,73 @@
+#include "method/fora.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tpa {
+
+Status Fora::Preprocess(const Graph& graph, MemoryBudget& budget) {
+  if (options_.epsilon <= 0.0 || options_.epsilon >= 1.0) {
+    return InvalidArgumentError("epsilon must be in (0,1)");
+  }
+  graph_ = &graph;
+  const double n = static_cast<double>(graph.num_nodes());
+  const double m = static_cast<double>(std::max<uint64_t>(1, graph.num_edges()));
+  const double delta = options_.delta > 0.0 ? options_.delta : 1.0 / n;
+  const double p_fail = options_.p_fail > 0.0 ? options_.p_fail : 1.0 / n;
+  const double eps = options_.epsilon;
+
+  // ω = (2ε/3 + 2)·ln(2/p_fail) / (ε²·δ)  (FORA Theorem 1), capped.
+  const double omega_theory =
+      (2.0 * eps / 3.0 + 2.0) * std::log(2.0 / p_fail) / (eps * eps * delta);
+  omega_ = static_cast<uint64_t>(std::min(
+      omega_theory, static_cast<double>(options_.omega_cap)));
+  omega_ = std::max<uint64_t>(omega_, 1);
+
+  // Cost-balancing threshold: push work ≈ 1/(c·r_max) vs walk work
+  // ≈ ω·r_max·m  ⇒  r_max = 1/sqrt(c·ω·m).
+  r_max_ = 1.0 / std::sqrt(options_.restart_probability *
+                           static_cast<double>(omega_) * m);
+
+  // Index enough endpoints per node for the worst residual the push can
+  // leave there: residual(v) ≤ r_max·d(v)  ⇒  ⌈ω·r_max·d(v)⌉ (+1 slack).
+  auto index = WalkIndex::Build(graph, options_.restart_probability,
+                                /*walks_per_edge=*/r_max_ *
+                                    static_cast<double>(omega_),
+                                /*walks_per_node=*/1, options_.seed);
+  TPA_RETURN_IF_ERROR(index.status());
+  TPA_RETURN_IF_ERROR(budget.Reserve(index->SizeBytes()));
+  index_.emplace(std::move(index).value());
+  return OkStatus();
+}
+
+StatusOr<std::vector<double>> Fora::Query(NodeId seed) {
+  if (!index_.has_value()) {
+    return FailedPreconditionError("Preprocess must be called before Query");
+  }
+  TPA_ASSIGN_OR_RETURN(PushResult push,
+                       ForwardPush(*graph_, seed,
+                                   options_.restart_probability, r_max_));
+
+  std::vector<double> scores = std::move(push.reserve);
+  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    const double residual = push.residual[v];
+    if (residual <= 0.0) continue;
+    const auto endpoints = index_->Endpoints(v);
+    const uint64_t walks = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(residual * static_cast<double>(omega_))));
+    const double weight = residual / static_cast<double>(walks);
+    for (uint64_t i = 0; i < walks; ++i) {
+      // The index stores ⌈ω·r_max·d(v)⌉+1 walks which covers the push bound;
+      // cycling is a safety net for boundary rounding only.
+      scores[endpoints[i % endpoints.size()]] += weight;
+    }
+  }
+  return scores;
+}
+
+size_t Fora::PreprocessedBytes() const {
+  return index_.has_value() ? index_->SizeBytes() : 0;
+}
+
+}  // namespace tpa

@@ -1,0 +1,64 @@
+#ifndef TPA_METHOD_FORA_H_
+#define TPA_METHOD_FORA_H_
+
+#include <optional>
+
+#include "method/monte_carlo.h"
+#include "method/push.h"
+#include "method/rwr_method.h"
+
+namespace tpa {
+
+struct ForaOptions {
+  double restart_probability = 0.15;
+  /// Relative error target ε of the (ε, δ, p_fail) guarantee.  The paper's
+  /// evaluation uses (δ, p_fail, ε) = (1/n, 1/n, 0.5).
+  double epsilon = 0.5;
+  /// δ and p_fail; 0 selects the evaluation's 1/n.
+  double delta = 0.0;
+  double p_fail = 0.0;
+  /// Practical cap on ω (the theoretical walk count), keeping single-core
+  /// query times proportional to the paper's relative measurements.
+  uint64_t omega_cap = 4'000'000;
+  uint64_t seed = 11;
+};
+
+/// FORA (Wang, Yang, Xiao, Wei & Yang, "FORA: Simple and effective
+/// approximate single-source personalized PageRank", KDD 2017), in its
+/// indexed (FORA+) form.
+///
+/// Preprocessing stores, for every node v, enough random-walk destinations
+/// to cover the worst-case residual forward push can leave on v
+/// (⌈ω·r_max·d(v)⌉ + 1 endpoints).  A query runs forward push with
+/// threshold r_max and then converts each leftover residual into stored walk
+/// endpoints:  π̂(t) = reserve(t) + Σ_v residual(v) · freq_v(t).
+/// r_max balances push cost (∝ 1/(c·r_max)) against walk cost (∝ ω·r_max·m).
+///
+/// The walk index is what makes FORA's preprocessed data large (the 15–40×
+/// TPA gap in Figure 1(a)): it is proportional to ω·r_max·m, whereas TPA
+/// stores one double per node.
+class Fora final : public RwrMethod {
+ public:
+  explicit Fora(ForaOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "FORA"; }
+
+  Status Preprocess(const Graph& graph, MemoryBudget& budget) override;
+  StatusOr<std::vector<double>> Query(NodeId seed) override;
+  size_t PreprocessedBytes() const override;
+
+  /// Derived parameters (visible for tests and experiment logs).
+  uint64_t omega() const { return omega_; }
+  double r_max() const { return r_max_; }
+
+ private:
+  ForaOptions options_;
+  const Graph* graph_ = nullptr;
+  std::optional<WalkIndex> index_;
+  uint64_t omega_ = 0;
+  double r_max_ = 0.0;
+};
+
+}  // namespace tpa
+
+#endif  // TPA_METHOD_FORA_H_

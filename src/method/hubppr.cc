@@ -1,0 +1,109 @@
+#include "method/hubppr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "method/monte_carlo.h"
+
+namespace tpa {
+
+Status HubPpr::Preprocess(const Graph& graph, MemoryBudget& budget) {
+  if (options_.epsilon <= 0.0 || options_.epsilon >= 1.0) {
+    return InvalidArgumentError("epsilon must be in (0,1)");
+  }
+  if (options_.hub_fraction < 0.0 || options_.hub_fraction > 1.0) {
+    return InvalidArgumentError("hub_fraction must be in [0,1]");
+  }
+  graph_ = &graph;
+  const double n = static_cast<double>(graph.num_nodes());
+
+  // Same ω schedule as FORA's guarantee with δ = p_fail = 1/n.
+  const double eps = options_.epsilon;
+  const double omega_theory =
+      (2.0 * eps / 3.0 + 2.0) * std::log(2.0 * n) / (eps * eps) * n;
+  omega_ = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::min(
+             omega_theory, static_cast<double>(options_.omega_cap))));
+
+  // Hub selection: top in-degree nodes (the nodes queries rank highest).
+  const size_t num_hubs = static_cast<size_t>(options_.hub_fraction * n);
+  std::vector<NodeId> order(graph.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<long>(
+                                        std::min(num_hubs, order.size())),
+                    order.end(), [&graph](NodeId a, NodeId b) {
+                      if (graph.InDegree(a) != graph.InDegree(b)) {
+                        return graph.InDegree(a) > graph.InDegree(b);
+                      }
+                      return a < b;
+                    });
+  order.resize(std::min(num_hubs, order.size()));
+  hub_ids_ = order;
+
+  hub_index_.clear();
+  hub_index_bytes_ = 0;
+  for (NodeId hub : hub_ids_) {
+    TPA_ASSIGN_OR_RETURN(
+        PushResult push,
+        BackwardPush(graph, hub, options_.restart_probability,
+                     options_.backward_r_max, options_.backward_max_ops));
+    HubEntry entry;
+    entry.hub = hub;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (push.reserve[v] != 0.0) entry.reserve.emplace_back(v, push.reserve[v]);
+      if (push.residual[v] != 0.0) {
+        entry.residual.emplace_back(v, push.residual[v]);
+      }
+    }
+    const size_t bytes =
+        (entry.reserve.size() + entry.residual.size()) *
+        (sizeof(NodeId) + sizeof(double));
+    TPA_RETURN_IF_ERROR(budget.Reserve(bytes));
+    hub_index_bytes_ += bytes;
+    hub_index_.push_back(std::move(entry));
+  }
+  return OkStatus();
+}
+
+StatusOr<std::vector<double>> HubPpr::Query(NodeId seed) {
+  if (graph_ == nullptr) {
+    return FailedPreconditionError("Preprocess must be called before Query");
+  }
+  if (seed >= graph_->num_nodes()) {
+    return OutOfRangeError("seed out of range");
+  }
+  const Graph& graph = *graph_;
+
+  // Forward Monte Carlo estimate: endpoint frequency of restart walks.
+  std::vector<double> scores(graph.num_nodes(), 0.0);
+  const double weight = 1.0 / static_cast<double>(omega_);
+  for (uint64_t w = 0; w < omega_; ++w) {
+    scores[RandomWalkEndpoint(graph, seed, options_.restart_probability,
+                              rng_)] += weight;
+  }
+
+  // Bidirectional refinement for the indexed hub targets:
+  // π(s,t) = reserve_t(s) + Σ_v π̂(s,v)·residual_t(v).
+  for (const HubEntry& entry : hub_index_) {
+    double estimate = 0.0;
+    for (const auto& [v, value] : entry.reserve) {
+      if (v == seed) {
+        estimate += value;
+        break;  // reserve list is sorted by node id; seed appears once
+      }
+    }
+    for (const auto& [v, value] : entry.residual) {
+      estimate += scores[v] * value;
+    }
+    scores[entry.hub] = estimate;
+  }
+  return scores;
+}
+
+size_t HubPpr::PreprocessedBytes() const {
+  return hub_index_bytes_ + hub_ids_.size() * sizeof(NodeId);
+}
+
+}  // namespace tpa

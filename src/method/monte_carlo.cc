@@ -1,0 +1,51 @@
+#include "method/monte_carlo.h"
+
+#include <cmath>
+
+#include "core/cpi.h"
+
+namespace tpa {
+
+NodeId RandomWalkEndpoint(const Graph& graph, NodeId start, double c,
+                          Rng& rng) {
+  NodeId current = start;
+  while (rng.NextDouble() >= c) {
+    const auto neighbors = graph.OutNeighbors(current);
+    if (neighbors.empty()) break;  // dangling: restart (terminate) here
+    current = neighbors[rng.NextBounded(neighbors.size())];
+  }
+  return current;
+}
+
+StatusOr<WalkIndex> WalkIndex::Build(const Graph& graph, double c,
+                                     double walks_per_edge,
+                                     uint32_t walks_per_node, uint64_t seed) {
+  TPA_RETURN_IF_ERROR(ValidateCpiParameters(c, 1e-12));
+  if (walks_per_edge < 0.0) {
+    return InvalidArgumentError("walks_per_edge must be non-negative");
+  }
+  if (walks_per_edge == 0.0 && walks_per_node == 0) {
+    return InvalidArgumentError("index would be empty");
+  }
+
+  const NodeId n = graph.num_nodes();
+  std::vector<uint64_t> offsets(static_cast<size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const uint64_t walks =
+        static_cast<uint64_t>(
+            std::ceil(walks_per_edge * graph.OutDegree(v))) +
+        walks_per_node;
+    offsets[v + 1] = offsets[v] + walks;
+  }
+
+  std::vector<NodeId> endpoints(offsets.back());
+  Rng rng(seed);
+  for (NodeId v = 0; v < n; ++v) {
+    for (uint64_t w = offsets[v]; w < offsets[v + 1]; ++w) {
+      endpoints[w] = RandomWalkEndpoint(graph, v, c, rng);
+    }
+  }
+  return WalkIndex(std::move(offsets), std::move(endpoints));
+}
+
+}  // namespace tpa

@@ -1,0 +1,58 @@
+#ifndef TPA_METHOD_MONTE_CARLO_H_
+#define TPA_METHOD_MONTE_CARLO_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tpa {
+
+/// Simulates one restart-terminated random walk from `start`: at each step
+/// the walk stops with probability c, otherwise moves to a uniform
+/// out-neighbor (dangling nodes stop the walk).  Returns the terminal node.
+/// The endpoint distribution over many walks is exactly the RWR vector.
+NodeId RandomWalkEndpoint(const Graph& graph, NodeId start, double c,
+                          Rng& rng);
+
+/// Precomputed random-walk destination index — the preprocessing artifact of
+/// FORA (and the forward half of HubPPR).  For each node a fixed number of
+/// independent walk endpoints is stored; queries consume stored endpoints
+/// (cycling when they need more than were stored, the standard index-reuse
+/// compromise) instead of walking the graph.
+class WalkIndex {
+ public:
+  /// Builds an index with `WalksFor(v) = ceil(walks_per_edge * out_degree(v))
+  /// + walks_per_node` endpoints per node.
+  static StatusOr<WalkIndex> Build(const Graph& graph, double c,
+                                   double walks_per_edge,
+                                   uint32_t walks_per_node, uint64_t seed);
+
+  /// Stored endpoints for node v.
+  std::span<const NodeId> Endpoints(NodeId v) const {
+    return {endpoints_.data() + offsets_[v],
+            endpoints_.data() + offsets_[v + 1]};
+  }
+
+  uint64_t total_walks() const { return endpoints_.size(); }
+
+  /// Logical index size (the Figure 1(a) metric for FORA/HubPPR).
+  size_t SizeBytes() const {
+    return offsets_.size() * sizeof(uint64_t) +
+           endpoints_.size() * sizeof(NodeId);
+  }
+
+ private:
+  WalkIndex(std::vector<uint64_t> offsets, std::vector<NodeId> endpoints)
+      : offsets_(std::move(offsets)), endpoints_(std::move(endpoints)) {}
+
+  std::vector<uint64_t> offsets_;  // size n+1
+  std::vector<NodeId> endpoints_;
+};
+
+}  // namespace tpa
+
+#endif  // TPA_METHOD_MONTE_CARLO_H_

@@ -1,0 +1,112 @@
+#include "method/nblin.h"
+
+#include <algorithm>
+
+#include "core/cpi.h"
+#include "la/lu.h"
+#include "la/truncated_svd.h"
+#include "la/vector_ops.h"
+
+namespace tpa {
+
+size_t NbLin::EffectiveRank(const Graph& graph) const {
+  if (options_.rank != 0) return options_.rank;
+  const size_t derived = graph.num_nodes() / std::max<size_t>(1, options_.rank_divisor);
+  return std::min<size_t>(std::max<size_t>(16, derived), graph.num_nodes());
+}
+
+Status NbLin::Preprocess(const Graph& graph, MemoryBudget& budget) {
+  TPA_RETURN_IF_ERROR(
+      ValidateCpiParameters(options_.restart_probability, 1e-12));
+  graph_ = &graph;
+  const size_t n = graph.num_nodes();
+  const size_t t = EffectiveRank(graph);
+
+  // Peak footprint: start basis + two iteration workspaces + U + V
+  // (≈ 5 n·t doubles) plus the t×t core.  Reserve before any allocation so
+  // over-budget graphs fail exactly like the paper's OOM runs.
+  const size_t peak_bytes = (5 * n * t + t * t) * sizeof(double);
+  TPA_RETURN_IF_ERROR(budget.Reserve(peak_bytes));
+
+  la::LinearOperator a{
+      n, n,
+      [&graph](const std::vector<double>& x, std::vector<double>& y) {
+        graph.MultiplyTranspose(x, y);  // y = Ã^T x
+      }};
+  // (Ã^T)^T = Ã: y[u] = Σ_{u→v} x[v] / outdeg(u).
+  la::LinearOperator at{
+      n, n,
+      [&graph](const std::vector<double>& x, std::vector<double>& y) {
+        y.assign(graph.num_nodes(), 0.0);
+        for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+          const auto neighbors = graph.OutNeighbors(u);
+          if (neighbors.empty()) continue;
+          double sum = 0.0;
+          for (NodeId v : neighbors) sum += x[v];
+          y[u] = sum / static_cast<double>(neighbors.size());
+        }
+      }};
+
+  la::TruncatedSvdOptions svd_options;
+  svd_options.rank = t;
+  svd_options.power_iterations = options_.power_iterations;
+  svd_options.seed = options_.seed;
+  auto svd = la::ComputeTruncatedSvd(a, at, svd_options);
+  if (!svd.ok()) {
+    budget.Release(peak_bytes);
+    return svd.status();
+  }
+
+  // Core Λ = (Σ^{-1} − (1-c) V^T U)^{-1}  (t × t).
+  la::DenseMatrix vtu = svd->v.Transposed().MatMul(svd->u);
+  la::DenseMatrix small(t, t);
+  for (size_t i = 0; i < t; ++i) {
+    for (size_t j = 0; j < t; ++j) {
+      small.At(i, j) = -(1.0 - options_.restart_probability) * vtu.At(i, j);
+    }
+    if (svd->singular[i] <= 0.0) {
+      budget.Release(peak_bytes);
+      return FailedPreconditionError("zero singular value; lower the rank");
+    }
+    small.At(i, i) += 1.0 / svd->singular[i];
+  }
+  auto lu = la::LuDecomposition::Compute(small);
+  if (!lu.ok()) {
+    budget.Release(peak_bytes);
+    return lu.status();
+  }
+  core_ = lu->Inverse();
+  u_ = std::move(svd->u);
+  v_ = std::move(svd->v);
+
+  // Keep only the stored factors accounted; release the scratch part.
+  budget.Release(peak_bytes);
+  TPA_RETURN_IF_ERROR(budget.Reserve(PreprocessedBytes()));
+  return OkStatus();
+}
+
+StatusOr<std::vector<double>> NbLin::Query(NodeId seed) {
+  if (graph_ == nullptr || core_.rows() == 0) {
+    return FailedPreconditionError("Preprocess must be called before Query");
+  }
+  if (seed >= graph_->num_nodes()) {
+    return OutOfRangeError("seed out of range");
+  }
+  const double c = options_.restart_probability;
+  const size_t t = core_.rows();
+
+  // V^T q is just row `seed` of V.
+  std::vector<double> vtq(t);
+  for (size_t j = 0; j < t; ++j) vtq[j] = v_.At(seed, j);
+  std::vector<double> core_vtq = core_.MatVec(vtq);
+  std::vector<double> scores = u_.MatVec(core_vtq);
+  la::Scale(c * (1.0 - c), scores);
+  scores[seed] += c;
+  return scores;
+}
+
+size_t NbLin::PreprocessedBytes() const {
+  return u_.SizeBytes() + v_.SizeBytes() + core_.SizeBytes();
+}
+
+}  // namespace tpa

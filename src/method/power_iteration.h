@@ -1,0 +1,47 @@
+#ifndef TPA_METHOD_POWER_ITERATION_H_
+#define TPA_METHOD_POWER_ITERATION_H_
+
+#include "core/cpi.h"
+#include "method/rwr_method.h"
+
+namespace tpa {
+
+/// Exact RWR via cumulative power iteration run to convergence.
+///
+/// Serves as the numeric oracle of the evaluation (the paper uses BePI for
+/// ground truth; both solve the same fixed point — see the BePI/CPI
+/// agreement tests) and as the no-preprocessing reference point.
+class PowerIterationRwr final : public RwrMethod {
+ public:
+  explicit PowerIterationRwr(CpiOptions options = {}) : options_(options) {
+    options_.start_iteration = 0;
+    options_.terminal_iteration = CpiOptions::kUnbounded;
+  }
+
+  std::string_view name() const override { return "PowerIteration"; }
+
+  Status Preprocess(const Graph& graph, MemoryBudget& budget) override {
+    (void)budget;  // no preprocessed data
+    TPA_RETURN_IF_ERROR(ValidateCpiParameters(options_.restart_probability,
+                                              options_.tolerance));
+    graph_ = &graph;
+    return OkStatus();
+  }
+
+  StatusOr<std::vector<double>> Query(NodeId seed) override {
+    if (graph_ == nullptr) {
+      return FailedPreconditionError("Preprocess must be called before Query");
+    }
+    return Cpi::ExactRwr(*graph_, seed, options_);
+  }
+
+  size_t PreprocessedBytes() const override { return 0; }
+
+ private:
+  CpiOptions options_;
+  const Graph* graph_ = nullptr;
+};
+
+}  // namespace tpa
+
+#endif  // TPA_METHOD_POWER_ITERATION_H_

@@ -1,0 +1,100 @@
+#include "method/push.h"
+
+#include <deque>
+
+#include "core/cpi.h"
+
+namespace tpa {
+
+StatusOr<PushResult> ForwardPush(const Graph& graph, NodeId seed, double c,
+                                 double r_max) {
+  TPA_RETURN_IF_ERROR(ValidateCpiParameters(c, 1e-12));
+  if (r_max <= 0.0) return InvalidArgumentError("r_max must be positive");
+  if (seed >= graph.num_nodes()) return OutOfRangeError("seed out of range");
+
+  PushResult out;
+  out.reserve.assign(graph.num_nodes(), 0.0);
+  out.residual.assign(graph.num_nodes(), 0.0);
+  out.residual[seed] = 1.0;
+
+  std::deque<NodeId> queue{seed};
+  std::vector<bool> queued(graph.num_nodes(), false);
+  queued[seed] = true;
+
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    queued[u] = false;
+
+    const uint32_t deg = graph.OutDegree(u);
+    const double r_u = out.residual[u];
+    if (deg == 0) {
+      // Dangling: mass restarts entirely (self-absorbed reserve).
+      out.reserve[u] += r_u;
+      out.residual[u] = 0.0;
+      continue;
+    }
+    if (r_u <= r_max * deg) continue;
+
+    ++out.push_count;
+    out.reserve[u] += c * r_u;
+    out.residual[u] = 0.0;
+    const double share = (1.0 - c) * r_u / static_cast<double>(deg);
+    for (NodeId v : graph.OutNeighbors(u)) {
+      out.residual[v] += share;
+      const uint32_t deg_v = graph.OutDegree(v);
+      if (!queued[v] && out.residual[v] > r_max * (deg_v == 0 ? 1 : deg_v)) {
+        queue.push_back(v);
+        queued[v] = true;
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<PushResult> BackwardPush(const Graph& graph, NodeId target, double c,
+                                  double r_max, size_t max_operations) {
+  TPA_RETURN_IF_ERROR(ValidateCpiParameters(c, 1e-12));
+  if (r_max <= 0.0) return InvalidArgumentError("r_max must be positive");
+  if (target >= graph.num_nodes()) {
+    return OutOfRangeError("target out of range");
+  }
+
+  PushResult out;
+  out.reserve.assign(graph.num_nodes(), 0.0);
+  out.residual.assign(graph.num_nodes(), 0.0);
+  out.residual[target] = 1.0;
+
+  std::deque<NodeId> queue{target};
+  std::vector<bool> queued(graph.num_nodes(), false);
+  queued[target] = true;
+  size_t operations = 0;
+
+  while (!queue.empty()) {
+    if (max_operations != 0 && operations >= max_operations) break;
+    const NodeId v = queue.front();
+    queue.pop_front();
+    queued[v] = false;
+
+    const double r_v = out.residual[v];
+    if (r_v <= r_max) continue;
+
+    ++out.push_count;
+    out.reserve[v] += c * r_v;
+    out.residual[v] = 0.0;
+    // Mass flows backwards: an in-neighbor w reaches v through one of
+    // out_degree(w) outgoing edges.
+    for (NodeId w : graph.InNeighbors(v)) {
+      ++operations;
+      out.residual[w] +=
+          (1.0 - c) * r_v / static_cast<double>(graph.OutDegree(w));
+      if (!queued[w] && out.residual[w] > r_max) {
+        queue.push_back(w);
+        queued[w] = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tpa

@@ -1,0 +1,47 @@
+#ifndef TPA_METHOD_PUSH_H_
+#define TPA_METHOD_PUSH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace tpa {
+
+/// Result of a local push: reserve (settled probability mass) and residual
+/// (unsettled mass), both sparse in practice but stored densely for O(1)
+/// access — the graphs here comfortably fit n-sized vectors.
+struct PushResult {
+  std::vector<double> reserve;
+  std::vector<double> residual;
+  /// Number of individual push operations performed (cost accounting).
+  size_t push_count = 0;
+};
+
+/// Forward push (Andersen et al., local PPR propagation), the deterministic
+/// half of FORA.
+///
+/// Maintains the invariant
+///   π(s, t) = reserve(t) + Σ_v residual(v) · π(v, t)   for all t,
+/// pushing any node v while residual(v) > r_max · out_degree(v).
+/// With r_max → 0 this converges to the exact RWR vector.
+///
+/// `c` is the restart probability.  Fails on invalid parameters or seed.
+StatusOr<PushResult> ForwardPush(const Graph& graph, NodeId seed, double c,
+                                 double r_max);
+
+/// Backward push (Andersen et al.; the reverse propagation used by
+/// bidirectional methods such as HubPPR).
+///
+/// For a target t, maintains
+///   π(s, t) = reserve(s) + Σ_v π(s, v) · residual(v)   for all s,
+/// pushing any node v while residual(v) > r_max.
+/// `max_operations` caps total neighbor updates (0 = unlimited); hub index
+/// construction uses it to bound per-target preprocessing work.  The
+/// invariant holds at whatever precision the cap permits.
+StatusOr<PushResult> BackwardPush(const Graph& graph, NodeId target, double c,
+                                  double r_max, size_t max_operations = 0);
+
+}  // namespace tpa
+
+#endif  // TPA_METHOD_PUSH_H_

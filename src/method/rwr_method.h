@@ -1,0 +1,45 @@
+#ifndef TPA_METHOD_RWR_METHOD_H_
+#define TPA_METHOD_RWR_METHOD_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/memory_budget.h"
+#include "util/status.h"
+
+namespace tpa {
+
+/// Common interface of every RWR solver in the evaluation (TPA and all six
+/// competitors).
+///
+/// Lifecycle: construct → Preprocess(graph, budget) once per graph →
+/// Query(seed) per seed.  Preprocess may fail with RESOURCE_EXHAUSTED when
+/// the method's (peak) preprocessing footprint exceeds the budget — the
+/// experiments render that as the paper's "out of memory" missing bars.
+/// Implementations borrow the graph; it must outlive the method object.
+class RwrMethod {
+ public:
+  virtual ~RwrMethod() = default;
+
+  /// Display name used in experiment tables, e.g. "TPA", "BEAR-APPROX".
+  virtual std::string_view name() const = 0;
+
+  /// One-time preprocessing.  Methods without a preprocessing phase
+  /// implement this as a cheap graph binding.
+  virtual Status Preprocess(const Graph& graph, MemoryBudget& budget) = 0;
+
+  /// Full approximate (or exact) RWR score vector for `seed`.
+  /// Non-const: Monte Carlo methods advance their RNG state.
+  virtual StatusOr<std::vector<double>> Query(NodeId seed) = 0;
+
+  /// Logical size of the preprocessed data retained for the online phase
+  /// (Figure 1(a) / Figure 10(a) metric).  Zero before Preprocess.
+  virtual size_t PreprocessedBytes() const = 0;
+};
+
+}  // namespace tpa
+
+#endif  // TPA_METHOD_RWR_METHOD_H_

@@ -1,0 +1,46 @@
+#ifndef TPA_METHOD_TPA_METHOD_H_
+#define TPA_METHOD_TPA_METHOD_H_
+
+#include <optional>
+
+#include "core/tpa.h"
+#include "method/rwr_method.h"
+
+namespace tpa {
+
+/// RwrMethod adapter over the core Tpa implementation, so the proposed
+/// method participates in the same experiment harness as the competitors.
+class TpaMethod final : public RwrMethod {
+ public:
+  explicit TpaMethod(TpaOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "TPA"; }
+
+  Status Preprocess(const Graph& graph, MemoryBudget& budget) override {
+    TPA_RETURN_IF_ERROR(ValidateTpaOptions(options_));
+    // Preprocessed data is one double per node (Theorem 4).
+    TPA_RETURN_IF_ERROR(budget.Reserve(graph.num_nodes() * sizeof(double)));
+    TPA_ASSIGN_OR_RETURN(Tpa tpa, Tpa::Preprocess(graph, options_));
+    tpa_.emplace(std::move(tpa));
+    return OkStatus();
+  }
+
+  StatusOr<std::vector<double>> Query(NodeId seed) override {
+    if (!tpa_.has_value()) {
+      return FailedPreconditionError("Preprocess must be called before Query");
+    }
+    return tpa_->Query(seed);
+  }
+
+  size_t PreprocessedBytes() const override {
+    return tpa_.has_value() ? tpa_->PreprocessedBytes() : 0;
+  }
+
+ private:
+  TpaOptions options_;
+  std::optional<Tpa> tpa_;
+};
+
+}  // namespace tpa
+
+#endif  // TPA_METHOD_TPA_METHOD_H_

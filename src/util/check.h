@@ -1,0 +1,59 @@
+#ifndef TPA_UTIL_CHECK_H_
+#define TPA_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace tpa::internal_check {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* condition,
+                                   const std::string& extra) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, extra.empty() ? "" : " — ", extra.c_str());
+  std::abort();
+}
+
+}  // namespace tpa::internal_check
+
+/// Aborts the process with a diagnostic if `condition` is false.  Used for
+/// invariants that indicate programming errors (never for recoverable input
+/// validation — return a Status for that).
+#define TPA_CHECK(condition)                                               \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      ::tpa::internal_check::CheckFail(__FILE__, __LINE__, #condition, ""); \
+    }                                                                      \
+  } while (0)
+
+#define TPA_CHECK_OP_(lhs, rhs, op)                                         \
+  do {                                                                      \
+    auto tpa_check_lhs = (lhs);                                             \
+    auto tpa_check_rhs = (rhs);                                             \
+    if (!(tpa_check_lhs op tpa_check_rhs)) {                                \
+      std::ostringstream tpa_check_oss;                                     \
+      tpa_check_oss << "lhs=" << tpa_check_lhs << " rhs=" << tpa_check_rhs; \
+      ::tpa::internal_check::CheckFail(__FILE__, __LINE__,                  \
+                                       #lhs " " #op " " #rhs,               \
+                                       tpa_check_oss.str());                \
+    }                                                                       \
+  } while (0)
+
+#define TPA_CHECK_EQ(lhs, rhs) TPA_CHECK_OP_(lhs, rhs, ==)
+#define TPA_CHECK_NE(lhs, rhs) TPA_CHECK_OP_(lhs, rhs, !=)
+#define TPA_CHECK_LT(lhs, rhs) TPA_CHECK_OP_(lhs, rhs, <)
+#define TPA_CHECK_LE(lhs, rhs) TPA_CHECK_OP_(lhs, rhs, <=)
+#define TPA_CHECK_GT(lhs, rhs) TPA_CHECK_OP_(lhs, rhs, >)
+#define TPA_CHECK_GE(lhs, rhs) TPA_CHECK_OP_(lhs, rhs, >=)
+
+/// Like TPA_CHECK but compiled out in release builds (NDEBUG).
+#ifdef NDEBUG
+#define TPA_DCHECK(condition) \
+  do {                        \
+  } while (0)
+#else
+#define TPA_DCHECK(condition) TPA_CHECK(condition)
+#endif
+
+#endif  // TPA_UTIL_CHECK_H_

@@ -1,0 +1,42 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <ctime>
+
+namespace tpa {
+
+namespace {
+LogSeverity g_min_severity = LogSeverity::kInfo;
+
+const char* BaseName(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+LogSeverity MinLogSeverity() { return g_min_severity; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (severity_ < g_min_severity) return;
+  static const char kSeverityChar[] = {'I', 'W', 'E'};
+  std::time_t now = std::time(nullptr);
+  std::tm tm_buf;
+  localtime_r(&now, &tm_buf);
+  std::fprintf(stderr, "[%c %02d:%02d:%02d %s:%d] %s\n",
+               kSeverityChar[static_cast<int>(severity_)], tm_buf.tm_hour,
+               tm_buf.tm_min, tm_buf.tm_sec, BaseName(file_), line_,
+               stream_.str().c_str());
+}
+
+}  // namespace internal_logging
+
+}  // namespace tpa

@@ -1,0 +1,45 @@
+#ifndef TPA_UTIL_LOGGING_H_
+#define TPA_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tpa {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2 };
+
+/// Sets the minimum severity that is actually emitted; default kInfo.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal_logging {
+
+/// Stream-collecting helper behind the TPA_LOG macro.  Emits one line to
+/// stderr ("[I hh:mm:ss file:line] message") on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace tpa
+
+/// Usage: TPA_LOG(INFO) << "built graph with " << n << " nodes";
+#define TPA_LOG(severity)                                        \
+  ::tpa::internal_logging::LogMessage(                           \
+      ::tpa::LogSeverity::k##severity, __FILE__, __LINE__)       \
+      .stream()
+
+#endif  // TPA_UTIL_LOGGING_H_

@@ -1,0 +1,132 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace tpa {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 seeder(seed);
+  for (auto& word : s_) word = seeder.Next();
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  TPA_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  TPA_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextGaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  have_cached_gaussian_ = true;
+  return u * factor;
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t population,
+                                                    uint64_t count) {
+  TPA_CHECK_LE(count, population);
+  // Floyd's algorithm: O(count) expected draws, O(count) memory.
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(count);
+  for (uint64_t j = population - count; j < population; ++j) {
+    uint64_t t = NextBounded(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  TPA_CHECK(!weights.empty());
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    TPA_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  TPA_CHECK_GT(total, 0.0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  // Scaled probabilities; "small" hold < 1, "large" hold >= 1.
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Residual numerical leftovers are certainties.
+  for (uint32_t l : large) prob_[l] = 1.0;
+  for (uint32_t s : small) prob_[s] = 1.0;
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  const size_t i = rng.NextBounded(prob_.size());
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace tpa

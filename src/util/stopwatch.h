@@ -1,0 +1,32 @@
+#ifndef TPA_UTIL_STOPWATCH_H_
+#define TPA_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tpa {
+
+/// Wall-clock stopwatch used for all experiment timings (the paper reports
+/// wall-clock time).  Started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tpa
+
+#endif  // TPA_UTIL_STOPWATCH_H_

@@ -1,0 +1,81 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace tpa {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  TPA_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  TPA_CHECK_EQ(row.size(), headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::FormatScientific(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::FormatBytes(size_t bytes) {
+  constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", value, kUnits[unit]);
+  return buf;
+}
+
+void TablePrinter::PrintText(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  for (size_t i = 0; i < total; ++i) os << '-';
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace tpa

@@ -1,0 +1,40 @@
+#ifndef TPA_UTIL_TABLE_PRINTER_H_
+#define TPA_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tpa {
+
+/// Formats experiment results as aligned text tables (for the console) and as
+/// CSV (for downstream plotting).  Every bench binary in this repository
+/// prints its paper table/figure through this class.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; its size must match the header count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with the given precision.
+  static std::string FormatDouble(double value, int precision = 4);
+  /// Scientific notation, e.g. "3.21e-04".
+  static std::string FormatScientific(double value, int precision = 2);
+  /// Bytes rendered as a human-friendly quantity, e.g. "12.3 MB".
+  static std::string FormatBytes(size_t bytes);
+
+  /// Writes an aligned table with a header separator line.
+  void PrintText(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (no quoting needed for our cell contents).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tpa
+
+#endif  // TPA_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,197 @@
+#include "core/cpi.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include <cmath>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "la/vector_ops.h"
+
+namespace tpa {
+namespace {
+
+Graph TestGraph() {
+  DcsbmOptions options;
+  options.nodes = 300;
+  options.edges = 2400;
+  options.blocks = 4;
+  options.seed = 5;
+  auto graph = GenerateDcsbm(options);
+  TPA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(CpiTest, ScoresSumToOneAtConvergence) {
+  Graph graph = TestGraph();
+  auto result = Cpi::Run(graph, {0}, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  // Σ‖x(i)‖₁ = Σ c(1-c)^i = 1 up to the truncated tail (≤ ε/c iterations).
+  EXPECT_NEAR(la::NormL1(result->scores), 1.0, 1e-7);
+}
+
+TEST(CpiTest, SatisfiesFixedPointEquation) {
+  // Theorem 1: r = (1-c)Ã^T r + c q.
+  Graph graph = TestGraph();
+  CpiOptions options;
+  options.tolerance = 1e-12;
+  auto result = Cpi::Run(graph, {17}, options);
+  ASSERT_TRUE(result.ok());
+  const auto& r = result->scores;
+
+  std::vector<double> rhs;
+  graph.MultiplyTranspose(r, rhs);
+  la::Scale(1.0 - options.restart_probability, rhs);
+  rhs[17] += options.restart_probability;
+  EXPECT_LT(la::L1Distance(r, rhs), 1e-9);
+}
+
+TEST(CpiTest, InterimNormMatchesClosedForm) {
+  // ‖x(i)‖₁ = c(1-c)^i on a stochastic graph (proof of Lemma 2).
+  Graph graph = TestGraph();
+  CpiOptions options;
+  options.terminal_iteration = 10;
+  auto result = Cpi::Run(graph, {3}, options);
+  ASSERT_TRUE(result.ok());
+  const double c = options.restart_probability;
+  EXPECT_NEAR(result->last_interim_norm, c * std::pow(1.0 - c, 10), 1e-12);
+}
+
+TEST(CpiTest, WindowsPartitionTheFullSum) {
+  // family + neighbor + stranger = full CPI result, exactly.
+  Graph graph = TestGraph();
+  std::vector<double> q(graph.num_nodes(), 0.0);
+  q[42] = 1.0;
+
+  CpiOptions options;
+  options.tolerance = 1e-12;
+  auto windows = Cpi::RunWindowed(graph, q, {0, 5, 10}, options);
+  ASSERT_TRUE(windows.ok());
+  ASSERT_EQ(windows->size(), 3u);
+
+  auto full = Cpi::RunWithSeedVector(graph, q, options);
+  ASSERT_TRUE(full.ok());
+
+  std::vector<double> sum = (*windows)[0];
+  la::Axpy(1.0, (*windows)[1], sum);
+  la::Axpy(1.0, (*windows)[2], sum);
+  EXPECT_LT(la::L1Distance(sum, full->scores), 1e-12);
+}
+
+TEST(CpiTest, WindowNormsMatchLemma2) {
+  Graph graph = TestGraph();
+  std::vector<double> q(graph.num_nodes(), 0.0);
+  q[7] = 1.0;
+  const int s = 5, t = 10;
+  CpiOptions options;
+  options.tolerance = 1e-12;
+  auto windows = Cpi::RunWindowed(graph, q, {0, s, t}, options);
+  ASSERT_TRUE(windows.ok());
+  const double c = options.restart_probability;
+  const double decay = 1.0 - c;
+  EXPECT_NEAR(la::NormL1((*windows)[0]), 1.0 - std::pow(decay, s), 1e-9);
+  EXPECT_NEAR(la::NormL1((*windows)[1]),
+              std::pow(decay, s) - std::pow(decay, t), 1e-9);
+  EXPECT_NEAR(la::NormL1((*windows)[2]), std::pow(decay, t), 1e-7);
+}
+
+TEST(CpiTest, PartialWindowMatchesManualSum) {
+  // CPI(siter=2, titer=4) == x(2)+x(3)+x(4).
+  Graph graph = TestGraph();
+  std::vector<double> q(graph.num_nodes(), 0.0);
+  q[0] = 1.0;
+  CpiOptions window;
+  window.start_iteration = 2;
+  window.terminal_iteration = 4;
+  auto part = Cpi::RunWithSeedVector(graph, q, window);
+  ASSERT_TRUE(part.ok());
+
+  // Manually: run single-iteration windows and add.
+  std::vector<double> manual(graph.num_nodes(), 0.0);
+  for (int i = 2; i <= 4; ++i) {
+    CpiOptions one;
+    one.start_iteration = i;
+    one.terminal_iteration = i;
+    auto x = Cpi::RunWithSeedVector(graph, q, one);
+    ASSERT_TRUE(x.ok());
+    la::Axpy(1.0, x->scores, manual);
+  }
+  EXPECT_LT(la::L1Distance(part->scores, manual), 1e-14);
+}
+
+TEST(CpiTest, PageRankIsSeedIndependentUniformRestart) {
+  Graph graph = TestGraph();
+  CpiOptions options;
+  auto pagerank = Cpi::PageRank(graph, options);
+  ASSERT_TRUE(pagerank.ok());
+  EXPECT_NEAR(la::NormL1(*pagerank), 1.0, 1e-7);
+  // PageRank must differ from any single-seed RWR on a non-trivial graph.
+  auto rwr = Cpi::ExactRwr(graph, 0, options);
+  ASSERT_TRUE(rwr.ok());
+  EXPECT_GT(la::L1Distance(*pagerank, *rwr), 0.1);
+}
+
+TEST(CpiTest, MultiSeedDistributesUniformly) {
+  Graph graph = TestGraph();
+  auto multi = Cpi::Run(graph, {1, 2}, {});
+  ASSERT_TRUE(multi.ok());
+  auto a = Cpi::ExactRwr(graph, 1, {});
+  auto b = Cpi::ExactRwr(graph, 2, {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Linearity: RWR({1,2}) = (RWR(1) + RWR(2)) / 2.
+  std::vector<double> avg(graph.num_nodes(), 0.0);
+  la::Axpy(0.5, *a, avg);
+  la::Axpy(0.5, *b, avg);
+  EXPECT_LT(la::L1Distance(multi->scores, avg), 1e-7);
+}
+
+TEST(CpiTest, PushAndPullVariantsAgree) {
+  Graph graph = TestGraph();
+  CpiOptions push, pull;
+  pull.use_pull = true;
+  auto a = Cpi::ExactRwr(graph, 9, push);
+  auto b = Cpi::ExactRwr(graph, 9, pull);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(la::L1Distance(*a, *b), 1e-10);
+}
+
+TEST(CpiTest, IterationCountFormula) {
+  // Lemma 4: iterations ≈ log_{1-c}(ε/c).
+  const int iters = CpiIterationCount(0.15, 1e-9);
+  EXPECT_GT(iters, 100);
+  EXPECT_LT(iters, 130);
+  Graph graph = TestGraph();
+  auto result = Cpi::Run(graph, {0}, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(std::abs(result->last_iteration - iters), 1);
+}
+
+TEST(CpiTest, ValidatesArguments) {
+  Graph graph = TestGraph();
+  EXPECT_FALSE(Cpi::Run(graph, {}, {}).ok());
+  EXPECT_FALSE(Cpi::Run(graph, {graph.num_nodes()}, {}).ok());
+
+  CpiOptions bad_c;
+  bad_c.restart_probability = 1.5;
+  EXPECT_FALSE(Cpi::Run(graph, {0}, bad_c).ok());
+
+  CpiOptions bad_window;
+  bad_window.start_iteration = 5;
+  bad_window.terminal_iteration = 3;
+  EXPECT_FALSE(Cpi::Run(graph, {0}, bad_window).ok());
+
+  std::vector<double> wrong_size(graph.num_nodes() + 1, 0.0);
+  EXPECT_FALSE(Cpi::RunWithSeedVector(graph, wrong_size, {}).ok());
+
+  std::vector<double> q(graph.num_nodes(), 0.0);
+  EXPECT_FALSE(Cpi::RunWindowed(graph, q, {1, 5}, {}).ok());   // must start 0
+  EXPECT_FALSE(Cpi::RunWindowed(graph, q, {0, 5, 5}, {}).ok()); // increasing
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,197 @@
+#include "core/tpa.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/presets.h"
+#include "la/vector_ops.h"
+
+namespace tpa {
+namespace {
+
+Graph CommunityGraph(uint64_t seed = 21) {
+  DcsbmOptions options;
+  options.nodes = 400;
+  options.edges = 4000;
+  options.blocks = 8;
+  options.intra_fraction = 0.9;
+  options.seed = seed;
+  auto graph = GenerateDcsbm(options);
+  TPA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(TpaTest, QueryMassIsApproximatelyOne) {
+  Graph graph = CommunityGraph();
+  auto tpa = Tpa::Preprocess(graph, {});
+  ASSERT_TRUE(tpa.ok());
+  auto scores = tpa->Query(0);
+  // family (1-(1-c)^S) + scaled neighbor + stranger tail ≈ 1.
+  EXPECT_NEAR(la::NormL1(scores), 1.0, 1e-6);
+}
+
+TEST(TpaTest, NeighborScaleMatchesLemma2) {
+  TpaOptions options;
+  options.family_window = 5;
+  options.stranger_start = 10;
+  Graph graph = CommunityGraph();
+  auto tpa = Tpa::Preprocess(graph, options);
+  ASSERT_TRUE(tpa.ok());
+  const double c = options.restart_probability;
+  const double expected = (std::pow(1 - c, 5) - std::pow(1 - c, 10)) /
+                          (1.0 - std::pow(1 - c, 5));
+  EXPECT_NEAR(tpa->NeighborScale(), expected, 1e-12);
+}
+
+TEST(TpaTest, DecompositionIsConsistent) {
+  Graph graph = CommunityGraph();
+  auto tpa = Tpa::Preprocess(graph, {});
+  ASSERT_TRUE(tpa.ok());
+  auto parts = tpa->QueryDecomposed(11);
+
+  // total = family + neighbor_est + stranger.
+  std::vector<double> sum = parts.family;
+  la::Axpy(1.0, parts.neighbor_est, sum);
+  la::Axpy(1.0, tpa->stranger_scores(), sum);
+  EXPECT_LT(la::L1Distance(sum, parts.total), 1e-14);
+
+  // neighbor_est = scale * family, entrywise.
+  for (size_t i = 0; i < parts.family.size(); ++i) {
+    EXPECT_NEAR(parts.neighbor_est[i], parts.family[i] * tpa->NeighborScale(),
+                1e-14);
+  }
+}
+
+TEST(TpaTest, StrangerVectorIsSeedIndependent) {
+  Graph graph = CommunityGraph();
+  auto tpa = Tpa::Preprocess(graph, {});
+  ASSERT_TRUE(tpa.ok());
+  auto a = tpa->QueryDecomposed(0);
+  auto b = tpa->QueryDecomposed(200);
+  // Different seeds share the identical precomputed stranger part but have
+  // different family parts.
+  EXPECT_GT(la::L1Distance(a.family, b.family), 0.1);
+  EXPECT_EQ(tpa->PreprocessedBytes(),
+            graph.num_nodes() * sizeof(double));
+}
+
+/// Theorem 2 sweep: ‖r_CPI − r_TPA‖₁ ≤ 2(1-c)^S for every (S, T) setting.
+class TpaBoundTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TpaBoundTest, TotalErrorWithinTheorem2Bound) {
+  const auto [s, t] = GetParam();
+  Graph graph = CommunityGraph();
+  TpaOptions options;
+  options.family_window = s;
+  options.stranger_start = t;
+  auto tpa = Tpa::Preprocess(graph, options);
+  ASSERT_TRUE(tpa.ok());
+
+  CpiOptions exact_options;
+  exact_options.tolerance = 1e-12;
+  for (NodeId seed : {NodeId{0}, NodeId{57}, NodeId{399}}) {
+    auto exact = Cpi::ExactRwr(graph, seed, exact_options);
+    ASSERT_TRUE(exact.ok());
+    auto approx = tpa->Query(seed);
+    const double error = la::L1Distance(approx, *exact);
+    EXPECT_LE(error, TotalErrorBound(options.restart_probability, s) + 1e-9)
+        << "S=" << s << " T=" << t << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterSweep, TpaBoundTest,
+    ::testing::Values(std::make_tuple(2, 5), std::make_tuple(3, 8),
+                      std::make_tuple(5, 10), std::make_tuple(5, 15),
+                      std::make_tuple(4, 20), std::make_tuple(8, 16)));
+
+TEST(TpaTest, PartErrorsWithinLemmaBounds) {
+  // Lemma 1 and Lemma 3 bounds on the individual approximations.
+  Graph graph = CommunityGraph();
+  TpaOptions options;
+  options.family_window = 5;
+  options.stranger_start = 10;
+  const double c = options.restart_probability;
+  auto tpa = Tpa::Preprocess(graph, options);
+  ASSERT_TRUE(tpa.ok());
+
+  std::vector<double> q(graph.num_nodes(), 0.0);
+  q[33] = 1.0;
+  CpiOptions exact_options;
+  exact_options.tolerance = 1e-12;
+  auto windows = Cpi::RunWindowed(graph, q, {0, 5, 10}, exact_options);
+  ASSERT_TRUE(windows.ok());
+  const auto& exact_neighbor = (*windows)[1];
+  const auto& exact_stranger = (*windows)[2];
+
+  auto parts = tpa->QueryDecomposed(33);
+  const double neighbor_error =
+      la::L1Distance(parts.neighbor_est, exact_neighbor);
+  const double stranger_error =
+      la::L1Distance(tpa->stranger_scores(), exact_stranger);
+  EXPECT_LE(neighbor_error, NeighborErrorBound(c, 5, 10) + 1e-9);
+  EXPECT_LE(stranger_error, StrangerErrorBound(c, 10) + 1e-9);
+}
+
+TEST(TpaTest, BlockStructureBeatsBoundSubstantially) {
+  // Section IV-C: on block-structured graphs the realized error sits well
+  // below the theoretical bound.
+  Graph graph = CommunityGraph();
+  TpaOptions options;
+  options.family_window = 5;
+  options.stranger_start = 10;
+  auto tpa = Tpa::Preprocess(graph, options);
+  ASSERT_TRUE(tpa.ok());
+
+  CpiOptions exact_options;
+  exact_options.tolerance = 1e-12;
+  double total_error = 0.0;
+  const std::vector<NodeId> seeds = {5, 100, 250, 300, 390};
+  for (NodeId seed : seeds) {
+    auto exact = Cpi::ExactRwr(graph, seed, exact_options);
+    ASSERT_TRUE(exact.ok());
+    total_error += la::L1Distance(tpa->Query(seed), *exact);
+  }
+  const double avg_error = total_error / seeds.size();
+  const double bound = TotalErrorBound(options.restart_probability, 5);
+  EXPECT_LT(avg_error, 0.6 * bound);
+}
+
+TEST(TpaTest, BoundFormulas) {
+  EXPECT_NEAR(TotalErrorBound(0.15, 5), 2 * std::pow(0.85, 5), 1e-12);
+  EXPECT_NEAR(StrangerErrorBound(0.15, 10), 2 * std::pow(0.85, 10), 1e-12);
+  EXPECT_NEAR(NeighborErrorBound(0.15, 5, 10),
+              2 * std::pow(0.85, 5) - 2 * std::pow(0.85, 10), 1e-12);
+  // Theorem 2 consistency: total = neighbor + stranger bounds.
+  EXPECT_NEAR(TotalErrorBound(0.15, 5),
+              NeighborErrorBound(0.15, 5, 10) + StrangerErrorBound(0.15, 10),
+              1e-12);
+}
+
+TEST(TpaTest, ValidatesOptions) {
+  Graph graph = CommunityGraph();
+  TpaOptions bad;
+  bad.family_window = 0;
+  EXPECT_FALSE(Tpa::Preprocess(graph, bad).ok());
+  bad.family_window = 5;
+  bad.stranger_start = 5;  // T must exceed S
+  EXPECT_FALSE(Tpa::Preprocess(graph, bad).ok());
+  bad.stranger_start = 10;
+  bad.restart_probability = 0.0;
+  EXPECT_FALSE(Tpa::Preprocess(graph, bad).ok());
+}
+
+TEST(TpaDeathTest, OutOfRangeSeedDies) {
+  Graph graph = CommunityGraph();
+  auto tpa = Tpa::Preprocess(graph, {});
+  ASSERT_TRUE(tpa.ok());
+  EXPECT_DEATH(tpa->Query(graph.num_nodes()), "CHECK");
+}
+
+}  // namespace
+}  // namespace tpa

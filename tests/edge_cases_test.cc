@@ -1,0 +1,139 @@
+/// Degenerate-input coverage: tiny, disconnected, and pathological graphs
+/// pushed through the full stack (CPI, TPA, push, block elimination).
+
+#include <gtest/gtest.h>
+
+#include "core/cpi.h"
+#include "core/tpa.h"
+#include "graph/builder.h"
+#include "la/vector_ops.h"
+#include "method/bepi.h"
+#include "method/push.h"
+
+namespace tpa {
+namespace {
+
+StatusOr<Graph> SingleNodeGraph() {
+  GraphBuilder builder(1);
+  return builder.Build();  // self-loop policy covers the dangling node
+}
+
+TEST(EdgeCasesTest, SingleNodeCpi) {
+  auto graph = SingleNodeGraph();
+  ASSERT_TRUE(graph.ok());
+  auto exact = Cpi::ExactRwr(*graph, 0, {});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR((*exact)[0], 1.0, 1e-7);
+}
+
+TEST(EdgeCasesTest, SingleNodeTpa) {
+  auto graph = SingleNodeGraph();
+  ASSERT_TRUE(graph.ok());
+  TpaOptions options;
+  options.family_window = 2;
+  options.stranger_start = 4;
+  auto tpa = Tpa::Preprocess(*graph, options);
+  ASSERT_TRUE(tpa.ok());
+  auto scores = tpa->Query(0);
+  EXPECT_NEAR(scores[0], 1.0, 1e-6);
+}
+
+TEST(EdgeCasesTest, TwoNodeCycleHasClosedForm) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  auto exact = Cpi::ExactRwr(*graph, 0, {});
+  ASSERT_TRUE(exact.ok());
+  // r0 = c/(1-(1-c)²), r1 = (1-c)·r0.
+  const double c = 0.15;
+  const double r0 = c / (1.0 - (1.0 - c) * (1.0 - c));
+  EXPECT_NEAR((*exact)[0], r0, 1e-8);
+  EXPECT_NEAR((*exact)[1], (1.0 - c) * r0, 1e-8);
+}
+
+TEST(EdgeCasesTest, DisconnectedComponentsGetNoMass) {
+  // Two disjoint triangles; a walk from component A never reaches B.
+  GraphBuilder builder(6);
+  for (NodeId base : {NodeId{0}, NodeId{3}}) {
+    builder.AddEdge(base, base + 1);
+    builder.AddEdge(base + 1, base + 2);
+    builder.AddEdge(base + 2, base);
+  }
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  auto exact = Cpi::ExactRwr(*graph, 0, {});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR((*exact)[3] + (*exact)[4] + (*exact)[5], 0.0, 1e-12);
+  EXPECT_NEAR(la::NormL1(*exact), 1.0, 1e-7);
+}
+
+TEST(EdgeCasesTest, DisconnectedGraphThroughBepi) {
+  GraphBuilder builder(8);
+  for (NodeId base : {NodeId{0}, NodeId{4}}) {
+    for (NodeId i = 0; i < 4; ++i) {
+      builder.AddEdge(base + i, base + (i + 1) % 4);
+    }
+  }
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  Bepi bepi;
+  MemoryBudget budget;
+  ASSERT_TRUE(bepi.Preprocess(*graph, budget).ok());
+  auto scores = bepi.Query(5);
+  ASSERT_TRUE(scores.ok());
+  auto exact = Cpi::ExactRwr(*graph, 5, {});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LT(la::L1Distance(*scores, *exact), 1e-6);
+}
+
+TEST(EdgeCasesTest, DanglingHeavyGraphLosesMassGracefully) {
+  // Star with kKeep policy: all leaves dangle; CPI mass decays instead of
+  // summing to 1 and nothing crashes.
+  GraphBuilder builder(5);
+  for (NodeId v = 1; v < 5; ++v) builder.AddEdge(0, v);
+  BuildOptions options;
+  options.dangling_policy = DanglingPolicy::kKeep;
+  auto graph = builder.Build(options);
+  ASSERT_TRUE(graph.ok());
+  auto exact = Cpi::ExactRwr(*graph, 0, {});
+  ASSERT_TRUE(exact.ok());
+  const double total = la::NormL1(*exact);
+  EXPECT_GT(total, 0.0);
+  EXPECT_LT(total, 1.0);  // leaked via dangling leaves
+}
+
+TEST(EdgeCasesTest, PushOnSeedWithOnlySelfLoop) {
+  GraphBuilder builder(3);
+  builder.AddEdge(1, 2);  // node 0 gets a policy self-loop
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  auto push = ForwardPush(*graph, 0, 0.15, 1e-6);
+  ASSERT_TRUE(push.ok());
+  // All mass stays at the isolated-but-self-looped seed.
+  EXPECT_NEAR(push->reserve[0] + push->residual[0], 1.0, 1e-9);
+}
+
+TEST(EdgeCasesTest, TpaWindowLargerThanConvergenceHorizon) {
+  // S beyond the ε-convergence point: family covers everything, the
+  // approximation terms contribute ~nothing, result is near exact.
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 0);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  TpaOptions options;
+  options.family_window = 200;   // >> log_{1-c}(ε/c) ≈ 116
+  options.stranger_start = 300;
+  auto tpa = Tpa::Preprocess(*graph, options);
+  ASSERT_TRUE(tpa.ok());
+  auto exact = Cpi::ExactRwr(*graph, 0, {});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LT(la::L1Distance(tpa->Query(0), *exact), 1e-6);
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,150 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "eval/oracle.h"
+#include "graph/generators.h"
+#include "la/vector_ops.h"
+#include "method/tpa_method.h"
+#include "util/table_printer.h"
+
+namespace tpa {
+namespace {
+
+Graph TestGraph() {
+  DcsbmOptions options;
+  options.nodes = 300;
+  options.edges = 2400;
+  options.blocks = 6;
+  options.seed = 91;
+  auto graph = GenerateDcsbm(options);
+  TPA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(PickQuerySeedsTest, DistinctAndDeterministic) {
+  Graph graph = TestGraph();
+  auto a = PickQuerySeeds(graph, 10, 7);
+  auto b = PickQuerySeeds(graph, 10, 7);
+  EXPECT_EQ(a, b);
+  std::set<NodeId> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (NodeId s : a) EXPECT_LT(s, graph.num_nodes());
+}
+
+TEST(PickQuerySeedsTest, ClampsToNodeCount) {
+  Graph graph = TestGraph();
+  auto seeds = PickQuerySeeds(graph, 100000, 1);
+  EXPECT_EQ(seeds.size(), graph.num_nodes());
+}
+
+TEST(MeasurePreprocessTest, ReportsBytesAndTime) {
+  Graph graph = TestGraph();
+  TpaMethod method;
+  auto measurement = MeasurePreprocess(method, graph, 1ull << 30);
+  ASSERT_TRUE(measurement.ok());
+  EXPECT_FALSE(measurement->out_of_memory);
+  EXPECT_EQ(measurement->preprocessed_bytes,
+            graph.num_nodes() * sizeof(double));
+  EXPECT_GE(measurement->seconds, 0.0);
+}
+
+TEST(MeasurePreprocessTest, MapsResourceExhaustedToOom) {
+  Graph graph = TestGraph();
+  TpaMethod method;
+  auto measurement = MeasurePreprocess(method, graph, /*budget_bytes=*/8);
+  ASSERT_TRUE(measurement.ok());
+  EXPECT_TRUE(measurement->out_of_memory);
+}
+
+TEST(MeasureOnlineTest, AveragesOverSeeds) {
+  Graph graph = TestGraph();
+  TpaMethod method;
+  MemoryBudget budget;
+  ASSERT_TRUE(method.Preprocess(graph, budget).ok());
+  auto seconds = MeasureOnlineSeconds(method, {0, 1, 2});
+  ASSERT_TRUE(seconds.ok());
+  EXPECT_GE(*seconds, 0.0);
+  EXPECT_FALSE(MeasureOnlineSeconds(method, {}).ok());
+}
+
+TEST(OracleTest, CachesExactVectors) {
+  Graph graph = TestGraph();
+  GroundTruthOracle oracle(graph);
+  auto first = oracle.Exact(5);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(oracle.cached_queries(), 1u);
+  auto second = oracle.Exact(5);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(oracle.cached_queries(), 1u);  // served from cache
+  EXPECT_LT(la::L1Distance(*first, *second), 1e-15);
+  EXPECT_NEAR(la::NormL1(*first), 1.0, 1e-9);
+}
+
+TEST(BenchArgsTest, ParsesAllFlags) {
+  const char* argv[] = {"bench",      "--scale", "0.5",  "--seeds",
+                        "12",         "--budget-mb", "64",   "--csv",
+                        "/tmp/x.csv", "--datasets",  "slashdot-sim,pokec-sim"};
+  auto args = BenchArgs::Parse(11, const_cast<char**>(argv));
+  ASSERT_TRUE(args.ok());
+  EXPECT_DOUBLE_EQ(args->scale, 0.5);
+  EXPECT_EQ(args->seeds, 12u);
+  EXPECT_EQ(args->budget_bytes, 64ull << 20);
+  EXPECT_EQ(args->csv_path, "/tmp/x.csv");
+  ASSERT_EQ(args->datasets.size(), 2u);
+  EXPECT_EQ(args->datasets[0], "slashdot-sim");
+}
+
+TEST(BenchArgsTest, RejectsBadFlags) {
+  {
+    const char* argv[] = {"bench", "--scale", "-1"};
+    EXPECT_FALSE(BenchArgs::Parse(3, const_cast<char**>(argv)).ok());
+  }
+  {
+    const char* argv[] = {"bench", "--unknown"};
+    EXPECT_FALSE(BenchArgs::Parse(2, const_cast<char**>(argv)).ok());
+  }
+  {
+    const char* argv[] = {"bench", "--seeds"};
+    EXPECT_FALSE(BenchArgs::Parse(2, const_cast<char**>(argv)).ok());
+  }
+}
+
+TEST(BenchArgsTest, SelectDatasetsUsesFallback) {
+  BenchArgs args;
+  auto specs = args.SelectDatasets({"slashdot-sim", "google-sim"});
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ(specs->size(), 2u);
+  EXPECT_EQ((*specs)[0].name, "slashdot-sim");
+
+  args.datasets = {"pokec-sim"};
+  specs = args.SelectDatasets({"slashdot-sim"});
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ(specs->size(), 1u);
+  EXPECT_EQ((*specs)[0].name, "pokec-sim");
+
+  args.datasets = {"bogus"};
+  EXPECT_FALSE(args.SelectDatasets({}).ok());
+}
+
+TEST(EmitTableTest, WritesCsvWhenRequested) {
+  TablePrinter table({"x"});
+  table.AddRow({"1"});
+  BenchArgs args;
+  args.csv_path = ::testing::TempDir() + "/emit_table_test.csv";
+  ASSERT_TRUE(EmitTable(table, args).ok());
+  std::ifstream in(args.csv_path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "x");
+  std::remove(args.csv_path.c_str());
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,129 @@
+#include "eval/matrix_power.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace tpa {
+namespace {
+
+TEST(MatrixPowerTest, NnzGrowsWithPower) {
+  // Figure 4(a)'s qualitative claim on a small community graph.
+  DcsbmOptions options;
+  options.nodes = 200;
+  options.edges = 1200;
+  options.blocks = 4;
+  options.seed = 81;
+  auto graph = GenerateDcsbm(options);
+  ASSERT_TRUE(graph.ok());
+
+  auto stats = AnalyzeMatrixPowers(*graph, 5, {0, 10, 20});
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->size(), 5u);
+  for (size_t i = 1; i < stats->size(); ++i) {
+    EXPECT_GE((*stats)[i].nnz, (*stats)[i - 1].nnz);
+  }
+}
+
+TEST(MatrixPowerTest, CiDecreasesWithPower) {
+  // Figure 4(b)'s qualitative claim: columns of (Ã^T)^i converge as i grows.
+  DcsbmOptions options;
+  options.nodes = 150;
+  options.edges = 1500;
+  options.blocks = 3;
+  options.zipf_theta = 0.8;
+  options.seed = 83;
+  auto graph = GenerateDcsbm(options);
+  ASSERT_TRUE(graph.ok());
+
+  auto stats = AnalyzeMatrixPowers(*graph, 7, {5, 50, 100});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT(stats->back().avg_ci, stats->front().avg_ci);
+  // C_i ∈ [0, 2] always (difference of two unit L1 vectors).
+  for (const auto& entry : *stats) {
+    EXPECT_GE(entry.avg_ci, 0.0);
+    EXPECT_LE(entry.avg_ci, 2.0 + 1e-12);
+  }
+}
+
+TEST(MatrixPowerTest, FirstPowerNnzEqualsTransitionNnz) {
+  // (Ã^T)^1 has exactly one nonzero per edge (entries never collide).
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 0);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  auto stats = AnalyzeMatrixPowers(*graph, 1, {});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ((*stats)[0].nnz, graph->num_edges());
+}
+
+TEST(MatrixPowerTest, RejectsOversizedGraph) {
+  DcsbmOptions options;
+  options.nodes = 100;
+  options.edges = 500;
+  options.seed = 85;
+  auto graph = GenerateDcsbm(options);
+  ASSERT_TRUE(graph.ok());
+  auto stats = AnalyzeMatrixPowers(*graph, 2, {}, /*max_dense_elements=*/100);
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MatrixPowerTest, ValidatesArguments) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(AnalyzeMatrixPowers(*graph, 0, {}).ok());
+  EXPECT_FALSE(AnalyzeMatrixPowers(*graph, 2, {5}).ok());  // seed range
+}
+
+TEST(SpyGridTest, DensitiesInUnitInterval) {
+  DcsbmOptions options;
+  options.nodes = 120;
+  options.edges = 900;
+  options.blocks = 4;
+  options.seed = 87;
+  auto graph = GenerateDcsbm(options);
+  ASSERT_TRUE(graph.ok());
+  auto grid = SpyGrid(*graph, 3, 8);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->rows(), 8u);
+  double total = 0.0;
+  for (size_t r = 0; r < 8; ++r) {
+    for (size_t c = 0; c < 8; ++c) {
+      EXPECT_GE(grid->At(r, c), 0.0);
+      EXPECT_LE(grid->At(r, c), 1.0 + 1e-12);
+      total += grid->At(r, c);
+    }
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(SpyGridTest, HigherPowerDenserGrid) {
+  DcsbmOptions options;
+  options.nodes = 120;
+  options.edges = 700;
+  options.blocks = 4;
+  options.seed = 89;
+  auto graph = GenerateDcsbm(options);
+  ASSERT_TRUE(graph.ok());
+  auto low = SpyGrid(*graph, 1, 8);
+  auto high = SpyGrid(*graph, 5, 8);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  double low_total = 0.0, high_total = 0.0;
+  for (size_t r = 0; r < 8; ++r) {
+    for (size_t c = 0; c < 8; ++c) {
+      low_total += low->At(r, c);
+      high_total += high->At(r, c);
+    }
+  }
+  EXPECT_GT(high_total, low_total);
+}
+
+}  // namespace
+}  // namespace tpa

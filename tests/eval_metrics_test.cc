@@ -1,0 +1,62 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace tpa {
+namespace {
+
+TEST(RecallTest, PerfectMatch) {
+  std::vector<double> v = {0.5, 0.3, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(RecallAtK(v, v, 2), 1.0);
+}
+
+TEST(RecallTest, DisjointTopK) {
+  std::vector<double> approx = {1.0, 0.9, 0.0, 0.0};
+  std::vector<double> exact = {0.0, 0.0, 1.0, 0.9};
+  EXPECT_DOUBLE_EQ(RecallAtK(approx, exact, 2), 0.0);
+}
+
+TEST(RecallTest, PartialOverlap) {
+  std::vector<double> approx = {1.0, 0.9, 0.1, 0.0};
+  std::vector<double> exact = {1.0, 0.0, 0.9, 0.0};
+  // top-2(approx) = {0,1}, top-2(exact) = {0,2} → overlap {0} → 0.5.
+  EXPECT_DOUBLE_EQ(RecallAtK(approx, exact, 2), 0.5);
+}
+
+TEST(RecallTest, OrderWithinTopKIrrelevant) {
+  std::vector<double> approx = {0.3, 0.5, 0.2, 0.0};  // swapped ranks
+  std::vector<double> exact = {0.5, 0.3, 0.2, 0.0};
+  EXPECT_DOUBLE_EQ(RecallAtK(approx, exact, 2), 1.0);
+}
+
+TEST(RecallTest, KClampedToVectorSize) {
+  std::vector<double> v = {1.0, 0.5};
+  EXPECT_DOUBLE_EQ(RecallAtK(v, v, 100), 1.0);
+}
+
+TEST(RecallTest, KZeroIsVacuouslyPerfect) {
+  std::vector<double> v = {1.0};
+  EXPECT_DOUBLE_EQ(RecallAtK(v, v, 0), 1.0);
+}
+
+TEST(L1ErrorTest, MatchesVectorDistance) {
+  std::vector<double> a = {0.5, 0.5};
+  std::vector<double> b = {0.25, 0.75};
+  EXPECT_DOUBLE_EQ(L1Error(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(L1Error(a, a), 0.0);
+}
+
+TEST(TopKAbsoluteErrorTest, AveragesOverExactTopK) {
+  std::vector<double> exact = {1.0, 0.5, 0.1};
+  std::vector<double> approx = {0.9, 0.6, 0.1};
+  // exact top-2 = {0, 1}; errors 0.1 and 0.1 → mean 0.1.
+  EXPECT_NEAR(TopKAbsoluteError(approx, exact, 2), 0.1, 1e-12);
+}
+
+TEST(TopKAbsoluteErrorTest, ZeroKIsZero) {
+  std::vector<double> v = {1.0};
+  EXPECT_DOUBLE_EQ(TopKAbsoluteError(v, v, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace tpa

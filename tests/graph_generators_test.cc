@@ -1,0 +1,173 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace tpa {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  ErdosRenyiOptions options;
+  options.nodes = 100;
+  options.edges = 500;
+  options.seed = 1;
+  auto graph = GenerateErdosRenyi(options);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 100u);
+  // Exactly 500 distinct non-loop edges, plus self-loops for dangling nodes.
+  GraphStats stats = ComputeGraphStats(*graph);
+  EXPECT_GE(stats.edges, 500u);
+  EXPECT_LE(stats.edges, 500u + 100u);
+  EXPECT_EQ(stats.dangling_nodes, 0u);
+}
+
+TEST(ErdosRenyiTest, DeterministicFromSeed) {
+  ErdosRenyiOptions options;
+  options.nodes = 60;
+  options.edges = 150;
+  options.seed = 7;
+  auto a = GenerateErdosRenyi(options);
+  auto b = GenerateErdosRenyi(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_edges(), b->num_edges());
+  for (NodeId u = 0; u < a->num_nodes(); ++u) {
+    auto na = a->OutNeighbors(u);
+    auto nb = b->OutNeighbors(u);
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(ErdosRenyiTest, RejectsImpossibleEdgeCount) {
+  ErdosRenyiOptions options;
+  options.nodes = 3;
+  options.edges = 7;  // max is 6
+  EXPECT_EQ(GenerateErdosRenyi(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ErdosRenyiTest, RejectsZeroNodes) {
+  EXPECT_FALSE(GenerateErdosRenyi({}).ok());
+}
+
+TEST(RmatTest, ProducesPowerLawishGraph) {
+  RmatOptions options;
+  options.scale = 10;  // 1024 nodes
+  options.edges = 8000;
+  options.seed = 3;
+  auto graph = GenerateRmat(options);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 1024u);
+  GraphStats stats = ComputeGraphStats(*graph);
+  // Skewed quadrants concentrate edges: max degree far above average.
+  EXPECT_GT(stats.max_out_degree, 4 * stats.avg_out_degree);
+}
+
+TEST(RmatTest, RejectsBadProbabilities) {
+  RmatOptions options;
+  options.edges = 10;
+  options.a = 0.9;
+  options.b = 0.1;
+  options.c = 0.1;  // a+b+c >= 1
+  EXPECT_FALSE(GenerateRmat(options).ok());
+}
+
+TEST(RmatTest, RejectsZeroEdges) {
+  RmatOptions options;
+  options.edges = 0;
+  EXPECT_FALSE(GenerateRmat(options).ok());
+}
+
+class DcsbmTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DcsbmTest, IntraFractionControlsCommunityStructure) {
+  // Property sweep: higher intra_fraction ⇒ more within-block edges.
+  DcsbmOptions options;
+  options.nodes = 1000;
+  options.edges = 10000;
+  options.blocks = 10;
+  options.intra_fraction = GetParam();
+  options.seed = 11;
+  auto graph = GenerateDcsbm(options);
+  ASSERT_TRUE(graph.ok());
+
+  const NodeId block_size = (options.nodes + options.blocks - 1) /
+                            options.blocks;
+  uint64_t intra = 0, total = 0;
+  for (NodeId u = 0; u < graph->num_nodes(); ++u) {
+    for (NodeId v : graph->OutNeighbors(u)) {
+      if (u == v) continue;  // policy self-loops are not drawn edges
+      ++total;
+      if (u / block_size == v / block_size) ++intra;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  const double observed = static_cast<double>(intra) /
+                          static_cast<double>(total);
+  // Inter-community draws can still land in the source's block by chance
+  // (~1/blocks of the time), so observed ≥ parameter; allow sampling slack.
+  EXPECT_GT(observed, GetParam() - 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(IntraSweep, DcsbmTest,
+                         ::testing::Values(0.5, 0.7, 0.85, 0.95));
+
+TEST(DcsbmTest, HeavyTailedDegrees) {
+  DcsbmOptions options;
+  options.nodes = 2000;
+  options.edges = 20000;
+  options.blocks = 8;
+  options.zipf_theta = 1.0;
+  options.seed = 13;
+  auto graph = GenerateDcsbm(options);
+  ASSERT_TRUE(graph.ok());
+  GraphStats stats = ComputeGraphStats(*graph);
+  EXPECT_GT(stats.max_out_degree, 10 * stats.avg_out_degree);
+}
+
+TEST(DcsbmTest, UniformWeightsWhenThetaZero) {
+  DcsbmOptions options;
+  options.nodes = 2000;
+  options.edges = 20000;
+  options.blocks = 8;
+  options.zipf_theta = 0.0;
+  options.seed = 13;
+  auto graph = GenerateDcsbm(options);
+  ASSERT_TRUE(graph.ok());
+  GraphStats stats = ComputeGraphStats(*graph);
+  // Poisson-ish degrees: max ≈ avg + a few sigmas, far below heavy tails.
+  EXPECT_LT(stats.max_out_degree, 6 * stats.avg_out_degree);
+}
+
+TEST(DcsbmTest, NoDanglingNodes) {
+  DcsbmOptions options;
+  options.nodes = 500;
+  options.edges = 1500;
+  options.blocks = 4;
+  options.seed = 17;
+  auto graph = GenerateDcsbm(options);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->CountDangling(), 0u);
+}
+
+TEST(DcsbmTest, ValidatesOptions) {
+  DcsbmOptions options;
+  options.nodes = 0;
+  EXPECT_FALSE(GenerateDcsbm(options).ok());
+  options.nodes = 10;
+  options.edges = 0;
+  EXPECT_FALSE(GenerateDcsbm(options).ok());
+  options.edges = 10;
+  options.blocks = 0;
+  EXPECT_FALSE(GenerateDcsbm(options).ok());
+  options.blocks = 20;  // > nodes
+  EXPECT_FALSE(GenerateDcsbm(options).ok());
+  options.blocks = 2;
+  options.intra_fraction = 1.5;
+  EXPECT_FALSE(GenerateDcsbm(options).ok());
+}
+
+}  // namespace
+}  // namespace tpa

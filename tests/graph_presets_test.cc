@@ -1,0 +1,99 @@
+#include "graph/presets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace tpa {
+namespace {
+
+TEST(PresetsTest, SevenDatasetsOrderedBySize) {
+  const auto& specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 7u);
+  for (size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_GT(specs[i].nodes, specs[i - 1].nodes);
+    EXPECT_GT(specs[i].edges, specs[i - 1].edges);
+  }
+}
+
+TEST(PresetsTest, TableIIParametersPreserved) {
+  // S and T exactly as the paper's Table II.
+  struct Expected {
+    const char* name;
+    int s;
+    int t;
+  };
+  const Expected expected[] = {
+      {"slashdot-sim", 5, 15},    {"google-sim", 5, 20},
+      {"pokec-sim", 5, 10},       {"livejournal-sim", 5, 10},
+      {"wikilink-sim", 5, 6},     {"twitter-sim", 4, 6},
+      {"friendster-sim", 4, 20},
+  };
+  for (const auto& e : expected) {
+    auto spec = FindDatasetSpec(e.name);
+    ASSERT_TRUE(spec.ok()) << e.name;
+    EXPECT_EQ(spec->s, e.s) << e.name;
+    EXPECT_EQ(spec->t, e.t) << e.name;
+  }
+}
+
+TEST(PresetsTest, UnknownNameIsNotFound) {
+  EXPECT_EQ(FindDatasetSpec("orkut-sim").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PresetsTest, ScaledGraphMatchesSpec) {
+  auto spec = FindDatasetSpec("slashdot-sim");
+  ASSERT_TRUE(spec.ok());
+  auto graph = MakePresetGraph(*spec, 0.1);
+  ASSERT_TRUE(graph.ok());
+  GraphStats stats = ComputeGraphStats(*graph);
+  EXPECT_NEAR(stats.nodes, spec->nodes * 0.1, spec->nodes * 0.01);
+  // Heavy-tailed weights collapse many duplicate draws on small graphs;
+  // the built count still tracks the draw count within a factor ~2.
+  EXPECT_GT(stats.edges, spec->edges * 0.1 * 0.5);
+  EXPECT_LE(stats.edges, spec->edges * 0.1 + stats.nodes);
+  EXPECT_EQ(stats.dangling_nodes, 0u);
+}
+
+TEST(PresetsTest, RandomTwinMatchesSizes) {
+  auto spec = FindDatasetSpec("slashdot-sim");
+  ASSERT_TRUE(spec.ok());
+  auto real = MakePresetGraph(*spec, 0.1);
+  ASSERT_TRUE(real.ok());
+  auto twin = MakeRandomTwin(*real);
+  ASSERT_TRUE(twin.ok());
+  EXPECT_EQ(real->num_nodes(), twin->num_nodes());
+  const double ratio = static_cast<double>(twin->num_edges()) /
+                       static_cast<double>(real->num_edges());
+  EXPECT_GT(ratio, 0.95);
+  EXPECT_LT(ratio, 1.05);
+}
+
+TEST(PresetsTest, GenerationIsDeterministic) {
+  auto spec = FindDatasetSpec("google-sim");
+  ASSERT_TRUE(spec.ok());
+  auto a = MakePresetGraph(*spec, 0.05);
+  auto b = MakePresetGraph(*spec, 0.05);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_edges(), b->num_edges());
+}
+
+TEST(PresetsTest, InvalidScaleRejected) {
+  auto spec = FindDatasetSpec("slashdot-sim");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(MakePresetGraph(*spec, 0.0).ok());
+  EXPECT_FALSE(MakePresetGraph(*spec, -1.0).ok());
+}
+
+TEST(PresetsTest, TinyScaleClampsToMinimumSize) {
+  auto spec = FindDatasetSpec("slashdot-sim");
+  ASSERT_TRUE(spec.ok());
+  auto graph = MakePresetGraph(*spec, 1e-9);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_GE(graph->num_nodes(), 64u);
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,70 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace tpa {
+namespace {
+
+TEST(GraphStatsTest, HandComputedChain) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  BuildOptions options;
+  options.dangling_policy = DanglingPolicy::kKeep;
+  auto graph = builder.Build(options);
+  ASSERT_TRUE(graph.ok());
+
+  GraphStats stats = ComputeGraphStats(*graph);
+  EXPECT_EQ(stats.nodes, 4u);
+  EXPECT_EQ(stats.edges, 3u);
+  EXPECT_DOUBLE_EQ(stats.avg_out_degree, 0.75);
+  EXPECT_EQ(stats.max_out_degree, 1u);
+  EXPECT_EQ(stats.max_in_degree, 1u);
+  EXPECT_EQ(stats.dangling_nodes, 1u);  // node 3
+  EXPECT_EQ(stats.isolated_nodes, 0u);
+}
+
+TEST(GraphStatsTest, IsolatedNodesCounted) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1);
+  BuildOptions options;
+  options.dangling_policy = DanglingPolicy::kKeep;
+  auto graph = builder.Build(options);
+  ASSERT_TRUE(graph.ok());
+  GraphStats stats = ComputeGraphStats(*graph);
+  // Nodes 2, 3, 4 have no edges at all; node 1 is dangling but not isolated.
+  EXPECT_EQ(stats.isolated_nodes, 3u);
+  EXPECT_EQ(stats.dangling_nodes, 4u);
+}
+
+TEST(GraphStatsTest, StarGraphDegrees) {
+  GraphBuilder builder(11);
+  for (NodeId v = 1; v <= 10; ++v) builder.AddEdge(0, v);
+  auto graph = builder.Build();  // self-loops fix dangling leaves
+  ASSERT_TRUE(graph.ok());
+  GraphStats stats = ComputeGraphStats(*graph);
+  EXPECT_EQ(stats.max_out_degree, 10u);
+  EXPECT_EQ(stats.dangling_nodes, 0u);
+}
+
+TEST(GraphStatsTest, MatchesGeneratorContract) {
+  DcsbmOptions options;
+  options.nodes = 400;
+  options.edges = 3000;
+  options.blocks = 4;
+  options.seed = 9;
+  auto graph = GenerateDcsbm(options);
+  ASSERT_TRUE(graph.ok());
+  GraphStats stats = ComputeGraphStats(*graph);
+  EXPECT_EQ(stats.nodes, 400u);
+  EXPECT_EQ(stats.edges, graph->num_edges());
+  EXPECT_EQ(stats.dangling_nodes, 0u);
+  EXPECT_GT(stats.max_out_degree, stats.avg_out_degree);
+}
+
+}  // namespace
+}  // namespace tpa

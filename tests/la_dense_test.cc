@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/dense_matrix.h"
+#include "la/lu.h"
+#include "la/qr.h"
+#include "util/random.h"
+
+namespace tpa::la {
+namespace {
+
+DenseMatrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m.At(r, c) = rng.NextGaussian();
+  }
+  return m;
+}
+
+TEST(DenseMatrixTest, IdentityAndMatVec) {
+  DenseMatrix eye = DenseMatrix::Identity(3);
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  auto y = eye.MatVec(x);
+  EXPECT_EQ(y, x);
+}
+
+TEST(DenseMatrixTest, MatVecTransposeMatchesExplicitTranspose) {
+  DenseMatrix a = RandomMatrix(4, 3, 5);
+  std::vector<double> x = {1.0, -1.0, 0.5, 2.0};
+  auto direct = a.MatVecTranspose(x);
+  auto via_transpose = a.Transposed().MatVec(x);
+  ASSERT_EQ(direct.size(), via_transpose.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], via_transpose[i], 1e-12);
+  }
+}
+
+TEST(DenseMatrixTest, MatMulAgainstHandComputed) {
+  DenseMatrix a(2, 2), b(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 3;
+  a.At(1, 1) = 4;
+  b.At(0, 0) = 5;
+  b.At(0, 1) = 6;
+  b.At(1, 0) = 7;
+  b.At(1, 1) = 8;
+  DenseMatrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(DenseMatrixTest, SizeBytes) {
+  DenseMatrix m(10, 20);
+  EXPECT_EQ(m.SizeBytes(), 10u * 20u * sizeof(double));
+}
+
+TEST(LuTest, SolvesRandomSystems) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const size_t n = 20;
+    DenseMatrix a = RandomMatrix(n, n, seed);
+    for (size_t i = 0; i < n; ++i) a.At(i, i) += 5.0;  // well-conditioned
+    Rng rng(seed + 100);
+    std::vector<double> x_true(n);
+    for (double& v : x_true) v = rng.NextGaussian();
+    std::vector<double> b = a.MatVec(x_true);
+
+    auto lu = LuDecomposition::Compute(a);
+    ASSERT_TRUE(lu.ok());
+    auto x = lu->Solve(b);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(LuTest, InverseTimesOriginalIsIdentity) {
+  DenseMatrix a = RandomMatrix(15, 15, 7);
+  for (size_t i = 0; i < 15; ++i) a.At(i, i) += 4.0;
+  auto lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  DenseMatrix prod = a.MatMul(lu->Inverse());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(prod, DenseMatrix::Identity(15)), 1e-9);
+}
+
+TEST(LuTest, SingularMatrixIsRejected) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 1.0;
+  a.At(0, 1) = 2.0;
+  a.At(1, 0) = 2.0;
+  a.At(1, 1) = 4.0;  // rank 1
+  auto lu = LuDecomposition::Compute(a);
+  EXPECT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LuTest, NonSquareIsRejected) {
+  auto lu = LuDecomposition::Compute(DenseMatrix(2, 3));
+  EXPECT_EQ(lu.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LuTest, DeterminantOfKnownMatrix) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 3.0;
+  a.At(0, 1) = 1.0;
+  a.At(1, 0) = 2.0;
+  a.At(1, 1) = 4.0;
+  auto lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), 10.0, 1e-12);
+}
+
+TEST(QrTest, ReconstructsMatrix) {
+  DenseMatrix a = RandomMatrix(12, 5, 11);
+  auto qr = QrDecomposition::ComputeThin(a);
+  ASSERT_TRUE(qr.ok());
+  DenseMatrix reconstructed = qr->q().MatMul(qr->r());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(reconstructed, a), 1e-10);
+}
+
+TEST(QrTest, QHasOrthonormalColumns) {
+  DenseMatrix a = RandomMatrix(30, 8, 13);
+  auto qr = QrDecomposition::ComputeThin(a);
+  ASSERT_TRUE(qr.ok());
+  DenseMatrix qtq = qr->q().Transposed().MatMul(qr->q());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(qtq, DenseMatrix::Identity(8)), 1e-10);
+}
+
+TEST(QrTest, RIsUpperTriangular) {
+  DenseMatrix a = RandomMatrix(10, 4, 17);
+  auto qr = QrDecomposition::ComputeThin(a);
+  ASSERT_TRUE(qr.ok());
+  for (size_t i = 1; i < 4; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_NEAR(qr->r().At(i, j), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(QrTest, LeastSquaresRecoversExactSolution) {
+  // Consistent overdetermined system: b in range(A).
+  DenseMatrix a = RandomMatrix(20, 6, 19);
+  Rng rng(23);
+  std::vector<double> x_true(6);
+  for (double& v : x_true) v = rng.NextGaussian();
+  std::vector<double> b = a.MatVec(x_true);
+  auto qr = QrDecomposition::ComputeThin(a);
+  ASSERT_TRUE(qr.ok());
+  auto x = qr->LeastSquares(b);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < 6; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-9);
+}
+
+TEST(QrTest, WideMatrixRejected) {
+  auto qr = QrDecomposition::ComputeThin(DenseMatrix(3, 5));
+  EXPECT_EQ(qr.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tpa::la

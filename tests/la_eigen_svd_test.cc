@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/dense_matrix.h"
+#include "la/linear_operator.h"
+#include "la/symmetric_eigen.h"
+#include "la/truncated_svd.h"
+#include "util/random.h"
+
+namespace tpa::la {
+namespace {
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  DenseMatrix a(3, 3);
+  a.At(0, 0) = 1.0;
+  a.At(1, 1) = 5.0;
+  a.At(2, 2) = 3.0;
+  auto eig = ComputeSymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 5.0, 1e-10);
+  EXPECT_NEAR(eig->eigenvalues[1], 3.0, 1e-10);
+  EXPECT_NEAR(eig->eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigenTest, ReconstructsMatrix) {
+  Rng rng(3);
+  const size_t n = 8;
+  DenseMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = rng.NextGaussian();
+      a.At(i, j) = v;
+      a.At(j, i) = v;
+    }
+  }
+  auto eig = ComputeSymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  // A = V diag(w) V^T
+  DenseMatrix lambda(n, n);
+  for (size_t i = 0; i < n; ++i) lambda.At(i, i) = eig->eigenvalues[i];
+  DenseMatrix reconstructed = eig->eigenvectors.MatMul(lambda).MatMul(
+      eig->eigenvectors.Transposed());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(reconstructed, a), 1e-8);
+}
+
+TEST(SymmetricEigenTest, EigenvectorsOrthonormal) {
+  Rng rng(5);
+  const size_t n = 6;
+  DenseMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = rng.NextGaussian();
+      a.At(i, j) = v;
+      a.At(j, i) = v;
+    }
+  }
+  auto eig = ComputeSymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  DenseMatrix vtv =
+      eig->eigenvectors.Transposed().MatMul(eig->eigenvectors);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(vtv, DenseMatrix::Identity(n)), 1e-8);
+}
+
+TEST(SymmetricEigenTest, NonSquareRejected) {
+  auto eig = ComputeSymmetricEigen(DenseMatrix(2, 3));
+  EXPECT_EQ(eig.status().code(), StatusCode::kInvalidArgument);
+}
+
+/// Wraps a dense matrix as a pair of LinearOperators for the SVD.
+struct OperatorPair {
+  DenseMatrix matrix;
+  LinearOperator a;
+  LinearOperator at;
+
+  explicit OperatorPair(DenseMatrix m) : matrix(std::move(m)) {
+    a.rows = matrix.rows();
+    a.cols = matrix.cols();
+    a.apply = [this](const std::vector<double>& x, std::vector<double>& y) {
+      y = matrix.MatVec(x);
+    };
+    at.rows = matrix.cols();
+    at.cols = matrix.rows();
+    at.apply = [this](const std::vector<double>& x, std::vector<double>& y) {
+      y = matrix.MatVecTranspose(x);
+    };
+  }
+};
+
+TEST(TruncatedSvdTest, RecoversLowRankMatrixExactly) {
+  // Build a rank-3 matrix A = U S V^T and recover its spectrum.
+  Rng rng(7);
+  const size_t n = 30, rank = 3;
+  DenseMatrix left = DenseMatrix(n, rank), right = DenseMatrix(n, rank);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < rank; ++j) {
+      left.At(i, j) = rng.NextGaussian();
+      right.At(i, j) = rng.NextGaussian();
+    }
+  }
+  DenseMatrix a = left.MatMul(right.Transposed());
+
+  OperatorPair ops(a);
+  TruncatedSvdOptions options;
+  options.rank = rank;
+  options.power_iterations = 30;
+  auto svd = ComputeTruncatedSvd(ops.a, ops.at, options);
+  ASSERT_TRUE(svd.ok());
+
+  // U diag(s) V^T should reconstruct A.
+  DenseMatrix sigma(rank, rank);
+  for (size_t i = 0; i < rank; ++i) sigma.At(i, i) = svd->singular[i];
+  DenseMatrix reconstructed =
+      svd->u.MatMul(sigma).MatMul(svd->v.Transposed());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(reconstructed, a), 1e-6);
+}
+
+TEST(TruncatedSvdTest, SingularValuesDecreasing) {
+  Rng rng(11);
+  const size_t n = 25;
+  DenseMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a.At(i, j) = rng.NextGaussian();
+  }
+  OperatorPair ops(a);
+  TruncatedSvdOptions options;
+  options.rank = 5;
+  options.power_iterations = 20;
+  auto svd = ComputeTruncatedSvd(ops.a, ops.at, options);
+  ASSERT_TRUE(svd.ok());
+  for (size_t i = 1; i < 5; ++i) {
+    EXPECT_GE(svd->singular[i - 1], svd->singular[i] - 1e-12);
+  }
+}
+
+TEST(TruncatedSvdTest, FactorsAreOrthonormal) {
+  Rng rng(13);
+  const size_t n = 20;
+  DenseMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a.At(i, j) = rng.NextGaussian();
+  }
+  OperatorPair ops(a);
+  TruncatedSvdOptions options;
+  options.rank = 4;
+  options.power_iterations = 25;
+  auto svd = ComputeTruncatedSvd(ops.a, ops.at, options);
+  ASSERT_TRUE(svd.ok());
+  DenseMatrix utu = svd->u.Transposed().MatMul(svd->u);
+  DenseMatrix vtv = svd->v.Transposed().MatMul(svd->v);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(utu, DenseMatrix::Identity(4)), 1e-6);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(vtv, DenseMatrix::Identity(4)), 1e-6);
+}
+
+TEST(TruncatedSvdTest, InvalidRankRejected) {
+  OperatorPair ops{DenseMatrix::Identity(4)};
+  TruncatedSvdOptions options;
+  options.rank = 0;
+  EXPECT_FALSE(ComputeTruncatedSvd(ops.a, ops.at, options).ok());
+  options.rank = 10;
+  EXPECT_FALSE(ComputeTruncatedSvd(ops.a, ops.at, options).ok());
+}
+
+}  // namespace
+}  // namespace tpa::la

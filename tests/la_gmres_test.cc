@@ -1,0 +1,128 @@
+#include "la/gmres.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/dense_matrix.h"
+#include "util/random.h"
+
+namespace tpa::la {
+namespace {
+
+LinearOperator AsOperator(const DenseMatrix& m) {
+  LinearOperator op;
+  op.rows = m.rows();
+  op.cols = m.cols();
+  op.apply = [&m](const std::vector<double>& x, std::vector<double>& y) {
+    y = m.MatVec(x);
+  };
+  return op;
+}
+
+TEST(GmresTest, SolvesIdentity) {
+  DenseMatrix eye = DenseMatrix::Identity(5);
+  auto op = AsOperator(eye);
+  std::vector<double> b = {1, 2, 3, 4, 5};
+  auto result = Gmres(op, b, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  for (size_t i = 0; i < 5; ++i) EXPECT_NEAR(result->x[i], b[i], 1e-9);
+}
+
+TEST(GmresTest, SolvesRandomDiagonallyDominantSystem) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Rng rng(seed);
+    const size_t n = 40;
+    DenseMatrix a(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) a.At(i, j) = 0.3 * rng.NextGaussian();
+      a.At(i, i) += 6.0;
+    }
+    std::vector<double> x_true(n);
+    for (double& v : x_true) v = rng.NextGaussian();
+    std::vector<double> b = a.MatVec(x_true);
+
+    auto op = AsOperator(a);
+    GmresOptions options;
+    options.tolerance = 1e-11;
+    auto result = Gmres(op, b, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->converged) << "seed " << seed;
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(result->x[i], x_true[i], 1e-7);
+  }
+}
+
+TEST(GmresTest, RestartedSolveConverges) {
+  Rng rng(9);
+  const size_t n = 60;
+  DenseMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a.At(i, j) = 0.2 * rng.NextGaussian();
+    a.At(i, i) += 4.0;
+  }
+  std::vector<double> b(n, 1.0);
+  auto op = AsOperator(a);
+  GmresOptions options;
+  options.restart = 8;  // force several restart cycles
+  options.tolerance = 1e-10;
+  auto result = Gmres(op, b, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  // Verify residual directly.
+  std::vector<double> ax = a.MatVec(result->x);
+  double err = 0.0;
+  for (size_t i = 0; i < n; ++i) err += std::abs(ax[i] - b[i]);
+  EXPECT_LT(err, 1e-7);
+}
+
+TEST(GmresTest, ZeroRhsReturnsZero) {
+  auto op = AsOperator(DenseMatrix::Identity(3));
+  auto result = Gmres(op, {0.0, 0.0, 0.0}, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  for (double v : result->x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(GmresTest, RwrStyleSystem) {
+  // The exact system BePI solves: (I − (1-c) P) x = c q with P column
+  // stochastic (here: a small ring transition matrix).
+  const size_t n = 10;
+  const double c = 0.15;
+  DenseMatrix h(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    h.At(i, i) = 1.0;
+    h.At((i + 1) % n, i) -= (1.0 - c);  // each node points to its successor
+  }
+  std::vector<double> q(n, 0.0);
+  q[0] = c;
+  auto op = AsOperator(h);
+  auto result = Gmres(op, q, {});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->converged);
+  // Solution is the geometric RWR distribution around the ring.
+  double expected = c;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += result->x[i];
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result->x[i], expected / (1.0 - std::pow(1.0 - c, n)), 1e-9);
+    expected *= (1.0 - c);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GmresTest, DimensionMismatchRejected) {
+  auto op = AsOperator(DenseMatrix::Identity(3));
+  auto result = Gmres(op, {1.0, 2.0}, {});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GmresTest, NonSquareRejected) {
+  DenseMatrix rect(3, 2);
+  auto op = AsOperator(rect);
+  auto result = Gmres(op, {1.0, 2.0, 3.0}, {});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tpa::la

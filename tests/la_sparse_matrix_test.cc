@@ -1,0 +1,99 @@
+#include "la/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tpa::la {
+namespace {
+
+TEST(SparseMatrixTest, AssemblesAndMultiplies) {
+  auto m = SparseMatrix::FromTriplets(2, 3,
+                                      {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->nnz(), 3u);
+  std::vector<double> y;
+  m->MatVec({1.0, 1.0, 1.0}, y);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(SparseMatrixTest, DuplicatesAreSummed) {
+  auto m = SparseMatrix::FromTriplets(1, 1, {{0, 0, 1.5}, {0, 0, 2.5}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->nnz(), 1u);
+  std::vector<double> y;
+  m->MatVec({1.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+}
+
+TEST(SparseMatrixTest, ExplicitZerosDropped) {
+  auto m = SparseMatrix::FromTriplets(1, 2, {{0, 0, 0.0}, {0, 1, 1.0}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->nnz(), 1u);
+}
+
+TEST(SparseMatrixTest, CancellingDuplicatesDropped) {
+  auto m = SparseMatrix::FromTriplets(1, 1, {{0, 0, 2.0}, {0, 0, -2.0}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->nnz(), 0u);
+}
+
+TEST(SparseMatrixTest, OutOfRangeRejected) {
+  auto m = SparseMatrix::FromTriplets(2, 2, {{2, 0, 1.0}});
+  EXPECT_EQ(m.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SparseMatrixTest, MatVecTransposeMatchesManual) {
+  auto m = SparseMatrix::FromTriplets(
+      2, 3, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 2, 4.0}});
+  ASSERT_TRUE(m.ok());
+  std::vector<double> y;
+  m->MatVecTranspose({1.0, 10.0}, y);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  EXPECT_DOUBLE_EQ(y[2], 40.0);
+}
+
+TEST(SparseMatrixTest, RowSpansSortedByColumn) {
+  auto m = SparseMatrix::FromTriplets(
+      1, 5, {{0, 4, 1.0}, {0, 0, 2.0}, {0, 2, 3.0}});
+  ASSERT_TRUE(m.ok());
+  auto cols = m->RowIndices(0);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 0u);
+  EXPECT_EQ(cols[1], 2u);
+  EXPECT_EQ(cols[2], 4u);
+}
+
+TEST(SparseMatrixTest, DroppedRemovesSmallEntries) {
+  auto m = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 0.5}, {0, 1, 0.001}, {1, 1, -0.002}});
+  ASSERT_TRUE(m.ok());
+  SparseMatrix dropped = m->Dropped(0.01);
+  EXPECT_EQ(dropped.nnz(), 1u);
+  std::vector<double> y;
+  dropped.MatVec({1.0, 1.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.5);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+TEST(SparseMatrixTest, DroppedKeepsThresholdBoundary) {
+  auto m = SparseMatrix::FromTriplets(1, 1, {{0, 0, 0.01}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->Dropped(0.01).nnz(), 1u);   // >= keeps
+  EXPECT_EQ(m->Dropped(0.011).nnz(), 0u);  // < drops
+}
+
+TEST(SparseMatrixTest, SizeBytesTracksContents) {
+  auto empty = SparseMatrix::FromTriplets(4, 4, {});
+  auto filled = SparseMatrix::FromTriplets(4, 4, {{0, 0, 1.0}, {1, 1, 1.0}});
+  ASSERT_TRUE(empty.ok());
+  ASSERT_TRUE(filled.ok());
+  EXPECT_GT(filled->SizeBytes(), empty->SizeBytes());
+}
+
+}  // namespace
+}  // namespace tpa::la

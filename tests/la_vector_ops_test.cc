@@ -1,0 +1,70 @@
+#include "la/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tpa::la {
+namespace {
+
+TEST(VectorOpsTest, Axpy) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {10.0, 20.0, 30.0};
+  Axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  EXPECT_DOUBLE_EQ(y[2], 36.0);
+}
+
+TEST(VectorOpsTest, Scale) {
+  std::vector<double> x = {1.0, -2.0};
+  Scale(-0.5, x);
+  EXPECT_DOUBLE_EQ(x[0], -0.5);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+}
+
+TEST(VectorOpsTest, DotAndNorms) {
+  std::vector<double> x = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(Dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(NormL1(x), 7.0);
+  EXPECT_DOUBLE_EQ(NormL2(x), 5.0);
+  EXPECT_DOUBLE_EQ(NormInf(x), 4.0);
+}
+
+TEST(VectorOpsTest, L1Distance) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {2.0, 0.0, 3.0};
+  EXPECT_DOUBLE_EQ(L1Distance(x, y), 3.0);
+  EXPECT_DOUBLE_EQ(L1Distance(x, x), 0.0);
+}
+
+TEST(VectorOpsTest, SetZero) {
+  std::vector<double> x = {1.0, 2.0};
+  SetZero(x);
+  EXPECT_DOUBLE_EQ(NormL1(x), 0.0);
+  EXPECT_EQ(x.size(), 2u);
+}
+
+TEST(VectorOpsTest, TopKIndicesOrderedByValue) {
+  std::vector<double> x = {0.1, 0.9, 0.5, 0.9, 0.2};
+  auto top = TopKIndices(x, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);  // ties break by smaller index
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(VectorOpsTest, TopKClampsToSize) {
+  std::vector<double> x = {1.0, 2.0};
+  auto top = TopKIndices(x, 10);
+  EXPECT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+}
+
+TEST(VectorOpsTest, TopKZeroIsEmpty) {
+  std::vector<double> x = {1.0};
+  EXPECT_TRUE(TopKIndices(x, 0).empty());
+}
+
+}  // namespace
+}  // namespace tpa::la

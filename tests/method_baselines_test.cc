@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include <memory>
+
+#include "core/cpi.h"
+#include "eval/metrics.h"
+#include "graph/generators.h"
+#include "la/vector_ops.h"
+#include "method/bear.h"
+#include "method/bepi.h"
+#include "method/brppr.h"
+#include "method/fora.h"
+#include "method/hubppr.h"
+#include "method/nblin.h"
+#include "method/power_iteration.h"
+#include "method/registry.h"
+#include "method/tpa_method.h"
+
+namespace tpa {
+namespace {
+
+Graph TestGraph(uint64_t seed = 71) {
+  DcsbmOptions options;
+  options.nodes = 500;
+  options.edges = 4000;
+  options.blocks = 8;
+  options.zipf_theta = 1.0;
+  options.intra_fraction = 0.9;
+  options.seed = seed;
+  auto graph = GenerateDcsbm(options);
+  TPA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+std::vector<double> Exact(const Graph& graph, NodeId seed) {
+  CpiOptions options;
+  options.tolerance = 1e-12;
+  auto exact = Cpi::ExactRwr(graph, seed, options);
+  TPA_CHECK(exact.ok());
+  return std::move(exact).value();
+}
+
+TEST(PowerIterationTest, MatchesOracleExactly) {
+  Graph graph = TestGraph();
+  PowerIterationRwr method;
+  MemoryBudget budget;
+  ASSERT_TRUE(method.Preprocess(graph, budget).ok());
+  auto scores = method.Query(10);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_LT(la::L1Distance(*scores, Exact(graph, 10)), 1e-6);
+  EXPECT_EQ(method.PreprocessedBytes(), 0u);
+}
+
+TEST(BepiTest, IsExactToGmresTolerance) {
+  // BePI solves the same system as CPI: agreement validates both the
+  // block-elimination algebra and the paper's use of BePI as ground truth.
+  Graph graph = TestGraph();
+  Bepi method;
+  MemoryBudget budget;
+  ASSERT_TRUE(method.Preprocess(graph, budget).ok());
+  for (NodeId seed : {NodeId{0}, NodeId{123}, NodeId{499}}) {
+    auto scores = method.Query(seed);
+    ASSERT_TRUE(scores.ok());
+    EXPECT_LT(la::L1Distance(*scores, Exact(graph, seed)), 1e-6)
+        << "seed " << seed;
+  }
+  EXPECT_GT(method.PreprocessedBytes(), 0u);
+}
+
+TEST(BearTest, HighAccuracyWithDropTolerance) {
+  Graph graph = TestGraph();
+  // The paper's n^{-1/2} tolerance assumes n ≥ 80k (tol ≤ 0.0035); on a
+  // 500-node test graph it would wipe out most stored entries, so pin an
+  // equivalent absolute tolerance here.
+  BearOptions options;
+  options.drop_tolerance = 0.003;
+  BearApprox method(options);
+  MemoryBudget budget;
+  ASSERT_TRUE(method.Preprocess(graph, budget).ok());
+  auto scores = method.Query(42);
+  ASSERT_TRUE(scores.ok());
+  const auto exact = Exact(graph, 42);
+  EXPECT_GT(RecallAtK(*scores, exact, 50), 0.9);
+  EXPECT_LT(la::L1Distance(*scores, exact), 0.2);
+}
+
+TEST(BearTest, ExactWithZeroDropTolerance) {
+  Graph graph = TestGraph();
+  BearOptions options;
+  options.drop_tolerance = 0.0;
+  BearApprox method(options);
+  MemoryBudget budget;
+  ASSERT_TRUE(method.Preprocess(graph, budget).ok());
+  auto scores = method.Query(7);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_LT(la::L1Distance(*scores, Exact(graph, 7)), 1e-8);
+}
+
+TEST(BearTest, OomOnTinyBudget) {
+  Graph graph = TestGraph();
+  BearApprox method;
+  MemoryBudget budget(1024);  // 1 KB: the Schur workspace cannot fit
+  Status status = method.Preprocess(graph, budget);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BrpprTest, ConcentratesAccuracyNearSeed) {
+  Graph graph = TestGraph();
+  Brppr method;
+  MemoryBudget budget;
+  ASSERT_TRUE(method.Preprocess(graph, budget).ok());
+  auto scores = method.Query(3);
+  ASSERT_TRUE(scores.ok());
+  const auto exact = Exact(graph, 3);
+  EXPECT_GT(RecallAtK(*scores, exact, 50), 0.85);
+  // Mass parked at never-activated boundary nodes loses its future
+  // propagation — that truncation IS BRPPR's approximation error, so the
+  // total lands slightly under 1.
+  EXPECT_GT(la::NormL1(*scores), 0.95);
+  EXPECT_LE(la::NormL1(*scores), 1.0 + 1e-9);
+  EXPECT_GT(method.last_active_count(), 0u);
+  EXPECT_EQ(method.PreprocessedBytes(), 0u);
+}
+
+TEST(BrpprTest, TighterThresholdImprovesAccuracy) {
+  Graph graph = TestGraph();
+  const auto exact = Exact(graph, 9);
+  double loose_error = 0.0, tight_error = 0.0;
+  {
+    BrpprOptions options;
+    options.expansion_threshold = 1e-2;
+    Brppr method(options);
+    MemoryBudget budget;
+    ASSERT_TRUE(method.Preprocess(graph, budget).ok());
+    auto scores = method.Query(9);
+    ASSERT_TRUE(scores.ok());
+    loose_error = la::L1Distance(*scores, exact);
+  }
+  {
+    BrpprOptions options;
+    options.expansion_threshold = 1e-5;
+    Brppr method(options);
+    MemoryBudget budget;
+    ASSERT_TRUE(method.Preprocess(graph, budget).ok());
+    auto scores = method.Query(9);
+    ASSERT_TRUE(scores.ok());
+    tight_error = la::L1Distance(*scores, exact);
+  }
+  EXPECT_LT(tight_error, loose_error + 1e-12);
+}
+
+TEST(NbLinTest, LowRankGivesCoarseApproximation) {
+  Graph graph = TestGraph();
+  NbLinOptions options;
+  options.rank = 48;
+  options.power_iterations = 4;
+  NbLin method(options);
+  MemoryBudget budget;
+  ASSERT_TRUE(method.Preprocess(graph, budget).ok());
+  auto scores = method.Query(15);
+  ASSERT_TRUE(scores.ok());
+  const auto exact = Exact(graph, 15);
+  // NB-LIN is the paper's least accurate method: sanity-check that it is
+  // meaningfully correlated with the truth without demanding high recall.
+  EXPECT_GT(RecallAtK(*scores, exact, 50), 0.3);
+  EXPECT_GT(method.PreprocessedBytes(), 0u);
+}
+
+TEST(NbLinTest, SeedEntryDominatesItsOwnScore) {
+  Graph graph = TestGraph();
+  NbLinOptions options;
+  options.rank = 32;
+  NbLin method(options);
+  MemoryBudget budget;
+  ASSERT_TRUE(method.Preprocess(graph, budget).ok());
+  auto scores = method.Query(8);
+  ASSERT_TRUE(scores.ok());
+  // The explicit c·q term guarantees the seed keeps a large score.
+  EXPECT_GT((*scores)[8], 0.1);
+}
+
+TEST(NbLinTest, OomOnTinyBudget) {
+  Graph graph = TestGraph();
+  NbLin method;
+  MemoryBudget budget(1024);
+  EXPECT_EQ(method.Preprocess(graph, budget).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ForaTest, HighRecallAndSmallL1Error) {
+  Graph graph = TestGraph();
+  Fora method;
+  MemoryBudget budget;
+  ASSERT_TRUE(method.Preprocess(graph, budget).ok());
+  EXPECT_GT(method.omega(), 0u);
+  EXPECT_GT(method.r_max(), 0.0);
+  auto scores = method.Query(21);
+  ASSERT_TRUE(scores.ok());
+  const auto exact = Exact(graph, 21);
+  EXPECT_GT(RecallAtK(*scores, exact, 50), 0.9);
+  EXPECT_LT(la::L1Distance(*scores, exact), 0.15);
+}
+
+TEST(ForaTest, ScoresApproximatelySumToOne) {
+  Graph graph = TestGraph();
+  Fora method;
+  MemoryBudget budget;
+  ASSERT_TRUE(method.Preprocess(graph, budget).ok());
+  auto scores = method.Query(33);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_NEAR(la::NormL1(*scores), 1.0, 0.05);
+}
+
+TEST(HubPprTest, ReasonableRecallOnTopK) {
+  Graph graph = TestGraph();
+  HubPpr method;
+  MemoryBudget budget;
+  ASSERT_TRUE(method.Preprocess(graph, budget).ok());
+  EXPECT_GT(method.num_hubs(), 0u);
+  auto scores = method.Query(17);
+  ASSERT_TRUE(scores.ok());
+  const auto exact = Exact(graph, 17);
+  EXPECT_GT(RecallAtK(*scores, exact, 50), 0.8);
+}
+
+TEST(MethodsTest, QueryBeforePreprocessFails) {
+  std::unique_ptr<RwrMethod> methods[] = {
+      std::make_unique<TpaMethod>(),  std::make_unique<BearApprox>(),
+      std::make_unique<Bepi>(),       std::make_unique<Brppr>(),
+      std::make_unique<Fora>(),       std::make_unique<HubPpr>(),
+      std::make_unique<NbLin>(),      std::make_unique<PowerIterationRwr>(),
+  };
+  for (auto& method : methods) {
+    EXPECT_EQ(method->Query(0).status().code(),
+              StatusCode::kFailedPrecondition)
+        << method->name();
+  }
+}
+
+TEST(RegistryTest, CreatesEveryMethod) {
+  MethodConfig config;
+  for (std::string_view name :
+       {"TPA", "BEAR-APPROX", "NB-LIN", "BRPPR", "FORA", "HubPPR", "BePI",
+        "PowerIteration"}) {
+    auto method = CreateMethod(name, config);
+    ASSERT_TRUE(method.ok()) << name;
+    EXPECT_EQ((*method)->name(), name);
+  }
+  EXPECT_EQ(CreateMethod("nope", config).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, MethodListsAreConsistent) {
+  MethodConfig config;
+  for (std::string_view name : PreprocessingMethodNames()) {
+    EXPECT_TRUE(CreateMethod(name, config).ok()) << name;
+  }
+  for (std::string_view name : ApproximateMethodNames()) {
+    EXPECT_TRUE(CreateMethod(name, config).ok()) << name;
+  }
+}
+
+/// Accuracy sweep across every approximate method: all must beat a sanity
+/// L1 threshold against the oracle on a block-structured graph.
+class AllMethodsAccuracyTest
+    : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(AllMethodsAccuracyTest, L1ErrorBelowSanityThreshold) {
+  Graph graph = TestGraph(73);
+  MethodConfig config;
+  config.tpa_family_window = 5;
+  config.tpa_stranger_start = 10;
+  auto method = CreateMethod(GetParam(), config);
+  ASSERT_TRUE(method.ok());
+  MemoryBudget budget;
+  ASSERT_TRUE((*method)->Preprocess(graph, budget).ok());
+  auto scores = (*method)->Query(5);
+  ASSERT_TRUE(scores.ok());
+  const auto exact = Exact(graph, 5);
+  // NB-LIN is known-coarse; everything else should be well under 0.5.
+  const double threshold = GetParam() == "NB-LIN" ? 1.2 : 0.5;
+  EXPECT_LT(la::L1Distance(*scores, exact), threshold) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllMethodsAccuracyTest,
+                         ::testing::Values("TPA", "BRPPR", "BEAR-APPROX",
+                                           "NB-LIN", "HubPPR", "FORA",
+                                           "BePI"));
+
+}  // namespace
+}  // namespace tpa

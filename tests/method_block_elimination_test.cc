@@ -1,0 +1,137 @@
+#include "method/block_elimination.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include "graph/generators.h"
+#include "la/vector_ops.h"
+
+namespace tpa {
+namespace {
+
+Graph TestGraph() {
+  DcsbmOptions options;
+  options.nodes = 400;
+  options.edges = 2600;
+  options.blocks = 8;
+  options.zipf_theta = 1.0;
+  options.seed = 61;
+  auto graph = GenerateDcsbm(options);
+  TPA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(BlockEliminationTest, PartitionReconstructsH) {
+  // Applying the four blocks to a permuted vector must equal
+  // (I − (1-c)Ã^T) x in original coordinates.
+  Graph graph = TestGraph();
+  const double c = 0.15;
+  auto partition = BuildHPartition(graph, c, {});
+  ASSERT_TRUE(partition.ok());
+  const NodeId n = graph.num_nodes();
+  const NodeId n1 = partition->n1();
+  const NodeId n2 = partition->n2();
+  ASSERT_EQ(n1 + n2, n);
+
+  // Random-ish test vector.
+  std::vector<double> x(n);
+  for (NodeId i = 0; i < n; ++i) x[i] = 0.01 * (i % 17) - 0.05;
+
+  // Original-space H x.
+  std::vector<double> hx;
+  graph.MultiplyTranspose(x, hx);
+  for (NodeId i = 0; i < n; ++i) hx[i] = x[i] - (1.0 - c) * hx[i];
+
+  // Partitioned: permute, apply blocks, un-permute.
+  std::vector<double> x1(n1), x2(n2);
+  for (NodeId p = 0; p < n; ++p) {
+    const double value = x[partition->ordering.old_of_new[p]];
+    if (p < n1) {
+      x1[p] = value;
+    } else {
+      x2[p - n1] = value;
+    }
+  }
+  std::vector<double> y1(n1), y2(n2), t(n1), u(n2);
+  partition->h11.MatVec(x1, y1);
+  partition->h12.MatVec(x2, t);
+  la::Axpy(1.0, t, y1);
+  partition->h21.MatVec(x1, u);
+  partition->h22.MatVec(x2, y2);
+  la::Axpy(1.0, u, y2);
+
+  for (NodeId p = 0; p < n; ++p) {
+    const double expected = hx[partition->ordering.old_of_new[p]];
+    const double actual = p < n1 ? y1[p] : y2[p - n1];
+    EXPECT_NEAR(actual, expected, 1e-12) << "position " << p;
+  }
+}
+
+TEST(BlockEliminationTest, H11IsBlockDiagonal) {
+  Graph graph = TestGraph();
+  auto partition = BuildHPartition(graph, 0.15, {});
+  ASSERT_TRUE(partition.ok());
+  // Every nonzero of row r must fall inside r's block.
+  for (const auto& [begin, end] : partition->ordering.blocks) {
+    for (NodeId r = begin; r < end; ++r) {
+      for (uint32_t col : partition->h11.RowIndices(r)) {
+        EXPECT_GE(col, begin);
+        EXPECT_LT(col, end);
+      }
+    }
+  }
+}
+
+TEST(BlockEliminationTest, InvertBlockDiagonalGivesTrueInverse) {
+  Graph graph = TestGraph();
+  auto partition = BuildHPartition(graph, 0.15, {});
+  ASSERT_TRUE(partition.ok());
+  MemoryBudget budget;  // unlimited
+  auto inverse = InvertBlockDiagonal(partition->h11,
+                                     partition->ordering.blocks,
+                                     /*drop_tolerance=*/0.0, budget);
+  ASSERT_TRUE(inverse.ok());
+
+  // H11 · H11^{-1} x == x for a test vector.
+  const NodeId n1 = partition->n1();
+  std::vector<double> x(n1);
+  for (NodeId i = 0; i < n1; ++i) x[i] = 1.0 / (1.0 + i % 7);
+  std::vector<double> inv_x(n1), back(n1);
+  inverse->MatVec(x, inv_x);
+  partition->h11.MatVec(inv_x, back);
+  EXPECT_LT(la::L1Distance(back, x), 1e-9);
+}
+
+TEST(BlockEliminationTest, DropToleranceSparsifies) {
+  Graph graph = TestGraph();
+  auto partition = BuildHPartition(graph, 0.15, {});
+  ASSERT_TRUE(partition.ok());
+  MemoryBudget budget;
+  auto exact = InvertBlockDiagonal(partition->h11,
+                                   partition->ordering.blocks, 0.0, budget);
+  auto dropped = InvertBlockDiagonal(partition->h11,
+                                     partition->ordering.blocks, 0.05, budget);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_LT(dropped->nnz(), exact->nnz());
+}
+
+TEST(BlockEliminationTest, BudgetFailurePropagates) {
+  Graph graph = TestGraph();
+  auto partition = BuildHPartition(graph, 0.15, {});
+  ASSERT_TRUE(partition.ok());
+  MemoryBudget tiny(16);  // nothing fits
+  auto inverse = InvertBlockDiagonal(partition->h11,
+                                     partition->ordering.blocks, 0.0, tiny);
+  EXPECT_EQ(inverse.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BlockEliminationTest, InvalidRestartProbabilityRejected) {
+  Graph graph = TestGraph();
+  EXPECT_FALSE(BuildHPartition(graph, 0.0, {}).ok());
+  EXPECT_FALSE(BuildHPartition(graph, 1.0, {}).ok());
+}
+
+}  // namespace
+}  // namespace tpa

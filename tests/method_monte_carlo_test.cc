@@ -1,0 +1,111 @@
+#include "method/monte_carlo.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "util/check.h"
+
+#include "core/cpi.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "la/vector_ops.h"
+
+namespace tpa {
+namespace {
+
+Graph SmallGraph() {
+  DcsbmOptions options;
+  options.nodes = 120;
+  options.edges = 900;
+  options.blocks = 3;
+  options.seed = 41;
+  auto graph = GenerateDcsbm(options);
+  TPA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(RandomWalkTest, EndpointDistributionMatchesRwr) {
+  // The endpoint of a restart-terminated walk is distributed exactly as the
+  // RWR vector; check empirically with many walks.
+  Graph graph = SmallGraph();
+  const NodeId seed_node = 4;
+  Rng rng(99);
+  constexpr int kWalks = 400000;
+  std::vector<double> frequency(graph.num_nodes(), 0.0);
+  for (int i = 0; i < kWalks; ++i) {
+    frequency[RandomWalkEndpoint(graph, seed_node, 0.15, rng)] +=
+        1.0 / kWalks;
+  }
+  CpiOptions exact_options;
+  exact_options.tolerance = 1e-12;
+  auto exact = Cpi::ExactRwr(graph, seed_node, exact_options);
+  ASSERT_TRUE(exact.ok());
+  // L1 distance of an empirical distribution shrinks like sqrt(n/kWalks).
+  EXPECT_LT(la::L1Distance(frequency, *exact), 0.05);
+}
+
+TEST(RandomWalkTest, DanglingNodeTerminatesWalk) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  BuildOptions options;
+  options.dangling_policy = DanglingPolicy::kKeep;
+  auto graph = builder.Build(options);
+  ASSERT_TRUE(graph.ok());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const NodeId end = RandomWalkEndpoint(*graph, 0, 0.15, rng);
+    EXPECT_TRUE(end == 0 || end == 1);
+  }
+}
+
+TEST(WalkIndexTest, StoresRequestedWalkCounts) {
+  Graph graph = SmallGraph();
+  auto index = WalkIndex::Build(graph, 0.15, /*walks_per_edge=*/0.5,
+                                /*walks_per_node=*/2, /*seed=*/7);
+  ASSERT_TRUE(index.ok());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const uint64_t expected =
+        static_cast<uint64_t>(
+            std::ceil(0.5 * graph.OutDegree(v))) + 2;
+    EXPECT_EQ(index->Endpoints(v).size(), expected) << "node " << v;
+  }
+  EXPECT_GT(index->total_walks(), 0u);
+  EXPECT_EQ(index->SizeBytes(),
+            (graph.num_nodes() + 1) * sizeof(uint64_t) +
+                index->total_walks() * sizeof(NodeId));
+}
+
+TEST(WalkIndexTest, EndpointsAreValidNodes) {
+  Graph graph = SmallGraph();
+  auto index = WalkIndex::Build(graph, 0.15, 1.0, 1, 13);
+  ASSERT_TRUE(index.ok());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (NodeId endpoint : index->Endpoints(v)) {
+      EXPECT_LT(endpoint, graph.num_nodes());
+    }
+  }
+}
+
+TEST(WalkIndexTest, DeterministicFromSeed) {
+  Graph graph = SmallGraph();
+  auto a = WalkIndex::Build(graph, 0.15, 0.5, 1, 3);
+  auto b = WalkIndex::Build(graph, 0.15, 0.5, 1, 3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->total_walks(), b->total_walks());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    auto ea = a->Endpoints(v);
+    auto eb = b->Endpoints(v);
+    for (size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
+  }
+}
+
+TEST(WalkIndexTest, ValidatesArguments) {
+  Graph graph = SmallGraph();
+  EXPECT_FALSE(WalkIndex::Build(graph, 0.15, -1.0, 1, 1).ok());
+  EXPECT_FALSE(WalkIndex::Build(graph, 0.15, 0.0, 0, 1).ok());
+  EXPECT_FALSE(WalkIndex::Build(graph, 2.0, 1.0, 1, 1).ok());
+}
+
+}  // namespace
+}  // namespace tpa

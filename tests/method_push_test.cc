@@ -1,0 +1,146 @@
+#include "method/push.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include "core/cpi.h"
+#include "graph/generators.h"
+#include "la/vector_ops.h"
+
+namespace tpa {
+namespace {
+
+Graph TestGraph(uint64_t seed = 31) {
+  DcsbmOptions options;
+  options.nodes = 250;
+  options.edges = 2000;
+  options.blocks = 5;
+  options.seed = seed;
+  auto graph = GenerateDcsbm(options);
+  TPA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(ForwardPushTest, MassConservation) {
+  // reserve + c·(residual propagated) accounts for all mass:
+  // ‖p‖₁ + ... in fact ‖p‖₁ + (mass still pending in r as future reserve)
+  // obeys ‖p‖₁ ≤ 1 and ‖p‖₁ + ‖r‖₁ ≥ ... simplest exact invariant:
+  // applying the estimate identity to the all-ones test function:
+  // Σ_t π(s,t) = 1  ⇒  ‖p‖₁ + ‖r‖₁·1 = ... Σ p + Σ r = 1 when every π sums
+  // to one (self-loop-completed graphs).
+  Graph graph = TestGraph();
+  auto push = ForwardPush(graph, 0, 0.15, 1e-4);
+  ASSERT_TRUE(push.ok());
+  EXPECT_NEAR(la::NormL1(push->reserve) + la::NormL1(push->residual), 1.0,
+              1e-10);
+}
+
+TEST(ForwardPushTest, InvariantAgainstExactRwr) {
+  // π(s,·) = p(·) + Σ_v r(v)·π(v,·): validate at a handful of targets using
+  // exact RWR vectors.
+  Graph graph = TestGraph();
+  const NodeId s = 3;
+  auto push = ForwardPush(graph, s, 0.15, 1e-3);
+  ASSERT_TRUE(push.ok());
+
+  CpiOptions exact_options;
+  exact_options.tolerance = 1e-12;
+  auto pi_s = Cpi::ExactRwr(graph, s, exact_options);
+  ASSERT_TRUE(pi_s.ok());
+
+  // Build Σ_v r(v)·π(v,·) — dense, fine at this size.
+  std::vector<double> combined = push->reserve;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (push->residual[v] == 0.0) continue;
+    auto pi_v = Cpi::ExactRwr(graph, v, exact_options);
+    ASSERT_TRUE(pi_v.ok());
+    la::Axpy(push->residual[v], *pi_v, combined);
+  }
+  EXPECT_LT(la::L1Distance(combined, *pi_s), 1e-8);
+}
+
+TEST(ForwardPushTest, ResidualsRespectThreshold) {
+  Graph graph = TestGraph();
+  const double r_max = 1e-4;
+  auto push = ForwardPush(graph, 7, 0.15, r_max);
+  ASSERT_TRUE(push.ok());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const uint32_t deg = graph.OutDegree(v);
+    EXPECT_LE(push->residual[v], r_max * std::max(1u, deg) + 1e-15)
+        << "node " << v;
+  }
+}
+
+TEST(ForwardPushTest, TighterThresholdMoreAccurate) {
+  Graph graph = TestGraph();
+  CpiOptions exact_options;
+  exact_options.tolerance = 1e-12;
+  auto exact = Cpi::ExactRwr(graph, 11, exact_options);
+  ASSERT_TRUE(exact.ok());
+
+  double prev_error = 1e9;
+  for (double r_max : {1e-2, 1e-3, 1e-4, 1e-5}) {
+    auto push = ForwardPush(graph, 11, 0.15, r_max);
+    ASSERT_TRUE(push.ok());
+    const double error = la::L1Distance(push->reserve, *exact);
+    EXPECT_LT(error, prev_error + 1e-12);
+    prev_error = error;
+  }
+  EXPECT_LT(prev_error, 1e-2);
+}
+
+TEST(ForwardPushTest, ValidatesArguments) {
+  Graph graph = TestGraph();
+  EXPECT_FALSE(ForwardPush(graph, 0, 0.15, 0.0).ok());
+  EXPECT_FALSE(ForwardPush(graph, 0, 1.5, 1e-4).ok());
+  EXPECT_FALSE(ForwardPush(graph, graph.num_nodes(), 0.15, 1e-4).ok());
+}
+
+TEST(BackwardPushTest, InvariantAgainstExactRwr) {
+  // π(s,t) = p(s) + Σ_v π(s,v)·r(v) for every source s.
+  Graph graph = TestGraph();
+  const NodeId t = 5;
+  auto push = BackwardPush(graph, t, 0.15, 1e-4);
+  ASSERT_TRUE(push.ok());
+
+  CpiOptions exact_options;
+  exact_options.tolerance = 1e-12;
+  for (NodeId s : {NodeId{0}, NodeId{50}, NodeId{249}}) {
+    auto pi_s = Cpi::ExactRwr(graph, s, exact_options);
+    ASSERT_TRUE(pi_s.ok());
+    double estimate = push->reserve[s];
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      estimate += (*pi_s)[v] * push->residual[v];
+    }
+    EXPECT_NEAR(estimate, (*pi_s)[t], 1e-10) << "source " << s;
+  }
+}
+
+TEST(BackwardPushTest, ResidualsBelowThreshold) {
+  Graph graph = TestGraph();
+  const double r_max = 1e-3;
+  auto push = BackwardPush(graph, 9, 0.15, r_max);
+  ASSERT_TRUE(push.ok());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    EXPECT_LE(push->residual[v], r_max + 1e-15);
+  }
+}
+
+TEST(BackwardPushTest, OperationCapStopsEarly) {
+  Graph graph = TestGraph();
+  auto capped = BackwardPush(graph, 9, 0.15, 1e-6, /*max_operations=*/10);
+  ASSERT_TRUE(capped.ok());
+  auto full = BackwardPush(graph, 9, 0.15, 1e-6);
+  ASSERT_TRUE(full.ok());
+  EXPECT_LE(capped->push_count, full->push_count);
+}
+
+TEST(BackwardPushTest, ValidatesArguments) {
+  Graph graph = TestGraph();
+  EXPECT_FALSE(BackwardPush(graph, 0, 0.15, -1.0).ok());
+  EXPECT_FALSE(BackwardPush(graph, graph.num_nodes(), 0.15, 1e-4).ok());
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,153 @@
+#include "reorder/slashburn.h"
+
+#include <gtest/gtest.h>
+#include "util/check.h"
+
+#include <set>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace tpa {
+namespace {
+
+/// Star graph: node 0 is a hub connected to everything else.
+Graph StarGraph(NodeId leaves) {
+  GraphBuilder builder(leaves + 1);
+  for (NodeId v = 1; v <= leaves; ++v) {
+    builder.AddEdge(0, v);
+    builder.AddEdge(v, 0);
+  }
+  auto graph = builder.Build();
+  TPA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(SlashBurnTest, PermutationIsBijective) {
+  Graph graph = StarGraph(50);
+  auto ordering = SlashBurn(graph, {});
+  ASSERT_TRUE(ordering.ok());
+  std::set<NodeId> seen(ordering->old_of_new.begin(),
+                        ordering->old_of_new.end());
+  EXPECT_EQ(seen.size(), graph.num_nodes());
+  for (NodeId p = 0; p < graph.num_nodes(); ++p) {
+    EXPECT_EQ(ordering->new_of_old[ordering->old_of_new[p]], p);
+  }
+}
+
+TEST(SlashBurnTest, StarHubIsIdentified) {
+  Graph graph = StarGraph(100);
+  SlashBurnOptions options;
+  options.max_spoke_size = 10;
+  auto ordering = SlashBurn(graph, options);
+  ASSERT_TRUE(ordering.ok());
+  // Node 0 must land in the hub part (positions >= num_spokes).
+  EXPECT_GE(ordering->new_of_old[0], ordering->num_spokes);
+  // Almost everything else is a spoke.
+  EXPECT_GE(ordering->num_spokes, 90u);
+}
+
+TEST(SlashBurnTest, BlocksPartitionSpokeRange) {
+  Graph graph = StarGraph(64);
+  SlashBurnOptions options;
+  options.max_spoke_size = 8;
+  auto ordering = SlashBurn(graph, options);
+  ASSERT_TRUE(ordering.ok());
+  NodeId covered = 0;
+  for (const auto& [begin, end] : ordering->blocks) {
+    EXPECT_EQ(begin, covered);  // contiguous, in order
+    EXPECT_GT(end, begin);
+    covered = end;
+  }
+  EXPECT_EQ(covered, ordering->num_spokes);
+}
+
+TEST(SlashBurnTest, NoEdgesBetweenDifferentSpokeBlocks) {
+  // The property BEAR/BePI rely on: H11 block-diagonality.
+  DcsbmOptions generator;
+  generator.nodes = 800;
+  generator.edges = 5000;
+  generator.blocks = 8;
+  generator.zipf_theta = 1.0;
+  generator.seed = 51;
+  auto graph = GenerateDcsbm(generator);
+  ASSERT_TRUE(graph.ok());
+
+  SlashBurnOptions options;
+  options.max_spoke_size = 64;
+  auto ordering = SlashBurn(*graph, options);
+  ASSERT_TRUE(ordering.ok());
+
+  // Map node -> block id (hubs get block -1).
+  std::vector<int> block_of(graph->num_nodes(), -1);
+  for (size_t b = 0; b < ordering->blocks.size(); ++b) {
+    for (NodeId p = ordering->blocks[b].first; p < ordering->blocks[b].second;
+         ++p) {
+      block_of[ordering->old_of_new[p]] = static_cast<int>(b);
+    }
+  }
+  for (NodeId u = 0; u < graph->num_nodes(); ++u) {
+    if (block_of[u] < 0) continue;
+    for (NodeId v : graph->OutNeighbors(u)) {
+      if (block_of[v] < 0 || u == v) continue;
+      EXPECT_EQ(block_of[u], block_of[v])
+          << "edge " << u << "→" << v << " crosses spoke blocks";
+    }
+  }
+}
+
+TEST(SlashBurnTest, BlockSizesRespectCapWhenShatteringSucceeds) {
+  Graph graph = StarGraph(200);
+  SlashBurnOptions options;
+  options.max_spoke_size = 16;
+  auto ordering = SlashBurn(graph, options);
+  ASSERT_TRUE(ordering.ok());
+  for (const auto& [begin, end] : ordering->blocks) {
+    EXPECT_LE(end - begin, options.max_spoke_size);
+  }
+}
+
+TEST(SlashBurnTest, HubBudgetDumpsUnshatteredCore) {
+  // A dense ER graph does not shatter; the cap must move the leftover core
+  // into the hub part rather than looping forever.
+  ErdosRenyiOptions generator;
+  generator.nodes = 300;
+  generator.edges = 6000;  // avg degree 20: no shattering
+  generator.seed = 53;
+  auto graph = GenerateErdosRenyi(generator);
+  ASSERT_TRUE(graph.ok());
+
+  SlashBurnOptions options;
+  options.max_spoke_size = 8;
+  options.max_hub_fraction = 0.10;
+  auto ordering = SlashBurn(*graph, options);
+  ASSERT_TRUE(ordering.ok());
+  // Most of the graph ends up in the hub part.
+  EXPECT_GT(ordering->num_hubs(), graph->num_nodes() / 2);
+}
+
+TEST(SlashBurnTest, SmallGraphBecomesSingleSpoke) {
+  Graph graph = StarGraph(5);
+  SlashBurnOptions options;
+  options.max_spoke_size = 100;  // everything fits in one block
+  auto ordering = SlashBurn(graph, options);
+  ASSERT_TRUE(ordering.ok());
+  EXPECT_EQ(ordering->num_spokes, graph.num_nodes());
+  EXPECT_EQ(ordering->blocks.size(), 1u);
+}
+
+TEST(SlashBurnTest, ValidatesOptions) {
+  Graph graph = StarGraph(4);
+  SlashBurnOptions bad;
+  bad.hub_fraction_per_round = 0.0;
+  EXPECT_FALSE(SlashBurn(graph, bad).ok());
+  bad = {};
+  bad.max_spoke_size = 0;
+  EXPECT_FALSE(SlashBurn(graph, bad).ok());
+  bad = {};
+  bad.max_hub_fraction = 0.0;
+  EXPECT_FALSE(SlashBurn(graph, bad).ok());
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,89 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/memory_budget.h"
+#include "util/stopwatch.h"
+
+namespace tpa {
+namespace {
+
+TEST(TablePrinterTest, TextAlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "22"});
+  std::ostringstream out;
+  table.PrintText(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  // Header separator line of dashes exists.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  std::ostringstream out;
+  table.PrintCsv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::FormatScientific(0.000321, 2), "3.21e-04");
+  EXPECT_EQ(TablePrinter::FormatBytes(512), "512.0 B");
+  EXPECT_EQ(TablePrinter::FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(TablePrinter::FormatBytes(3ull << 20), "3.0 MB");
+}
+
+TEST(TablePrinterDeathTest, MismatchedRowDies) {
+  TablePrinter table({"only-one"});
+  EXPECT_DEATH(table.AddRow({"a", "b"}), "CHECK");
+}
+
+TEST(MemoryBudgetTest, UnlimitedNeverFails) {
+  MemoryBudget budget;  // limit 0 = unlimited
+  EXPECT_TRUE(budget.unlimited());
+  EXPECT_TRUE(budget.Reserve(1ull << 40).ok());
+}
+
+TEST(MemoryBudgetTest, EnforcesLimit) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.Reserve(60).ok());
+  EXPECT_TRUE(budget.Reserve(40).ok());
+  Status overflow = budget.Reserve(1);
+  EXPECT_EQ(overflow.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(budget.used(), 100u);
+}
+
+TEST(MemoryBudgetTest, ReleaseRestoresHeadroom) {
+  MemoryBudget budget(100);
+  ASSERT_TRUE(budget.Reserve(80).ok());
+  budget.Release(50);
+  EXPECT_EQ(budget.used(), 30u);
+  EXPECT_TRUE(budget.Reserve(70).ok());
+}
+
+TEST(MemoryBudgetTest, ReleaseClampsAtZero) {
+  MemoryBudget budget(100);
+  budget.Release(10);  // nothing reserved
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch timer;
+  // Busy-wait a tiny, deterministic amount of work.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), 0.0);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace tpa
