@@ -1,0 +1,212 @@
+/// Query-engine throughput: queries/sec of batched multi-threaded serving
+/// versus single-threaded sequential Tpa::Query, swept over thread count and
+/// batch size on a generated ≥100k-node R-MAT graph.
+///
+///   $ ./bench_engine_throughput [--scale N] [--edges M] [--queries Q]
+///
+/// Defaults: scale 17 (131072 nodes), 1.5M edge draws, 64 distinct query
+/// seeds.  Also reports top-k extraction and warm-cache serving modes.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tpa.h"
+#include "engine/query_engine.h"
+#include "graph/generators.h"
+#include "method/tpa_method.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace tpa {
+namespace {
+
+struct Args {
+  uint32_t scale = 17;
+  uint64_t edges = 1'500'000;
+  int queries = 64;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      args.scale = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--edges") == 0) {
+      args.edges = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--queries") == 0) {
+      args.queries = std::atoi(argv[i + 1]);
+    }
+  }
+  return args;
+}
+
+std::vector<NodeId> QuerySeeds(const Graph& graph, int count) {
+  std::vector<NodeId> seeds(count);
+  // Deterministic spread across the id space.
+  for (int i = 0; i < count; ++i) {
+    seeds[i] = static_cast<NodeId>(
+        (static_cast<uint64_t>(i) * 2654435761u) % graph.num_nodes());
+  }
+  return seeds;
+}
+
+int Run(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  if (args.queries < 1 || args.edges < 1) {
+    std::fprintf(stderr, "--queries and --edges must be at least 1\n");
+    return 1;
+  }
+
+  RmatOptions rmat;
+  rmat.scale = args.scale;
+  rmat.edges = args.edges;
+  rmat.seed = 42;
+  std::printf("generating R-MAT graph: scale %u (%u nodes), %llu edge draws\n",
+              rmat.scale, 1u << rmat.scale,
+              static_cast<unsigned long long>(rmat.edges));
+  Stopwatch gen_watch;
+  auto graph = GenerateRmat(rmat);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("generated %u nodes / %llu edges in %.2fs\n",
+              graph->num_nodes(),
+              static_cast<unsigned long long>(graph->num_edges()),
+              gen_watch.ElapsedSeconds());
+
+  TpaOptions tpa_options;
+  Stopwatch prep_watch;
+  auto tpa = Tpa::Preprocess(*graph, tpa_options);
+  if (!tpa.ok()) {
+    std::fprintf(stderr, "preprocess failed: %s\n",
+                 tpa.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("TPA preprocess: %.2fs (shared by every configuration below)\n",
+              prep_watch.ElapsedSeconds());
+
+  const std::vector<NodeId> seeds = QuerySeeds(*graph, args.queries);
+
+  // Single-threaded sequential baseline: raw Tpa::Query in a loop.
+  Stopwatch seq_watch;
+  for (NodeId seed : seeds) {
+    std::vector<double> scores = tpa->Query(seed);
+    if (scores.empty()) return 1;  // keep the loop un-elidable
+  }
+  const double seq_seconds = seq_watch.ElapsedSeconds();
+  const double seq_qps = seeds.size() / seq_seconds;
+
+  TablePrinter table(
+      {"Mode", "Threads", "Batch", "Queries/s", "vs sequential"});
+  table.AddRow({"sequential Tpa::Query", "1",
+                std::to_string(seeds.size()),
+                TablePrinter::FormatDouble(seq_qps, 1), "1.00x"});
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::vector<int> thread_counts = {1, 2, 4};
+  if (hardware > 4) thread_counts.push_back(static_cast<int>(hardware));
+
+  auto add_row = [&](const std::string& mode, int threads, size_t batch,
+                     double seconds, size_t queries) {
+    const double qps = queries / seconds;
+    table.AddRow({mode, std::to_string(threads), std::to_string(batch),
+                  TablePrinter::FormatDouble(qps, 1),
+                  TablePrinter::FormatDouble(qps / seq_qps, 2) + "x"});
+  };
+
+  // Batched engine serving: thread sweep at full batch, then a batch-size
+  // sweep at the widest pool.
+  for (int threads : thread_counts) {
+    QueryEngineOptions options;
+    options.num_threads = threads;
+    auto engine =
+        QueryEngine::Create(*graph, std::make_unique<TpaMethod>(tpa_options),
+                            options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine failed: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    Stopwatch watch;
+    auto results = engine->QueryBatch(seeds);
+    add_row("engine batch", threads, seeds.size(), watch.ElapsedSeconds(),
+            results.size());
+  }
+
+  {
+    const int threads = thread_counts.back();
+    QueryEngineOptions options;
+    options.num_threads = threads;
+    auto engine =
+        QueryEngine::Create(*graph, std::make_unique<TpaMethod>(tpa_options),
+                            options);
+    if (!engine.ok()) return 1;
+    for (size_t batch : {size_t{1}, size_t{8}, seeds.size()}) {
+      Stopwatch watch;
+      size_t served = 0;
+      for (size_t begin = 0; begin < seeds.size(); begin += batch) {
+        const size_t end = std::min(begin + batch, seeds.size());
+        served += engine
+                      ->QueryBatch(std::vector<NodeId>(
+                          seeds.begin() + begin, seeds.begin() + end))
+                      .size();
+      }
+      add_row("engine batch-size sweep", threads, batch,
+              watch.ElapsedSeconds(), served);
+    }
+  }
+
+  // Top-k extraction instead of dense vectors.
+  {
+    QueryEngineOptions options;
+    options.num_threads = thread_counts.back();
+    options.top_k = 100;
+    auto engine =
+        QueryEngine::Create(*graph, std::make_unique<TpaMethod>(tpa_options),
+                            options);
+    if (!engine.ok()) return 1;
+    Stopwatch watch;
+    auto results = engine->QueryBatch(seeds);
+    add_row("engine top-100", options.num_threads, seeds.size(),
+            watch.ElapsedSeconds(), results.size());
+  }
+
+  // Warm LRU cache: the repeat batch is pure cache service.
+  {
+    QueryEngineOptions options;
+    options.num_threads = thread_counts.back();
+    options.cache_capacity = seeds.size();
+    auto engine =
+        QueryEngine::Create(*graph, std::make_unique<TpaMethod>(tpa_options),
+                            options);
+    if (!engine.ok()) return 1;
+    engine->QueryBatch(seeds);  // populate
+    Stopwatch watch;
+    auto results = engine->QueryBatch(seeds);
+    add_row("engine warm cache", options.num_threads, seeds.size(),
+            watch.ElapsedSeconds(), results.size());
+    const auto stats = engine->cache_stats();
+    std::printf("cache: %llu hits / %llu misses\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses));
+  }
+
+  std::printf("\n");
+  table.PrintText(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tpa
+
+int main(int argc, char** argv) { return tpa::Run(argc, argv); }

@@ -74,7 +74,13 @@ Tpa::QueryParts Tpa::QueryDecomposed(NodeId seed) const {
 }
 
 std::vector<double> Tpa::Query(NodeId seed) const {
-  return QueryDecomposed(seed).total;
+  TPA_CHECK_LT(seed, graph_->num_nodes());
+  // The fused single-seed merge is exactly the personalized query: it skips
+  // the materialized neighbor vector of QueryDecomposed — Query is the
+  // serving hot path.
+  StatusOr<std::vector<double>> total = QueryPersonalized({seed});
+  TPA_CHECK(total.ok());  // seed was range-checked above
+  return *std::move(total);
 }
 
 StatusOr<std::vector<double>> Tpa::QueryPersonalized(

@@ -1,0 +1,150 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <latch>
+#include <thread>
+#include <utility>
+
+#include "la/vector_ops.h"
+#include "util/check.h"
+#include "util/memory_budget.h"
+
+namespace tpa {
+
+namespace {
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+}  // namespace
+
+std::vector<ScoredNode> TopKScores(const std::vector<double>& scores, int k) {
+  // la::TopKIndices already clamps k and breaks ties toward smaller index.
+  std::vector<ScoredNode> top;
+  for (size_t i : la::TopKIndices(scores, static_cast<size_t>(std::max(k, 0)))) {
+    top.push_back({static_cast<NodeId>(i), scores[i]});
+  }
+  return top;
+}
+
+QueryEngine::QueryEngine(const Graph& graph, std::unique_ptr<RwrMethod> method,
+                         const QueryEngineOptions& options, int num_threads)
+    : graph_(&graph),
+      options_(options),
+      method_(std::move(method)),
+      pool_(std::make_unique<ThreadPool>(num_threads)),
+      cache_(options.cache_capacity > 0
+                 ? std::make_unique<ResultCache>(options.cache_capacity)
+                 : nullptr),
+      method_mu_(std::make_unique<std::mutex>()) {}
+
+StatusOr<QueryEngine> QueryEngine::Create(const Graph& graph,
+                                          std::unique_ptr<RwrMethod> method,
+                                          const QueryEngineOptions& options) {
+  if (method == nullptr) {
+    return InvalidArgumentError("method must be non-null");
+  }
+  if (options.num_threads < 0) {
+    return InvalidArgumentError("num_threads must be non-negative");
+  }
+  if (options.top_k < 0) {
+    return InvalidArgumentError("top_k must be non-negative");
+  }
+  MemoryBudget unlimited;
+  TPA_RETURN_IF_ERROR(method->Preprocess(graph, unlimited));
+  return QueryEngine(graph, std::move(method), options,
+                     ResolveThreadCount(options.num_threads));
+}
+
+StatusOr<QueryEngine> QueryEngine::CreateFromRegistry(
+    const Graph& graph, std::string_view method_name,
+    const MethodConfig& config, const QueryEngineOptions& options) {
+  TPA_ASSIGN_OR_RETURN(std::unique_ptr<RwrMethod> method,
+                       CreateMethod(method_name, config));
+  return Create(graph, std::move(method), options);
+}
+
+void QueryEngine::ServeInto(NodeId seed, QueryResult& result) {
+  result.seed = seed;
+  if (seed >= graph_->num_nodes()) {
+    result.status = OutOfRangeError("seed node out of range");
+    return;
+  }
+
+  if (cache_ != nullptr) {
+    if (ResultCache::Entry hit = cache_->Get(seed)) {
+      result.from_cache = true;
+      if (options_.top_k > 0) {
+        result.top = TopKScores(*hit, options_.top_k);
+      } else {
+        result.scores = *hit;
+      }
+      return;
+    }
+  }
+
+  StatusOr<std::vector<double>> scores = [&] {
+    if (method_->SupportsConcurrentQuery()) return method_->Query(seed);
+    std::lock_guard<std::mutex> lock(*method_mu_);
+    return method_->Query(seed);
+  }();
+  if (!scores.ok()) {
+    result.status = scores.status();
+    return;
+  }
+
+  std::vector<double> dense = std::move(scores).value();
+  if (options_.top_k > 0) {
+    result.top = TopKScores(dense, options_.top_k);
+    if (cache_ != nullptr) {
+      cache_->Put(seed, std::make_shared<const std::vector<double>>(
+                            std::move(dense)));
+    }
+  } else if (cache_ != nullptr) {
+    // The client owns its result vector, so the cached copy is the one
+    // unavoidable duplication on a dense-mode miss.
+    auto entry =
+        std::make_shared<const std::vector<double>>(std::move(dense));
+    result.scores = *entry;
+    cache_->Put(seed, std::move(entry));
+  } else {
+    result.scores = std::move(dense);
+  }
+}
+
+QueryResult QueryEngine::Query(NodeId seed) {
+  QueryResult result;
+  ServeInto(seed, result);
+  return result;
+}
+
+std::vector<QueryResult> QueryEngine::QueryBatch(
+    const std::vector<NodeId>& seeds) {
+  std::vector<QueryResult> results(seeds.size());
+  if (seeds.empty()) return results;
+
+  std::latch pending(static_cast<ptrdiff_t>(seeds.size()));
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    pool_->Submit([this, &seeds, &results, &pending, i] {
+      ServeInto(seeds[i], results[i]);
+      pending.count_down();
+    });
+  }
+  pending.wait();
+  return results;
+}
+
+QueryEngine::CacheStats QueryEngine::cache_stats() const {
+  CacheStats stats;
+  if (cache_ != nullptr) {
+    stats.hits = cache_->hits();
+    stats.misses = cache_->misses();
+    stats.entries = cache_->size();
+  }
+  return stats;
+}
+
+}  // namespace tpa

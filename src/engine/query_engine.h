@@ -1,0 +1,125 @@
+#ifndef TPA_ENGINE_QUERY_ENGINE_H_
+#define TPA_ENGINE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "engine/result_cache.h"
+#include "engine/thread_pool.h"
+#include "graph/graph.h"
+#include "method/registry.h"
+#include "method/rwr_method.h"
+#include "util/status.h"
+
+namespace tpa {
+
+/// Engine configuration.  The defaults serve dense full-vector results with
+/// no caching on all available cores.
+struct QueryEngineOptions {
+  /// Worker threads in the pool; 0 = std::thread::hardware_concurrency().
+  int num_threads = 0;
+  /// When > 0, results carry only the top-k (node, score) pairs extracted
+  /// with a partial sort instead of the dense n-vector.
+  int top_k = 0;
+  /// LRU result-cache capacity in entries (each entry is one dense score
+  /// vector, ~8n bytes).  0 disables caching.
+  size_t cache_capacity = 0;
+};
+
+/// One (node, score) pair of a top-k result, highest score first; ties break
+/// toward the smaller node id so results are deterministic.
+struct ScoredNode {
+  NodeId node;
+  double score;
+};
+
+/// Outcome of a single seed query within a batch.
+struct QueryResult {
+  NodeId seed = 0;
+  /// Per-query status: an out-of-range seed fails its own slot, never the
+  /// batch.
+  Status status;
+  /// Dense score vector (top_k == 0), empty otherwise.
+  std::vector<double> scores;
+  /// Top-k extraction (top_k > 0), empty otherwise.
+  std::vector<ScoredNode> top;
+  /// True when the scores came from the LRU cache.
+  bool from_cache = false;
+};
+
+/// Batched, concurrent RWR query serving over one shared preprocessed
+/// method — the paper's client–server scenario (many seed queries against
+/// TPA state precomputed once).
+///
+/// `QueryBatch` fans the seeds out across a fixed thread pool; each worker
+/// runs the method's online phase against the shared immutable
+/// preprocessing state.  Methods that declare SupportsConcurrentQuery()
+/// run fully parallel; stateful methods (Monte Carlo RNGs) are serialized
+/// internally, still overlapping cache lookups and result extraction.
+///
+/// The engine borrows the graph (it must outlive the engine) and owns the
+/// method, pool, and cache.
+class QueryEngine {
+ public:
+  /// Takes ownership of `method`, runs its Preprocess against `graph` with
+  /// an unlimited memory budget, and spins up the worker pool.
+  static StatusOr<QueryEngine> Create(const Graph& graph,
+                                      std::unique_ptr<RwrMethod> method,
+                                      const QueryEngineOptions& options = {});
+
+  /// Registry convenience: Create(graph, CreateMethod(method_name, config)).
+  static StatusOr<QueryEngine> CreateFromRegistry(
+      const Graph& graph, std::string_view method_name,
+      const MethodConfig& config = {}, const QueryEngineOptions& options = {});
+
+  QueryEngine(QueryEngine&&) = default;
+  QueryEngine& operator=(QueryEngine&&) = default;
+
+  /// Serves one seed on the calling thread (cache-aware, same result shape
+  /// as a batch slot).
+  QueryResult Query(NodeId seed);
+
+  /// Serves a batch of seeds concurrently; results align index-for-index
+  /// with `seeds`.  Identical to calling Query sequentially per seed —
+  /// including bitwise-identical scores for deterministic methods — just
+  /// faster.
+  std::vector<QueryResult> QueryBatch(const std::vector<NodeId>& seeds);
+
+  int num_threads() const { return pool_->num_threads(); }
+  const RwrMethod& method() const { return *method_; }
+  const QueryEngineOptions& options() const { return options_; }
+
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    size_t entries = 0;
+  };
+  /// All-zero when caching is disabled.
+  CacheStats cache_stats() const;
+
+ private:
+  QueryEngine(const Graph& graph, std::unique_ptr<RwrMethod> method,
+              const QueryEngineOptions& options, int num_threads);
+
+  /// Computes (or fetches) the dense vector and shapes it into `result`.
+  void ServeInto(NodeId seed, QueryResult& result);
+
+  const Graph* graph_;  // not owned
+  QueryEngineOptions options_;
+  std::unique_ptr<RwrMethod> method_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ResultCache> cache_;  // null when caching is disabled
+  /// Serializes Query for methods without SupportsConcurrentQuery.
+  std::unique_ptr<std::mutex> method_mu_;
+};
+
+/// Extracts the k highest-scoring nodes from a dense vector via partial
+/// sort (ties toward smaller node id); k is clamped to scores.size().
+/// Exposed for tests and for clients that cache dense vectors themselves.
+std::vector<ScoredNode> TopKScores(const std::vector<double>& scores, int k);
+
+}  // namespace tpa
+
+#endif  // TPA_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,49 @@
+#include "engine/result_cache.h"
+
+namespace tpa {
+
+ResultCache::Entry ResultCache::Get(NodeId seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(seed);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  order_.splice(order_.begin(), order_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::Put(NodeId seed, Entry scores) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(seed);
+  if (it != index_.end()) {
+    it->second->second = std::move(scores);
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.emplace_front(seed, std::move(scores));
+  index_[seed] = order_.begin();
+  if (index_.size() > capacity_) {
+    index_.erase(order_.back().first);
+    order_.pop_back();
+  }
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace tpa

@@ -1,0 +1,54 @@
+#ifndef TPA_ENGINE_RESULT_CACHE_H_
+#define TPA_ENGINE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tpa {
+
+/// Thread-safe LRU cache from seed node to its dense RWR score vector.
+///
+/// Entries are shared_ptr<const …> so a hit can be handed to a client (or
+/// sliced for top-k) with no copy while eviction proceeds concurrently.
+/// The capacity is counted in entries; one entry costs ~n doubles, so
+/// serving deployments should size it as cache_bytes ≈ capacity · 8n.
+class ResultCache {
+ public:
+  using Entry = std::shared_ptr<const std::vector<double>>;
+
+  /// CHECK-free: a zero capacity simply caches nothing.
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached scores for `seed` (promoting it to most-recent), or
+  /// nullptr on miss.
+  Entry Get(NodeId seed);
+
+  /// Inserts (or refreshes) `seed`, evicting the least-recently-used entry
+  /// when over capacity.
+  void Put(NodeId seed, Entry scores);
+
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  using LruList = std::list<std::pair<NodeId, Entry>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  LruList order_;  // front = most recently used
+  std::unordered_map<NodeId, LruList::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace tpa
+
+#endif  // TPA_ENGINE_RESULT_CACHE_H_

@@ -1,24 +1,63 @@
 #include "graph/graph.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "util/check.h"
 
 namespace tpa {
 
+namespace {
+
+/// Per-edge normalized weights for the out-CSR: every edge in row u carries
+/// 1/out-degree(u).
+std::vector<double> OutWeights(const std::vector<uint64_t>& out_offsets,
+                               size_t num_edges) {
+  std::vector<double> weights(num_edges);
+  const size_t num_nodes = out_offsets.size() - 1;
+  for (size_t u = 0; u < num_nodes; ++u) {
+    const uint64_t begin = out_offsets[u];
+    const uint64_t end = out_offsets[u + 1];
+    if (begin == end) continue;
+    const double w = 1.0 / static_cast<double>(end - begin);
+    for (uint64_t e = begin; e < end; ++e) weights[e] = w;
+  }
+  return weights;
+}
+
+/// Per-edge weights for the in-CSR: the edge (v ← u) carries
+/// 1/out-degree(u), looked up from the out offsets.
+std::vector<double> InWeights(const std::vector<uint64_t>& out_offsets,
+                              const std::vector<NodeId>& in_sources) {
+  std::vector<double> weights(in_sources.size());
+  for (size_t e = 0; e < in_sources.size(); ++e) {
+    const NodeId u = in_sources[e];
+    weights[e] =
+        1.0 / static_cast<double>(out_offsets[u + 1] - out_offsets[u]);
+  }
+  return weights;
+}
+
+}  // namespace
+
 Graph::Graph(NodeId num_nodes, std::vector<uint64_t> out_offsets,
              std::vector<NodeId> out_targets, std::vector<uint64_t> in_offsets,
              std::vector<NodeId> in_sources)
-    : num_nodes_(num_nodes),
-      out_offsets_(std::move(out_offsets)),
-      out_targets_(std::move(out_targets)),
-      in_offsets_(std::move(in_offsets)),
-      in_sources_(std::move(in_sources)) {
-  TPA_CHECK_EQ(out_offsets_.size(), static_cast<size_t>(num_nodes_) + 1);
-  TPA_CHECK_EQ(in_offsets_.size(), static_cast<size_t>(num_nodes_) + 1);
-  TPA_CHECK_EQ(out_targets_.size(), in_sources_.size());
-  TPA_CHECK_EQ(out_offsets_.back(), out_targets_.size());
-  TPA_CHECK_EQ(in_offsets_.back(), in_sources_.size());
+    : num_nodes_(num_nodes) {
+  TPA_CHECK_EQ(out_offsets.size(), static_cast<size_t>(num_nodes_) + 1);
+  TPA_CHECK_EQ(in_offsets.size(), static_cast<size_t>(num_nodes_) + 1);
+  TPA_CHECK_EQ(out_targets.size(), in_sources.size());
+  TPA_CHECK_EQ(out_offsets.back(), out_targets.size());
+  TPA_CHECK_EQ(in_offsets.back(), in_sources.size());
+  // Fail fast before InWeights dereferences out_offsets[u + 1]; the
+  // CsrMatrix constructors re-validate but run only afterwards.
+  for (NodeId u : in_sources) TPA_CHECK_LT(u, num_nodes_);
+
+  std::vector<double> out_weights = OutWeights(out_offsets, out_targets.size());
+  std::vector<double> in_weights = InWeights(out_offsets, in_sources);
+  out_csr_ = la::CsrMatrix(num_nodes_, num_nodes_, std::move(out_offsets),
+                           std::move(out_targets), std::move(out_weights));
+  in_csr_ = la::CsrMatrix(num_nodes_, num_nodes_, std::move(in_offsets),
+                          std::move(in_sources), std::move(in_weights));
 }
 
 NodeId Graph::CountDangling() const {
@@ -27,40 +66,6 @@ NodeId Graph::CountDangling() const {
     if (OutDegree(u) == 0) ++count;
   }
   return count;
-}
-
-void Graph::MultiplyTranspose(const std::vector<double>& x,
-                              std::vector<double>& y) const {
-  TPA_DCHECK(x.size() == num_nodes_);
-  y.assign(num_nodes_, 0.0);
-  for (NodeId u = 0; u < num_nodes_; ++u) {
-    const uint64_t begin = out_offsets_[u];
-    const uint64_t end = out_offsets_[u + 1];
-    if (begin == end) continue;
-    const double share = x[u] / static_cast<double>(end - begin);
-    if (share == 0.0) continue;
-    for (uint64_t e = begin; e < end; ++e) y[out_targets_[e]] += share;
-  }
-}
-
-void Graph::MultiplyTransposePull(const std::vector<double>& x,
-                                  std::vector<double>& y) const {
-  TPA_DCHECK(x.size() == num_nodes_);
-  y.assign(num_nodes_, 0.0);
-  for (NodeId v = 0; v < num_nodes_; ++v) {
-    double sum = 0.0;
-    for (NodeId u : InNeighbors(v)) {
-      sum += x[u] / static_cast<double>(OutDegree(u));
-    }
-    y[v] = sum;
-  }
-}
-
-size_t Graph::SizeBytes() const {
-  return out_offsets_.size() * sizeof(uint64_t) +
-         out_targets_.size() * sizeof(NodeId) +
-         in_offsets_.size() * sizeof(uint64_t) +
-         in_sources_.size() * sizeof(NodeId);
 }
 
 }  // namespace tpa

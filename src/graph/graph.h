@@ -5,24 +5,27 @@
 #include <span>
 #include <vector>
 
+#include "la/csr_matrix.h"
+
 namespace tpa {
 
 /// Node identifier.  32 bits covers every graph this repository targets
 /// (the paper's largest graph has 68M nodes).
 using NodeId = uint32_t;
 
-/// Immutable directed graph in CSR form, with both out-adjacency (CSR) and
-/// in-adjacency (CSC, i.e. CSR of the transpose) materialized.
+/// Immutable directed graph stored as two weighted CSR matrices: the
+/// row-normalized adjacency matrix Ã over out-edges, and its transpose Ã^T
+/// over in-edges.  The normalized edge weights (1/out-degree of the source)
+/// are materialized once at construction, so the transition-matrix products
+/// that dominate every method's runtime are pure CSR SpMv kernels — a
+/// contiguous (index, value) sweep with no per-edge degree lookup or
+/// division.
 ///
-/// The in/out dual layout supports the two transition-matrix products used
-/// throughout the library:
+/// The in/out dual layout supports the two product flavors used throughout
+/// the library:
 ///  * push (scatter) over out-edges  — natural for CPI/TPA,
 ///  * pull (gather) over in-edges    — natural for per-node residual updates
 ///    in push-style local methods and exposed for the ablation benchmarks.
-///
-/// The RWR transition matrix is the row-normalized adjacency matrix Ã; all
-/// methods use products with Ã^T.  Row-normalization is implicit: edge
-/// weights are 1/out-degree(u), never stored.
 ///
 /// Dangling nodes (out-degree 0) lose their score mass during propagation,
 /// matching CPI's column-substochastic treatment; graph sources that need
@@ -42,45 +45,52 @@ class Graph {
   Graph& operator=(Graph&&) = default;
 
   NodeId num_nodes() const { return num_nodes_; }
-  uint64_t num_edges() const { return out_targets_.size(); }
+  uint64_t num_edges() const { return out_csr_.nnz(); }
 
-  uint32_t OutDegree(NodeId u) const {
-    return static_cast<uint32_t>(out_offsets_[u + 1] - out_offsets_[u]);
-  }
-  uint32_t InDegree(NodeId v) const {
-    return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
-  }
+  uint32_t OutDegree(NodeId u) const { return out_csr_.RowNnz(u); }
+  uint32_t InDegree(NodeId v) const { return in_csr_.RowNnz(v); }
 
   std::span<const NodeId> OutNeighbors(NodeId u) const {
-    return {out_targets_.data() + out_offsets_[u],
-            out_targets_.data() + out_offsets_[u + 1]};
+    return out_csr_.RowIndices(u);
   }
   std::span<const NodeId> InNeighbors(NodeId v) const {
-    return {in_sources_.data() + in_offsets_[v],
-            in_sources_.data() + in_offsets_[v + 1]};
+    return in_csr_.RowIndices(v);
   }
+
+  /// Ã as a weighted CSR matrix: row u holds u's out-neighbors with weight
+  /// 1/out-degree(u).  Exposed for kernels that want the raw matrix (the
+  /// query engine, benchmarks).
+  const la::CsrMatrix& Transition() const { return out_csr_; }
+
+  /// Ã^T as a weighted CSR matrix: row v holds v's in-neighbors u with
+  /// weight 1/out-degree(u).
+  const la::CsrMatrix& TransitionTranspose() const { return in_csr_; }
 
   /// Number of dangling (out-degree zero) nodes.
   NodeId CountDangling() const;
 
   /// y = Ã^T x via push/scatter over out-edges.  y is resized and zeroed.
   void MultiplyTranspose(const std::vector<double>& x,
-                         std::vector<double>& y) const;
+                         std::vector<double>& y) const {
+    out_csr_.SpMvTranspose(x, y);
+  }
 
   /// y = Ã^T x via pull/gather over in-edges; bitwise-equal semantics to
   /// MultiplyTranspose up to floating point association order.
   void MultiplyTransposePull(const std::vector<double>& x,
-                             std::vector<double>& y) const;
+                             std::vector<double>& y) const {
+    in_csr_.SpMv(x, y);
+  }
 
-  /// Logical bytes held by the CSR+CSC arrays (experiment reporting).
-  size_t SizeBytes() const;
+  /// Logical bytes held by the two CSR matrices (experiment reporting).
+  size_t SizeBytes() const {
+    return out_csr_.SizeBytes() + in_csr_.SizeBytes();
+  }
 
  private:
   NodeId num_nodes_;
-  std::vector<uint64_t> out_offsets_;  // size n+1
-  std::vector<NodeId> out_targets_;    // size m, sorted within each row
-  std::vector<uint64_t> in_offsets_;   // size n+1
-  std::vector<NodeId> in_sources_;     // size m, sorted within each column
+  la::CsrMatrix out_csr_;  // Ã:   row u → out-neighbors, weight 1/outdeg(u)
+  la::CsrMatrix in_csr_;   // Ã^T: row v → in-neighbors u, weight 1/outdeg(u)
 };
 
 }  // namespace tpa

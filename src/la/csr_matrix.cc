@@ -1,0 +1,66 @@
+#include "la/csr_matrix.h"
+
+#include "util/check.h"
+
+namespace tpa::la {
+
+CsrMatrix::CsrMatrix(uint32_t rows, uint32_t cols,
+                     std::vector<uint64_t> row_offsets,
+                     std::vector<uint32_t> col_indices,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_offsets_(std::move(row_offsets)),
+      col_indices_(std::move(col_indices)),
+      values_(std::move(values)) {
+  TPA_CHECK_EQ(row_offsets_.size(), static_cast<size_t>(rows_) + 1);
+  TPA_CHECK_EQ(row_offsets_.front(), 0u);
+  TPA_CHECK_EQ(row_offsets_.back(), col_indices_.size());
+  TPA_CHECK_EQ(col_indices_.size(), values_.size());
+  for (uint32_t r = 0; r < rows_; ++r) {
+    TPA_CHECK_LE(row_offsets_[r], row_offsets_[r + 1]);
+  }
+  for (uint32_t c : col_indices_) TPA_CHECK_LT(c, cols_);
+}
+
+void CsrMatrix::SpMv(const std::vector<double>& x,
+                     std::vector<double>& y) const {
+  TPA_DCHECK(x.size() == cols_);
+  y.resize(rows_);
+  const uint64_t* offsets = row_offsets_.data();
+  const uint32_t* indices = col_indices_.data();
+  const double* values = values_.data();
+  for (uint32_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const uint64_t end = offsets[r + 1];
+    for (uint64_t e = offsets[r]; e < end; ++e) {
+      sum += values[e] * x[indices[e]];
+    }
+    y[r] = sum;
+  }
+}
+
+void CsrMatrix::SpMvTranspose(const std::vector<double>& x,
+                              std::vector<double>& y) const {
+  TPA_DCHECK(x.size() == rows_);
+  y.assign(cols_, 0.0);
+  const uint64_t* offsets = row_offsets_.data();
+  const uint32_t* indices = col_indices_.data();
+  const double* values = values_.data();
+  for (uint32_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const uint64_t end = offsets[r + 1];
+    for (uint64_t e = offsets[r]; e < end; ++e) {
+      y[indices[e]] += values[e] * xr;
+    }
+  }
+}
+
+size_t CsrMatrix::SizeBytes() const {
+  return row_offsets_.size() * sizeof(uint64_t) +
+         col_indices_.size() * sizeof(uint32_t) +
+         values_.size() * sizeof(double);
+}
+
+}  // namespace tpa::la

@@ -1,0 +1,73 @@
+#ifndef TPA_LA_CSR_MATRIX_H_
+#define TPA_LA_CSR_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tpa::la {
+
+/// Immutable CSR matrix specialized for the repository's hot loop: the
+/// transition-matrix products Ã^T·x that every RWR method iterates.
+///
+/// Unlike SparseMatrix (the assembly-friendly triplet format used by the
+/// block-elimination precomputations), CsrMatrix is built directly from
+/// already-sorted row-pointer/column-index arrays and stores the normalized
+/// edge weights inline with the column indices, so the SpMv inner loop is a
+/// single contiguous sweep over (index, value) pairs — no per-edge degree
+/// lookup, no division, no branch.
+///
+/// Two kernels cover both propagation directions used by CPI:
+///  * SpMv          — gather:  y[r]    = Σ_e values[e] · x[col[e]]
+///  * SpMvTranspose — scatter: y[col[e]] += values[e] · x[r]
+class CsrMatrix {
+ public:
+  CsrMatrix() : rows_(0), cols_(0) {}
+
+  /// Adopts the arrays.  row_offsets must have rows+1 monotone entries with
+  /// row_offsets[rows] == col_indices.size() == values.size(); column
+  /// indices must be < cols.  CHECK-fails otherwise (programming error:
+  /// callers construct from already-validated graph arrays).
+  CsrMatrix(uint32_t rows, uint32_t cols, std::vector<uint64_t> row_offsets,
+            std::vector<uint32_t> col_indices, std::vector<double> values);
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+  size_t nnz() const { return col_indices_.size(); }
+
+  uint32_t RowNnz(uint32_t r) const {
+    return static_cast<uint32_t>(row_offsets_[r + 1] - row_offsets_[r]);
+  }
+  std::span<const uint32_t> RowIndices(uint32_t r) const {
+    return {col_indices_.data() + row_offsets_[r],
+            col_indices_.data() + row_offsets_[r + 1]};
+  }
+  std::span<const double> RowValues(uint32_t r) const {
+    return {values_.data() + row_offsets_[r],
+            values_.data() + row_offsets_[r + 1]};
+  }
+
+  /// y = A x (gather over rows).  y is resized and overwritten.
+  /// Requires x.size() == cols().
+  void SpMv(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// y = A^T x (scatter over rows).  y is resized and zeroed first.
+  /// Requires x.size() == rows().
+  void SpMvTranspose(const std::vector<double>& x,
+                     std::vector<double>& y) const;
+
+  /// Logical storage bytes (offsets + indices + values).
+  size_t SizeBytes() const;
+
+ private:
+  uint32_t rows_;
+  uint32_t cols_;
+  std::vector<uint64_t> row_offsets_;  // size rows+1
+  std::vector<uint32_t> col_indices_;  // size nnz, sorted within a row
+  std::vector<double> values_;         // size nnz
+};
+
+}  // namespace tpa::la
+
+#endif  // TPA_LA_CSR_MATRIX_H_

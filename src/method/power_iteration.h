@@ -37,6 +37,9 @@ class PowerIterationRwr final : public RwrMethod {
 
   size_t PreprocessedBytes() const override { return 0; }
 
+  /// Each Query runs an independent CPI over the immutable graph.
+  bool SupportsConcurrentQuery() const override { return true; }
+
  private:
   CpiOptions options_;
   const Graph* graph_ = nullptr;

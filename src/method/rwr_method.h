@@ -38,6 +38,12 @@ class RwrMethod {
   /// Logical size of the preprocessed data retained for the online phase
   /// (Figure 1(a) / Figure 10(a) metric).  Zero before Preprocess.
   virtual size_t PreprocessedBytes() const = 0;
+
+  /// True when concurrent Query calls against the shared preprocessed state
+  /// are safe (deterministic methods whose online phase only reads).  The
+  /// QueryEngine serializes Query for methods that return false (e.g. Monte
+  /// Carlo samplers advancing an RNG).  Conservative default: false.
+  virtual bool SupportsConcurrentQuery() const { return false; }
 };
 
 }  // namespace tpa

@@ -36,6 +36,9 @@ class TpaMethod final : public RwrMethod {
     return tpa_.has_value() ? tpa_->PreprocessedBytes() : 0;
   }
 
+  /// Tpa::Query is const over immutable preprocessed state.
+  bool SupportsConcurrentQuery() const override { return true; }
+
  private:
   TpaOptions options_;
   std::optional<Tpa> tpa_;

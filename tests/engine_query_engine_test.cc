@@ -1,0 +1,221 @@
+#include "engine/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/tpa.h"
+#include "graph/generators.h"
+#include "la/vector_ops.h"
+#include "method/tpa_method.h"
+#include "util/check.h"
+
+namespace tpa {
+namespace {
+
+Graph ServingGraph(uint64_t seed = 77) {
+  DcsbmOptions options;
+  options.nodes = 500;
+  options.edges = 5000;
+  options.blocks = 10;
+  options.seed = seed;
+  auto graph = GenerateDcsbm(options);
+  TPA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(QueryEngineTest, BatchBitwiseMatchesSequentialTpaQuery) {
+  Graph graph = ServingGraph();
+  auto tpa = Tpa::Preprocess(graph, {});
+  ASSERT_TRUE(tpa.ok());
+
+  QueryEngineOptions options;
+  options.num_threads = 4;
+  auto engine =
+      QueryEngine::Create(graph, std::make_unique<TpaMethod>(), options);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<NodeId> seeds = {0, 13, 250, 499, 13, 77};
+  auto results = engine->QueryBatch(seeds);
+  ASSERT_EQ(results.size(), seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok()) << results[i].status;
+    EXPECT_EQ(results[i].seed, seeds[i]);
+    const std::vector<double> expected = tpa->Query(seeds[i]);
+    ASSERT_EQ(results[i].scores.size(), expected.size());
+    for (size_t j = 0; j < expected.size(); ++j) {
+      EXPECT_EQ(results[i].scores[j], expected[j])
+          << "seed " << seeds[i] << " node " << j;
+    }
+  }
+}
+
+TEST(QueryEngineTest, TopKAgreesWithFullSort) {
+  Graph graph = ServingGraph();
+  QueryEngineOptions options;
+  options.num_threads = 2;
+  options.top_k = 25;
+  auto engine =
+      QueryEngine::Create(graph, std::make_unique<TpaMethod>(), options);
+  ASSERT_TRUE(engine.ok());
+
+  auto tpa = Tpa::Preprocess(graph, {});
+  ASSERT_TRUE(tpa.ok());
+  const NodeId seed = 42;
+  const std::vector<double> dense = tpa->Query(seed);
+
+  QueryResult result = engine->Query(seed);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.scores.empty());  // top-k replaces the dense vector
+  ASSERT_EQ(result.top.size(), 25u);
+
+  // Full sort of the dense vector, same tie-break (score desc, node asc).
+  std::vector<NodeId> order(dense.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<NodeId>(i);
+  std::sort(order.begin(), order.end(), [&dense](NodeId a, NodeId b) {
+    if (dense[a] != dense[b]) return dense[a] > dense[b];
+    return a < b;
+  });
+  for (size_t i = 0; i < result.top.size(); ++i) {
+    EXPECT_EQ(result.top[i].node, order[i]) << "rank " << i;
+    EXPECT_EQ(result.top[i].score, dense[order[i]]);
+  }
+  // Scores are non-increasing.
+  for (size_t i = 1; i < result.top.size(); ++i) {
+    EXPECT_GE(result.top[i - 1].score, result.top[i].score);
+  }
+}
+
+TEST(QueryEngineTest, CacheHitReturnsIdenticalScores) {
+  Graph graph = ServingGraph();
+  QueryEngineOptions options;
+  options.num_threads = 2;
+  options.cache_capacity = 8;
+  auto engine =
+      QueryEngine::Create(graph, std::make_unique<TpaMethod>(), options);
+  ASSERT_TRUE(engine.ok());
+
+  QueryResult cold = engine->Query(9);
+  ASSERT_TRUE(cold.status.ok());
+  EXPECT_FALSE(cold.from_cache);
+
+  QueryResult warm = engine->Query(9);
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.from_cache);
+  ASSERT_EQ(warm.scores.size(), cold.scores.size());
+  for (size_t j = 0; j < cold.scores.size(); ++j) {
+    EXPECT_EQ(warm.scores[j], cold.scores[j]);
+  }
+
+  auto stats = engine->cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(QueryEngineTest, CacheEvictsLeastRecentlyUsed) {
+  Graph graph = ServingGraph();
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.cache_capacity = 2;
+  auto engine =
+      QueryEngine::Create(graph, std::make_unique<TpaMethod>(), options);
+  ASSERT_TRUE(engine.ok());
+
+  engine->Query(1);                             // cache: {1}
+  engine->Query(2);                             // cache: {2, 1}
+  engine->Query(1);                             // promotes 1 → {1, 2}
+  engine->Query(3);                             // evicts 2 → {3, 1}
+  EXPECT_TRUE(engine->Query(1).from_cache);
+  EXPECT_FALSE(engine->Query(2).from_cache);    // was evicted
+  EXPECT_EQ(engine->cache_stats().entries, 2u);
+}
+
+TEST(QueryEngineTest, OutOfRangeSeedFailsItsSlotOnly) {
+  Graph graph = ServingGraph();
+  auto engine = QueryEngine::Create(graph, std::make_unique<TpaMethod>(), {});
+  ASSERT_TRUE(engine.ok());
+
+  auto results = engine->QueryBatch({1, graph.num_nodes(), 2});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_EQ(results[1].status.code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(results[2].status.ok());
+  EXPECT_NEAR(la::NormL1(results[0].scores), 1.0, 1e-6);
+}
+
+TEST(QueryEngineTest, LargeBatchAcrossThreadsIsDeterministic) {
+  Graph graph = ServingGraph();
+  auto tpa = Tpa::Preprocess(graph, {});
+  ASSERT_TRUE(tpa.ok());
+
+  QueryEngineOptions options;
+  options.num_threads = 8;
+  options.cache_capacity = 256;  // holds every distinct seed below
+  auto engine =
+      QueryEngine::Create(graph, std::make_unique<TpaMethod>(), options);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<NodeId> seeds;
+  for (int i = 0; i < 200; ++i) {
+    seeds.push_back(static_cast<NodeId>((i * 37) % graph.num_nodes()));
+  }
+  auto results = engine->QueryBatch(seeds);
+  ASSERT_EQ(results.size(), seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok());
+    EXPECT_LT(la::L1Distance(results[i].scores, tpa->Query(seeds[i])), 1e-15);
+  }
+
+  // A second identical batch is served entirely from the warm cache and must
+  // reproduce the cold results exactly.
+  const uint64_t hits_before = engine->cache_stats().hits;
+  auto warm = engine->QueryBatch(seeds);
+  ASSERT_EQ(warm.size(), results.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    ASSERT_TRUE(warm[i].status.ok());
+    EXPECT_TRUE(warm[i].from_cache) << "seed " << seeds[i];
+    EXPECT_EQ(warm[i].scores, results[i].scores);
+  }
+  EXPECT_EQ(engine->cache_stats().hits, hits_before + seeds.size());
+}
+
+TEST(QueryEngineTest, RegistryConstructionServesAnyMethod) {
+  Graph graph = ServingGraph();
+  MethodConfig config;
+  config.tolerance = 1e-7;
+  auto engine = QueryEngine::CreateFromRegistry(graph, "PowerIteration",
+                                                config, {});
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->method().name(), "PowerIteration");
+  QueryResult result = engine->Query(5);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_NEAR(la::NormL1(result.scores), 1.0, 1e-5);
+
+  EXPECT_FALSE(QueryEngine::CreateFromRegistry(graph, "NoSuchMethod").ok());
+}
+
+TEST(QueryEngineTest, ValidatesOptions) {
+  Graph graph = ServingGraph();
+  EXPECT_FALSE(QueryEngine::Create(graph, nullptr, {}).ok());
+  QueryEngineOptions bad;
+  bad.top_k = -1;
+  EXPECT_FALSE(
+      QueryEngine::Create(graph, std::make_unique<TpaMethod>(), bad).ok());
+}
+
+TEST(TopKScoresTest, ClampsAndBreaksTies) {
+  const std::vector<double> scores = {0.5, 0.9, 0.5, 0.1};
+  auto top = TopKScores(scores, 10);  // clamped to 4
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0].node, 1u);
+  EXPECT_EQ(top[1].node, 0u);  // tie with node 2 → smaller id first
+  EXPECT_EQ(top[2].node, 2u);
+  EXPECT_EQ(top[3].node, 3u);
+  EXPECT_TRUE(TopKScores(scores, 0).empty());
+}
+
+}  // namespace
+}  // namespace tpa
