@@ -1,17 +1,23 @@
 /// Query-engine throughput: queries/sec of batched multi-threaded serving
 /// versus single-threaded sequential Tpa::Query, swept over thread count and
-/// batch size on a generated ≥100k-node R-MAT graph.
+/// batch size on a generated ≥100k-node R-MAT graph — including the SpMM
+/// group path (`batch_block_size`) against the per-seed fan-out baseline.
 ///
 ///   $ ./bench_engine_throughput [--scale N] [--edges M] [--queries Q]
+///                               [--json PATH]
 ///
 /// Defaults: scale 17 (131072 nodes), 1.5M edge draws, 64 distinct query
 /// seeds.  Also reports top-k extraction and warm-cache serving modes.
+/// `--json PATH` additionally emits the results machine-readable (e.g.
+/// BENCH_engine_throughput.json) so the perf trajectory is tracked across
+/// PRs.
 
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -32,6 +38,7 @@ struct Args {
   uint32_t scale = 17;
   uint64_t edges = 1'500'000;
   int queries = 64;
+  std::string json_path;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -43,9 +50,48 @@ Args ParseArgs(int argc, char** argv) {
       args.edges = std::strtoull(argv[i + 1], nullptr, 10);
     } else if (std::strcmp(argv[i], "--queries") == 0) {
       args.queries = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      args.json_path = argv[i + 1];
     }
   }
   return args;
+}
+
+/// One measured configuration, mirrored into the text table and the JSON
+/// report.
+struct BenchRow {
+  std::string mode;
+  int threads = 1;
+  size_t batch = 0;
+  double qps = 0.0;
+  double speedup = 0.0;  // vs sequential Tpa::Query
+};
+
+void WriteJson(const std::string& path, const Args& args, uint32_t nodes,
+               uint64_t edges, double seq_qps,
+               const std::vector<BenchRow>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n";
+  out << "  \"benchmark\": \"engine_throughput\",\n";
+  out << "  \"graph\": {\"scale\": " << args.scale << ", \"nodes\": " << nodes
+      << ", \"edges\": " << edges << "},\n";
+  out << "  \"queries\": " << args.queries << ",\n";
+  out << "  \"sequential_qps\": " << seq_qps << ",\n";
+  out << "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& row = rows[i];
+    out << "    {\"mode\": \"" << row.mode << "\", \"threads\": "
+        << row.threads << ", \"batch\": " << row.batch << ", \"qps\": "
+        << row.qps << ", \"speedup_vs_sequential\": " << row.speedup << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  std::printf("wrote %s\n", path.c_str());
 }
 
 std::vector<NodeId> QuerySeeds(const Graph& graph, int count) {
@@ -108,6 +154,8 @@ int Run(int argc, char** argv) {
 
   TablePrinter table(
       {"Mode", "Threads", "Batch", "Queries/s", "vs sequential"});
+  std::vector<BenchRow> rows;
+  rows.push_back({"sequential Tpa::Query", 1, seeds.size(), seq_qps, 1.0});
   table.AddRow({"sequential Tpa::Query", "1",
                 std::to_string(seeds.size()),
                 TablePrinter::FormatDouble(seq_qps, 1), "1.00x"});
@@ -119,16 +167,18 @@ int Run(int argc, char** argv) {
   auto add_row = [&](const std::string& mode, int threads, size_t batch,
                      double seconds, size_t queries) {
     const double qps = queries / seconds;
+    rows.push_back({mode, threads, batch, qps, qps / seq_qps});
     table.AddRow({mode, std::to_string(threads), std::to_string(batch),
                   TablePrinter::FormatDouble(qps, 1),
                   TablePrinter::FormatDouble(qps / seq_qps, 2) + "x"});
   };
 
-  // Batched engine serving: thread sweep at full batch, then a batch-size
-  // sweep at the widest pool.
+  // Batched engine serving: thread sweep at full batch.  batch_block_size 0
+  // isolates pool scaling from the SpMM path measured below.
   for (int threads : thread_counts) {
     QueryEngineOptions options;
     options.num_threads = threads;
+    options.batch_block_size = 0;
     auto engine =
         QueryEngine::Create(*graph, std::make_unique<TpaMethod>(tpa_options),
                             options);
@@ -139,30 +189,56 @@ int Run(int argc, char** argv) {
     }
     Stopwatch watch;
     auto results = engine->QueryBatch(seeds);
-    add_row("engine batch", threads, seeds.size(), watch.ElapsedSeconds(),
-            results.size());
+    add_row("engine per-seed fan-out", threads, seeds.size(),
+            watch.ElapsedSeconds(), results.size());
   }
 
+  // Batch-size sweep: per-seed fan-out versus the SpMM group path at the
+  // same client batch size.  Both engines run the widest pool; the SpMM
+  // engine serves each cache-miss batch through QueryBatchDense in groups
+  // of batch_block_size, so each sweep point compares independent
+  // per-seed CSR traversals against shared multi-vector sweeps.
   {
     const int threads = thread_counts.back();
-    QueryEngineOptions options;
-    options.num_threads = threads;
-    auto engine =
-        QueryEngine::Create(*graph, std::make_unique<TpaMethod>(tpa_options),
-                            options);
-    if (!engine.ok()) return 1;
-    for (size_t batch : {size_t{1}, size_t{8}, seeds.size()}) {
-      Stopwatch watch;
-      size_t served = 0;
-      for (size_t begin = 0; begin < seeds.size(); begin += batch) {
-        const size_t end = std::min(begin + batch, seeds.size());
-        served += engine
-                      ->QueryBatch(std::vector<NodeId>(
-                          seeds.begin() + begin, seeds.begin() + end))
-                      .size();
-      }
-      add_row("engine batch-size sweep", threads, batch,
-              watch.ElapsedSeconds(), served);
+    QueryEngineOptions per_seed_options;
+    per_seed_options.num_threads = threads;
+    per_seed_options.batch_block_size = 0;
+    auto per_seed = QueryEngine::Create(
+        *graph, std::make_unique<TpaMethod>(tpa_options), per_seed_options);
+    if (!per_seed.ok()) return 1;
+
+    QueryEngineOptions spmm_options;
+    spmm_options.num_threads = threads;
+    // One group block row per cache line; client batches larger than the
+    // block are split into several SpMM groups.
+    spmm_options.batch_block_size = 8;
+    auto spmm = QueryEngine::Create(
+        *graph, std::make_unique<TpaMethod>(tpa_options), spmm_options);
+    if (!spmm.ok()) return 1;
+
+    std::vector<size_t> batch_sizes = {1, 8, 16, 32};
+    if (seeds.size() > 32) batch_sizes.push_back(seeds.size());
+    for (size_t batch : batch_sizes) {
+      if (batch > seeds.size()) continue;
+      auto timed_chunks = [&](QueryEngine& engine) {
+        Stopwatch watch;
+        size_t served = 0;
+        for (size_t begin = 0; begin < seeds.size(); begin += batch) {
+          const size_t end = std::min(begin + batch, seeds.size());
+          served += engine
+                        .QueryBatch(std::vector<NodeId>(
+                            seeds.begin() + begin, seeds.begin() + end))
+                        .size();
+        }
+        return std::pair<double, size_t>(watch.ElapsedSeconds(), served);
+      };
+      auto [per_seed_seconds, per_seed_served] = timed_chunks(*per_seed);
+      add_row("per-seed fan-out", threads, batch, per_seed_seconds,
+              per_seed_served);
+      auto [spmm_seconds, spmm_served] = timed_chunks(*spmm);
+      add_row("spmm groups", threads, batch, spmm_seconds, spmm_served);
+      std::printf("batch %zu: spmm %.2fx over per-seed fan-out\n", batch,
+                  per_seed_seconds / spmm_seconds);
     }
   }
 
@@ -203,6 +279,10 @@ int Run(int argc, char** argv) {
 
   std::printf("\n");
   table.PrintText(std::cout);
+  if (!args.json_path.empty()) {
+    WriteJson(args.json_path, args, graph->num_nodes(), graph->num_edges(),
+              seq_qps, rows);
+  }
   return 0;
 }
 

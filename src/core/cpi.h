@@ -2,9 +2,11 @@
 #define TPA_CORE_CPI_H_
 
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
+#include "la/dense_block.h"
 #include "util/status.h"
 
 namespace tpa {
@@ -59,6 +61,18 @@ class Cpi {
   static StatusOr<Result> RunWithSeedVector(const Graph& graph,
                                             const std::vector<double>& q,
                                             const CpiOptions& options);
+
+  /// Batched CPI: runs the window for B single-node seeds at once, sharing
+  /// one SpMM sweep over the CSR arrays per iteration instead of B
+  /// independent SpMv sweeps.  Vector b of the returned block is
+  /// bitwise-identical to Run(graph, {seeds[b]}, options).scores — each
+  /// seed's accumulation stops at exactly the iteration where its own
+  /// scalar run would have converged, and the blocked kernels reproduce the
+  /// scalar arithmetic per vector (see CsrMatrix::SpMm*).  Fails on invalid
+  /// options, an empty batch, or an out-of-range seed.
+  static StatusOr<la::DenseBlock> RunBatch(const Graph& graph,
+                                           std::span<const NodeId> seeds,
+                                           const CpiOptions& options);
 
   /// Single-pass windowed CPI: runs to convergence and returns one partial
   /// sum per window, where window w covers iterations

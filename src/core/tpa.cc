@@ -83,6 +83,23 @@ std::vector<double> Tpa::Query(NodeId seed) const {
   return *std::move(total);
 }
 
+StatusOr<la::DenseBlock> Tpa::QueryBatch(std::span<const NodeId> seeds) const {
+  CpiOptions cpi;
+  cpi.restart_probability = options_.restart_probability;
+  cpi.tolerance = options_.tolerance;
+  cpi.start_iteration = 0;
+  cpi.terminal_iteration = options_.family_window - 1;
+  cpi.use_pull = options_.use_pull;
+  TPA_ASSIGN_OR_RETURN(la::DenseBlock block,
+                       Cpi::RunBatch(*graph_, seeds, cpi));
+
+  // The same fused merge as QueryPersonalized, blocked:
+  // total = (1 + scale)·family + stranger per vector.
+  la::BlockScale(1.0 + NeighborScale(), block);
+  la::BlockAddVector(1.0, stranger_, block);
+  return block;
+}
+
 StatusOr<std::vector<double>> Tpa::QueryPersonalized(
     const std::vector<NodeId>& seeds) const {
   CpiOptions cpi;

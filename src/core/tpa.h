@@ -1,10 +1,12 @@
 #ifndef TPA_CORE_TPA_H_
 #define TPA_CORE_TPA_H_
 
+#include <span>
 #include <vector>
 
 #include "core/cpi.h"
 #include "graph/graph.h"
+#include "la/dense_block.h"
 #include "util/status.h"
 
 namespace tpa {
@@ -37,12 +39,20 @@ struct TpaOptions {
 /// vector adds).  The Tpa object borrows the graph: it must not outlive it.
 class Tpa {
  public:
-  /// Algorithm 2: precomputes r̃_stranger = Σ_{i≥T} x'(i) of PageRank.
+  /// Algorithm 2: computes the PageRank tail r̃_stranger = Σ_{i≥T} x(i).
   static StatusOr<Tpa> Preprocess(const Graph& graph, const TpaOptions& options);
 
   /// Algorithm 3: approximate RWR vector for `seed`.
   /// CHECK-fails on an out-of-range seed (programming error).
   std::vector<double> Query(NodeId seed) const;
+
+  /// Batched Algorithm 3: one approximate RWR vector per seed, computed for
+  /// the whole batch at once.  The S family iterations run as one SpMM
+  /// chain (a single traversal of the Ã^T CSR arrays per iteration, shared
+  /// by all B seeds) and the Lemma-2 scale + stranger add are blocked
+  /// vector ops — so vector b of the result is bitwise-identical to
+  /// Query(seeds[b]).  Fails on an empty batch or an out-of-range seed.
+  StatusOr<la::DenseBlock> QueryBatch(std::span<const NodeId> seeds) const;
 
   /// Personalized-PageRank generalization: approximate RWR for a *set* of
   /// seeds restarted uniformly (Section II-C notes CPI supports seed sets;

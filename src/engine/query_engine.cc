@@ -24,7 +24,8 @@ int ResolveThreadCount(int requested) {
 std::vector<ScoredNode> TopKScores(const std::vector<double>& scores, int k) {
   // la::TopKIndices already clamps k and breaks ties toward smaller index.
   std::vector<ScoredNode> top;
-  for (size_t i : la::TopKIndices(scores, static_cast<size_t>(std::max(k, 0)))) {
+  const size_t clamped = static_cast<size_t>(std::max(k, 0));
+  for (size_t i : la::TopKIndices(scores, clamped)) {
     top.push_back({static_cast<NodeId>(i), scores[i]});
   }
   return top;
@@ -36,8 +37,9 @@ QueryEngine::QueryEngine(const Graph& graph, std::unique_ptr<RwrMethod> method,
       options_(options),
       method_(std::move(method)),
       pool_(std::make_unique<ThreadPool>(num_threads)),
-      cache_(options.cache_capacity > 0
-                 ? std::make_unique<ResultCache>(options.cache_capacity)
+      cache_(options.cache_capacity > 0 || options.cache_capacity_bytes > 0
+                 ? std::make_unique<ResultCache>(options.cache_capacity,
+                                                 options.cache_capacity_bytes)
                  : nullptr),
       method_mu_(std::make_unique<std::mutex>()) {}
 
@@ -53,6 +55,9 @@ StatusOr<QueryEngine> QueryEngine::Create(const Graph& graph,
   if (options.top_k < 0) {
     return InvalidArgumentError("top_k must be non-negative");
   }
+  if (options.batch_block_size < 0) {
+    return InvalidArgumentError("batch_block_size must be non-negative");
+  }
   MemoryBudget unlimited;
   TPA_RETURN_IF_ERROR(method->Preprocess(graph, unlimited));
   return QueryEngine(graph, std::move(method), options,
@@ -67,36 +72,26 @@ StatusOr<QueryEngine> QueryEngine::CreateFromRegistry(
   return Create(graph, std::move(method), options);
 }
 
-void QueryEngine::ServeInto(NodeId seed, QueryResult& result) {
-  result.seed = seed;
-  if (seed >= graph_->num_nodes()) {
-    result.status = OutOfRangeError("seed node out of range");
-    return;
+void QueryEngine::ShapeFromEntry(const ResultCache::Entry& entry,
+                                 QueryResult& result) {
+  result.from_cache = true;
+  if (options_.top_k > 0) {
+    result.top = TopKScores(*entry, options_.top_k);
+  } else {
+    result.scores = *entry;
   }
+}
 
-  if (cache_ != nullptr) {
-    if (ResultCache::Entry hit = cache_->Get(seed)) {
-      result.from_cache = true;
-      if (options_.top_k > 0) {
-        result.top = TopKScores(*hit, options_.top_k);
-      } else {
-        result.scores = *hit;
-      }
-      return;
-    }
-  }
+bool QueryEngine::TryServeFromCache(NodeId seed, QueryResult& result) {
+  if (cache_ == nullptr) return false;
+  ResultCache::Entry hit = cache_->Get(seed);
+  if (hit == nullptr) return false;
+  ShapeFromEntry(hit, result);
+  return true;
+}
 
-  StatusOr<std::vector<double>> scores = [&] {
-    if (method_->SupportsConcurrentQuery()) return method_->Query(seed);
-    std::lock_guard<std::mutex> lock(*method_mu_);
-    return method_->Query(seed);
-  }();
-  if (!scores.ok()) {
-    result.status = scores.status();
-    return;
-  }
-
-  std::vector<double> dense = std::move(scores).value();
+void QueryEngine::ShapeAndCache(NodeId seed, std::vector<double> dense,
+                                QueryResult& result) {
   if (options_.top_k > 0) {
     result.top = TopKScores(dense, options_.top_k);
     if (cache_ != nullptr) {
@@ -115,6 +110,44 @@ void QueryEngine::ServeInto(NodeId seed, QueryResult& result) {
   }
 }
 
+void QueryEngine::ServeInto(NodeId seed, QueryResult& result) {
+  result.seed = seed;
+  if (seed >= graph_->num_nodes()) {
+    result.status = OutOfRangeError("seed node out of range");
+    return;
+  }
+  if (TryServeFromCache(seed, result)) return;
+
+  StatusOr<std::vector<double>> scores = [&] {
+    if (method_->SupportsConcurrentQuery()) return method_->Query(seed);
+    std::lock_guard<std::mutex> lock(*method_mu_);
+    return method_->Query(seed);
+  }();
+  if (!scores.ok()) {
+    result.status = scores.status();
+    return;
+  }
+  ShapeAndCache(seed, std::move(scores).value(), result);
+}
+
+void QueryEngine::ServeGroup(const std::vector<NodeId>& group,
+                             const std::vector<QueryResult*>& slots) {
+  StatusOr<la::DenseBlock> block = [&] {
+    if (method_->SupportsConcurrentQuery()) {
+      return method_->QueryBatchDense(group);
+    }
+    std::lock_guard<std::mutex> lock(*method_mu_);
+    return method_->QueryBatchDense(group);
+  }();
+  if (!block.ok()) {
+    for (QueryResult* slot : slots) slot->status = block.status();
+    return;
+  }
+  for (size_t k = 0; k < slots.size(); ++k) {
+    ShapeAndCache(group[k], block->ExtractVector(k), *slots[k]);
+  }
+}
+
 QueryResult QueryEngine::Query(NodeId seed) {
   QueryResult result;
   ServeInto(seed, result);
@@ -126,13 +159,71 @@ std::vector<QueryResult> QueryEngine::QueryBatch(
   std::vector<QueryResult> results(seeds.size());
   if (seeds.empty()) return results;
 
-  std::latch pending(static_cast<ptrdiff_t>(seeds.size()));
+  if (options_.batch_block_size <= 1 || !method_->SupportsBatchQuery()) {
+    // Per-seed fan-out: one pool job per seed.
+    std::latch pending(static_cast<ptrdiff_t>(seeds.size()));
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      pool_->Submit([this, &seeds, &results, &pending, i] {
+        ServeInto(seeds[i], results[i]);
+        pending.count_down();
+      });
+    }
+    pending.wait();
+    return results;
+  }
+
+  // SpMM group path.  The calling thread resolves each slot's fate first —
+  // invalid seed, cache hit, or miss — so misses can be partitioned into
+  // multi-vector groups.  Hits are shaped on the pool (top-k extraction is
+  // a partial sort over n) alongside the group jobs.
+  struct PendingHit {
+    size_t slot;
+    ResultCache::Entry entry;
+  };
+  std::vector<PendingHit> hits;
+  std::vector<size_t> misses;
   for (size_t i = 0; i < seeds.size(); ++i) {
-    pool_->Submit([this, &seeds, &results, &pending, i] {
-      ServeInto(seeds[i], results[i]);
+    results[i].seed = seeds[i];
+    if (seeds[i] >= graph_->num_nodes()) {
+      results[i].status = OutOfRangeError("seed node out of range");
+      continue;
+    }
+    if (cache_ != nullptr) {
+      if (ResultCache::Entry entry = cache_->Get(seeds[i])) {
+        hits.push_back({i, std::move(entry)});
+        continue;
+      }
+    }
+    misses.push_back(i);
+  }
+
+  const size_t block = static_cast<size_t>(options_.batch_block_size);
+  const size_t num_groups = (misses.size() + block - 1) / block;
+  std::latch pending(static_cast<ptrdiff_t>(hits.size() + num_groups));
+
+  for (size_t h = 0; h < hits.size(); ++h) {
+    pool_->Submit([this, &results, &hits, &pending, h] {
+      ShapeFromEntry(hits[h].entry, results[hits[h].slot]);
       pending.count_down();
     });
   }
+
+  for (size_t begin = 0; begin < misses.size(); begin += block) {
+    pool_->Submit([this, &seeds, &results, &misses, &pending, begin, block] {
+      const size_t end = std::min(begin + block, misses.size());
+      std::vector<NodeId> group;
+      std::vector<QueryResult*> slots;
+      group.reserve(end - begin);
+      slots.reserve(end - begin);
+      for (size_t k = begin; k < end; ++k) {
+        group.push_back(seeds[misses[k]]);
+        slots.push_back(&results[misses[k]]);
+      }
+      ServeGroup(group, slots);
+      pending.count_down();
+    });
+  }
+
   pending.wait();
   return results;
 }
@@ -143,6 +234,7 @@ QueryEngine::CacheStats QueryEngine::cache_stats() const {
     stats.hits = cache_->hits();
     stats.misses = cache_->misses();
     stats.entries = cache_->size();
+    stats.bytes = cache_->bytes();
   }
   return stats;
 }

@@ -24,8 +24,25 @@ struct QueryEngineOptions {
   /// with a partial sort instead of the dense n-vector.
   int top_k = 0;
   /// LRU result-cache capacity in entries (each entry is one dense score
-  /// vector, ~8n bytes).  0 disables caching.
+  /// vector, ~8n bytes).  0 disables entry-count capping.
   size_t cache_capacity = 0;
+  /// Optional LRU byte budget over the cached score payloads; eviction
+  /// keeps the cache under both this and cache_capacity.  0 disables byte
+  /// capping.  Caching is enabled when either bound is set.
+  size_t cache_capacity_bytes = 0;
+  /// Seeds per SpMM group when the method supports native batched queries
+  /// (RwrMethod::SupportsBatchQuery): cache-miss seeds of a QueryBatch are
+  /// served in groups of this size through QueryBatchDense — one shared
+  /// CSR traversal per group instead of one per seed.  ≤ 1 (the default)
+  /// fans every seed out individually.  Results are bitwise identical
+  /// either way; this is purely a throughput knob.  Grouping pays off when
+  /// the shared traversal is the bottleneck — CSR arrays much larger than
+  /// the last-level cache, or many cores contending for memory bandwidth;
+  /// when the graph is cache-resident, per-seed fan-out exploits frontier
+  /// sparsity (early CPI iterations touch few rows) that a shared sweep
+  /// over the union frontier gives up, and wins.  8 keeps one group row
+  /// per cache line; `bench_engine_throughput` measures both paths.
+  int batch_block_size = 0;
 };
 
 /// One (node, score) pair of a top-k result, highest score first; ties break
@@ -53,10 +70,15 @@ struct QueryResult {
 /// method — the paper's client–server scenario (many seed queries against
 /// TPA state precomputed once).
 ///
-/// `QueryBatch` fans the seeds out across a fixed thread pool; each worker
-/// runs the method's online phase against the shared immutable
-/// preprocessing state.  Methods that declare SupportsConcurrentQuery()
-/// run fully parallel; stateful methods (Monte Carlo RNGs) are serialized
+/// `QueryBatch` is batch-first: when the method supports native batched
+/// queries (SupportsBatchQuery), cache-miss seeds are partitioned into
+/// SpMM groups of `batch_block_size` and each group runs the method's
+/// multi-vector path as one pool job — a single traversal of the CSR
+/// arrays shared by the whole group — before results fan back into
+/// per-seed slots with the same cache/top-k behavior as individual
+/// queries.  Other methods fan each seed out individually across the
+/// pool.  Methods that declare SupportsConcurrentQuery() run fully
+/// parallel; stateful methods (Monte Carlo RNGs) are serialized
 /// internally, still overlapping cache lookups and result extraction.
 ///
 /// The engine borrows the graph (it must outlive the engine) and owns the
@@ -95,6 +117,8 @@ class QueryEngine {
     uint64_t hits = 0;
     uint64_t misses = 0;
     size_t entries = 0;
+    /// Payload bytes currently held (~8n per entry).
+    size_t bytes = 0;
   };
   /// All-zero when caching is disabled.
   CacheStats cache_stats() const;
@@ -105,6 +129,26 @@ class QueryEngine {
 
   /// Computes (or fetches) the dense vector and shapes it into `result`.
   void ServeInto(NodeId seed, QueryResult& result);
+
+  /// Shapes a cache entry into `result` (top-k or dense copy, sets
+  /// from_cache) — the one hit-serving path for both the per-seed and the
+  /// SpMM-group flows.
+  void ShapeFromEntry(const ResultCache::Entry& entry, QueryResult& result);
+
+  /// Cache probe; on a hit, shapes the entry into `result` and returns
+  /// true.
+  bool TryServeFromCache(NodeId seed, QueryResult& result);
+
+  /// Shapes a freshly computed dense vector into `result` (top-k or dense)
+  /// and inserts it into the cache when caching is enabled.
+  void ShapeAndCache(NodeId seed, std::vector<double> dense,
+                     QueryResult& result);
+
+  /// Serves one SpMM group: runs QueryBatchDense for `group` (locking for
+  /// non-concurrent methods) and fans the block back into the result slots
+  /// `slots[k]` ← vector k.  On failure every slot gets the group status.
+  void ServeGroup(const std::vector<NodeId>& group,
+                  const std::vector<QueryResult*>& slots);
 
   const Graph* graph_;  // not owned
   QueryEngineOptions options_;

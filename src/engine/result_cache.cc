@@ -15,17 +15,23 @@ ResultCache::Entry ResultCache::Get(NodeId seed) {
 }
 
 void ResultCache::Put(NodeId seed, Entry scores) {
-  if (capacity_ == 0) return;
+  if (capacity_ == 0 && capacity_bytes_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(seed);
   if (it != index_.end()) {
+    bytes_ -= EntryBytes(it->second->second);
+    bytes_ += EntryBytes(scores);
     it->second->second = std::move(scores);
     order_.splice(order_.begin(), order_, it->second);
-    return;
+  } else {
+    bytes_ += EntryBytes(scores);
+    order_.emplace_front(seed, std::move(scores));
+    index_[seed] = order_.begin();
   }
-  order_.emplace_front(seed, std::move(scores));
-  index_[seed] = order_.begin();
-  if (index_.size() > capacity_) {
+  while (!order_.empty() &&
+         ((capacity_ > 0 && index_.size() > capacity_) ||
+          (capacity_bytes_ > 0 && bytes_ > capacity_bytes_))) {
+    bytes_ -= EntryBytes(order_.back().second);
     index_.erase(order_.back().first);
     order_.pop_back();
   }
@@ -34,6 +40,11 @@ void ResultCache::Put(NodeId seed, Entry scores) {
 size_t ResultCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return index_.size();
+}
+
+size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
 }
 
 uint64_t ResultCache::hits() const {

@@ -17,32 +17,46 @@ namespace tpa {
 ///
 /// Entries are shared_ptr<const …> so a hit can be handed to a client (or
 /// sliced for top-k) with no copy while eviction proceeds concurrently.
-/// The capacity is counted in entries; one entry costs ~n doubles, so
-/// serving deployments should size it as cache_bytes ≈ capacity · 8n.
+/// Capacity is bounded on two independent axes — an entry count and an
+/// optional byte budget over the stored score payloads (~8n bytes per
+/// entry); eviction pops LRU entries until both bounds hold.  A zero bound
+/// means "unlimited" on that axis, except that a cache with both bounds
+/// zero caches nothing (the engine's caching-disabled configuration).
 class ResultCache {
  public:
   using Entry = std::shared_ptr<const std::vector<double>>;
 
-  /// CHECK-free: a zero capacity simply caches nothing.
-  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+  /// CHECK-free: capacity 0 with no byte budget simply caches nothing.
+  explicit ResultCache(size_t capacity, size_t capacity_bytes = 0)
+      : capacity_(capacity), capacity_bytes_(capacity_bytes) {}
 
   /// Returns the cached scores for `seed` (promoting it to most-recent), or
   /// nullptr on miss.
   Entry Get(NodeId seed);
 
-  /// Inserts (or refreshes) `seed`, evicting the least-recently-used entry
-  /// when over capacity.
+  /// Inserts (or refreshes) `seed`, evicting least-recently-used entries
+  /// until both the entry cap and the byte budget hold.  An entry larger
+  /// than the whole byte budget is evicted immediately (the cache stays
+  /// within budget rather than pinning one oversized result).
   void Put(NodeId seed, Entry scores);
 
   size_t size() const;
+  /// Payload bytes currently held (sum over entries of 8·scores->size()).
+  size_t bytes() const;
   uint64_t hits() const;
   uint64_t misses() const;
 
  private:
   using LruList = std::list<std::pair<NodeId, Entry>>;
 
+  static size_t EntryBytes(const Entry& scores) {
+    return scores == nullptr ? 0 : scores->size() * sizeof(double);
+  }
+
   mutable std::mutex mu_;
   size_t capacity_;
+  size_t capacity_bytes_;
+  size_t bytes_ = 0;
   LruList order_;  // front = most recently used
   std::unordered_map<NodeId, LruList::iterator> index_;
   uint64_t hits_ = 0;

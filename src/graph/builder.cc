@@ -12,7 +12,8 @@ void GraphBuilder::AddEdge(NodeId u, NodeId v) {
   edges_.emplace_back(u, v);
 }
 
-void GraphBuilder::AddEdges(const std::vector<std::pair<NodeId, NodeId>>& edges) {
+void GraphBuilder::AddEdges(
+    const std::vector<std::pair<NodeId, NodeId>>& edges) {
   edges_.reserve(edges_.size() + edges.size());
   for (const auto& [u, v] : edges) AddEdge(u, v);
 }

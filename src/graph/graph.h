@@ -82,6 +82,21 @@ class Graph {
     in_csr_.SpMv(x, y);
   }
 
+  /// Y = Ã^T X for a whole block of vectors in one sweep over the out-edge
+  /// CSR arrays; vector b of Y is bitwise-identical to MultiplyTranspose on
+  /// vector b of X (see CsrMatrix::SpMmTranspose).
+  void MultiplyTransposeBlock(const la::DenseBlock& x,
+                              la::DenseBlock& y) const {
+    out_csr_.SpMmTranspose(x, y);
+  }
+
+  /// Pull-flavor block product over the in-edge CSR arrays; per-vector
+  /// bitwise match of MultiplyTransposePull.
+  void MultiplyTransposePullBlock(const la::DenseBlock& x,
+                                  la::DenseBlock& y) const {
+    in_csr_.SpMm(x, y);
+  }
+
   /// Logical bytes held by the two CSR matrices (experiment reporting).
   size_t SizeBytes() const {
     return out_csr_.SizeBytes() + in_csr_.SizeBytes();

@@ -1,5 +1,6 @@
 #include "la/csr_matrix.h"
 
+#include "la/width_dispatch.h"
 #include "util/check.h"
 
 namespace tpa::la {
@@ -55,6 +56,129 @@ void CsrMatrix::SpMvTranspose(const std::vector<double>& x,
       y[indices[e]] += values[e] * xr;
     }
   }
+}
+
+namespace {
+
+/// The SpMM inner loops are specialized on the block width so the per-edge
+/// update over B right-hand sides unrolls and vectorizes — with a runtime
+/// bound the compiler keeps a loop (and an alias check) on the hottest
+/// three instructions of the library.  Widths up to 16 cover every group
+/// size the engine dispatches by default; wider blocks fall back to the
+/// runtime loop.
+template <size_t kWidth>
+void SpMmRows(const uint64_t* offsets, const uint32_t* indices,
+              const double* values, uint32_t rows, const DenseBlock& x,
+              DenseBlock& y) {
+  for (uint32_t r = 0; r < rows; ++r) {
+    double* __restrict sums = y.RowPtr(r);
+    for (size_t b = 0; b < kWidth; ++b) sums[b] = 0.0;
+    const uint64_t end = offsets[r + 1];
+    for (uint64_t e = offsets[r]; e < end; ++e) {
+      const double w = values[e];
+      const double* __restrict xr = x.RowPtr(indices[e]);
+      for (size_t b = 0; b < kWidth; ++b) sums[b] += w * xr[b];
+    }
+  }
+}
+
+void SpMmRowsGeneric(const uint64_t* offsets, const uint32_t* indices,
+                     const double* values, uint32_t rows, size_t num_vectors,
+                     const DenseBlock& x, DenseBlock& y) {
+  for (uint32_t r = 0; r < rows; ++r) {
+    double* __restrict sums = y.RowPtr(r);
+    for (size_t b = 0; b < num_vectors; ++b) sums[b] = 0.0;
+    const uint64_t end = offsets[r + 1];
+    for (uint64_t e = offsets[r]; e < end; ++e) {
+      const double w = values[e];
+      const double* __restrict xr = x.RowPtr(indices[e]);
+      for (size_t b = 0; b < num_vectors; ++b) sums[b] += w * xr[b];
+    }
+  }
+}
+
+template <size_t kWidth>
+void SpMmTransposeRows(const uint64_t* offsets, const uint32_t* indices,
+                       const double* values, uint32_t rows,
+                       const DenseBlock& x, DenseBlock& y) {
+  // The scatter destinations are known kPrefetch edges ahead from the
+  // column-index stream; prefetching them hides the block-row fetch
+  // latency that dominates once the n×B output outgrows L2 (a B-wide block
+  // row is up to two cache lines, vs one eighth of a line for scalar
+  // SpMvTranspose).
+  constexpr uint64_t kPrefetch = 16;
+  const uint64_t nnz = offsets[rows];
+  for (uint32_t r = 0; r < rows; ++r) {
+    const double* __restrict xr = x.RowPtr(r);
+    bool any_nonzero = false;
+    for (size_t b = 0; b < kWidth; ++b) any_nonzero |= (xr[b] != 0.0);
+    if (!any_nonzero) continue;
+    const uint64_t end = offsets[r + 1];
+    for (uint64_t e = offsets[r]; e < end; ++e) {
+      if (e + kPrefetch < nnz) {
+        __builtin_prefetch(y.RowPtr(indices[e + kPrefetch]), 1);
+      }
+      const double w = values[e];
+      double* __restrict yr = y.RowPtr(indices[e]);
+      for (size_t b = 0; b < kWidth; ++b) yr[b] += w * xr[b];
+    }
+  }
+}
+
+void SpMmTransposeRowsGeneric(const uint64_t* offsets, const uint32_t* indices,
+                              const double* values, uint32_t rows,
+                              size_t num_vectors, const DenseBlock& x,
+                              DenseBlock& y) {
+  for (uint32_t r = 0; r < rows; ++r) {
+    const double* __restrict xr = x.RowPtr(r);
+    bool any_nonzero = false;
+    for (size_t b = 0; b < num_vectors; ++b) any_nonzero |= (xr[b] != 0.0);
+    if (!any_nonzero) continue;
+    const uint64_t end = offsets[r + 1];
+    for (uint64_t e = offsets[r]; e < end; ++e) {
+      const double w = values[e];
+      double* __restrict yr = y.RowPtr(indices[e]);
+      for (size_t b = 0; b < num_vectors; ++b) yr[b] += w * xr[b];
+    }
+  }
+}
+
+}  // namespace
+
+void CsrMatrix::SpMm(const DenseBlock& x, DenseBlock& y) const {
+  TPA_DCHECK(x.rows() == cols_);
+  const size_t num_vectors = x.num_vectors();
+  y.Resize(rows_, num_vectors);
+  const uint64_t* offsets = row_offsets_.data();
+  const uint32_t* indices = col_indices_.data();
+  const double* values = values_.data();
+  DispatchWidth(
+      num_vectors,
+      [&]<size_t kWidth>() {
+        SpMmRows<kWidth>(offsets, indices, values, rows_, x, y);
+      },
+      [&] {
+        SpMmRowsGeneric(offsets, indices, values, rows_, num_vectors, x, y);
+      });
+}
+
+void CsrMatrix::SpMmTranspose(const DenseBlock& x, DenseBlock& y) const {
+  TPA_DCHECK(x.rows() == rows_);
+  const size_t num_vectors = x.num_vectors();
+  y.Resize(cols_, num_vectors);
+  y.SetZero();
+  const uint64_t* offsets = row_offsets_.data();
+  const uint32_t* indices = col_indices_.data();
+  const double* values = values_.data();
+  DispatchWidth(
+      num_vectors,
+      [&]<size_t kWidth>() {
+        SpMmTransposeRows<kWidth>(offsets, indices, values, rows_, x, y);
+      },
+      [&] {
+        SpMmTransposeRowsGeneric(offsets, indices, values, rows_, num_vectors,
+                                 x, y);
+      });
 }
 
 size_t CsrMatrix::SizeBytes() const {

@@ -6,6 +6,8 @@
 #include <span>
 #include <vector>
 
+#include "la/dense_block.h"
+
 namespace tpa::la {
 
 /// Immutable CSR matrix specialized for the repository's hot loop: the
@@ -56,6 +58,20 @@ class CsrMatrix {
   /// Requires x.size() == rows().
   void SpMvTranspose(const std::vector<double>& x,
                      std::vector<double>& y) const;
+
+  /// Multi-vector gather: Y = A X, one CSR sweep updating all B vectors of
+  /// the block (Y is reshaped to rows() × B and overwritten).  For inputs
+  /// free of NaN/Inf/−0.0, vector b of Y is bitwise-identical to SpMv run on
+  /// vector b of X alone: per vector, the edge contributions accumulate in
+  /// exactly the SpMv order.  Requires x.rows() == cols().
+  void SpMm(const DenseBlock& x, DenseBlock& y) const;
+
+  /// Multi-vector scatter: Y = A^T X, one CSR sweep updating all B vectors
+  /// (Y is reshaped to cols() × B and zeroed first).  Same per-vector
+  /// bitwise contract as SpMm, against SpMvTranspose.  Block rows of X that
+  /// are entirely zero are skipped, mirroring the scalar kernel's
+  /// zero-source skip.  Requires x.rows() == rows().
+  void SpMmTranspose(const DenseBlock& x, DenseBlock& y) const;
 
   /// Logical storage bytes (offsets + indices + values).
   size_t SizeBytes() const;

@@ -1,0 +1,26 @@
+#include "la/dense_block.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tpa::la {
+
+void DenseBlock::SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+std::vector<double> DenseBlock::ExtractVector(size_t vec) const {
+  TPA_DCHECK(vec < num_vectors_);
+  std::vector<double> out(rows_);
+  const double* base = data_.data() + vec;
+  for (size_t r = 0; r < rows_; ++r) out[r] = base[r * num_vectors_];
+  return out;
+}
+
+void DenseBlock::SetVector(size_t vec, const std::vector<double>& values) {
+  TPA_DCHECK(vec < num_vectors_);
+  TPA_DCHECK(values.size() == rows_);
+  double* base = data_.data() + vec;
+  for (size_t r = 0; r < rows_; ++r) base[r * num_vectors_] = values[r];
+}
+
+}  // namespace tpa::la

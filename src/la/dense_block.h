@@ -1,0 +1,108 @@
+#ifndef TPA_LA_DENSE_BLOCK_H_
+#define TPA_LA_DENSE_BLOCK_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace tpa::la {
+
+/// Minimal allocator aligning DenseBlock storage to cache-line boundaries,
+/// so an 8-vector block row is exactly one 64-byte line (not two straddled
+/// ones) in the SpMM scatter.
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+  static constexpr std::align_val_t kAlignment{64};
+
+  CacheAlignedAllocator() = default;
+  template <typename U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlignment));
+  }
+  void deallocate(T* p, size_t) { ::operator delete(p, kAlignment); }
+
+  template <typename U>
+  bool operator==(const CacheAlignedAllocator<U>&) const {
+    return true;
+  }
+};
+
+/// A block of B equally-sized column vectors — the multivector operand of
+/// the batched SpMM kernels (CsrMatrix::SpMm / SpMmTranspose).
+///
+/// Layout: viewed as the B×n matrix whose rows are the B vectors, storage is
+/// column-major — the B entries belonging to one graph node (one "block
+/// row") are contiguous at data()[r·B .. r·B+B).  This is the layout the
+/// SpMM sweep wants: each CSR edge touches one contiguous block row per
+/// operand, so the inner loop over the B right-hand sides is a unit-stride
+/// run that amortizes the (index, value) traversal across the whole batch.
+///
+/// DenseBlock deliberately mirrors how std::vector<double> is used for
+/// single score vectors (see vector_ops.h for the blocked BLAS-1 helpers);
+/// DenseMatrix remains the general row-major container of the
+/// block-elimination solvers.
+class DenseBlock {
+ public:
+  DenseBlock() : rows_(0), num_vectors_(0) {}
+
+  /// rows × num_vectors block, zero-initialized.
+  DenseBlock(size_t rows, size_t num_vectors)
+      : rows_(rows),
+        num_vectors_(num_vectors),
+        data_(rows * num_vectors, 0.0) {}
+
+  /// Number of entries per vector (graph nodes).
+  size_t rows() const { return rows_; }
+  /// Number of vectors in the block (batch size B).
+  size_t num_vectors() const { return num_vectors_; }
+
+  double& At(size_t row, size_t vec) { return data_[row * num_vectors_ + vec]; }
+  double At(size_t row, size_t vec) const {
+    return data_[row * num_vectors_ + vec];
+  }
+
+  /// The contiguous B entries of one block row (one entry per vector).
+  double* RowPtr(size_t row) { return data_.data() + row * num_vectors_; }
+  const double* RowPtr(size_t row) const {
+    return data_.data() + row * num_vectors_;
+  }
+
+  /// Reshapes to rows × num_vectors without initializing the contents
+  /// (kernel-internal; kernels overwrite or zero explicitly).
+  void Resize(size_t rows, size_t num_vectors) {
+    rows_ = rows;
+    num_vectors_ = num_vectors;
+    data_.resize(rows * num_vectors);
+  }
+
+  /// Sets every entry to zero (keeps capacity).
+  void SetZero();
+
+  /// Copies vector `vec` out into a standalone dense vector.
+  std::vector<double> ExtractVector(size_t vec) const;
+
+  /// Overwrites vector `vec` from a dense vector of length rows().
+  void SetVector(size_t vec, const std::vector<double>& values);
+
+  size_t SizeBytes() const { return data_.size() * sizeof(double); }
+
+  void swap(DenseBlock& other) noexcept {
+    std::swap(rows_, other.rows_);
+    std::swap(num_vectors_, other.num_vectors_);
+    data_.swap(other.data_);
+  }
+
+ private:
+  size_t rows_;
+  size_t num_vectors_;
+  // Block row r at data_[r·num_vectors_]; cache-line aligned base.
+  std::vector<double, CacheAlignedAllocator<double>> data_;
+};
+
+}  // namespace tpa::la
+
+#endif  // TPA_LA_DENSE_BLOCK_H_

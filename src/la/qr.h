@@ -24,7 +24,8 @@ class QrDecomposition {
 
   /// Solves min ‖A x − b‖₂ via R x = Q^T b.  Requires b.size() == rows.
   /// Fails if R is singular (rank-deficient A).
-  StatusOr<std::vector<double>> LeastSquares(const std::vector<double>& b) const;
+  StatusOr<std::vector<double>> LeastSquares(
+      const std::vector<double>& b) const;
 
  private:
   QrDecomposition(DenseMatrix q, DenseMatrix r)

@@ -63,4 +63,38 @@ std::vector<size_t> TopKIndices(const std::vector<double>& x, size_t k) {
   return idx;
 }
 
+void BlockAxpy(double alpha, const DenseBlock& x, DenseBlock& y) {
+  TPA_DCHECK(x.rows() == y.rows());
+  TPA_DCHECK(x.num_vectors() == y.num_vectors());
+  const size_t n = x.rows() * x.num_vectors();
+  const double* xs = x.RowPtr(0);
+  double* ys = y.RowPtr(0);
+  for (size_t i = 0; i < n; ++i) ys[i] += alpha * xs[i];
+}
+
+void BlockScale(double alpha, DenseBlock& x) {
+  const size_t n = x.rows() * x.num_vectors();
+  double* xs = x.RowPtr(0);
+  for (size_t i = 0; i < n; ++i) xs[i] *= alpha;
+}
+
+void BlockAddVector(double alpha, const std::vector<double>& v, DenseBlock& y) {
+  TPA_DCHECK(v.size() == y.rows());
+  const size_t num_vectors = y.num_vectors();
+  for (size_t r = 0; r < v.size(); ++r) {
+    const double add = alpha * v[r];
+    double* yr = y.RowPtr(r);
+    for (size_t b = 0; b < num_vectors; ++b) yr[b] += add;
+  }
+}
+
+std::vector<double> BlockColumnNormsL1(const DenseBlock& x) {
+  std::vector<double> norms(x.num_vectors(), 0.0);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* xr = x.RowPtr(r);
+    for (size_t b = 0; b < norms.size(); ++b) norms[b] += std::abs(xr[b]);
+  }
+  return norms;
+}
+
 }  // namespace tpa::la

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "la/dense_block.h"
+
 namespace tpa::la {
 
 /// BLAS-1 style kernels over std::vector<double>.  All score vectors in the
@@ -38,6 +40,25 @@ void SetZero(std::vector<double>& x);
 /// Returns the indices of the k largest entries, in decreasing value order
 /// (ties broken by smaller index first).  k is clamped to x.size().
 std::vector<size_t> TopKIndices(const std::vector<double>& x, size_t k);
+
+/// Blocked BLAS-1 helpers over DenseBlock multivectors.  Each applies the
+/// scalar kernel above to every vector of the block with identical
+/// per-element arithmetic, so vector b of a blocked result is
+/// bitwise-identical to the scalar op run on vector b alone.
+
+/// Y += alpha * X.  Shapes must match.
+void BlockAxpy(double alpha, const DenseBlock& x, DenseBlock& y);
+
+/// X *= alpha.
+void BlockScale(double alpha, DenseBlock& x);
+
+/// Adds one shared vector to every vector of the block:
+/// Y[·][b] += alpha * v for all b.  Requires v.size() == y.rows().
+void BlockAddVector(double alpha, const std::vector<double>& v, DenseBlock& y);
+
+/// Per-vector L1 norms: result[b] = ‖X[·][b]‖₁, accumulated in row order
+/// (bitwise-identical to NormL1 of the extracted vector).
+std::vector<double> BlockColumnNormsL1(const DenseBlock& x);
 
 }  // namespace tpa::la
 

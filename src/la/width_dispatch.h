@@ -1,0 +1,37 @@
+#ifndef TPA_LA_WIDTH_DISPATCH_H_
+#define TPA_LA_WIDTH_DISPATCH_H_
+
+#include <cstddef>
+
+namespace tpa::la {
+
+/// Dispatches a blocked kernel to a compile-time block width so its
+/// per-edge inner loop over the B right-hand sides unrolls and vectorizes.
+/// Invokes `fixed.template operator()<W>()` for W == num_vectors ≤ 16
+/// (every group size the engine dispatches by default), else `generic()`.
+template <typename Fixed, typename Generic>
+void DispatchWidth(size_t num_vectors, Fixed&& fixed, Generic&& generic) {
+  switch (num_vectors) {
+    case 1: return fixed.template operator()<1>();
+    case 2: return fixed.template operator()<2>();
+    case 3: return fixed.template operator()<3>();
+    case 4: return fixed.template operator()<4>();
+    case 5: return fixed.template operator()<5>();
+    case 6: return fixed.template operator()<6>();
+    case 7: return fixed.template operator()<7>();
+    case 8: return fixed.template operator()<8>();
+    case 9: return fixed.template operator()<9>();
+    case 10: return fixed.template operator()<10>();
+    case 11: return fixed.template operator()<11>();
+    case 12: return fixed.template operator()<12>();
+    case 13: return fixed.template operator()<13>();
+    case 14: return fixed.template operator()<14>();
+    case 15: return fixed.template operator()<15>();
+    case 16: return fixed.template operator()<16>();
+    default: return generic();
+  }
+}
+
+}  // namespace tpa::la
+
+#endif  // TPA_LA_WIDTH_DISPATCH_H_

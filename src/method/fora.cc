@@ -11,7 +11,8 @@ Status Fora::Preprocess(const Graph& graph, MemoryBudget& budget) {
   }
   graph_ = &graph;
   const double n = static_cast<double>(graph.num_nodes());
-  const double m = static_cast<double>(std::max<uint64_t>(1, graph.num_edges()));
+  const double m =
+      static_cast<double>(std::max<uint64_t>(1, graph.num_edges()));
   const double delta = options_.delta > 0.0 ? options_.delta : 1.0 / n;
   const double p_fail = options_.p_fail > 0.0 ? options_.p_fail : 1.0 / n;
   const double eps = options_.epsilon;

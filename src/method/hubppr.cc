@@ -52,7 +52,9 @@ Status HubPpr::Preprocess(const Graph& graph, MemoryBudget& budget) {
     HubEntry entry;
     entry.hub = hub;
     for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-      if (push.reserve[v] != 0.0) entry.reserve.emplace_back(v, push.reserve[v]);
+      if (push.reserve[v] != 0.0) {
+        entry.reserve.emplace_back(v, push.reserve[v]);
+      }
       if (push.residual[v] != 0.0) {
         entry.residual.emplace_back(v, push.residual[v]);
       }

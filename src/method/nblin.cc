@@ -11,7 +11,8 @@ namespace tpa {
 
 size_t NbLin::EffectiveRank(const Graph& graph) const {
   if (options_.rank != 0) return options_.rank;
-  const size_t derived = graph.num_nodes() / std::max<size_t>(1, options_.rank_divisor);
+  const size_t derived =
+      graph.num_nodes() / std::max<size_t>(1, options_.rank_divisor);
   return std::min<size_t>(std::max<size_t>(16, derived), graph.num_nodes());
 }
 

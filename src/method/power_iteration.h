@@ -35,6 +35,19 @@ class PowerIterationRwr final : public RwrMethod {
     return Cpi::ExactRwr(*graph_, seed, options_);
   }
 
+  /// Reference native batch path: CPI to convergence for all seeds as one
+  /// SpMM chain; each seed's accumulation stops at its own convergence
+  /// iteration, so vectors match Query bitwise.
+  StatusOr<la::DenseBlock> QueryBatchDense(
+      std::span<const NodeId> seeds) override {
+    if (graph_ == nullptr) {
+      return FailedPreconditionError("Preprocess must be called before Query");
+    }
+    return Cpi::RunBatch(*graph_, seeds, options_);
+  }
+
+  bool SupportsBatchQuery() const override { return true; }
+
   size_t PreprocessedBytes() const override { return 0; }
 
   /// Each Query runs an independent CPI over the immutable graph.

@@ -1,0 +1,22 @@
+#include "method/rwr_method.h"
+
+namespace tpa {
+
+StatusOr<la::DenseBlock> RwrMethod::QueryBatchDense(
+    std::span<const NodeId> seeds) {
+  if (seeds.empty()) {
+    return InvalidArgumentError("seed batch must be non-empty");
+  }
+  la::DenseBlock block;
+  for (size_t b = 0; b < seeds.size(); ++b) {
+    TPA_ASSIGN_OR_RETURN(std::vector<double> scores, Query(seeds[b]));
+    if (b == 0) block.Resize(scores.size(), seeds.size());
+    if (scores.size() != block.rows()) {
+      return InternalError("Query returned inconsistently sized vectors");
+    }
+    block.SetVector(b, scores);
+  }
+  return block;
+}
+
+}  // namespace tpa

@@ -2,11 +2,13 @@
 #define TPA_METHOD_RWR_METHOD_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "graph/graph.h"
+#include "la/dense_block.h"
 #include "util/memory_budget.h"
 #include "util/status.h"
 
@@ -34,6 +36,23 @@ class RwrMethod {
   /// Full approximate (or exact) RWR score vector for `seed`.
   /// Non-const: Monte Carlo methods advance their RNG state.
   virtual StatusOr<std::vector<double>> Query(NodeId seed) = 0;
+
+  /// Dense score vectors for a whole batch of seeds at once; vector b of
+  /// the block is the result for seeds[b].  The base implementation loops
+  /// Query per seed (identical results, no speedup).  Methods that
+  /// override SupportsBatchQuery() provide a native multi-vector path that
+  /// shares one matrix traversal across the batch and must keep each
+  /// vector bitwise-identical to the corresponding Query(seed).  Fails on
+  /// an empty batch; a per-seed failure (e.g. out of range) fails the
+  /// whole call — the QueryEngine validates seeds before dispatching.
+  virtual StatusOr<la::DenseBlock> QueryBatchDense(
+      std::span<const NodeId> seeds);
+
+  /// True when QueryBatchDense runs natively batched (one shared SpMM sweep
+  /// instead of B matvec sweeps) and is therefore worth dispatching whole
+  /// seed groups to.  Conservative default: false (the base QueryBatchDense
+  /// still works, it just offers no advantage over per-seed fan-out).
+  virtual bool SupportsBatchQuery() const { return false; }
 
   /// Logical size of the preprocessed data retained for the online phase
   /// (Figure 1(a) / Figure 10(a) metric).  Zero before Preprocess.

@@ -32,6 +32,19 @@ class TpaMethod final : public RwrMethod {
     return tpa_->Query(seed);
   }
 
+  /// Native SpMM path: the S family iterations for the whole batch run as
+  /// one multi-vector chain (Tpa::QueryBatch), bitwise-identical per seed
+  /// to Query.
+  StatusOr<la::DenseBlock> QueryBatchDense(
+      std::span<const NodeId> seeds) override {
+    if (!tpa_.has_value()) {
+      return FailedPreconditionError("Preprocess must be called before Query");
+    }
+    return tpa_->QueryBatch(seeds);
+  }
+
+  bool SupportsBatchQuery() const override { return true; }
+
   size_t PreprocessedBytes() const override {
     return tpa_.has_value() ? tpa_->PreprocessedBytes() : 0;
   }

@@ -4,11 +4,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/tpa.h"
 #include "graph/generators.h"
 #include "la/vector_ops.h"
+#include "method/registry.h"
 #include "method/tpa_method.h"
 #include "util/check.h"
 
@@ -204,6 +206,177 @@ TEST(QueryEngineTest, ValidatesOptions) {
   bad.top_k = -1;
   EXPECT_FALSE(
       QueryEngine::Create(graph, std::make_unique<TpaMethod>(), bad).ok());
+}
+
+TEST(QueryEngineTest, SpmmGroupingBitwiseMatchesPerSeedFanOut) {
+  Graph graph = ServingGraph();
+  std::vector<NodeId> seeds;
+  for (int i = 0; i < 60; ++i) {
+    seeds.push_back(static_cast<NodeId>((i * 41) % graph.num_nodes()));
+  }
+
+  QueryEngineOptions per_seed;
+  per_seed.num_threads = 4;
+  per_seed.batch_block_size = 0;  // per-seed fan-out
+  auto baseline =
+      QueryEngine::Create(graph, std::make_unique<TpaMethod>(), per_seed);
+  ASSERT_TRUE(baseline.ok());
+  auto expected = baseline->QueryBatch(seeds);
+
+  for (int block_size : {2, 8, 64}) {
+    QueryEngineOptions grouped;
+    grouped.num_threads = 4;
+    grouped.batch_block_size = block_size;
+    auto engine =
+        QueryEngine::Create(graph, std::make_unique<TpaMethod>(), grouped);
+    ASSERT_TRUE(engine.ok());
+    auto results = engine->QueryBatch(seeds);
+    ASSERT_EQ(results.size(), expected.size());
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      ASSERT_TRUE(results[i].status.ok());
+      EXPECT_EQ(results[i].scores, expected[i].scores)
+          << "block size " << block_size << " seed " << seeds[i];
+    }
+  }
+}
+
+TEST(QueryEngineTest, SpmmGroupingHandlesCacheHitsErrorsAndTopK) {
+  Graph graph = ServingGraph();
+  QueryEngineOptions options;
+  options.num_threads = 4;
+  options.batch_block_size = 4;
+  options.top_k = 10;
+  options.cache_capacity = 64;
+  auto engine =
+      QueryEngine::Create(graph, std::make_unique<TpaMethod>(), options);
+  ASSERT_TRUE(engine.ok());
+
+  // Warm a few seeds so the grouped batch mixes hits, misses, and an
+  // invalid slot.
+  engine->QueryBatch({10, 20, 30});
+  std::vector<NodeId> mixed = {10, 1, 20, graph.num_nodes(), 2, 30, 3, 4, 5};
+  auto results = engine->QueryBatch(mixed);
+  ASSERT_EQ(results.size(), mixed.size());
+
+  EXPECT_TRUE(results[0].from_cache);
+  EXPECT_TRUE(results[2].from_cache);
+  EXPECT_TRUE(results[5].from_cache);
+  EXPECT_EQ(results[3].status.code(), StatusCode::kOutOfRange);
+  for (size_t i : {size_t{1}, size_t{4}, size_t{6}, size_t{7}, size_t{8}}) {
+    ASSERT_TRUE(results[i].status.ok()) << "slot " << i;
+    EXPECT_FALSE(results[i].from_cache);
+    EXPECT_EQ(results[i].top.size(), 10u);
+  }
+
+  // Every served seed (hit or grouped miss) agrees with a direct query.
+  auto tpa = Tpa::Preprocess(graph, {});
+  ASSERT_TRUE(tpa.ok());
+  for (size_t i = 0; i < mixed.size(); ++i) {
+    if (!results[i].status.ok()) continue;
+    const auto expected = TopKScores(tpa->Query(mixed[i]), options.top_k);
+    ASSERT_EQ(results[i].top.size(), expected.size());
+    for (size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_EQ(results[i].top[k].node, expected[k].node);
+      EXPECT_EQ(results[i].top[k].score, expected[k].score);
+    }
+  }
+}
+
+/// Every registry method must serve batches identically to sequential
+/// queries.  One worker thread makes the pool FIFO, so even the stochastic
+/// methods (HubPPR's RNG advances per query) see the same call sequence as
+/// the sequential engine and the comparison is bitwise for all of them.
+class RegistryBatchTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RegistryBatchTest, BatchEqualsSequential) {
+  Graph graph = ServingGraph();
+  MethodConfig config;
+  config.tolerance = 1e-7;
+
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.batch_block_size = 4;
+
+  auto sequential =
+      QueryEngine::CreateFromRegistry(graph, GetParam(), config, options);
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+  auto batched =
+      QueryEngine::CreateFromRegistry(graph, GetParam(), config, options);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+
+  const std::vector<NodeId> seeds = {0, 13, 250, 499, 77};
+  auto results = batched->QueryBatch(seeds);
+  ASSERT_EQ(results.size(), seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok())
+        << GetParam() << ": " << results[i].status;
+    const QueryResult expected = sequential->Query(seeds[i]);
+    ASSERT_TRUE(expected.status.ok());
+    ASSERT_EQ(results[i].scores.size(), expected.scores.size());
+    for (size_t j = 0; j < expected.scores.size(); ++j) {
+      ASSERT_EQ(results[i].scores[j], expected.scores[j])
+          << GetParam() << " seed " << seeds[i] << " node " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, RegistryBatchTest,
+                         ::testing::Values("TPA", "BEAR-APPROX", "NB-LIN",
+                                           "BRPPR", "FORA", "HubPPR", "BePI",
+                                           "PowerIteration"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(QueryEngineTest, ByteBudgetedCacheEvictsUntilUnderBudget) {
+  Graph graph = ServingGraph();
+  const size_t entry_bytes = graph.num_nodes() * sizeof(double);
+
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.cache_capacity_bytes = 3 * entry_bytes;  // room for three vectors
+  auto engine =
+      QueryEngine::Create(graph, std::make_unique<TpaMethod>(), options);
+  ASSERT_TRUE(engine.ok());
+
+  engine->Query(1);
+  engine->Query(2);
+  engine->Query(3);
+  auto stats = engine->cache_stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.bytes, 3 * entry_bytes);
+
+  engine->Query(4);  // over budget → LRU seed 1 evicted
+  stats = engine->cache_stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.bytes, 3 * entry_bytes);
+  EXPECT_FALSE(engine->Query(1).from_cache);
+  EXPECT_TRUE(engine->Query(4).from_cache);
+}
+
+TEST(QueryEngineTest, EntryAndByteCapsComposeAndStatsReportBytes) {
+  Graph graph = ServingGraph();
+  const size_t entry_bytes = graph.num_nodes() * sizeof(double);
+
+  // Byte budget allows 4 entries but the entry cap allows only 2.
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.cache_capacity = 2;
+  options.cache_capacity_bytes = 4 * entry_bytes;
+  auto engine =
+      QueryEngine::Create(graph, std::make_unique<TpaMethod>(), options);
+  ASSERT_TRUE(engine.ok());
+
+  engine->Query(1);
+  engine->Query(2);
+  engine->Query(3);
+  const auto stats = engine->cache_stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, 2 * entry_bytes);
 }
 
 TEST(TopKScoresTest, ClampsAndBreaksTies) {

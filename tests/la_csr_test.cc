@@ -66,8 +66,8 @@ TEST(CsrMatrixTest, EmptyMatrix) {
 }
 
 TEST(CsrMatrixDeathTest, RejectsMalformedArrays) {
-  EXPECT_DEATH(la::CsrMatrix(2, 2, {0, 1}, {0}, {1.0}), "CHECK");    // offsets
-  EXPECT_DEATH(la::CsrMatrix(1, 1, {0, 1}, {3}, {1.0}), "CHECK");    // col range
+  EXPECT_DEATH(la::CsrMatrix(2, 2, {0, 1}, {0}, {1.0}), "CHECK");  // offsets
+  EXPECT_DEATH(la::CsrMatrix(1, 1, {0, 1}, {3}, {1.0}), "CHECK");  // col range
   EXPECT_DEATH(la::CsrMatrix(1, 1, {0, 1}, {0}, {1.0, 2.0}), "CHECK");
 }
 
