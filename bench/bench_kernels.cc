@@ -3,18 +3,38 @@
 ///  * push (scatter/CSR) vs pull (gather/CSC) transition matvec,
 ///  * one CPI iteration and full CPI convergence,
 ///  * forward push and random-walk sampling,
-///  * sparse CSR matvec from the block-elimination substrate.
+///  * sparse CSR matvec from the block-elimination substrate,
+///  * frontier-sparse vs dense scatter (the adaptive-head kernels).
+///
+/// With `--json PATH [--scale N] [--edges M]` the binary instead runs the
+/// sparse-vs-dense frontier crossover sweep on a generated R-MAT graph and
+/// writes the measurements machine-readable (e.g. BENCH_kernels.json): per
+/// frontier density, the time of SpMvTransposeFrontier / SpMmTransposeFrontier
+/// against their dense counterparts, plus the measured crossover density —
+/// the data behind CpiOptions::frontier_density_threshold's default.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "core/cpi.h"
 #include "core/tpa.h"
+#include "graph/generators.h"
 #include "graph/presets.h"
+#include "la/csr_matrix.h"
+#include "la/dense_block.h"
 #include "la/sparse_matrix.h"
 #include "method/monte_carlo.h"
 #include "method/push.h"
 #include "util/check.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 
 namespace tpa {
 namespace {
@@ -129,7 +149,205 @@ void BM_SparseMatVec(benchmark::State& state) {
 }
 BENCHMARK(BM_SparseMatVec);
 
+void BM_SpMvTransposeFrontierSparse(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  const la::CsrMatrix& csr = graph.Transition();
+  const uint32_t n = csr.rows();
+  const auto frontier_rows = static_cast<uint32_t>(state.range(0));
+  std::vector<double> x(n, 0.0);
+  std::vector<uint32_t> frontier(frontier_rows);
+  for (uint32_t i = 0; i < frontier_rows; ++i) {
+    frontier[i] = static_cast<uint32_t>((uint64_t{i} * 2654435761u) % n);
+    x[frontier[i]] = 1.0 / frontier_rows;
+  }
+  std::sort(frontier.begin(), frontier.end());
+  frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                 frontier.end());
+  std::vector<double> y(n, 0.0);
+  std::vector<uint32_t> next_frontier;
+  la::FrontierScratch scratch;
+  for (auto _ : state) {
+    for (uint32_t j : next_frontier) y[j] = 0.0;
+    csr.SpMvTransposeFrontier(x, frontier, 1.0, y, next_frontier, scratch);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SpMvTransposeFrontierSparse)->Arg(64)->Arg(1024)->Arg(16384);
+
+// ------------------------------------------------------------------ sweep
+
+struct SweepArgs {
+  uint32_t scale = 17;
+  uint64_t edges = 1'500'000;
+  std::string json_path;
+};
+
+SweepArgs ParseSweepArgs(int argc, char** argv) {
+  SweepArgs args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      args.json_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
+      args.scale = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--edges") == 0) {
+      args.edges = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return args;
+}
+
+struct SweepRow {
+  size_t frontier_rows = 0;
+  double density = 0.0;
+  double spmv_sparse_ms = 0.0;
+  double spmv_dense_ms = 0.0;
+  double spmm_sparse_ms = 0.0;
+  double spmm_dense_ms = 0.0;
+};
+
+/// Runs `op` repeatedly until ~80ms of wall time accumulates and returns
+/// the best per-call milliseconds.
+template <typename Op>
+double TimeMs(Op&& op) {
+  double best = 1e18;
+  double total = 0.0;
+  do {
+    Stopwatch watch;
+    op();
+    const double ms = watch.ElapsedSeconds() * 1e3;
+    best = std::min(best, ms);
+    total += ms;
+  } while (total < 80.0);
+  return best;
+}
+
+/// The sparse-vs-dense crossover: one scatter at a synthetic frontier of f
+/// rows (deterministically spread over the id space), timed for the scalar
+/// and the width-8 block kernel against their dense counterparts.  The
+/// crossover density — where sparse stops winning — is what
+/// CpiOptions::frontier_density_threshold encodes.
+int RunCrossoverSweep(const SweepArgs& args) {
+  constexpr size_t kBlockWidth = 8;
+  RmatOptions rmat;
+  rmat.scale = args.scale;
+  rmat.edges = args.edges;
+  rmat.seed = 42;
+  std::printf("generating R-MAT graph: scale %u, %llu edge draws\n",
+              rmat.scale, static_cast<unsigned long long>(rmat.edges));
+  auto graph = GenerateRmat(rmat);
+  TPA_CHECK(graph.ok());
+  const la::CsrMatrix& csr = graph->Transition();
+  const uint32_t n = csr.rows();
+
+  std::vector<SweepRow> rows;
+  for (size_t f = 16; f < n; f *= 4) {
+    SweepRow row;
+    row.frontier_rows = f;
+    row.density = static_cast<double>(f) / n;
+
+    std::vector<double> x(n, 0.0);
+    la::DenseBlock bx(n, kBlockWidth);
+    std::vector<uint32_t> frontier;
+    frontier.reserve(f);
+    for (size_t i = 0; i < f; ++i) {
+      const auto r = static_cast<uint32_t>((uint64_t{i} * 2654435761u) % n);
+      x[r] = 1.0 / static_cast<double>(f);
+      for (size_t b = 0; b < kBlockWidth; ++b) bx.At(r, b) = x[r];
+      frontier.push_back(r);
+    }
+    std::sort(frontier.begin(), frontier.end());
+    frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                   frontier.end());
+
+    std::vector<double> y(n, 0.0);
+    std::vector<uint32_t> next_frontier;
+    la::FrontierScratch scratch;
+    // The sparse timing includes the stale-support re-zeroing the adaptive
+    // loop pays per iteration.
+    row.spmv_sparse_ms = TimeMs([&] {
+      for (uint32_t j : next_frontier) y[j] = 0.0;
+      csr.SpMvTransposeFrontier(x, frontier, 1.0, y, next_frontier, scratch);
+    });
+    std::vector<double> dense_y;
+    row.spmv_dense_ms = TimeMs([&] { csr.SpMvTranspose(x, dense_y); });
+
+    la::DenseBlock by(n, kBlockWidth);
+    next_frontier.clear();
+    row.spmm_sparse_ms = TimeMs([&] {
+      for (uint32_t j : next_frontier) {
+        double* row_ptr = by.RowPtr(j);
+        std::fill(row_ptr, row_ptr + kBlockWidth, 0.0);
+      }
+      csr.SpMmTransposeFrontier(bx, frontier, 1.0, by, next_frontier,
+                                scratch);
+    });
+    la::DenseBlock dense_by;
+    row.spmm_dense_ms = TimeMs([&] { csr.SpMmTranspose(bx, dense_by); });
+
+    std::printf(
+        "frontier %7zu (density %.4f): spmv %.3f/%.3f ms (%.2fx)  "
+        "spmm%zu %.3f/%.3f ms (%.2fx)\n",
+        row.frontier_rows, row.density, row.spmv_sparse_ms,
+        row.spmv_dense_ms, row.spmv_dense_ms / row.spmv_sparse_ms,
+        kBlockWidth, row.spmm_sparse_ms, row.spmm_dense_ms,
+        row.spmm_dense_ms / row.spmm_sparse_ms);
+    rows.push_back(row);
+  }
+
+  // First measured density where the sparse kernel stops winning.
+  auto crossover = [&rows](auto sparse_ms, auto dense_ms) {
+    for (const SweepRow& row : rows) {
+      if (sparse_ms(row) >= dense_ms(row)) return row.density;
+    }
+    return 1.0;
+  };
+  const double spmv_crossover =
+      crossover([](const SweepRow& r) { return r.spmv_sparse_ms; },
+                [](const SweepRow& r) { return r.spmv_dense_ms; });
+  const double spmm_crossover =
+      crossover([](const SweepRow& r) { return r.spmm_sparse_ms; },
+                [](const SweepRow& r) { return r.spmm_dense_ms; });
+  std::printf("crossover density: spmv %.4f, spmm %.4f\n", spmv_crossover,
+              spmm_crossover);
+
+  std::ofstream out(args.json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"benchmark\": \"kernels_frontier_crossover\",\n";
+  out << "  \"graph\": {\"scale\": " << args.scale << ", \"nodes\": " << n
+      << ", \"edges\": " << csr.nnz() << "},\n";
+  out << "  \"block_width\": " << kBlockWidth << ",\n";
+  out << "  \"spmv_crossover_density\": " << spmv_crossover << ",\n";
+  out << "  \"spmm_crossover_density\": " << spmm_crossover << ",\n";
+  out << "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    out << "    {\"frontier_rows\": " << row.frontier_rows
+        << ", \"density\": " << row.density
+        << ", \"spmv_sparse_ms\": " << row.spmv_sparse_ms
+        << ", \"spmv_dense_ms\": " << row.spmv_dense_ms
+        << ", \"spmm_sparse_ms\": " << row.spmm_sparse_ms
+        << ", \"spmm_dense_ms\": " << row.spmm_dense_ms << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  std::printf("wrote %s\n", args.json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace tpa
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const tpa::SweepArgs args = tpa::ParseSweepArgs(argc, argv);
+  if (!args.json_path.empty()) return tpa::RunCrossoverSweep(args);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/cpi.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "la/vector_ops.h"
@@ -7,11 +8,21 @@
 
 namespace tpa {
 
+Status ValidateFrontierThreshold(double threshold) {
+  if (!(threshold >= 0.0 && threshold <= 1.0)) {
+    return InvalidArgumentError(
+        "frontier_density_threshold must be in [0, 1]");
+  }
+  return OkStatus();
+}
+
 namespace {
 
 Status ValidateOptions(const CpiOptions& options) {
   TPA_RETURN_IF_ERROR(ValidateCpiParameters(options.restart_probability,
                                             options.tolerance));
+  TPA_RETURN_IF_ERROR(
+      ValidateFrontierThreshold(options.frontier_density_threshold));
   if (options.start_iteration < 0) {
     return InvalidArgumentError("start_iteration must be non-negative");
   }
@@ -30,6 +41,25 @@ void Propagate(const Graph& graph, bool use_pull, double decay,
     graph.MultiplyTranspose(x, y);
   }
   la::Scale(decay, y);
+}
+
+/// Scalar post-propagate phase of a sparse-head iteration, restricted to the
+/// frontier (a sorted superset of x's support): x ·= decay, scores += x,
+/// returns ‖x‖₁.  Entries off the frontier are exactly +0.0, and adding or
+/// scaling +0.0 is a bitwise no-op, so this reproduces the dense
+/// Scale → Axpy → NormL1 sequence exactly.  `scores` may be null (window
+/// outside [s_iter, t_iter]).
+double ScaleAccumulateAndNormFrontier(double decay,
+                                      std::span<const NodeId> frontier,
+                                      std::vector<double>& x, double* scores) {
+  double norm = 0.0;
+  for (NodeId i : frontier) {
+    const double v = x[i] * decay;
+    x[i] = v;
+    if (scores != nullptr) scores[i] += v;
+    norm += std::abs(v);
+  }
+  return norm;
 }
 
 /// The blocked equivalent of one scalar post-propagate phase — Scale(decay),
@@ -63,6 +93,34 @@ std::vector<double> ScaleAccumulateAndNorms(double decay, bool accumulate,
   return norms;
 }
 
+/// Frontier-restricted variant of ScaleAccumulateAndNorms: the same fused
+/// pass over only the union-frontier rows (sorted ascending), which is a
+/// superset of every vector's support.  Rows off the frontier hold exact
+/// +0.0 in all B lanes, so skipping them is a bitwise no-op against the
+/// full sweep.  With decay == 1.0 this doubles as the x(0) accumulation
+/// pass (v = x·1.0 is bitwise x for the NaN/Inf/−0.0-free inputs the
+/// kernels already assume).
+std::vector<double> ScaleAccumulateAndNormsFrontier(
+    double decay, bool accumulate, const std::vector<char>& active,
+    size_t remaining, std::span<const NodeId> frontier, la::DenseBlock& x,
+    la::DenseBlock& acc) {
+  const size_t num_vectors = x.num_vectors();
+  std::vector<double> norms(num_vectors, 0.0);
+  const bool all_active = remaining == num_vectors;
+  double* norms_data = norms.data();
+  for (NodeId r : frontier) {
+    double* __restrict xr = x.RowPtr(r);
+    double* __restrict ar = acc.RowPtr(r);
+    for (size_t b = 0; b < num_vectors; ++b) {
+      const double v = xr[b] * decay;
+      xr[b] = v;
+      if (accumulate && (all_active || active[b])) ar[b] += v;
+      norms_data[b] += std::abs(v);
+    }
+  }
+  return norms;
+}
+
 /// Marks vectors whose interim norm dropped below tolerance as frozen;
 /// returns how many remain active.
 size_t FreezeConverged(const std::vector<double>& norms, double tolerance,
@@ -74,6 +132,101 @@ size_t FreezeConverged(const std::vector<double>& norms, double tolerance,
     }
   }
   return remaining;
+}
+
+/// Whether the adaptive head applies at all: the frontier kernels are
+/// scatter-shaped, so the pull flavor always runs dense.
+bool SparseHeadEnabled(const CpiOptions& options) {
+  return !options.use_pull && options.frontier_density_threshold > 0.0;
+}
+
+/// Scans x for its support and leaves it, sorted, in `frontier`.  Bails out
+/// (returns false) once the support exceeds the density limit — the run
+/// starts dense and no frontier is needed.
+bool ScanInitialFrontier(const std::vector<double>& x, double limit,
+                         std::vector<NodeId>& frontier) {
+  frontier.clear();
+  for (NodeId i = 0; i < x.size(); ++i) {
+    if (x[i] == 0.0) continue;
+    frontier.push_back(i);
+    if (static_cast<double>(frontier.size()) > limit) return false;
+  }
+  return true;
+}
+
+/// Shared scalar CPI loop.  Preconditions: options validated; ws.x holds
+/// x(0) = c·q; when frontier_ready, ws.frontier holds x(0)'s support sorted
+/// ascending (callers with explicit seed lists skip the O(n) support scan).
+Cpi::Result RunScalarLoop(const Graph& graph, const CpiOptions& options,
+                          Cpi::Workspace& ws, bool frontier_ready) {
+  const NodeId n = graph.num_nodes();
+  const double decay = 1.0 - options.restart_probability;
+  const double limit =
+      options.frontier_density_threshold * static_cast<double>(n);
+
+  Cpi::Result result;
+  result.scores.assign(n, 0.0);
+
+  bool sparse = SparseHeadEnabled(options);
+  if (sparse && !frontier_ready) {
+    sparse = ScanInitialFrontier(ws.x, limit, ws.frontier);
+  }
+  if (sparse && static_cast<double>(ws.frontier.size()) > limit) {
+    sparse = false;
+  }
+  ws.next.assign(n, 0.0);
+  ws.next_frontier.clear();  // the recycled buffer starts fully zeroed
+
+  // x(0) accumulation + interim norm.
+  if (sparse) {
+    result.last_interim_norm = ScaleAccumulateAndNormFrontier(
+        1.0, ws.frontier, ws.x,
+        options.start_iteration == 0 ? result.scores.data() : nullptr);
+  } else {
+    if (options.start_iteration == 0) la::Axpy(1.0, ws.x, result.scores);
+    result.last_interim_norm = la::NormL1(ws.x);
+  }
+  if (result.last_interim_norm < options.tolerance) {
+    result.converged = true;
+    return result;
+  }
+
+  for (int i = 1; i <= options.terminal_iteration; ++i) {
+    if (sparse) {
+      // Re-zero the stale support of the recycled buffer (the interim
+      // vector from two iterations ago), then scatter from the frontier.
+      for (NodeId j : ws.next_frontier) ws.next[j] = 0.0;
+      const bool stayed = graph.Transition().SpMvTransposeFrontier(
+          ws.x, ws.frontier, options.frontier_density_threshold, ws.next,
+          ws.next_frontier, ws.scratch);
+      ws.x.swap(ws.next);
+      result.last_iteration = i;
+      if (stayed) {
+        ws.frontier.swap(ws.next_frontier);
+        result.last_interim_norm = ScaleAccumulateAndNormFrontier(
+            decay, ws.frontier, ws.x,
+            i >= options.start_iteration ? result.scores.data() : nullptr);
+      } else {
+        // The kernel fell through to the dense scatter; finish this
+        // iteration with the dense post-passes and stay dense.
+        sparse = false;
+        la::Scale(decay, ws.x);
+        if (i >= options.start_iteration) la::Axpy(1.0, ws.x, result.scores);
+        result.last_interim_norm = la::NormL1(ws.x);
+      }
+    } else {
+      Propagate(graph, options.use_pull, decay, ws.x, ws.next);
+      ws.x.swap(ws.next);
+      result.last_iteration = i;
+      if (i >= options.start_iteration) la::Axpy(1.0, ws.x, result.scores);
+      result.last_interim_norm = la::NormL1(ws.x);
+    }
+    if (result.last_interim_norm < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
 }
 
 }  // namespace
@@ -96,61 +249,55 @@ int CpiIterationCount(double restart_probability, double tolerance) {
 
 StatusOr<Cpi::Result> Cpi::Run(const Graph& graph,
                                const std::vector<NodeId>& seeds,
-                               const CpiOptions& options) {
+                               const CpiOptions& options,
+                               Workspace* workspace) {
+  TPA_RETURN_IF_ERROR(ValidateOptions(options));
   if (seeds.empty()) return InvalidArgumentError("seed set must be non-empty");
-  std::vector<double> q(graph.num_nodes(), 0.0);
-  const double share = 1.0 / static_cast<double>(seeds.size());
   for (NodeId s : seeds) {
     if (s >= graph.num_nodes()) {
       return OutOfRangeError("seed node out of range");
     }
-    q[s] += share;
   }
-  return RunWithSeedVector(graph, q, options);
+  Workspace local;
+  Workspace& ws = workspace != nullptr ? *workspace : local;
+
+  // x(0) = c·q built directly in the workspace: q[s] += share per seed,
+  // then the support scaled by c — bitwise-identical to materializing q and
+  // Scale(c, ·) over all n (off-support entries are exact +0.0 and 0·c is a
+  // bitwise no-op), without the extra n-length vector.
+  ws.x.assign(graph.num_nodes(), 0.0);
+  const double share = 1.0 / static_cast<double>(seeds.size());
+  for (NodeId s : seeds) ws.x[s] += share;
+
+  ws.frontier.assign(seeds.begin(), seeds.end());
+  std::sort(ws.frontier.begin(), ws.frontier.end());
+  ws.frontier.erase(std::unique(ws.frontier.begin(), ws.frontier.end()),
+                    ws.frontier.end());
+  const double c = options.restart_probability;
+  for (NodeId i : ws.frontier) ws.x[i] *= c;
+
+  return RunScalarLoop(graph, options, ws, /*frontier_ready=*/true);
 }
 
 StatusOr<Cpi::Result> Cpi::RunWithSeedVector(const Graph& graph,
                                              const std::vector<double>& q,
-                                             const CpiOptions& options) {
+                                             const CpiOptions& options,
+                                             Workspace* workspace) {
   TPA_RETURN_IF_ERROR(ValidateOptions(options));
   if (q.size() != graph.num_nodes()) {
     return InvalidArgumentError("seed vector size must equal node count");
   }
-  const double c = options.restart_probability;
-  const double decay = 1.0 - c;
-
-  Result result;
-  result.scores.assign(graph.num_nodes(), 0.0);
-
-  // x(0) = c·q.
-  std::vector<double> x = q;
-  la::Scale(c, x);
-  std::vector<double> next(graph.num_nodes());
-
-  if (options.start_iteration == 0) la::Axpy(1.0, x, result.scores);
-  result.last_interim_norm = la::NormL1(x);
-  if (result.last_interim_norm < options.tolerance) {
-    result.converged = true;
-    return result;
-  }
-
-  for (int i = 1; i <= options.terminal_iteration; ++i) {
-    Propagate(graph, options.use_pull, decay, x, next);
-    x.swap(next);
-    result.last_iteration = i;
-    if (i >= options.start_iteration) la::Axpy(1.0, x, result.scores);
-    result.last_interim_norm = la::NormL1(x);
-    if (result.last_interim_norm < options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
-  return result;
+  Workspace local;
+  Workspace& ws = workspace != nullptr ? *workspace : local;
+  ws.x.assign(q.begin(), q.end());
+  la::Scale(options.restart_probability, ws.x);
+  return RunScalarLoop(graph, options, ws, /*frontier_ready=*/false);
 }
 
 StatusOr<la::DenseBlock> Cpi::RunBatch(const Graph& graph,
                                        std::span<const NodeId> seeds,
-                                       const CpiOptions& options) {
+                                       const CpiOptions& options,
+                                       Workspace* workspace) {
   TPA_RETURN_IF_ERROR(ValidateOptions(options));
   if (seeds.empty()) {
     return InvalidArgumentError("seed batch must be non-empty");
@@ -160,33 +307,93 @@ StatusOr<la::DenseBlock> Cpi::RunBatch(const Graph& graph,
       return OutOfRangeError("seed node out of range");
     }
   }
+  Workspace local;
+  Workspace& ws = workspace != nullptr ? *workspace : local;
+
+  const NodeId n = graph.num_nodes();
   const double c = options.restart_probability;
   const double decay = 1.0 - c;
   const size_t num_vectors = seeds.size();
+  const double limit =
+      options.frontier_density_threshold * static_cast<double>(n);
 
   // x(0) = c·e_s per vector; 1.0·c == c bitwise, matching the scalar path's
   // q[s] = 1.0 followed by Scale(c, ·).
-  la::DenseBlock x(graph.num_nodes(), num_vectors);
+  la::DenseBlock& x = ws.block_x;
+  la::DenseBlock& next = ws.block_next;
+  x.Resize(n, num_vectors);
+  x.SetZero();
   for (size_t b = 0; b < num_vectors; ++b) x.At(seeds[b], b) = c;
 
-  la::DenseBlock acc(graph.num_nodes(), num_vectors);
+  la::DenseBlock acc(n, num_vectors);
   std::vector<char> active(num_vectors, 1);
   size_t remaining = num_vectors;
 
-  if (options.start_iteration == 0) la::BlockAxpy(1.0, x, acc);
-  remaining = FreezeConverged(la::BlockColumnNormsL1(x), options.tolerance,
-                              active, remaining);
+  // The union frontier: sorted unique seeds, a superset of every vector's
+  // support.
+  bool sparse = SparseHeadEnabled(options);
+  if (sparse) {
+    ws.frontier.assign(seeds.begin(), seeds.end());
+    std::sort(ws.frontier.begin(), ws.frontier.end());
+    ws.frontier.erase(std::unique(ws.frontier.begin(), ws.frontier.end()),
+                      ws.frontier.end());
+    if (static_cast<double>(ws.frontier.size()) > limit) sparse = false;
+  }
+  next.Resize(n, num_vectors);
+  if (sparse) next.SetZero();  // the recycled buffer starts fully zeroed
+  ws.next_frontier.clear();
 
-  la::DenseBlock next;
+  if (sparse) {
+    remaining = FreezeConverged(
+        ScaleAccumulateAndNormsFrontier(1.0, options.start_iteration == 0,
+                                        active, remaining, ws.frontier, x,
+                                        acc),
+        options.tolerance, active, remaining);
+  } else {
+    if (options.start_iteration == 0) la::BlockAxpy(1.0, x, acc);
+    remaining = FreezeConverged(la::BlockColumnNormsL1(x), options.tolerance,
+                                active, remaining);
+  }
+
+  la::TaskRunner* runner = options.task_runner;
   for (int i = 1; i <= options.terminal_iteration && remaining > 0; ++i) {
+    if (sparse && static_cast<double>(ws.frontier.size()) > limit) {
+      // Cross to the dense tail here (rather than through the kernel's own
+      // fallthrough) so the dense sweep can take the partition-parallel
+      // path below; both orders produce bitwise-identical blocks.
+      sparse = false;
+    }
     if (options.use_pull) {
       graph.MultiplyTransposePullBlock(x, next);
+    } else if (sparse) {
+      // Re-zero the stale support of the recycled buffer (the interim
+      // block from two iterations ago), then scatter from the frontier.
+      for (NodeId j : ws.next_frontier) {
+        double* row = next.RowPtr(j);
+        std::fill(row, row + num_vectors, 0.0);
+      }
+      const bool stayed = graph.Transition().SpMmTransposeFrontier(
+          x, ws.frontier, options.frontier_density_threshold, next,
+          ws.next_frontier, ws.scratch);
+      TPA_DCHECK(stayed);  // the pre-check above mirrors the kernel's
+      (void)stayed;
+    } else if (runner != nullptr) {
+      graph.MultiplyTransposeBlockParallel(x, next, *runner);
     } else {
       graph.MultiplyTransposeBlock(x, next);
     }
     x.swap(next);
-    const std::vector<double> norms = ScaleAccumulateAndNorms(
-        decay, i >= options.start_iteration, active, remaining, x, acc);
+    std::vector<double> norms;
+    if (sparse) {
+      ws.frontier.swap(ws.next_frontier);
+      norms = ScaleAccumulateAndNormsFrontier(decay,
+                                              i >= options.start_iteration,
+                                              active, remaining, ws.frontier,
+                                              x, acc);
+    } else {
+      norms = ScaleAccumulateAndNorms(decay, i >= options.start_iteration,
+                                      active, remaining, x, acc);
+    }
     remaining = FreezeConverged(norms, options.tolerance, active, remaining);
   }
   return acc;
@@ -194,9 +401,12 @@ StatusOr<la::DenseBlock> Cpi::RunBatch(const Graph& graph,
 
 StatusOr<std::vector<std::vector<double>>> Cpi::RunWindowed(
     const Graph& graph, const std::vector<double>& q,
-    const std::vector<int>& breakpoints, const CpiOptions& options) {
+    const std::vector<int>& breakpoints, const CpiOptions& options,
+    Workspace* workspace) {
   TPA_RETURN_IF_ERROR(ValidateCpiParameters(options.restart_probability,
                                             options.tolerance));
+  TPA_RETURN_IF_ERROR(
+      ValidateFrontierThreshold(options.frontier_density_threshold));
   if (q.size() != graph.num_nodes()) {
     return InvalidArgumentError("seed vector size must equal node count");
   }
@@ -208,28 +418,62 @@ StatusOr<std::vector<std::vector<double>>> Cpi::RunWindowed(
       return InvalidArgumentError("breakpoints must be strictly increasing");
     }
   }
+  Workspace local;
+  Workspace& ws = workspace != nullptr ? *workspace : local;
+
+  const NodeId n = graph.num_nodes();
   const double c = options.restart_probability;
   const double decay = 1.0 - c;
+  const double limit =
+      options.frontier_density_threshold * static_cast<double>(n);
   const size_t num_windows = breakpoints.size();
 
   std::vector<std::vector<double>> windows(
-      num_windows, std::vector<double>(graph.num_nodes(), 0.0));
+      num_windows, std::vector<double>(n, 0.0));
   auto window_of = [&breakpoints, num_windows](int i) {
     size_t w = num_windows - 1;
     while (w > 0 && i < breakpoints[w]) --w;
     return w;
   };
 
-  std::vector<double> x = q;
-  la::Scale(c, x);
-  std::vector<double> next(graph.num_nodes());
-  la::Axpy(1.0, x, windows[window_of(0)]);
+  ws.x.assign(q.begin(), q.end());
+  la::Scale(c, ws.x);
+  bool sparse = SparseHeadEnabled(options) &&
+                ScanInitialFrontier(ws.x, limit, ws.frontier);
+  ws.next.assign(n, 0.0);
+  ws.next_frontier.clear();
+
+  double norm;
+  if (sparse) {
+    norm = ScaleAccumulateAndNormFrontier(1.0, ws.frontier, ws.x,
+                                          windows[window_of(0)].data());
+  } else {
+    la::Axpy(1.0, ws.x, windows[window_of(0)]);
+    norm = la::NormL1(ws.x);
+  }
 
   for (int i = 1;; ++i) {
-    if (la::NormL1(x) < options.tolerance) break;
-    Propagate(graph, options.use_pull, decay, x, next);
-    x.swap(next);
-    la::Axpy(1.0, x, windows[window_of(i)]);
+    if (norm < options.tolerance) break;
+    if (sparse) {
+      for (NodeId j : ws.next_frontier) ws.next[j] = 0.0;
+      const bool stayed = graph.Transition().SpMvTransposeFrontier(
+          ws.x, ws.frontier, options.frontier_density_threshold, ws.next,
+          ws.next_frontier, ws.scratch);
+      ws.x.swap(ws.next);
+      if (stayed) {
+        ws.frontier.swap(ws.next_frontier);
+        norm = ScaleAccumulateAndNormFrontier(decay, ws.frontier, ws.x,
+                                              windows[window_of(i)].data());
+        continue;
+      }
+      sparse = false;
+      la::Scale(decay, ws.x);
+    } else {
+      Propagate(graph, options.use_pull, decay, ws.x, ws.next);
+      ws.x.swap(ws.next);
+    }
+    la::Axpy(1.0, ws.x, windows[window_of(i)]);
+    norm = la::NormL1(ws.x);
   }
   return windows;
 }

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "la/csr_matrix.h"
 #include "la/dense_block.h"
+#include "la/task_runner.h"
 #include "util/status.h"
 
 namespace tpa {
@@ -25,6 +27,20 @@ struct CpiOptions {
   /// Gather (pull) matvec over in-edges instead of scatter over out-edges;
   /// identical results, different memory access pattern (ablation knob).
   bool use_pull = false;
+  /// Frontier-adaptive propagation (push flavor only): iterations run
+  /// frontier-sparse — scattering only from the interim vector's nonzero
+  /// rows and touching only the rows they reach — while the frontier holds
+  /// at most this fraction of all nodes, then switch permanently to the
+  /// dense kernels.  0 disables the sparse head (every iteration dense);
+  /// 1 stays sparse to convergence.  Results are bitwise-identical at any
+  /// setting; this is purely a throughput knob (`bench_kernels --json`
+  /// records the measured crossover).
+  double frontier_density_threshold = 0.125;
+  /// Optional fork-join runner for the dense-tail propagation of RunBatch:
+  /// the SpMM scatter is partitioned by destination range, which keeps it
+  /// deterministic and bitwise-identical to the serial sweep.  Serial when
+  /// null.  Not owned.
+  la::TaskRunner* task_runner = nullptr;
 
   static constexpr int kUnbounded = std::numeric_limits<int>::max();
 };
@@ -49,30 +65,52 @@ class Cpi {
     double last_interim_norm = 0.0;
   };
 
+  /// Reusable scratch of the propagation loop: the interim vectors (scalar
+  /// and blocked), the frontier lists of the adaptive head, and the kernel
+  /// scratch.  Passing one workspace across queries hoists the three
+  /// full-n allocations a cold Run would otherwise make per query out of
+  /// the serving loop (buffers are resized once and recycled; Tpa::Query
+  /// keeps one per serving thread).  A workspace serves one run at a time —
+  /// not thread-safe; results never alias it.
+  struct Workspace {
+    std::vector<double> x;
+    std::vector<double> next;
+    la::DenseBlock block_x;
+    la::DenseBlock block_next;
+    std::vector<NodeId> frontier;
+    std::vector<NodeId> next_frontier;
+    la::FrontierScratch scratch;
+  };
+
   /// Runs CPI from a uniform distribution over `seeds` (Algorithm 1 line 1).
   /// Fails on invalid options, empty or out-of-range seeds.
   static StatusOr<Result> Run(const Graph& graph,
                               const std::vector<NodeId>& seeds,
-                              const CpiOptions& options);
+                              const CpiOptions& options,
+                              Workspace* workspace = nullptr);
 
   /// Runs CPI from an arbitrary distribution `q` (‖q‖₁ should be 1; scores
   /// scale linearly otherwise).  The seed vector is multiplied by c
   /// internally, matching x(0) = c·q.
   static StatusOr<Result> RunWithSeedVector(const Graph& graph,
                                             const std::vector<double>& q,
-                                            const CpiOptions& options);
+                                            const CpiOptions& options,
+                                            Workspace* workspace = nullptr);
 
   /// Batched CPI: runs the window for B single-node seeds at once, sharing
   /// one SpMM sweep over the CSR arrays per iteration instead of B
-  /// independent SpMv sweeps.  Vector b of the returned block is
-  /// bitwise-identical to Run(graph, {seeds[b]}, options).scores — each
-  /// seed's accumulation stops at exactly the iteration where its own
+  /// independent SpMv sweeps.  The first iterations run frontier-sparse
+  /// over the batch's union frontier, the tail dense (optionally
+  /// partition-parallel via options.task_runner).  Vector b of the returned
+  /// block is bitwise-identical to Run(graph, {seeds[b]}, options).scores —
+  /// each seed's accumulation stops at exactly the iteration where its own
   /// scalar run would have converged, and the blocked kernels reproduce the
   /// scalar arithmetic per vector (see CsrMatrix::SpMm*).  Fails on invalid
   /// options, an empty batch, or an out-of-range seed.
   static StatusOr<la::DenseBlock> RunBatch(const Graph& graph,
                                            std::span<const NodeId> seeds,
-                                           const CpiOptions& options);
+                                           const CpiOptions& options,
+                                           Workspace* workspace = nullptr);
 
   /// Single-pass windowed CPI: runs to convergence and returns one partial
   /// sum per window, where window w covers iterations
@@ -82,7 +120,8 @@ class Cpi {
   /// strictly increasing.
   static StatusOr<std::vector<std::vector<double>>> RunWindowed(
       const Graph& graph, const std::vector<double>& q,
-      const std::vector<int>& breakpoints, const CpiOptions& options);
+      const std::vector<int>& breakpoints, const CpiOptions& options,
+      Workspace* workspace = nullptr);
 
   /// Convenience: full PageRank vector via CPI with the uniform seed vector.
   static StatusOr<std::vector<double>> PageRank(const Graph& graph,
@@ -98,6 +137,9 @@ int CpiIterationCount(double restart_probability, double tolerance);
 
 /// Validates restart probability and tolerance; shared by CPI and TPA.
 Status ValidateCpiParameters(double restart_probability, double tolerance);
+
+/// Validates a frontier_density_threshold ([0, 1]); shared by CPI and TPA.
+Status ValidateFrontierThreshold(double threshold);
 
 }  // namespace tpa
 

@@ -7,6 +7,18 @@
 
 namespace tpa {
 
+namespace {
+
+/// One propagation workspace per serving thread: queries are frequent and
+/// concurrent (QueryEngine fans them across a pool), so the full-n interim
+/// buffers are recycled per thread instead of allocated per query.
+Cpi::Workspace& ThreadWorkspace() {
+  static thread_local Cpi::Workspace workspace;
+  return workspace;
+}
+
+}  // namespace
+
 Status ValidateTpaOptions(const TpaOptions& options) {
   TPA_RETURN_IF_ERROR(ValidateCpiParameters(options.restart_probability,
                                             options.tolerance));
@@ -16,6 +28,8 @@ Status ValidateTpaOptions(const TpaOptions& options) {
   if (options.stranger_start <= options.family_window) {
     return InvalidArgumentError("stranger start T must exceed S");
   }
+  TPA_RETURN_IF_ERROR(
+      ValidateFrontierThreshold(options.frontier_density_threshold));
   return OkStatus();
 }
 
@@ -30,6 +44,7 @@ StatusOr<Tpa> Tpa::Preprocess(const Graph& graph, const TpaOptions& options) {
   cpi.start_iteration = options.stranger_start;
   cpi.terminal_iteration = CpiOptions::kUnbounded;
   cpi.use_pull = options.use_pull;
+  cpi.frontier_density_threshold = options.frontier_density_threshold;
 
   std::vector<double> uniform(graph.num_nodes(),
                               1.0 / static_cast<double>(graph.num_nodes()));
@@ -55,8 +70,10 @@ Tpa::QueryParts Tpa::QueryDecomposed(NodeId seed) const {
   cpi.start_iteration = 0;
   cpi.terminal_iteration = options_.family_window - 1;
   cpi.use_pull = options_.use_pull;
+  cpi.frontier_density_threshold = options_.frontier_density_threshold;
 
-  StatusOr<Cpi::Result> family = Cpi::Run(*graph_, {seed}, cpi);
+  StatusOr<Cpi::Result> family =
+      Cpi::Run(*graph_, {seed}, cpi, &ThreadWorkspace());
   TPA_CHECK(family.ok());  // options were validated at Preprocess time
 
   QueryParts parts;
@@ -90,8 +107,10 @@ StatusOr<la::DenseBlock> Tpa::QueryBatch(std::span<const NodeId> seeds) const {
   cpi.start_iteration = 0;
   cpi.terminal_iteration = options_.family_window - 1;
   cpi.use_pull = options_.use_pull;
+  cpi.frontier_density_threshold = options_.frontier_density_threshold;
+  cpi.task_runner = options_.task_runner;
   TPA_ASSIGN_OR_RETURN(la::DenseBlock block,
-                       Cpi::RunBatch(*graph_, seeds, cpi));
+                       Cpi::RunBatch(*graph_, seeds, cpi, &ThreadWorkspace()));
 
   // The same fused merge as QueryPersonalized, blocked:
   // total = (1 + scale)·family + stranger per vector.
@@ -108,7 +127,9 @@ StatusOr<std::vector<double>> Tpa::QueryPersonalized(
   cpi.start_iteration = 0;
   cpi.terminal_iteration = options_.family_window - 1;
   cpi.use_pull = options_.use_pull;
-  TPA_ASSIGN_OR_RETURN(Cpi::Result family, Cpi::Run(*graph_, seeds, cpi));
+  cpi.frontier_density_threshold = options_.frontier_density_threshold;
+  TPA_ASSIGN_OR_RETURN(Cpi::Result family,
+                       Cpi::Run(*graph_, seeds, cpi, &ThreadWorkspace()));
 
   std::vector<double> total = std::move(family.scores);
   // total = (1 + scale)·family + stranger, by the same Algorithm 3 merge.

@@ -26,6 +26,14 @@ struct TpaOptions {
   int stranger_start = 10;
   /// Matvec flavor (ablation knob; results identical).
   bool use_pull = false;
+  /// Sparse/dense crossover of the adaptive propagation head, forwarded to
+  /// CpiOptions::frontier_density_threshold (results identical at any
+  /// setting; see that field).
+  double frontier_density_threshold = 0.125;
+  /// Optional fork-join runner for the dense tail of QueryBatch (forwarded
+  /// to CpiOptions::task_runner; the engine wires its ThreadPool in via
+  /// set_task_runner).  Not owned.
+  la::TaskRunner* task_runner = nullptr;
 };
 
 /// Two Phase Approximation for RWR (the paper's proposed method).
@@ -83,6 +91,13 @@ class Tpa {
   }
 
   const TpaOptions& options() const { return options_; }
+
+  /// Installs (or clears) the fork-join runner used by QueryBatch's dense
+  /// tail.  Queries already in flight keep the runner they started with;
+  /// call before serving.
+  void set_task_runner(la::TaskRunner* runner) {
+    options_.task_runner = runner;
+  }
 
  private:
   Tpa(const Graph* graph, TpaOptions options, std::vector<double> stranger)

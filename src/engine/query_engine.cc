@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "la/vector_ops.h"
+#include "util/cache_info.h"
 #include "util/check.h"
 #include "util/memory_budget.h"
 
@@ -17,6 +18,17 @@ int ResolveThreadCount(int requested) {
   if (requested > 0) return requested;
   const unsigned hardware = std::thread::hardware_concurrency();
   return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+/// The kAuto heuristic: grouped SpMM serving only pays once the shared CSR
+/// traversal is the bottleneck, i.e. the arrays no longer fit the
+/// last-level cache; a cache-resident graph serves faster per-seed thanks
+/// to frontier sparsity (see QueryEngineOptions::batch_block_size).
+int ResolveBatchBlockSize(int requested, const Graph& graph,
+                          const RwrMethod& method) {
+  if (requested != QueryEngineOptions::kAuto) return requested;
+  if (!method.SupportsBatchQuery()) return 0;
+  return graph.SizeBytes() > DetectLastLevelCacheBytes() ? 8 : 0;
 }
 
 }  // namespace
@@ -41,7 +53,19 @@ QueryEngine::QueryEngine(const Graph& graph, std::unique_ptr<RwrMethod> method,
                  ? std::make_unique<ResultCache>(options.cache_capacity,
                                                  options.cache_capacity_bytes)
                  : nullptr),
-      method_mu_(std::make_unique<std::mutex>()) {}
+      method_mu_(std::make_unique<std::mutex>()) {
+  options_.batch_block_size =
+      ResolveBatchBlockSize(options.batch_block_size, graph, *method_);
+  // Batched queries may partition their dense SpMM sweeps across the same
+  // pool that runs the group jobs (ThreadPool::ParallelFor is re-entrant).
+  // Gate on real parallelism: each destination partition rescans the whole
+  // row set (binary-searching its column sub-ranges), so on a single
+  // hardware thread — or a single-worker pool — the fan-out is pure
+  // overhead.
+  if (pool_->num_threads() > 1 && std::thread::hardware_concurrency() > 1) {
+    method_->SetTaskRunner(pool_.get());
+  }
+}
 
 StatusOr<QueryEngine> QueryEngine::Create(const Graph& graph,
                                           std::unique_ptr<RwrMethod> method,
@@ -55,8 +79,10 @@ StatusOr<QueryEngine> QueryEngine::Create(const Graph& graph,
   if (options.top_k < 0) {
     return InvalidArgumentError("top_k must be non-negative");
   }
-  if (options.batch_block_size < 0) {
-    return InvalidArgumentError("batch_block_size must be non-negative");
+  if (options.batch_block_size < 0 &&
+      options.batch_block_size != QueryEngineOptions::kAuto) {
+    return InvalidArgumentError(
+        "batch_block_size must be non-negative or kAuto");
   }
   MemoryBudget unlimited;
   TPA_RETURN_IF_ERROR(method->Preprocess(graph, unlimited));
@@ -118,33 +144,65 @@ void QueryEngine::ServeInto(NodeId seed, QueryResult& result) {
   }
   if (TryServeFromCache(seed, result)) return;
 
+  // The method speaks the graph's internal storage order; translate the
+  // seed in and the dense vector back out (see Permutation).
+  const Permutation* permutation = graph_->permutation();
+  const NodeId internal =
+      permutation != nullptr ? permutation->ToInternal(seed) : seed;
   StatusOr<std::vector<double>> scores = [&] {
-    if (method_->SupportsConcurrentQuery()) return method_->Query(seed);
+    if (method_->SupportsConcurrentQuery()) return method_->Query(internal);
     std::lock_guard<std::mutex> lock(*method_mu_);
-    return method_->Query(seed);
+    return method_->Query(internal);
   }();
   if (!scores.ok()) {
     result.status = scores.status();
     return;
   }
-  ShapeAndCache(seed, std::move(scores).value(), result);
+  std::vector<double> dense = std::move(scores).value();
+  if (permutation != nullptr) dense = permutation->ScoresToExternal(dense);
+  ShapeAndCache(seed, std::move(dense), result);
 }
 
 void QueryEngine::ServeGroup(const std::vector<NodeId>& group,
                              const std::vector<QueryResult*>& slots) {
+  const Permutation* permutation = graph_->permutation();
+  std::vector<NodeId> internal_group;
+  const std::vector<NodeId>* method_group = &group;
+  if (permutation != nullptr) {
+    internal_group.reserve(group.size());
+    for (NodeId seed : group) {
+      internal_group.push_back(permutation->ToInternal(seed));
+    }
+    method_group = &internal_group;
+  }
   StatusOr<la::DenseBlock> block = [&] {
     if (method_->SupportsConcurrentQuery()) {
-      return method_->QueryBatchDense(group);
+      return method_->QueryBatchDense(*method_group);
     }
     std::lock_guard<std::mutex> lock(*method_mu_);
-    return method_->QueryBatchDense(group);
+    return method_->QueryBatchDense(*method_group);
   }();
   if (!block.ok()) {
     for (QueryResult* slot : slots) slot->status = block.status();
     return;
   }
+  // Fan the block back into per-seed dense vectors in one pass over the
+  // block rows (per-vector ExtractVector would re-stream the whole n×B
+  // block B times), translating internal→external row positions on the
+  // fly when the graph is reordered.
+  const size_t rows = block->rows();
+  const size_t num_vectors = block->num_vectors();
+  std::vector<std::vector<double>> dense(num_vectors,
+                                         std::vector<double>(rows));
+  for (size_t r = 0; r < rows; ++r) {
+    const double* row = block->RowPtr(r);
+    const size_t e = permutation != nullptr
+                         ? permutation->ToExternal(static_cast<NodeId>(r))
+                         : r;
+    for (size_t b = 0; b < num_vectors; ++b) dense[b][e] = row[b];
+  }
   for (size_t k = 0; k < slots.size(); ++k) {
-    ShapeAndCache(group[k], block->ExtractVector(k), *slots[k]);
+    ShapeAndCache(group[k], std::move(dense[k]), *slots[k]);
   }
 }
 

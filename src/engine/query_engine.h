@@ -33,16 +33,24 @@ struct QueryEngineOptions {
   /// Seeds per SpMM group when the method supports native batched queries
   /// (RwrMethod::SupportsBatchQuery): cache-miss seeds of a QueryBatch are
   /// served in groups of this size through QueryBatchDense — one shared
-  /// CSR traversal per group instead of one per seed.  ≤ 1 (the default)
-  /// fans every seed out individually.  Results are bitwise identical
-  /// either way; this is purely a throughput knob.  Grouping pays off when
-  /// the shared traversal is the bottleneck — CSR arrays much larger than
-  /// the last-level cache, or many cores contending for memory bandwidth;
-  /// when the graph is cache-resident, per-seed fan-out exploits frontier
-  /// sparsity (early CPI iterations touch few rows) that a shared sweep
-  /// over the union frontier gives up, and wins.  8 keeps one group row
-  /// per cache line; `bench_engine_throughput` measures both paths.
-  int batch_block_size = 0;
+  /// CSR traversal per group instead of one per seed.  Results are bitwise
+  /// identical either way; this is purely a throughput knob.  Grouping
+  /// pays off when the shared traversal is the bottleneck — CSR arrays
+  /// much larger than the last-level cache, or many cores contending for
+  /// memory bandwidth; when the graph is cache-resident, per-seed fan-out
+  /// exploits frontier sparsity (early CPI iterations touch few rows) that
+  /// a shared sweep over the union frontier gives up.
+  ///
+  /// kAuto (the default) picks at Create time from exactly that trade-off:
+  /// groups of 8 (one group row per cache line) when the graph's CSR bytes
+  /// exceed the detected last-level cache, per-seed fan-out otherwise.
+  /// Explicit values are the escape hatch: 0 or 1 forces per-seed fan-out,
+  /// ≥ 2 forces that group size.  The resolved value is visible through
+  /// options().  `bench_engine_throughput` measures both paths.
+  int batch_block_size = kAuto;
+
+  /// Sentinel for batch_block_size: resolve from graph size vs LLC size.
+  static constexpr int kAuto = -1;
 };
 
 /// One (node, score) pair of a top-k result, highest score first; ties break
@@ -69,6 +77,12 @@ struct QueryResult {
 /// Batched, concurrent RWR query serving over one shared preprocessed
 /// method — the paper's client–server scenario (many seed queries against
 /// TPA state precomputed once).
+///
+/// When the graph was built with a locality ordering (BuildOptions::
+/// node_ordering), the engine is the translation boundary: incoming seeds
+/// are mapped to the internal storage order before the method runs, and
+/// dense vectors / top-k entries are mapped back, so clients always speak
+/// the original node ids.
 ///
 /// `QueryBatch` is batch-first: when the method supports native batched
 /// queries (SupportsBatchQuery), cache-miss seeds are partitioned into

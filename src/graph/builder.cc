@@ -1,10 +1,82 @@
 #include "graph/builder.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
+#include "graph/permutation.h"
+#include "reorder/slashburn.h"
 #include "util/check.h"
 
 namespace tpa {
+
+namespace {
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+/// Converts a cleaned (sorted, deduplicated, dangling-resolved) edge list
+/// into the CSR Graph.  `edges` must be sorted by (u, v).
+Graph FinalizeCsr(NodeId num_nodes, const EdgeList& edges) {
+  const size_t m = edges.size();
+  std::vector<uint64_t> out_offsets(static_cast<size_t>(num_nodes) + 1, 0);
+  std::vector<NodeId> out_targets(m);
+  for (const auto& [u, v] : edges) ++out_offsets[u + 1];
+  for (size_t i = 1; i < out_offsets.size(); ++i) {
+    out_offsets[i] += out_offsets[i - 1];
+  }
+  {
+    std::vector<uint64_t> cursor(out_offsets.begin(), out_offsets.end() - 1);
+    for (const auto& [u, v] : edges) out_targets[cursor[u]++] = v;
+  }
+
+  // Transpose (counting sort by target); sources end up sorted within each
+  // in-list because `edges` is sorted by (u, v).
+  std::vector<uint64_t> in_offsets(static_cast<size_t>(num_nodes) + 1, 0);
+  std::vector<NodeId> in_sources(m);
+  for (const auto& [u, v] : edges) ++in_offsets[v + 1];
+  for (size_t i = 1; i < in_offsets.size(); ++i) {
+    in_offsets[i] += in_offsets[i - 1];
+  }
+  {
+    std::vector<uint64_t> cursor(in_offsets.begin(), in_offsets.end() - 1);
+    for (const auto& [u, v] : edges) in_sources[cursor[v]++] = u;
+  }
+
+  return Graph(num_nodes, std::move(out_offsets), std::move(out_targets),
+               std::move(in_offsets), std::move(in_sources));
+}
+
+/// Internal storage order for kDegreeDescending: total (in+out) degree
+/// descending, ties toward the smaller original id, so hubs cluster at the
+/// low internal ids without a throwaway CSR build.
+std::vector<NodeId> DegreeDescendingOrder(NodeId num_nodes,
+                                          const EdgeList& edges) {
+  std::vector<uint64_t> degree(num_nodes, 0);
+  for (const auto& [u, v] : edges) {
+    ++degree[u];
+    ++degree[v];
+  }
+  std::vector<NodeId> order(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) order[u] = u;
+  std::stable_sort(order.begin(), order.end(),
+                   [&degree](NodeId a, NodeId b) {
+                     if (degree[a] != degree[b]) return degree[a] > degree[b];
+                     return a < b;
+                   });
+  return order;
+}
+
+/// Internal storage order for kHubCluster: SlashBurn on a throwaway graph
+/// built from the cleaned edges (spokes first in component blocks, hubs
+/// contiguous at the end).
+StatusOr<std::vector<NodeId>> HubClusterOrder(NodeId num_nodes,
+                                              const EdgeList& edges) {
+  Graph scratch = FinalizeCsr(num_nodes, edges);
+  TPA_ASSIGN_OR_RETURN(HubSpokeOrdering ordering, SlashBurn(scratch, {}));
+  return std::move(ordering.old_of_new);
+}
+
+}  // namespace
 
 void GraphBuilder::AddEdge(NodeId u, NodeId v) {
   TPA_CHECK_LT(u, num_nodes_);
@@ -22,7 +94,7 @@ StatusOr<Graph> GraphBuilder::Build(const BuildOptions& options) {
   if (num_nodes_ == 0) {
     return InvalidArgumentError("graph must have at least one node");
   }
-  std::vector<std::pair<NodeId, NodeId>> edges = std::move(edges_);
+  EdgeList edges = std::move(edges_);
   edges_.clear();
 
   if (options.remove_self_loops) {
@@ -38,7 +110,7 @@ StatusOr<Graph> GraphBuilder::Build(const BuildOptions& options) {
     // by a final merge.
     std::vector<bool> has_out(num_nodes_, false);
     for (const auto& [u, v] : edges) has_out[u] = true;
-    std::vector<std::pair<NodeId, NodeId>> loops;
+    EdgeList loops;
     for (NodeId u = 0; u < num_nodes_; ++u) {
       if (!has_out[u]) loops.emplace_back(u, u);
     }
@@ -50,33 +122,37 @@ StatusOr<Graph> GraphBuilder::Build(const BuildOptions& options) {
     }
   }
 
-  const size_t m = edges.size();
-  std::vector<uint64_t> out_offsets(static_cast<size_t>(num_nodes_) + 1, 0);
-  std::vector<NodeId> out_targets(m);
-  for (const auto& [u, v] : edges) ++out_offsets[u + 1];
-  for (size_t i = 1; i < out_offsets.size(); ++i) {
-    out_offsets[i] += out_offsets[i - 1];
-  }
-  {
-    std::vector<uint64_t> cursor(out_offsets.begin(), out_offsets.end() - 1);
-    for (const auto& [u, v] : edges) out_targets[cursor[u]++] = v;
+  if (options.node_ordering == NodeOrdering::kOriginal) {
+    return FinalizeCsr(num_nodes_, edges);
   }
 
-  // Transpose (counting sort by target); sources end up sorted within each
-  // in-list because `edges` is sorted by (u, v).
-  std::vector<uint64_t> in_offsets(static_cast<size_t>(num_nodes_) + 1, 0);
-  std::vector<NodeId> in_sources(m);
-  for (const auto& [u, v] : edges) ++in_offsets[v + 1];
-  for (size_t i = 1; i < in_offsets.size(); ++i) {
-    in_offsets[i] += in_offsets[i - 1];
+  // Locality ordering: compute the internal storage order on the cleaned
+  // edges (degrees and components are invariant under the dangling policy's
+  // self-loops), relabel every endpoint, re-sort, and attach the mapping so
+  // the serving boundary can translate back.  Self-loops stay self-loops and
+  // degrees are preserved, so no cleaning step needs re-running.
+  std::vector<NodeId> external_of_internal;
+  if (options.node_ordering == NodeOrdering::kDegreeDescending) {
+    external_of_internal = DegreeDescendingOrder(num_nodes_, edges);
+  } else {
+    TPA_ASSIGN_OR_RETURN(external_of_internal,
+                         HubClusterOrder(num_nodes_, edges));
   }
-  {
-    std::vector<uint64_t> cursor(in_offsets.begin(), in_offsets.end() - 1);
-    for (const auto& [u, v] : edges) in_sources[cursor[v]++] = u;
-  }
+  TPA_ASSIGN_OR_RETURN(
+      Permutation permutation,
+      Permutation::FromInternalOrder(std::move(external_of_internal)));
 
-  return Graph(num_nodes_, std::move(out_offsets), std::move(out_targets),
-               std::move(in_offsets), std::move(in_sources));
+  const std::vector<NodeId>& to_internal = permutation.internal_of_external();
+  for (auto& [u, v] : edges) {
+    u = to_internal[u];
+    v = to_internal[v];
+  }
+  std::sort(edges.begin(), edges.end());
+
+  Graph graph = FinalizeCsr(num_nodes_, edges);
+  graph.AttachPermutation(
+      std::make_shared<const Permutation>(std::move(permutation)));
+  return graph;
 }
 
 }  // namespace tpa

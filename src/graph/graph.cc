@@ -42,7 +42,8 @@ std::vector<double> InWeights(const std::vector<uint64_t>& out_offsets,
 Graph::Graph(NodeId num_nodes, std::vector<uint64_t> out_offsets,
              std::vector<NodeId> out_targets, std::vector<uint64_t> in_offsets,
              std::vector<NodeId> in_sources)
-    : num_nodes_(num_nodes) {
+    : num_nodes_(num_nodes),
+      partition_cache_(std::make_unique<PartitionCache>()) {
   TPA_CHECK_EQ(out_offsets.size(), static_cast<size_t>(num_nodes_) + 1);
   TPA_CHECK_EQ(in_offsets.size(), static_cast<size_t>(num_nodes_) + 1);
   TPA_CHECK_EQ(out_targets.size(), in_sources.size());
@@ -58,6 +59,32 @@ Graph::Graph(NodeId num_nodes, std::vector<uint64_t> out_offsets,
                            std::move(out_targets), std::move(out_weights));
   in_csr_ = la::CsrMatrix(num_nodes_, num_nodes_, std::move(in_offsets),
                           std::move(in_sources), std::move(in_weights));
+}
+
+std::span<const uint32_t> Graph::OutColumnPartition(size_t parts) const {
+  std::lock_guard<std::mutex> lock(partition_cache_->mu);
+  for (const auto& [cached_parts, boundaries] : partition_cache_->entries) {
+    if (cached_parts == parts) return boundaries;
+  }
+  partition_cache_->entries.emplace_back(
+      parts, out_csr_.NnzBalancedColumnRanges(parts));
+  return partition_cache_->entries.back().second;
+}
+
+void Graph::MultiplyTransposeParallel(const std::vector<double>& x,
+                                      std::vector<double>& y,
+                                      la::TaskRunner& runner) const {
+  out_csr_.SpMvTransposeParallel(
+      x, y, OutColumnPartition(static_cast<size_t>(runner.concurrency())),
+      runner);
+}
+
+void Graph::MultiplyTransposeBlockParallel(const la::DenseBlock& x,
+                                           la::DenseBlock& y,
+                                           la::TaskRunner& runner) const {
+  out_csr_.SpMmTransposeParallel(
+      x, y, OutColumnPartition(static_cast<size_t>(runner.concurrency())),
+      runner);
 }
 
 NodeId Graph::CountDangling() const {

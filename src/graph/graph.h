@@ -2,10 +2,14 @@
 #define TPA_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "graph/permutation.h"
 #include "la/csr_matrix.h"
+#include "la/task_runner.h"
 
 namespace tpa {
 
@@ -97,15 +101,54 @@ class Graph {
     in_csr_.SpMm(x, y);
   }
 
+  /// Parallel y = Ã^T x: the scatter partitioned by destination range and
+  /// dispatched on `runner`.  Each destination is owned by exactly one
+  /// partition, so the result is bitwise-identical to MultiplyTranspose
+  /// regardless of scheduling.  The nnz-balanced partition is computed once
+  /// per (graph, parts) pair and cached.
+  void MultiplyTransposeParallel(const std::vector<double>& x,
+                                 std::vector<double>& y,
+                                 la::TaskRunner& runner) const;
+
+  /// Parallel block flavor; per-vector bitwise match of
+  /// MultiplyTransposeBlock — the engine's intra-group parallel SpMM.
+  void MultiplyTransposeBlockParallel(const la::DenseBlock& x,
+                                      la::DenseBlock& y,
+                                      la::TaskRunner& runner) const;
+
+  /// The nnz-balanced destination partition of the out-CSR for `parts`
+  /// ranges, built lazily and cached (thread-safe).
+  std::span<const uint32_t> OutColumnPartition(size_t parts) const;
+
+  /// The external↔internal node-id mapping applied by GraphBuilder when a
+  /// locality ordering was requested; null when nodes are stored in their
+  /// original order.  Serving layers translate at this boundary — see
+  /// Permutation.
+  const Permutation* permutation() const { return permutation_.get(); }
+
+  /// Attaches the build-time ordering (GraphBuilder only).
+  void AttachPermutation(std::shared_ptr<const Permutation> permutation) {
+    permutation_ = std::move(permutation);
+  }
+
   /// Logical bytes held by the two CSR matrices (experiment reporting).
   size_t SizeBytes() const {
     return out_csr_.SizeBytes() + in_csr_.SizeBytes();
   }
 
  private:
+  /// Lazily built destination partitions keyed by part count (small: one
+  /// entry per distinct ThreadPool size that served this graph).
+  struct PartitionCache {
+    std::mutex mu;
+    std::vector<std::pair<size_t, std::vector<uint32_t>>> entries;
+  };
+
   NodeId num_nodes_;
   la::CsrMatrix out_csr_;  // Ã:   row u → out-neighbors, weight 1/outdeg(u)
   la::CsrMatrix in_csr_;   // Ã^T: row v → in-neighbors u, weight 1/outdeg(u)
+  std::shared_ptr<const Permutation> permutation_;  // null = original order
+  std::unique_ptr<PartitionCache> partition_cache_;
 };
 
 }  // namespace tpa

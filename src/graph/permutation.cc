@@ -1,0 +1,48 @@
+#include "graph/permutation.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace tpa {
+
+StatusOr<Permutation> Permutation::FromInternalOrder(
+    std::vector<NodeId> external_of_internal) {
+  const size_t n = external_of_internal.size();
+  if (n == 0) return InvalidArgumentError("permutation must be non-empty");
+  std::vector<NodeId> internal_of_external(n, static_cast<NodeId>(n));
+  for (size_t p = 0; p < n; ++p) {
+    const NodeId ext = external_of_internal[p];
+    if (ext >= n) {
+      return InvalidArgumentError("permutation entry out of range");
+    }
+    if (internal_of_external[ext] != static_cast<NodeId>(n)) {
+      return InvalidArgumentError("permutation entry repeated");
+    }
+    internal_of_external[ext] = static_cast<NodeId>(p);
+  }
+  return Permutation(std::move(internal_of_external),
+                     std::move(external_of_internal));
+}
+
+std::vector<double> Permutation::ScoresToExternal(
+    const std::vector<double>& internal_scores) const {
+  TPA_DCHECK(internal_scores.size() == external_of_internal_.size());
+  std::vector<double> external(internal_scores.size());
+  for (size_t e = 0; e < external.size(); ++e) {
+    external[e] = internal_scores[internal_of_external_[e]];
+  }
+  return external;
+}
+
+std::vector<double> Permutation::ValuesToInternal(
+    const std::vector<double>& external_values) const {
+  TPA_DCHECK(external_values.size() == external_of_internal_.size());
+  std::vector<double> internal(external_values.size());
+  for (size_t p = 0; p < internal.size(); ++p) {
+    internal[p] = external_values[external_of_internal_[p]];
+  }
+  return internal;
+}
+
+}  // namespace tpa

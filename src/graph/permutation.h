@@ -1,0 +1,78 @@
+#ifndef TPA_GRAPH_PERMUTATION_H_
+#define TPA_GRAPH_PERMUTATION_H_
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace tpa {
+
+/// Node identifier (mirrors graph.h; kept here to avoid a circular include —
+/// Graph carries a Permutation).
+using NodeId = uint32_t;
+
+/// Bijection between the node ids a client speaks ("external": whatever the
+/// edge list used) and the positions nodes occupy in the stored CSR arrays
+/// ("internal": the cache-locality ordering GraphBuilder applied).
+///
+/// Everything inside the library — methods, kernels, score vectors —
+/// operates on internal ids; the translation happens at the serving
+/// boundary: QueryEngine maps incoming seeds with ToInternal and gathers
+/// outgoing dense vectors back with ScoresToExternal, so clients and top-k
+/// results keep speaking original node ids.
+class Permutation {
+ public:
+  /// Builds from the internal→external map (internal slot p holds original
+  /// node external_of_internal[p]).  Fails unless the vector is a
+  /// permutation of [0, n).
+  static StatusOr<Permutation> FromInternalOrder(
+      std::vector<NodeId> external_of_internal);
+
+  NodeId size() const {
+    return static_cast<NodeId>(external_of_internal_.size());
+  }
+
+  /// Internal position of original node `external`.  DCHECK-bounded.
+  NodeId ToInternal(NodeId external) const {
+    TPA_DCHECK(external < internal_of_external_.size());
+    return internal_of_external_[external];
+  }
+  /// Original id of the node stored at internal position `internal`.
+  /// DCHECK-bounded.
+  NodeId ToExternal(NodeId internal) const {
+    TPA_DCHECK(internal < external_of_internal_.size());
+    return external_of_internal_[internal];
+  }
+
+  const std::vector<NodeId>& internal_of_external() const {
+    return internal_of_external_;
+  }
+  const std::vector<NodeId>& external_of_internal() const {
+    return external_of_internal_;
+  }
+
+  /// Gathers a dense internal-indexed score vector into external order:
+  /// result[e] = internal_scores[ToInternal(e)].
+  std::vector<double> ScoresToExternal(
+      const std::vector<double>& internal_scores) const;
+
+  /// Scatters a dense external-indexed vector into internal order:
+  /// result[ToInternal(e)] = external_values[e].  The inverse of
+  /// ScoresToExternal; used to translate whole seed distributions.
+  std::vector<double> ValuesToInternal(
+      const std::vector<double>& external_values) const;
+
+ private:
+  Permutation(std::vector<NodeId> internal_of_external,
+              std::vector<NodeId> external_of_internal)
+      : internal_of_external_(std::move(internal_of_external)),
+        external_of_internal_(std::move(external_of_internal)) {}
+
+  std::vector<NodeId> internal_of_external_;
+  std::vector<NodeId> external_of_internal_;
+};
+
+}  // namespace tpa
+
+#endif  // TPA_GRAPH_PERMUTATION_H_

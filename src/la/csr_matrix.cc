@@ -1,5 +1,7 @@
 #include "la/csr_matrix.h"
 
+#include <algorithm>
+
 #include "la/width_dispatch.h"
 #include "util/check.h"
 
@@ -179,6 +181,283 @@ void CsrMatrix::SpMmTranspose(const DenseBlock& x, DenseBlock& y) const {
         SpMmTransposeRowsGeneric(offsets, indices, values, rows_, num_vectors,
                                  x, y);
       });
+}
+
+namespace {
+
+/// Inner loop of the block frontier scatter, width-specialized like the
+/// dense SpMmTranspose.  Touched destinations are collected once via the
+/// epoch marks; the caller sorts them afterwards.
+template <size_t kWidth>
+void SpMmTransposeFrontierRows(const uint64_t* offsets, const uint32_t* indices,
+                               const double* values,
+                               std::span<const uint32_t> frontier,
+                               const DenseBlock& x, DenseBlock& y,
+                               std::vector<uint32_t>& next_frontier,
+                               FrontierScratch& scratch) {
+  for (uint32_t r : frontier) {
+    const double* __restrict xr = x.RowPtr(r);
+    bool any_nonzero = false;
+    for (size_t b = 0; b < kWidth; ++b) any_nonzero |= (xr[b] != 0.0);
+    if (!any_nonzero) continue;
+    const uint64_t end = offsets[r + 1];
+    for (uint64_t e = offsets[r]; e < end; ++e) {
+      const uint32_t dest = indices[e];
+      const double w = values[e];
+      double* __restrict yr = y.RowPtr(dest);
+      for (size_t b = 0; b < kWidth; ++b) yr[b] += w * xr[b];
+      if (scratch.touched_epoch[dest] != scratch.epoch) {
+        scratch.touched_epoch[dest] = scratch.epoch;
+        next_frontier.push_back(dest);
+      }
+    }
+  }
+}
+
+void SpMmTransposeFrontierRowsGeneric(const uint64_t* offsets,
+                                      const uint32_t* indices,
+                                      const double* values,
+                                      std::span<const uint32_t> frontier,
+                                      size_t num_vectors, const DenseBlock& x,
+                                      DenseBlock& y,
+                                      std::vector<uint32_t>& next_frontier,
+                                      FrontierScratch& scratch) {
+  for (uint32_t r : frontier) {
+    const double* __restrict xr = x.RowPtr(r);
+    bool any_nonzero = false;
+    for (size_t b = 0; b < num_vectors; ++b) any_nonzero |= (xr[b] != 0.0);
+    if (!any_nonzero) continue;
+    const uint64_t end = offsets[r + 1];
+    for (uint64_t e = offsets[r]; e < end; ++e) {
+      const uint32_t dest = indices[e];
+      const double w = values[e];
+      double* __restrict yr = y.RowPtr(dest);
+      for (size_t b = 0; b < num_vectors; ++b) yr[b] += w * xr[b];
+      if (scratch.touched_epoch[dest] != scratch.epoch) {
+        scratch.touched_epoch[dest] = scratch.epoch;
+        next_frontier.push_back(dest);
+      }
+    }
+  }
+}
+
+/// Block-row zeroing of y[col_begin, col_end) — the range kernels own their
+/// destination slice end to end.
+void ZeroBlockRows(DenseBlock& y, uint32_t begin, uint32_t end) {
+  if (begin >= end) return;
+  double* first = y.RowPtr(begin);
+  std::fill(first, first + (end - begin) * y.num_vectors(), 0.0);
+}
+
+template <size_t kWidth>
+void SpMmTransposeRangeRows(const uint64_t* offsets, const uint32_t* indices,
+                            const double* values, uint32_t rows,
+                            const DenseBlock& x, DenseBlock& y,
+                            uint32_t col_begin, uint32_t col_end) {
+  for (uint32_t r = 0; r < rows; ++r) {
+    const double* __restrict xr = x.RowPtr(r);
+    bool any_nonzero = false;
+    for (size_t b = 0; b < kWidth; ++b) any_nonzero |= (xr[b] != 0.0);
+    if (!any_nonzero) continue;
+    const uint32_t* row_begin = indices + offsets[r];
+    const uint32_t* row_end = indices + offsets[r + 1];
+    const uint32_t* lo = std::lower_bound(row_begin, row_end, col_begin);
+    for (const uint32_t* it = lo; it != row_end && *it < col_end; ++it) {
+      const double w = values[it - indices];
+      double* __restrict yr = y.RowPtr(*it);
+      for (size_t b = 0; b < kWidth; ++b) yr[b] += w * xr[b];
+    }
+  }
+}
+
+void SpMmTransposeRangeRowsGeneric(const uint64_t* offsets,
+                                   const uint32_t* indices,
+                                   const double* values, uint32_t rows,
+                                   size_t num_vectors, const DenseBlock& x,
+                                   DenseBlock& y, uint32_t col_begin,
+                                   uint32_t col_end) {
+  for (uint32_t r = 0; r < rows; ++r) {
+    const double* __restrict xr = x.RowPtr(r);
+    bool any_nonzero = false;
+    for (size_t b = 0; b < num_vectors; ++b) any_nonzero |= (xr[b] != 0.0);
+    if (!any_nonzero) continue;
+    const uint32_t* row_begin = indices + offsets[r];
+    const uint32_t* row_end = indices + offsets[r + 1];
+    const uint32_t* lo = std::lower_bound(row_begin, row_end, col_begin);
+    for (const uint32_t* it = lo; it != row_end && *it < col_end; ++it) {
+      const double w = values[it - indices];
+      double* __restrict yr = y.RowPtr(*it);
+      for (size_t b = 0; b < num_vectors; ++b) yr[b] += w * xr[b];
+    }
+  }
+}
+
+}  // namespace
+
+bool CsrMatrix::SpMvTransposeFrontier(const std::vector<double>& x,
+                                      std::span<const uint32_t> frontier,
+                                      double density_threshold,
+                                      std::vector<double>& y,
+                                      std::vector<uint32_t>& next_frontier,
+                                      FrontierScratch& scratch) const {
+  TPA_DCHECK(x.size() == rows_);
+  if (static_cast<double>(frontier.size()) >
+      density_threshold * static_cast<double>(rows_)) {
+    SpMvTranspose(x, y);
+    next_frontier.clear();
+    return false;
+  }
+  TPA_DCHECK(y.size() == cols_);
+  scratch.BeginEpoch(cols_);
+  next_frontier.clear();
+  const uint64_t* offsets = row_offsets_.data();
+  const uint32_t* indices = col_indices_.data();
+  const double* values = values_.data();
+  for (uint32_t r : frontier) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const uint64_t end = offsets[r + 1];
+    for (uint64_t e = offsets[r]; e < end; ++e) {
+      const uint32_t dest = indices[e];
+      y[dest] += values[e] * xr;
+      if (scratch.touched_epoch[dest] != scratch.epoch) {
+        scratch.touched_epoch[dest] = scratch.epoch;
+        next_frontier.push_back(dest);
+      }
+    }
+  }
+  std::sort(next_frontier.begin(), next_frontier.end());
+  return true;
+}
+
+bool CsrMatrix::SpMmTransposeFrontier(const DenseBlock& x,
+                                      std::span<const uint32_t> frontier,
+                                      double density_threshold, DenseBlock& y,
+                                      std::vector<uint32_t>& next_frontier,
+                                      FrontierScratch& scratch) const {
+  TPA_DCHECK(x.rows() == rows_);
+  if (static_cast<double>(frontier.size()) >
+      density_threshold * static_cast<double>(rows_)) {
+    SpMmTranspose(x, y);
+    next_frontier.clear();
+    return false;
+  }
+  TPA_DCHECK(y.rows() == cols_);
+  TPA_DCHECK(y.num_vectors() == x.num_vectors());
+  scratch.BeginEpoch(cols_);
+  next_frontier.clear();
+  const size_t num_vectors = x.num_vectors();
+  const uint64_t* offsets = row_offsets_.data();
+  const uint32_t* indices = col_indices_.data();
+  const double* values = values_.data();
+  DispatchWidth(
+      num_vectors,
+      [&]<size_t kWidth>() {
+        SpMmTransposeFrontierRows<kWidth>(offsets, indices, values, frontier,
+                                          x, y, next_frontier, scratch);
+      },
+      [&] {
+        SpMmTransposeFrontierRowsGeneric(offsets, indices, values, frontier,
+                                         num_vectors, x, y, next_frontier,
+                                         scratch);
+      });
+  std::sort(next_frontier.begin(), next_frontier.end());
+  return true;
+}
+
+std::vector<uint32_t> CsrMatrix::NnzBalancedColumnRanges(
+    size_t num_parts) const {
+  num_parts = std::max<size_t>(1, num_parts);
+  std::vector<uint64_t> col_nnz(cols_, 0);
+  for (uint32_t c : col_indices_) ++col_nnz[c];
+
+  std::vector<uint32_t> boundaries;
+  boundaries.reserve(num_parts + 1);
+  boundaries.push_back(0);
+  const uint64_t total = col_indices_.size();
+  uint64_t seen = 0;
+  for (uint32_t c = 0; c < cols_ && boundaries.size() < num_parts; ++c) {
+    seen += col_nnz[c];
+    // Cut after column c once this part has its proportional share.
+    if (seen * num_parts >= total * boundaries.size()) {
+      boundaries.push_back(c + 1);
+    }
+  }
+  while (boundaries.size() <= num_parts) boundaries.push_back(cols_);
+  boundaries.back() = cols_;
+  return boundaries;
+}
+
+void CsrMatrix::SpMvTransposeRange(const std::vector<double>& x,
+                                   std::vector<double>& y, uint32_t col_begin,
+                                   uint32_t col_end) const {
+  TPA_DCHECK(x.size() == rows_);
+  TPA_DCHECK(y.size() == cols_);
+  TPA_DCHECK(col_begin <= col_end && col_end <= cols_);
+  std::fill(y.begin() + col_begin, y.begin() + col_end, 0.0);
+  const uint64_t* offsets = row_offsets_.data();
+  const uint32_t* indices = col_indices_.data();
+  const double* values = values_.data();
+  for (uint32_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const uint32_t* row_begin = indices + offsets[r];
+    const uint32_t* row_end = indices + offsets[r + 1];
+    const uint32_t* lo = std::lower_bound(row_begin, row_end, col_begin);
+    for (const uint32_t* it = lo; it != row_end && *it < col_end; ++it) {
+      y[*it] += values[it - indices] * xr;
+    }
+  }
+}
+
+void CsrMatrix::SpMmTransposeRange(const DenseBlock& x, DenseBlock& y,
+                                   uint32_t col_begin, uint32_t col_end) const {
+  TPA_DCHECK(x.rows() == rows_);
+  TPA_DCHECK(y.rows() == cols_);
+  TPA_DCHECK(y.num_vectors() == x.num_vectors());
+  TPA_DCHECK(col_begin <= col_end && col_end <= cols_);
+  ZeroBlockRows(y, col_begin, col_end);
+  const size_t num_vectors = x.num_vectors();
+  const uint64_t* offsets = row_offsets_.data();
+  const uint32_t* indices = col_indices_.data();
+  const double* values = values_.data();
+  DispatchWidth(
+      num_vectors,
+      [&]<size_t kWidth>() {
+        SpMmTransposeRangeRows<kWidth>(offsets, indices, values, rows_, x, y,
+                                       col_begin, col_end);
+      },
+      [&] {
+        SpMmTransposeRangeRowsGeneric(offsets, indices, values, rows_,
+                                      num_vectors, x, y, col_begin, col_end);
+      });
+}
+
+void CsrMatrix::SpMvTransposeParallel(const std::vector<double>& x,
+                                      std::vector<double>& y,
+                                      std::span<const uint32_t> boundaries,
+                                      TaskRunner& runner) const {
+  TPA_DCHECK(x.size() == rows_);
+  TPA_CHECK_GE(boundaries.size(), 2u);
+  TPA_CHECK_EQ(boundaries.front(), 0u);
+  TPA_CHECK_EQ(boundaries.back(), cols_);
+  y.resize(cols_);
+  runner.ParallelFor(boundaries.size() - 1, [&](size_t p) {
+    SpMvTransposeRange(x, y, boundaries[p], boundaries[p + 1]);
+  });
+}
+
+void CsrMatrix::SpMmTransposeParallel(const DenseBlock& x, DenseBlock& y,
+                                      std::span<const uint32_t> boundaries,
+                                      TaskRunner& runner) const {
+  TPA_DCHECK(x.rows() == rows_);
+  TPA_CHECK_GE(boundaries.size(), 2u);
+  TPA_CHECK_EQ(boundaries.front(), 0u);
+  TPA_CHECK_EQ(boundaries.back(), cols_);
+  y.Resize(cols_, x.num_vectors());
+  runner.ParallelFor(boundaries.size() - 1, [&](size_t p) {
+    SpMmTransposeRange(x, y, boundaries[p], boundaries[p + 1]);
+  });
 }
 
 size_t CsrMatrix::SizeBytes() const {

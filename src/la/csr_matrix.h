@@ -7,8 +7,28 @@
 #include <vector>
 
 #include "la/dense_block.h"
+#include "la/task_runner.h"
 
 namespace tpa::la {
+
+/// Reusable scratch state of the frontier kernels: an epoch-stamped touch
+/// mark per destination plus the collector for the next frontier.  Epoch
+/// stamping makes the per-call reset O(1) instead of an O(cols) clear; the
+/// stamp array itself is (re)sized lazily.  One scratch belongs to one
+/// propagation loop at a time (not thread-safe).
+struct FrontierScratch {
+  std::vector<uint32_t> touched_epoch;
+  uint32_t epoch = 0;
+
+  /// Starts a new kernel invocation over `cols` destinations.
+  void BeginEpoch(size_t cols) {
+    if (touched_epoch.size() < cols) touched_epoch.resize(cols, 0);
+    if (++epoch == 0) {  // wrapped: stamps from older epochs must not alias
+      std::fill(touched_epoch.begin(), touched_epoch.end(), 0);
+      epoch = 1;
+    }
+  }
+};
 
 /// Immutable CSR matrix specialized for the repository's hot loop: the
 /// transition-matrix products Ã^T·x that every RWR method iterates.
@@ -72,6 +92,81 @@ class CsrMatrix {
   /// are entirely zero are skipped, mirroring the scalar kernel's
   /// zero-source skip.  Requires x.rows() == rows().
   void SpMmTranspose(const DenseBlock& x, DenseBlock& y) const;
+
+  /// Frontier-sparse scatter: the adaptive head of the propagation loop.
+  ///
+  /// `frontier` lists, in ascending order, a superset of the rows where x is
+  /// nonzero (rows listed with x[r] == 0 are skipped, exactly like the dense
+  /// kernel's zero-source skip).  y must be sized cols() and all-zero on
+  /// entry — the kernel only accumulates, so the caller keeps recycling one
+  /// buffer by re-zeroing the entries named in the previously emitted
+  /// frontier.  On return `next_frontier` holds the touched destinations,
+  /// sorted ascending — a superset of the nonzero entries of y, i.e. the
+  /// frontier of the next iteration.
+  ///
+  /// When the frontier is dense — frontier.size() > density_threshold ·
+  /// rows() — the kernel falls through to SpMvTranspose (full zero + full
+  /// scatter), leaves next_frontier empty, and returns false: the signal to
+  /// stay on the dense kernels for the remaining iterations.
+  ///
+  /// For inputs free of NaN/Inf/−0.0, y is bitwise-identical to
+  /// SpMvTranspose(x, y) either way: contributions accumulate per
+  /// destination in ascending source-row order, the dense kernel's order.
+  bool SpMvTransposeFrontier(const std::vector<double>& x,
+                             std::span<const uint32_t> frontier,
+                             double density_threshold, std::vector<double>& y,
+                             std::vector<uint32_t>& next_frontier,
+                             FrontierScratch& scratch) const;
+
+  /// Multi-vector frontier scatter: same contract as SpMvTransposeFrontier
+  /// with block operands.  `frontier` is a sorted superset of the rows where
+  /// any of the B vectors is nonzero (the union frontier); block rows that
+  /// are entirely zero are skipped like the dense kernel's zero-row skip.
+  /// y must be cols() × B and all-zero on entry.  Falls through to
+  /// SpMmTranspose above the density threshold (returns false).  Per vector
+  /// bitwise-identical to SpMmTranspose.
+  bool SpMmTransposeFrontier(const DenseBlock& x,
+                             std::span<const uint32_t> frontier,
+                             double density_threshold, DenseBlock& y,
+                             std::vector<uint32_t>& next_frontier,
+                             FrontierScratch& scratch) const;
+
+  /// Destination-balanced partition of [0, cols()) for the parallel scatter
+  /// kernels: num_parts+1 ascending boundaries splitting the columns so each
+  /// part receives roughly nnz/num_parts incoming edges (hub destinations
+  /// are what skew a naive equal-width split).  Costs one O(nnz) counting
+  /// sweep — callers cache the result per (matrix, num_parts).
+  std::vector<uint32_t> NnzBalancedColumnRanges(size_t num_parts) const;
+
+  /// Partial scatter restricted to destinations in [col_begin, col_end):
+  /// zeroes that slice of y, then accumulates every edge whose column falls
+  /// in the range, rows ascending.  Per destination this reproduces the
+  /// full kernel's accumulation order bitwise, so disjoint ranges covering
+  /// [0, cols()) compose to exactly SpMvTranspose.  y must be sized cols().
+  /// Relies on column indices being sorted within each row (binary search
+  /// for the row's sub-range).
+  void SpMvTransposeRange(const std::vector<double>& x, std::vector<double>& y,
+                          uint32_t col_begin, uint32_t col_end) const;
+
+  /// Block-operand variant of SpMvTransposeRange; y must be cols() × B.
+  void SpMmTransposeRange(const DenseBlock& x, DenseBlock& y,
+                          uint32_t col_begin, uint32_t col_end) const;
+
+  /// Parallel y = A^T x: dispatches SpMvTransposeRange over the destination
+  /// partition `boundaries` (from NnzBalancedColumnRanges) on `runner`.
+  /// Each destination is owned by exactly one range, so the result is
+  /// deterministic and bitwise-identical to the sequential SpMvTranspose
+  /// regardless of scheduling.  y is resized first.
+  void SpMvTransposeParallel(const std::vector<double>& x,
+                             std::vector<double>& y,
+                             std::span<const uint32_t> boundaries,
+                             TaskRunner& runner) const;
+
+  /// Parallel Y = A^T X over the same destination partition; per-vector
+  /// bitwise-identical to the sequential SpMmTranspose.
+  void SpMmTransposeParallel(const DenseBlock& x, DenseBlock& y,
+                             std::span<const uint32_t> boundaries,
+                             TaskRunner& runner) const;
 
   /// Logical storage bytes (offsets + indices + values).
   size_t SizeBytes() const;

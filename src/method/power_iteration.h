@@ -48,6 +48,10 @@ class PowerIterationRwr final : public RwrMethod {
 
   bool SupportsBatchQuery() const override { return true; }
 
+  void SetTaskRunner(la::TaskRunner* runner) override {
+    options_.task_runner = runner;
+  }
+
   size_t PreprocessedBytes() const override { return 0; }
 
   /// Each Query runs an independent CPI over the immutable graph.

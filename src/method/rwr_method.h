@@ -9,6 +9,7 @@
 
 #include "graph/graph.h"
 #include "la/dense_block.h"
+#include "la/task_runner.h"
 #include "util/memory_budget.h"
 #include "util/status.h"
 
@@ -53,6 +54,13 @@ class RwrMethod {
   /// seed groups to.  Conservative default: false (the base QueryBatchDense
   /// still works, it just offers no advantage over per-seed fan-out).
   virtual bool SupportsBatchQuery() const { return false; }
+
+  /// Installs a fork-join runner that batched queries may use to partition
+  /// their dense propagation sweeps across threads (the QueryEngine passes
+  /// its ThreadPool in; results stay bitwise-identical — see
+  /// CsrMatrix::SpMmTransposeParallel).  The runner must outlive the method
+  /// or be cleared with nullptr first.  Default: ignored.
+  virtual void SetTaskRunner(la::TaskRunner* runner) { (void)runner; }
 
   /// Logical size of the preprocessed data retained for the online phase
   /// (Figure 1(a) / Figure 10(a) metric).  Zero before Preprocess.

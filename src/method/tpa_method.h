@@ -45,6 +45,11 @@ class TpaMethod final : public RwrMethod {
 
   bool SupportsBatchQuery() const override { return true; }
 
+  void SetTaskRunner(la::TaskRunner* runner) override {
+    options_.task_runner = runner;
+    if (tpa_.has_value()) tpa_->set_task_runner(runner);
+  }
+
   size_t PreprocessedBytes() const override {
     return tpa_.has_value() ? tpa_->PreprocessedBytes() : 0;
   }

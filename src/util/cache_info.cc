@@ -1,0 +1,71 @@
+#include "util/cache_info.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tpa {
+
+namespace {
+
+/// Reads one small sysfs file into `out`; false when unreadable.
+bool ReadSysfsLine(const std::string& path, std::string& out) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return false;
+  char buffer[64];
+  const bool ok = std::fgets(buffer, sizeof(buffer), file) != nullptr;
+  std::fclose(file);
+  if (!ok) return false;
+  out.assign(buffer);
+  return true;
+}
+
+/// Parses the sysfs cache-size format: a decimal count with an optional
+/// K/M/G suffix (e.g. "2048K", "260M").  0 on parse failure.
+size_t ParseCacheSize(const std::string& text) {
+  size_t value = 0;
+  size_t pos = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    value = value * 10 + static_cast<size_t>(text[pos] - '0');
+    ++pos;
+  }
+  if (pos == 0) return 0;
+  if (pos < text.size()) {
+    switch (text[pos]) {
+      case 'K': value <<= 10; break;
+      case 'M': value <<= 20; break;
+      case 'G': value <<= 30; break;
+      default: break;  // trailing newline or unknown unit: plain bytes
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+size_t DetectLastLevelCacheBytes(size_t fallback_bytes) {
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+  int best_level = 0;
+  size_t best_size = 0;
+  for (int index = 0; index < 8; ++index) {
+    const std::string dir = base + std::to_string(index);
+    std::string level_text;
+    std::string size_text;
+    if (!ReadSysfsLine(dir + "/level", level_text) ||
+        !ReadSysfsLine(dir + "/size", size_text)) {
+      continue;
+    }
+    const int level = std::atoi(level_text.c_str());
+    const size_t size = ParseCacheSize(size_text);
+    if (size == 0) continue;
+    // Prefer the deepest level; among same-level entries (i-cache/d-cache
+    // splits) keep the larger.
+    if (level > best_level || (level == best_level && size > best_size)) {
+      best_level = level;
+      best_size = size;
+    }
+  }
+  return best_size > 0 ? best_size : fallback_bytes;
+}
+
+}  // namespace tpa

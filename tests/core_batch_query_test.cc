@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/cpi.h"
 #include "core/tpa.h"
+#include "engine/thread_pool.h"
 #include "graph/generators.h"
 #include "la/dense_block.h"
 #include "method/power_iteration.h"
@@ -106,6 +108,73 @@ TEST(CpiRunBatchTest, RejectsBadInput) {
   invalid.restart_probability = 2.0;
   const std::vector<NodeId> seeds = {0};
   EXPECT_FALSE(Cpi::RunBatch(graph, seeds, invalid).ok());
+}
+
+TEST(CpiRunBatchTest, ThresholdSweepAgreesWithDenseOnlyScalar) {
+  // The strongest cross-pin: a fully sparse batch (threshold 1) against a
+  // fully dense scalar run (threshold 0), plus the default in between.
+  Graph graph = TestGraph();
+  const std::vector<NodeId> seeds = {0, 7, 200, 399};
+
+  CpiOptions dense_scalar;
+  dense_scalar.terminal_iteration = 4;
+  dense_scalar.frontier_density_threshold = 0.0;
+
+  for (double threshold : {0.125, 1.0}) {
+    CpiOptions batch_options = dense_scalar;
+    batch_options.frontier_density_threshold = threshold;
+    auto block = Cpi::RunBatch(graph, seeds, batch_options);
+    ASSERT_TRUE(block.ok());
+    for (size_t b = 0; b < seeds.size(); ++b) {
+      auto scalar = Cpi::Run(graph, {seeds[b]}, dense_scalar);
+      ASSERT_TRUE(scalar.ok());
+      ExpectVectorBitwiseEq(block->ExtractVector(b), scalar->scores,
+                            "threshold " + std::to_string(threshold) +
+                                " seed " + std::to_string(seeds[b]));
+    }
+  }
+}
+
+TEST(CpiRunBatchTest, ParallelDenseTailMatchesSerialBitwise) {
+  Graph graph = TestGraph();
+  const std::vector<NodeId> seeds = {1, 50, 399, 200};
+
+  CpiOptions serial_options;
+  serial_options.tolerance = 1e-6;  // long enough to reach the dense tail
+  auto serial = Cpi::RunBatch(graph, seeds, serial_options);
+  ASSERT_TRUE(serial.ok());
+
+  ThreadPool pool(3);
+  CpiOptions parallel_options = serial_options;
+  parallel_options.task_runner = &pool;
+  auto parallel = Cpi::RunBatch(graph, seeds, parallel_options);
+  ASSERT_TRUE(parallel.ok());
+  for (size_t b = 0; b < seeds.size(); ++b) {
+    ExpectVectorBitwiseEq(parallel->ExtractVector(b),
+                          serial->ExtractVector(b),
+                          "seed " + std::to_string(seeds[b]));
+  }
+}
+
+TEST(CpiRunBatchTest, ReusedWorkspaceMatchesFreshRuns) {
+  Graph graph = TestGraph();
+  Cpi::Workspace workspace;
+  CpiOptions options;
+  options.terminal_iteration = 4;
+
+  const std::vector<std::vector<NodeId>> batches = {
+      {0, 7}, {399}, {200, 200, 5}, {0, 7}};
+  for (const auto& seeds : batches) {
+    auto reused = Cpi::RunBatch(graph, seeds, options, &workspace);
+    auto fresh = Cpi::RunBatch(graph, seeds, options);
+    ASSERT_TRUE(reused.ok());
+    ASSERT_TRUE(fresh.ok());
+    for (size_t b = 0; b < seeds.size(); ++b) {
+      ExpectVectorBitwiseEq(reused->ExtractVector(b),
+                            fresh->ExtractVector(b),
+                            "batch seed " + std::to_string(seeds[b]));
+    }
+  }
 }
 
 TEST(TpaQueryBatchTest, BitwiseMatchesSequentialQuery) {

@@ -5,6 +5,7 @@
 #include "util/check.h"
 
 #include <cmath>
+#include <string>
 
 #include "graph/builder.h"
 #include "graph/generators.h"
@@ -191,6 +192,113 @@ TEST(CpiTest, ValidatesArguments) {
   std::vector<double> q(graph.num_nodes(), 0.0);
   EXPECT_FALSE(Cpi::RunWindowed(graph, q, {1, 5}, {}).ok());   // must start 0
   EXPECT_FALSE(Cpi::RunWindowed(graph, q, {0, 5, 5}, {}).ok()); // increasing
+
+  CpiOptions bad_threshold;
+  bad_threshold.frontier_density_threshold = 1.5;
+  EXPECT_FALSE(Cpi::Run(graph, {0}, bad_threshold).ok());
+  bad_threshold.frontier_density_threshold = -0.1;
+  EXPECT_FALSE(Cpi::RunWindowed(graph, q, {0, 5}, bad_threshold).ok());
+}
+
+void ExpectResultBitwiseEq(const Cpi::Result& got, const Cpi::Result& expected,
+                           const std::string& label) {
+  EXPECT_EQ(got.last_iteration, expected.last_iteration) << label;
+  EXPECT_EQ(got.converged, expected.converged) << label;
+  EXPECT_EQ(got.last_interim_norm, expected.last_interim_norm) << label;
+  ASSERT_EQ(got.scores.size(), expected.scores.size()) << label;
+  for (size_t i = 0; i < expected.scores.size(); ++i) {
+    ASSERT_EQ(got.scores[i], expected.scores[i]) << label << " node " << i;
+  }
+}
+
+TEST(CpiAdaptiveTest, SparseHeadIsBitwiseIdenticalAtEveryThreshold) {
+  // Threshold 0 = always dense, 1 = sparse to convergence; every setting in
+  // between switches at a different iteration.  All must agree bitwise.
+  Graph graph = TestGraph();
+  CpiOptions dense_only;
+  dense_only.frontier_density_threshold = 0.0;
+  auto expected = Cpi::Run(graph, {7}, dense_only);
+  ASSERT_TRUE(expected.ok());
+
+  for (double threshold : {0.05, 0.125, 0.5, 1.0}) {
+    CpiOptions adaptive;
+    adaptive.frontier_density_threshold = threshold;
+    auto result = Cpi::Run(graph, {7}, adaptive);
+    ASSERT_TRUE(result.ok());
+    ExpectResultBitwiseEq(*result, *expected,
+                          "threshold " + std::to_string(threshold));
+  }
+}
+
+TEST(CpiAdaptiveTest, MultiSeedAndWindowedAgreeAcrossThresholds) {
+  Graph graph = TestGraph();
+  CpiOptions dense_only;
+  dense_only.frontier_density_threshold = 0.0;
+  CpiOptions sparse_head;
+  sparse_head.frontier_density_threshold = 1.0;
+
+  auto dense_multi = Cpi::Run(graph, {3, 42, 42, 199}, dense_only);
+  auto sparse_multi = Cpi::Run(graph, {3, 42, 42, 199}, sparse_head);
+  ASSERT_TRUE(dense_multi.ok());
+  ASSERT_TRUE(sparse_multi.ok());
+  ExpectResultBitwiseEq(*sparse_multi, *dense_multi, "multi-seed");
+
+  std::vector<double> q(graph.num_nodes(), 0.0);
+  q[11] = 0.75;
+  q[250] = 0.25;
+  auto dense_windows = Cpi::RunWindowed(graph, q, {0, 5, 10}, dense_only);
+  auto sparse_windows = Cpi::RunWindowed(graph, q, {0, 5, 10}, sparse_head);
+  ASSERT_TRUE(dense_windows.ok());
+  ASSERT_TRUE(sparse_windows.ok());
+  ASSERT_EQ(sparse_windows->size(), dense_windows->size());
+  for (size_t w = 0; w < dense_windows->size(); ++w) {
+    for (size_t i = 0; i < (*dense_windows)[w].size(); ++i) {
+      ASSERT_EQ((*sparse_windows)[w][i], (*dense_windows)[w][i])
+          << "window " << w << " node " << i;
+    }
+  }
+}
+
+TEST(CpiAdaptiveTest, ReusedWorkspaceIsBitwiseStable) {
+  // One workspace across a mixed sequence of queries must leave no residue:
+  // every result matches a fresh-workspace run bitwise.
+  Graph graph = TestGraph();
+  Cpi::Workspace workspace;
+
+  CpiOptions family_window;
+  family_window.terminal_iteration = 4;
+
+  const std::vector<std::vector<NodeId>> queries = {
+      {0}, {299}, {5, 17}, {0}, {123}};
+  for (const auto& seeds : queries) {
+    auto reused = Cpi::Run(graph, seeds, family_window, &workspace);
+    auto fresh = Cpi::Run(graph, seeds, family_window);
+    ASSERT_TRUE(reused.ok());
+    ASSERT_TRUE(fresh.ok());
+    ExpectResultBitwiseEq(*reused, *fresh,
+                          "seed " + std::to_string(seeds[0]));
+  }
+
+  // Interleave an unbounded run and a windowed run through the same
+  // workspace; both must still match fresh runs.
+  auto reused_full = Cpi::Run(graph, {42}, {}, &workspace);
+  auto fresh_full = Cpi::Run(graph, {42}, {});
+  ASSERT_TRUE(reused_full.ok());
+  ASSERT_TRUE(fresh_full.ok());
+  ExpectResultBitwiseEq(*reused_full, *fresh_full, "unbounded");
+
+  std::vector<double> q(graph.num_nodes(), 0.0);
+  q[9] = 1.0;
+  auto reused_win = Cpi::RunWindowed(graph, q, {0, 5}, {}, &workspace);
+  auto fresh_win = Cpi::RunWindowed(graph, q, {0, 5}, {});
+  ASSERT_TRUE(reused_win.ok());
+  ASSERT_TRUE(fresh_win.ok());
+  for (size_t w = 0; w < fresh_win->size(); ++w) {
+    for (size_t i = 0; i < (*fresh_win)[w].size(); ++i) {
+      ASSERT_EQ((*reused_win)[w][i], (*fresh_win)[w][i])
+          << "window " << w << " node " << i;
+    }
+  }
 }
 
 }  // namespace

@@ -3,15 +3,21 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <latch>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/tpa.h"
+#include "engine/thread_pool.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "la/vector_ops.h"
 #include "method/registry.h"
 #include "method/tpa_method.h"
+#include "util/cache_info.h"
 #include "util/check.h"
 
 namespace tpa {
@@ -377,6 +383,135 @@ TEST(QueryEngineTest, EntryAndByteCapsComposeAndStatsReportBytes) {
   const auto stats = engine->cache_stats();
   EXPECT_EQ(stats.entries, 2u);
   EXPECT_EQ(stats.bytes, 2 * entry_bytes);
+}
+
+TEST(QueryEngineTest, AutoBatchBlockSizeFollowsCacheHeuristic) {
+  Graph graph = ServingGraph();
+  // Default (kAuto) resolves at Create time: 8 when the CSR arrays exceed
+  // the LLC, 0 (per-seed) when cache-resident.
+  auto auto_engine =
+      QueryEngine::Create(graph, std::make_unique<TpaMethod>(), {});
+  ASSERT_TRUE(auto_engine.ok());
+  const int expected =
+      graph.SizeBytes() > DetectLastLevelCacheBytes() ? 8 : 0;
+  EXPECT_EQ(auto_engine->options().batch_block_size, expected);
+
+  // Methods without a native batch path always resolve to per-seed.
+  auto method = CreateMethod("BRPPR", {});
+  ASSERT_TRUE(method.ok());
+  auto no_batch = QueryEngine::Create(graph, std::move(*method), {});
+  ASSERT_TRUE(no_batch.ok());
+  EXPECT_EQ(no_batch->options().batch_block_size, 0);
+
+  // Explicit values are the escape hatch and pass through untouched.
+  for (int forced : {0, 1, 5}) {
+    QueryEngineOptions options;
+    options.batch_block_size = forced;
+    auto engine =
+        QueryEngine::Create(graph, std::make_unique<TpaMethod>(), options);
+    ASSERT_TRUE(engine.ok());
+    EXPECT_EQ(engine->options().batch_block_size, forced);
+  }
+
+  QueryEngineOptions invalid;
+  invalid.batch_block_size = -2;
+  EXPECT_FALSE(
+      QueryEngine::Create(graph, std::make_unique<TpaMethod>(), invalid)
+          .ok());
+}
+
+TEST(QueryEngineTest, ReorderedGraphServesOriginalNodeIds) {
+  // Engines over the original and a hub-reordered build of the same edges
+  // must be indistinguishable to clients: same dense vectors, same top-k
+  // ids, across the per-seed, SpMM-group, and cache-hit paths.
+  Graph original = ServingGraph();
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < original.num_nodes(); ++u) {
+    for (NodeId v : original.OutNeighbors(u)) edges.emplace_back(u, v);
+  }
+  GraphBuilder builder(original.num_nodes());
+  builder.AddEdges(edges);
+  BuildOptions build_options;
+  build_options.node_ordering = NodeOrdering::kHubCluster;
+  auto reordered = builder.Build(build_options);
+  ASSERT_TRUE(reordered.ok());
+  ASSERT_NE(reordered->permutation(), nullptr);
+
+  const std::vector<NodeId> seeds = {0, 13, 250, 499, 13, 77};
+  for (int batch_block : {0, 3}) {
+    QueryEngineOptions options;
+    options.num_threads = 2;
+    options.batch_block_size = batch_block;
+    options.cache_capacity = 8;
+    auto base = QueryEngine::Create(original, std::make_unique<TpaMethod>(),
+                                    options);
+    auto permuted = QueryEngine::Create(*reordered,
+                                        std::make_unique<TpaMethod>(),
+                                        options);
+    ASSERT_TRUE(base.ok());
+    ASSERT_TRUE(permuted.ok());
+
+    for (int pass = 0; pass < 2; ++pass) {  // second pass hits the cache
+      auto expected = base->QueryBatch(seeds);
+      auto results = permuted->QueryBatch(seeds);
+      ASSERT_EQ(results.size(), expected.size());
+      for (size_t i = 0; i < seeds.size(); ++i) {
+        ASSERT_TRUE(results[i].status.ok()) << results[i].status;
+        EXPECT_EQ(results[i].seed, seeds[i]);
+        ASSERT_EQ(results[i].scores.size(), expected[i].scores.size());
+        for (size_t j = 0; j < expected[i].scores.size(); ++j) {
+          ASSERT_NEAR(results[i].scores[j], expected[i].scores[j], 1e-12)
+              << "block " << batch_block << " seed " << seeds[i] << " node "
+              << j;
+        }
+      }
+    }
+  }
+
+  // Top-k extraction reports original ids.
+  QueryEngineOptions topk_options;
+  topk_options.top_k = 10;
+  auto base = QueryEngine::Create(original, std::make_unique<TpaMethod>(),
+                                  topk_options);
+  auto permuted = QueryEngine::Create(*reordered,
+                                      std::make_unique<TpaMethod>(),
+                                      topk_options);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(permuted.ok());
+  QueryResult expected = base->Query(42);
+  QueryResult got = permuted->Query(42);
+  ASSERT_EQ(got.top.size(), expected.top.size());
+  for (size_t k = 0; k < expected.top.size(); ++k) {
+    EXPECT_EQ(got.top[k].node, expected.top[k].node) << "rank " << k;
+    EXPECT_NEAR(got.top[k].score, expected.top[k].score, 1e-12);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(64);
+  pool.ParallelFor(64, [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "task " << i;
+  }
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "no tasks expected"; });
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Saturate the pool with jobs that each fork their own ParallelFor —
+  // the caller-participation guarantee must keep everything moving even
+  // though no worker is free to help.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::latch done(4);
+  for (int j = 0; j < 4; ++j) {
+    pool.Submit([&] {
+      pool.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+      done.count_down();
+    });
+  }
+  done.wait();
+  EXPECT_EQ(total.load(), 32);
 }
 
 TEST(TopKScoresTest, ClampsAndBreaksTies) {

@@ -1,0 +1,201 @@
+#include "graph/permutation.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/cpi.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "la/vector_ops.h"
+#include "method/registry.h"
+#include "util/check.h"
+#include "util/memory_budget.h"
+
+namespace tpa {
+namespace {
+
+Graph TestGraph(uint64_t seed = 71) {
+  DcsbmOptions options;
+  options.nodes = 400;
+  options.edges = 3600;
+  options.blocks = 8;
+  options.zipf_theta = 1.0;
+  options.seed = seed;
+  auto graph = GenerateDcsbm(options);
+  TPA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+std::vector<std::pair<NodeId, NodeId>> ExtractEdges(const Graph& graph) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(graph.num_edges());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) edges.emplace_back(u, v);
+  }
+  return edges;
+}
+
+Graph Rebuild(const std::vector<std::pair<NodeId, NodeId>>& edges,
+              NodeId num_nodes, NodeOrdering ordering) {
+  GraphBuilder builder(num_nodes);
+  builder.AddEdges(edges);
+  BuildOptions options;
+  options.node_ordering = ordering;
+  auto graph = builder.Build(options);
+  TPA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(PermutationTest, FromInternalOrderValidates) {
+  EXPECT_FALSE(Permutation::FromInternalOrder({}).ok());
+  EXPECT_FALSE(Permutation::FromInternalOrder({0, 0, 1}).ok());  // repeated
+  EXPECT_FALSE(Permutation::FromInternalOrder({0, 3}).ok());     // range
+
+  auto perm = Permutation::FromInternalOrder({2, 0, 1});
+  ASSERT_TRUE(perm.ok());
+  EXPECT_EQ(perm->size(), 3u);
+  // Internal slot 0 holds original node 2.
+  EXPECT_EQ(perm->ToExternal(0), 2u);
+  EXPECT_EQ(perm->ToInternal(2), 0u);
+  for (NodeId e = 0; e < 3; ++e) {
+    EXPECT_EQ(perm->ToExternal(perm->ToInternal(e)), e);
+  }
+}
+
+TEST(PermutationTest, ScoreTranslationRoundTrips) {
+  auto perm = Permutation::FromInternalOrder({2, 0, 1});
+  ASSERT_TRUE(perm.ok());
+  const std::vector<double> internal = {10.0, 20.0, 30.0};
+  const std::vector<double> external = perm->ScoresToExternal(internal);
+  // internal slot 0 ↔ external node 2, etc.
+  EXPECT_EQ(external, (std::vector<double>{20.0, 30.0, 10.0}));
+  EXPECT_EQ(perm->ValuesToInternal(external), internal);
+}
+
+class OrderingTest : public ::testing::TestWithParam<NodeOrdering> {};
+
+TEST_P(OrderingTest, ReorderedGraphIsIsomorphic) {
+  Graph original = TestGraph();
+  const auto edges = ExtractEdges(original);
+  Graph reordered = Rebuild(edges, original.num_nodes(), GetParam());
+
+  ASSERT_NE(reordered.permutation(), nullptr);
+  const Permutation& perm = *reordered.permutation();
+  ASSERT_EQ(perm.size(), original.num_nodes());
+  EXPECT_EQ(reordered.num_nodes(), original.num_nodes());
+  EXPECT_EQ(reordered.num_edges(), original.num_edges());
+
+  // Adjacency is preserved under translation: u → v externally iff
+  // ToInternal(u) → ToInternal(v) internally.
+  for (NodeId u = 0; u < original.num_nodes(); ++u) {
+    const NodeId iu = perm.ToInternal(u);
+    ASSERT_EQ(reordered.OutDegree(iu), original.OutDegree(u)) << "node " << u;
+    std::vector<NodeId> translated;
+    for (NodeId iv : reordered.OutNeighbors(iu)) {
+      translated.push_back(perm.ToExternal(iv));
+    }
+    std::sort(translated.begin(), translated.end());
+    const auto expected = original.OutNeighbors(u);
+    ASSERT_TRUE(std::equal(translated.begin(), translated.end(),
+                           expected.begin(), expected.end()))
+        << "node " << u;
+  }
+}
+
+TEST_P(OrderingTest, ExactRwrMatchesUnreorderedGraph) {
+  Graph original = TestGraph();
+  const auto edges = ExtractEdges(original);
+  Graph reordered = Rebuild(edges, original.num_nodes(), GetParam());
+  const Permutation& perm = *reordered.permutation();
+
+  for (NodeId seed : {NodeId{0}, NodeId{57}, NodeId{399}}) {
+    auto expected = Cpi::ExactRwr(original, seed, {});
+    ASSERT_TRUE(expected.ok());
+    auto internal = Cpi::ExactRwr(reordered, perm.ToInternal(seed), {});
+    ASSERT_TRUE(internal.ok());
+    const std::vector<double> translated = perm.ScoresToExternal(*internal);
+    EXPECT_LT(la::L1Distance(translated, *expected), 1e-12)
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orderings, OrderingTest,
+                         ::testing::Values(NodeOrdering::kDegreeDescending,
+                                           NodeOrdering::kHubCluster));
+
+TEST(OrderingTest, OriginalOrderingAttachesNoPermutation) {
+  Graph original = TestGraph();
+  const auto edges = ExtractEdges(original);
+  Graph rebuilt = Rebuild(edges, original.num_nodes(), NodeOrdering::kOriginal);
+  EXPECT_EQ(rebuilt.permutation(), nullptr);
+}
+
+/// Round trip for every registry method: preprocess on the original and the
+/// reordered graph, query the same external seed, translate, compare.
+struct MethodCase {
+  std::string_view name;
+  /// Deterministic methods must agree to rounding noise; the sampling
+  /// methods (FORA, HubPPR) draw different — equally valid — walks when the
+  /// node ids change, and NB-LIN's truncated-SVD power iteration converges
+  /// to an order-dependent low-rank subspace, so those are held to their
+  /// approximation envelope instead.
+  double tolerance;
+};
+
+class MethodRoundTripTest : public ::testing::TestWithParam<MethodCase> {};
+
+TEST_P(MethodRoundTripTest, ReorderedScoresMatchUnreordered) {
+  const MethodCase& test_case = GetParam();
+  Graph original = TestGraph(73);
+  const auto edges = ExtractEdges(original);
+
+  const NodeId seed = 5;
+  MethodConfig config;
+
+  auto base_method = CreateMethod(test_case.name, config);
+  ASSERT_TRUE(base_method.ok());
+  MemoryBudget unlimited;
+  ASSERT_TRUE((*base_method)->Preprocess(original, unlimited).ok());
+  auto expected = (*base_method)->Query(seed);
+  ASSERT_TRUE(expected.ok());
+
+  for (NodeOrdering ordering :
+       {NodeOrdering::kDegreeDescending, NodeOrdering::kHubCluster}) {
+    Graph reordered = Rebuild(edges, original.num_nodes(), ordering);
+    const Permutation& perm = *reordered.permutation();
+
+    auto method = CreateMethod(test_case.name, config);
+    ASSERT_TRUE(method.ok());
+    MemoryBudget budget;
+    ASSERT_TRUE((*method)->Preprocess(reordered, budget).ok());
+    auto internal = (*method)->Query(perm.ToInternal(seed));
+    ASSERT_TRUE(internal.ok());
+    const std::vector<double> translated = perm.ScoresToExternal(*internal);
+    EXPECT_LT(la::L1Distance(translated, *expected), test_case.tolerance)
+        << test_case.name << " ordering "
+        << static_cast<int>(ordering);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, MethodRoundTripTest,
+    ::testing::Values(MethodCase{"TPA", 1e-12},
+                      MethodCase{"PowerIteration", 1e-12},
+                      MethodCase{"BePI", 1e-12},
+                      MethodCase{"BEAR-APPROX", 1e-12},
+                      MethodCase{"NB-LIN", 0.5},
+                      MethodCase{"BRPPR", 1e-12},
+                      MethodCase{"FORA", 0.3}, MethodCase{"HubPPR", 0.5}),
+    [](const ::testing::TestParamInfo<MethodCase>& info) {
+      std::string name(info.param.name);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace tpa
