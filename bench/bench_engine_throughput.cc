@@ -13,6 +13,8 @@
 /// PRs.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +27,7 @@
 #include <vector>
 
 #include "core/tpa.h"
+#include "engine/async_query_engine.h"
 #include "engine/query_engine.h"
 #include "graph/generators.h"
 #include "method/tpa_method.h"
@@ -65,6 +68,14 @@ struct BenchRow {
   size_t batch = 0;
   double qps = 0.0;
   double speedup = 0.0;  // vs sequential Tpa::Query
+  /// Seeds per dispatched serving job on the async path (coalescing
+  /// signal); 0 for the blocking modes.
+  double mean_group = 0.0;
+  /// Concurrent closed-loop clients (async closed-loop rows only).
+  int clients = 0;
+  /// Offered arrival rate as a multiple of sequential qps (async open-loop
+  /// rows only).
+  double rate_multiplier = 0.0;
 };
 
 void WriteJson(const std::string& path, const Args& args, uint32_t nodes,
@@ -86,7 +97,10 @@ void WriteJson(const std::string& path, const Args& args, uint32_t nodes,
     const BenchRow& row = rows[i];
     out << "    {\"mode\": \"" << row.mode << "\", \"threads\": "
         << row.threads << ", \"batch\": " << row.batch << ", \"qps\": "
-        << row.qps << ", \"speedup_vs_sequential\": " << row.speedup << "}"
+        << row.qps << ", \"speedup_vs_sequential\": " << row.speedup
+        << ", \"mean_group_size\": " << row.mean_group
+        << ", \"clients\": " << row.clients
+        << ", \"arrival_rate_multiplier\": " << row.rate_multiplier << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n";
@@ -165,9 +179,11 @@ int Run(int argc, char** argv) {
   if (hardware > 4) thread_counts.push_back(static_cast<int>(hardware));
 
   auto add_row = [&](const std::string& mode, int threads, size_t batch,
-                     double seconds, size_t queries) {
+                     double seconds, size_t queries, double mean_group = 0.0,
+                     int clients = 0, double rate_multiplier = 0.0) {
     const double qps = queries / seconds;
-    rows.push_back({mode, threads, batch, qps, qps / seq_qps});
+    rows.push_back({mode, threads, batch, qps, qps / seq_qps, mean_group,
+                    clients, rate_multiplier});
     table.AddRow({mode, std::to_string(threads), std::to_string(batch),
                   TablePrinter::FormatDouble(qps, 1),
                   TablePrinter::FormatDouble(qps / seq_qps, 2) + "x"});
@@ -250,6 +266,100 @@ int Run(int argc, char** argv) {
       add_row("spmm groups", threads, batch, spmm_seconds, spmm_served);
       std::printf("batch %zu: spmm %.2fx over per-seed fan-out\n", batch,
                   per_seed_seconds / spmm_seconds);
+    }
+  }
+
+  // Async admission-queue serving.  Closed-loop: K clients each in a
+  // submit-wait-repeat loop, so offered load tracks service capacity and
+  // the queue stays near-empty.  Open-loop: arrivals at a fixed rate
+  // regardless of completions — the production regime, where a backlog
+  // forms whenever arrivals outpace service and the scheduler coalesces
+  // the backlog into SpMM groups.  The mean seeds per dispatched job is
+  // the coalescing signal (1.0 = no batching emerged).
+  {
+    const int threads = static_cast<int>(std::max(
+        1u, std::min(hardware, static_cast<unsigned>(thread_counts.back()))));
+    QueryEngineOptions engine_options;
+    engine_options.num_threads = threads;
+    engine_options.batch_block_size = 8;
+
+    for (int clients : {1, 4, 16}) {
+      auto async = AsyncQueryEngine::Create(
+          *graph, std::make_unique<TpaMethod>(tpa_options), engine_options);
+      if (!async.ok()) {
+        std::fprintf(stderr, "async engine failed: %s\n",
+                     async.status().ToString().c_str());
+        return 1;
+      }
+      Stopwatch watch;
+      std::atomic<size_t> next{0};
+      std::vector<std::thread> workers;
+      workers.reserve(clients);
+      for (int c = 0; c < clients; ++c) {
+        workers.emplace_back([&] {
+          for (;;) {
+            const size_t i = next.fetch_add(1);
+            if (i >= seeds.size()) return;
+            QueryTicket ticket = (*async)->Submit(seeds[i]);
+            ticket.Wait();
+          }
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+      const double seconds = watch.ElapsedSeconds();
+      const auto stats = (*async)->stats();
+      const double mean_group =
+          stats.groups_dispatched > 0
+              ? static_cast<double>(stats.seeds_dispatched) /
+                    static_cast<double>(stats.groups_dispatched)
+              : 0.0;
+      add_row("async closed-loop " + std::to_string(clients) + " clients",
+              threads, static_cast<size_t>(engine_options.batch_block_size),
+              seconds, seeds.size(), mean_group, clients);
+      std::printf("async closed-loop %d clients: %.2f seeds/group\n",
+                  clients, mean_group);
+    }
+
+    for (double rate_multiplier : {1.0, 2.0, 8.0}) {
+      auto async = AsyncQueryEngine::Create(
+          *graph, std::make_unique<TpaMethod>(tpa_options), engine_options);
+      if (!async.ok()) {
+        std::fprintf(stderr, "async engine failed: %s\n",
+                     async.status().ToString().c_str());
+        return 1;
+      }
+      const double interarrival_seconds = 1.0 / (rate_multiplier * seq_qps);
+      std::vector<QueryTicket> tickets;
+      tickets.reserve(seeds.size());
+      const auto start = std::chrono::steady_clock::now();
+      Stopwatch watch;
+      for (size_t i = 0; i < seeds.size(); ++i) {
+        // Pace arrivals against absolute schedule points so service time
+        // does not leak into the arrival process; sleep (don't spin) so
+        // the pacing thread leaves the core to the serving threads.
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            i * interarrival_seconds)));
+        tickets.push_back((*async)->Submit(seeds[i]));
+      }
+      for (QueryTicket& ticket : tickets) ticket.Wait();
+      const double seconds = watch.ElapsedSeconds();
+      const auto stats = (*async)->stats();
+      const double mean_group =
+          stats.groups_dispatched > 0
+              ? static_cast<double>(stats.seeds_dispatched) /
+                    static_cast<double>(stats.groups_dispatched)
+              : 0.0;
+      add_row("async open-loop x" +
+                  TablePrinter::FormatDouble(rate_multiplier, 0) +
+                  " arrival rate",
+              threads, static_cast<size_t>(engine_options.batch_block_size),
+              seconds, seeds.size(), mean_group, /*clients=*/0,
+              rate_multiplier);
+      std::printf("async open-loop x%.0f: %.2f seeds/group\n",
+                  rate_multiplier, mean_group);
     }
   }
 

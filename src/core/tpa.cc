@@ -7,18 +7,6 @@
 
 namespace tpa {
 
-namespace {
-
-/// One propagation workspace per serving thread: queries are frequent and
-/// concurrent (QueryEngine fans them across a pool), so the full-n interim
-/// buffers are recycled per thread instead of allocated per query.
-Cpi::Workspace& ThreadWorkspace() {
-  static thread_local Cpi::Workspace workspace;
-  return workspace;
-}
-
-}  // namespace
-
 Status ValidateTpaOptions(const TpaOptions& options) {
   TPA_RETURN_IF_ERROR(ValidateCpiParameters(options.restart_probability,
                                             options.tolerance));
@@ -72,8 +60,9 @@ Tpa::QueryParts Tpa::QueryDecomposed(NodeId seed) const {
   cpi.use_pull = options_.use_pull;
   cpi.frontier_density_threshold = options_.frontier_density_threshold;
 
+  WorkspacePool::Lease workspace = workspaces_->Acquire();
   StatusOr<Cpi::Result> family =
-      Cpi::Run(*graph_, {seed}, cpi, &ThreadWorkspace());
+      Cpi::Run(*graph_, {seed}, cpi, workspace.get());
   TPA_CHECK(family.ok());  // options were validated at Preprocess time
 
   QueryParts parts;
@@ -109,8 +98,9 @@ StatusOr<la::DenseBlock> Tpa::QueryBatch(std::span<const NodeId> seeds) const {
   cpi.use_pull = options_.use_pull;
   cpi.frontier_density_threshold = options_.frontier_density_threshold;
   cpi.task_runner = options_.task_runner;
+  WorkspacePool::Lease workspace = workspaces_->Acquire();
   TPA_ASSIGN_OR_RETURN(la::DenseBlock block,
-                       Cpi::RunBatch(*graph_, seeds, cpi, &ThreadWorkspace()));
+                       Cpi::RunBatch(*graph_, seeds, cpi, workspace.get()));
 
   // The same fused merge as QueryPersonalized, blocked:
   // total = (1 + scale)·family + stranger per vector.
@@ -128,8 +118,9 @@ StatusOr<std::vector<double>> Tpa::QueryPersonalized(
   cpi.terminal_iteration = options_.family_window - 1;
   cpi.use_pull = options_.use_pull;
   cpi.frontier_density_threshold = options_.frontier_density_threshold;
+  WorkspacePool::Lease workspace = workspaces_->Acquire();
   TPA_ASSIGN_OR_RETURN(Cpi::Result family,
-                       Cpi::Run(*graph_, seeds, cpi, &ThreadWorkspace()));
+                       Cpi::Run(*graph_, seeds, cpi, workspace.get()));
 
   std::vector<double> total = std::move(family.scores);
   // total = (1 + scale)·family + stranger, by the same Algorithm 3 merge.

@@ -1,10 +1,12 @@
 #ifndef TPA_CORE_TPA_H_
 #define TPA_CORE_TPA_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/cpi.h"
+#include "core/workspace_pool.h"
 #include "graph/graph.h"
 #include "la/dense_block.h"
 #include "util/status.h"
@@ -99,15 +101,24 @@ class Tpa {
     options_.task_runner = runner;
   }
 
+  /// The propagation-workspace pool shared by every query against this
+  /// preprocessed state: one workspace per *concurrent* query, checked out
+  /// per call, warm regardless of which serving thread runs it (exposed so
+  /// tests can pin created() to the serving concurrency).
+  const WorkspacePool& workspace_pool() const { return *workspaces_; }
+
  private:
   Tpa(const Graph* graph, TpaOptions options, std::vector<double> stranger)
       : graph_(graph),
         options_(options),
-        stranger_(std::move(stranger)) {}
+        stranger_(std::move(stranger)),
+        workspaces_(std::make_shared<WorkspacePool>()) {}
 
   const Graph* graph_;  // not owned
   TpaOptions options_;
   std::vector<double> stranger_;
+  /// shared_ptr keeps Tpa movable (WorkspacePool owns a mutex).
+  std::shared_ptr<WorkspacePool> workspaces_;
 };
 
 /// Theoretical L1 error bounds (Lemmas 1, 3; Theorem 2).

@@ -1,0 +1,35 @@
+#include "core/workspace_pool.h"
+
+namespace tpa {
+
+WorkspacePool::Lease WorkspacePool::Acquire() {
+  std::unique_ptr<Cpi::Workspace> workspace;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      workspace = std::move(idle_.back());
+      idle_.pop_back();
+    } else {
+      ++created_;
+    }
+  }
+  if (workspace == nullptr) workspace = std::make_unique<Cpi::Workspace>();
+  return Lease(this, std::move(workspace));
+}
+
+void WorkspacePool::Release(std::unique_ptr<Cpi::Workspace> workspace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.push_back(std::move(workspace));
+}
+
+size_t WorkspacePool::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+size_t WorkspacePool::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_.size();
+}
+
+}  // namespace tpa

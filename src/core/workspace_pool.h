@@ -1,0 +1,74 @@
+#ifndef TPA_CORE_WORKSPACE_POOL_H_
+#define TPA_CORE_WORKSPACE_POOL_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/cpi.h"
+
+namespace tpa {
+
+/// Thread-safe checkout pool of Cpi::Workspace instances.
+///
+/// A workspace holds the propagation loop's full-n scratch buffers, so the
+/// working set scales with how many are alive.  A thread_local workspace
+/// (the previous scheme) creates one per thread that ever served a query —
+/// and pool jobs hopping between workers each re-warm a cold one.  The pool
+/// bounds the population by *concurrency* instead: Acquire hands out an idle
+/// workspace when one exists and creates a new one only when every existing
+/// workspace is checked out, so the total never exceeds the peak number of
+/// simultaneous queries (regression-tested against the serving pool size).
+/// Buffers stay warm across queries regardless of which thread runs next.
+class WorkspacePool {
+ public:
+  /// RAII checkout: returns the workspace on destruction.  Movable so
+  /// Acquire can hand it out by value; not copyable.
+  class Lease {
+   public:
+    Lease(WorkspacePool* pool, std::unique_ptr<Cpi::Workspace> workspace)
+        : pool_(pool), workspace_(std::move(workspace)) {}
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), workspace_(std::move(other.workspace_)) {
+      other.pool_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() {
+      if (pool_ != nullptr) pool_->Release(std::move(workspace_));
+    }
+
+    Cpi::Workspace& operator*() { return *workspace_; }
+    Cpi::Workspace* get() { return workspace_.get(); }
+
+   private:
+    WorkspacePool* pool_;
+    std::unique_ptr<Cpi::Workspace> workspace_;
+  };
+
+  WorkspacePool() = default;
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  /// Checks out an idle workspace, creating one only when none is idle.
+  Lease Acquire();
+
+  /// Total workspaces ever created (== peak simultaneous checkouts).
+  size_t created() const;
+  /// Workspaces currently idle in the pool.
+  size_t available() const;
+
+ private:
+  void Release(std::unique_ptr<Cpi::Workspace> workspace);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Cpi::Workspace>> idle_;
+  size_t created_ = 0;
+};
+
+}  // namespace tpa
+
+#endif  // TPA_CORE_WORKSPACE_POOL_H_

@@ -1,0 +1,326 @@
+#include "engine/async_query_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace tpa {
+
+namespace internal_async {
+
+/// Shared state behind one QueryTicket.  `state` transitions under `mu`;
+/// `result` is written by exactly one completer before `state` flips to
+/// kDone (the mutex hand-off orders the writes for waiters) and is
+/// immutable afterwards.
+struct TicketState {
+  std::mutex mu;
+  std::condition_variable cv;
+  QueryTicket::State state = QueryTicket::State::kQueued;
+  QueryResult result;
+  std::function<void(const QueryResult&)> on_complete;
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+
+  /// Claims the ticket for serving; false when cancellation won the race.
+  bool TryBegin() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (state != QueryTicket::State::kQueued) return false;
+    state = QueryTicket::State::kRunning;
+    return true;
+  }
+
+  /// The one completion protocol, shared by serving, rejection, and
+  /// cancellation: fire the callback exactly once (before the ticket
+  /// becomes observable as done, so a client returning from Wait knows it
+  /// already ran), then flip to kDone and wake waiters.  `result` must be
+  /// final before the call.
+  void Finish() {
+    std::function<void(const QueryResult&)> callback;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      callback = std::move(on_complete);
+    }
+    if (callback) callback(result);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      state = QueryTicket::State::kDone;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace internal_async
+
+using internal_async::TicketState;
+
+namespace {
+
+/// True while this thread is inside a serving job.  A Submit from an
+/// on_complete callback must never block on queue space: the serving job
+/// it would run on is the very thing that frees slots, so kBlock would
+/// self-deadlock — such submits fall back to reject-on-full instead.
+thread_local bool tls_on_serving_thread = false;
+
+}  // namespace
+
+const QueryResult& QueryTicket::Wait() const {
+  TPA_CHECK(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock,
+                  [&] { return state_->state == State::kDone; });
+  return state_->result;
+}
+
+bool QueryTicket::WaitFor(std::chrono::milliseconds timeout) const {
+  TPA_CHECK(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(
+      lock, timeout, [&] { return state_->state == State::kDone; });
+}
+
+bool QueryTicket::done() const {
+  TPA_CHECK(state_ != nullptr);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->state == State::kDone;
+}
+
+QueryTicket::State QueryTicket::state() const {
+  TPA_CHECK(state_ != nullptr);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->state;
+}
+
+bool QueryTicket::Cancel() {
+  TPA_CHECK(state_ != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->state != State::kQueued) return false;
+    // Claim the ticket: concurrent Cancel calls and serving lose the race.
+    state_->state = State::kRunning;
+    state_->result.status = CancelledError("query cancelled by client");
+  }
+  state_->Finish();
+  return true;
+}
+
+AsyncQueryEngine::AsyncQueryEngine(QueryEngine engine,
+                                   const AsyncQueryEngineOptions& options)
+    : engine_(std::move(engine)), options_(options) {
+  const bool group_serving = engine_.options().batch_block_size > 1 &&
+                             engine_.method().SupportsBatchQuery();
+  chunk_limit_ = group_serving
+                     ? static_cast<size_t>(engine_.options().batch_block_size)
+                     : 1;
+  max_inflight_ =
+      options_.max_inflight_jobs > 0
+          ? static_cast<size_t>(options_.max_inflight_jobs)
+          : static_cast<size_t>(engine_.num_threads());
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+AsyncQueryEngine::~AsyncQueryEngine() { Shutdown(); }
+
+StatusOr<std::unique_ptr<AsyncQueryEngine>> AsyncQueryEngine::Create(
+    const Graph& graph, std::unique_ptr<RwrMethod> method,
+    const QueryEngineOptions& engine_options,
+    const AsyncQueryEngineOptions& async_options) {
+  if (async_options.queue_capacity < 1) {
+    return InvalidArgumentError("queue_capacity must be at least 1");
+  }
+  if (async_options.max_inflight_jobs < 0) {
+    return InvalidArgumentError("max_inflight_jobs must be non-negative");
+  }
+  TPA_ASSIGN_OR_RETURN(
+      QueryEngine engine,
+      QueryEngine::Create(graph, std::move(method), engine_options));
+  // Not make_unique: the constructor (which starts the scheduler) is
+  // private.
+  return std::unique_ptr<AsyncQueryEngine>(
+      new AsyncQueryEngine(std::move(engine), async_options));
+}
+
+StatusOr<std::unique_ptr<AsyncQueryEngine>>
+AsyncQueryEngine::CreateFromRegistry(
+    const Graph& graph, std::string_view method_name,
+    const MethodConfig& config, const QueryEngineOptions& engine_options,
+    const AsyncQueryEngineOptions& async_options) {
+  TPA_ASSIGN_OR_RETURN(std::unique_ptr<RwrMethod> method,
+                       CreateMethod(method_name, config));
+  return Create(graph, std::move(method), engine_options, async_options);
+}
+
+QueryTicket AsyncQueryEngine::Submit(NodeId seed,
+                                     const SubmitOptions& options) {
+  auto state = std::make_shared<TicketState>();
+  state->result.seed = seed;
+  state->on_complete = options.on_complete;
+  if (options.deadline.has_value()) {
+    state->deadline = *options.deadline;
+    state->has_deadline = true;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  Status failure;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      failure = FailedPreconditionError("engine is shutting down");
+    } else if (queue_.size() >= options_.queue_capacity &&
+               (options_.queue_full_policy == QueueFullPolicy::kReject ||
+                tls_on_serving_thread)) {
+      failure = ResourceExhaustedError("admission queue full");
+    } else {
+      if (queue_.size() >= options_.queue_capacity) {
+        space_cv_.wait(lock, [&] {
+          return stopping_ || queue_.size() < options_.queue_capacity;
+        });
+      }
+      if (stopping_) {
+        failure = FailedPreconditionError("engine is shutting down");
+      } else {
+        queue_.push_back(state);
+        work_cv_.notify_one();
+      }
+    }
+  }
+  QueryTicket ticket{state};
+  if (!failure.ok()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    state->result.status = std::move(failure);
+    Complete(*state, /*served=*/false);
+  }
+  return ticket;
+}
+
+void AsyncQueryEngine::SchedulerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return (!queue_.empty() && inflight_ < max_inflight_) ||
+             (stopping_ && queue_.empty());
+    });
+    if (queue_.empty()) return;  // stopping_ and fully drained
+
+    // Pop whatever is waiting, up to one SpMM group — arrivals that
+    // accumulated while every job slot was busy coalesce here.
+    std::vector<std::shared_ptr<TicketState>> chunk;
+    chunk.reserve(std::min(queue_.size(), chunk_limit_));
+    while (!queue_.empty() && chunk.size() < chunk_limit_) {
+      chunk.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    ++inflight_;
+    lock.unlock();
+    space_cv_.notify_all();  // freed queue slots
+    groups_dispatched_.fetch_add(1, std::memory_order_relaxed);
+    seeds_dispatched_.fetch_add(chunk.size(), std::memory_order_relaxed);
+    engine_.pool_->Submit([this, chunk = std::move(chunk)] {
+      ServeChunk(chunk);
+      tls_on_serving_thread = false;
+      // Notify while holding the lock: once a waiter can observe
+      // inflight_ == 0 it may destroy the engine (Shutdown returns), so
+      // the condition variables must not be touched after unlocking.
+      std::lock_guard<std::mutex> job_lock(mu_);
+      --inflight_;
+      work_cv_.notify_all();  // a job slot freed
+      idle_cv_.notify_all();  // Shutdown may be waiting for the drain
+    });
+    lock.lock();
+  }
+}
+
+void AsyncQueryEngine::ServeChunk(
+    const std::vector<std::shared_ptr<TicketState>>& chunk) {
+  tls_on_serving_thread = true;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<TicketState*> runnable;
+  runnable.reserve(chunk.size());
+  for (const std::shared_ptr<TicketState>& state : chunk) {
+    if (!state->TryBegin()) {  // cancellation won the race
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (state->has_deadline && state->deadline <= now) {
+      state->result.status =
+          DeadlineExceededError("deadline expired before serving began");
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      Complete(*state, /*served=*/false);
+      continue;
+    }
+    runnable.push_back(state.get());
+  }
+  if (runnable.empty()) return;
+
+  if (chunk_limit_ <= 1) {
+    for (TicketState* state : runnable) {
+      engine_.ServeInto(state->result.seed, state->result);
+      Complete(*state, /*served=*/true);
+    }
+    return;
+  }
+
+  // Mirror QueryBatch's SpMM path: invalid and cached slots complete
+  // per-ticket, the remaining misses run as one multi-vector group.
+  std::vector<TicketState*> misses;
+  std::vector<NodeId> group;
+  for (TicketState* state : runnable) {
+    const NodeId seed = state->result.seed;
+    if (seed >= engine_.graph_->num_nodes()) {
+      state->result.status = OutOfRangeError("seed node out of range");
+      Complete(*state, /*served=*/true);
+      continue;
+    }
+    if (engine_.TryServeFromCache(seed, state->result)) {
+      Complete(*state, /*served=*/true);
+      continue;
+    }
+    misses.push_back(state);
+    group.push_back(seed);
+  }
+  if (misses.empty()) return;
+  std::vector<QueryResult*> slots;
+  slots.reserve(misses.size());
+  for (TicketState* state : misses) slots.push_back(&state->result);
+  engine_.ServeGroup(group, slots);
+  for (TicketState* state : misses) Complete(*state, /*served=*/true);
+}
+
+void AsyncQueryEngine::Complete(TicketState& state, bool served) {
+  if (served) completed_.fetch_add(1, std::memory_order_relaxed);
+  state.Finish();
+}
+
+void AsyncQueryEngine::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (shutdown_done_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  scheduler_.join();  // exits once the queue is drained
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [&] { return inflight_ == 0; });
+  }
+  shutdown_done_ = true;
+}
+
+AsyncQueryEngine::AsyncStats AsyncQueryEngine::stats() const {
+  AsyncStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.groups_dispatched =
+      groups_dispatched_.load(std::memory_order_relaxed);
+  stats.seeds_dispatched = seeds_dispatched_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.queue_depth = queue_.size();
+  return stats;
+}
+
+}  // namespace tpa

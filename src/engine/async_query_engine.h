@@ -1,0 +1,226 @@
+#ifndef TPA_ENGINE_ASYNC_QUERY_ENGINE_H_
+#define TPA_ENGINE_ASYNC_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "method/registry.h"
+#include "util/status.h"
+
+namespace tpa {
+
+namespace internal_async {
+struct TicketState;
+}  // namespace internal_async
+
+/// What Submit does when the admission queue is at capacity.
+enum class QueueFullPolicy {
+  /// Submit blocks until a queue slot frees (or shutdown begins).
+  kBlock,
+  /// Submit returns immediately with a ticket already failed with
+  /// RESOURCE_EXHAUSTED — the client's signal to back off.
+  kReject,
+};
+
+/// Configuration of the admission queue layered over a QueryEngine.
+struct AsyncQueryEngineOptions {
+  /// Admission-queue capacity in tickets; Submit applies queue_full_policy
+  /// once this many are waiting.  Must be at least 1.
+  size_t queue_capacity = 1024;
+  QueueFullPolicy queue_full_policy = QueueFullPolicy::kBlock;
+  /// Serving jobs allowed in flight on the pool at once; 0 resolves to the
+  /// pool's thread count.  The scheduler dispatches only when a slot is
+  /// free, so under load tickets accumulate in the queue — which is exactly
+  /// what lets the next dispatch coalesce them into one SpMM group.
+  int max_inflight_jobs = 0;
+};
+
+/// Per-submit options.
+struct SubmitOptions {
+  /// Absolute deadline.  Checked when the scheduler hands the ticket to a
+  /// serving job: a ticket whose deadline has already passed completes with
+  /// DEADLINE_EXCEEDED instead of running.  A query that has begun is never
+  /// aborted mid-flight.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Invoked exactly once with the final result, before the ticket becomes
+  /// observable as done (a client returning from Wait knows its callback
+  /// has already run) — on the serving thread for served tickets, on the
+  /// submitting thread for rejected ones, on the cancelling thread for
+  /// cancelled ones.  Must not block for long, must not Wait on its own
+  /// ticket, and must not destroy the engine.
+  std::function<void(const QueryResult&)> on_complete;
+};
+
+/// Handle to one submitted query: a future over its QueryResult plus
+/// client-side cancellation.  Cheap to copy (all copies share the state).
+/// A ticket outliving the engine stays valid — the engine's shutdown drain
+/// completes every admitted ticket first.
+class QueryTicket {
+ public:
+  /// kQueued → kRunning → kDone, except that rejection, cancellation, and
+  /// deadline expiry jump straight from kQueued to kDone.
+  enum class State { kQueued, kRunning, kDone };
+
+  QueryTicket() = default;  // empty; CHECK-fails on use
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the ticket completes; the reference stays valid for the
+  /// life of the ticket.  result().status distinguishes the outcomes:
+  /// OK / method error, RESOURCE_EXHAUSTED (rejected at admission),
+  /// CANCELLED, DEADLINE_EXCEEDED, FAILED_PRECONDITION (submitted during
+  /// shutdown).
+  const QueryResult& Wait() const;
+
+  /// Wait with a timeout; false when the ticket is still pending.
+  bool WaitFor(std::chrono::milliseconds timeout) const;
+
+  /// True once the result is available (never blocks).
+  bool done() const;
+  State state() const;
+
+  /// Client-side cancellation: completes a still-queued ticket with
+  /// CANCELLED and returns true.  Returns false when serving has already
+  /// begun (or finished) — the result then arrives as usual.
+  bool Cancel();
+
+ private:
+  friend class AsyncQueryEngine;
+  explicit QueryTicket(std::shared_ptr<internal_async::TicketState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal_async::TicketState> state_;
+};
+
+/// Asynchronous admission-queue serving over a QueryEngine: one engine
+/// multiplexes many concurrent clients through per-query Submit / ticket
+/// completion instead of the blocking QueryBatch latch.
+///
+/// Submitted tickets enter a bounded FIFO queue; a scheduler thread drains
+/// them into serving jobs on the engine's pool, dispatching only while a
+/// job slot is free (max_inflight_jobs).  When the underlying method
+/// supports native batched queries, each dispatch pops up to
+/// batch_block_size waiting tickets and serves the cache-miss seeds as one
+/// SpMM group — so opportunistic batching emerges from arrival order under
+/// load, without clients pre-batching.  Serving runs the exact same private
+/// QueryEngine paths as Query / QueryBatch, so results are bitwise
+/// identical to the blocking API for the same seeds.
+///
+/// Shutdown (or destruction) stops admissions, then drains: every ticket
+/// already admitted is served to completion before the engine dies.
+class AsyncQueryEngine {
+ public:
+  /// Builds the wrapped QueryEngine (running the method's one-time
+  /// preprocessing) and starts the scheduler.
+  static StatusOr<std::unique_ptr<AsyncQueryEngine>> Create(
+      const Graph& graph, std::unique_ptr<RwrMethod> method,
+      const QueryEngineOptions& engine_options = {},
+      const AsyncQueryEngineOptions& async_options = {});
+
+  /// Registry convenience, mirroring QueryEngine::CreateFromRegistry.
+  static StatusOr<std::unique_ptr<AsyncQueryEngine>> CreateFromRegistry(
+      const Graph& graph, std::string_view method_name,
+      const MethodConfig& config = {},
+      const QueryEngineOptions& engine_options = {},
+      const AsyncQueryEngineOptions& async_options = {});
+
+  AsyncQueryEngine(const AsyncQueryEngine&) = delete;
+  AsyncQueryEngine& operator=(const AsyncQueryEngine&) = delete;
+
+  /// Shuts down (draining all admitted tickets) and joins.
+  ~AsyncQueryEngine();
+
+  /// Enqueues one seed query and returns its ticket.  Applies the
+  /// queue-full policy; never throws.  Safe from any thread, including
+  /// completion callbacks of other tickets — with one liveness guard: a
+  /// Submit from a serving-side callback never blocks on queue space (the
+  /// serving job it runs on is what frees slots), so on a full queue it
+  /// rejects with RESOURCE_EXHAUSTED even under kBlock.
+  QueryTicket Submit(NodeId seed, const SubmitOptions& options = {});
+
+  /// Stops admissions (later Submits fail with FAILED_PRECONDITION), wakes
+  /// blocked submitters, serves every already-admitted ticket, and joins
+  /// the scheduler.  Idempotent and safe to call concurrently.
+  void Shutdown();
+
+  /// The wrapped engine: the blocking Query / QueryBatch surface remains
+  /// available and shares the cache and pool with the async path.
+  QueryEngine& engine() { return engine_; }
+  const QueryEngine& engine() const { return engine_; }
+
+  /// Monotonic counters; at quiescence
+  /// submitted == completed + rejected + cancelled + expired.
+  struct AsyncStats {
+    uint64_t submitted = 0;
+    /// Tickets served by the engine (including per-slot errors).
+    uint64_t completed = 0;
+    /// Queue-full rejects plus submit-during-shutdown failures.
+    uint64_t rejected = 0;
+    uint64_t cancelled = 0;
+    uint64_t expired = 0;
+    /// Serving jobs dispatched and the tickets they carried — the coalescing
+    /// signal: seeds_dispatched / groups_dispatched is the mean group size.
+    uint64_t groups_dispatched = 0;
+    uint64_t seeds_dispatched = 0;
+    /// Tickets currently waiting for dispatch.
+    size_t queue_depth = 0;
+  };
+  AsyncStats stats() const;
+
+ private:
+  AsyncQueryEngine(QueryEngine engine,
+                   const AsyncQueryEngineOptions& options);
+
+  void SchedulerLoop();
+  /// One serving job: claims each ticket (skipping cancelled ones, expiring
+  /// past-deadline ones), serves cache hits and invalid seeds per slot, and
+  /// the remaining misses per seed or as one SpMM group.
+  void ServeChunk(
+      const std::vector<std::shared_ptr<internal_async::TicketState>>& chunk);
+  /// Marks `state` done with `result`'s current content and fires its
+  /// callback; bumps completed_ when `served` is true.
+  void Complete(internal_async::TicketState& state, bool served);
+
+  QueryEngine engine_;
+  AsyncQueryEngineOptions options_;
+  /// Tickets per dispatch: batch_block_size when the method batches
+  /// natively, else 1.
+  size_t chunk_limit_ = 1;
+  size_t max_inflight_ = 1;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // scheduler: work or shutdown
+  std::condition_variable space_cv_;  // blocked submitters: slot or shutdown
+  std::condition_variable idle_cv_;   // shutdown: in-flight jobs drained
+  std::deque<std::shared_ptr<internal_async::TicketState>> queue_;
+  size_t inflight_ = 0;
+  bool stopping_ = false;
+
+  std::mutex shutdown_mu_;  // serializes Shutdown callers
+  bool shutdown_done_ = false;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> groups_dispatched_{0};
+  std::atomic<uint64_t> seeds_dispatched_{0};
+
+  std::thread scheduler_;  // last member: joined by Shutdown before teardown
+};
+
+}  // namespace tpa
+
+#endif  // TPA_ENGINE_ASYNC_QUERY_ENGINE_H_

@@ -138,6 +138,11 @@ class QueryEngine {
   CacheStats cache_stats() const;
 
  private:
+  /// The async serving layer reuses this engine's private serving paths
+  /// (ServeInto / ServeGroup / TryServeFromCache) verbatim, which is what
+  /// keeps async results bitwise-identical to Query / QueryBatch.
+  friend class AsyncQueryEngine;
+
   QueryEngine(const Graph& graph, std::unique_ptr<RwrMethod> method,
               const QueryEngineOptions& options, int num_threads);
 

@@ -57,6 +57,11 @@ class TpaMethod final : public RwrMethod {
   /// Tpa::Query is const over immutable preprocessed state.
   bool SupportsConcurrentQuery() const override { return true; }
 
+  /// The wrapped core object (null before Preprocess) — lets tests observe
+  /// serving internals like the workspace pool through an engine that owns
+  /// the method.
+  const Tpa* tpa() const { return tpa_.has_value() ? &*tpa_ : nullptr; }
+
  private:
   TpaOptions options_;
   std::optional<Tpa> tpa_;

@@ -20,6 +20,8 @@ enum class StatusCode {
   kResourceExhausted = 5,
   kInternal = 6,
   kUnimplemented = 7,
+  kCancelled = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -71,6 +73,8 @@ Status FailedPreconditionError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
+Status CancelledError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 /// Union of a `Status` and a value of type `T`.
 ///

@@ -1,0 +1,129 @@
+/// Direct ResultCache coverage, including the async-serving concern: many
+/// threads hammering hit / miss / evict under byte-budget pressure must
+/// leave the stats and bounds exactly consistent.
+
+#include "engine/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/random.h"
+
+namespace tpa {
+namespace {
+
+ResultCache::Entry MakeEntry(NodeId seed, size_t size) {
+  // Every element carries the seed so a corrupt or cross-wired hit is
+  // detectable from any entry.
+  return std::make_shared<const std::vector<double>>(
+      size, static_cast<double>(seed));
+}
+
+TEST(ResultCacheTest, GetPromotesAndPutRefreshes) {
+  ResultCache cache(/*capacity=*/2);
+  cache.Put(1, MakeEntry(1, 4));
+  cache.Put(2, MakeEntry(2, 4));
+  ASSERT_NE(cache.Get(1), nullptr);  // promotes 1 over 2
+  cache.Put(3, MakeEntry(3, 4));     // evicts LRU seed 2
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Refreshing a key swaps the payload and adjusts the byte count.
+  cache.Put(1, MakeEntry(1, 10));
+  EXPECT_EQ(cache.bytes(), (10 + 4) * sizeof(double));
+  EXPECT_EQ((*cache.Get(1)).size(), 10u);
+}
+
+TEST(ResultCacheTest, OversizedEntryNeverPinsTheByteBudget) {
+  ResultCache cache(/*capacity=*/0, /*capacity_bytes=*/64 * sizeof(double));
+  cache.Put(1, MakeEntry(1, 100));  // larger than the whole budget
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  cache.Put(2, MakeEntry(2, 30));
+  cache.Put(3, MakeEntry(3, 30));
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Put(4, MakeEntry(4, 30));  // over budget → LRU seed 2 evicted
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_LE(cache.bytes(), 64 * sizeof(double));
+  EXPECT_EQ(cache.Get(2), nullptr);
+}
+
+TEST(ResultCacheTest, BothBoundsZeroCachesNothing) {
+  ResultCache cache(0, 0);
+  cache.Put(1, MakeEntry(1, 4));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+TEST(ResultCacheTest, ConcurrentStormKeepsStatsAndBoundsConsistent) {
+  // The async engine probes and fills this cache from every pool worker at
+  // once.  N threads × mixed key popularity × varied entry sizes under a
+  // byte budget small enough to force constant eviction: afterwards the
+  // stats must balance exactly (hits + misses == lookups), the bounds must
+  // hold, and every hit observed mid-storm must have carried the right
+  // payload.
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 3000;
+  constexpr NodeId kKeySpace = 64;
+  constexpr size_t kCapacity = 16;
+  const size_t byte_budget = 40 * 100 * sizeof(double) / 2;
+
+  ResultCache cache(kCapacity, byte_budget);
+  std::atomic<uint64_t> lookups{0};
+  std::atomic<uint64_t> observed_hits{0};
+  std::atomic<bool> corrupt{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      uint64_t local_lookups = 0;
+      for (int i = 0; i < kIterations; ++i) {
+        // Skewed popularity: half the traffic on an 8-key hot set, so the
+        // storm mixes steady hits with eviction churn.
+        const NodeId key = (rng.NextUint64() % 2 == 0)
+                               ? static_cast<NodeId>(rng.NextUint64() % 8)
+                               : static_cast<NodeId>(rng.NextUint64() %
+                                                     kKeySpace);
+        ResultCache::Entry entry = cache.Get(key);
+        ++local_lookups;
+        if (entry != nullptr) {
+          observed_hits.fetch_add(1, std::memory_order_relaxed);
+          if (entry->empty() ||
+              (*entry)[0] != static_cast<double>(key)) {
+            corrupt.store(true);
+          }
+        } else {
+          // Entry sizes vary with the key to stress the byte accounting.
+          cache.Put(key, MakeEntry(key, 40 + (key % 7) * 10));
+        }
+      }
+      lookups.fetch_add(local_lookups, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_FALSE(corrupt.load()) << "a hit returned the wrong payload";
+  EXPECT_EQ(lookups.load(), uint64_t{kThreads} * kIterations);
+  // The exact hit/miss split depends on interleaving, but the totals must
+  // balance and match what the clients observed.
+  EXPECT_EQ(cache.hits() + cache.misses(), lookups.load());
+  EXPECT_EQ(cache.hits(), observed_hits.load());
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+  EXPECT_LE(cache.size(), kCapacity);
+  EXPECT_LE(cache.bytes(), byte_budget);
+  EXPECT_GT(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace tpa

@@ -37,6 +37,8 @@ TEST(StatusTest, AllConstructorsMapToCodes) {
             StatusCode::kResourceExhausted);
   EXPECT_EQ(InternalError("m").code(), StatusCode::kInternal);
   EXPECT_EQ(UnimplementedError("m").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(CancelledError("m").code(), StatusCode::kCancelled);
+  EXPECT_EQ(DeadlineExceededError("m").code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusOrTest, HoldsValue) {
