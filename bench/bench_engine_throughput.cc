@@ -4,10 +4,14 @@
 /// group path (`batch_block_size`) against the per-seed fan-out baseline.
 ///
 ///   $ ./bench_engine_throughput [--scale N] [--edges M] [--queries Q]
-///                               [--json PATH]
+///                               [--json PATH] [--precision fp64|fp32]
 ///
 /// Defaults: scale 17 (131072 nodes), 1.5M edge draws, 64 distinct query
 /// seeds.  Also reports top-k extraction and warm-cache serving modes.
+/// `--precision fp32` materializes the graph (and therefore the whole
+/// serving stack — CSR values, CPI workspaces, cache entries) at the fp32
+/// tier; the default fp64 run additionally records one fp32 serving row so
+/// the tier comparison lands in the JSON of every run.
 /// `--json PATH` additionally emits the results machine-readable (e.g.
 /// BENCH_engine_throughput.json) so the perf trajectory is tracked across
 /// PRs.
@@ -30,6 +34,7 @@
 #include "engine/async_query_engine.h"
 #include "engine/query_engine.h"
 #include "graph/generators.h"
+#include "la/precision.h"
 #include "method/tpa_method.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
@@ -42,6 +47,7 @@ struct Args {
   uint64_t edges = 1'500'000;
   int queries = 64;
   std::string json_path;
+  std::string precision = "fp64";
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -55,6 +61,8 @@ Args ParseArgs(int argc, char** argv) {
       args.queries = std::atoi(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--json") == 0) {
       args.json_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--precision") == 0) {
+      args.precision = argv[i + 1];
     }
   }
   return args;
@@ -78,9 +86,9 @@ struct BenchRow {
   double rate_multiplier = 0.0;
 };
 
-void WriteJson(const std::string& path, const Args& args, uint32_t nodes,
-               uint64_t edges, double seq_qps,
-               const std::vector<BenchRow>& rows) {
+void WriteJson(const std::string& path, const Args& args,
+               la::Precision tier, uint32_t nodes, uint64_t edges,
+               double seq_qps, const std::vector<BenchRow>& rows) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -88,6 +96,7 @@ void WriteJson(const std::string& path, const Args& args, uint32_t nodes,
   }
   out << "{\n";
   out << "  \"benchmark\": \"engine_throughput\",\n";
+  out << "  \"precision\": \"" << la::PrecisionName(tier) << "\",\n";
   out << "  \"graph\": {\"scale\": " << args.scale << ", \"nodes\": " << nodes
       << ", \"edges\": " << edges << "},\n";
   out << "  \"queries\": " << args.queries << ",\n";
@@ -124,6 +133,13 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "--queries and --edges must be at least 1\n");
     return 1;
   }
+  if (args.precision != "fp64" && args.precision != "fp32") {
+    std::fprintf(stderr, "--precision must be fp64 or fp32\n");
+    return 1;
+  }
+  const la::Precision tier = args.precision == "fp32"
+                                 ? la::Precision::kFloat32
+                                 : la::Precision::kFloat64;
 
   RmatOptions rmat;
   rmat.scale = args.scale;
@@ -143,6 +159,13 @@ int Run(int argc, char** argv) {
               graph->num_nodes(),
               static_cast<unsigned long long>(graph->num_edges()),
               gen_watch.ElapsedSeconds());
+  if (tier == la::Precision::kFloat32) {
+    // The whole sweep below then runs the halved-footprint tier: fp32 CSR
+    // values, fp32 CPI workspaces, fp32 serving and cache entries.
+    *graph = RematerializeWithPrecision(*graph, tier);
+    std::printf("materialized fp32 values: CSR bytes %zu\n",
+                graph->SizeBytes());
+  }
 
   TpaOptions tpa_options;
   Stopwatch prep_watch;
@@ -157,11 +180,19 @@ int Run(int argc, char** argv) {
 
   const std::vector<NodeId> seeds = QuerySeeds(*graph, args.queries);
 
-  // Single-threaded sequential baseline: raw Tpa::Query in a loop.
+  // Single-threaded sequential baseline: the raw native-tier query in a
+  // loop (Tpa::Query at fp64, Tpa::QueryF at fp32 — no widening overhead).
   Stopwatch seq_watch;
-  for (NodeId seed : seeds) {
-    std::vector<double> scores = tpa->Query(seed);
-    if (scores.empty()) return 1;  // keep the loop un-elidable
+  if (tier == la::Precision::kFloat32) {
+    for (NodeId seed : seeds) {
+      std::vector<float> scores = tpa->QueryF(seed);
+      if (scores.empty()) return 1;  // keep the loop un-elidable
+    }
+  } else {
+    for (NodeId seed : seeds) {
+      std::vector<double> scores = tpa->Query(seed);
+      if (scores.empty()) return 1;  // keep the loop un-elidable
+    }
   }
   const double seq_seconds = seq_watch.ElapsedSeconds();
   const double seq_qps = seeds.size() / seq_seconds;
@@ -363,6 +394,53 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // Precision-tier serving rows: the same workload on the fp32-materialized
+  // twin graph — sequential native fp32 queries and the fp32 SpMM-group
+  // engine — so every default run records the tier comparison in its JSON
+  // (run with `--precision fp32` to put the whole sweep on the fp32 tier).
+  if (tier == la::Precision::kFloat64) {
+    Graph graph32 =
+        RematerializeWithPrecision(*graph, la::Precision::kFloat32);
+    auto tpa32 = Tpa::Preprocess(graph32, tpa_options);
+    if (!tpa32.ok()) {
+      std::fprintf(stderr, "fp32 preprocess failed: %s\n",
+                   tpa32.status().ToString().c_str());
+      return 1;
+    }
+    Stopwatch seq32_watch;
+    for (NodeId seed : seeds) {
+      std::vector<float> scores = tpa32->QueryF(seed);
+      if (scores.empty()) return 1;  // keep the loop un-elidable
+    }
+    add_row("sequential fp32 Tpa::QueryF", 1, seeds.size(),
+            seq32_watch.ElapsedSeconds(), seeds.size());
+
+    const int threads = static_cast<int>(std::max(
+        1u, std::min(hardware, static_cast<unsigned>(thread_counts.back()))));
+    QueryEngineOptions options32;
+    options32.num_threads = threads;
+    // The fp32 line width: 16 block-row values per 64-byte cache line, so
+    // each CSR traversal is shared across twice the seeds of the fp64
+    // groups at the same per-edge line traffic (what kAuto resolves for an
+    // LLC-exceeding fp32 graph).
+    options32.batch_block_size = 16;
+    auto engine32 = QueryEngine::Create(
+        graph32, std::make_unique<TpaMethod>(tpa_options), options32);
+    if (!engine32.ok()) return 1;
+    double best_seconds = 0.0;
+    size_t served = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch watch;
+      served = engine32->QueryBatch(seeds).size();
+      const double seconds = watch.ElapsedSeconds();
+      if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+    }
+    add_row("engine fp32 spmm groups", threads, seeds.size(), best_seconds,
+            served);
+    std::printf("fp32 serving: %.2fx over fp64 sequential\n",
+                (served / best_seconds) / seq_qps);
+  }
+
   // Top-k extraction instead of dense vectors.
   {
     QueryEngineOptions options;
@@ -401,8 +479,8 @@ int Run(int argc, char** argv) {
   std::printf("\n");
   table.PrintText(std::cout);
   if (!args.json_path.empty()) {
-    WriteJson(args.json_path, args, graph->num_nodes(), graph->num_edges(),
-              seq_qps, rows);
+    WriteJson(args.json_path, args, tier, graph->num_nodes(),
+              graph->num_edges(), seq_qps, rows);
   }
   return 0;
 }

@@ -12,6 +12,11 @@
 /// frontier density, the time of SpMvTransposeFrontier / SpMmTransposeFrontier
 /// against their dense counterparts, plus the measured crossover density —
 /// the data behind CpiOptions::frontier_density_threshold's default.
+///
+/// The same JSON run also records the fp32-vs-fp64 precision sweep: dense
+/// SpMv / SpMvTranspose / width-8 SpMmTranspose timed at both value tiers
+/// over a ladder of graph sizes ending at the (cache-exceeding) sweep size —
+/// the data behind the "Precision tiers" guidance in the README.
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +25,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -221,6 +227,129 @@ double TimeMs(Op&& op) {
   return best;
 }
 
+// -------------------------------------------------------- precision sweep
+
+struct PrecisionRow {
+  uint32_t scale = 0;
+  uint32_t nodes = 0;
+  uint64_t edges = 0;
+  size_t csr_bytes_fp64 = 0;
+  size_t csr_bytes_fp32 = 0;
+  double spmv_fp64_ms = 0.0;
+  double spmv_fp32_ms = 0.0;
+  double spmvt_fp64_ms = 0.0;
+  double spmvt_fp32_ms = 0.0;
+  double spmm8_fp64_ms = 0.0;
+  double spmm8_fp32_ms = 0.0;
+  double spmm16_fp64_ms = 0.0;
+  double spmm16_fp32_ms = 0.0;
+};
+
+/// Times the dense kernels at both value tiers on one graph pair.  Dense
+/// uniform operands: every edge is touched, so the measurement isolates the
+/// bytes-per-edge difference the tiers exist for.  The block scatter is
+/// timed at width 8 (the fp64 line width — one fp64 block row per 64-byte
+/// cache line) and width 16 (the fp32 line width): the scatter's per-edge
+/// cost is one destination-line RMW at either tier, so the equal-width
+/// ratios understate fp32 and the width-16 ratio is the serving-relevant
+/// one — it is the group size the engine's kAuto dispatches at the fp32
+/// tier.
+template <typename V>
+void TimePrecisionKernels(const la::CsrMatrixT<V>& csr, double& spmv_ms,
+                          double& spmvt_ms, double& spmm8_ms,
+                          double& spmm16_ms) {
+  const uint32_t n = csr.rows();
+  std::vector<V> x(n, static_cast<V>(1.0 / static_cast<double>(n)));
+  std::vector<V> y;
+  spmv_ms = TimeMs([&] { csr.SpMv(x, y); });
+  spmvt_ms = TimeMs([&] { csr.SpMvTranspose(x, y); });
+  for (size_t width : {size_t{8}, size_t{16}}) {
+    la::DenseBlockT<V> bx(n, width);
+    for (uint32_t r = 0; r < n; ++r) {
+      V* row = bx.RowPtr(r);
+      for (size_t b = 0; b < width; ++b) row[b] = x[r];
+    }
+    la::DenseBlockT<V> by;
+    (width == 8 ? spmm8_ms : spmm16_ms) =
+        TimeMs([&] { csr.SpMmTranspose(bx, by); });
+  }
+}
+
+/// fp32-vs-fp64 over a size ladder ending at the sweep size; the largest
+/// graph's CSR exceeds the LLC of every host this repository targets, which
+/// is where the halved value bytes turn into wall-clock.  `full_graph` is
+/// the crossover sweep's already-generated graph, reused for the
+/// full-scale row instead of paying a second R-MAT draw.
+std::vector<PrecisionRow> RunPrecisionSweep(const SweepArgs& args,
+                                            const Graph& full_graph) {
+  std::vector<PrecisionRow> rows;
+  for (uint32_t scale_back : {4u, 2u, 0u}) {
+    if (scale_back >= args.scale) continue;
+    PrecisionRow row;
+    row.scale = args.scale - scale_back;
+    std::optional<Graph> generated;
+    const Graph* graph = &full_graph;
+    if (scale_back > 0) {
+      RmatOptions rmat;
+      rmat.scale = row.scale;
+      rmat.edges = args.edges >> scale_back;  // constant average degree
+      rmat.seed = 42;
+      auto smaller = GenerateRmat(rmat);
+      TPA_CHECK(smaller.ok());
+      generated.emplace(std::move(smaller).value());
+      graph = &*generated;
+    }
+    Graph graph32 = RematerializeWithPrecision(*graph, la::Precision::kFloat32);
+    row.nodes = graph->num_nodes();
+    row.edges = graph->num_edges();
+    row.csr_bytes_fp64 = graph->SizeBytes();
+    row.csr_bytes_fp32 = graph32.SizeBytes();
+    TimePrecisionKernels(graph->Transition(), row.spmv_fp64_ms,
+                         row.spmvt_fp64_ms, row.spmm8_fp64_ms,
+                         row.spmm16_fp64_ms);
+    TimePrecisionKernels(graph32.TransitionF(), row.spmv_fp32_ms,
+                         row.spmvt_fp32_ms, row.spmm8_fp32_ms,
+                         row.spmm16_fp32_ms);
+    std::printf(
+        "precision scale %2u (%7u nodes, %8llu edges): "
+        "spmv %.3f/%.3f ms (%.2fx)  spmvt %.3f/%.3f ms (%.2fx)  "
+        "spmm8 %.3f/%.3f ms (%.2fx)  spmm16 %.3f/%.3f ms (%.2fx)\n",
+        row.scale, row.nodes, static_cast<unsigned long long>(row.edges),
+        row.spmv_fp64_ms, row.spmv_fp32_ms, row.spmv_fp64_ms / row.spmv_fp32_ms,
+        row.spmvt_fp64_ms, row.spmvt_fp32_ms,
+        row.spmvt_fp64_ms / row.spmvt_fp32_ms, row.spmm8_fp64_ms,
+        row.spmm8_fp32_ms, row.spmm8_fp64_ms / row.spmm8_fp32_ms,
+        row.spmm16_fp64_ms, row.spmm16_fp32_ms,
+        row.spmm16_fp64_ms / row.spmm16_fp32_ms);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void AppendPrecisionJson(std::ofstream& out,
+                         const std::vector<PrecisionRow>& rows) {
+  out << "  \"precision_rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PrecisionRow& row = rows[i];
+    out << "    {\"scale\": " << row.scale << ", \"nodes\": " << row.nodes
+        << ", \"edges\": " << row.edges
+        << ", \"csr_bytes_fp64\": " << row.csr_bytes_fp64
+        << ", \"csr_bytes_fp32\": " << row.csr_bytes_fp32
+        << ", \"spmv_fp64_ms\": " << row.spmv_fp64_ms
+        << ", \"spmv_fp32_ms\": " << row.spmv_fp32_ms
+        << ", \"spmvt_fp64_ms\": " << row.spmvt_fp64_ms
+        << ", \"spmvt_fp32_ms\": " << row.spmvt_fp32_ms
+        << ", \"spmm8_fp64_ms\": " << row.spmm8_fp64_ms
+        << ", \"spmm8_fp32_ms\": " << row.spmm8_fp32_ms
+        << ", \"spmm16_fp64_ms\": " << row.spmm16_fp64_ms
+        << ", \"spmm16_fp32_ms\": " << row.spmm16_fp32_ms
+        << ", \"spmm16_fp32_speedup\": "
+        << row.spmm16_fp64_ms / row.spmm16_fp32_ms << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+}
+
 /// The sparse-vs-dense crossover: one scatter at a synthetic frontier of f
 /// rows (deterministically spread over the id space), timed for the scalar
 /// and the width-8 block kernel against their dense counterparts.  The
@@ -310,6 +439,9 @@ int RunCrossoverSweep(const SweepArgs& args) {
   std::printf("crossover density: spmv %.4f, spmm %.4f\n", spmv_crossover,
               spmm_crossover);
 
+  const std::vector<PrecisionRow> precision_rows =
+      RunPrecisionSweep(args, *graph);
+
   std::ofstream out(args.json_path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
@@ -333,7 +465,8 @@ int RunCrossoverSweep(const SweepArgs& args) {
         << ", \"spmm_dense_ms\": " << row.spmm_dense_ms << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ]\n";
+  out << "  ],\n";
+  AppendPrecisionJson(out, precision_rows);
   out << "}\n";
   std::printf("wrote %s\n", args.json_path.c_str());
   return 0;

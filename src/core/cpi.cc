@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 #include "la/vector_ops.h"
 #include "util/check.h"
@@ -33,12 +34,48 @@ Status ValidateOptions(const CpiOptions& options) {
   return OkStatus();
 }
 
-void Propagate(const Graph& graph, bool use_pull, double decay,
-               const std::vector<double>& x, std::vector<double>& y) {
-  if (use_pull) {
-    graph.MultiplyTransposePull(x, y);
+/// Scalar and blocked interim buffers of the workspace at tier V — the
+/// other tier's buffers are never touched by a V-run.
+template <typename V>
+std::vector<V>& WsX(Cpi::Workspace& ws) {
+  if constexpr (std::is_same_v<V, double>) {
+    return ws.x;
   } else {
-    graph.MultiplyTranspose(x, y);
+    return ws.x_f;
+  }
+}
+template <typename V>
+std::vector<V>& WsNext(Cpi::Workspace& ws) {
+  if constexpr (std::is_same_v<V, double>) {
+    return ws.next;
+  } else {
+    return ws.next_f;
+  }
+}
+template <typename V>
+la::DenseBlockT<V>& WsBlockX(Cpi::Workspace& ws) {
+  if constexpr (std::is_same_v<V, double>) {
+    return ws.block_x;
+  } else {
+    return ws.block_x_f;
+  }
+}
+template <typename V>
+la::DenseBlockT<V>& WsBlockNext(Cpi::Workspace& ws) {
+  if constexpr (std::is_same_v<V, double>) {
+    return ws.block_next;
+  } else {
+    return ws.block_next_f;
+  }
+}
+
+template <typename V>
+void Propagate(const Graph& graph, bool use_pull, double decay,
+               const std::vector<V>& x, std::vector<V>& y) {
+  if (use_pull) {
+    graph.MultiplyTransposePullT<V>(x, y);
+  } else {
+    graph.MultiplyTransposeT<V>(x, y);
   }
   la::Scale(decay, y);
 }
@@ -47,17 +84,20 @@ void Propagate(const Graph& graph, bool use_pull, double decay,
 /// frontier (a sorted superset of x's support): x ·= decay, scores += x,
 /// returns ‖x‖₁.  Entries off the frontier are exactly +0.0, and adding or
 /// scaling +0.0 is a bitwise no-op, so this reproduces the dense
-/// Scale → Axpy → NormL1 sequence exactly.  `scores` may be null (window
-/// outside [s_iter, t_iter]).
+/// Scale → Axpy → NormL1 sequence exactly — at either tier: the product is
+/// taken in fp64, rounded once to V on store, and the accumulation and norm
+/// read the stored (rounded) value just like the dense passes would.
+/// `scores` may be null (window outside [s_iter, t_iter]).
+template <typename V>
 double ScaleAccumulateAndNormFrontier(double decay,
                                       std::span<const NodeId> frontier,
-                                      std::vector<double>& x, double* scores) {
+                                      std::vector<V>& x, V* scores) {
   double norm = 0.0;
   for (NodeId i : frontier) {
-    const double v = x[i] * decay;
+    const V v = static_cast<V>(static_cast<double>(x[i]) * decay);
     x[i] = v;
-    if (scores != nullptr) scores[i] += v;
-    norm += std::abs(v);
+    if (scores != nullptr) scores[i] += static_cast<double>(v);
+    norm += std::abs(static_cast<double>(v));
   }
   return norm;
 }
@@ -71,23 +111,26 @@ double ScaleAccumulateAndNormFrontier(double decay,
 /// order.  A frozen vector keeps propagating through the shared SpMM
 /// (cheaper than compacting the block) but stops accumulating, exactly
 /// like its scalar loop breaking.
+template <typename V>
 std::vector<double> ScaleAccumulateAndNorms(double decay, bool accumulate,
                                             const std::vector<char>& active,
                                             size_t remaining,
-                                            la::DenseBlock& x,
-                                            la::DenseBlock& acc) {
+                                            la::DenseBlockT<V>& x,
+                                            la::DenseBlockT<V>& acc) {
   const size_t num_vectors = x.num_vectors();
   std::vector<double> norms(num_vectors, 0.0);
   const bool all_active = remaining == num_vectors;
   double* norms_data = norms.data();
   for (size_t r = 0; r < x.rows(); ++r) {
-    double* __restrict xr = x.RowPtr(r);
-    double* __restrict ar = acc.RowPtr(r);
+    V* __restrict xr = x.RowPtr(r);
+    V* __restrict ar = acc.RowPtr(r);
     for (size_t b = 0; b < num_vectors; ++b) {
-      const double v = xr[b] * decay;
+      const V v = static_cast<V>(static_cast<double>(xr[b]) * decay);
       xr[b] = v;
-      if (accumulate && (all_active || active[b])) ar[b] += v;
-      norms_data[b] += std::abs(v);
+      if (accumulate && (all_active || active[b])) {
+        ar[b] += static_cast<double>(v);
+      }
+      norms_data[b] += std::abs(static_cast<double>(v));
     }
   }
   return norms;
@@ -100,22 +143,25 @@ std::vector<double> ScaleAccumulateAndNorms(double decay, bool accumulate,
 /// full sweep.  With decay == 1.0 this doubles as the x(0) accumulation
 /// pass (v = x·1.0 is bitwise x for the NaN/Inf/−0.0-free inputs the
 /// kernels already assume).
+template <typename V>
 std::vector<double> ScaleAccumulateAndNormsFrontier(
     double decay, bool accumulate, const std::vector<char>& active,
-    size_t remaining, std::span<const NodeId> frontier, la::DenseBlock& x,
-    la::DenseBlock& acc) {
+    size_t remaining, std::span<const NodeId> frontier, la::DenseBlockT<V>& x,
+    la::DenseBlockT<V>& acc) {
   const size_t num_vectors = x.num_vectors();
   std::vector<double> norms(num_vectors, 0.0);
   const bool all_active = remaining == num_vectors;
   double* norms_data = norms.data();
   for (NodeId r : frontier) {
-    double* __restrict xr = x.RowPtr(r);
-    double* __restrict ar = acc.RowPtr(r);
+    V* __restrict xr = x.RowPtr(r);
+    V* __restrict ar = acc.RowPtr(r);
     for (size_t b = 0; b < num_vectors; ++b) {
-      const double v = xr[b] * decay;
+      const V v = static_cast<V>(static_cast<double>(xr[b]) * decay);
       xr[b] = v;
-      if (accumulate && (all_active || active[b])) ar[b] += v;
-      norms_data[b] += std::abs(v);
+      if (accumulate && (all_active || active[b])) {
+        ar[b] += static_cast<double>(v);
+      }
+      norms_data[b] += std::abs(static_cast<double>(v));
     }
   }
   return norms;
@@ -143,48 +189,53 @@ bool SparseHeadEnabled(const CpiOptions& options) {
 /// Scans x for its support and leaves it, sorted, in `frontier`.  Bails out
 /// (returns false) once the support exceeds the density limit — the run
 /// starts dense and no frontier is needed.
-bool ScanInitialFrontier(const std::vector<double>& x, double limit,
+template <typename V>
+bool ScanInitialFrontier(const std::vector<V>& x, double limit,
                          std::vector<NodeId>& frontier) {
   frontier.clear();
   for (NodeId i = 0; i < x.size(); ++i) {
-    if (x[i] == 0.0) continue;
+    if (x[i] == V{0}) continue;
     frontier.push_back(i);
     if (static_cast<double>(frontier.size()) > limit) return false;
   }
   return true;
 }
 
-/// Shared scalar CPI loop.  Preconditions: options validated; ws.x holds
-/// x(0) = c·q; when frontier_ready, ws.frontier holds x(0)'s support sorted
-/// ascending (callers with explicit seed lists skip the O(n) support scan).
-Cpi::Result RunScalarLoop(const Graph& graph, const CpiOptions& options,
-                          Cpi::Workspace& ws, bool frontier_ready) {
+/// Shared scalar CPI loop.  Preconditions: options validated; the tier-V
+/// interim buffer holds x(0) = c·q; when frontier_ready, ws.frontier holds
+/// x(0)'s support sorted ascending (callers with explicit seed lists skip
+/// the O(n) support scan).
+template <typename V>
+Cpi::ResultT<V> RunScalarLoop(const Graph& graph, const CpiOptions& options,
+                              Cpi::Workspace& ws, bool frontier_ready) {
   const NodeId n = graph.num_nodes();
   const double decay = 1.0 - options.restart_probability;
   const double limit =
       options.frontier_density_threshold * static_cast<double>(n);
+  std::vector<V>& x = WsX<V>(ws);
+  std::vector<V>& next = WsNext<V>(ws);
 
-  Cpi::Result result;
-  result.scores.assign(n, 0.0);
+  Cpi::ResultT<V> result;
+  result.scores.assign(n, V{0});
 
   bool sparse = SparseHeadEnabled(options);
   if (sparse && !frontier_ready) {
-    sparse = ScanInitialFrontier(ws.x, limit, ws.frontier);
+    sparse = ScanInitialFrontier(x, limit, ws.frontier);
   }
   if (sparse && static_cast<double>(ws.frontier.size()) > limit) {
     sparse = false;
   }
-  ws.next.assign(n, 0.0);
+  next.assign(n, V{0});
   ws.next_frontier.clear();  // the recycled buffer starts fully zeroed
 
   // x(0) accumulation + interim norm.
   if (sparse) {
-    result.last_interim_norm = ScaleAccumulateAndNormFrontier(
-        1.0, ws.frontier, ws.x,
+    result.last_interim_norm = ScaleAccumulateAndNormFrontier<V>(
+        1.0, ws.frontier, x,
         options.start_iteration == 0 ? result.scores.data() : nullptr);
   } else {
-    if (options.start_iteration == 0) la::Axpy(1.0, ws.x, result.scores);
-    result.last_interim_norm = la::NormL1(ws.x);
+    if (options.start_iteration == 0) la::Axpy(1.0, x, result.scores);
+    result.last_interim_norm = la::NormL1(x);
   }
   if (result.last_interim_norm < options.tolerance) {
     result.converged = true;
@@ -195,31 +246,31 @@ Cpi::Result RunScalarLoop(const Graph& graph, const CpiOptions& options,
     if (sparse) {
       // Re-zero the stale support of the recycled buffer (the interim
       // vector from two iterations ago), then scatter from the frontier.
-      for (NodeId j : ws.next_frontier) ws.next[j] = 0.0;
-      const bool stayed = graph.Transition().SpMvTransposeFrontier(
-          ws.x, ws.frontier, options.frontier_density_threshold, ws.next,
+      for (NodeId j : ws.next_frontier) next[j] = V{0};
+      const bool stayed = graph.TransitionT<V>().SpMvTransposeFrontier(
+          x, ws.frontier, options.frontier_density_threshold, next,
           ws.next_frontier, ws.scratch);
-      ws.x.swap(ws.next);
+      x.swap(next);
       result.last_iteration = i;
       if (stayed) {
         ws.frontier.swap(ws.next_frontier);
-        result.last_interim_norm = ScaleAccumulateAndNormFrontier(
-            decay, ws.frontier, ws.x,
+        result.last_interim_norm = ScaleAccumulateAndNormFrontier<V>(
+            decay, ws.frontier, x,
             i >= options.start_iteration ? result.scores.data() : nullptr);
       } else {
         // The kernel fell through to the dense scatter; finish this
         // iteration with the dense post-passes and stay dense.
         sparse = false;
-        la::Scale(decay, ws.x);
-        if (i >= options.start_iteration) la::Axpy(1.0, ws.x, result.scores);
-        result.last_interim_norm = la::NormL1(ws.x);
+        la::Scale(decay, x);
+        if (i >= options.start_iteration) la::Axpy(1.0, x, result.scores);
+        result.last_interim_norm = la::NormL1(x);
       }
     } else {
-      Propagate(graph, options.use_pull, decay, ws.x, ws.next);
-      ws.x.swap(ws.next);
+      Propagate(graph, options.use_pull, decay, x, next);
+      x.swap(next);
       result.last_iteration = i;
-      if (i >= options.start_iteration) la::Axpy(1.0, ws.x, result.scores);
-      result.last_interim_norm = la::NormL1(ws.x);
+      if (i >= options.start_iteration) la::Axpy(1.0, x, result.scores);
+      result.last_interim_norm = la::NormL1(x);
     }
     if (result.last_interim_norm < options.tolerance) {
       result.converged = true;
@@ -247,10 +298,11 @@ int CpiIterationCount(double restart_probability, double tolerance) {
       std::ceil(std::log(tolerance / c) / std::log(1.0 - c)));
 }
 
-StatusOr<Cpi::Result> Cpi::Run(const Graph& graph,
-                               const std::vector<NodeId>& seeds,
-                               const CpiOptions& options,
-                               Workspace* workspace) {
+template <typename V>
+StatusOr<Cpi::ResultT<V>> Cpi::RunT(const Graph& graph,
+                                    const std::vector<NodeId>& seeds,
+                                    const CpiOptions& options,
+                                    Workspace* workspace) {
   TPA_RETURN_IF_ERROR(ValidateOptions(options));
   if (seeds.empty()) return InvalidArgumentError("seed set must be non-empty");
   for (NodeId s : seeds) {
@@ -260,44 +312,48 @@ StatusOr<Cpi::Result> Cpi::Run(const Graph& graph,
   }
   Workspace local;
   Workspace& ws = workspace != nullptr ? *workspace : local;
+  std::vector<V>& x = WsX<V>(ws);
 
   // x(0) = c·q built directly in the workspace: q[s] += share per seed,
   // then the support scaled by c — bitwise-identical to materializing q and
   // Scale(c, ·) over all n (off-support entries are exact +0.0 and 0·c is a
   // bitwise no-op), without the extra n-length vector.
-  ws.x.assign(graph.num_nodes(), 0.0);
+  x.assign(graph.num_nodes(), V{0});
   const double share = 1.0 / static_cast<double>(seeds.size());
-  for (NodeId s : seeds) ws.x[s] += share;
+  for (NodeId s : seeds) x[s] += share;
 
   ws.frontier.assign(seeds.begin(), seeds.end());
   std::sort(ws.frontier.begin(), ws.frontier.end());
   ws.frontier.erase(std::unique(ws.frontier.begin(), ws.frontier.end()),
                     ws.frontier.end());
   const double c = options.restart_probability;
-  for (NodeId i : ws.frontier) ws.x[i] *= c;
+  for (NodeId i : ws.frontier) x[i] *= c;
 
-  return RunScalarLoop(graph, options, ws, /*frontier_ready=*/true);
+  return RunScalarLoop<V>(graph, options, ws, /*frontier_ready=*/true);
 }
 
-StatusOr<Cpi::Result> Cpi::RunWithSeedVector(const Graph& graph,
-                                             const std::vector<double>& q,
-                                             const CpiOptions& options,
-                                             Workspace* workspace) {
+template <typename V>
+StatusOr<Cpi::ResultT<V>> Cpi::RunWithSeedVectorT(const Graph& graph,
+                                                  const std::vector<V>& q,
+                                                  const CpiOptions& options,
+                                                  Workspace* workspace) {
   TPA_RETURN_IF_ERROR(ValidateOptions(options));
   if (q.size() != graph.num_nodes()) {
     return InvalidArgumentError("seed vector size must equal node count");
   }
   Workspace local;
   Workspace& ws = workspace != nullptr ? *workspace : local;
-  ws.x.assign(q.begin(), q.end());
-  la::Scale(options.restart_probability, ws.x);
-  return RunScalarLoop(graph, options, ws, /*frontier_ready=*/false);
+  std::vector<V>& x = WsX<V>(ws);
+  x.assign(q.begin(), q.end());
+  la::Scale(options.restart_probability, x);
+  return RunScalarLoop<V>(graph, options, ws, /*frontier_ready=*/false);
 }
 
-StatusOr<la::DenseBlock> Cpi::RunBatch(const Graph& graph,
-                                       std::span<const NodeId> seeds,
-                                       const CpiOptions& options,
-                                       Workspace* workspace) {
+template <typename V>
+StatusOr<la::DenseBlockT<V>> Cpi::RunBatchT(const Graph& graph,
+                                            std::span<const NodeId> seeds,
+                                            const CpiOptions& options,
+                                            Workspace* workspace) {
   TPA_RETURN_IF_ERROR(ValidateOptions(options));
   if (seeds.empty()) {
     return InvalidArgumentError("seed batch must be non-empty");
@@ -319,13 +375,15 @@ StatusOr<la::DenseBlock> Cpi::RunBatch(const Graph& graph,
 
   // x(0) = c·e_s per vector; 1.0·c == c bitwise, matching the scalar path's
   // q[s] = 1.0 followed by Scale(c, ·).
-  la::DenseBlock& x = ws.block_x;
-  la::DenseBlock& next = ws.block_next;
+  la::DenseBlockT<V>& x = WsBlockX<V>(ws);
+  la::DenseBlockT<V>& next = WsBlockNext<V>(ws);
   x.Resize(n, num_vectors);
   x.SetZero();
-  for (size_t b = 0; b < num_vectors; ++b) x.At(seeds[b], b) = c;
+  for (size_t b = 0; b < num_vectors; ++b) {
+    x.At(seeds[b], b) = static_cast<V>(c);
+  }
 
-  la::DenseBlock acc(n, num_vectors);
+  la::DenseBlockT<V> acc(n, num_vectors);
   std::vector<char> active(num_vectors, 1);
   size_t remaining = num_vectors;
 
@@ -345,9 +403,9 @@ StatusOr<la::DenseBlock> Cpi::RunBatch(const Graph& graph,
 
   if (sparse) {
     remaining = FreezeConverged(
-        ScaleAccumulateAndNormsFrontier(1.0, options.start_iteration == 0,
-                                        active, remaining, ws.frontier, x,
-                                        acc),
+        ScaleAccumulateAndNormsFrontier<V>(1.0, options.start_iteration == 0,
+                                           active, remaining, ws.frontier, x,
+                                           acc),
         options.tolerance, active, remaining);
   } else {
     if (options.start_iteration == 0) la::BlockAxpy(1.0, x, acc);
@@ -364,43 +422,43 @@ StatusOr<la::DenseBlock> Cpi::RunBatch(const Graph& graph,
       sparse = false;
     }
     if (options.use_pull) {
-      graph.MultiplyTransposePullBlock(x, next);
+      graph.MultiplyTransposePullBlockT<V>(x, next);
     } else if (sparse) {
       // Re-zero the stale support of the recycled buffer (the interim
       // block from two iterations ago), then scatter from the frontier.
       for (NodeId j : ws.next_frontier) {
-        double* row = next.RowPtr(j);
-        std::fill(row, row + num_vectors, 0.0);
+        V* row = next.RowPtr(j);
+        std::fill(row, row + num_vectors, V{0});
       }
-      const bool stayed = graph.Transition().SpMmTransposeFrontier(
+      const bool stayed = graph.TransitionT<V>().SpMmTransposeFrontier(
           x, ws.frontier, options.frontier_density_threshold, next,
           ws.next_frontier, ws.scratch);
       TPA_DCHECK(stayed);  // the pre-check above mirrors the kernel's
       (void)stayed;
     } else if (runner != nullptr) {
-      graph.MultiplyTransposeBlockParallel(x, next, *runner);
+      graph.MultiplyTransposeBlockParallelT<V>(x, next, *runner);
     } else {
-      graph.MultiplyTransposeBlock(x, next);
+      graph.MultiplyTransposeBlockT<V>(x, next);
     }
     x.swap(next);
     std::vector<double> norms;
     if (sparse) {
       ws.frontier.swap(ws.next_frontier);
-      norms = ScaleAccumulateAndNormsFrontier(decay,
-                                              i >= options.start_iteration,
-                                              active, remaining, ws.frontier,
-                                              x, acc);
+      norms = ScaleAccumulateAndNormsFrontier<V>(
+          decay, i >= options.start_iteration, active, remaining, ws.frontier,
+          x, acc);
     } else {
-      norms = ScaleAccumulateAndNorms(decay, i >= options.start_iteration,
-                                      active, remaining, x, acc);
+      norms = ScaleAccumulateAndNorms<V>(decay, i >= options.start_iteration,
+                                         active, remaining, x, acc);
     }
     remaining = FreezeConverged(norms, options.tolerance, active, remaining);
   }
   return acc;
 }
 
-StatusOr<std::vector<std::vector<double>>> Cpi::RunWindowed(
-    const Graph& graph, const std::vector<double>& q,
+template <typename V>
+StatusOr<std::vector<std::vector<V>>> Cpi::RunWindowedT(
+    const Graph& graph, const std::vector<V>& q,
     const std::vector<int>& breakpoints, const CpiOptions& options,
     Workspace* workspace) {
   TPA_RETURN_IF_ERROR(ValidateCpiParameters(options.restart_probability,
@@ -420,6 +478,8 @@ StatusOr<std::vector<std::vector<double>>> Cpi::RunWindowed(
   }
   Workspace local;
   Workspace& ws = workspace != nullptr ? *workspace : local;
+  std::vector<V>& x = WsX<V>(ws);
+  std::vector<V>& next = WsNext<V>(ws);
 
   const NodeId n = graph.num_nodes();
   const double c = options.restart_probability;
@@ -428,52 +488,52 @@ StatusOr<std::vector<std::vector<double>>> Cpi::RunWindowed(
       options.frontier_density_threshold * static_cast<double>(n);
   const size_t num_windows = breakpoints.size();
 
-  std::vector<std::vector<double>> windows(
-      num_windows, std::vector<double>(n, 0.0));
+  std::vector<std::vector<V>> windows(num_windows,
+                                      std::vector<V>(n, V{0}));
   auto window_of = [&breakpoints, num_windows](int i) {
     size_t w = num_windows - 1;
     while (w > 0 && i < breakpoints[w]) --w;
     return w;
   };
 
-  ws.x.assign(q.begin(), q.end());
-  la::Scale(c, ws.x);
+  x.assign(q.begin(), q.end());
+  la::Scale(c, x);
   bool sparse = SparseHeadEnabled(options) &&
-                ScanInitialFrontier(ws.x, limit, ws.frontier);
-  ws.next.assign(n, 0.0);
+                ScanInitialFrontier(x, limit, ws.frontier);
+  next.assign(n, V{0});
   ws.next_frontier.clear();
 
   double norm;
   if (sparse) {
-    norm = ScaleAccumulateAndNormFrontier(1.0, ws.frontier, ws.x,
-                                          windows[window_of(0)].data());
+    norm = ScaleAccumulateAndNormFrontier<V>(1.0, ws.frontier, x,
+                                             windows[window_of(0)].data());
   } else {
-    la::Axpy(1.0, ws.x, windows[window_of(0)]);
-    norm = la::NormL1(ws.x);
+    la::Axpy(1.0, x, windows[window_of(0)]);
+    norm = la::NormL1(x);
   }
 
   for (int i = 1;; ++i) {
     if (norm < options.tolerance) break;
     if (sparse) {
-      for (NodeId j : ws.next_frontier) ws.next[j] = 0.0;
-      const bool stayed = graph.Transition().SpMvTransposeFrontier(
-          ws.x, ws.frontier, options.frontier_density_threshold, ws.next,
+      for (NodeId j : ws.next_frontier) next[j] = V{0};
+      const bool stayed = graph.TransitionT<V>().SpMvTransposeFrontier(
+          x, ws.frontier, options.frontier_density_threshold, next,
           ws.next_frontier, ws.scratch);
-      ws.x.swap(ws.next);
+      x.swap(next);
       if (stayed) {
         ws.frontier.swap(ws.next_frontier);
-        norm = ScaleAccumulateAndNormFrontier(decay, ws.frontier, ws.x,
-                                              windows[window_of(i)].data());
+        norm = ScaleAccumulateAndNormFrontier<V>(decay, ws.frontier, x,
+                                                 windows[window_of(i)].data());
         continue;
       }
       sparse = false;
-      la::Scale(decay, ws.x);
+      la::Scale(decay, x);
     } else {
-      Propagate(graph, options.use_pull, decay, ws.x, ws.next);
-      ws.x.swap(ws.next);
+      Propagate(graph, options.use_pull, decay, x, next);
+      x.swap(next);
     }
-    la::Axpy(1.0, ws.x, windows[window_of(i)]);
-    norm = la::NormL1(ws.x);
+    la::Axpy(1.0, x, windows[window_of(i)]);
+    norm = la::NormL1(x);
   }
   return windows;
 }
@@ -491,5 +551,24 @@ StatusOr<std::vector<double>> Cpi::ExactRwr(const Graph& graph, NodeId seed,
   TPA_ASSIGN_OR_RETURN(Result result, Run(graph, {seed}, options));
   return std::move(result.scores);
 }
+
+template StatusOr<Cpi::ResultT<double>> Cpi::RunT<double>(
+    const Graph&, const std::vector<NodeId>&, const CpiOptions&, Workspace*);
+template StatusOr<Cpi::ResultT<float>> Cpi::RunT<float>(
+    const Graph&, const std::vector<NodeId>&, const CpiOptions&, Workspace*);
+template StatusOr<Cpi::ResultT<double>> Cpi::RunWithSeedVectorT<double>(
+    const Graph&, const std::vector<double>&, const CpiOptions&, Workspace*);
+template StatusOr<Cpi::ResultT<float>> Cpi::RunWithSeedVectorT<float>(
+    const Graph&, const std::vector<float>&, const CpiOptions&, Workspace*);
+template StatusOr<la::DenseBlockT<double>> Cpi::RunBatchT<double>(
+    const Graph&, std::span<const NodeId>, const CpiOptions&, Workspace*);
+template StatusOr<la::DenseBlockT<float>> Cpi::RunBatchT<float>(
+    const Graph&, std::span<const NodeId>, const CpiOptions&, Workspace*);
+template StatusOr<std::vector<std::vector<double>>> Cpi::RunWindowedT<double>(
+    const Graph&, const std::vector<double>&, const std::vector<int>&,
+    const CpiOptions&, Workspace*);
+template StatusOr<std::vector<std::vector<float>>> Cpi::RunWindowedT<float>(
+    const Graph&, const std::vector<float>&, const std::vector<int>&,
+    const CpiOptions&, Workspace*);
 
 }  // namespace tpa

@@ -8,6 +8,7 @@
 #include "graph/graph.h"
 #include "la/csr_matrix.h"
 #include "la/dense_block.h"
+#include "la/precision.h"
 #include "la/task_runner.h"
 #include "util/status.h"
 
@@ -52,11 +53,20 @@ struct CpiOptions {
 /// vector it computes PageRank; with a multi-node seed set, personalized
 /// PageRank.  TPA composes three windowed CPI runs (family / neighbor /
 /// stranger parts).
+///
+/// Every entry point is templated over the storage precision tier V of the
+/// interim vectors and scores (the T-suffixed variants); it must match the
+/// graph's value tier (Graph::value_precision, CHECK-enforced by the CSR
+/// accessors).  The V = double instantiations — reachable through the
+/// historical non-suffixed names — are bitwise-identical to the
+/// pre-precision-tier implementation; V = float runs the whole loop on
+/// fp32 storage with fp64 inner-loop arithmetic (see CsrMatrixT).
 class Cpi {
  public:
-  struct Result {
+  template <typename V>
+  struct ResultT {
     /// The accumulated window sum Σ x(i).
-    std::vector<double> scores;
+    std::vector<V> scores;
     /// Index of the last iteration whose interim vector was computed.
     int last_iteration = 0;
     /// True when ‖x(i)‖₁ < ε stopped the run (as opposed to t_iter).
@@ -64,19 +74,28 @@ class Cpi {
     /// ‖x(i)‖₁ at the last computed iteration.
     double last_interim_norm = 0.0;
   };
+  using Result = ResultT<double>;
+  using ResultF = ResultT<float>;
 
   /// Reusable scratch of the propagation loop: the interim vectors (scalar
-  /// and blocked), the frontier lists of the adaptive head, and the kernel
-  /// scratch.  Passing one workspace across queries hoists the three
-  /// full-n allocations a cold Run would otherwise make per query out of
-  /// the serving loop (buffers are resized once and recycled; Tpa::Query
-  /// keeps one per serving thread).  A workspace serves one run at a time —
-  /// not thread-safe; results never alias it.
+  /// and blocked, at both precision tiers), the frontier lists of the
+  /// adaptive head, and the kernel scratch.  Passing one workspace across
+  /// queries hoists the full-n allocations a cold run would otherwise make
+  /// per query out of the serving loop (buffers are resized once and
+  /// recycled; Tpa draws one per concurrent query from its WorkspacePool).
+  /// Only the buffers of the tier actually run are ever touched, so a
+  /// workspace serving an fp32 Tpa never materializes the fp64 set.  A
+  /// workspace serves one run at a time — not thread-safe; results never
+  /// alias it.
   struct Workspace {
     std::vector<double> x;
     std::vector<double> next;
     la::DenseBlock block_x;
     la::DenseBlock block_next;
+    std::vector<float> x_f;
+    std::vector<float> next_f;
+    la::DenseBlockF block_x_f;
+    la::DenseBlockF block_next_f;
     std::vector<NodeId> frontier;
     std::vector<NodeId> next_frontier;
     la::FrontierScratch scratch;
@@ -84,33 +103,56 @@ class Cpi {
 
   /// Runs CPI from a uniform distribution over `seeds` (Algorithm 1 line 1).
   /// Fails on invalid options, empty or out-of-range seeds.
+  template <typename V>
+  static StatusOr<ResultT<V>> RunT(const Graph& graph,
+                                   const std::vector<NodeId>& seeds,
+                                   const CpiOptions& options,
+                                   Workspace* workspace = nullptr);
   static StatusOr<Result> Run(const Graph& graph,
                               const std::vector<NodeId>& seeds,
                               const CpiOptions& options,
-                              Workspace* workspace = nullptr);
+                              Workspace* workspace = nullptr) {
+    return RunT<double>(graph, seeds, options, workspace);
+  }
 
   /// Runs CPI from an arbitrary distribution `q` (‖q‖₁ should be 1; scores
   /// scale linearly otherwise).  The seed vector is multiplied by c
   /// internally, matching x(0) = c·q.
+  template <typename V>
+  static StatusOr<ResultT<V>> RunWithSeedVectorT(const Graph& graph,
+                                                 const std::vector<V>& q,
+                                                 const CpiOptions& options,
+                                                 Workspace* workspace =
+                                                     nullptr);
   static StatusOr<Result> RunWithSeedVector(const Graph& graph,
                                             const std::vector<double>& q,
                                             const CpiOptions& options,
-                                            Workspace* workspace = nullptr);
+                                            Workspace* workspace = nullptr) {
+    return RunWithSeedVectorT<double>(graph, q, options, workspace);
+  }
 
   /// Batched CPI: runs the window for B single-node seeds at once, sharing
   /// one SpMM sweep over the CSR arrays per iteration instead of B
   /// independent SpMv sweeps.  The first iterations run frontier-sparse
   /// over the batch's union frontier, the tail dense (optionally
   /// partition-parallel via options.task_runner).  Vector b of the returned
-  /// block is bitwise-identical to Run(graph, {seeds[b]}, options).scores —
+  /// block is bitwise-identical to RunT(graph, {seeds[b]}, options).scores —
   /// each seed's accumulation stops at exactly the iteration where its own
   /// scalar run would have converged, and the blocked kernels reproduce the
-  /// scalar arithmetic per vector (see CsrMatrix::SpMm*).  Fails on invalid
-  /// options, an empty batch, or an out-of-range seed.
+  /// scalar arithmetic per vector (see CsrMatrixT::SpMm*).  Fails on
+  /// invalid options, an empty batch, or an out-of-range seed.
+  template <typename V>
+  static StatusOr<la::DenseBlockT<V>> RunBatchT(const Graph& graph,
+                                                std::span<const NodeId> seeds,
+                                                const CpiOptions& options,
+                                                Workspace* workspace =
+                                                    nullptr);
   static StatusOr<la::DenseBlock> RunBatch(const Graph& graph,
                                            std::span<const NodeId> seeds,
                                            const CpiOptions& options,
-                                           Workspace* workspace = nullptr);
+                                           Workspace* workspace = nullptr) {
+    return RunBatchT<double>(graph, seeds, options, workspace);
+  }
 
   /// Single-pass windowed CPI: runs to convergence and returns one partial
   /// sum per window, where window w covers iterations
@@ -118,10 +160,17 @@ class Cpi {
   /// E.g. breakpoints {0, S, T} yields exactly the paper's family, neighbor,
   /// and stranger parts in one sweep.  Breakpoints must start at 0 and be
   /// strictly increasing.
+  template <typename V>
+  static StatusOr<std::vector<std::vector<V>>> RunWindowedT(
+      const Graph& graph, const std::vector<V>& q,
+      const std::vector<int>& breakpoints, const CpiOptions& options,
+      Workspace* workspace = nullptr);
   static StatusOr<std::vector<std::vector<double>>> RunWindowed(
       const Graph& graph, const std::vector<double>& q,
       const std::vector<int>& breakpoints, const CpiOptions& options,
-      Workspace* workspace = nullptr);
+      Workspace* workspace = nullptr) {
+    return RunWindowedT<double>(graph, q, breakpoints, options, workspace);
+  }
 
   /// Convenience: full PageRank vector via CPI with the uniform seed vector.
   static StatusOr<std::vector<double>> PageRank(const Graph& graph,

@@ -1,6 +1,7 @@
 #include "core/tpa.h"
 
 #include <cmath>
+#include <type_traits>
 
 #include "la/vector_ops.h"
 #include "util/check.h"
@@ -21,11 +22,21 @@ Status ValidateTpaOptions(const TpaOptions& options) {
   return OkStatus();
 }
 
+template <typename V>
+const std::vector<V>& Tpa::StrangerT() const {
+  if constexpr (std::is_same_v<V, double>) {
+    return stranger_;
+  } else {
+    return stranger_f_;
+  }
+}
+
 StatusOr<Tpa> Tpa::Preprocess(const Graph& graph, const TpaOptions& options) {
   TPA_RETURN_IF_ERROR(ValidateTpaOptions(options));
 
   // Algorithm 2: r̃_stranger = CPI(Ã, {1..n}, c, ε, T, ∞) — the tail of the
-  // PageRank series from iteration T on.
+  // PageRank series from iteration T on, run and stored at the graph's
+  // precision tier.
   CpiOptions cpi;
   cpi.restart_probability = options.restart_probability;
   cpi.tolerance = options.tolerance;
@@ -34,11 +45,19 @@ StatusOr<Tpa> Tpa::Preprocess(const Graph& graph, const TpaOptions& options) {
   cpi.use_pull = options.use_pull;
   cpi.frontier_density_threshold = options.frontier_density_threshold;
 
-  std::vector<double> uniform(graph.num_nodes(),
-                              1.0 / static_cast<double>(graph.num_nodes()));
-  TPA_ASSIGN_OR_RETURN(Cpi::Result result,
-                       Cpi::RunWithSeedVector(graph, uniform, cpi));
-  return Tpa(&graph, options, std::move(result.scores));
+  if (graph.value_precision() == la::Precision::kFloat64) {
+    std::vector<double> uniform(graph.num_nodes(),
+                                1.0 / static_cast<double>(graph.num_nodes()));
+    TPA_ASSIGN_OR_RETURN(Cpi::Result result,
+                         Cpi::RunWithSeedVector(graph, uniform, cpi));
+    return Tpa(&graph, options, std::move(result.scores), {});
+  }
+  std::vector<float> uniform(
+      graph.num_nodes(),
+      static_cast<float>(1.0 / static_cast<double>(graph.num_nodes())));
+  TPA_ASSIGN_OR_RETURN(Cpi::ResultF result,
+                       Cpi::RunWithSeedVectorT<float>(graph, uniform, cpi));
+  return Tpa(&graph, options, {}, std::move(result.scores));
 }
 
 double Tpa::NeighborScale() const {
@@ -48,9 +67,7 @@ double Tpa::NeighborScale() const {
   return (ds - dt) / (1.0 - ds);
 }
 
-Tpa::QueryParts Tpa::QueryDecomposed(NodeId seed) const {
-  TPA_CHECK_LT(seed, graph_->num_nodes());
-
+CpiOptions Tpa::FamilyCpiOptions() const {
   // Algorithm 3 line 2: r_family = CPI(Ã, {s}, c, ε, 0, S-1).
   CpiOptions cpi;
   cpi.restart_probability = options_.restart_probability;
@@ -59,14 +76,26 @@ Tpa::QueryParts Tpa::QueryDecomposed(NodeId seed) const {
   cpi.terminal_iteration = options_.family_window - 1;
   cpi.use_pull = options_.use_pull;
   cpi.frontier_density_threshold = options_.frontier_density_threshold;
+  return cpi;
+}
 
-  WorkspacePool::Lease workspace = workspaces_->Acquire();
-  StatusOr<Cpi::Result> family =
-      Cpi::Run(*graph_, {seed}, cpi, workspace.get());
-  TPA_CHECK(family.ok());  // options were validated at Preprocess time
+Tpa::QueryParts Tpa::QueryDecomposed(NodeId seed) const {
+  TPA_CHECK_LT(seed, graph_->num_nodes());
+  const CpiOptions cpi = FamilyCpiOptions();
 
   QueryParts parts;
-  parts.family = std::move(family->scores);
+  WorkspacePool::Lease workspace = workspaces_->Acquire();
+  if (precision_ == la::Precision::kFloat64) {
+    StatusOr<Cpi::Result> family =
+        Cpi::Run(*graph_, {seed}, cpi, workspace.get());
+    TPA_CHECK(family.ok());  // options were validated at Preprocess time
+    parts.family = std::move(family->scores);
+  } else {
+    StatusOr<Cpi::ResultF> family =
+        Cpi::RunT<float>(*graph_, {seed}, cpi, workspace.get());
+    TPA_CHECK(family.ok());
+    parts.family = la::ConvertVector<double>(family->scores);
+  }
 
   // Line 3: r̃_neighbor = (‖r_neighbor‖₁/‖r_family‖₁) · r_family.
   parts.neighbor_est = parts.family;
@@ -75,7 +104,14 @@ Tpa::QueryParts Tpa::QueryDecomposed(NodeId seed) const {
   // Line 4: r_TPA = r_family + r̃_neighbor + r̃_stranger.
   parts.total = parts.family;
   la::Axpy(1.0, parts.neighbor_est, parts.total);
-  la::Axpy(1.0, stranger_, parts.total);
+  if (precision_ == la::Precision::kFloat64) {
+    la::Axpy(1.0, stranger_, parts.total);
+  } else {
+    // Widen the fp32 stranger tail on the fly (exact per element).
+    for (size_t i = 0; i < parts.total.size(); ++i) {
+      parts.total[i] += static_cast<double>(stranger_f_[i]);
+    }
+  }
   return parts;
 }
 
@@ -84,49 +120,80 @@ std::vector<double> Tpa::Query(NodeId seed) const {
   // The fused single-seed merge is exactly the personalized query: it skips
   // the materialized neighbor vector of QueryDecomposed — Query is the
   // serving hot path.
-  StatusOr<std::vector<double>> total = QueryPersonalized({seed});
-  TPA_CHECK(total.ok());  // seed was range-checked above
+  if (precision_ == la::Precision::kFloat64) {
+    StatusOr<std::vector<double>> total = QueryPersonalizedT<double>({seed});
+    TPA_CHECK(total.ok());  // seed was range-checked above
+    return *std::move(total);
+  }
+  StatusOr<std::vector<float>> total = QueryPersonalizedT<float>({seed});
+  TPA_CHECK(total.ok());
+  return la::ConvertVector<double>(*total);
+}
+
+std::vector<float> Tpa::QueryF(NodeId seed) const {
+  TPA_CHECK(precision_ == la::Precision::kFloat32);
+  TPA_CHECK_LT(seed, graph_->num_nodes());
+  StatusOr<std::vector<float>> total = QueryPersonalizedT<float>({seed});
+  TPA_CHECK(total.ok());
   return *std::move(total);
 }
 
-StatusOr<la::DenseBlock> Tpa::QueryBatch(std::span<const NodeId> seeds) const {
-  CpiOptions cpi;
-  cpi.restart_probability = options_.restart_probability;
-  cpi.tolerance = options_.tolerance;
-  cpi.start_iteration = 0;
-  cpi.terminal_iteration = options_.family_window - 1;
-  cpi.use_pull = options_.use_pull;
-  cpi.frontier_density_threshold = options_.frontier_density_threshold;
+template <typename V>
+StatusOr<la::DenseBlockT<V>> Tpa::QueryBatchT(
+    std::span<const NodeId> seeds) const {
+  CpiOptions cpi = FamilyCpiOptions();
   cpi.task_runner = options_.task_runner;
   WorkspacePool::Lease workspace = workspaces_->Acquire();
-  TPA_ASSIGN_OR_RETURN(la::DenseBlock block,
-                       Cpi::RunBatch(*graph_, seeds, cpi, workspace.get()));
+  TPA_ASSIGN_OR_RETURN(
+      la::DenseBlockT<V> block,
+      Cpi::RunBatchT<V>(*graph_, seeds, cpi, workspace.get()));
 
   // The same fused merge as QueryPersonalized, blocked:
   // total = (1 + scale)·family + stranger per vector.
   la::BlockScale(1.0 + NeighborScale(), block);
-  la::BlockAddVector(1.0, stranger_, block);
+  la::BlockAddVector(1.0, StrangerT<V>(), block);
   return block;
+}
+
+StatusOr<la::DenseBlock> Tpa::QueryBatch(std::span<const NodeId> seeds) const {
+  if (precision_ == la::Precision::kFloat64) {
+    return QueryBatchT<double>(seeds);
+  }
+  TPA_ASSIGN_OR_RETURN(la::DenseBlockF block, QueryBatchT<float>(seeds));
+  la::DenseBlock wide;
+  la::ConvertBlock(block, wide);
+  return wide;
+}
+
+StatusOr<la::DenseBlockF> Tpa::QueryBatchF(
+    std::span<const NodeId> seeds) const {
+  TPA_CHECK(precision_ == la::Precision::kFloat32);
+  return QueryBatchT<float>(seeds);
+}
+
+template <typename V>
+StatusOr<std::vector<V>> Tpa::QueryPersonalizedT(
+    const std::vector<NodeId>& seeds) const {
+  const CpiOptions cpi = FamilyCpiOptions();
+  WorkspacePool::Lease workspace = workspaces_->Acquire();
+  TPA_ASSIGN_OR_RETURN(Cpi::ResultT<V> family,
+                       Cpi::RunT<V>(*graph_, seeds, cpi, workspace.get()));
+
+  std::vector<V> total = std::move(family.scores);
+  // total = (1 + scale)·family + stranger, by the same Algorithm 3 merge.
+  la::Scale(1.0 + NeighborScale(), total);
+  la::Axpy(1.0, StrangerT<V>(), total);
+  return total;
 }
 
 StatusOr<std::vector<double>> Tpa::QueryPersonalized(
     const std::vector<NodeId>& seeds) const {
-  CpiOptions cpi;
-  cpi.restart_probability = options_.restart_probability;
-  cpi.tolerance = options_.tolerance;
-  cpi.start_iteration = 0;
-  cpi.terminal_iteration = options_.family_window - 1;
-  cpi.use_pull = options_.use_pull;
-  cpi.frontier_density_threshold = options_.frontier_density_threshold;
-  WorkspacePool::Lease workspace = workspaces_->Acquire();
-  TPA_ASSIGN_OR_RETURN(Cpi::Result family,
-                       Cpi::Run(*graph_, seeds, cpi, workspace.get()));
-
-  std::vector<double> total = std::move(family.scores);
-  // total = (1 + scale)·family + stranger, by the same Algorithm 3 merge.
-  la::Scale(1.0 + NeighborScale(), total);
-  la::Axpy(1.0, stranger_, total);
-  return total;
+  if (precision_ == la::Precision::kFloat64) {
+    return QueryPersonalizedT<double>(seeds);
+  }
+  TPA_ASSIGN_OR_RETURN(std::vector<float> total,
+                       QueryPersonalizedT<float>(seeds));
+  return la::ConvertVector<double>(total);
 }
 
 double StrangerErrorBound(double restart_probability, int stranger_start) {

@@ -9,6 +9,7 @@
 #include "core/workspace_pool.h"
 #include "graph/graph.h"
 #include "la/dense_block.h"
+#include "la/precision.h"
 #include "util/status.h"
 
 namespace tpa {
@@ -47,14 +48,27 @@ struct TpaOptions {
 /// `Preprocess` runs Algorithm 2 once per graph (PageRank stranger tail via
 /// CPI); `Query` runs Algorithm 3 per seed (S sparse matvecs + two scaled
 /// vector adds).  The Tpa object borrows the graph: it must not outlive it.
+///
+/// The precision tier follows the graph (Graph::value_precision): on an
+/// fp32 graph the stranger tail is precomputed, stored, and every query's
+/// propagation run entirely on fp32 storage — half the bytes end to end.
+/// QueryF / QueryBatchF expose the native fp32 results; the historical
+/// fp64-typed surface (Query, QueryBatch, …) stays available at either tier
+/// and widens the fp32 result once at the boundary on an fp32 graph.
 class Tpa {
  public:
-  /// Algorithm 2: computes the PageRank tail r̃_stranger = Σ_{i≥T} x(i).
+  /// Algorithm 2: computes the PageRank tail r̃_stranger = Σ_{i≥T} x(i) at
+  /// the graph's precision tier.
   static StatusOr<Tpa> Preprocess(const Graph& graph, const TpaOptions& options);
 
   /// Algorithm 3: approximate RWR vector for `seed`.
   /// CHECK-fails on an out-of-range seed (programming error).
   std::vector<double> Query(NodeId seed) const;
+
+  /// Native fp32 Algorithm 3 (CHECK-fails unless the graph is fp32): the
+  /// serving hot path of the halved-footprint tier — no fp64 vector is
+  /// materialized anywhere between the seed and the returned scores.
+  std::vector<float> QueryF(NodeId seed) const;
 
   /// Batched Algorithm 3: one approximate RWR vector per seed, computed for
   /// the whole batch at once.  The S family iterations run as one SpMM
@@ -64,6 +78,10 @@ class Tpa {
   /// Query(seeds[b]).  Fails on an empty batch or an out-of-range seed.
   StatusOr<la::DenseBlock> QueryBatch(std::span<const NodeId> seeds) const;
 
+  /// Native fp32 batch (CHECK-fails unless the graph is fp32); vector b is
+  /// bitwise-identical to QueryF(seeds[b]).
+  StatusOr<la::DenseBlockF> QueryBatchF(std::span<const NodeId> seeds) const;
+
   /// Personalized-PageRank generalization: approximate RWR for a *set* of
   /// seeds restarted uniformly (Section II-C notes CPI supports seed sets;
   /// TPA's two approximations apply unchanged because both are linear in
@@ -72,7 +90,8 @@ class Tpa {
       const std::vector<NodeId>& seeds) const;
 
   /// The decomposition Algorithm 3 produces, exposed for the accuracy
-  /// experiments (Table III, Figures 8–9).
+  /// experiments (Table III, Figures 8–9).  Always fp64-typed; on an fp32
+  /// graph each part is computed at fp32 and widened.
   struct QueryParts {
     std::vector<double> family;        // exact r_family
     std::vector<double> neighbor_est;  // r̃_neighbor (scaled family)
@@ -80,16 +99,26 @@ class Tpa {
   };
   QueryParts QueryDecomposed(NodeId seed) const;
 
-  /// The precomputed approximate stranger vector (PageRank tail).
+  /// The precomputed approximate stranger vector (PageRank tail) at the
+  /// fp64 tier; empty on an fp32 graph (see stranger_scores_f32).
   const std::vector<double>& stranger_scores() const { return stranger_; }
+  /// The fp32-tier stranger vector; empty on an fp64 graph.
+  const std::vector<float>& stranger_scores_f32() const {
+    return stranger_f_;
+  }
+
+  /// The precision tier this instance runs at (== the graph's).
+  la::Precision precision() const { return precision_; }
 
   /// Lemma 2 scaling factor ‖r_neighbor‖₁ / ‖r_family‖₁ =
   /// ((1-c)^S − (1-c)^T) / (1 − (1-c)^S).
   double NeighborScale() const;
 
-  /// Logical size of the preprocessed data: one double per node.
+  /// Logical size of the preprocessed data: one value per node at the
+  /// graph's precision tier (8 bytes fp64, 4 bytes fp32).
   size_t PreprocessedBytes() const {
-    return stranger_.size() * sizeof(double);
+    return stranger_.size() * sizeof(double) +
+           stranger_f_.size() * sizeof(float);
   }
 
   const TpaOptions& options() const { return options_; }
@@ -108,15 +137,34 @@ class Tpa {
   const WorkspacePool& workspace_pool() const { return *workspaces_; }
 
  private:
-  Tpa(const Graph* graph, TpaOptions options, std::vector<double> stranger)
+  Tpa(const Graph* graph, TpaOptions options, std::vector<double> stranger,
+      std::vector<float> stranger_f)
       : graph_(graph),
         options_(options),
+        precision_(graph->value_precision()),
         stranger_(std::move(stranger)),
+        stranger_f_(std::move(stranger_f)),
         workspaces_(std::make_shared<WorkspacePool>()) {}
+
+  /// The stranger tail at tier V (the populated one of the two).
+  template <typename V>
+  const std::vector<V>& StrangerT() const;
+
+  /// The fused Algorithm 3 merge at tier V; the typed public entry points
+  /// are thin shims over these.
+  template <typename V>
+  StatusOr<std::vector<V>> QueryPersonalizedT(
+      const std::vector<NodeId>& seeds) const;
+  template <typename V>
+  StatusOr<la::DenseBlockT<V>> QueryBatchT(std::span<const NodeId> seeds) const;
+
+  CpiOptions FamilyCpiOptions() const;
 
   const Graph* graph_;  // not owned
   TpaOptions options_;
-  std::vector<double> stranger_;
+  la::Precision precision_;
+  std::vector<double> stranger_;   // populated at the fp64 tier
+  std::vector<float> stranger_f_;  // populated at the fp32 tier
   /// shared_ptr keeps Tpa movable (WorkspacePool owns a mutex).
   std::shared_ptr<WorkspacePool> workspaces_;
 };

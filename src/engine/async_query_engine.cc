@@ -1,6 +1,8 @@
 #include "engine/async_query_engine.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <list>
 #include <utility>
 
 #include "util/check.h"
@@ -8,6 +10,27 @@
 namespace tpa {
 
 namespace internal_async {
+
+/// The admission queue and its synchronization, shared (via shared_ptr)
+/// between the engine and every ticket it admitted: QueryTicket::Cancel
+/// reaches back through a weak_ptr to erase the ticket from the queue and
+/// wake a blocked submitter.  All fields transition under `mu` except the
+/// atomic cancellation counter.
+struct AdmissionState {
+  std::mutex mu;
+  std::condition_variable work_cv;   // scheduler: work or shutdown
+  std::condition_variable space_cv;  // blocked submitters: slot or shutdown
+  std::condition_variable idle_cv;   // shutdown: in-flight jobs drained
+  /// A list (not a deque) so a queued ticket can be unlinked in O(1) from
+  /// its stored iterator when the client cancels it.
+  std::list<std::shared_ptr<TicketState>> queue;
+  size_t inflight = 0;
+  bool stopping = false;
+  /// Counted by the cancelling thread (the only kQueued→cancelled
+  /// transition), not the scheduler — a cancelled ticket may never be seen
+  /// by the scheduler at all once Cancel has unlinked it from the queue.
+  std::atomic<uint64_t> cancelled{0};
+};
 
 /// Shared state behind one QueryTicket.  `state` transitions under `mu`;
 /// `result` is written by exactly one completer before `state` flips to
@@ -21,6 +44,13 @@ struct TicketState {
   std::function<void(const QueryResult&)> on_complete;
   std::chrono::steady_clock::time_point deadline{};
   bool has_deadline = false;
+  /// The queue this ticket was admitted to; dead once the engine is gone.
+  std::weak_ptr<AdmissionState> admission;
+  /// Position in AdmissionState::queue while admitted.  Both fields are
+  /// guarded by AdmissionState::mu (not this->mu): they belong to the
+  /// queue, the ticket just carries them so Cancel can unlink in O(1).
+  std::list<std::shared_ptr<TicketState>>::iterator queue_pos;
+  bool in_queue = false;
 
   /// Claims the ticket for serving; false when cancellation won the race.
   bool TryBegin() {
@@ -52,6 +82,7 @@ struct TicketState {
 
 }  // namespace internal_async
 
+using internal_async::AdmissionState;
 using internal_async::TicketState;
 
 namespace {
@@ -100,13 +131,32 @@ bool QueryTicket::Cancel() {
     state_->state = State::kRunning;
     state_->result.status = CancelledError("query cancelled by client");
   }
+  // Release the admission-queue slot immediately: unlink the ticket from
+  // the queue (unless the scheduler popped it first, in which case the pop
+  // already freed the slot) and wake one blocked kBlock submitter.  A dead
+  // weak_ptr means the engine is gone — nothing left to release.
+  if (std::shared_ptr<AdmissionState> admission = state_->admission.lock()) {
+    bool erased = false;
+    {
+      std::lock_guard<std::mutex> lock(admission->mu);
+      if (state_->in_queue) {
+        admission->queue.erase(state_->queue_pos);
+        state_->in_queue = false;
+        erased = true;
+      }
+    }
+    if (erased) admission->space_cv.notify_one();
+    admission->cancelled.fetch_add(1, std::memory_order_relaxed);
+  }
   state_->Finish();
   return true;
 }
 
 AsyncQueryEngine::AsyncQueryEngine(QueryEngine engine,
                                    const AsyncQueryEngineOptions& options)
-    : engine_(std::move(engine)), options_(options) {
+    : engine_(std::move(engine)),
+      options_(options),
+      admission_(std::make_shared<AdmissionState>()) {
   const bool group_serving = engine_.options().batch_block_size > 1 &&
                              engine_.method().SupportsBatchQuery();
   chunk_limit_ = group_serving
@@ -155,32 +205,36 @@ QueryTicket AsyncQueryEngine::Submit(NodeId seed,
   auto state = std::make_shared<TicketState>();
   state->result.seed = seed;
   state->on_complete = options.on_complete;
+  state->admission = admission_;
   if (options.deadline.has_value()) {
     state->deadline = *options.deadline;
     state->has_deadline = true;
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
 
+  AdmissionState& adm = *admission_;
   Status failure;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (stopping_) {
+    std::unique_lock<std::mutex> lock(adm.mu);
+    if (adm.stopping) {
       failure = FailedPreconditionError("engine is shutting down");
-    } else if (queue_.size() >= options_.queue_capacity &&
+    } else if (adm.queue.size() >= options_.queue_capacity &&
                (options_.queue_full_policy == QueueFullPolicy::kReject ||
                 tls_on_serving_thread)) {
       failure = ResourceExhaustedError("admission queue full");
     } else {
-      if (queue_.size() >= options_.queue_capacity) {
-        space_cv_.wait(lock, [&] {
-          return stopping_ || queue_.size() < options_.queue_capacity;
+      if (adm.queue.size() >= options_.queue_capacity) {
+        adm.space_cv.wait(lock, [&] {
+          return adm.stopping || adm.queue.size() < options_.queue_capacity;
         });
       }
-      if (stopping_) {
+      if (adm.stopping) {
         failure = FailedPreconditionError("engine is shutting down");
       } else {
-        queue_.push_back(state);
-        work_cv_.notify_one();
+        adm.queue.push_back(state);
+        state->queue_pos = std::prev(adm.queue.end());
+        state->in_queue = true;
+        adm.work_cv.notify_one();
       }
     }
   }
@@ -194,37 +248,40 @@ QueryTicket AsyncQueryEngine::Submit(NodeId seed,
 }
 
 void AsyncQueryEngine::SchedulerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  AdmissionState& adm = *admission_;
+  std::unique_lock<std::mutex> lock(adm.mu);
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      return (!queue_.empty() && inflight_ < max_inflight_) ||
-             (stopping_ && queue_.empty());
+    adm.work_cv.wait(lock, [&] {
+      return (!adm.queue.empty() && adm.inflight < max_inflight_) ||
+             (adm.stopping && adm.queue.empty());
     });
-    if (queue_.empty()) return;  // stopping_ and fully drained
+    if (adm.queue.empty()) return;  // stopping and fully drained
 
     // Pop whatever is waiting, up to one SpMM group — arrivals that
     // accumulated while every job slot was busy coalesce here.
     std::vector<std::shared_ptr<TicketState>> chunk;
-    chunk.reserve(std::min(queue_.size(), chunk_limit_));
-    while (!queue_.empty() && chunk.size() < chunk_limit_) {
-      chunk.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    chunk.reserve(std::min(adm.queue.size(), chunk_limit_));
+    while (!adm.queue.empty() && chunk.size() < chunk_limit_) {
+      std::shared_ptr<TicketState>& front = adm.queue.front();
+      front->in_queue = false;  // leaving the queue: Cancel must not unlink
+      chunk.push_back(std::move(front));
+      adm.queue.pop_front();
     }
-    ++inflight_;
+    ++adm.inflight;
     lock.unlock();
-    space_cv_.notify_all();  // freed queue slots
+    adm.space_cv.notify_all();  // freed queue slots
     groups_dispatched_.fetch_add(1, std::memory_order_relaxed);
     seeds_dispatched_.fetch_add(chunk.size(), std::memory_order_relaxed);
-    engine_.pool_->Submit([this, chunk = std::move(chunk)] {
+    engine_.pool_->Submit([this, &adm, chunk = std::move(chunk)] {
       ServeChunk(chunk);
       tls_on_serving_thread = false;
       // Notify while holding the lock: once a waiter can observe
-      // inflight_ == 0 it may destroy the engine (Shutdown returns), so
+      // inflight == 0 it may destroy the engine (Shutdown returns), so
       // the condition variables must not be touched after unlocking.
-      std::lock_guard<std::mutex> job_lock(mu_);
-      --inflight_;
-      work_cv_.notify_all();  // a job slot freed
-      idle_cv_.notify_all();  // Shutdown may be waiting for the drain
+      std::lock_guard<std::mutex> job_lock(adm.mu);
+      --adm.inflight;
+      adm.work_cv.notify_all();  // a job slot freed
+      adm.idle_cv.notify_all();  // Shutdown may be waiting for the drain
     });
     lock.lock();
   }
@@ -237,8 +294,8 @@ void AsyncQueryEngine::ServeChunk(
   std::vector<TicketState*> runnable;
   runnable.reserve(chunk.size());
   for (const std::shared_ptr<TicketState>& state : chunk) {
-    if (!state->TryBegin()) {  // cancellation won the race
-      cancelled_.fetch_add(1, std::memory_order_relaxed);
+    if (!state->TryBegin()) {
+      // Cancellation won the race (and already counted itself).
       continue;
     }
     if (state->has_deadline && state->deadline <= now) {
@@ -294,16 +351,17 @@ void AsyncQueryEngine::Complete(TicketState& state, bool served) {
 void AsyncQueryEngine::Shutdown() {
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
   if (shutdown_done_) return;
+  AdmissionState& adm = *admission_;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
+    std::lock_guard<std::mutex> lock(adm.mu);
+    adm.stopping = true;
   }
-  work_cv_.notify_all();
-  space_cv_.notify_all();
+  adm.work_cv.notify_all();
+  adm.space_cv.notify_all();
   scheduler_.join();  // exits once the queue is drained
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [&] { return inflight_ == 0; });
+    std::unique_lock<std::mutex> lock(adm.mu);
+    adm.idle_cv.wait(lock, [&] { return adm.inflight == 0; });
   }
   shutdown_done_ = true;
 }
@@ -313,13 +371,13 @@ AsyncQueryEngine::AsyncStats AsyncQueryEngine::stats() const {
   stats.submitted = submitted_.load(std::memory_order_relaxed);
   stats.completed = completed_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
-  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.cancelled = admission_->cancelled.load(std::memory_order_relaxed);
   stats.expired = expired_.load(std::memory_order_relaxed);
   stats.groups_dispatched =
       groups_dispatched_.load(std::memory_order_relaxed);
   stats.seeds_dispatched = seeds_dispatched_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
-  stats.queue_depth = queue_.size();
+  std::lock_guard<std::mutex> lock(admission_->mu);
+  stats.queue_depth = admission_->queue.size();
   return stats;
 }
 

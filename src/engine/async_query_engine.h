@@ -3,9 +3,7 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -22,6 +20,7 @@ namespace tpa {
 
 namespace internal_async {
 struct TicketState;
+struct AdmissionState;
 }  // namespace internal_async
 
 /// What Submit does when the admission queue is at capacity.
@@ -92,7 +91,11 @@ class QueryTicket {
 
   /// Client-side cancellation: completes a still-queued ticket with
   /// CANCELLED and returns true.  Returns false when serving has already
-  /// begun (or finished) — the result then arrives as usual.
+  /// begun (or finished) — the result then arrives as usual.  A successful
+  /// Cancel releases the ticket's admission-queue slot *immediately* —
+  /// removing it from the queue and waking one kBlock-blocked submitter —
+  /// instead of leaving a dead ticket occupying capacity until the
+  /// scheduler reaches it.
   bool Cancel();
 
  private:
@@ -115,7 +118,9 @@ class QueryTicket {
 /// SpMM group — so opportunistic batching emerges from arrival order under
 /// load, without clients pre-batching.  Serving runs the exact same private
 /// QueryEngine paths as Query / QueryBatch, so results are bitwise
-/// identical to the blocking API for the same seeds.
+/// identical to the blocking API for the same seeds — at either precision
+/// tier (an engine over an fp32 graph serves fp32 through the async
+/// surface too).
 ///
 /// Shutdown (or destruction) stops admissions, then drains: every ticket
 /// already admitted is served to completion before the engine dies.
@@ -199,13 +204,12 @@ class AsyncQueryEngine {
   size_t chunk_limit_ = 1;
   size_t max_inflight_ = 1;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // scheduler: work or shutdown
-  std::condition_variable space_cv_;  // blocked submitters: slot or shutdown
-  std::condition_variable idle_cv_;   // shutdown: in-flight jobs drained
-  std::deque<std::shared_ptr<internal_async::TicketState>> queue_;
-  size_t inflight_ = 0;
-  bool stopping_ = false;
+  /// The queue, its synchronization, and the cancellation counter live in a
+  /// shared state block so a QueryTicket can reach back (via weak_ptr) and
+  /// release its queue slot on Cancel even though tickets may outlive the
+  /// engine — a dead weak_ptr simply skips the release (the shutdown drain
+  /// has already emptied the queue by then).
+  std::shared_ptr<internal_async::AdmissionState> admission_;
 
   std::mutex shutdown_mu_;  // serializes Shutdown callers
   bool shutdown_done_ = false;
@@ -213,7 +217,6 @@ class AsyncQueryEngine {
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> expired_{0};
   std::atomic<uint64_t> groups_dispatched_{0};
   std::atomic<uint64_t> seeds_dispatched_{0};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <latch>
 #include <thread>
+#include <type_traits>
 #include <utility>
 
 #include "la/vector_ops.h"
@@ -24,29 +25,48 @@ int ResolveThreadCount(int requested) {
 /// traversal is the bottleneck, i.e. the arrays no longer fit the
 /// last-level cache; a cache-resident graph serves faster per-seed thanks
 /// to frontier sparsity (see QueryEngineOptions::batch_block_size).
+/// graph.SizeBytes() reports the materialized bytes, so the fp32 tier —
+/// two thirds the CSR footprint — resolves from its actual working set.
 int ResolveBatchBlockSize(int requested, const Graph& graph,
                           const RwrMethod& method) {
   if (requested != QueryEngineOptions::kAuto) return requested;
   if (!method.SupportsBatchQuery()) return 0;
-  return graph.SizeBytes() > DetectLastLevelCacheBytes() ? 8 : 0;
+  if (graph.SizeBytes() <= DetectLastLevelCacheBytes()) return 0;
+  // One group block row per 64-byte cache line: 8 fp64 seeds or 16 fp32
+  // seeds.  The scatter's per-edge cost is one line RMW either way, so the
+  // fp32 tier serves twice the seeds per CSR traversal at the same line
+  // traffic — where its headline SpMM speedup comes from
+  // (BENCH_kernels.json precision rows).
+  return static_cast<int>(64 /
+                          la::PrecisionValueBytes(graph.value_precision()));
+}
+
+template <typename V>
+std::vector<ScoredNode> TopKScoresImpl(const std::vector<V>& scores, int k) {
+  // la::TopKIndices already clamps k and breaks ties toward smaller index.
+  std::vector<ScoredNode> top;
+  const size_t clamped = static_cast<size_t>(std::max(k, 0));
+  for (size_t i : la::TopKIndices(scores, clamped)) {
+    top.push_back({static_cast<NodeId>(i), static_cast<double>(scores[i])});
+  }
+  return top;
 }
 
 }  // namespace
 
 std::vector<ScoredNode> TopKScores(const std::vector<double>& scores, int k) {
-  // la::TopKIndices already clamps k and breaks ties toward smaller index.
-  std::vector<ScoredNode> top;
-  const size_t clamped = static_cast<size_t>(std::max(k, 0));
-  for (size_t i : la::TopKIndices(scores, clamped)) {
-    top.push_back({static_cast<NodeId>(i), scores[i]});
-  }
-  return top;
+  return TopKScoresImpl(scores, k);
+}
+
+std::vector<ScoredNode> TopKScores(const std::vector<float>& scores, int k) {
+  return TopKScoresImpl(scores, k);
 }
 
 QueryEngine::QueryEngine(const Graph& graph, std::unique_ptr<RwrMethod> method,
                          const QueryEngineOptions& options, int num_threads)
     : graph_(&graph),
       options_(options),
+      precision_(graph.value_precision()),
       method_(std::move(method)),
       pool_(std::make_unique<ThreadPool>(num_threads)),
       cache_(options.cache_capacity > 0 || options.cache_capacity_bytes > 0
@@ -84,6 +104,10 @@ StatusOr<QueryEngine> QueryEngine::Create(const Graph& graph,
     return InvalidArgumentError(
         "batch_block_size must be non-negative or kAuto");
   }
+  if (!method->SupportsPrecision(graph.value_precision())) {
+    return InvalidArgumentError(
+        "method does not support the graph's value precision tier");
+  }
   MemoryBudget unlimited;
   TPA_RETURN_IF_ERROR(method->Preprocess(graph, unlimited));
   return QueryEngine(graph, std::move(method), options,
@@ -98,41 +122,99 @@ StatusOr<QueryEngine> QueryEngine::CreateFromRegistry(
   return Create(graph, std::move(method), options);
 }
 
+bool QueryEngine::EntryCompatible(const CachedResult& entry) const {
+  // The tiers never serve each other's entries: an fp32 engine's clients
+  // expect fp32-rounded scores and vice versa — a mismatch silently mixing
+  // tiers would make results depend on cache history.
+  if (entry.precision != precision_) return false;
+  if (entry.topk_only) {
+    // A top-k-only entry serves only top-k requests it fully covers; a
+    // dense-requesting query must recompute (and refresh the entry).
+    if (options_.top_k <= 0) return false;
+    const size_t need = std::min<size_t>(static_cast<size_t>(options_.top_k),
+                                         graph_->num_nodes());
+    return entry.topk.size() >= need;
+  }
+  return true;
+}
+
 void QueryEngine::ShapeFromEntry(const ResultCache::Entry& entry,
                                  QueryResult& result) {
   result.from_cache = true;
   if (options_.top_k > 0) {
-    result.top = TopKScores(*entry, options_.top_k);
+    if (entry->topk_only) {
+      const size_t k = std::min<size_t>(static_cast<size_t>(options_.top_k),
+                                        entry->topk.size());
+      result.top.assign(entry->topk.begin(),
+                        entry->topk.begin() + static_cast<long>(k));
+    } else if (precision_ == la::Precision::kFloat64) {
+      result.top = TopKScores(entry->dense64, options_.top_k);
+    } else {
+      result.top = TopKScores(entry->dense32, options_.top_k);
+    }
+  } else if (precision_ == la::Precision::kFloat64) {
+    result.scores = entry->dense64;
   } else {
-    result.scores = *entry;
+    result.scores_f32 = entry->dense32;
   }
 }
 
 bool QueryEngine::TryServeFromCache(NodeId seed, QueryResult& result) {
   if (cache_ == nullptr) return false;
-  ResultCache::Entry hit = cache_->Get(seed);
+  ResultCache::Entry hit = cache_->GetMatching(
+      seed, [this](const CachedResult& entry) {
+        return EntryCompatible(entry);
+      });
   if (hit == nullptr) return false;
   ShapeFromEntry(hit, result);
   return true;
 }
 
-void QueryEngine::ShapeAndCache(NodeId seed, std::vector<double> dense,
-                                QueryResult& result) {
+namespace {
+
+/// The dense payload of a cached entry / query result at tier V.
+template <typename V>
+const std::vector<V>& EntryDense(const CachedResult& entry) {
+  if constexpr (std::is_same_v<V, double>) {
+    return entry.dense64;
+  } else {
+    return entry.dense32;
+  }
+}
+template <typename V>
+std::vector<V>& ResultDense(QueryResult& result) {
+  if constexpr (std::is_same_v<V, double>) {
+    return result.scores;
+  } else {
+    return result.scores_f32;
+  }
+}
+
+}  // namespace
+
+template <typename V>
+void QueryEngine::ShapeAndCacheT(NodeId seed, std::vector<V> dense,
+                                 QueryResult& result) {
   if (options_.top_k > 0) {
     result.top = TopKScores(dense, options_.top_k);
     if (cache_ != nullptr) {
-      cache_->Put(seed, std::make_shared<const std::vector<double>>(
-                            std::move(dense)));
+      if (options_.cache_topk_only) {
+        cache_->Put(seed, std::make_shared<const CachedResult>(
+                              CachedResult::TopKOnly(precision_, result.top)));
+      } else {
+        cache_->Put(seed, std::make_shared<const CachedResult>(
+                              CachedResult::Dense(std::move(dense))));
+      }
     }
   } else if (cache_ != nullptr) {
     // The client owns its result vector, so the cached copy is the one
     // unavoidable duplication on a dense-mode miss.
-    auto entry =
-        std::make_shared<const std::vector<double>>(std::move(dense));
-    result.scores = *entry;
+    auto entry = std::make_shared<const CachedResult>(
+        CachedResult::Dense(std::move(dense)));
+    ResultDense<V>(result) = EntryDense<V>(*entry);
     cache_->Put(seed, std::move(entry));
   } else {
-    result.scores = std::move(dense);
+    ResultDense<V>(result) = std::move(dense);
   }
 }
 
@@ -149,6 +231,25 @@ void QueryEngine::ServeInto(NodeId seed, QueryResult& result) {
   const Permutation* permutation = graph_->permutation();
   const NodeId internal =
       permutation != nullptr ? permutation->ToInternal(seed) : seed;
+
+  if (precision_ == la::Precision::kFloat32) {
+    StatusOr<std::vector<float>> scores = [&] {
+      if (method_->SupportsConcurrentQuery()) {
+        return method_->QueryF32(internal);
+      }
+      std::lock_guard<std::mutex> lock(*method_mu_);
+      return method_->QueryF32(internal);
+    }();
+    if (!scores.ok()) {
+      result.status = scores.status();
+      return;
+    }
+    std::vector<float> dense = std::move(scores).value();
+    if (permutation != nullptr) dense = permutation->ScoresToExternal(dense);
+    ShapeAndCacheT<float>(seed, std::move(dense), result);
+    return;
+  }
+
   StatusOr<std::vector<double>> scores = [&] {
     if (method_->SupportsConcurrentQuery()) return method_->Query(internal);
     std::lock_guard<std::mutex> lock(*method_mu_);
@@ -160,8 +261,32 @@ void QueryEngine::ServeInto(NodeId seed, QueryResult& result) {
   }
   std::vector<double> dense = std::move(scores).value();
   if (permutation != nullptr) dense = permutation->ScoresToExternal(dense);
-  ShapeAndCache(seed, std::move(dense), result);
+  ShapeAndCacheT<double>(seed, std::move(dense), result);
 }
+
+namespace {
+
+/// Fans an SpMM result block back into per-seed dense vectors in one pass
+/// over the block rows (per-vector ExtractVector would re-stream the whole
+/// n×B block B times), translating internal→external row positions on the
+/// fly when the graph is reordered.
+template <typename V>
+std::vector<std::vector<V>> FanOutBlock(const la::DenseBlockT<V>& block,
+                                        const Permutation* permutation) {
+  const size_t rows = block.rows();
+  const size_t num_vectors = block.num_vectors();
+  std::vector<std::vector<V>> dense(num_vectors, std::vector<V>(rows));
+  for (size_t r = 0; r < rows; ++r) {
+    const V* row = block.RowPtr(r);
+    const size_t e = permutation != nullptr
+                         ? permutation->ToExternal(static_cast<NodeId>(r))
+                         : r;
+    for (size_t b = 0; b < num_vectors; ++b) dense[b][e] = row[b];
+  }
+  return dense;
+}
+
+}  // namespace
 
 void QueryEngine::ServeGroup(const std::vector<NodeId>& group,
                              const std::vector<QueryResult*>& slots) {
@@ -175,6 +300,26 @@ void QueryEngine::ServeGroup(const std::vector<NodeId>& group,
     }
     method_group = &internal_group;
   }
+
+  if (precision_ == la::Precision::kFloat32) {
+    StatusOr<la::DenseBlockF> block = [&] {
+      if (method_->SupportsConcurrentQuery()) {
+        return method_->QueryBatchDenseF32(*method_group);
+      }
+      std::lock_guard<std::mutex> lock(*method_mu_);
+      return method_->QueryBatchDenseF32(*method_group);
+    }();
+    if (!block.ok()) {
+      for (QueryResult* slot : slots) slot->status = block.status();
+      return;
+    }
+    std::vector<std::vector<float>> dense = FanOutBlock(*block, permutation);
+    for (size_t k = 0; k < slots.size(); ++k) {
+      ShapeAndCacheT<float>(group[k], std::move(dense[k]), *slots[k]);
+    }
+    return;
+  }
+
   StatusOr<la::DenseBlock> block = [&] {
     if (method_->SupportsConcurrentQuery()) {
       return method_->QueryBatchDense(*method_group);
@@ -186,23 +331,9 @@ void QueryEngine::ServeGroup(const std::vector<NodeId>& group,
     for (QueryResult* slot : slots) slot->status = block.status();
     return;
   }
-  // Fan the block back into per-seed dense vectors in one pass over the
-  // block rows (per-vector ExtractVector would re-stream the whole n×B
-  // block B times), translating internal→external row positions on the
-  // fly when the graph is reordered.
-  const size_t rows = block->rows();
-  const size_t num_vectors = block->num_vectors();
-  std::vector<std::vector<double>> dense(num_vectors,
-                                         std::vector<double>(rows));
-  for (size_t r = 0; r < rows; ++r) {
-    const double* row = block->RowPtr(r);
-    const size_t e = permutation != nullptr
-                         ? permutation->ToExternal(static_cast<NodeId>(r))
-                         : r;
-    for (size_t b = 0; b < num_vectors; ++b) dense[b][e] = row[b];
-  }
+  std::vector<std::vector<double>> dense = FanOutBlock(*block, permutation);
   for (size_t k = 0; k < slots.size(); ++k) {
-    ShapeAndCache(group[k], std::move(dense[k]), *slots[k]);
+    ShapeAndCacheT<double>(group[k], std::move(dense[k]), *slots[k]);
   }
 }
 
@@ -247,7 +378,10 @@ std::vector<QueryResult> QueryEngine::QueryBatch(
       continue;
     }
     if (cache_ != nullptr) {
-      if (ResultCache::Entry entry = cache_->Get(seeds[i])) {
+      if (ResultCache::Entry entry = cache_->GetMatching(
+              seeds[i], [this](const CachedResult& e) {
+                return EntryCompatible(e);
+              })) {
         hits.push_back({i, std::move(entry)});
         continue;
       }

@@ -9,6 +9,7 @@
 #include "engine/result_cache.h"
 #include "engine/thread_pool.h"
 #include "graph/graph.h"
+#include "la/precision.h"
 #include "method/registry.h"
 #include "method/rwr_method.h"
 #include "util/status.h"
@@ -24,12 +25,22 @@ struct QueryEngineOptions {
   /// with a partial sort instead of the dense n-vector.
   int top_k = 0;
   /// LRU result-cache capacity in entries (each entry is one dense score
-  /// vector, ~8n bytes).  0 disables entry-count capping.
+  /// vector — ~8n bytes fp64, ~4n fp32 — or O(k) with cache_topk_only).
+  /// 0 disables entry-count capping.
   size_t cache_capacity = 0;
-  /// Optional LRU byte budget over the cached score payloads; eviction
-  /// keeps the cache under both this and cache_capacity.  0 disables byte
-  /// capping.  Caching is enabled when either bound is set.
+  /// Optional LRU byte budget over the cached payloads; eviction keeps the
+  /// cache under both this and cache_capacity.  0 disables byte capping.
+  /// Caching is enabled when either bound is set.
   size_t cache_capacity_bytes = 0;
+  /// Top-k engines only (top_k > 0): cache the extracted top-k list
+  /// instead of the dense vector, cutting a cached entry from ~8n (fp64) /
+  /// ~4n (fp32) bytes to O(k) — under a byte budget this multiplies how
+  /// many seeds stay warm by orders of magnitude.  A later dense-requesting
+  /// query against the same cache (e.g. through a second engine sharing
+  /// it, or after reconfiguring) never mistakes such an entry for a dense
+  /// vector: it misses and refreshes the entry to the dense shape (see
+  /// CachedResult).  Ignored when top_k == 0.
+  bool cache_topk_only = false;
   /// Seeds per SpMM group when the method supports native batched queries
   /// (RwrMethod::SupportsBatchQuery): cache-miss seeds of a QueryBatch are
   /// served in groups of this size through QueryBatchDense — one shared
@@ -42,22 +53,20 @@ struct QueryEngineOptions {
   /// a shared sweep over the union frontier gives up.
   ///
   /// kAuto (the default) picks at Create time from exactly that trade-off:
-  /// groups of 8 (one group row per cache line) when the graph's CSR bytes
-  /// exceed the detected last-level cache, per-seed fan-out otherwise.
-  /// Explicit values are the escape hatch: 0 or 1 forces per-seed fan-out,
-  /// ≥ 2 forces that group size.  The resolved value is visible through
+  /// when the graph's CSR bytes exceed the detected last-level cache,
+  /// groups sized so one block row fills a 64-byte cache line — 8 seeds at
+  /// fp64, 16 at fp32 (the scatter pays one line per edge either way, so
+  /// the fp32 tier shares each traversal across twice the seeds) — and
+  /// per-seed fan-out otherwise.  The CSR bytes are the *actual
+  /// materialized* bytes, so an fp32 graph (8 bytes/nnz instead of 12)
+  /// crosses the threshold later than the same graph at fp64.  Explicit
+  /// values are the escape hatch: 0 or 1 forces per-seed fan-out, ≥ 2
+  /// forces that group size.  The resolved value is visible through
   /// options().  `bench_engine_throughput` measures both paths.
   int batch_block_size = kAuto;
 
   /// Sentinel for batch_block_size: resolve from graph size vs LLC size.
   static constexpr int kAuto = -1;
-};
-
-/// One (node, score) pair of a top-k result, highest score first; ties break
-/// toward the smaller node id so results are deterministic.
-struct ScoredNode {
-  NodeId node;
-  double score;
 };
 
 /// Outcome of a single seed query within a batch.
@@ -66,9 +75,14 @@ struct QueryResult {
   /// Per-query status: an out-of-range seed fails its own slot, never the
   /// batch.
   Status status;
-  /// Dense score vector (top_k == 0), empty otherwise.
+  /// Dense score vector (top_k == 0, fp64 engine), empty otherwise.
   std::vector<double> scores;
-  /// Top-k extraction (top_k > 0), empty otherwise.
+  /// Dense score vector of an fp32 engine (top_k == 0): the halved-footprint
+  /// serving path hands the client fp32 scores without ever materializing
+  /// an fp64 copy.  Empty on fp64 engines and in top-k mode.
+  std::vector<float> scores_f32;
+  /// Top-k extraction (top_k > 0), empty otherwise.  Always fp64-scored
+  /// (k is small; the widening is exact).
   std::vector<ScoredNode> top;
   /// True when the scores came from the LRU cache.
   bool from_cache = false;
@@ -83,6 +97,14 @@ struct QueryResult {
 /// are mapped to the internal storage order before the method runs, and
 /// dense vectors / top-k entries are mapped back, so clients always speak
 /// the original node ids.
+///
+/// The engine serves at the graph's precision tier (Graph::
+/// value_precision): on an fp32 graph it requires a method that opts in
+/// (RwrMethod::SupportsPrecision), runs the fp32 query paths end to end,
+/// stores fp32 cache entries (half the bytes under the same budget), and
+/// returns dense results in QueryResult::scores_f32.  fp64 engines are
+/// bit-for-bit the historical pipeline.  The two tiers never serve each
+/// other's cache entries (see CachedResult).
 ///
 /// `QueryBatch` is batch-first: when the method supports native batched
 /// queries (SupportsBatchQuery), cache-miss seeds are partitioned into
@@ -100,7 +122,9 @@ struct QueryResult {
 class QueryEngine {
  public:
   /// Takes ownership of `method`, runs its Preprocess against `graph` with
-  /// an unlimited memory budget, and spins up the worker pool.
+  /// an unlimited memory budget, and spins up the worker pool.  Fails with
+  /// INVALID_ARGUMENT when the graph's precision tier is one the method
+  /// does not support.
   static StatusOr<QueryEngine> Create(const Graph& graph,
                                       std::unique_ptr<RwrMethod> method,
                                       const QueryEngineOptions& options = {});
@@ -126,12 +150,15 @@ class QueryEngine {
   int num_threads() const { return pool_->num_threads(); }
   const RwrMethod& method() const { return *method_; }
   const QueryEngineOptions& options() const { return options_; }
+  /// The serving tier — always the graph's value precision.
+  la::Precision precision() const { return precision_; }
 
   struct CacheStats {
     uint64_t hits = 0;
     uint64_t misses = 0;
     size_t entries = 0;
-    /// Payload bytes currently held (~8n per entry).
+    /// Payload bytes currently held: ~8n per fp64 dense entry, ~4n per
+    /// fp32 dense entry, O(k) per top-k-only entry.
     size_t bytes = 0;
   };
   /// All-zero when caching is disabled.
@@ -149,28 +176,37 @@ class QueryEngine {
   /// Computes (or fetches) the dense vector and shapes it into `result`.
   void ServeInto(NodeId seed, QueryResult& result);
 
+  /// Whether a stored entry can serve this engine's requests: same
+  /// precision tier, and top-k-only entries only for top-k requests they
+  /// cover.
+  bool EntryCompatible(const CachedResult& entry) const;
+
   /// Shapes a cache entry into `result` (top-k or dense copy, sets
   /// from_cache) — the one hit-serving path for both the per-seed and the
-  /// SpMM-group flows.
+  /// SpMM-group flows.  The entry must be EntryCompatible.
   void ShapeFromEntry(const ResultCache::Entry& entry, QueryResult& result);
 
-  /// Cache probe; on a hit, shapes the entry into `result` and returns
-  /// true.
+  /// Cache probe; on a compatible hit, shapes the entry into `result` and
+  /// returns true.  A mismatched entry counts as a miss (and is refreshed
+  /// by the subsequent insert).
   bool TryServeFromCache(NodeId seed, QueryResult& result);
 
-  /// Shapes a freshly computed dense vector into `result` (top-k or dense)
-  /// and inserts it into the cache when caching is enabled.
-  void ShapeAndCache(NodeId seed, std::vector<double> dense,
-                     QueryResult& result);
+  /// Shapes a freshly computed dense tier-V vector into `result` (top-k or
+  /// dense) and inserts it into the cache when caching is enabled
+  /// (top-k-only shaped under cache_topk_only).
+  template <typename V>
+  void ShapeAndCacheT(NodeId seed, std::vector<V> dense, QueryResult& result);
 
-  /// Serves one SpMM group: runs QueryBatchDense for `group` (locking for
-  /// non-concurrent methods) and fans the block back into the result slots
-  /// `slots[k]` ← vector k.  On failure every slot gets the group status.
+  /// Serves one SpMM group: runs QueryBatchDense (or the fp32 flavor) for
+  /// `group` (locking for non-concurrent methods) and fans the block back
+  /// into the result slots `slots[k]` ← vector k.  On failure every slot
+  /// gets the group status.
   void ServeGroup(const std::vector<NodeId>& group,
                   const std::vector<QueryResult*>& slots);
 
   const Graph* graph_;  // not owned
   QueryEngineOptions options_;
+  la::Precision precision_ = la::Precision::kFloat64;
   std::unique_ptr<RwrMethod> method_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ResultCache> cache_;  // null when caching is disabled
@@ -182,6 +218,9 @@ class QueryEngine {
 /// sort (ties toward smaller node id); k is clamped to scores.size().
 /// Exposed for tests and for clients that cache dense vectors themselves.
 std::vector<ScoredNode> TopKScores(const std::vector<double>& scores, int k);
+/// fp32 overload: ranking happens on the fp32 values; the reported scores
+/// are widened exactly.
+std::vector<ScoredNode> TopKScores(const std::vector<float>& scores, int k);
 
 }  // namespace tpa
 

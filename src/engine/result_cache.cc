@@ -14,6 +14,19 @@ ResultCache::Entry ResultCache::Get(NodeId seed) {
   return it->second->second;
 }
 
+ResultCache::Entry ResultCache::GetMatching(
+    NodeId seed, const std::function<bool(const CachedResult&)>& matches) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(seed);
+  if (it == index_.end() || !matches(*it->second->second)) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  order_.splice(order_.begin(), order_, it->second);
+  return it->second->second;
+}
+
 void ResultCache::Put(NodeId seed, Entry scores) {
   if (capacity_ == 0 && capacity_bytes_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);

@@ -2,6 +2,7 @@
 #define TPA_ENGINE_RESULT_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -10,29 +11,93 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "la/precision.h"
 
 namespace tpa {
 
-/// Thread-safe LRU cache from seed node to its dense RWR score vector.
+/// One (node, score) pair of a top-k result, highest score first; ties break
+/// toward the smaller node id so results are deterministic.  (Lives here —
+/// rather than in query_engine.h, which re-exports it — because top-k-only
+/// cache entries store these directly.)
+struct ScoredNode {
+  NodeId node;
+  double score;
+};
+
+/// One cached query result.  Exactly one payload is populated, described by
+/// the (precision, topk_only) tag pair:
+///  * fp64 dense  — dense64, ~8n bytes (the historical entry shape),
+///  * fp32 dense  — dense32, ~4n bytes (the halved-footprint serving tier),
+///  * top-k only  — topk, O(k) bytes (cache_topk_only engines).
+/// The tags exist so serving can refuse mismatched entries: an fp32 engine
+/// never hands out an fp64 payload (or vice versa), and a dense-requesting
+/// query never treats a top-k-only entry as a full vector — it refreshes it
+/// instead (see ResultCache::GetMatching).
+struct CachedResult {
+  la::Precision precision = la::Precision::kFloat64;
+  bool topk_only = false;
+  std::vector<double> dense64;
+  std::vector<float> dense32;
+  std::vector<ScoredNode> topk;
+
+  static CachedResult Dense(std::vector<double> scores) {
+    CachedResult result;
+    result.precision = la::Precision::kFloat64;
+    result.dense64 = std::move(scores);
+    return result;
+  }
+  static CachedResult Dense(std::vector<float> scores) {
+    CachedResult result;
+    result.precision = la::Precision::kFloat32;
+    result.dense32 = std::move(scores);
+    return result;
+  }
+  static CachedResult TopKOnly(la::Precision precision,
+                               std::vector<ScoredNode> top) {
+    CachedResult result;
+    result.precision = precision;
+    result.topk_only = true;
+    result.topk = std::move(top);
+    return result;
+  }
+
+  /// Payload bytes of this entry — what the cache's byte budget charges:
+  /// 8n for fp64 dense, 4n for fp32 dense, k·sizeof(ScoredNode) for
+  /// top-k-only.
+  size_t Bytes() const {
+    return dense64.size() * sizeof(double) + dense32.size() * sizeof(float) +
+           topk.size() * sizeof(ScoredNode);
+  }
+};
+
+/// Thread-safe LRU cache from seed node to its cached RWR result.
 ///
 /// Entries are shared_ptr<const …> so a hit can be handed to a client (or
 /// sliced for top-k) with no copy while eviction proceeds concurrently.
 /// Capacity is bounded on two independent axes — an entry count and an
-/// optional byte budget over the stored score payloads (~8n bytes per
-/// entry); eviction pops LRU entries until both bounds hold.  A zero bound
-/// means "unlimited" on that axis, except that a cache with both bounds
-/// zero caches nothing (the engine's caching-disabled configuration).
+/// optional byte budget over the stored payloads (CachedResult::Bytes);
+/// eviction pops LRU entries until both bounds hold.  A zero bound means
+/// "unlimited" on that axis, except that a cache with both bounds zero
+/// caches nothing (the engine's caching-disabled configuration).
 class ResultCache {
  public:
-  using Entry = std::shared_ptr<const std::vector<double>>;
+  using Entry = std::shared_ptr<const CachedResult>;
 
   /// CHECK-free: capacity 0 with no byte budget simply caches nothing.
   explicit ResultCache(size_t capacity, size_t capacity_bytes = 0)
       : capacity_(capacity), capacity_bytes_(capacity_bytes) {}
 
-  /// Returns the cached scores for `seed` (promoting it to most-recent), or
+  /// Returns the cached result for `seed` (promoting it to most-recent), or
   /// nullptr on miss.
   Entry Get(NodeId seed);
+
+  /// Shape-aware probe: a stored entry counts as a hit only when `matches`
+  /// accepts it.  A present-but-mismatched entry — wrong precision tier, or
+  /// top-k-only where the query needs the dense vector — counts as a miss
+  /// and returns nullptr (leaving the entry in place at its LRU position;
+  /// the caller's subsequent Put refreshes it to the compatible shape).
+  Entry GetMatching(NodeId seed,
+                    const std::function<bool(const CachedResult&)>& matches);
 
   /// Inserts (or refreshes) `seed`, evicting least-recently-used entries
   /// until both the entry cap and the byte budget hold.  An entry larger
@@ -41,7 +106,8 @@ class ResultCache {
   void Put(NodeId seed, Entry scores);
 
   size_t size() const;
-  /// Payload bytes currently held (sum over entries of 8·scores->size()).
+  /// Payload bytes currently held (sum of CachedResult::Bytes over
+  /// entries — 8n/4n/O(k) per entry depending on its shape).
   size_t bytes() const;
   uint64_t hits() const;
   uint64_t misses() const;
@@ -49,8 +115,8 @@ class ResultCache {
  private:
   using LruList = std::list<std::pair<NodeId, Entry>>;
 
-  static size_t EntryBytes(const Entry& scores) {
-    return scores == nullptr ? 0 : scores->size() * sizeof(double);
+  static size_t EntryBytes(const Entry& entry) {
+    return entry == nullptr ? 0 : entry->Bytes();
   }
 
   mutable std::mutex mu_;

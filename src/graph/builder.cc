@@ -16,7 +16,8 @@ using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
 
 /// Converts a cleaned (sorted, deduplicated, dangling-resolved) edge list
 /// into the CSR Graph.  `edges` must be sorted by (u, v).
-Graph FinalizeCsr(NodeId num_nodes, const EdgeList& edges) {
+Graph FinalizeCsr(NodeId num_nodes, const EdgeList& edges,
+                  la::Precision precision = la::Precision::kFloat64) {
   const size_t m = edges.size();
   std::vector<uint64_t> out_offsets(static_cast<size_t>(num_nodes) + 1, 0);
   std::vector<NodeId> out_targets(m);
@@ -43,7 +44,7 @@ Graph FinalizeCsr(NodeId num_nodes, const EdgeList& edges) {
   }
 
   return Graph(num_nodes, std::move(out_offsets), std::move(out_targets),
-               std::move(in_offsets), std::move(in_sources));
+               std::move(in_offsets), std::move(in_sources), precision);
 }
 
 /// Internal storage order for kDegreeDescending: total (in+out) degree
@@ -123,7 +124,7 @@ StatusOr<Graph> GraphBuilder::Build(const BuildOptions& options) {
   }
 
   if (options.node_ordering == NodeOrdering::kOriginal) {
-    return FinalizeCsr(num_nodes_, edges);
+    return FinalizeCsr(num_nodes_, edges, options.value_precision);
   }
 
   // Locality ordering: compute the internal storage order on the cleaned
@@ -149,7 +150,7 @@ StatusOr<Graph> GraphBuilder::Build(const BuildOptions& options) {
   }
   std::sort(edges.begin(), edges.end());
 
-  Graph graph = FinalizeCsr(num_nodes_, edges);
+  Graph graph = FinalizeCsr(num_nodes_, edges, options.value_precision);
   graph.AttachPermutation(
       std::make_shared<const Permutation>(std::move(permutation)));
   return graph;

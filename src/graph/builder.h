@@ -45,6 +45,11 @@ struct BuildOptions {
   bool deduplicate = true;
   DanglingPolicy dangling_policy = DanglingPolicy::kAddSelfLoop;
   NodeOrdering node_ordering = NodeOrdering::kOriginal;
+  /// Storage tier of the normalized edge values (see la::Precision):
+  /// kFloat64 feeds the historical all-double pipeline bitwise-unchanged;
+  /// kFloat32 materializes the CSR values at 4 bytes/edge for the fp32
+  /// propagation stack.
+  la::Precision value_precision = la::Precision::kFloat64;
 };
 
 /// Accumulates an edge list and finalizes it into an immutable CSR Graph.

@@ -9,16 +9,18 @@ namespace tpa {
 namespace {
 
 /// Per-edge normalized weights for the out-CSR: every edge in row u carries
-/// 1/out-degree(u).
-std::vector<double> OutWeights(const std::vector<uint64_t>& out_offsets,
-                               size_t num_edges) {
-  std::vector<double> weights(num_edges);
+/// 1/out-degree(u).  The reciprocal is computed in fp64 and rounded once to
+/// the storage tier V.
+template <typename V>
+std::vector<V> OutWeights(const std::vector<uint64_t>& out_offsets,
+                          size_t num_edges) {
+  std::vector<V> weights(num_edges);
   const size_t num_nodes = out_offsets.size() - 1;
   for (size_t u = 0; u < num_nodes; ++u) {
     const uint64_t begin = out_offsets[u];
     const uint64_t end = out_offsets[u + 1];
     if (begin == end) continue;
-    const double w = 1.0 / static_cast<double>(end - begin);
+    const V w = static_cast<V>(1.0 / static_cast<double>(end - begin));
     for (uint64_t e = begin; e < end; ++e) weights[e] = w;
   }
   return weights;
@@ -26,13 +28,14 @@ std::vector<double> OutWeights(const std::vector<uint64_t>& out_offsets,
 
 /// Per-edge weights for the in-CSR: the edge (v ← u) carries
 /// 1/out-degree(u), looked up from the out offsets.
-std::vector<double> InWeights(const std::vector<uint64_t>& out_offsets,
-                              const std::vector<NodeId>& in_sources) {
-  std::vector<double> weights(in_sources.size());
+template <typename V>
+std::vector<V> InWeights(const std::vector<uint64_t>& out_offsets,
+                         const std::vector<NodeId>& in_sources) {
+  std::vector<V> weights(in_sources.size());
   for (size_t e = 0; e < in_sources.size(); ++e) {
     const NodeId u = in_sources[e];
-    weights[e] =
-        1.0 / static_cast<double>(out_offsets[u + 1] - out_offsets[u]);
+    weights[e] = static_cast<V>(
+        1.0 / static_cast<double>(out_offsets[u + 1] - out_offsets[u]));
   }
   return weights;
 }
@@ -41,8 +44,9 @@ std::vector<double> InWeights(const std::vector<uint64_t>& out_offsets,
 
 Graph::Graph(NodeId num_nodes, std::vector<uint64_t> out_offsets,
              std::vector<NodeId> out_targets, std::vector<uint64_t> in_offsets,
-             std::vector<NodeId> in_sources)
+             std::vector<NodeId> in_sources, la::Precision value_precision)
     : num_nodes_(num_nodes),
+      precision_(value_precision),
       partition_cache_(std::make_unique<PartitionCache>()) {
   TPA_CHECK_EQ(out_offsets.size(), static_cast<size_t>(num_nodes_) + 1);
   TPA_CHECK_EQ(in_offsets.size(), static_cast<size_t>(num_nodes_) + 1);
@@ -50,15 +54,27 @@ Graph::Graph(NodeId num_nodes, std::vector<uint64_t> out_offsets,
   TPA_CHECK_EQ(out_offsets.back(), out_targets.size());
   TPA_CHECK_EQ(in_offsets.back(), in_sources.size());
   // Fail fast before InWeights dereferences out_offsets[u + 1]; the
-  // CsrMatrix constructors re-validate but run only afterwards.
+  // CsrMatrixT constructors re-validate but run only afterwards.
   for (NodeId u : in_sources) TPA_CHECK_LT(u, num_nodes_);
 
-  std::vector<double> out_weights = OutWeights(out_offsets, out_targets.size());
-  std::vector<double> in_weights = InWeights(out_offsets, in_sources);
-  out_csr_ = la::CsrMatrix(num_nodes_, num_nodes_, std::move(out_offsets),
-                           std::move(out_targets), std::move(out_weights));
-  in_csr_ = la::CsrMatrix(num_nodes_, num_nodes_, std::move(in_offsets),
-                          std::move(in_sources), std::move(in_weights));
+  if (precision_ == la::Precision::kFloat64) {
+    std::vector<double> out_weights =
+        OutWeights<double>(out_offsets, out_targets.size());
+    std::vector<double> in_weights = InWeights<double>(out_offsets, in_sources);
+    out_csr_ = la::CsrMatrix(num_nodes_, num_nodes_, std::move(out_offsets),
+                             std::move(out_targets), std::move(out_weights));
+    in_csr_ = la::CsrMatrix(num_nodes_, num_nodes_, std::move(in_offsets),
+                            std::move(in_sources), std::move(in_weights));
+  } else {
+    std::vector<float> out_weights =
+        OutWeights<float>(out_offsets, out_targets.size());
+    std::vector<float> in_weights = InWeights<float>(out_offsets, in_sources);
+    out_csr_f_ = la::CsrMatrixF(num_nodes_, num_nodes_, std::move(out_offsets),
+                                std::move(out_targets),
+                                std::move(out_weights));
+    in_csr_f_ = la::CsrMatrixF(num_nodes_, num_nodes_, std::move(in_offsets),
+                               std::move(in_sources), std::move(in_weights));
+  }
 }
 
 std::span<const uint32_t> Graph::OutColumnPartition(size_t parts) const {
@@ -67,24 +83,10 @@ std::span<const uint32_t> Graph::OutColumnPartition(size_t parts) const {
     if (cached_parts == parts) return boundaries;
   }
   partition_cache_->entries.emplace_back(
-      parts, out_csr_.NnzBalancedColumnRanges(parts));
+      parts, precision_ == la::Precision::kFloat64
+                 ? out_csr_.NnzBalancedColumnRanges(parts)
+                 : out_csr_f_.NnzBalancedColumnRanges(parts));
   return partition_cache_->entries.back().second;
-}
-
-void Graph::MultiplyTransposeParallel(const std::vector<double>& x,
-                                      std::vector<double>& y,
-                                      la::TaskRunner& runner) const {
-  out_csr_.SpMvTransposeParallel(
-      x, y, OutColumnPartition(static_cast<size_t>(runner.concurrency())),
-      runner);
-}
-
-void Graph::MultiplyTransposeBlockParallel(const la::DenseBlock& x,
-                                           la::DenseBlock& y,
-                                           la::TaskRunner& runner) const {
-  out_csr_.SpMmTransposeParallel(
-      x, y, OutColumnPartition(static_cast<size_t>(runner.concurrency())),
-      runner);
 }
 
 NodeId Graph::CountDangling() const {
@@ -93,6 +95,33 @@ NodeId Graph::CountDangling() const {
     if (OutDegree(u) == 0) ++count;
   }
   return count;
+}
+
+Graph RematerializeWithPrecision(const Graph& graph, la::Precision precision) {
+  const NodeId n = graph.num_nodes();
+  std::vector<uint64_t> out_offsets(static_cast<size_t>(n) + 1, 0);
+  std::vector<uint64_t> in_offsets(static_cast<size_t>(n) + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    out_offsets[u + 1] = out_offsets[u] + graph.OutDegree(u);
+    in_offsets[u + 1] = in_offsets[u] + graph.InDegree(u);
+  }
+  std::vector<NodeId> out_targets;
+  std::vector<NodeId> in_sources;
+  out_targets.reserve(out_offsets.back());
+  in_sources.reserve(in_offsets.back());
+  for (NodeId u = 0; u < n; ++u) {
+    const auto out = graph.OutNeighbors(u);
+    out_targets.insert(out_targets.end(), out.begin(), out.end());
+    const auto in = graph.InNeighbors(u);
+    in_sources.insert(in_sources.end(), in.begin(), in.end());
+  }
+  Graph result(n, std::move(out_offsets), std::move(out_targets),
+               std::move(in_offsets), std::move(in_sources), precision);
+  if (graph.permutation() != nullptr) {
+    result.AttachPermutation(
+        std::make_shared<const Permutation>(*graph.permutation()));
+  }
+  return result;
 }
 
 }  // namespace tpa

@@ -5,10 +5,12 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "graph/permutation.h"
 #include "la/csr_matrix.h"
+#include "la/precision.h"
 #include "la/task_runner.h"
 
 namespace tpa {
@@ -24,6 +26,15 @@ using NodeId = uint32_t;
 /// that dominate every method's runtime are pure CSR SpMv kernels — a
 /// contiguous (index, value) sweep with no per-edge degree lookup or
 /// division.
+///
+/// The edge values are materialized at one precision tier
+/// (BuildOptions::value_precision): fp64 — the default, feeding the
+/// historical all-double pipeline bitwise-unchanged — or fp32, which cuts
+/// the per-edge footprint from 12 to 8 bytes (index + value) and feeds the
+/// fp32 propagation stack (Cpi/Tpa fp32 workspaces, fp32 serving).  The
+/// structure accessors (degrees, neighbor spans) work at either tier; the
+/// typed matrix accessors CHECK that the requested tier is the one
+/// materialized — a graph holds exactly one value array per direction.
 ///
 /// The in/out dual layout supports the two product flavors used throughout
 /// the library:
@@ -41,7 +52,8 @@ class Graph {
   /// of calling this directly.
   Graph(NodeId num_nodes, std::vector<uint64_t> out_offsets,
         std::vector<NodeId> out_targets, std::vector<uint64_t> in_offsets,
-        std::vector<NodeId> in_sources);
+        std::vector<NodeId> in_sources,
+        la::Precision value_precision = la::Precision::kFloat64);
 
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
@@ -49,56 +61,119 @@ class Graph {
   Graph& operator=(Graph&&) = default;
 
   NodeId num_nodes() const { return num_nodes_; }
-  uint64_t num_edges() const { return out_csr_.nnz(); }
+  uint64_t num_edges() const {
+    return precision_ == la::Precision::kFloat64 ? out_csr_.nnz()
+                                                 : out_csr_f_.nnz();
+  }
 
-  uint32_t OutDegree(NodeId u) const { return out_csr_.RowNnz(u); }
-  uint32_t InDegree(NodeId v) const { return in_csr_.RowNnz(v); }
+  /// The precision tier of the materialized edge values.
+  la::Precision value_precision() const { return precision_; }
+
+  uint32_t OutDegree(NodeId u) const {
+    return precision_ == la::Precision::kFloat64 ? out_csr_.RowNnz(u)
+                                                 : out_csr_f_.RowNnz(u);
+  }
+  uint32_t InDegree(NodeId v) const {
+    return precision_ == la::Precision::kFloat64 ? in_csr_.RowNnz(v)
+                                                 : in_csr_f_.RowNnz(v);
+  }
 
   std::span<const NodeId> OutNeighbors(NodeId u) const {
-    return out_csr_.RowIndices(u);
+    return precision_ == la::Precision::kFloat64 ? out_csr_.RowIndices(u)
+                                                 : out_csr_f_.RowIndices(u);
   }
   std::span<const NodeId> InNeighbors(NodeId v) const {
-    return in_csr_.RowIndices(v);
+    return precision_ == la::Precision::kFloat64 ? in_csr_.RowIndices(v)
+                                                 : in_csr_f_.RowIndices(v);
   }
 
-  /// Ã as a weighted CSR matrix: row u holds u's out-neighbors with weight
-  /// 1/out-degree(u).  Exposed for kernels that want the raw matrix (the
-  /// query engine, benchmarks).
-  const la::CsrMatrix& Transition() const { return out_csr_; }
+  /// Ã as a weighted CSR at tier V: row u holds u's out-neighbors with
+  /// weight 1/out-degree(u).  CHECK-fails when the graph was materialized
+  /// at the other tier (fp64-only methods must not silently run on an fp32
+  /// graph, and vice versa).
+  template <typename V>
+  const la::CsrMatrixT<V>& TransitionT() const {
+    if constexpr (std::is_same_v<V, double>) {
+      TPA_CHECK(precision_ == la::Precision::kFloat64);
+      return out_csr_;
+    } else {
+      TPA_CHECK(precision_ == la::Precision::kFloat32);
+      return out_csr_f_;
+    }
+  }
 
-  /// Ã^T as a weighted CSR matrix: row v holds v's in-neighbors u with
+  /// Ã^T as a weighted CSR at tier V: row v holds v's in-neighbors u with
   /// weight 1/out-degree(u).
-  const la::CsrMatrix& TransitionTranspose() const { return in_csr_; }
+  template <typename V>
+  const la::CsrMatrixT<V>& TransitionTransposeT() const {
+    if constexpr (std::is_same_v<V, double>) {
+      TPA_CHECK(precision_ == la::Precision::kFloat64);
+      return in_csr_;
+    } else {
+      TPA_CHECK(precision_ == la::Precision::kFloat32);
+      return in_csr_f_;
+    }
+  }
+
+  /// The fp64 matrices (the historical accessors; CHECK fp64 tier).
+  const la::CsrMatrix& Transition() const { return TransitionT<double>(); }
+  const la::CsrMatrix& TransitionTranspose() const {
+    return TransitionTransposeT<double>();
+  }
+  /// The fp32 matrices (CHECK fp32 tier).
+  const la::CsrMatrixF& TransitionF() const { return TransitionT<float>(); }
+  const la::CsrMatrixF& TransitionTransposeF() const {
+    return TransitionTransposeT<float>();
+  }
 
   /// Number of dangling (out-degree zero) nodes.
   NodeId CountDangling() const;
 
   /// y = Ã^T x via push/scatter over out-edges.  y is resized and zeroed.
+  template <typename V>
+  void MultiplyTransposeT(const std::vector<V>& x, std::vector<V>& y) const {
+    TransitionT<V>().SpMvTranspose(x, y);
+  }
   void MultiplyTranspose(const std::vector<double>& x,
                          std::vector<double>& y) const {
-    out_csr_.SpMvTranspose(x, y);
+    MultiplyTransposeT<double>(x, y);
   }
 
   /// y = Ã^T x via pull/gather over in-edges; bitwise-equal semantics to
   /// MultiplyTranspose up to floating point association order.
+  template <typename V>
+  void MultiplyTransposePullT(const std::vector<V>& x,
+                              std::vector<V>& y) const {
+    TransitionTransposeT<V>().SpMv(x, y);
+  }
   void MultiplyTransposePull(const std::vector<double>& x,
                              std::vector<double>& y) const {
-    in_csr_.SpMv(x, y);
+    MultiplyTransposePullT<double>(x, y);
   }
 
   /// Y = Ã^T X for a whole block of vectors in one sweep over the out-edge
   /// CSR arrays; vector b of Y is bitwise-identical to MultiplyTranspose on
-  /// vector b of X (see CsrMatrix::SpMmTranspose).
+  /// vector b of X (see CsrMatrixT::SpMmTranspose).
+  template <typename V>
+  void MultiplyTransposeBlockT(const la::DenseBlockT<V>& x,
+                               la::DenseBlockT<V>& y) const {
+    TransitionT<V>().SpMmTranspose(x, y);
+  }
   void MultiplyTransposeBlock(const la::DenseBlock& x,
                               la::DenseBlock& y) const {
-    out_csr_.SpMmTranspose(x, y);
+    MultiplyTransposeBlockT<double>(x, y);
   }
 
   /// Pull-flavor block product over the in-edge CSR arrays; per-vector
   /// bitwise match of MultiplyTransposePull.
+  template <typename V>
+  void MultiplyTransposePullBlockT(const la::DenseBlockT<V>& x,
+                                   la::DenseBlockT<V>& y) const {
+    TransitionTransposeT<V>().SpMm(x, y);
+  }
   void MultiplyTransposePullBlock(const la::DenseBlock& x,
                                   la::DenseBlock& y) const {
-    in_csr_.SpMm(x, y);
+    MultiplyTransposePullBlockT<double>(x, y);
   }
 
   /// Parallel y = Ã^T x: the scatter partitioned by destination range and
@@ -106,18 +181,38 @@ class Graph {
   /// partition, so the result is bitwise-identical to MultiplyTranspose
   /// regardless of scheduling.  The nnz-balanced partition is computed once
   /// per (graph, parts) pair and cached.
+  template <typename V>
+  void MultiplyTransposeParallelT(const std::vector<V>& x, std::vector<V>& y,
+                                  la::TaskRunner& runner) const {
+    TransitionT<V>().SpMvTransposeParallel(
+        x, y, OutColumnPartition(static_cast<size_t>(runner.concurrency())),
+        runner);
+  }
   void MultiplyTransposeParallel(const std::vector<double>& x,
                                  std::vector<double>& y,
-                                 la::TaskRunner& runner) const;
+                                 la::TaskRunner& runner) const {
+    MultiplyTransposeParallelT<double>(x, y, runner);
+  }
 
   /// Parallel block flavor; per-vector bitwise match of
   /// MultiplyTransposeBlock — the engine's intra-group parallel SpMM.
+  template <typename V>
+  void MultiplyTransposeBlockParallelT(const la::DenseBlockT<V>& x,
+                                       la::DenseBlockT<V>& y,
+                                       la::TaskRunner& runner) const {
+    TransitionT<V>().SpMmTransposeParallel(
+        x, y, OutColumnPartition(static_cast<size_t>(runner.concurrency())),
+        runner);
+  }
   void MultiplyTransposeBlockParallel(const la::DenseBlock& x,
                                       la::DenseBlock& y,
-                                      la::TaskRunner& runner) const;
+                                      la::TaskRunner& runner) const {
+    MultiplyTransposeBlockParallelT<double>(x, y, runner);
+  }
 
   /// The nnz-balanced destination partition of the out-CSR for `parts`
-  /// ranges, built lazily and cached (thread-safe).
+  /// ranges, built lazily and cached (thread-safe).  Purely structural, so
+  /// the same partition serves both precision tiers.
   std::span<const uint32_t> OutColumnPartition(size_t parts) const;
 
   /// The external↔internal node-id mapping applied by GraphBuilder when a
@@ -131,9 +226,12 @@ class Graph {
     permutation_ = std::move(permutation);
   }
 
-  /// Logical bytes held by the two CSR matrices (experiment reporting).
+  /// Logical bytes held by the two CSR matrices (experiment reporting and
+  /// the engine's kAuto batch heuristic) — precision-dependent: the fp32
+  /// tier reports 8 bytes/nnz where fp64 reports 12.
   size_t SizeBytes() const {
-    return out_csr_.SizeBytes() + in_csr_.SizeBytes();
+    return out_csr_.SizeBytes() + in_csr_.SizeBytes() +
+           out_csr_f_.SizeBytes() + in_csr_f_.SizeBytes();
   }
 
  private:
@@ -145,11 +243,23 @@ class Graph {
   };
 
   NodeId num_nodes_;
-  la::CsrMatrix out_csr_;  // Ã:   row u → out-neighbors, weight 1/outdeg(u)
-  la::CsrMatrix in_csr_;   // Ã^T: row v → in-neighbors u, weight 1/outdeg(u)
+  la::Precision precision_;
+  // Exactly one pair is populated, per precision_; the other pair stays
+  // empty (zero bytes).
+  la::CsrMatrix out_csr_;   // Ã:   row u → out-neighbors, weight 1/outdeg(u)
+  la::CsrMatrix in_csr_;    // Ã^T: row v → in-neighbors u, weight 1/outdeg(u)
+  la::CsrMatrixF out_csr_f_;
+  la::CsrMatrixF in_csr_f_;
   std::shared_ptr<const Permutation> permutation_;  // null = original order
   std::unique_ptr<PartitionCache> partition_cache_;
 };
+
+/// Re-materializes `graph` at the other precision tier: same structure,
+/// same permutation, freshly normalized edge values stored at `precision`.
+/// The one-time cost is a structure copy — used by benchmarks and tests to
+/// compare tiers on identical graphs, and by callers that load a graph
+/// once and serve both tiers.
+Graph RematerializeWithPrecision(const Graph& graph, la::Precision precision);
 
 }  // namespace tpa
 

@@ -25,24 +25,4 @@ StatusOr<Permutation> Permutation::FromInternalOrder(
                      std::move(external_of_internal));
 }
 
-std::vector<double> Permutation::ScoresToExternal(
-    const std::vector<double>& internal_scores) const {
-  TPA_DCHECK(internal_scores.size() == external_of_internal_.size());
-  std::vector<double> external(internal_scores.size());
-  for (size_t e = 0; e < external.size(); ++e) {
-    external[e] = internal_scores[internal_of_external_[e]];
-  }
-  return external;
-}
-
-std::vector<double> Permutation::ValuesToInternal(
-    const std::vector<double>& external_values) const {
-  TPA_DCHECK(external_values.size() == external_of_internal_.size());
-  std::vector<double> internal(external_values.size());
-  for (size_t p = 0; p < internal.size(); ++p) {
-    internal[p] = external_values[external_of_internal_[p]];
-  }
-  return internal;
-}
-
 }  // namespace tpa

@@ -53,15 +53,32 @@ class Permutation {
   }
 
   /// Gathers a dense internal-indexed score vector into external order:
-  /// result[e] = internal_scores[ToInternal(e)].
-  std::vector<double> ScoresToExternal(
-      const std::vector<double>& internal_scores) const;
+  /// result[e] = internal_scores[ToInternal(e)].  Works at either precision
+  /// tier (pure element moves, no arithmetic).
+  template <typename V>
+  std::vector<V> ScoresToExternal(
+      const std::vector<V>& internal_scores) const {
+    TPA_DCHECK(internal_scores.size() == external_of_internal_.size());
+    std::vector<V> external(internal_scores.size());
+    for (size_t e = 0; e < external.size(); ++e) {
+      external[e] = internal_scores[internal_of_external_[e]];
+    }
+    return external;
+  }
 
   /// Scatters a dense external-indexed vector into internal order:
   /// result[ToInternal(e)] = external_values[e].  The inverse of
   /// ScoresToExternal; used to translate whole seed distributions.
-  std::vector<double> ValuesToInternal(
-      const std::vector<double>& external_values) const;
+  template <typename V>
+  std::vector<V> ValuesToInternal(
+      const std::vector<V>& external_values) const {
+    TPA_DCHECK(external_values.size() == external_of_internal_.size());
+    std::vector<V> internal(external_values.size());
+    for (size_t p = 0; p < internal.size(); ++p) {
+      internal[p] = external_values[external_of_internal_[p]];
+    }
+    return internal;
+  }
 
  private:
   Permutation(std::vector<NodeId> internal_of_external,

@@ -7,10 +7,11 @@
 
 namespace tpa::la {
 
-CsrMatrix::CsrMatrix(uint32_t rows, uint32_t cols,
-                     std::vector<uint64_t> row_offsets,
-                     std::vector<uint32_t> col_indices,
-                     std::vector<double> values)
+template <typename V>
+CsrMatrixT<V>::CsrMatrixT(uint32_t rows, uint32_t cols,
+                          std::vector<uint64_t> row_offsets,
+                          std::vector<uint32_t> col_indices,
+                          std::vector<V> values)
     : rows_(rows),
       cols_(cols),
       row_offsets_(std::move(row_offsets)),
@@ -26,33 +27,35 @@ CsrMatrix::CsrMatrix(uint32_t rows, uint32_t cols,
   for (uint32_t c : col_indices_) TPA_CHECK_LT(c, cols_);
 }
 
-void CsrMatrix::SpMv(const std::vector<double>& x,
-                     std::vector<double>& y) const {
+template <typename V>
+void CsrMatrixT<V>::SpMv(const std::vector<V>& x, std::vector<V>& y) const {
   TPA_DCHECK(x.size() == cols_);
   y.resize(rows_);
   const uint64_t* offsets = row_offsets_.data();
   const uint32_t* indices = col_indices_.data();
-  const double* values = values_.data();
+  const V* values = values_.data();
   for (uint32_t r = 0; r < rows_; ++r) {
     double sum = 0.0;
     const uint64_t end = offsets[r + 1];
     for (uint64_t e = offsets[r]; e < end; ++e) {
-      sum += values[e] * x[indices[e]];
+      sum += static_cast<double>(values[e]) *
+             static_cast<double>(x[indices[e]]);
     }
-    y[r] = sum;
+    y[r] = static_cast<V>(sum);
   }
 }
 
-void CsrMatrix::SpMvTranspose(const std::vector<double>& x,
-                              std::vector<double>& y) const {
+template <typename V>
+void CsrMatrixT<V>::SpMvTranspose(const std::vector<V>& x,
+                                  std::vector<V>& y) const {
   TPA_DCHECK(x.size() == rows_);
-  y.assign(cols_, 0.0);
+  y.assign(cols_, V{0});
   const uint64_t* offsets = row_offsets_.data();
   const uint32_t* indices = col_indices_.data();
-  const double* values = values_.data();
+  const V* values = values_.data();
   for (uint32_t r = 0; r < rows_; ++r) {
-    const double xr = x[r];
-    if (xr == 0.0) continue;
+    const V xr = x[r];
+    if (xr == V{0}) continue;
     const uint64_t end = offsets[r + 1];
     for (uint64_t e = offsets[r]; e < end; ++e) {
       y[indices[e]] += values[e] * xr;
@@ -67,42 +70,59 @@ namespace {
 /// bound the compiler keeps a loop (and an alias check) on the hottest
 /// three instructions of the library.  Widths up to 16 cover every group
 /// size the engine dispatches by default; wider blocks fall back to the
-/// runtime loop.
-template <size_t kWidth>
+/// runtime loop.  Gathers accumulate in fp64 and round once on store;
+/// scatters update in native V (see the class comment for the tiered
+/// arithmetic contract).
+template <size_t kWidth, typename V>
 void SpMmRows(const uint64_t* offsets, const uint32_t* indices,
-              const double* values, uint32_t rows, const DenseBlock& x,
-              DenseBlock& y) {
+              const V* values, uint32_t rows, const DenseBlockT<V>& x,
+              DenseBlockT<V>& y) {
+  // The row accumulators are fp64 (a local register block), rounded to V
+  // once on store — exactly SpMv's per-row accumulation, which is what
+  // keeps vector b of the block bitwise-identical to the scalar kernel at
+  // the fp32 tier too.  For V = double the store casts are no-ops and the
+  // arithmetic is unchanged.
   for (uint32_t r = 0; r < rows; ++r) {
-    double* __restrict sums = y.RowPtr(r);
+    double sums[kWidth];
     for (size_t b = 0; b < kWidth; ++b) sums[b] = 0.0;
     const uint64_t end = offsets[r + 1];
     for (uint64_t e = offsets[r]; e < end; ++e) {
       const double w = values[e];
-      const double* __restrict xr = x.RowPtr(indices[e]);
-      for (size_t b = 0; b < kWidth; ++b) sums[b] += w * xr[b];
+      const V* __restrict xr = x.RowPtr(indices[e]);
+      for (size_t b = 0; b < kWidth; ++b) {
+        sums[b] += w * static_cast<double>(xr[b]);
+      }
     }
+    V* __restrict out = y.RowPtr(r);
+    for (size_t b = 0; b < kWidth; ++b) out[b] = static_cast<V>(sums[b]);
   }
 }
 
+template <typename V>
 void SpMmRowsGeneric(const uint64_t* offsets, const uint32_t* indices,
-                     const double* values, uint32_t rows, size_t num_vectors,
-                     const DenseBlock& x, DenseBlock& y) {
+                     const V* values, uint32_t rows, size_t num_vectors,
+                     const DenseBlockT<V>& x, DenseBlockT<V>& y,
+                     std::vector<double>& sums) {
+  sums.resize(num_vectors);
   for (uint32_t r = 0; r < rows; ++r) {
-    double* __restrict sums = y.RowPtr(r);
     for (size_t b = 0; b < num_vectors; ++b) sums[b] = 0.0;
     const uint64_t end = offsets[r + 1];
     for (uint64_t e = offsets[r]; e < end; ++e) {
       const double w = values[e];
-      const double* __restrict xr = x.RowPtr(indices[e]);
-      for (size_t b = 0; b < num_vectors; ++b) sums[b] += w * xr[b];
+      const V* __restrict xr = x.RowPtr(indices[e]);
+      for (size_t b = 0; b < num_vectors; ++b) {
+        sums[b] += w * static_cast<double>(xr[b]);
+      }
     }
+    V* __restrict out = y.RowPtr(r);
+    for (size_t b = 0; b < num_vectors; ++b) out[b] = static_cast<V>(sums[b]);
   }
 }
 
-template <size_t kWidth>
+template <size_t kWidth, typename V>
 void SpMmTransposeRows(const uint64_t* offsets, const uint32_t* indices,
-                       const double* values, uint32_t rows,
-                       const DenseBlock& x, DenseBlock& y) {
+                       const V* values, uint32_t rows, const DenseBlockT<V>& x,
+                       DenseBlockT<V>& y) {
   // The scatter destinations are known kPrefetch edges ahead from the
   // column-index stream; prefetching them hides the block-row fetch
   // latency that dominates once the n×B output outgrows L2 (a B-wide block
@@ -111,35 +131,36 @@ void SpMmTransposeRows(const uint64_t* offsets, const uint32_t* indices,
   constexpr uint64_t kPrefetch = 16;
   const uint64_t nnz = offsets[rows];
   for (uint32_t r = 0; r < rows; ++r) {
-    const double* __restrict xr = x.RowPtr(r);
+    const V* __restrict xr = x.RowPtr(r);
     bool any_nonzero = false;
-    for (size_t b = 0; b < kWidth; ++b) any_nonzero |= (xr[b] != 0.0);
+    for (size_t b = 0; b < kWidth; ++b) any_nonzero |= (xr[b] != V{0});
     if (!any_nonzero) continue;
     const uint64_t end = offsets[r + 1];
     for (uint64_t e = offsets[r]; e < end; ++e) {
       if (e + kPrefetch < nnz) {
         __builtin_prefetch(y.RowPtr(indices[e + kPrefetch]), 1);
       }
-      const double w = values[e];
-      double* __restrict yr = y.RowPtr(indices[e]);
+      const V w = values[e];
+      V* __restrict yr = y.RowPtr(indices[e]);
       for (size_t b = 0; b < kWidth; ++b) yr[b] += w * xr[b];
     }
   }
 }
 
+template <typename V>
 void SpMmTransposeRowsGeneric(const uint64_t* offsets, const uint32_t* indices,
-                              const double* values, uint32_t rows,
-                              size_t num_vectors, const DenseBlock& x,
-                              DenseBlock& y) {
+                              const V* values, uint32_t rows,
+                              size_t num_vectors, const DenseBlockT<V>& x,
+                              DenseBlockT<V>& y) {
   for (uint32_t r = 0; r < rows; ++r) {
-    const double* __restrict xr = x.RowPtr(r);
+    const V* __restrict xr = x.RowPtr(r);
     bool any_nonzero = false;
-    for (size_t b = 0; b < num_vectors; ++b) any_nonzero |= (xr[b] != 0.0);
+    for (size_t b = 0; b < num_vectors; ++b) any_nonzero |= (xr[b] != V{0});
     if (!any_nonzero) continue;
     const uint64_t end = offsets[r + 1];
     for (uint64_t e = offsets[r]; e < end; ++e) {
-      const double w = values[e];
-      double* __restrict yr = y.RowPtr(indices[e]);
+      const V w = values[e];
+      V* __restrict yr = y.RowPtr(indices[e]);
       for (size_t b = 0; b < num_vectors; ++b) yr[b] += w * xr[b];
     }
   }
@@ -147,31 +168,36 @@ void SpMmTransposeRowsGeneric(const uint64_t* offsets, const uint32_t* indices,
 
 }  // namespace
 
-void CsrMatrix::SpMm(const DenseBlock& x, DenseBlock& y) const {
+template <typename V>
+void CsrMatrixT<V>::SpMm(const DenseBlockT<V>& x, DenseBlockT<V>& y) const {
   TPA_DCHECK(x.rows() == cols_);
   const size_t num_vectors = x.num_vectors();
   y.Resize(rows_, num_vectors);
   const uint64_t* offsets = row_offsets_.data();
   const uint32_t* indices = col_indices_.data();
-  const double* values = values_.data();
+  const V* values = values_.data();
   DispatchWidth(
       num_vectors,
       [&]<size_t kWidth>() {
         SpMmRows<kWidth>(offsets, indices, values, rows_, x, y);
       },
       [&] {
-        SpMmRowsGeneric(offsets, indices, values, rows_, num_vectors, x, y);
+        std::vector<double> sums;
+        SpMmRowsGeneric(offsets, indices, values, rows_, num_vectors, x, y,
+                        sums);
       });
 }
 
-void CsrMatrix::SpMmTranspose(const DenseBlock& x, DenseBlock& y) const {
+template <typename V>
+void CsrMatrixT<V>::SpMmTranspose(const DenseBlockT<V>& x,
+                                  DenseBlockT<V>& y) const {
   TPA_DCHECK(x.rows() == rows_);
   const size_t num_vectors = x.num_vectors();
   y.Resize(cols_, num_vectors);
   y.SetZero();
   const uint64_t* offsets = row_offsets_.data();
   const uint32_t* indices = col_indices_.data();
-  const double* values = values_.data();
+  const V* values = values_.data();
   DispatchWidth(
       num_vectors,
       [&]<size_t kWidth>() {
@@ -188,23 +214,23 @@ namespace {
 /// Inner loop of the block frontier scatter, width-specialized like the
 /// dense SpMmTranspose.  Touched destinations are collected once via the
 /// epoch marks; the caller sorts them afterwards.
-template <size_t kWidth>
+template <size_t kWidth, typename V>
 void SpMmTransposeFrontierRows(const uint64_t* offsets, const uint32_t* indices,
-                               const double* values,
+                               const V* values,
                                std::span<const uint32_t> frontier,
-                               const DenseBlock& x, DenseBlock& y,
+                               const DenseBlockT<V>& x, DenseBlockT<V>& y,
                                std::vector<uint32_t>& next_frontier,
                                FrontierScratch& scratch) {
   for (uint32_t r : frontier) {
-    const double* __restrict xr = x.RowPtr(r);
+    const V* __restrict xr = x.RowPtr(r);
     bool any_nonzero = false;
-    for (size_t b = 0; b < kWidth; ++b) any_nonzero |= (xr[b] != 0.0);
+    for (size_t b = 0; b < kWidth; ++b) any_nonzero |= (xr[b] != V{0});
     if (!any_nonzero) continue;
     const uint64_t end = offsets[r + 1];
     for (uint64_t e = offsets[r]; e < end; ++e) {
       const uint32_t dest = indices[e];
-      const double w = values[e];
-      double* __restrict yr = y.RowPtr(dest);
+      const V w = values[e];
+      V* __restrict yr = y.RowPtr(dest);
       for (size_t b = 0; b < kWidth; ++b) yr[b] += w * xr[b];
       if (scratch.touched_epoch[dest] != scratch.epoch) {
         scratch.touched_epoch[dest] = scratch.epoch;
@@ -214,24 +240,25 @@ void SpMmTransposeFrontierRows(const uint64_t* offsets, const uint32_t* indices,
   }
 }
 
+template <typename V>
 void SpMmTransposeFrontierRowsGeneric(const uint64_t* offsets,
-                                      const uint32_t* indices,
-                                      const double* values,
+                                      const uint32_t* indices, const V* values,
                                       std::span<const uint32_t> frontier,
-                                      size_t num_vectors, const DenseBlock& x,
-                                      DenseBlock& y,
+                                      size_t num_vectors,
+                                      const DenseBlockT<V>& x,
+                                      DenseBlockT<V>& y,
                                       std::vector<uint32_t>& next_frontier,
                                       FrontierScratch& scratch) {
   for (uint32_t r : frontier) {
-    const double* __restrict xr = x.RowPtr(r);
+    const V* __restrict xr = x.RowPtr(r);
     bool any_nonzero = false;
-    for (size_t b = 0; b < num_vectors; ++b) any_nonzero |= (xr[b] != 0.0);
+    for (size_t b = 0; b < num_vectors; ++b) any_nonzero |= (xr[b] != V{0});
     if (!any_nonzero) continue;
     const uint64_t end = offsets[r + 1];
     for (uint64_t e = offsets[r]; e < end; ++e) {
       const uint32_t dest = indices[e];
-      const double w = values[e];
-      double* __restrict yr = y.RowPtr(dest);
+      const V w = values[e];
+      V* __restrict yr = y.RowPtr(dest);
       for (size_t b = 0; b < num_vectors; ++b) yr[b] += w * xr[b];
       if (scratch.touched_epoch[dest] != scratch.epoch) {
         scratch.touched_epoch[dest] = scratch.epoch;
@@ -243,50 +270,51 @@ void SpMmTransposeFrontierRowsGeneric(const uint64_t* offsets,
 
 /// Block-row zeroing of y[col_begin, col_end) — the range kernels own their
 /// destination slice end to end.
-void ZeroBlockRows(DenseBlock& y, uint32_t begin, uint32_t end) {
+template <typename V>
+void ZeroBlockRows(DenseBlockT<V>& y, uint32_t begin, uint32_t end) {
   if (begin >= end) return;
-  double* first = y.RowPtr(begin);
-  std::fill(first, first + (end - begin) * y.num_vectors(), 0.0);
+  V* first = y.RowPtr(begin);
+  std::fill(first, first + (end - begin) * y.num_vectors(), V{0});
 }
 
-template <size_t kWidth>
+template <size_t kWidth, typename V>
 void SpMmTransposeRangeRows(const uint64_t* offsets, const uint32_t* indices,
-                            const double* values, uint32_t rows,
-                            const DenseBlock& x, DenseBlock& y,
+                            const V* values, uint32_t rows,
+                            const DenseBlockT<V>& x, DenseBlockT<V>& y,
                             uint32_t col_begin, uint32_t col_end) {
   for (uint32_t r = 0; r < rows; ++r) {
-    const double* __restrict xr = x.RowPtr(r);
+    const V* __restrict xr = x.RowPtr(r);
     bool any_nonzero = false;
-    for (size_t b = 0; b < kWidth; ++b) any_nonzero |= (xr[b] != 0.0);
+    for (size_t b = 0; b < kWidth; ++b) any_nonzero |= (xr[b] != V{0});
     if (!any_nonzero) continue;
     const uint32_t* row_begin = indices + offsets[r];
     const uint32_t* row_end = indices + offsets[r + 1];
     const uint32_t* lo = std::lower_bound(row_begin, row_end, col_begin);
     for (const uint32_t* it = lo; it != row_end && *it < col_end; ++it) {
-      const double w = values[it - indices];
-      double* __restrict yr = y.RowPtr(*it);
+      const V w = values[it - indices];
+      V* __restrict yr = y.RowPtr(*it);
       for (size_t b = 0; b < kWidth; ++b) yr[b] += w * xr[b];
     }
   }
 }
 
+template <typename V>
 void SpMmTransposeRangeRowsGeneric(const uint64_t* offsets,
-                                   const uint32_t* indices,
-                                   const double* values, uint32_t rows,
-                                   size_t num_vectors, const DenseBlock& x,
-                                   DenseBlock& y, uint32_t col_begin,
-                                   uint32_t col_end) {
+                                   const uint32_t* indices, const V* values,
+                                   uint32_t rows, size_t num_vectors,
+                                   const DenseBlockT<V>& x, DenseBlockT<V>& y,
+                                   uint32_t col_begin, uint32_t col_end) {
   for (uint32_t r = 0; r < rows; ++r) {
-    const double* __restrict xr = x.RowPtr(r);
+    const V* __restrict xr = x.RowPtr(r);
     bool any_nonzero = false;
-    for (size_t b = 0; b < num_vectors; ++b) any_nonzero |= (xr[b] != 0.0);
+    for (size_t b = 0; b < num_vectors; ++b) any_nonzero |= (xr[b] != V{0});
     if (!any_nonzero) continue;
     const uint32_t* row_begin = indices + offsets[r];
     const uint32_t* row_end = indices + offsets[r + 1];
     const uint32_t* lo = std::lower_bound(row_begin, row_end, col_begin);
     for (const uint32_t* it = lo; it != row_end && *it < col_end; ++it) {
-      const double w = values[it - indices];
-      double* __restrict yr = y.RowPtr(*it);
+      const V w = values[it - indices];
+      V* __restrict yr = y.RowPtr(*it);
       for (size_t b = 0; b < num_vectors; ++b) yr[b] += w * xr[b];
     }
   }
@@ -294,12 +322,13 @@ void SpMmTransposeRangeRowsGeneric(const uint64_t* offsets,
 
 }  // namespace
 
-bool CsrMatrix::SpMvTransposeFrontier(const std::vector<double>& x,
-                                      std::span<const uint32_t> frontier,
-                                      double density_threshold,
-                                      std::vector<double>& y,
-                                      std::vector<uint32_t>& next_frontier,
-                                      FrontierScratch& scratch) const {
+template <typename V>
+bool CsrMatrixT<V>::SpMvTransposeFrontier(const std::vector<V>& x,
+                                          std::span<const uint32_t> frontier,
+                                          double density_threshold,
+                                          std::vector<V>& y,
+                                          std::vector<uint32_t>& next_frontier,
+                                          FrontierScratch& scratch) const {
   TPA_DCHECK(x.size() == rows_);
   if (static_cast<double>(frontier.size()) >
       density_threshold * static_cast<double>(rows_)) {
@@ -312,10 +341,10 @@ bool CsrMatrix::SpMvTransposeFrontier(const std::vector<double>& x,
   next_frontier.clear();
   const uint64_t* offsets = row_offsets_.data();
   const uint32_t* indices = col_indices_.data();
-  const double* values = values_.data();
+  const V* values = values_.data();
   for (uint32_t r : frontier) {
-    const double xr = x[r];
-    if (xr == 0.0) continue;
+    const V xr = x[r];
+    if (xr == V{0}) continue;
     const uint64_t end = offsets[r + 1];
     for (uint64_t e = offsets[r]; e < end; ++e) {
       const uint32_t dest = indices[e];
@@ -330,11 +359,13 @@ bool CsrMatrix::SpMvTransposeFrontier(const std::vector<double>& x,
   return true;
 }
 
-bool CsrMatrix::SpMmTransposeFrontier(const DenseBlock& x,
-                                      std::span<const uint32_t> frontier,
-                                      double density_threshold, DenseBlock& y,
-                                      std::vector<uint32_t>& next_frontier,
-                                      FrontierScratch& scratch) const {
+template <typename V>
+bool CsrMatrixT<V>::SpMmTransposeFrontier(const DenseBlockT<V>& x,
+                                          std::span<const uint32_t> frontier,
+                                          double density_threshold,
+                                          DenseBlockT<V>& y,
+                                          std::vector<uint32_t>& next_frontier,
+                                          FrontierScratch& scratch) const {
   TPA_DCHECK(x.rows() == rows_);
   if (static_cast<double>(frontier.size()) >
       density_threshold * static_cast<double>(rows_)) {
@@ -349,7 +380,7 @@ bool CsrMatrix::SpMmTransposeFrontier(const DenseBlock& x,
   const size_t num_vectors = x.num_vectors();
   const uint64_t* offsets = row_offsets_.data();
   const uint32_t* indices = col_indices_.data();
-  const double* values = values_.data();
+  const V* values = values_.data();
   DispatchWidth(
       num_vectors,
       [&]<size_t kWidth>() {
@@ -365,7 +396,8 @@ bool CsrMatrix::SpMmTransposeFrontier(const DenseBlock& x,
   return true;
 }
 
-std::vector<uint32_t> CsrMatrix::NnzBalancedColumnRanges(
+template <typename V>
+std::vector<uint32_t> CsrMatrixT<V>::NnzBalancedColumnRanges(
     size_t num_parts) const {
   num_parts = std::max<size_t>(1, num_parts);
   std::vector<uint64_t> col_nnz(cols_, 0);
@@ -388,19 +420,20 @@ std::vector<uint32_t> CsrMatrix::NnzBalancedColumnRanges(
   return boundaries;
 }
 
-void CsrMatrix::SpMvTransposeRange(const std::vector<double>& x,
-                                   std::vector<double>& y, uint32_t col_begin,
-                                   uint32_t col_end) const {
+template <typename V>
+void CsrMatrixT<V>::SpMvTransposeRange(const std::vector<V>& x,
+                                       std::vector<V>& y, uint32_t col_begin,
+                                       uint32_t col_end) const {
   TPA_DCHECK(x.size() == rows_);
   TPA_DCHECK(y.size() == cols_);
   TPA_DCHECK(col_begin <= col_end && col_end <= cols_);
-  std::fill(y.begin() + col_begin, y.begin() + col_end, 0.0);
+  std::fill(y.begin() + col_begin, y.begin() + col_end, V{0});
   const uint64_t* offsets = row_offsets_.data();
   const uint32_t* indices = col_indices_.data();
-  const double* values = values_.data();
+  const V* values = values_.data();
   for (uint32_t r = 0; r < rows_; ++r) {
-    const double xr = x[r];
-    if (xr == 0.0) continue;
+    const V xr = x[r];
+    if (xr == V{0}) continue;
     const uint32_t* row_begin = indices + offsets[r];
     const uint32_t* row_end = indices + offsets[r + 1];
     const uint32_t* lo = std::lower_bound(row_begin, row_end, col_begin);
@@ -410,8 +443,10 @@ void CsrMatrix::SpMvTransposeRange(const std::vector<double>& x,
   }
 }
 
-void CsrMatrix::SpMmTransposeRange(const DenseBlock& x, DenseBlock& y,
-                                   uint32_t col_begin, uint32_t col_end) const {
+template <typename V>
+void CsrMatrixT<V>::SpMmTransposeRange(const DenseBlockT<V>& x,
+                                       DenseBlockT<V>& y, uint32_t col_begin,
+                                       uint32_t col_end) const {
   TPA_DCHECK(x.rows() == rows_);
   TPA_DCHECK(y.rows() == cols_);
   TPA_DCHECK(y.num_vectors() == x.num_vectors());
@@ -420,7 +455,7 @@ void CsrMatrix::SpMmTransposeRange(const DenseBlock& x, DenseBlock& y,
   const size_t num_vectors = x.num_vectors();
   const uint64_t* offsets = row_offsets_.data();
   const uint32_t* indices = col_indices_.data();
-  const double* values = values_.data();
+  const V* values = values_.data();
   DispatchWidth(
       num_vectors,
       [&]<size_t kWidth>() {
@@ -433,10 +468,11 @@ void CsrMatrix::SpMmTransposeRange(const DenseBlock& x, DenseBlock& y,
       });
 }
 
-void CsrMatrix::SpMvTransposeParallel(const std::vector<double>& x,
-                                      std::vector<double>& y,
-                                      std::span<const uint32_t> boundaries,
-                                      TaskRunner& runner) const {
+template <typename V>
+void CsrMatrixT<V>::SpMvTransposeParallel(const std::vector<V>& x,
+                                          std::vector<V>& y,
+                                          std::span<const uint32_t> boundaries,
+                                          TaskRunner& runner) const {
   TPA_DCHECK(x.size() == rows_);
   TPA_CHECK_GE(boundaries.size(), 2u);
   TPA_CHECK_EQ(boundaries.front(), 0u);
@@ -447,9 +483,11 @@ void CsrMatrix::SpMvTransposeParallel(const std::vector<double>& x,
   });
 }
 
-void CsrMatrix::SpMmTransposeParallel(const DenseBlock& x, DenseBlock& y,
-                                      std::span<const uint32_t> boundaries,
-                                      TaskRunner& runner) const {
+template <typename V>
+void CsrMatrixT<V>::SpMmTransposeParallel(const DenseBlockT<V>& x,
+                                          DenseBlockT<V>& y,
+                                          std::span<const uint32_t> boundaries,
+                                          TaskRunner& runner) const {
   TPA_DCHECK(x.rows() == rows_);
   TPA_CHECK_GE(boundaries.size(), 2u);
   TPA_CHECK_EQ(boundaries.front(), 0u);
@@ -460,10 +498,13 @@ void CsrMatrix::SpMmTransposeParallel(const DenseBlock& x, DenseBlock& y,
   });
 }
 
-size_t CsrMatrix::SizeBytes() const {
+template <typename V>
+size_t CsrMatrixT<V>::SizeBytes() const {
   return row_offsets_.size() * sizeof(uint64_t) +
-         col_indices_.size() * sizeof(uint32_t) +
-         values_.size() * sizeof(double);
+         col_indices_.size() * sizeof(uint32_t) + values_.size() * sizeof(V);
 }
+
+template class CsrMatrixT<double>;
+template class CsrMatrixT<float>;
 
 }  // namespace tpa::la

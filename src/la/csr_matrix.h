@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "la/dense_block.h"
+#include "la/precision.h"
 #include "la/task_runner.h"
 
 namespace tpa::la {
@@ -15,7 +16,8 @@ namespace tpa::la {
 /// mark per destination plus the collector for the next frontier.  Epoch
 /// stamping makes the per-call reset O(1) instead of an O(cols) clear; the
 /// stamp array itself is (re)sized lazily.  One scratch belongs to one
-/// propagation loop at a time (not thread-safe).
+/// propagation loop at a time (not thread-safe).  Value-type agnostic: the
+/// same scratch serves fp64 and fp32 matrices.
 struct FrontierScratch {
   std::vector<uint32_t> touched_epoch;
   uint32_t epoch = 0;
@@ -34,25 +36,41 @@ struct FrontierScratch {
 /// transition-matrix products Ã^T·x that every RWR method iterates.
 ///
 /// Unlike SparseMatrix (the assembly-friendly triplet format used by the
-/// block-elimination precomputations), CsrMatrix is built directly from
+/// block-elimination precomputations), CsrMatrixT is built directly from
 /// already-sorted row-pointer/column-index arrays and stores the normalized
 /// edge weights inline with the column indices, so the SpMv inner loop is a
 /// single contiguous sweep over (index, value) pairs — no per-edge degree
 /// lookup, no division, no branch.
 ///
+/// V is the storage precision tier of the edge values and the vector/block
+/// operands (see Precision).  The arithmetic contract per direction:
+///  * gathers (SpMv/SpMm) accumulate each output in an fp64 register and
+///    round to V once on store — per-entry error O(eps_f32) at the fp32
+///    tier regardless of row length;
+///  * scatters (SpMvTranspose and friends) update destinations in native V
+///    (one product + add rounding per edge), which is what lets the fp32
+///    inner loop vectorize at twice the fp64 lane width instead of paying
+///    a convert per operand — per-destination error O(in-degree · eps_f32),
+///    the same order a V-typed accumulator implies in any case.
+/// The V = double instantiation is bitwise-identical to the historical
+/// all-double kernels under both rules.
+///
 /// Two kernels cover both propagation directions used by CPI:
 ///  * SpMv          — gather:  y[r]    = Σ_e values[e] · x[col[e]]
 ///  * SpMvTranspose — scatter: y[col[e]] += values[e] · x[r]
-class CsrMatrix {
+template <typename V>
+class CsrMatrixT {
  public:
-  CsrMatrix() : rows_(0), cols_(0) {}
+  using value_type = V;
+
+  CsrMatrixT() : rows_(0), cols_(0) {}
 
   /// Adopts the arrays.  row_offsets must have rows+1 monotone entries with
   /// row_offsets[rows] == col_indices.size() == values.size(); column
   /// indices must be < cols.  CHECK-fails otherwise (programming error:
   /// callers construct from already-validated graph arrays).
-  CsrMatrix(uint32_t rows, uint32_t cols, std::vector<uint64_t> row_offsets,
-            std::vector<uint32_t> col_indices, std::vector<double> values);
+  CsrMatrixT(uint32_t rows, uint32_t cols, std::vector<uint64_t> row_offsets,
+             std::vector<uint32_t> col_indices, std::vector<V> values);
 
   uint32_t rows() const { return rows_; }
   uint32_t cols() const { return cols_; }
@@ -65,33 +83,32 @@ class CsrMatrix {
     return {col_indices_.data() + row_offsets_[r],
             col_indices_.data() + row_offsets_[r + 1]};
   }
-  std::span<const double> RowValues(uint32_t r) const {
+  std::span<const V> RowValues(uint32_t r) const {
     return {values_.data() + row_offsets_[r],
             values_.data() + row_offsets_[r + 1]};
   }
 
-  /// y = A x (gather over rows).  y is resized and overwritten.
-  /// Requires x.size() == cols().
-  void SpMv(const std::vector<double>& x, std::vector<double>& y) const;
+  /// y = A x (gather over rows, fp64 row accumulator).  y is resized and
+  /// overwritten.  Requires x.size() == cols().
+  void SpMv(const std::vector<V>& x, std::vector<V>& y) const;
 
   /// y = A^T x (scatter over rows).  y is resized and zeroed first.
   /// Requires x.size() == rows().
-  void SpMvTranspose(const std::vector<double>& x,
-                     std::vector<double>& y) const;
+  void SpMvTranspose(const std::vector<V>& x, std::vector<V>& y) const;
 
   /// Multi-vector gather: Y = A X, one CSR sweep updating all B vectors of
   /// the block (Y is reshaped to rows() × B and overwritten).  For inputs
   /// free of NaN/Inf/−0.0, vector b of Y is bitwise-identical to SpMv run on
   /// vector b of X alone: per vector, the edge contributions accumulate in
   /// exactly the SpMv order.  Requires x.rows() == cols().
-  void SpMm(const DenseBlock& x, DenseBlock& y) const;
+  void SpMm(const DenseBlockT<V>& x, DenseBlockT<V>& y) const;
 
   /// Multi-vector scatter: Y = A^T X, one CSR sweep updating all B vectors
   /// (Y is reshaped to cols() × B and zeroed first).  Same per-vector
   /// bitwise contract as SpMm, against SpMvTranspose.  Block rows of X that
   /// are entirely zero are skipped, mirroring the scalar kernel's
   /// zero-source skip.  Requires x.rows() == rows().
-  void SpMmTranspose(const DenseBlock& x, DenseBlock& y) const;
+  void SpMmTranspose(const DenseBlockT<V>& x, DenseBlockT<V>& y) const;
 
   /// Frontier-sparse scatter: the adaptive head of the propagation loop.
   ///
@@ -112,9 +129,9 @@ class CsrMatrix {
   /// For inputs free of NaN/Inf/−0.0, y is bitwise-identical to
   /// SpMvTranspose(x, y) either way: contributions accumulate per
   /// destination in ascending source-row order, the dense kernel's order.
-  bool SpMvTransposeFrontier(const std::vector<double>& x,
+  bool SpMvTransposeFrontier(const std::vector<V>& x,
                              std::span<const uint32_t> frontier,
-                             double density_threshold, std::vector<double>& y,
+                             double density_threshold, std::vector<V>& y,
                              std::vector<uint32_t>& next_frontier,
                              FrontierScratch& scratch) const;
 
@@ -125,9 +142,9 @@ class CsrMatrix {
   /// y must be cols() × B and all-zero on entry.  Falls through to
   /// SpMmTranspose above the density threshold (returns false).  Per vector
   /// bitwise-identical to SpMmTranspose.
-  bool SpMmTransposeFrontier(const DenseBlock& x,
+  bool SpMmTransposeFrontier(const DenseBlockT<V>& x,
                              std::span<const uint32_t> frontier,
-                             double density_threshold, DenseBlock& y,
+                             double density_threshold, DenseBlockT<V>& y,
                              std::vector<uint32_t>& next_frontier,
                              FrontierScratch& scratch) const;
 
@@ -145,11 +162,11 @@ class CsrMatrix {
   /// [0, cols()) compose to exactly SpMvTranspose.  y must be sized cols().
   /// Relies on column indices being sorted within each row (binary search
   /// for the row's sub-range).
-  void SpMvTransposeRange(const std::vector<double>& x, std::vector<double>& y,
+  void SpMvTransposeRange(const std::vector<V>& x, std::vector<V>& y,
                           uint32_t col_begin, uint32_t col_end) const;
 
   /// Block-operand variant of SpMvTransposeRange; y must be cols() × B.
-  void SpMmTransposeRange(const DenseBlock& x, DenseBlock& y,
+  void SpMmTransposeRange(const DenseBlockT<V>& x, DenseBlockT<V>& y,
                           uint32_t col_begin, uint32_t col_end) const;
 
   /// Parallel y = A^T x: dispatches SpMvTransposeRange over the destination
@@ -157,14 +174,13 @@ class CsrMatrix {
   /// Each destination is owned by exactly one range, so the result is
   /// deterministic and bitwise-identical to the sequential SpMvTranspose
   /// regardless of scheduling.  y is resized first.
-  void SpMvTransposeParallel(const std::vector<double>& x,
-                             std::vector<double>& y,
+  void SpMvTransposeParallel(const std::vector<V>& x, std::vector<V>& y,
                              std::span<const uint32_t> boundaries,
                              TaskRunner& runner) const;
 
   /// Parallel Y = A^T X over the same destination partition; per-vector
   /// bitwise-identical to the sequential SpMmTranspose.
-  void SpMmTransposeParallel(const DenseBlock& x, DenseBlock& y,
+  void SpMmTransposeParallel(const DenseBlockT<V>& x, DenseBlockT<V>& y,
                              std::span<const uint32_t> boundaries,
                              TaskRunner& runner) const;
 
@@ -176,8 +192,16 @@ class CsrMatrix {
   uint32_t cols_;
   std::vector<uint64_t> row_offsets_;  // size rows+1
   std::vector<uint32_t> col_indices_;  // size nnz, sorted within a row
-  std::vector<double> values_;         // size nnz
+  std::vector<V> values_;              // size nnz
 };
+
+/// The fp64 matrix every pre-precision-tier caller already uses.
+using CsrMatrix = CsrMatrixT<double>;
+/// The fp32 tier: 8 bytes/nnz instead of 12 (index + value).
+using CsrMatrixF = CsrMatrixT<float>;
+
+extern template class CsrMatrixT<double>;
+extern template class CsrMatrixT<float>;
 
 }  // namespace tpa::la
 

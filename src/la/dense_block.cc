@@ -6,21 +6,29 @@
 
 namespace tpa::la {
 
-void DenseBlock::SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
+template <typename V>
+void DenseBlockT<V>::SetZero() {
+  std::fill(data_.begin(), data_.end(), V{0});
+}
 
-std::vector<double> DenseBlock::ExtractVector(size_t vec) const {
+template <typename V>
+std::vector<V> DenseBlockT<V>::ExtractVector(size_t vec) const {
   TPA_DCHECK(vec < num_vectors_);
-  std::vector<double> out(rows_);
-  const double* base = data_.data() + vec;
+  std::vector<V> out(rows_);
+  const V* base = data_.data() + vec;
   for (size_t r = 0; r < rows_; ++r) out[r] = base[r * num_vectors_];
   return out;
 }
 
-void DenseBlock::SetVector(size_t vec, const std::vector<double>& values) {
+template <typename V>
+void DenseBlockT<V>::SetVector(size_t vec, const std::vector<V>& values) {
   TPA_DCHECK(vec < num_vectors_);
   TPA_DCHECK(values.size() == rows_);
-  double* base = data_.data() + vec;
+  V* base = data_.data() + vec;
   for (size_t r = 0; r < rows_; ++r) base[r * num_vectors_] = values[r];
 }
+
+template class DenseBlockT<double>;
+template class DenseBlockT<float>;
 
 }  // namespace tpa::la

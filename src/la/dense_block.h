@@ -6,6 +6,8 @@
 #include <new>
 #include <vector>
 
+#include "la/precision.h"
+
 namespace tpa::la {
 
 /// Minimal allocator aligning DenseBlock storage to cache-line boundaries,
@@ -32,7 +34,7 @@ struct CacheAlignedAllocator {
 };
 
 /// A block of B equally-sized column vectors — the multivector operand of
-/// the batched SpMM kernels (CsrMatrix::SpMm / SpMmTranspose).
+/// the batched SpMM kernels (CsrMatrixT::SpMm / SpMmTranspose).
 ///
 /// Layout: viewed as the B×n matrix whose rows are the B vectors, storage is
 /// column-major — the B entries belonging to one graph node (one "block
@@ -41,33 +43,38 @@ struct CacheAlignedAllocator {
 /// operand, so the inner loop over the B right-hand sides is a unit-stride
 /// run that amortizes the (index, value) traversal across the whole batch.
 ///
-/// DenseBlock deliberately mirrors how std::vector<double> is used for
-/// single score vectors (see vector_ops.h for the blocked BLAS-1 helpers);
-/// DenseMatrix remains the general row-major container of the
-/// block-elimination solvers.
-class DenseBlock {
+/// The value type V is the storage precision tier: DenseBlock (double) is
+/// the historical multivector, DenseBlockF (float) halves the block's bytes
+/// for the fp32 propagation path.  DenseBlockT deliberately mirrors how
+/// std::vector<V> is used for single score vectors (see vector_ops.h for
+/// the blocked BLAS-1 helpers); DenseMatrix remains the general row-major
+/// container of the block-elimination solvers.
+template <typename V>
+class DenseBlockT {
  public:
-  DenseBlock() : rows_(0), num_vectors_(0) {}
+  using value_type = V;
+
+  DenseBlockT() : rows_(0), num_vectors_(0) {}
 
   /// rows × num_vectors block, zero-initialized.
-  DenseBlock(size_t rows, size_t num_vectors)
+  DenseBlockT(size_t rows, size_t num_vectors)
       : rows_(rows),
         num_vectors_(num_vectors),
-        data_(rows * num_vectors, 0.0) {}
+        data_(rows * num_vectors, V{0}) {}
 
   /// Number of entries per vector (graph nodes).
   size_t rows() const { return rows_; }
   /// Number of vectors in the block (batch size B).
   size_t num_vectors() const { return num_vectors_; }
 
-  double& At(size_t row, size_t vec) { return data_[row * num_vectors_ + vec]; }
-  double At(size_t row, size_t vec) const {
+  V& At(size_t row, size_t vec) { return data_[row * num_vectors_ + vec]; }
+  V At(size_t row, size_t vec) const {
     return data_[row * num_vectors_ + vec];
   }
 
   /// The contiguous B entries of one block row (one entry per vector).
-  double* RowPtr(size_t row) { return data_.data() + row * num_vectors_; }
-  const double* RowPtr(size_t row) const {
+  V* RowPtr(size_t row) { return data_.data() + row * num_vectors_; }
+  const V* RowPtr(size_t row) const {
     return data_.data() + row * num_vectors_;
   }
 
@@ -83,14 +90,14 @@ class DenseBlock {
   void SetZero();
 
   /// Copies vector `vec` out into a standalone dense vector.
-  std::vector<double> ExtractVector(size_t vec) const;
+  std::vector<V> ExtractVector(size_t vec) const;
 
   /// Overwrites vector `vec` from a dense vector of length rows().
-  void SetVector(size_t vec, const std::vector<double>& values);
+  void SetVector(size_t vec, const std::vector<V>& values);
 
-  size_t SizeBytes() const { return data_.size() * sizeof(double); }
+  size_t SizeBytes() const { return data_.size() * sizeof(V); }
 
-  void swap(DenseBlock& other) noexcept {
+  void swap(DenseBlockT& other) noexcept {
     std::swap(rows_, other.rows_);
     std::swap(num_vectors_, other.num_vectors_);
     data_.swap(other.data_);
@@ -100,8 +107,27 @@ class DenseBlock {
   size_t rows_;
   size_t num_vectors_;
   // Block row r at data_[r·num_vectors_]; cache-line aligned base.
-  std::vector<double, CacheAlignedAllocator<double>> data_;
+  std::vector<V, CacheAlignedAllocator<V>> data_;
 };
+
+/// The fp64 multivector every pre-precision-tier caller already uses.
+using DenseBlock = DenseBlockT<double>;
+/// The fp32 tier: same layout, half the bytes per block row.
+using DenseBlockF = DenseBlockT<float>;
+
+/// Widens (or narrows) a block between precision tiers, element by element.
+/// The destination is reshaped to match.
+template <typename To, typename From>
+void ConvertBlock(const DenseBlockT<From>& from, DenseBlockT<To>& to) {
+  to.Resize(from.rows(), from.num_vectors());
+  const size_t n = from.rows() * from.num_vectors();
+  const From* src = from.RowPtr(0);
+  To* dst = to.RowPtr(0);
+  for (size_t i = 0; i < n; ++i) dst[i] = static_cast<To>(src[i]);
+}
+
+extern template class DenseBlockT<double>;
+extern template class DenseBlockT<float>;
 
 }  // namespace tpa::la
 

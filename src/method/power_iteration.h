@@ -2,6 +2,7 @@
 #define TPA_METHOD_POWER_ITERATION_H_
 
 #include "core/cpi.h"
+#include "la/vector_ops.h"
 #include "method/rwr_method.h"
 
 namespace tpa {
@@ -32,6 +33,12 @@ class PowerIterationRwr final : public RwrMethod {
     if (graph_ == nullptr) {
       return FailedPreconditionError("Preprocess must be called before Query");
     }
+    if (graph_->value_precision() == la::Precision::kFloat32) {
+      // fp32 graph: run the fp32 loop and widen once at the boundary.
+      TPA_ASSIGN_OR_RETURN(Cpi::ResultF result,
+                           Cpi::RunT<float>(*graph_, {seed}, options_));
+      return la::ConvertVector<double>(result.scores);
+    }
     return Cpi::ExactRwr(*graph_, seed, options_);
   }
 
@@ -43,10 +50,44 @@ class PowerIterationRwr final : public RwrMethod {
     if (graph_ == nullptr) {
       return FailedPreconditionError("Preprocess must be called before Query");
     }
+    if (graph_->value_precision() == la::Precision::kFloat32) {
+      TPA_ASSIGN_OR_RETURN(la::DenseBlockF block,
+                           Cpi::RunBatchT<float>(*graph_, seeds, options_));
+      la::DenseBlock wide;
+      la::ConvertBlock(block, wide);
+      return wide;
+    }
     return Cpi::RunBatch(*graph_, seeds, options_);
   }
 
   bool SupportsBatchQuery() const override { return true; }
+
+  /// CPI runs at either tier (the oracle of the fp32 accuracy-envelope
+  /// tests runs on a separate fp64 graph).
+  bool SupportsPrecision(la::Precision) const override { return true; }
+
+  StatusOr<std::vector<float>> QueryF32(NodeId seed) override {
+    if (graph_ == nullptr) {
+      return FailedPreconditionError("Preprocess must be called before Query");
+    }
+    if (graph_->value_precision() != la::Precision::kFloat32) {
+      return FailedPreconditionError("graph is not materialized at fp32");
+    }
+    TPA_ASSIGN_OR_RETURN(Cpi::ResultF result,
+                         Cpi::RunT<float>(*graph_, {seed}, options_));
+    return std::move(result.scores);
+  }
+
+  StatusOr<la::DenseBlockF> QueryBatchDenseF32(
+      std::span<const NodeId> seeds) override {
+    if (graph_ == nullptr) {
+      return FailedPreconditionError("Preprocess must be called before Query");
+    }
+    if (graph_->value_precision() != la::Precision::kFloat32) {
+      return FailedPreconditionError("graph is not materialized at fp32");
+    }
+    return Cpi::RunBatchT<float>(*graph_, seeds, options_);
+  }
 
   void SetTaskRunner(la::TaskRunner* runner) override {
     options_.task_runner = runner;

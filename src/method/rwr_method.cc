@@ -19,4 +19,26 @@ StatusOr<la::DenseBlock> RwrMethod::QueryBatchDense(
   return block;
 }
 
+StatusOr<std::vector<float>> RwrMethod::QueryF32(NodeId seed) {
+  (void)seed;
+  return UnimplementedError("method has no fp32 query path");
+}
+
+StatusOr<la::DenseBlockF> RwrMethod::QueryBatchDenseF32(
+    std::span<const NodeId> seeds) {
+  if (seeds.empty()) {
+    return InvalidArgumentError("seed batch must be non-empty");
+  }
+  la::DenseBlockF block;
+  for (size_t b = 0; b < seeds.size(); ++b) {
+    TPA_ASSIGN_OR_RETURN(std::vector<float> scores, QueryF32(seeds[b]));
+    if (b == 0) block.Resize(scores.size(), seeds.size());
+    if (scores.size() != block.rows()) {
+      return InternalError("QueryF32 returned inconsistently sized vectors");
+    }
+    block.SetVector(b, scores);
+  }
+  return block;
+}
+
 }  // namespace tpa

@@ -9,6 +9,7 @@
 
 #include "graph/graph.h"
 #include "la/dense_block.h"
+#include "la/precision.h"
 #include "la/task_runner.h"
 #include "util/memory_budget.h"
 #include "util/status.h"
@@ -54,6 +55,27 @@ class RwrMethod {
   /// seed groups to.  Conservative default: false (the base QueryBatchDense
   /// still works, it just offers no advantage over per-seed fan-out).
   virtual bool SupportsBatchQuery() const { return false; }
+
+  /// True when the method can run against a graph materialized at the given
+  /// value-precision tier (Graph::value_precision).  Conservative default:
+  /// fp64 only — the QueryEngine refuses to build an engine over an fp32
+  /// graph for methods that do not opt in, instead of letting the typed CSR
+  /// accessors CHECK-fail mid-preprocess.
+  virtual bool SupportsPrecision(la::Precision precision) const {
+    return precision == la::Precision::kFloat64;
+  }
+
+  /// Native fp32 score vector for `seed` — the halved-footprint serving
+  /// path: no fp64 dense vector is materialized anywhere between the seed
+  /// and the returned scores.  Only meaningful for methods that return true
+  /// from SupportsPrecision(kFloat32) and were preprocessed against an fp32
+  /// graph; the default fails with UNIMPLEMENTED.
+  virtual StatusOr<std::vector<float>> QueryF32(NodeId seed);
+
+  /// fp32 flavor of QueryBatchDense; vector b must be bitwise-identical to
+  /// QueryF32(seeds[b]).  Default: UNIMPLEMENTED.
+  virtual StatusOr<la::DenseBlockF> QueryBatchDenseF32(
+      std::span<const NodeId> seeds);
 
   /// Installs a fork-join runner that batched queries may use to partition
   /// their dense propagation sweeps across threads (the QueryEngine passes

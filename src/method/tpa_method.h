@@ -18,8 +18,11 @@ class TpaMethod final : public RwrMethod {
 
   Status Preprocess(const Graph& graph, MemoryBudget& budget) override {
     TPA_RETURN_IF_ERROR(ValidateTpaOptions(options_));
-    // Preprocessed data is one double per node (Theorem 4).
-    TPA_RETURN_IF_ERROR(budget.Reserve(graph.num_nodes() * sizeof(double)));
+    // Preprocessed data is one value per node (Theorem 4), at the graph's
+    // precision tier.
+    TPA_RETURN_IF_ERROR(budget.Reserve(
+        graph.num_nodes() *
+        la::PrecisionValueBytes(graph.value_precision())));
     TPA_ASSIGN_OR_RETURN(Tpa tpa, Tpa::Preprocess(graph, options_));
     tpa_.emplace(std::move(tpa));
     return OkStatus();
@@ -44,6 +47,31 @@ class TpaMethod final : public RwrMethod {
   }
 
   bool SupportsBatchQuery() const override { return true; }
+
+  /// TPA runs natively at either tier: on an fp32 graph every propagation
+  /// buffer, the stranger tail, and the returned scores stay fp32.
+  bool SupportsPrecision(la::Precision) const override { return true; }
+
+  StatusOr<std::vector<float>> QueryF32(NodeId seed) override {
+    if (!tpa_.has_value()) {
+      return FailedPreconditionError("Preprocess must be called before Query");
+    }
+    if (tpa_->precision() != la::Precision::kFloat32) {
+      return FailedPreconditionError("graph is not materialized at fp32");
+    }
+    return tpa_->QueryF(seed);
+  }
+
+  StatusOr<la::DenseBlockF> QueryBatchDenseF32(
+      std::span<const NodeId> seeds) override {
+    if (!tpa_.has_value()) {
+      return FailedPreconditionError("Preprocess must be called before Query");
+    }
+    if (tpa_->precision() != la::Precision::kFloat32) {
+      return FailedPreconditionError("graph is not materialized at fp32");
+    }
+    return tpa_->QueryBatchF(seeds);
+  }
 
   void SetTaskRunner(la::TaskRunner* runner) override {
     options_.task_runner = runner;

@@ -282,13 +282,73 @@ TEST(AsyncQueryEngineTest, CancelQueuedTicketBeforeItStarts) {
   EXPECT_EQ(served.scores[1], 1.0);
   EXPECT_FALSE(running.Cancel());  // serving already finished
 
-  // The cancelled ticket is observed (and counted) when the scheduler
-  // reaches it; quiesce first.
+  // Cancellation is counted by Cancel itself (the ticket may never reach
+  // the scheduler at all now that Cancel unlinks it from the queue).
   QueryTicket last = (*async)->Submit(3);
   last.Wait();
   const auto stats = (*async)->stats();
   EXPECT_EQ(stats.cancelled, 1u);
   EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(AsyncQueryEngineTest, CancelReleasesQueueSlotImmediately) {
+  // Regression for the PR-4 limitation "cancelled tickets free their queue
+  // slot only when the scheduler reaches them": with the one job slot held
+  // behind a closed gate the scheduler can make no progress, so the only
+  // way the blocked kBlock submitter below can ever get in is Cancel
+  // releasing the queued ticket's slot directly.
+  Graph graph = ServingGraph();
+  auto gate = std::make_shared<GateMethod::Gate>();
+
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = 1;
+  AsyncQueryEngineOptions async_options;
+  async_options.queue_capacity = 1;
+  async_options.max_inflight_jobs = 1;
+  async_options.queue_full_policy = QueueFullPolicy::kBlock;
+  auto async = AsyncQueryEngine::Create(
+      graph, std::make_unique<GateMethod>(gate), engine_options,
+      async_options);
+  ASSERT_TRUE(async.ok());
+
+  QueryTicket running = (*async)->Submit(1);  // occupies the only job slot
+  AwaitDispatched(running);
+  QueryTicket queued = (*async)->Submit(2);  // fills the queue
+  EXPECT_EQ((*async)->stats().queue_depth, 1u);
+
+  std::atomic<bool> submitted{false};
+  QueryTicket blocked;
+  std::thread submitter([&] {
+    blocked = (*async)->Submit(3);  // queue full → blocks on a slot
+    submitted.store(true);
+  });
+  std::this_thread::sleep_for(milliseconds(50));
+  EXPECT_FALSE(submitted.load());
+
+  // No serving progress is possible (gate closed, job slot busy) — the
+  // cancel alone must free the slot and wake the submitter.
+  EXPECT_TRUE(queued.Cancel());
+  const auto deadline = steady_clock::now() + kWaitBudget;
+  while (!submitted.load() && steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_TRUE(submitted.load())
+      << "cancel did not release the admission-queue slot";
+  submitter.join();
+  EXPECT_EQ(queued.Wait().status.code(), StatusCode::kCancelled);
+  // Counted immediately, before any scheduler involvement.
+  EXPECT_EQ((*async)->stats().cancelled, 1u);
+
+  gate->Open();
+  EXPECT_TRUE(running.Wait().status.ok());
+  const QueryResult& late = blocked.Wait();
+  ASSERT_TRUE(late.status.ok());
+  EXPECT_EQ(late.scores[3], 1.0);
+
+  const auto stats = (*async)->stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.rejected, 0u);
 }
 
 TEST(AsyncQueryEngineTest, QueueFullRejectPolicyFailsFast) {

@@ -20,8 +20,8 @@ namespace {
 ResultCache::Entry MakeEntry(NodeId seed, size_t size) {
   // Every element carries the seed so a corrupt or cross-wired hit is
   // detectable from any entry.
-  return std::make_shared<const std::vector<double>>(
-      size, static_cast<double>(seed));
+  return std::make_shared<const CachedResult>(CachedResult::Dense(
+      std::vector<double>(size, static_cast<double>(seed))));
 }
 
 TEST(ResultCacheTest, GetPromotesAndPutRefreshes) {
@@ -40,7 +40,7 @@ TEST(ResultCacheTest, GetPromotesAndPutRefreshes) {
   // Refreshing a key swaps the payload and adjusts the byte count.
   cache.Put(1, MakeEntry(1, 10));
   EXPECT_EQ(cache.bytes(), (10 + 4) * sizeof(double));
-  EXPECT_EQ((*cache.Get(1)).size(), 10u);
+  EXPECT_EQ(cache.Get(1)->dense64.size(), 10u);
 }
 
 TEST(ResultCacheTest, OversizedEntryNeverPinsTheByteBudget) {
@@ -98,8 +98,8 @@ TEST(ResultCacheTest, ConcurrentStormKeepsStatsAndBoundsConsistent) {
         ++local_lookups;
         if (entry != nullptr) {
           observed_hits.fetch_add(1, std::memory_order_relaxed);
-          if (entry->empty() ||
-              (*entry)[0] != static_cast<double>(key)) {
+          if (entry->dense64.empty() ||
+              entry->dense64[0] != static_cast<double>(key)) {
             corrupt.store(true);
           }
         } else {
