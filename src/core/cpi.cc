@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <limits>
 #include <type_traits>
 
 #include "la/vector_ops.h"
@@ -201,13 +203,32 @@ bool ScanInitialFrontier(const std::vector<V>& x, double limit,
   return true;
 }
 
+/// No-op iteration observer of the scalar loop — the default instantiation
+/// optimizes out entirely, keeping RunT bitwise- and cost-identical to the
+/// pre-observer loop.
+template <typename V>
+struct NullObserver {
+  bool AfterIteration(int, bool, const Cpi::ResultT<V>&,
+                      const Cpi::Workspace&) {
+    return false;
+  }
+};
+
 /// Shared scalar CPI loop.  Preconditions: options validated; the tier-V
 /// interim buffer holds x(0) = c·q; when frontier_ready, ws.frontier holds
 /// x(0)'s support sorted ascending (callers with explicit seed lists skip
 /// the O(n) support scan).
-template <typename V>
-Cpi::ResultT<V> RunScalarLoop(const Graph& graph, const CpiOptions& options,
-                              Cpi::Workspace& ws, bool frontier_ready) {
+///
+/// `observer.AfterIteration(i, sparse, result, ws)` runs once per computed
+/// iteration, after its accumulation and norm (when `sparse`, ws.frontier
+/// holds x(i)'s support sorted ascending).  Returning true stops the run
+/// after the current iteration — the bound-driven top-k path's early
+/// termination; convergence still takes precedence in the result flags.
+template <typename V, typename Observer>
+Cpi::ResultT<V> RunScalarLoopObserved(const Graph& graph,
+                                      const CpiOptions& options,
+                                      Cpi::Workspace& ws, bool frontier_ready,
+                                      Observer& observer) {
   const NodeId n = graph.num_nodes();
   const double decay = 1.0 - options.restart_probability;
   const double limit =
@@ -237,10 +258,12 @@ Cpi::ResultT<V> RunScalarLoop(const Graph& graph, const CpiOptions& options,
     if (options.start_iteration == 0) la::Axpy(1.0, x, result.scores);
     result.last_interim_norm = la::NormL1(x);
   }
+  const bool stop0 = observer.AfterIteration(0, sparse, result, ws);
   if (result.last_interim_norm < options.tolerance) {
     result.converged = true;
     return result;
   }
+  if (stop0) return result;
 
   for (int i = 1; i <= options.terminal_iteration; ++i) {
     if (sparse) {
@@ -272,13 +295,201 @@ Cpi::ResultT<V> RunScalarLoop(const Graph& graph, const CpiOptions& options,
       if (i >= options.start_iteration) la::Axpy(1.0, x, result.scores);
       result.last_interim_norm = la::NormL1(x);
     }
+    // The observer runs before the convergence check so it sees the final
+    // iteration's frontier too (it may be tracking the touched support).
+    const bool stop = observer.AfterIteration(i, sparse, result, ws);
     if (result.last_interim_norm < options.tolerance) {
       result.converged = true;
       break;
     }
+    if (stop) break;
   }
   return result;
 }
+
+template <typename V>
+Cpi::ResultT<V> RunScalarLoop(const Graph& graph, const CpiOptions& options,
+                              Cpi::Workspace& ws, bool frontier_ready) {
+  NullObserver<V> observer;
+  return RunScalarLoopObserved<V>(graph, options, ws, frontier_ready,
+                                  observer);
+}
+
+/// Builds x(0) = c·q for a uniform seed set directly in the workspace —
+/// q[s] += share per seed, then the support scaled by c, bitwise-identical
+/// to materializing q and Scale(c, ·) over all n (off-support entries are
+/// exact +0.0 and 0·c is a bitwise no-op) without the extra n-length
+/// vector.  Leaves the sorted unique support in ws.frontier.
+template <typename V>
+void BuildSeedStart(const Graph& graph, const std::vector<NodeId>& seeds,
+                    const CpiOptions& options, Cpi::Workspace& ws) {
+  std::vector<V>& x = WsX<V>(ws);
+  x.assign(graph.num_nodes(), V{0});
+  const double share = 1.0 / static_cast<double>(seeds.size());
+  for (NodeId s : seeds) x[s] += share;
+
+  ws.frontier.assign(seeds.begin(), seeds.end());
+  std::sort(ws.frontier.begin(), ws.frontier.end());
+  ws.frontier.erase(std::unique(ws.frontier.begin(), ws.frontier.end()),
+                    ws.frontier.end());
+  const double c = options.restart_probability;
+  for (NodeId i : ws.frontier) x[i] *= c;
+}
+
+/// Iteration observer of the bound-driven top-k runner.  Tracks the touched
+/// support (the union of the sparse head's frontiers — a superset of the
+/// accumulated scores' support) and, after each iteration, whether the
+/// current top-k candidates are separated from every other node's
+/// upper bound by more than the remaining-mass slack.  Certification scans
+/// are gated: a scan only runs once the slack has dropped below the
+/// smallest separating gap the previous scan saw (so a query whose gaps can
+/// never be certified pays for at most one selection pass).
+template <typename V>
+class TopKTracker {
+ public:
+  TopKTracker(const Graph& graph, const CpiOptions& options,
+              const Cpi::TopKRunOptions& topk, const Cpi::TopKBaseT<V>& base)
+      : n_(graph.num_nodes()),
+        k_(std::min(static_cast<size_t>(topk.k), static_cast<size_t>(n_))),
+        allow_early_(topk.allow_early_termination),
+        decay_(1.0 - options.restart_probability),
+        tolerance_(options.tolerance),
+        terminal_(options.terminal_iteration),
+        base_(base) {}
+
+  bool AfterIteration(int i, bool sparse, const Cpi::ResultT<V>& result,
+                      const Cpi::Workspace& ws) {
+    if (support_known_) {
+      if (sparse) {
+        MergeTouched(ws.frontier);
+      } else {
+        support_known_ = false;  // dense tail: support no longer enumerated
+      }
+    }
+    if (!allow_early_ || k_ == 0) return false;
+    const double norm = result.last_interim_norm;
+    if (norm < tolerance_) return false;  // converging naturally anyway
+    const double slack = Slack(norm, i);
+    if (slack >= scan_gate_) return false;
+    SelectCandidates(result.scores);
+    scan_gate_ = selector_.MinCertGap(k_);
+    if (selector_.CertifiesTopK(k_, slack)) {
+      certified_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  TopKQueryResult Finalize(const Cpi::ResultT<V>& result) {
+    TopKQueryResult out;
+    out.last_iteration = result.last_iteration;
+    out.converged = result.converged;
+    out.early_terminated = certified_ && !result.converged;
+    // On early termination the certified selection (partial scores, exact
+    // ranks) is the answer; at a natural end a fresh selection over the
+    // final scores yields the exact merged values.
+    if (!certified_) SelectCandidates(result.scores);
+    const auto held = selector_.entries();
+    const size_t take = std::min(k_, held.size());
+    out.top.assign(held.begin(), held.begin() + take);
+    return out;
+  }
+
+ private:
+  /// Most any node's merged score can still gain after iteration i with
+  /// interim norm `norm`: the geometric tail over the iterations the window
+  /// can still accumulate, through the merge's post-scale, plus an absolute
+  /// slop covering the merge's own rounding (a few fp64 ulps of unit-scale
+  /// scores; fp32 storage rounds at ~1e-7 of value, covered by 1e-5).
+  double Slack(double norm, int i) const {
+    int left = terminal_ == CpiOptions::kUnbounded
+                   ? std::numeric_limits<int>::max()
+                   : terminal_ - i;
+    // Convergence horizon: norm_j ≤ norm·decay^j, and the first iteration
+    // whose norm lands below ε is the last one accumulated — floor+1 (not
+    // ceil) so the horizon is never under-counted.
+    const double ratio = std::log(tolerance_ / norm) / std::log(decay_);
+    const int horizon = static_cast<int>(std::floor(ratio)) + 1;
+    left = std::min(left, std::max(horizon, 0));
+    constexpr double kSlop = std::is_same_v<V, double> ? 1e-14 : 1e-5;
+    return base_.post_scale * la::GeometricTailMass(norm, decay_, left) +
+           kSlop;
+  }
+
+  /// Merged value of a touched node — matches la::Scale(post_scale, ·) then
+  /// la::Axpy(1.0, base, ·) bitwise: each product and sum computed in fp64,
+  /// rounded to V once per step.
+  double Merged(V p, NodeId v) const {
+    const V scaled =
+        static_cast<V>(base_.post_scale * static_cast<double>(p));
+    if (base_.base == nullptr) return static_cast<double>(scaled);
+    return static_cast<double>(static_cast<V>(
+        static_cast<double>(scaled) + static_cast<double>((*base_.base)[v])));
+  }
+
+  void MergeTouched(std::span<const NodeId> frontier) {
+    if (touched_.empty()) {
+      touched_.assign(frontier.begin(), frontier.end());
+      return;
+    }
+    merge_tmp_.clear();
+    merge_tmp_.reserve(touched_.size() + frontier.size());
+    std::set_union(touched_.begin(), touched_.end(), frontier.begin(),
+                   frontier.end(), std::back_inserter(merge_tmp_));
+    touched_.swap(merge_tmp_);
+  }
+
+  bool IsTouched(NodeId v) const {
+    return std::binary_search(touched_.begin(), touched_.end(), v);
+  }
+
+  /// Offers every candidate that could rank: the whole touched support at
+  /// its merged value, plus the k+1 best never-touched nodes — their merged
+  /// value is exactly the base value (or exact zero with no base), so
+  /// walking the base-descending order (or id-ascending without a base) and
+  /// skipping touched nodes covers the best excluded candidates without
+  /// scanning all n.  Falls back to the full scan once the support is no
+  /// longer enumerated.
+  void SelectCandidates(const std::vector<V>& scores) {
+    selector_.Reset(k_ + 1);
+    if (!support_known_) {
+      for (NodeId v = 0; v < n_; ++v) selector_.Offer(v, Merged(scores[v], v));
+      return;
+    }
+    for (NodeId v : touched_) selector_.Offer(v, Merged(scores[v], v));
+    size_t offered = 0;
+    if (base_.base != nullptr) {
+      for (NodeId v : base_.order) {
+        if (offered > k_) break;
+        if (IsTouched(v)) continue;
+        selector_.Offer(v, static_cast<double>((*base_.base)[v]));
+        ++offered;
+      }
+    } else {
+      auto it = touched_.begin();
+      for (NodeId v = 0; v < n_ && offered <= k_; ++v) {
+        while (it != touched_.end() && *it < v) ++it;
+        if (it != touched_.end() && *it == v) continue;
+        selector_.Offer(v, 0.0);
+        ++offered;
+      }
+    }
+  }
+
+  const NodeId n_;
+  const size_t k_;
+  const bool allow_early_;
+  const double decay_;
+  const double tolerance_;
+  const int terminal_;
+  Cpi::TopKBaseT<V> base_;
+  bool support_known_ = true;
+  bool certified_ = false;
+  double scan_gate_ = std::numeric_limits<double>::infinity();
+  std::vector<NodeId> touched_;
+  std::vector<NodeId> merge_tmp_;
+  la::TopKSelector selector_;
+};
 
 }  // namespace
 
@@ -312,23 +523,7 @@ StatusOr<Cpi::ResultT<V>> Cpi::RunT(const Graph& graph,
   }
   Workspace local;
   Workspace& ws = workspace != nullptr ? *workspace : local;
-  std::vector<V>& x = WsX<V>(ws);
-
-  // x(0) = c·q built directly in the workspace: q[s] += share per seed,
-  // then the support scaled by c — bitwise-identical to materializing q and
-  // Scale(c, ·) over all n (off-support entries are exact +0.0 and 0·c is a
-  // bitwise no-op), without the extra n-length vector.
-  x.assign(graph.num_nodes(), V{0});
-  const double share = 1.0 / static_cast<double>(seeds.size());
-  for (NodeId s : seeds) x[s] += share;
-
-  ws.frontier.assign(seeds.begin(), seeds.end());
-  std::sort(ws.frontier.begin(), ws.frontier.end());
-  ws.frontier.erase(std::unique(ws.frontier.begin(), ws.frontier.end()),
-                    ws.frontier.end());
-  const double c = options.restart_probability;
-  for (NodeId i : ws.frontier) x[i] *= c;
-
+  BuildSeedStart<V>(graph, seeds, options, ws);
   return RunScalarLoop<V>(graph, options, ws, /*frontier_ready=*/true);
 }
 
@@ -552,6 +747,44 @@ StatusOr<std::vector<double>> Cpi::ExactRwr(const Graph& graph, NodeId seed,
   return std::move(result.scores);
 }
 
+template <typename V>
+StatusOr<TopKQueryResult> Cpi::RunTopKT(const Graph& graph,
+                                        const std::vector<NodeId>& seeds,
+                                        const CpiOptions& options,
+                                        const TopKRunOptions& topk,
+                                        const TopKBaseT<V>& base,
+                                        Workspace* workspace) {
+  TPA_RETURN_IF_ERROR(ValidateOptions(options));
+  if (seeds.empty()) return InvalidArgumentError("seed set must be non-empty");
+  for (NodeId s : seeds) {
+    if (s >= graph.num_nodes()) {
+      return OutOfRangeError("seed node out of range");
+    }
+  }
+  if (topk.k < 0) return InvalidArgumentError("k must be non-negative");
+  if (!(base.post_scale >= 0.0)) {
+    return InvalidArgumentError("post_scale must be non-negative");
+  }
+  if (base.base != nullptr) {
+    if (base.base->size() != graph.num_nodes()) {
+      return InvalidArgumentError("base vector size must equal node count");
+    }
+    if (base.order.size() != graph.num_nodes()) {
+      return InvalidArgumentError("base order must rank all nodes");
+    }
+  } else if (!base.order.empty()) {
+    return InvalidArgumentError("base order given without a base vector");
+  }
+
+  Workspace local;
+  Workspace& ws = workspace != nullptr ? *workspace : local;
+  BuildSeedStart<V>(graph, seeds, options, ws);
+  TopKTracker<V> tracker(graph, options, topk, base);
+  const ResultT<V> result = RunScalarLoopObserved<V>(
+      graph, options, ws, /*frontier_ready=*/true, tracker);
+  return tracker.Finalize(result);
+}
+
 template StatusOr<Cpi::ResultT<double>> Cpi::RunT<double>(
     const Graph&, const std::vector<NodeId>&, const CpiOptions&, Workspace*);
 template StatusOr<Cpi::ResultT<float>> Cpi::RunT<float>(
@@ -570,5 +803,11 @@ template StatusOr<std::vector<std::vector<double>>> Cpi::RunWindowedT<double>(
 template StatusOr<std::vector<std::vector<float>>> Cpi::RunWindowedT<float>(
     const Graph&, const std::vector<float>&, const std::vector<int>&,
     const CpiOptions&, Workspace*);
+template StatusOr<TopKQueryResult> Cpi::RunTopKT<double>(
+    const Graph&, const std::vector<NodeId>&, const CpiOptions&,
+    const TopKRunOptions&, const TopKBaseT<double>&, Workspace*);
+template StatusOr<TopKQueryResult> Cpi::RunTopKT<float>(
+    const Graph&, const std::vector<NodeId>&, const CpiOptions&,
+    const TopKRunOptions&, const TopKBaseT<float>&, Workspace*);
 
 }  // namespace tpa

@@ -10,6 +10,7 @@
 #include "la/dense_block.h"
 #include "la/precision.h"
 #include "la/task_runner.h"
+#include "la/topk.h"
 #include "util/status.h"
 
 namespace tpa {
@@ -171,6 +172,47 @@ class Cpi {
       Workspace* workspace = nullptr) {
     return RunWindowedT<double>(graph, q, breakpoints, options, workspace);
   }
+
+  /// How the bound-driven top-k runner (RunTopKT) behaves.
+  struct TopKRunOptions {
+    /// Number of ranked results to return (clamped to n).  k = 0 returns an
+    /// empty ranking immediately.
+    int k = 10;
+    /// See TopKQueryOptions::allow_early_termination — when false the
+    /// window runs to its natural end and the reported scores are bitwise
+    /// those of RunT followed by the base merge and a full top-k sort.
+    bool allow_early_termination = true;
+  };
+
+  /// Optional merge baseline of the bound-driven runner: the final ranking
+  /// is over merged(v) = post_scale·cpi_scores[v] + base[v] (each product
+  /// and sum computed in fp64 and rounded to V exactly like la::Scale
+  /// followed by la::Axpy — TPA's stranger merge).  `order` must hold all n
+  /// node ids sorted by base value descending (ties toward the smaller id);
+  /// it lets the runner offer only the k+1 best never-touched nodes instead
+  /// of scanning all n.  A null base means merged(v) = cpi_scores[v] with
+  /// post_scale applied (PowerIteration: post_scale = 1, no base).
+  template <typename V>
+  struct TopKBaseT {
+    const std::vector<V>* base = nullptr;
+    double post_scale = 1.0;
+    std::span<const NodeId> order = {};
+  };
+
+  /// Bound-driven top-k CPI: runs the same propagation as RunT but tracks
+  /// the touched support and, after each iteration, the remaining-mass
+  /// upper bound Σ_j ‖x(i)‖₁·(1-c)^j on any node's future gain.  Once the
+  /// current k-th candidate beats every other node's upper bound the
+  /// ranking is certified and the run stops early (if allowed).  The
+  /// returned ranking always equals the full run's top-k (score desc, id
+  /// asc); see TopKRunOptions for the score-exactness contract.
+  template <typename V>
+  static StatusOr<TopKQueryResult> RunTopKT(const Graph& graph,
+                                            const std::vector<NodeId>& seeds,
+                                            const CpiOptions& options,
+                                            const TopKRunOptions& topk,
+                                            const TopKBaseT<V>& base = {},
+                                            Workspace* workspace = nullptr);
 
   /// Convenience: full PageRank vector via CPI with the uniform seed vector.
   static StatusOr<std::vector<double>> PageRank(const Graph& graph,

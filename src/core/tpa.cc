@@ -1,6 +1,8 @@
 #include "core/tpa.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <type_traits>
 
 #include "la/vector_ops.h"
@@ -19,8 +21,27 @@ Status ValidateTpaOptions(const TpaOptions& options) {
   }
   TPA_RETURN_IF_ERROR(
       ValidateFrontierThreshold(options.frontier_density_threshold));
+  TPA_RETURN_IF_ERROR(
+      ValidateFrontierThreshold(options.topk_frontier_density_threshold));
   return OkStatus();
 }
+
+namespace {
+
+/// All node ids sorted by value descending, ties toward the smaller id —
+/// the order TopKSelector ranks equal-scored candidates, so walking it
+/// yields the best never-touched candidates first.
+template <typename V>
+std::vector<NodeId> ArgsortDescending(const std::vector<V>& values) {
+  std::vector<NodeId> order(values.size());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&values](NodeId a, NodeId b) {
+    return values[a] != values[b] ? values[a] > values[b] : a < b;
+  });
+  return order;
+}
+
+}  // namespace
 
 template <typename V>
 const std::vector<V>& Tpa::StrangerT() const {
@@ -50,14 +71,17 @@ StatusOr<Tpa> Tpa::Preprocess(const Graph& graph, const TpaOptions& options) {
                                 1.0 / static_cast<double>(graph.num_nodes()));
     TPA_ASSIGN_OR_RETURN(Cpi::Result result,
                          Cpi::RunWithSeedVector(graph, uniform, cpi));
-    return Tpa(&graph, options, std::move(result.scores), {});
+    std::vector<NodeId> order = ArgsortDescending(result.scores);
+    return Tpa(&graph, options, std::move(result.scores), {},
+               std::move(order));
   }
   std::vector<float> uniform(
       graph.num_nodes(),
       static_cast<float>(1.0 / static_cast<double>(graph.num_nodes())));
   TPA_ASSIGN_OR_RETURN(Cpi::ResultF result,
                        Cpi::RunWithSeedVectorT<float>(graph, uniform, cpi));
-  return Tpa(&graph, options, {}, std::move(result.scores));
+  std::vector<NodeId> order = ArgsortDescending(result.scores);
+  return Tpa(&graph, options, {}, std::move(result.scores), std::move(order));
 }
 
 double Tpa::NeighborScale() const {
@@ -128,6 +152,37 @@ std::vector<double> Tpa::Query(NodeId seed) const {
   StatusOr<std::vector<float>> total = QueryPersonalizedT<float>({seed});
   TPA_CHECK(total.ok());
   return la::ConvertVector<double>(*total);
+}
+
+TopKQueryResult Tpa::QueryTopK(NodeId seed, int k,
+                               const TopKQueryOptions& topk_options) const {
+  TPA_CHECK_LT(seed, graph_->num_nodes());
+  TPA_CHECK_GE(k, 0);
+  CpiOptions cpi = FamilyCpiOptions();
+  cpi.frontier_density_threshold = options_.topk_frontier_density_threshold;
+  Cpi::TopKRunOptions run;
+  run.k = k;
+  run.allow_early_termination = topk_options.allow_early_termination;
+  WorkspacePool::Lease workspace = workspaces_->Acquire();
+  if (precision_ == la::Precision::kFloat64) {
+    Cpi::TopKBaseT<double> base;
+    base.base = &stranger_;
+    base.post_scale = 1.0 + NeighborScale();
+    base.order = stranger_order_;
+    StatusOr<TopKQueryResult> result =
+        Cpi::RunTopKT<double>(*graph_, {seed}, cpi, run, base,
+                              workspace.get());
+    TPA_CHECK(result.ok());  // inputs validated above and at Preprocess
+    return *std::move(result);
+  }
+  Cpi::TopKBaseT<float> base;
+  base.base = &stranger_f_;
+  base.post_scale = 1.0 + NeighborScale();
+  base.order = stranger_order_;
+  StatusOr<TopKQueryResult> result =
+      Cpi::RunTopKT<float>(*graph_, {seed}, cpi, run, base, workspace.get());
+  TPA_CHECK(result.ok());
+  return *std::move(result);
 }
 
 std::vector<float> Tpa::QueryF(NodeId seed) const {

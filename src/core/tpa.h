@@ -33,6 +33,13 @@ struct TpaOptions {
   /// CpiOptions::frontier_density_threshold (results identical at any
   /// setting; see that field).
   double frontier_density_threshold = 0.125;
+  /// The crossover used by QueryTopK instead of the one above.  A top-k
+  /// query never materializes the dense merge, so its optimum shifts far
+  /// toward staying sparse: on the scale-17 R-MAT serving host the family
+  /// propagation alone bottoms out near 0.002 (2.44 ms/query vs 3.85 dense)
+  /// while full queries — which pay the dense merge regardless — prefer the
+  /// 0.125 default.  Results identical at any setting.
+  double topk_frontier_density_threshold = 0.002;
   /// Optional fork-join runner for the dense tail of QueryBatch (forwarded
   /// to CpiOptions::task_runner; the engine wires its ThreadPool in via
   /// set_task_runner).  Not owned.
@@ -59,7 +66,8 @@ class Tpa {
  public:
   /// Algorithm 2: computes the PageRank tail r̃_stranger = Σ_{i≥T} x(i) at
   /// the graph's precision tier.
-  static StatusOr<Tpa> Preprocess(const Graph& graph, const TpaOptions& options);
+  static StatusOr<Tpa> Preprocess(const Graph& graph,
+                                  const TpaOptions& options);
 
   /// Algorithm 3: approximate RWR vector for `seed`.
   /// CHECK-fails on an out-of-range seed (programming error).
@@ -69,6 +77,17 @@ class Tpa {
   /// serving hot path of the halved-footprint tier — no fp64 vector is
   /// materialized anywhere between the seed and the returned scores.
   std::vector<float> QueryF(NodeId seed) const;
+
+  /// Bound-driven top-k Algorithm 3 at the graph's tier: the family CPI
+  /// runs under Cpi::RunTopKT with the stranger tail as the merge baseline,
+  /// so the query terminates once the k-th candidate is separated from
+  /// every other node's remaining-mass upper bound and never materializes
+  /// the dense merge.  The returned ranking always equals
+  /// TopKScores(Query(seed), k); with early termination disabled the scores
+  /// too are bitwise that path's (see TopKQueryOptions).  CHECK-fails on an
+  /// out-of-range seed or negative k.
+  TopKQueryResult QueryTopK(NodeId seed, int k,
+                            const TopKQueryOptions& topk_options = {}) const;
 
   /// Batched Algorithm 3: one approximate RWR vector per seed, computed for
   /// the whole batch at once.  The S family iterations run as one SpMM
@@ -107,6 +126,11 @@ class Tpa {
     return stranger_f_;
   }
 
+  /// All node ids ranked by stranger value descending (ties toward the
+  /// smaller id) — QueryTopK's never-touched candidate order; always n
+  /// entries (either tier).
+  const std::vector<NodeId>& stranger_order() const { return stranger_order_; }
+
   /// The precision tier this instance runs at (== the graph's).
   la::Precision precision() const { return precision_; }
 
@@ -115,7 +139,10 @@ class Tpa {
   double NeighborScale() const;
 
   /// Logical size of the preprocessed data: one value per node at the
-  /// graph's precision tier (8 bytes fp64, 4 bytes fp32).
+  /// graph's precision tier (8 bytes fp64, 4 bytes fp32).  This is the
+  /// paper's preprocessed-storage metric, so the top-k path's stranger
+  /// ranking (stranger_order_, a derived index) is deliberately excluded —
+  /// the experiments' storage comparisons stay comparable across PRs.
   size_t PreprocessedBytes() const {
     return stranger_.size() * sizeof(double) +
            stranger_f_.size() * sizeof(float);
@@ -138,12 +165,13 @@ class Tpa {
 
  private:
   Tpa(const Graph* graph, TpaOptions options, std::vector<double> stranger,
-      std::vector<float> stranger_f)
+      std::vector<float> stranger_f, std::vector<NodeId> stranger_order)
       : graph_(graph),
         options_(options),
         precision_(graph->value_precision()),
         stranger_(std::move(stranger)),
         stranger_f_(std::move(stranger_f)),
+        stranger_order_(std::move(stranger_order)),
         workspaces_(std::make_shared<WorkspacePool>()) {}
 
   /// The stranger tail at tier V (the populated one of the two).
@@ -165,6 +193,10 @@ class Tpa {
   la::Precision precision_;
   std::vector<double> stranger_;   // populated at the fp64 tier
   std::vector<float> stranger_f_;  // populated at the fp32 tier
+  /// All node ids ranked by stranger value descending (ties toward the
+  /// smaller id): QueryTopK's base order, letting the bound-driven merge
+  /// offer only the k+1 best never-touched candidates.
+  std::vector<NodeId> stranger_order_;
   /// shared_ptr keeps Tpa movable (WorkspacePool owns a mutex).
   std::shared_ptr<WorkspacePool> workspaces_;
 };

@@ -159,6 +159,38 @@ void QueryEngine::ShapeFromEntry(const ResultCache::Entry& entry,
   }
 }
 
+bool QueryEngine::UseNativeTopKPath() const {
+  return options_.top_k > 0 && method_->SupportsTopKQuery() &&
+         graph_->permutation() == nullptr &&
+         (cache_ == nullptr || options_.cache_topk_only);
+}
+
+void QueryEngine::ServeTopKInto(NodeId seed, QueryResult& result) {
+  result.seed = seed;
+  TopKQueryOptions topk_options;
+  // Serving stays score-exact: results must be bitwise-identical to the
+  // dense path (and to what a dense-caching engine would serve), so the
+  // engine never trades certified-lower-bound scores for the last few
+  // iterations.  The win is skipping the dense merge and full-vector sort.
+  topk_options.allow_early_termination = false;
+  StatusOr<TopKQueryResult> top = [&] {
+    if (method_->SupportsConcurrentQuery()) {
+      return method_->QueryTopK(seed, options_.top_k, topk_options);
+    }
+    std::lock_guard<std::mutex> lock(*method_mu_);
+    return method_->QueryTopK(seed, options_.top_k, topk_options);
+  }();
+  if (!top.ok()) {
+    result.status = top.status();
+    return;
+  }
+  result.top = std::move(top->top);
+  if (cache_ != nullptr) {
+    cache_->Put(seed, std::make_shared<const CachedResult>(
+                          CachedResult::TopKOnly(precision_, result.top)));
+  }
+}
+
 bool QueryEngine::TryServeFromCache(NodeId seed, QueryResult& result) {
   if (cache_ == nullptr) return false;
   ResultCache::Entry hit = cache_->GetMatching(
@@ -225,6 +257,10 @@ void QueryEngine::ServeInto(NodeId seed, QueryResult& result) {
     return;
   }
   if (TryServeFromCache(seed, result)) return;
+  if (UseNativeTopKPath()) {
+    ServeTopKInto(seed, result);
+    return;
+  }
 
   // The method speaks the graph's internal storage order; translate the
   // seed in and the dense vector back out (see Permutation).
@@ -290,6 +326,16 @@ std::vector<std::vector<V>> FanOutBlock(const la::DenseBlockT<V>& block,
 
 void QueryEngine::ServeGroup(const std::vector<NodeId>& group,
                              const std::vector<QueryResult*>& slots) {
+  if (UseNativeTopKPath()) {
+    // Bound-driven top-k queries never materialize dense vectors, so there
+    // is no SpMM block to share across the group; each slot runs the native
+    // path (this also covers the async engine's grouped chunks).
+    for (size_t k = 0; k < slots.size(); ++k) {
+      ServeTopKInto(group[k], *slots[k]);
+    }
+    return;
+  }
+
   const Permutation* permutation = graph_->permutation();
   std::vector<NodeId> internal_group;
   const std::vector<NodeId>* method_group = &group;

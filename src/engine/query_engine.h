@@ -176,6 +176,23 @@ class QueryEngine {
   /// Computes (or fetches) the dense vector and shapes it into `result`.
   void ServeInto(NodeId seed, QueryResult& result);
 
+  /// Whether top-k requests route through the method's native bound-driven
+  /// path (RwrMethod::QueryTopK) instead of dense-query-then-partial-sort.
+  /// Requires top_k > 0 and a method opting in via SupportsTopKQuery, and
+  /// excludes two configurations where the dense vector is needed anyway:
+  /// a reordered graph (the method speaks internal ids, and the engine's
+  /// score translation — including equal-score tie-breaks — is defined on
+  /// the dense external vector) and a dense-entry cache (the miss must
+  /// deposit the full vector for later dense requests).  Routed results are
+  /// score-exact: the engine always disables early termination, so the
+  /// (node, score) pairs stay bitwise-identical to the dense path's.
+  bool UseNativeTopKPath() const;
+
+  /// Serves one seed through the native top-k path (caller has already
+  /// missed the cache): runs QueryTopK (locking for non-concurrent
+  /// methods), fills result.top, and refreshes the top-k-only cache entry.
+  void ServeTopKInto(NodeId seed, QueryResult& result);
+
   /// Whether a stored entry can serve this engine's requests: same
   /// precision tier, and top-k-only entries only for top-k requests they
   /// cover.

@@ -12,17 +12,13 @@
 
 #include "graph/graph.h"
 #include "la/precision.h"
+#include "la/topk.h"
 
 namespace tpa {
 
-/// One (node, score) pair of a top-k result, highest score first; ties break
-/// toward the smaller node id so results are deterministic.  (Lives here —
-/// rather than in query_engine.h, which re-exports it — because top-k-only
-/// cache entries store these directly.)
-struct ScoredNode {
-  NodeId node;
-  double score;
-};
+// ScoredNode — one (node, score) pair of a top-k result — now lives in
+// la/topk.h so the bound-driven top-k path in core can produce the same
+// type that top-k-only cache entries store.
 
 /// One cached query result.  Exactly one payload is populated, described by
 /// the (precision, topk_only) tag pair:

@@ -1,0 +1,67 @@
+#include "la/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tpa {
+namespace la {
+
+double GeometricTailMass(double norm, double decay, int iterations_left) {
+  if (norm <= 0.0 || iterations_left <= 0) return 0.0;
+  double tail;
+  if (decay >= 1.0) {
+    tail = norm * iterations_left;  // no decay: flat bound
+  } else {
+    // norm * (decay + decay^2 + ... + decay^left)
+    tail = norm * decay * (1.0 - std::pow(decay, iterations_left)) /
+           (1.0 - decay);
+  }
+  return tail * (1.0 + 1e-10);
+}
+
+void TopKSelector::Reset(size_t capacity) {
+  capacity_ = capacity;
+  entries_.clear();
+  entries_.reserve(capacity);
+}
+
+void TopKSelector::Offer(NodeId node, double score) {
+  if (capacity_ == 0) return;
+  if (entries_.size() == capacity_) {
+    const ScoredNode& worst = entries_.back();
+    if (score < worst.score || (score == worst.score && node > worst.node)) {
+      return;
+    }
+  }
+  auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), ScoredNode{node, score},
+      [](const ScoredNode& a, const ScoredNode& b) {
+        return a.score != b.score ? a.score > b.score : a.node < b.node;
+      });
+  entries_.insert(pos, ScoredNode{node, score});
+  if (entries_.size() > capacity_) entries_.pop_back();
+}
+
+bool TopKSelector::CertifiesTopK(size_t k, double slack) const {
+  if (k == 0) return true;
+  // Entry k (the best excluded candidate) must exist to bound the rest.
+  if (entries_.size() <= k) return false;
+  for (size_t i = 0; i < k; ++i) {
+    if (!(entries_[i].score - entries_[i + 1].score > slack)) return false;
+  }
+  return true;
+}
+
+double TopKSelector::MinCertGap(size_t k) const {
+  double min_gap = std::numeric_limits<double>::infinity();
+  const size_t last = std::min(k, entries_.size() > 0 ? entries_.size() - 1
+                                                      : size_t{0});
+  for (size_t i = 0; i < last; ++i) {
+    min_gap = std::min(min_gap, entries_[i].score - entries_[i + 1].score);
+  }
+  return min_gap;
+}
+
+}  // namespace la
+}  // namespace tpa

@@ -1,0 +1,102 @@
+#ifndef TPA_LA_TOPK_H_
+#define TPA_LA_TOPK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tpa {
+
+/// Kept in sync with graph/graph.h (la/ stays below the graph layer; the
+/// alias redeclaration is checked by every TU that includes both).
+using NodeId = uint32_t;
+
+/// One (node, score) pair of a top-k result, highest score first; ties break
+/// toward the smaller node id so results are deterministic.  (Lives here —
+/// below core and engine — because the bound-driven top-k path produces
+/// these in core::Cpi while top-k-only cache entries store them in the
+/// engine.)
+struct ScoredNode {
+  NodeId node;
+  double score;
+};
+
+/// Per-query options of the bound-driven top-k path, shared by the core
+/// runner (Cpi::RunTopKT), the methods (RwrMethod::QueryTopK), and the
+/// engines.
+struct TopKQueryOptions {
+  /// Stop the propagation as soon as the top-k ranking is *certified* by
+  /// the remaining-mass bounds — the reported order is then exactly the
+  /// full run's order, but the reported scores are the certified lower
+  /// bounds rather than the fully accumulated scores.  Disable to always
+  /// run the full window: the scores are then bitwise-identical to the
+  /// dense query followed by a full sort (what the QueryEngine serves).
+  bool allow_early_termination = true;
+};
+
+/// Result of a bound-driven top-k query: the k best (node, score) pairs in
+/// decreasing score order (ties toward the smaller id), plus how the
+/// propagation ended.
+struct TopKQueryResult {
+  std::vector<ScoredNode> top;
+  /// Index of the last propagation iteration computed (0 when the method
+  /// has no iteration notion, e.g. the generic full-query fallback).
+  int last_iteration = 0;
+  /// True when ‖x(i)‖₁ < ε stopped the run.
+  bool converged = false;
+  /// True when the ranking was certified (and the run cut short) before the
+  /// window's natural end.
+  bool early_terminated = false;
+};
+
+namespace la {
+
+/// Upper bound on the future interim mass of a CPI-style run: after an
+/// iteration with interim norm `norm`, at most Σ_{j=1..left} norm·decay^j
+/// more mass can ever be accumulated (‖x(i+1)‖₁ ≤ decay·‖x(i)‖₁ for the
+/// substochastic Ã^T).  Inflated by one part in 10^10 so fp64 rounding of
+/// the closed form can never under-state the true sum.
+double GeometricTailMass(double norm, double decay, int iterations_left);
+
+/// Bounded selection of the best (score, node) pairs: keeps the `capacity`
+/// best offers in decreasing score order, ties toward the smaller node id —
+/// the same total order as la::TopKIndices, so an exhaustive offer pass
+/// reproduces TopKScores exactly.  Offers are O(capacity) worst case but
+/// one compare for the common reject; reuse one selector across checks via
+/// Reset.
+class TopKSelector {
+ public:
+  /// Clears held entries and sets the number retained.
+  void Reset(size_t capacity);
+
+  void Offer(NodeId node, double score);
+
+  /// Held entries, best first (at most `capacity`).
+  std::span<const ScoredNode> entries() const {
+    return {entries_.data(), entries_.size()};
+  }
+
+  /// Whether the first k held entries are certified as the exact final
+  /// top-k ranking when every unseen candidate can gain at most `slack`:
+  /// each of the first k entries must beat its successor by strictly more
+  /// than slack (strict, so bound-equal ties can never reorder), which
+  /// covers the k-th-vs-rest boundary because entry k is the best excluded
+  /// candidate.  Callers must have offered every candidate that could rank
+  /// (the full accumulated support plus the k+1 best never-touched nodes).
+  bool CertifiesTopK(size_t k, double slack) const;
+
+  /// Smallest separating gap the certification would have needed: the
+  /// minimum successor gap among the first k+1 entries (infinity when fewer
+  /// than two entries are held).  Lets callers skip re-selection while the
+  /// remaining-mass slack still exceeds any gap seen.
+  double MinCertGap(size_t k) const;
+
+ private:
+  size_t capacity_ = 0;
+  std::vector<ScoredNode> entries_;  // sorted: score desc, node asc
+};
+
+}  // namespace la
+}  // namespace tpa
+
+#endif  // TPA_LA_TOPK_H_

@@ -62,6 +62,29 @@ class PowerIterationRwr final : public RwrMethod {
 
   bool SupportsBatchQuery() const override { return true; }
 
+  /// Native bound-driven path: the convergence loop under Cpi::RunTopKT
+  /// with no merge baseline — exact RWR's ranking typically certifies long
+  /// before the 1e-9 norm tolerance, cutting the iteration count well
+  /// below the full run's.
+  StatusOr<TopKQueryResult> QueryTopK(
+      NodeId seed, int k, const TopKQueryOptions& options = {}) override {
+    if (graph_ == nullptr) {
+      return FailedPreconditionError("Preprocess must be called before Query");
+    }
+    if (seed >= graph_->num_nodes()) {
+      return OutOfRangeError("seed node out of range");
+    }
+    Cpi::TopKRunOptions run;
+    run.k = k;
+    run.allow_early_termination = options.allow_early_termination;
+    if (graph_->value_precision() == la::Precision::kFloat32) {
+      return Cpi::RunTopKT<float>(*graph_, {seed}, options_, run);
+    }
+    return Cpi::RunTopKT<double>(*graph_, {seed}, options_, run);
+  }
+
+  bool SupportsTopKQuery() const override { return true; }
+
   /// CPI runs at either tier (the oracle of the fp32 accuracy-envelope
   /// tests runs on a separate fp64 graph).
   bool SupportsPrecision(la::Precision) const override { return true; }

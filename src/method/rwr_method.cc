@@ -1,6 +1,25 @@
 #include "method/rwr_method.h"
 
+#include "la/vector_ops.h"
+
 namespace tpa {
+
+StatusOr<TopKQueryResult> RwrMethod::QueryTopK(NodeId seed, int k,
+                                               const TopKQueryOptions&) {
+  if (k < 0) return InvalidArgumentError("k must be non-negative");
+  // Full-vector fallback: no bounds to terminate on, so the options'
+  // early-termination flag is moot — the ranking and scores are exactly the
+  // dense path's either way.
+  TPA_ASSIGN_OR_RETURN(std::vector<double> scores, Query(seed));
+  TopKQueryResult result;
+  const std::vector<size_t> idx =
+      la::TopKIndices(scores, static_cast<size_t>(k));
+  result.top.reserve(idx.size());
+  for (size_t i : idx) {
+    result.top.push_back({static_cast<NodeId>(i), scores[i]});
+  }
+  return result;
+}
 
 StatusOr<la::DenseBlock> RwrMethod::QueryBatchDense(
     std::span<const NodeId> seeds) {

@@ -11,6 +11,7 @@
 #include "la/dense_block.h"
 #include "la/precision.h"
 #include "la/task_runner.h"
+#include "la/topk.h"
 #include "util/memory_budget.h"
 #include "util/status.h"
 
@@ -55,6 +56,23 @@ class RwrMethod {
   /// seed groups to.  Conservative default: false (the base QueryBatchDense
   /// still works, it just offers no advantage over per-seed fan-out).
   virtual bool SupportsBatchQuery() const { return false; }
+
+  /// Top k of the seed's score vector at the method's serving tier: the
+  /// ranking always equals TopKScores over the corresponding full query
+  /// (score descending, ties toward the smaller node id), and with early
+  /// termination disabled (see TopKQueryOptions) the scores are bitwise
+  /// that path's too.  The base implementation runs the full Query and
+  /// sorts — identical results, no speedup; methods that override
+  /// SupportsTopKQuery() provide a bound-driven native path that can stop
+  /// as soon as the ranking is certified and never materialize the dense
+  /// vector.  Fails on an out-of-range seed or negative k.
+  virtual StatusOr<TopKQueryResult> QueryTopK(
+      NodeId seed, int k, const TopKQueryOptions& options = {});
+
+  /// True when QueryTopK runs natively bound-driven (cheaper than a full
+  /// query) and is therefore worth routing the engines' top-k requests to.
+  /// Conservative default: false.
+  virtual bool SupportsTopKQuery() const { return false; }
 
   /// True when the method can run against a graph materialized at the given
   /// value-precision tier (Graph::value_precision).  Conservative default:

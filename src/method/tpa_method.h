@@ -48,6 +48,22 @@ class TpaMethod final : public RwrMethod {
 
   bool SupportsBatchQuery() const override { return true; }
 
+  /// Native bound-driven path: the family CPI under Cpi::RunTopKT with the
+  /// stranger tail as the merge baseline, at the graph's tier.
+  StatusOr<TopKQueryResult> QueryTopK(
+      NodeId seed, int k, const TopKQueryOptions& options = {}) override {
+    if (!tpa_.has_value()) {
+      return FailedPreconditionError("Preprocess must be called before Query");
+    }
+    if (seed >= tpa_->stranger_order().size()) {
+      return OutOfRangeError("seed node out of range");
+    }
+    if (k < 0) return InvalidArgumentError("k must be non-negative");
+    return tpa_->QueryTopK(seed, k, options);
+  }
+
+  bool SupportsTopKQuery() const override { return true; }
+
   /// TPA runs natively at either tier: on an fp32 graph every propagation
   /// buffer, the stranger tail, and the returned scores stay fp32.
   bool SupportsPrecision(la::Precision) const override { return true; }

@@ -1,0 +1,283 @@
+/// Bound-driven top-k query path (Cpi::RunTopKT / Tpa::QueryTopK /
+/// RwrMethod::QueryTopK): exact agreement with the full-vector-sort oracle
+/// at both precision tiers, early termination actually firing (with
+/// iteration-count assertions), k edge cases, and input validation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cpi.h"
+#include "core/tpa.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "la/precision.h"
+#include "la/topk.h"
+#include "la/vector_ops.h"
+#include "method/power_iteration.h"
+#include "method/tpa_method.h"
+#include "util/check.h"
+#include "util/memory_budget.h"
+
+namespace tpa {
+namespace {
+
+Graph CommunityGraph(uint64_t seed = 33) {
+  DcsbmOptions options;
+  options.nodes = 400;
+  options.edges = 4000;
+  options.blocks = 8;
+  options.seed = seed;
+  auto graph = GenerateDcsbm(options);
+  TPA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+/// Bidirectional star: from the hub, the top-1 gap dwarfs every other
+/// score, so the remaining-mass bound certifies k = 1 before the family
+/// window's natural end — a deterministic early-termination fixture.
+Graph StarGraph(NodeId n = 300) {
+  GraphBuilder builder(n);
+  for (NodeId v = 1; v < n; ++v) {
+    builder.AddEdge(0, v);
+    builder.AddEdge(v, 0);
+  }
+  auto graph = builder.Build();
+  TPA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+/// The full-vector oracle: dense scores, full ranking via la::TopKIndices
+/// (score descending, ties toward the smaller index).
+template <typename V>
+std::vector<ScoredNode> OracleTopK(const std::vector<V>& scores, size_t k) {
+  std::vector<ScoredNode> top;
+  for (size_t i : la::TopKIndices(scores, k)) {
+    top.push_back({static_cast<NodeId>(i), static_cast<double>(scores[i])});
+  }
+  return top;
+}
+
+TEST(TpaTopKTest, ExactModeMatchesFullSortOracleBitwise) {
+  Graph graph = CommunityGraph();
+  auto tpa = Tpa::Preprocess(graph, {});
+  ASSERT_TRUE(tpa.ok());
+
+  TopKQueryOptions exact;
+  exact.allow_early_termination = false;
+  for (NodeId seed : {NodeId{0}, NodeId{57}, NodeId{211}, NodeId{399}}) {
+    const std::vector<double> dense = tpa->Query(seed);
+    for (int k : {1, 5, 25}) {
+      const std::vector<ScoredNode> oracle =
+          OracleTopK(dense, static_cast<size_t>(k));
+      const TopKQueryResult result = tpa->QueryTopK(seed, k, exact);
+      ASSERT_EQ(result.top.size(), oracle.size()) << "seed " << seed;
+      EXPECT_FALSE(result.early_terminated);
+      for (size_t i = 0; i < oracle.size(); ++i) {
+        ASSERT_EQ(result.top[i].node, oracle[i].node)
+            << "seed " << seed << " k " << k << " rank " << i;
+        ASSERT_EQ(result.top[i].score, oracle[i].score)
+            << "seed " << seed << " k " << k << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST(TpaTopKTest, EarlyTerminationPreservesExactRanking) {
+  Graph graph = CommunityGraph(91);
+  auto tpa = Tpa::Preprocess(graph, {});
+  ASSERT_TRUE(tpa.ok());
+
+  for (NodeId seed : {NodeId{3}, NodeId{120}, NodeId{388}}) {
+    const std::vector<double> dense = tpa->Query(seed);
+    for (int k : {1, 10}) {
+      const std::vector<ScoredNode> oracle =
+          OracleTopK(dense, static_cast<size_t>(k));
+      const TopKQueryResult result = tpa->QueryTopK(seed, k);
+      ASSERT_EQ(result.top.size(), oracle.size());
+      for (size_t i = 0; i < oracle.size(); ++i) {
+        ASSERT_EQ(result.top[i].node, oracle[i].node)
+            << "seed " << seed << " k " << k << " rank " << i;
+        // Early-terminated scores are certified lower bounds of the exact
+        // merged scores.
+        ASSERT_LE(result.top[i].score, oracle[i].score + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TpaTopKTest, EarlyTerminationFiresOnStarHub) {
+  Graph graph = StarGraph();
+  TpaOptions options;
+  auto tpa = Tpa::Preprocess(graph, options);
+  ASSERT_TRUE(tpa.ok());
+
+  const TopKQueryResult result = tpa->QueryTopK(0, 1);
+  EXPECT_TRUE(result.early_terminated);
+  // The family window runs iterations 0 .. S-1; certification must have cut
+  // at least the final one.
+  EXPECT_LT(result.last_iteration, options.family_window - 1);
+  ASSERT_EQ(result.top.size(), 1u);
+  const std::vector<ScoredNode> oracle = OracleTopK(tpa->Query(0), 1);
+  EXPECT_EQ(result.top[0].node, oracle[0].node);
+}
+
+TEST(TpaTopKTest, KEdgeCases) {
+  Graph graph = CommunityGraph(5);
+  auto tpa = Tpa::Preprocess(graph, {});
+  ASSERT_TRUE(tpa.ok());
+  const NodeId n = graph.num_nodes();
+  const NodeId seed = 17;
+  const std::vector<double> dense = tpa->Query(seed);
+
+  EXPECT_TRUE(tpa->QueryTopK(seed, 0).top.empty());
+
+  TopKQueryOptions exact;
+  exact.allow_early_termination = false;
+  for (int k : {static_cast<int>(n), static_cast<int>(n) + 7}) {
+    const TopKQueryResult result = tpa->QueryTopK(seed, k, exact);
+    const std::vector<ScoredNode> oracle = OracleTopK(dense, n);
+    ASSERT_EQ(result.top.size(), static_cast<size_t>(n)) << "k " << k;
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      ASSERT_EQ(result.top[i].node, oracle[i].node) << "k " << k;
+      ASSERT_EQ(result.top[i].score, oracle[i].score) << "k " << k;
+    }
+    // A ranking over all n nodes can never exclude anyone, so the bounds
+    // must not have cut the window.
+    EXPECT_FALSE(result.early_terminated);
+  }
+}
+
+TEST(TpaTopKTest, ResultsInvariantToFrontierThreshold) {
+  Graph graph = CommunityGraph(13);
+  TopKQueryOptions exact;
+  exact.allow_early_termination = false;
+  TpaOptions base_options;
+  auto reference = Tpa::Preprocess(graph, base_options);
+  ASSERT_TRUE(reference.ok());
+  const TopKQueryResult expected = reference->QueryTopK(42, 12, exact);
+
+  for (double threshold : {0.0, 0.05, 1.0}) {
+    TpaOptions options;
+    options.topk_frontier_density_threshold = threshold;
+    auto tpa = Tpa::Preprocess(graph, options);
+    ASSERT_TRUE(tpa.ok());
+    const TopKQueryResult result = tpa->QueryTopK(42, 12, exact);
+    ASSERT_EQ(result.top.size(), expected.top.size());
+    for (size_t i = 0; i < expected.top.size(); ++i) {
+      ASSERT_EQ(result.top[i].node, expected.top[i].node)
+          << "threshold " << threshold;
+      ASSERT_EQ(result.top[i].score, expected.top[i].score)
+          << "threshold " << threshold;
+    }
+  }
+}
+
+TEST(TpaTopKTest, Fp32TierMatchesFp32OracleBitwise) {
+  Graph graph = CommunityGraph(71);
+  Graph fp32 = RematerializeWithPrecision(graph, la::Precision::kFloat32);
+  auto tpa = Tpa::Preprocess(fp32, {});
+  ASSERT_TRUE(tpa.ok());
+  ASSERT_EQ(tpa->precision(), la::Precision::kFloat32);
+
+  TopKQueryOptions exact;
+  exact.allow_early_termination = false;
+  for (NodeId seed : {NodeId{9}, NodeId{250}}) {
+    const std::vector<float> dense = tpa->QueryF(seed);
+    const std::vector<ScoredNode> oracle = OracleTopK(dense, 10);
+    const TopKQueryResult result = tpa->QueryTopK(seed, 10, exact);
+    ASSERT_EQ(result.top.size(), oracle.size());
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      ASSERT_EQ(result.top[i].node, oracle[i].node) << "seed " << seed;
+      ASSERT_EQ(result.top[i].score, oracle[i].score) << "seed " << seed;
+    }
+  }
+}
+
+TEST(PowerIterationTopKTest, EarlyTerminationCutsIterationCount) {
+  Graph graph = CommunityGraph(29);
+  PowerIterationRwr method;
+  MemoryBudget budget;
+  ASSERT_TRUE(method.Preprocess(graph, budget).ok());
+  ASSERT_TRUE(method.SupportsTopKQuery());
+
+  const NodeId seed = 77;
+  CpiOptions full_options;
+  auto full = Cpi::Run(graph, {seed}, full_options);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(full->converged);
+
+  auto topk = method.QueryTopK(seed, 1);
+  ASSERT_TRUE(topk.ok());
+  EXPECT_TRUE(topk->early_terminated);
+  // Exact RWR converges to ‖x‖₁ < 1e-9 (~130 iterations at c = 0.15); the
+  // top-1 ranking certifies once the geometric tail drops below the
+  // leader's gap — far earlier.
+  EXPECT_LT(topk->last_iteration, full->last_iteration / 2);
+
+  auto dense = method.Query(seed);
+  ASSERT_TRUE(dense.ok());
+  const std::vector<ScoredNode> oracle = OracleTopK(*dense, 1);
+  ASSERT_EQ(topk->top.size(), 1u);
+  EXPECT_EQ(topk->top[0].node, oracle[0].node);
+}
+
+TEST(PowerIterationTopKTest, ExactModeMatchesFullSortOracleBitwise) {
+  Graph graph = CommunityGraph(47);
+  PowerIterationRwr method;
+  MemoryBudget budget;
+  ASSERT_TRUE(method.Preprocess(graph, budget).ok());
+
+  TopKQueryOptions exact;
+  exact.allow_early_termination = false;
+  for (NodeId seed : {NodeId{1}, NodeId{199}}) {
+    auto dense = method.Query(seed);
+    ASSERT_TRUE(dense.ok());
+    const std::vector<ScoredNode> oracle = OracleTopK(*dense, 15);
+    auto result = method.QueryTopK(seed, 15, exact);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->top.size(), oracle.size());
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      ASSERT_EQ(result->top[i].node, oracle[i].node) << "seed " << seed;
+      ASSERT_EQ(result->top[i].score, oracle[i].score) << "seed " << seed;
+    }
+  }
+}
+
+TEST(RunTopKValidationTest, RejectsBadInputs) {
+  Graph graph = CommunityGraph(3);
+  Cpi::TopKRunOptions run;
+
+  run.k = -1;
+  EXPECT_FALSE(Cpi::RunTopKT<double>(graph, {0}, {}, run).ok());
+  run.k = 5;
+
+  EXPECT_FALSE(Cpi::RunTopKT<double>(graph, {}, {}, run).ok());
+  EXPECT_FALSE(
+      Cpi::RunTopKT<double>(graph, {graph.num_nodes()}, {}, run).ok());
+
+  Cpi::TopKBaseT<double> bad_base;
+  std::vector<double> short_base(graph.num_nodes() - 1, 0.0);
+  bad_base.base = &short_base;
+  EXPECT_FALSE(Cpi::RunTopKT<double>(graph, {0}, {}, run, bad_base).ok());
+
+  std::vector<double> full_base(graph.num_nodes(), 0.0);
+  Cpi::TopKBaseT<double> missing_order;
+  missing_order.base = &full_base;
+  EXPECT_FALSE(
+      Cpi::RunTopKT<double>(graph, {0}, {}, run, missing_order).ok());
+
+  std::vector<NodeId> order(graph.num_nodes());
+  for (NodeId i = 0; i < graph.num_nodes(); ++i) order[i] = i;
+  Cpi::TopKBaseT<double> negative_scale;
+  negative_scale.base = &full_base;
+  negative_scale.order = order;
+  negative_scale.post_scale = -1.0;
+  EXPECT_FALSE(
+      Cpi::RunTopKT<double>(graph, {0}, {}, run, negative_scale).ok());
+}
+
+}  // namespace
+}  // namespace tpa

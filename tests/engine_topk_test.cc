@@ -1,0 +1,231 @@
+/// Engine-level routing of top-k requests through the native bound-driven
+/// path (RwrMethod::QueryTopK): bitwise agreement with the dense
+/// query-then-partial-sort pipeline, async serving parity, and
+/// cache_topk_only entries being served and refreshed through QueryTopK
+/// instead of a dense recompute.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "engine/async_query_engine.h"
+#include "engine/query_engine.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "method/rwr_method.h"
+#include "method/tpa_method.h"
+#include "util/check.h"
+
+namespace tpa {
+namespace {
+
+Graph ServingGraph(uint64_t seed = 61) {
+  DcsbmOptions options;
+  options.nodes = 500;
+  options.edges = 5000;
+  options.blocks = 10;
+  options.seed = seed;
+  auto graph = GenerateDcsbm(options);
+  TPA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+/// TpaMethod with call counters, to pin *which* serving path the engine
+/// took (dense Query vs native QueryTopK).  Counters are safe to read only
+/// after serving quiesces.
+class CountingTpaMethod final : public RwrMethod {
+ public:
+  std::string_view name() const override { return inner_.name(); }
+  Status Preprocess(const Graph& graph, MemoryBudget& budget) override {
+    return inner_.Preprocess(graph, budget);
+  }
+  StatusOr<std::vector<double>> Query(NodeId seed) override {
+    counters_->query.fetch_add(1, std::memory_order_relaxed);
+    return inner_.Query(seed);
+  }
+  StatusOr<TopKQueryResult> QueryTopK(
+      NodeId seed, int k, const TopKQueryOptions& options = {}) override {
+    counters_->query_topk.fetch_add(1, std::memory_order_relaxed);
+    return inner_.QueryTopK(seed, k, options);
+  }
+  bool SupportsTopKQuery() const override { return true; }
+  bool SupportsConcurrentQuery() const override { return true; }
+  size_t PreprocessedBytes() const override {
+    return inner_.PreprocessedBytes();
+  }
+
+  struct Counters {
+    std::atomic<int> query{0};
+    std::atomic<int> query_topk{0};
+  };
+  /// Outlives the engine that owns the method.
+  std::shared_ptr<Counters> counters() const { return counters_; }
+
+ private:
+  TpaMethod inner_;
+  std::shared_ptr<Counters> counters_ = std::make_shared<Counters>();
+};
+
+TEST(EngineTopKTest, NativeRouteMatchesDensePipelineBitwise) {
+  Graph graph = ServingGraph();
+
+  QueryEngineOptions dense_options;
+  dense_options.num_threads = 2;
+  auto dense = QueryEngine::Create(graph, std::make_unique<TpaMethod>(),
+                                   dense_options);
+  ASSERT_TRUE(dense.ok());
+
+  QueryEngineOptions topk_options;
+  topk_options.num_threads = 2;
+  topk_options.top_k = 10;
+  auto topk = QueryEngine::Create(graph, std::make_unique<TpaMethod>(),
+                                  topk_options);
+  ASSERT_TRUE(topk.ok());
+
+  std::vector<NodeId> seeds;
+  for (NodeId s = 0; s < graph.num_nodes(); s += 83) seeds.push_back(s);
+  const std::vector<QueryResult> batch = topk->QueryBatch(seeds);
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    const QueryResult full = dense->Query(seeds[i]);
+    ASSERT_TRUE(full.status.ok());
+    const std::vector<ScoredNode> oracle = TopKScores(full.scores, 10);
+
+    const QueryResult single = topk->Query(seeds[i]);
+    ASSERT_TRUE(single.status.ok());
+    ASSERT_TRUE(batch[i].status.ok());
+    EXPECT_TRUE(single.scores.empty());
+    ASSERT_EQ(single.top.size(), oracle.size());
+    ASSERT_EQ(batch[i].top.size(), oracle.size());
+    for (size_t r = 0; r < oracle.size(); ++r) {
+      ASSERT_EQ(single.top[r].node, oracle[r].node) << "seed " << seeds[i];
+      ASSERT_EQ(single.top[r].score, oracle[r].score) << "seed " << seeds[i];
+      ASSERT_EQ(batch[i].top[r].node, oracle[r].node) << "seed " << seeds[i];
+      ASSERT_EQ(batch[i].top[r].score, oracle[r].score) << "seed " << seeds[i];
+    }
+  }
+}
+
+TEST(EngineTopKTest, NativeRouteActuallyTaken) {
+  Graph graph = ServingGraph(7);
+  auto method = std::make_unique<CountingTpaMethod>();
+  auto counters = method->counters();
+
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.top_k = 5;
+  auto engine = QueryEngine::Create(graph, std::move(method), options);
+  ASSERT_TRUE(engine.ok());
+
+  ASSERT_TRUE(engine->Query(12).status.ok());
+  EXPECT_EQ(counters->query_topk.load(), 1);
+  EXPECT_EQ(counters->query.load(), 0);
+}
+
+TEST(EngineTopKTest, DenseCacheDisablesNativeRoute) {
+  // A dense-entry cache needs the full vector deposited on every miss, so
+  // the engine must stay on the dense pipeline.
+  Graph graph = ServingGraph(7);
+  auto method = std::make_unique<CountingTpaMethod>();
+  auto counters = method->counters();
+
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.top_k = 5;
+  options.cache_capacity = 8;  // cache_topk_only left false
+  auto engine = QueryEngine::Create(graph, std::move(method), options);
+  ASSERT_TRUE(engine.ok());
+
+  ASSERT_TRUE(engine->Query(12).status.ok());
+  EXPECT_EQ(counters->query_topk.load(), 0);
+  EXPECT_EQ(counters->query.load(), 1);
+}
+
+TEST(EngineTopKTest, TopKOnlyCacheServedAndRefreshedThroughQueryTopK) {
+  Graph graph = ServingGraph(23);
+  auto method = std::make_unique<CountingTpaMethod>();
+  auto counters = method->counters();
+
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.top_k = 6;
+  options.cache_capacity = 8;
+  options.cache_topk_only = true;
+  auto engine = QueryEngine::Create(graph, std::move(method), options);
+  ASSERT_TRUE(engine.ok());
+
+  // Cold: miss → one QueryTopK, never a dense Query, entry deposited.
+  const QueryResult cold = engine->Query(12);
+  ASSERT_TRUE(cold.status.ok());
+  EXPECT_FALSE(cold.from_cache);
+  ASSERT_EQ(cold.top.size(), 6u);
+  EXPECT_EQ(counters->query_topk.load(), 1);
+  EXPECT_EQ(counters->query.load(), 0);
+  EXPECT_EQ(engine->cache_stats().entries, 1u);
+
+  // Warm: served from the O(k) entry, no method call at all.
+  const QueryResult warm = engine->Query(12);
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_EQ(counters->query_topk.load(), 1);
+  EXPECT_EQ(counters->query.load(), 0);
+  ASSERT_EQ(warm.top.size(), cold.top.size());
+  for (size_t r = 0; r < cold.top.size(); ++r) {
+    EXPECT_EQ(warm.top[r].node, cold.top[r].node) << r;
+    EXPECT_EQ(warm.top[r].score, cold.top[r].score) << r;
+  }
+
+  // Results match the dense pipeline exactly.
+  QueryEngineOptions dense_options;
+  dense_options.num_threads = 1;
+  auto dense = QueryEngine::Create(graph, std::make_unique<TpaMethod>(),
+                                   dense_options);
+  ASSERT_TRUE(dense.ok());
+  const std::vector<ScoredNode> oracle =
+      TopKScores(dense->Query(12).scores, 6);
+  for (size_t r = 0; r < oracle.size(); ++r) {
+    EXPECT_EQ(cold.top[r].node, oracle[r].node) << r;
+    EXPECT_EQ(cold.top[r].score, oracle[r].score) << r;
+  }
+}
+
+TEST(EngineTopKTest, AsyncTopKMatchesBlockingBitwise) {
+  Graph graph = ServingGraph(41);
+  MethodConfig config;
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = 2;
+  engine_options.top_k = 10;
+
+  auto async = AsyncQueryEngine::CreateFromRegistry(graph, "TPA", config,
+                                                    engine_options);
+  ASSERT_TRUE(async.ok()) << async.status();
+  auto blocking =
+      QueryEngine::CreateFromRegistry(graph, "TPA", config, engine_options);
+  ASSERT_TRUE(blocking.ok()) << blocking.status();
+
+  std::vector<NodeId> seeds;
+  for (int i = 0; i < 32; ++i) {
+    seeds.push_back(static_cast<NodeId>((i * 131) % graph.num_nodes()));
+  }
+  std::vector<QueryTicket> tickets;
+  tickets.reserve(seeds.size());
+  for (NodeId seed : seeds) tickets.push_back((*async)->Submit(seed));
+
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    ASSERT_TRUE(tickets[i].WaitFor(std::chrono::milliseconds(30000)));
+    const QueryResult& got = tickets[i].Wait();
+    ASSERT_TRUE(got.status.ok()) << got.status;
+    const QueryResult want = blocking->Query(seeds[i]);
+    ASSERT_TRUE(want.status.ok());
+    ASSERT_EQ(got.top.size(), want.top.size());
+    for (size_t r = 0; r < want.top.size(); ++r) {
+      ASSERT_EQ(got.top[r].node, want.top[r].node) << "seed " << seeds[i];
+      ASSERT_EQ(got.top[r].score, want.top[r].score) << "seed " << seeds[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tpa

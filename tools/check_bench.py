@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Gate CI on benchmark regressions, not just test failures.
+
+Compares a freshly produced ``BENCH_*.json`` (the Release smoke run)
+against a committed baseline and fails only on a real throughput
+regression:
+
+* Rows are matched by their identity key, not position — for the
+  ``engine_throughput`` schema that is ``(mode, threads, batch, clients,
+  arrival_rate_multiplier)`` — so reordering, new modes, or retired modes
+  never break the gate.
+* The gated metric is dimensionless (``speedup_vs_sequential``): both
+  sides of a CI run share the same runner, so the sequential baseline
+  divides out machine speed and only *relative* regressions fail.
+* Regressions only: a matched row fails when ``current < baseline * (1 -
+  tolerance)``.  Improvements and new rows are reported, never fatal;
+  rows present only in the baseline are reported as retired.
+* Benchmarks without gating rules (e.g. the kernel crossover sweep, whose
+  absolute milliseconds are pure machine noise on shared runners) are
+  diffed informationally and always pass.
+
+Usage:
+    check_bench.py --baseline ci/bench_baselines/BENCH_engine_throughput.json \
+                   --current BENCH_engine_throughput.json [--tolerance 0.25]
+
+Exit status: 0 when no gated row regressed, 1 otherwise (or on a
+malformed/unreadable input file).
+
+Standard library only — runs on a bare CI python3.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"check_bench: cannot read {path}: {error}")
+
+
+def row_key(row):
+    """Identity of one engine_throughput configuration."""
+    return (
+        row.get("mode", ""),
+        row.get("threads", 0),
+        row.get("batch", 0),
+        row.get("clients", 0),
+        row.get("arrival_rate_multiplier", 0),
+    )
+
+
+def format_key(key):
+    mode, threads, batch, clients, rate = key
+    parts = [f"{mode!r}", f"threads={threads}", f"batch={batch}"]
+    if clients:
+        parts.append(f"clients={clients}")
+    if rate:
+        parts.append(f"rate=x{rate:g}")
+    return " ".join(parts)
+
+
+def check_engine_throughput(baseline, current, tolerance):
+    """Returns the list of regression messages (empty = pass)."""
+    base_rows = {row_key(r): r for r in baseline.get("rows", [])}
+    cur_rows = {row_key(r): r for r in current.get("rows", [])}
+
+    regressions = []
+    matched = 0
+    for key, cur in cur_rows.items():
+        base = base_rows.get(key)
+        if base is None:
+            print(f"  new row (not gated): {format_key(key)}")
+            continue
+        matched += 1
+        base_speedup = float(base.get("speedup_vs_sequential", 0.0))
+        cur_speedup = float(cur.get("speedup_vs_sequential", 0.0))
+        if base_speedup <= 0.0:
+            continue
+        floor = base_speedup * (1.0 - tolerance)
+        ratio = cur_speedup / base_speedup
+        status = "REGRESSION" if cur_speedup < floor else "ok"
+        print(
+            f"  {status:>10}  {format_key(key)}: "
+            f"{base_speedup:.3f}x -> {cur_speedup:.3f}x ({ratio:.2f} of baseline)"
+        )
+        if cur_speedup < floor:
+            regressions.append(
+                f"{format_key(key)}: speedup_vs_sequential fell to "
+                f"{cur_speedup:.3f}x from {base_speedup:.3f}x "
+                f"(floor {floor:.3f}x at {tolerance:.0%} tolerance)"
+            )
+    for key in base_rows:
+        if key not in cur_rows:
+            print(f"  retired row (not gated): {format_key(key)}")
+    print(f"  {matched} matched rows gated")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop in a gated metric (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    name = current.get("benchmark", "<unnamed>")
+    if baseline.get("benchmark") != current.get("benchmark"):
+        sys.exit(
+            f"check_bench: benchmark mismatch: baseline is "
+            f"{baseline.get('benchmark')!r}, current is {name!r}"
+        )
+
+    print(f"check_bench: {name} ({args.current} vs {args.baseline})")
+    if name == "engine_throughput":
+        regressions = check_engine_throughput(baseline, current, args.tolerance)
+    else:
+        print("  no gating rules for this benchmark; informational only")
+        regressions = []
+
+    if regressions:
+        print(f"\ncheck_bench: FAILED — {len(regressions)} regression(s):")
+        for message in regressions:
+            print(f"  {message}")
+        return 1
+    print("check_bench: PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
