@@ -12,8 +12,9 @@
 /// extraction, bound-driven top-k, and warm-cache serving modes.
 /// `--precision fp32` materializes the graph (and therefore the whole
 /// serving stack — CSR values, CPI workspaces, cache entries) at the fp32
-/// tier; the default fp64 run additionally records one fp32 serving row so
-/// the tier comparison lands in the JSON of every run.
+/// tier; the default fp64 run additionally records fp32 serving rows and
+/// value-free (ValueStorage::kRowConstant, index-only CSR) serving rows so
+/// the tier and layout comparisons land in the JSON of every run.
 /// `--json PATH` additionally emits the results machine-readable (e.g.
 /// BENCH_engine_throughput.json) so the perf trajectory is tracked across
 /// PRs.
@@ -35,6 +36,7 @@
 #include "core/tpa.h"
 #include "engine/async_query_engine.h"
 #include "engine/query_engine.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "la/precision.h"
 #include "method/tpa_method.h"
@@ -444,6 +446,63 @@ int Run(int argc, char** argv) {
     add_row("engine fp32 spmm groups", threads, seeds.size(), best_seconds,
             served);
     std::printf("fp32 serving: %.2fx over fp64 sequential\n",
+                (served / best_seconds) / seq_qps);
+  }
+
+  // Value-free serving rows: the same workload on a kRowConstant rebuild of
+  // the graph — no per-edge value arrays, the kernels synthesize 1/out-deg
+  // in registers, results bitwise-identical to the explicit rows above.
+  // Sequential queries plus the SpMM group path, so the layout comparison
+  // covers both serving modes.
+  if (tier == la::Precision::kFloat64) {
+    GraphBuilder builder(graph->num_nodes());
+    for (NodeId u = 0; u < graph->num_nodes(); ++u) {
+      for (NodeId v : graph->OutNeighbors(u)) builder.AddEdge(u, v);
+    }
+    BuildOptions build_options;
+    // The generated graph is already cleaned; keep its edges (including the
+    // dangling policy's self-loops) verbatim.
+    build_options.remove_self_loops = false;
+    build_options.dangling_policy = DanglingPolicy::kKeep;
+    build_options.value_storage = ValueStorage::kRowConstant;
+    auto value_free = builder.Build(build_options);
+    if (!value_free.ok()) return 1;
+    std::printf("value-free rebuild: CSR bytes %zu (explicit: %zu)\n",
+                value_free->SizeBytes(), graph->SizeBytes());
+
+    auto tpa_vf = Tpa::Preprocess(*value_free, tpa_options);
+    if (!tpa_vf.ok()) {
+      std::fprintf(stderr, "value-free preprocess failed: %s\n",
+                   tpa_vf.status().ToString().c_str());
+      return 1;
+    }
+    Stopwatch seq_vf_watch;
+    for (NodeId seed : seeds) {
+      std::vector<double> scores = tpa_vf->Query(seed);
+      if (scores.empty()) return 1;  // keep the loop un-elidable
+    }
+    add_row("sequential value-free Tpa::Query", 1, seeds.size(),
+            seq_vf_watch.ElapsedSeconds(), seeds.size());
+
+    const int threads = static_cast<int>(std::max(
+        1u, std::min(hardware, static_cast<unsigned>(thread_counts.back()))));
+    QueryEngineOptions options_vf;
+    options_vf.num_threads = threads;
+    options_vf.batch_block_size = 8;  // the fp64 line width, as above
+    auto engine_vf = QueryEngine::Create(
+        *value_free, std::make_unique<TpaMethod>(tpa_options), options_vf);
+    if (!engine_vf.ok()) return 1;
+    double best_seconds = 0.0;
+    size_t served = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch watch;
+      served = engine_vf->QueryBatch(seeds).size();
+      const double seconds = watch.ElapsedSeconds();
+      if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+    }
+    add_row("engine value-free spmm groups", threads, seeds.size(),
+            best_seconds, served);
+    std::printf("value-free serving: %.2fx over fp64 sequential\n",
                 (served / best_seconds) / seq_qps);
   }
 

@@ -14,9 +14,12 @@
 /// the data behind CpiOptions::frontier_density_threshold's default.
 ///
 /// The same JSON run also records the fp32-vs-fp64 precision sweep: dense
-/// SpMv / SpMvTranspose / width-8 SpMmTranspose timed at both value tiers
-/// over a ladder of graph sizes ending at the (cache-exceeding) sweep size —
-/// the data behind the "Precision tiers" guidance in the README.
+/// SpMv / SpMvTranspose / width-8 and width-16 SpMmTranspose timed at both
+/// value tiers over a ladder of graph sizes ending at the (cache-exceeding)
+/// sweep size — the data behind the "Precision tiers" guidance in the
+/// README.  Each ladder rung also times the value-free twins (kRowConstant
+/// over the same structure, ≈4 streamed bytes/nnz, bitwise-identical
+/// outputs) at both tiers — the data behind the "Memory layout" section.
 
 #include <benchmark/benchmark.h>
 
@@ -235,6 +238,7 @@ struct PrecisionRow {
   uint64_t edges = 0;
   size_t csr_bytes_fp64 = 0;
   size_t csr_bytes_fp32 = 0;
+  size_t csr_bytes_vf = 0;  // index-only + one n-length 1/deg array per dir
   double spmv_fp64_ms = 0.0;
   double spmv_fp32_ms = 0.0;
   double spmvt_fp64_ms = 0.0;
@@ -243,6 +247,16 @@ struct PrecisionRow {
   double spmm8_fp32_ms = 0.0;
   double spmm16_fp64_ms = 0.0;
   double spmm16_fp32_ms = 0.0;
+  // Value-free twins (CsrValueMode::kRowConstant over the same structure):
+  // identical outputs bitwise, index-only ≈4 bytes/nnz streamed.
+  double spmv_vf64_ms = 0.0;
+  double spmv_vf32_ms = 0.0;
+  double spmvt_vf64_ms = 0.0;
+  double spmvt_vf32_ms = 0.0;
+  double spmm8_vf64_ms = 0.0;
+  double spmm8_vf32_ms = 0.0;
+  double spmm16_vf64_ms = 0.0;
+  double spmm16_vf32_ms = 0.0;
 };
 
 /// Times the dense kernels at both value tiers on one graph pair.  Dense
@@ -254,15 +268,26 @@ struct PrecisionRow {
 /// ratios understate fp32 and the width-16 ratio is the serving-relevant
 /// one — it is the group size the engine's kAuto dispatches at the fp32
 /// tier.
+///
+/// Each output slot MIN-MERGES (0.0 = unset): the caller times the four
+/// storage variants in several interleaved rounds and keeps each variant's
+/// best.  One variant's kernels run in seconds, but a four-variant
+/// sequential pass spans minutes — long enough for shared-host load drift
+/// to corrupt exactly the cross-variant ratios this sweep exists to
+/// measure.  Interleaving puts every compared pair a few seconds apart,
+/// and min-over-rounds converges each variant to its quiet-machine time.
 template <typename V>
 void TimePrecisionKernels(const la::CsrMatrixT<V>& csr, double& spmv_ms,
                           double& spmvt_ms, double& spmm8_ms,
                           double& spmm16_ms) {
+  const auto keep = [](double& slot, double ms) {
+    slot = (slot == 0.0) ? ms : std::min(slot, ms);
+  };
   const uint32_t n = csr.rows();
   std::vector<V> x(n, static_cast<V>(1.0 / static_cast<double>(n)));
   std::vector<V> y;
-  spmv_ms = TimeMs([&] { csr.SpMv(x, y); });
-  spmvt_ms = TimeMs([&] { csr.SpMvTranspose(x, y); });
+  keep(spmv_ms, TimeMs([&] { csr.SpMv(x, y); }));
+  keep(spmvt_ms, TimeMs([&] { csr.SpMvTranspose(x, y); }));
   for (size_t width : {size_t{8}, size_t{16}}) {
     la::DenseBlockT<V> bx(n, width);
     for (uint32_t r = 0; r < n; ++r) {
@@ -270,8 +295,8 @@ void TimePrecisionKernels(const la::CsrMatrixT<V>& csr, double& spmv_ms,
       for (size_t b = 0; b < width; ++b) row[b] = x[r];
     }
     la::DenseBlockT<V> by;
-    (width == 8 ? spmm8_ms : spmm16_ms) =
-        TimeMs([&] { csr.SpMmTranspose(bx, by); });
+    keep(width == 8 ? spmm8_ms : spmm16_ms,
+         TimeMs([&] { csr.SpMmTranspose(bx, by); }));
   }
 }
 
@@ -304,12 +329,44 @@ std::vector<PrecisionRow> RunPrecisionSweep(const SweepArgs& args,
     row.edges = graph->num_edges();
     row.csr_bytes_fp64 = graph->SizeBytes();
     row.csr_bytes_fp32 = graph32.SizeBytes();
-    TimePrecisionKernels(graph->Transition(), row.spmv_fp64_ms,
-                         row.spmvt_fp64_ms, row.spmm8_fp64_ms,
-                         row.spmm16_fp64_ms);
-    TimePrecisionKernels(graph32.TransitionF(), row.spmv_fp32_ms,
-                         row.spmvt_fp32_ms, row.spmm8_fp32_ms,
-                         row.spmm16_fp32_ms);
+    // Value-free twins over the explicit graph's own out-CSR structure,
+    // in the exact configuration Graph serves: kRowConstant with the
+    // n-length precomputed 1/out-degree array (read once per row — no
+    // in-loop division), bitwise-identical to the explicit values timed
+    // above.
+    const la::CsrStructure& out = graph->Transition().structure();
+    const std::vector<uint64_t>& out_offsets = *out.row_offsets;
+    std::vector<double> scales64(graph->num_nodes(), 0.0);
+    std::vector<float> scales32(graph->num_nodes(), 0.0f);
+    for (uint32_t r = 0; r < graph->num_nodes(); ++r) {
+      const uint64_t degree = out_offsets[r + 1] - out_offsets[r];
+      if (degree == 0) continue;
+      scales64[r] = 1.0 / static_cast<double>(degree);
+      scales32[r] = static_cast<float>(1.0 / static_cast<double>(degree));
+    }
+    la::CsrMatrix vf64(out, la::CsrValueMode::kRowConstant,
+                       std::move(scales64));
+    la::CsrMatrixF vf32(out, la::CsrValueMode::kRowConstant,
+                        std::move(scales32));
+    row.csr_bytes_vf =
+        la::CsrStructureBytes(out) +
+        la::CsrStructureBytes(graph->TransitionTranspose().structure()) +
+        2 * graph->num_nodes() * sizeof(double);
+    // Three interleaved rounds, each variant next to the one it is
+    // compared against; TimePrecisionKernels min-merges across rounds.
+    constexpr int kTimingRounds = 3;
+    for (int round = 0; round < kTimingRounds; ++round) {
+      TimePrecisionKernels(graph->Transition(), row.spmv_fp64_ms,
+                           row.spmvt_fp64_ms, row.spmm8_fp64_ms,
+                           row.spmm16_fp64_ms);
+      TimePrecisionKernels(vf64, row.spmv_vf64_ms, row.spmvt_vf64_ms,
+                           row.spmm8_vf64_ms, row.spmm16_vf64_ms);
+      TimePrecisionKernels(graph32.TransitionF(), row.spmv_fp32_ms,
+                           row.spmvt_fp32_ms, row.spmm8_fp32_ms,
+                           row.spmm16_fp32_ms);
+      TimePrecisionKernels(vf32, row.spmv_vf32_ms, row.spmvt_vf32_ms,
+                           row.spmm8_vf32_ms, row.spmm16_vf32_ms);
+    }
     std::printf(
         "precision scale %2u (%7u nodes, %8llu edges): "
         "spmv %.3f/%.3f ms (%.2fx)  spmvt %.3f/%.3f ms (%.2fx)  "
@@ -321,6 +378,14 @@ std::vector<PrecisionRow> RunPrecisionSweep(const SweepArgs& args,
         row.spmm8_fp32_ms, row.spmm8_fp64_ms / row.spmm8_fp32_ms,
         row.spmm16_fp64_ms, row.spmm16_fp32_ms,
         row.spmm16_fp64_ms / row.spmm16_fp32_ms);
+    std::printf(
+        "value-free scale %2u: spmvt vf64 %.3f ms (%.2fx vs fp64) "
+        "vf32 %.3f ms (%.2fx vs fp32)  spmm16 vf64 %.3f ms (%.2fx vs fp64) "
+        "vf32 %.3f ms (%.2fx vs fp32)\n",
+        row.scale, row.spmvt_vf64_ms, row.spmvt_fp64_ms / row.spmvt_vf64_ms,
+        row.spmvt_vf32_ms, row.spmvt_fp32_ms / row.spmvt_vf32_ms,
+        row.spmm16_vf64_ms, row.spmm16_fp64_ms / row.spmm16_vf64_ms,
+        row.spmm16_vf32_ms, row.spmm16_fp32_ms / row.spmm16_vf32_ms);
     rows.push_back(row);
   }
   return rows;
@@ -344,7 +409,24 @@ void AppendPrecisionJson(std::ofstream& out,
         << ", \"spmm16_fp64_ms\": " << row.spmm16_fp64_ms
         << ", \"spmm16_fp32_ms\": " << row.spmm16_fp32_ms
         << ", \"spmm16_fp32_speedup\": "
-        << row.spmm16_fp64_ms / row.spmm16_fp32_ms << "}"
+        << row.spmm16_fp64_ms / row.spmm16_fp32_ms
+        << ", \"csr_bytes_vf\": " << row.csr_bytes_vf
+        << ", \"spmv_vf64_ms\": " << row.spmv_vf64_ms
+        << ", \"spmv_vf32_ms\": " << row.spmv_vf32_ms
+        << ", \"spmvt_vf64_ms\": " << row.spmvt_vf64_ms
+        << ", \"spmvt_vf32_ms\": " << row.spmvt_vf32_ms
+        << ", \"spmm8_vf64_ms\": " << row.spmm8_vf64_ms
+        << ", \"spmm8_vf32_ms\": " << row.spmm8_vf32_ms
+        << ", \"spmm16_vf64_ms\": " << row.spmm16_vf64_ms
+        << ", \"spmm16_vf32_ms\": " << row.spmm16_vf32_ms
+        << ", \"spmvt_vf64_speedup_vs_fp64\": "
+        << row.spmvt_fp64_ms / row.spmvt_vf64_ms
+        << ", \"spmvt_vf32_speedup_vs_fp32\": "
+        << row.spmvt_fp32_ms / row.spmvt_vf32_ms
+        << ", \"spmm16_vf64_speedup_vs_fp64\": "
+        << row.spmm16_fp64_ms / row.spmm16_vf64_ms
+        << ", \"spmm16_vf32_speedup_vs_fp32\": "
+        << row.spmm16_fp32_ms / row.spmm16_vf32_ms << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n";

@@ -25,8 +25,11 @@ int ResolveThreadCount(int requested) {
 /// traversal is the bottleneck, i.e. the arrays no longer fit the
 /// last-level cache; a cache-resident graph serves faster per-seed thanks
 /// to frontier sparsity (see QueryEngineOptions::batch_block_size).
-/// graph.SizeBytes() reports the materialized bytes, so the fp32 tier —
-/// two thirds the CSR footprint — resolves from its actual working set.
+/// graph.SizeBytes() reports the materialized bytes, so both cheaper
+/// layouts cross the LLC threshold later than explicit fp64: the fp32 tier
+/// at 8 bytes/nnz, and value-free (ValueStorage::kRowConstant) storage at
+/// ≈4 bytes/nnz — a value-free graph stays on the faster cache-resident
+/// per-seed path up to ~3× the edge count.
 int ResolveBatchBlockSize(int requested, const Graph& graph,
                           const RwrMethod& method) {
   if (requested != QueryEngineOptions::kAuto) return requested;
@@ -36,7 +39,13 @@ int ResolveBatchBlockSize(int requested, const Graph& graph,
   // seeds.  The scatter's per-edge cost is one line RMW either way, so the
   // fp32 tier serves twice the seeds per CSR traversal at the same line
   // traffic — where its headline SpMM speedup comes from
-  // (BENCH_kernels.json precision rows).
+  // (BENCH_kernels.json precision rows).  Value storage does not enter
+  // this formula: dropping the value array narrows the *streamed* CSR
+  // bytes per edge (12 → 4 at fp64), but the group width is pinned by the
+  // *scattered* multivector row — width × value bytes must stay one line,
+  // or every edge RMWs multiple lines of y and the amortization inverts
+  // (verified empirically: see BENCH_kernels.json value-free spmm rows,
+  // which peak at the same widths as their explicit twins).
   return static_cast<int>(64 /
                           la::PrecisionValueBytes(graph.value_precision()));
 }

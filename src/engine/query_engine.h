@@ -58,8 +58,13 @@ struct QueryEngineOptions {
   /// fp64, 16 at fp32 (the scatter pays one line per edge either way, so
   /// the fp32 tier shares each traversal across twice the seeds) — and
   /// per-seed fan-out otherwise.  The CSR bytes are the *actual
-  /// materialized* bytes, so an fp32 graph (8 bytes/nnz instead of 12)
-  /// crosses the threshold later than the same graph at fp64.  Explicit
+  /// materialized* bytes, so the cheaper layouts cross the threshold
+  /// later than explicit fp64 (12 bytes/nnz): fp32 at 8, and value-free
+  /// (ValueStorage::kRowConstant) at ≈4 — a value-free graph stays on the
+  /// cache-resident per-seed path up to ~3× the edge count.  Value
+  /// storage does not change the group width, only the threshold: the
+  /// width is pinned by the scattered block row filling one line, not by
+  /// the streamed CSR bytes.  Explicit
   /// values are the escape hatch: 0 or 1 forces per-seed fan-out, ≥ 2
   /// forces that group size.  The resolved value is visible through
   /// options().  `bench_engine_throughput` measures both paths.

@@ -14,10 +14,11 @@ namespace {
 
 using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
 
-/// Converts a cleaned (sorted, deduplicated, dangling-resolved) edge list
-/// into the CSR Graph.  `edges` must be sorted by (u, v).
-Graph FinalizeCsr(NodeId num_nodes, const EdgeList& edges,
-                  la::Precision precision = la::Precision::kFloat64) {
+/// The out-adjacency half of the CSR build (counting sort over the sorted
+/// edge list) — all the structure SlashBurn's ordering pass needs, without
+/// the transpose, the weights, or Graph validation.
+std::pair<std::vector<uint64_t>, std::vector<NodeId>> OutAdjacency(
+    NodeId num_nodes, const EdgeList& edges) {
   const size_t m = edges.size();
   std::vector<uint64_t> out_offsets(static_cast<size_t>(num_nodes) + 1, 0);
   std::vector<NodeId> out_targets(m);
@@ -29,6 +30,16 @@ Graph FinalizeCsr(NodeId num_nodes, const EdgeList& edges,
     std::vector<uint64_t> cursor(out_offsets.begin(), out_offsets.end() - 1);
     for (const auto& [u, v] : edges) out_targets[cursor[u]++] = v;
   }
+  return {std::move(out_offsets), std::move(out_targets)};
+}
+
+/// Converts a cleaned (sorted, deduplicated, dangling-resolved) edge list
+/// into the CSR Graph.  `edges` must be sorted by (u, v).
+Graph FinalizeCsr(NodeId num_nodes, const EdgeList& edges,
+                  la::Precision precision = la::Precision::kFloat64,
+                  ValueStorage value_storage = ValueStorage::kExplicit) {
+  const size_t m = edges.size();
+  auto [out_offsets, out_targets] = OutAdjacency(num_nodes, edges);
 
   // Transpose (counting sort by target); sources end up sorted within each
   // in-list because `edges` is sorted by (u, v).
@@ -44,7 +55,8 @@ Graph FinalizeCsr(NodeId num_nodes, const EdgeList& edges,
   }
 
   return Graph(num_nodes, std::move(out_offsets), std::move(out_targets),
-               std::move(in_offsets), std::move(in_sources), precision);
+               std::move(in_offsets), std::move(in_sources), precision,
+               value_storage);
 }
 
 /// Internal storage order for kDegreeDescending: total (in+out) degree
@@ -67,13 +79,15 @@ std::vector<NodeId> DegreeDescendingOrder(NodeId num_nodes,
   return order;
 }
 
-/// Internal storage order for kHubCluster: SlashBurn on a throwaway graph
-/// built from the cleaned edges (spokes first in component blocks, hubs
-/// contiguous at the end).
+/// Internal storage order for kHubCluster: SlashBurn over the out-adjacency
+/// arrays of the cleaned edges (spokes first in component blocks, hubs
+/// contiguous at the end).  No throwaway Graph build — the ordering pass
+/// never needs the transpose or the normalized weights.
 StatusOr<std::vector<NodeId>> HubClusterOrder(NodeId num_nodes,
                                               const EdgeList& edges) {
-  Graph scratch = FinalizeCsr(num_nodes, edges);
-  TPA_ASSIGN_OR_RETURN(HubSpokeOrdering ordering, SlashBurn(scratch, {}));
+  const auto [out_offsets, out_targets] = OutAdjacency(num_nodes, edges);
+  TPA_ASSIGN_OR_RETURN(HubSpokeOrdering ordering,
+                       SlashBurn(num_nodes, out_offsets, out_targets, {}));
   return std::move(ordering.old_of_new);
 }
 
@@ -124,7 +138,8 @@ StatusOr<Graph> GraphBuilder::Build(const BuildOptions& options) {
   }
 
   if (options.node_ordering == NodeOrdering::kOriginal) {
-    return FinalizeCsr(num_nodes_, edges, options.value_precision);
+    return FinalizeCsr(num_nodes_, edges, options.value_precision,
+                       options.value_storage);
   }
 
   // Locality ordering: compute the internal storage order on the cleaned
@@ -150,7 +165,8 @@ StatusOr<Graph> GraphBuilder::Build(const BuildOptions& options) {
   }
   std::sort(edges.begin(), edges.end());
 
-  Graph graph = FinalizeCsr(num_nodes_, edges, options.value_precision);
+  Graph graph = FinalizeCsr(num_nodes_, edges, options.value_precision,
+                            options.value_storage);
   graph.AttachPermutation(
       std::make_shared<const Permutation>(std::move(permutation)));
   return graph;

@@ -32,8 +32,9 @@ enum class NodeOrdering {
   kDegreeDescending,
   /// SlashBurn hub-and-spoke ordering (reorder::SlashBurn with default
   /// options): spoke blocks first grouped by connected component, hubs
-  /// contiguous at the end — the paper's locality ordering.  Costs one
-  /// extra throwaway CSR build plus the SlashBurn rounds.
+  /// contiguous at the end — the paper's locality ordering.  Runs on the
+  /// builder's out-adjacency arrays directly (one counting sort over the
+  /// cleaned edges), no throwaway Graph build.
   kHubCluster,
 };
 
@@ -50,6 +51,11 @@ struct BuildOptions {
   /// kFloat32 materializes the CSR values at 4 bytes/edge for the fp32
   /// propagation stack.
   la::Precision value_precision = la::Precision::kFloat64;
+  /// Whether the normalized values are materialized per edge (kExplicit)
+  /// or dropped entirely and synthesized by the kernels (kRowConstant —
+  /// index-only ≈4 bytes/nnz hot loops, bitwise-identical results).  See
+  /// ValueStorage; applies at every precision tier.
+  ValueStorage value_storage = ValueStorage::kExplicit;
 };
 
 /// Accumulates an edge list and finalizes it into an immutable CSR Graph.

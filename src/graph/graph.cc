@@ -10,7 +10,9 @@ namespace {
 
 /// Per-edge normalized weights for the out-CSR: every edge in row u carries
 /// 1/out-degree(u).  The reciprocal is computed in fp64 and rounded once to
-/// the storage tier V.
+/// the storage tier V — the exact expression the value-free kernels
+/// synthesize per row, which is what pins kExplicit and kRowConstant
+/// bitwise-identical.
 template <typename V>
 std::vector<V> OutWeights(const std::vector<uint64_t>& out_offsets,
                           size_t num_edges) {
@@ -40,40 +42,89 @@ std::vector<V> InWeights(const std::vector<uint64_t>& out_offsets,
   return weights;
 }
 
+/// Per-node reciprocal out-degrees, the one n-length array value-free
+/// storage keeps per direction: the out-CSR reads it as a per-row scale
+/// (kRowConstant — once per row, which beats synthesizing the division
+/// in-loop on frontier-sparse queries), the in-CSR as a column scale
+/// (kColumnScale — edge (v ← u) carries 1/out-degree(u), and u is the
+/// column there).  Each entry is the same fp64-reciprocal-rounded-once
+/// expression as OutWeights/InWeights, which pins the value-free modes
+/// bitwise-identical to explicit storage.  Dangling nodes get 0: an empty
+/// row is skipped by the kernels and a node with no out-edge never appears
+/// as an in-CSR column, so those entries exist for indexing but are never
+/// read.
+template <typename V>
+std::vector<V> OutDegreeReciprocals(const std::vector<uint64_t>& out_offsets) {
+  const size_t num_nodes = out_offsets.size() - 1;
+  std::vector<V> scales(num_nodes, V{0});
+  for (size_t u = 0; u < num_nodes; ++u) {
+    const uint64_t degree = out_offsets[u + 1] - out_offsets[u];
+    if (degree == 0) continue;
+    scales[u] = static_cast<V>(1.0 / static_cast<double>(degree));
+  }
+  return scales;
+}
+
 }  // namespace
 
 Graph::Graph(NodeId num_nodes, std::vector<uint64_t> out_offsets,
              std::vector<NodeId> out_targets, std::vector<uint64_t> in_offsets,
-             std::vector<NodeId> in_sources, la::Precision value_precision)
+             std::vector<NodeId> in_sources, la::Precision value_precision,
+             ValueStorage value_storage)
     : num_nodes_(num_nodes),
       precision_(value_precision),
-      partition_cache_(std::make_unique<PartitionCache>()) {
-  TPA_CHECK_EQ(out_offsets.size(), static_cast<size_t>(num_nodes_) + 1);
-  TPA_CHECK_EQ(in_offsets.size(), static_cast<size_t>(num_nodes_) + 1);
+      value_storage_(value_storage),
+      partition_cache_(std::make_shared<PartitionCache>()) {
   TPA_CHECK_EQ(out_targets.size(), in_sources.size());
-  TPA_CHECK_EQ(out_offsets.back(), out_targets.size());
-  TPA_CHECK_EQ(in_offsets.back(), in_sources.size());
-  // Fail fast before InWeights dereferences out_offsets[u + 1]; the
-  // CsrMatrixT constructors re-validate but run only afterwards.
-  for (NodeId u : in_sources) TPA_CHECK_LT(u, num_nodes_);
+  // MakeCsrStructure validates offsets shape/monotonicity and index range
+  // (in particular in_sources < num_nodes, which the weight builders rely
+  // on before dereferencing out_offsets[u + 1]).
+  out_structure_ = la::MakeCsrStructure(num_nodes_, num_nodes_,
+                                        std::move(out_offsets),
+                                        std::move(out_targets));
+  in_structure_ = la::MakeCsrStructure(num_nodes_, num_nodes_,
+                                       std::move(in_offsets),
+                                       std::move(in_sources));
+  EnsureTier(precision_);
+}
 
-  if (precision_ == la::Precision::kFloat64) {
-    std::vector<double> out_weights =
-        OutWeights<double>(out_offsets, out_targets.size());
-    std::vector<double> in_weights = InWeights<double>(out_offsets, in_sources);
-    out_csr_ = la::CsrMatrix(num_nodes_, num_nodes_, std::move(out_offsets),
-                             std::move(out_targets), std::move(out_weights));
-    in_csr_ = la::CsrMatrix(num_nodes_, num_nodes_, std::move(in_offsets),
-                            std::move(in_sources), std::move(in_weights));
+Graph::Graph(const Graph& other, la::Precision tier)
+    : num_nodes_(other.num_nodes_),
+      precision_(tier),
+      value_storage_(other.value_storage_),
+      out_structure_(other.out_structure_),  // aliases the shared topology
+      in_structure_(other.in_structure_),
+      permutation_(other.permutation_),
+      partition_cache_(other.partition_cache_) {
+  EnsureTier(tier);
+}
+
+template <typename V>
+void Graph::MaterializeTierT(la::CsrMatrixT<V>& out,
+                             la::CsrMatrixT<V>& in) const {
+  const std::vector<uint64_t>& out_offsets = *out_structure_.row_offsets;
+  if (value_storage_ == ValueStorage::kExplicit) {
+    out = la::CsrMatrixT<V>(out_structure_,
+                            OutWeights<V>(out_offsets, out_structure_.nnz()));
+    in = la::CsrMatrixT<V>(
+        in_structure_, InWeights<V>(out_offsets, *in_structure_.col_indices));
   } else {
-    std::vector<float> out_weights =
-        OutWeights<float>(out_offsets, out_targets.size());
-    std::vector<float> in_weights = InWeights<float>(out_offsets, in_sources);
-    out_csr_f_ = la::CsrMatrixF(num_nodes_, num_nodes_, std::move(out_offsets),
-                                std::move(out_targets),
-                                std::move(out_weights));
-    in_csr_f_ = la::CsrMatrixF(num_nodes_, num_nodes_, std::move(in_offsets),
-                               std::move(in_sources), std::move(in_weights));
+    std::vector<V> scales = OutDegreeReciprocals<V>(out_offsets);
+    out = la::CsrMatrixT<V>(out_structure_, la::CsrValueMode::kRowConstant,
+                            std::vector<V>(scales));
+    in = la::CsrMatrixT<V>(in_structure_, la::CsrValueMode::kColumnScale,
+                           std::move(scales));
+  }
+}
+
+void Graph::EnsureTier(la::Precision tier) {
+  if (HasTier(tier)) return;
+  if (tier == la::Precision::kFloat64) {
+    MaterializeTierT<double>(out_csr_, in_csr_);
+    has_fp64_ = true;
+  } else {
+    MaterializeTierT<float>(out_csr_f_, in_csr_f_);
+    has_fp32_ = true;
   }
 }
 
@@ -98,30 +149,7 @@ NodeId Graph::CountDangling() const {
 }
 
 Graph RematerializeWithPrecision(const Graph& graph, la::Precision precision) {
-  const NodeId n = graph.num_nodes();
-  std::vector<uint64_t> out_offsets(static_cast<size_t>(n) + 1, 0);
-  std::vector<uint64_t> in_offsets(static_cast<size_t>(n) + 1, 0);
-  for (NodeId u = 0; u < n; ++u) {
-    out_offsets[u + 1] = out_offsets[u] + graph.OutDegree(u);
-    in_offsets[u + 1] = in_offsets[u] + graph.InDegree(u);
-  }
-  std::vector<NodeId> out_targets;
-  std::vector<NodeId> in_sources;
-  out_targets.reserve(out_offsets.back());
-  in_sources.reserve(in_offsets.back());
-  for (NodeId u = 0; u < n; ++u) {
-    const auto out = graph.OutNeighbors(u);
-    out_targets.insert(out_targets.end(), out.begin(), out.end());
-    const auto in = graph.InNeighbors(u);
-    in_sources.insert(in_sources.end(), in.begin(), in.end());
-  }
-  Graph result(n, std::move(out_offsets), std::move(out_targets),
-               std::move(in_offsets), std::move(in_sources), precision);
-  if (graph.permutation() != nullptr) {
-    result.AttachPermutation(
-        std::make_shared<const Permutation>(*graph.permutation()));
-  }
-  return result;
+  return Graph(graph, precision);
 }
 
 }  // namespace tpa

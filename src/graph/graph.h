@@ -19,22 +19,42 @@ namespace tpa {
 /// (the paper's largest graph has 68M nodes).
 using NodeId = uint32_t;
 
-/// Immutable directed graph stored as two weighted CSR matrices: the
-/// row-normalized adjacency matrix Ã over out-edges, and its transpose Ã^T
-/// over in-edges.  The normalized edge weights (1/out-degree of the source)
-/// are materialized once at construction, so the transition-matrix products
-/// that dominate every method's runtime are pure CSR SpMv kernels — a
-/// contiguous (index, value) sweep with no per-edge degree lookup or
+/// How the normalized edge weights of a Graph are stored (see
+/// la::CsrValueMode for the kernel-level mechanics).
+enum class ValueStorage : uint8_t {
+  /// One materialized value per edge — 12 bytes/nnz at fp64, 8 at fp32.
+  /// The general mode; a future weighted-graph build path requires it.
+  kExplicit,
+  /// Value-free: the out-CSR synthesizes 1/out-degree in registers (no
+  /// array at all) and the in-CSR reads a per-node column scale (n entries,
+  /// not nnz), cutting the streamed hot-loop footprint to the index-only
+  /// ≈4 bytes/nnz.  Applies exactly because the out-degree normalization
+  /// makes every edge weight a function of its source node — bitwise
+  /// identical to kExplicit, which stores those same numbers per edge.
+  kRowConstant,
+};
+
+/// Immutable directed graph stored as one shared index structure per
+/// direction — the row-normalized adjacency matrix Ã over out-edges and its
+/// transpose Ã^T over in-edges — plus per-precision-tier value arrays on
+/// top.  The normalized edge weights (1/out-degree of the source) are
+/// materialized once (or, under ValueStorage::kRowConstant, synthesized by
+/// the kernels), so the transition-matrix products that dominate every
+/// method's runtime are pure CSR sweeps with no per-edge degree lookup or
 /// division.
 ///
-/// The edge values are materialized at one precision tier
-/// (BuildOptions::value_precision): fp64 — the default, feeding the
-/// historical all-double pipeline bitwise-unchanged — or fp32, which cuts
-/// the per-edge footprint from 12 to 8 bytes (index + value) and feeds the
-/// fp32 propagation stack (Cpi/Tpa fp32 workspaces, fp32 serving).  The
-/// structure accessors (degrees, neighbor spans) work at either tier; the
-/// typed matrix accessors CHECK that the requested tier is the one
-/// materialized — a graph holds exactly one value array per direction.
+/// Dual-tier layout: the topology (offsets + indices) lives in
+/// la::CsrStructure bundles held by shared_ptr, and each precision tier is
+/// a CsrMatrixT aliasing that structure with its own (possibly empty)
+/// value array.  A graph is built at one primary tier
+/// (BuildOptions::value_precision, returned by value_precision());
+/// EnsureTier materializes the other tier in place — value arrays only,
+/// topology shared — and RematerializeWithPrecision produces a sibling
+/// Graph at the other tier that shares the same structure arrays, so one
+/// process serves fp64 and fp32 off one copy of the topology.  The
+/// structure accessors (degrees, neighbor spans, offsets) read the shared
+/// structure directly and work regardless of tiers; the typed matrix
+/// accessors CHECK that the requested tier is materialized.
 ///
 /// The in/out dual layout supports the two product flavors used throughout
 /// the library:
@@ -53,7 +73,8 @@ class Graph {
   Graph(NodeId num_nodes, std::vector<uint64_t> out_offsets,
         std::vector<NodeId> out_targets, std::vector<uint64_t> in_offsets,
         std::vector<NodeId> in_sources,
-        la::Precision value_precision = la::Precision::kFloat64);
+        la::Precision value_precision = la::Precision::kFloat64,
+        ValueStorage value_storage = ValueStorage::kExplicit);
 
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
@@ -61,43 +82,67 @@ class Graph {
   Graph& operator=(Graph&&) = default;
 
   NodeId num_nodes() const { return num_nodes_; }
-  uint64_t num_edges() const {
-    return precision_ == la::Precision::kFloat64 ? out_csr_.nnz()
-                                                 : out_csr_f_.nnz();
-  }
+  uint64_t num_edges() const { return out_structure_.nnz(); }
 
-  /// The precision tier of the materialized edge values.
+  /// The primary precision tier — the one the graph was built at and the
+  /// one engines serve at.  EnsureTier may materialize the other tier too;
+  /// HasTier reports what is actually available.
   la::Precision value_precision() const { return precision_; }
 
+  /// The value storage mode shared by every materialized tier.
+  ValueStorage value_storage() const { return value_storage_; }
+
+  /// Whether the given tier's matrices are materialized.
+  bool HasTier(la::Precision tier) const {
+    return tier == la::Precision::kFloat64 ? has_fp64_ : has_fp32_;
+  }
+
+  /// Materializes the given tier's value arrays over the shared topology
+  /// (no-op when already present).  O(n) under kRowConstant, O(nnz) under
+  /// kExplicit — never copies the index structure.  Not thread-safe; call
+  /// before concurrent serving starts.
+  void EnsureTier(la::Precision tier);
+
   uint32_t OutDegree(NodeId u) const {
-    return precision_ == la::Precision::kFloat64 ? out_csr_.RowNnz(u)
-                                                 : out_csr_f_.RowNnz(u);
+    const uint64_t* offsets = out_structure_.row_offsets->data();
+    return static_cast<uint32_t>(offsets[u + 1] - offsets[u]);
   }
   uint32_t InDegree(NodeId v) const {
-    return precision_ == la::Precision::kFloat64 ? in_csr_.RowNnz(v)
-                                                 : in_csr_f_.RowNnz(v);
+    const uint64_t* offsets = in_structure_.row_offsets->data();
+    return static_cast<uint32_t>(offsets[v + 1] - offsets[v]);
   }
 
   std::span<const NodeId> OutNeighbors(NodeId u) const {
-    return precision_ == la::Precision::kFloat64 ? out_csr_.RowIndices(u)
-                                                 : out_csr_f_.RowIndices(u);
+    const uint64_t* offsets = out_structure_.row_offsets->data();
+    const NodeId* targets = out_structure_.col_indices->data();
+    return {targets + offsets[u], targets + offsets[u + 1]};
   }
   std::span<const NodeId> InNeighbors(NodeId v) const {
-    return precision_ == la::Precision::kFloat64 ? in_csr_.RowIndices(v)
-                                                 : in_csr_f_.RowIndices(v);
+    const uint64_t* offsets = in_structure_.row_offsets->data();
+    const NodeId* sources = in_structure_.col_indices->data();
+    return {sources + offsets[v], sources + offsets[v + 1]};
+  }
+
+  /// The raw out-CSR index arrays — the adjacency view consumed by
+  /// structure-only algorithms (reorder::SlashBurn).
+  std::span<const uint64_t> OutOffsets() const {
+    return *out_structure_.row_offsets;
+  }
+  std::span<const NodeId> OutTargets() const {
+    return *out_structure_.col_indices;
   }
 
   /// Ã as a weighted CSR at tier V: row u holds u's out-neighbors with
-  /// weight 1/out-degree(u).  CHECK-fails when the graph was materialized
-  /// at the other tier (fp64-only methods must not silently run on an fp32
-  /// graph, and vice versa).
+  /// weight 1/out-degree(u).  CHECK-fails when that tier has not been
+  /// materialized (fp64-only methods must not silently run on an fp32-only
+  /// graph, and vice versa) — see EnsureTier.
   template <typename V>
   const la::CsrMatrixT<V>& TransitionT() const {
     if constexpr (std::is_same_v<V, double>) {
-      TPA_CHECK(precision_ == la::Precision::kFloat64);
+      TPA_CHECK(has_fp64_);
       return out_csr_;
     } else {
-      TPA_CHECK(precision_ == la::Precision::kFloat32);
+      TPA_CHECK(has_fp32_);
       return out_csr_f_;
     }
   }
@@ -107,10 +152,10 @@ class Graph {
   template <typename V>
   const la::CsrMatrixT<V>& TransitionTransposeT() const {
     if constexpr (std::is_same_v<V, double>) {
-      TPA_CHECK(precision_ == la::Precision::kFloat64);
+      TPA_CHECK(has_fp64_);
       return in_csr_;
     } else {
-      TPA_CHECK(precision_ == la::Precision::kFloat32);
+      TPA_CHECK(has_fp32_);
       return in_csr_f_;
     }
   }
@@ -212,7 +257,9 @@ class Graph {
 
   /// The nnz-balanced destination partition of the out-CSR for `parts`
   /// ranges, built lazily and cached (thread-safe).  Purely structural, so
-  /// the same partition serves both precision tiers.
+  /// the same partition serves both precision tiers — and the cache itself
+  /// is shared between structure-sharing graphs (RematerializeWithPrecision
+  /// siblings reuse partitions computed by either side).
   std::span<const uint32_t> OutColumnPartition(size_t parts) const;
 
   /// The external↔internal node-id mapping applied by GraphBuilder when a
@@ -226,39 +273,64 @@ class Graph {
     permutation_ = std::move(permutation);
   }
 
-  /// Logical bytes held by the two CSR matrices (experiment reporting and
-  /// the engine's kAuto batch heuristic) — precision-dependent: the fp32
-  /// tier reports 8 bytes/nnz where fp64 reports 12.
+  /// Logical bytes held by this graph (experiment reporting and the
+  /// engine's kAuto batch heuristic): each direction's index structure
+  /// counted once, plus the value/scale arrays of every materialized tier.
+  /// Under kRowConstant the per-tier addition is O(n) scale bytes instead
+  /// of O(nnz) values — the footprint the value-free hot loops actually
+  /// stream.  Structure-sharing sibling graphs each report the full
+  /// structure; callers deduplicating across siblings can subtract
+  /// la::CsrStructureBytes.
   size_t SizeBytes() const {
-    return out_csr_.SizeBytes() + in_csr_.SizeBytes() +
-           out_csr_f_.SizeBytes() + in_csr_f_.SizeBytes();
+    size_t bytes = la::CsrStructureBytes(out_structure_) +
+                   la::CsrStructureBytes(in_structure_);
+    if (has_fp64_) bytes += out_csr_.ValueBytes() + in_csr_.ValueBytes();
+    if (has_fp32_) bytes += out_csr_f_.ValueBytes() + in_csr_f_.ValueBytes();
+    return bytes;
   }
 
  private:
   /// Lazily built destination partitions keyed by part count (small: one
-  /// entry per distinct ThreadPool size that served this graph).
+  /// entry per distinct ThreadPool size that served this graph).  Shared
+  /// between structure-sharing graphs, hence behind a shared_ptr.
   struct PartitionCache {
     std::mutex mu;
     std::vector<std::pair<size_t, std::vector<uint32_t>>> entries;
   };
 
+  /// Shared-structure sibling at another tier (RematerializeWithPrecision).
+  Graph(const Graph& other, la::Precision tier);
+  friend Graph RematerializeWithPrecision(const Graph& graph,
+                                          la::Precision precision);
+
+  template <typename V>
+  void MaterializeTierT(la::CsrMatrixT<V>& out, la::CsrMatrixT<V>& in) const;
+
   NodeId num_nodes_;
   la::Precision precision_;
-  // Exactly one pair is populated, per precision_; the other pair stays
-  // empty (zero bytes).
-  la::CsrMatrix out_csr_;   // Ã:   row u → out-neighbors, weight 1/outdeg(u)
-  la::CsrMatrix in_csr_;    // Ã^T: row v → in-neighbors u, weight 1/outdeg(u)
+  ValueStorage value_storage_;
+  la::CsrStructure out_structure_;  // Ã topology: row u → out-neighbors
+  la::CsrStructure in_structure_;   // Ã^T topology: row v → in-neighbors
+  bool has_fp64_ = false;
+  bool has_fp32_ = false;
+  // Tier value layers over the shared structures; weight of an edge from u
+  // is 1/out-degree(u) at both tiers, stored or synthesized per
+  // value_storage_.  Unmaterialized tiers stay default-empty.
+  la::CsrMatrix out_csr_;
+  la::CsrMatrix in_csr_;
   la::CsrMatrixF out_csr_f_;
   la::CsrMatrixF in_csr_f_;
   std::shared_ptr<const Permutation> permutation_;  // null = original order
-  std::unique_ptr<PartitionCache> partition_cache_;
+  std::shared_ptr<PartitionCache> partition_cache_;
 };
 
-/// Re-materializes `graph` at the other precision tier: same structure,
-/// same permutation, freshly normalized edge values stored at `precision`.
-/// The one-time cost is a structure copy — used by benchmarks and tests to
-/// compare tiers on identical graphs, and by callers that load a graph
-/// once and serve both tiers.
+/// Re-materializes `graph` at the other precision tier: a sibling Graph
+/// whose primary tier is `precision` and whose index structure *aliases*
+/// the input's (shared_ptr topology — no O(nnz) copy; only the new tier's
+/// value arrays are built).  The permutation and the partition cache are
+/// shared too.  Used by benchmarks and tests to compare tiers on identical
+/// graphs, and by servers that load a graph once and serve both tiers off
+/// one topology.
 Graph RematerializeWithPrecision(const Graph& graph, la::Precision precision);
 
 }  // namespace tpa

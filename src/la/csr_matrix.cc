@@ -7,63 +7,193 @@
 
 namespace tpa::la {
 
-template <typename V>
-CsrMatrixT<V>::CsrMatrixT(uint32_t rows, uint32_t cols,
-                          std::vector<uint64_t> row_offsets,
-                          std::vector<uint32_t> col_indices,
-                          std::vector<V> values)
-    : rows_(rows),
-      cols_(cols),
-      row_offsets_(std::move(row_offsets)),
-      col_indices_(std::move(col_indices)),
-      values_(std::move(values)) {
-  TPA_CHECK_EQ(row_offsets_.size(), static_cast<size_t>(rows_) + 1);
-  TPA_CHECK_EQ(row_offsets_.front(), 0u);
-  TPA_CHECK_EQ(row_offsets_.back(), col_indices_.size());
-  TPA_CHECK_EQ(col_indices_.size(), values_.size());
-  for (uint32_t r = 0; r < rows_; ++r) {
-    TPA_CHECK_LE(row_offsets_[r], row_offsets_[r + 1]);
+CsrStructure MakeCsrStructure(uint32_t rows, uint32_t cols,
+                              std::vector<uint64_t> row_offsets,
+                              std::vector<uint32_t> col_indices) {
+  TPA_CHECK_EQ(row_offsets.size(), static_cast<size_t>(rows) + 1);
+  TPA_CHECK_EQ(row_offsets.front(), 0u);
+  TPA_CHECK_EQ(row_offsets.back(), col_indices.size());
+  for (uint32_t r = 0; r < rows; ++r) {
+    TPA_CHECK_LE(row_offsets[r], row_offsets[r + 1]);
   }
-  for (uint32_t c : col_indices_) TPA_CHECK_LT(c, cols_);
+  for (uint32_t c : col_indices) TPA_CHECK_LT(c, cols);
+  CsrStructure structure;
+  structure.rows = rows;
+  structure.cols = cols;
+  structure.row_offsets =
+      std::make_shared<const std::vector<uint64_t>>(std::move(row_offsets));
+  structure.col_indices =
+      std::make_shared<const std::vector<uint32_t>>(std::move(col_indices));
+  return structure;
 }
 
-template <typename V>
-void CsrMatrixT<V>::SpMv(const std::vector<V>& x, std::vector<V>& y) const {
-  TPA_DCHECK(x.size() == cols_);
-  y.resize(rows_);
-  const uint64_t* offsets = row_offsets_.data();
-  const uint32_t* indices = col_indices_.data();
-  const V* values = values_.data();
-  for (uint32_t r = 0; r < rows_; ++r) {
-    double sum = 0.0;
-    const uint64_t end = offsets[r + 1];
-    for (uint64_t e = offsets[r]; e < end; ++e) {
-      sum += static_cast<double>(values[e]) *
-             static_cast<double>(x[indices[e]]);
-    }
-    y[r] = static_cast<V>(sum);
+size_t CsrStructureBytes(const CsrStructure& structure) {
+  size_t bytes = 0;
+  if (structure.row_offsets) {
+    bytes += structure.row_offsets->size() * sizeof(uint64_t);
   }
-}
-
-template <typename V>
-void CsrMatrixT<V>::SpMvTranspose(const std::vector<V>& x,
-                                  std::vector<V>& y) const {
-  TPA_DCHECK(x.size() == rows_);
-  y.assign(cols_, V{0});
-  const uint64_t* offsets = row_offsets_.data();
-  const uint32_t* indices = col_indices_.data();
-  const V* values = values_.data();
-  for (uint32_t r = 0; r < rows_; ++r) {
-    const V xr = x[r];
-    if (xr == V{0}) continue;
-    const uint64_t end = offsets[r + 1];
-    for (uint64_t e = offsets[r]; e < end; ++e) {
-      y[indices[e]] += values[e] * xr;
-    }
+  if (structure.col_indices) {
+    bytes += structure.col_indices->size() * sizeof(uint32_t);
   }
+  return bytes;
 }
 
 namespace {
+
+/// Value policies: how a kernel obtains the weight of an edge.  Each kernel
+/// loop is templated on one of these, so the value-free modes compile to
+/// loops with no value load at all — kRowConstant additionally advertises
+/// itself via kRowConstantWeight so the loop can hoist the per-row product
+/// out of the edge sweep (the hoisted product is computed by the identical
+/// multiplication the explicit kernel performs per edge, so every
+/// destination accumulates bitwise-identical contributions in the identical
+/// order).
+template <typename V>
+struct ExplicitVals {
+  static constexpr bool kRowConstantWeight = false;
+  const V* values;
+  V Row(uint32_t) const { return V{}; }  // unused
+  V Edge(uint64_t e, uint32_t) const { return values[e]; }
+};
+
+/// Synthesized 1/row-nnz — no array.  The expression matches the one that
+/// materializes explicit normalized weights (fp64 reciprocal, one rounding
+/// to V), so the synthesized weight is bitwise-equal to the stored one.
+/// Row() must not be called on an empty row (1/0); the loops guard.
+template <typename V>
+struct SynthRowVals {
+  static constexpr bool kRowConstantWeight = true;
+  const uint64_t* offsets;
+  V Row(uint32_t r) const {
+    return static_cast<V>(1.0 /
+                          static_cast<double>(offsets[r + 1] - offsets[r]));
+  }
+  V Edge(uint64_t, uint32_t) const { return V{}; }  // unused
+};
+
+template <typename V>
+struct RowScaleVals {
+  static constexpr bool kRowConstantWeight = true;
+  const V* scales;  // size rows
+  V Row(uint32_t r) const { return scales[r]; }
+  V Edge(uint64_t, uint32_t) const { return V{}; }  // unused
+};
+
+template <typename V>
+struct ColScaleVals {
+  static constexpr bool kRowConstantWeight = false;
+  const V* scales;  // size cols
+  V Row(uint32_t) const { return V{}; }  // unused
+  V Edge(uint64_t, uint32_t col) const { return scales[col]; }
+};
+
+/// Invokes f with the value policy matching `mode` — the single runtime
+/// branch per kernel call; everything inside is mode-specialized code.
+template <typename V, typename F>
+void DispatchVals(CsrValueMode mode, const std::vector<V>& values,
+                  const std::vector<V>& scales, const uint64_t* offsets,
+                  F&& f) {
+  switch (mode) {
+    case CsrValueMode::kExplicit:
+      f(ExplicitVals<V>{values.data()});
+      return;
+    case CsrValueMode::kRowConstant:
+      if (scales.empty()) {
+        f(SynthRowVals<V>{offsets});
+      } else {
+        f(RowScaleVals<V>{scales.data()});
+      }
+      return;
+    case CsrValueMode::kColumnScale:
+      f(ColScaleVals<V>{scales.data()});
+      return;
+  }
+}
+
+/// Prefetch distance for the dense kernels' random-access operand (the
+/// gathered x row / scattered y row).  The column-index stream names each
+/// destination this many edges in advance; issuing the prefetch there hides
+/// the L2-missing latency that otherwise dominates once the vector operand
+/// outgrows L2 — and is what the kernels' per-edge cost is mostly made of on
+/// large graphs (the streamed CSR bytes are the smaller part, which is also
+/// why value-free storage only pays off once this latency is hidden).
+constexpr uint64_t kPrefetchDistance = 16;
+
+/// Full gather of one row in SpMv's accumulation order: fp64 sum over the
+/// row's edges.  Shared by the dense gather, the block-width-1 case, and
+/// the frontier gather head (whose bitwise contract is exactly "this row,
+/// computed as the dense kernel computes it").  `prefetch_nnz` bounds a
+/// look-ahead prefetch of x[indices[e + kPrefetchDistance]] — the dense
+/// caller passes the matrix nnz (the global edge stream is contiguous
+/// across rows, so the look-ahead lands in rows about to be gathered); the
+/// frontier caller passes 0 (disabled: its candidate rows are sparse, so
+/// edges past the row end belong to rows that may never be visited).
+template <typename V, typename Vals>
+double GatherRow(const uint64_t* offsets, const uint32_t* indices, Vals vals,
+                 const V* x, uint32_t r, uint64_t prefetch_nnz = 0) {
+  const uint64_t begin = offsets[r];
+  const uint64_t end = offsets[r + 1];
+  double sum = 0.0;
+  if constexpr (Vals::kRowConstantWeight) {
+    if (begin == end) return 0.0;
+    const double w = static_cast<double>(vals.Row(r));
+    for (uint64_t e = begin; e < end; ++e) {
+      if (e + kPrefetchDistance < prefetch_nnz) {
+        __builtin_prefetch(&x[indices[e + kPrefetchDistance]], 0);
+      }
+      sum += w * static_cast<double>(x[indices[e]]);
+    }
+  } else {
+    for (uint64_t e = begin; e < end; ++e) {
+      if (e + kPrefetchDistance < prefetch_nnz) {
+        __builtin_prefetch(&x[indices[e + kPrefetchDistance]], 0);
+      }
+      sum += static_cast<double>(vals.Edge(e, indices[e])) *
+             static_cast<double>(x[indices[e]]);
+    }
+  }
+  return sum;
+}
+
+template <typename V, typename Vals>
+void SpMvLoop(const uint64_t* offsets, const uint32_t* indices, Vals vals,
+              uint32_t rows, uint64_t nnz, const V* x, V* y) {
+  for (uint32_t r = 0; r < rows; ++r) {
+    y[r] = static_cast<V>(GatherRow(offsets, indices, vals, x, r, nnz));
+  }
+}
+
+template <typename V, typename Vals>
+void SpMvTransposeLoop(const uint64_t* offsets, const uint32_t* indices,
+                       Vals vals, uint32_t rows, uint64_t nnz, const V* x,
+                       V* y) {
+  // Same destination look-ahead as the block scatter (SpMmTransposeRows):
+  // the upcoming y lines are named by the index stream, and prefetching
+  // them is what keeps the loop bandwidth-bound instead of latency-bound.
+  for (uint32_t r = 0; r < rows; ++r) {
+    const V xr = x[r];
+    if (xr == V{0}) continue;
+    const uint64_t begin = offsets[r];
+    const uint64_t end = offsets[r + 1];
+    if constexpr (Vals::kRowConstantWeight) {
+      if (begin == end) continue;
+      const V p = vals.Row(r) * xr;
+      for (uint64_t e = begin; e < end; ++e) {
+        if (e + kPrefetchDistance < nnz) {
+          __builtin_prefetch(&y[indices[e + kPrefetchDistance]], 1);
+        }
+        y[indices[e]] += p;
+      }
+    } else {
+      for (uint64_t e = begin; e < end; ++e) {
+        if (e + kPrefetchDistance < nnz) {
+          __builtin_prefetch(&y[indices[e + kPrefetchDistance]], 1);
+        }
+        y[indices[e]] += vals.Edge(e, indices[e]) * xr;
+      }
+    }
+  }
+}
 
 /// The SpMM inner loops are specialized on the block width so the per-edge
 /// update over B right-hand sides unrolls and vectorizes — with a runtime
@@ -73,9 +203,9 @@ namespace {
 /// runtime loop.  Gathers accumulate in fp64 and round once on store;
 /// scatters update in native V (see the class comment for the tiered
 /// arithmetic contract).
-template <size_t kWidth, typename V>
-void SpMmRows(const uint64_t* offsets, const uint32_t* indices,
-              const V* values, uint32_t rows, const DenseBlockT<V>& x,
+template <size_t kWidth, typename V, typename Vals>
+void SpMmRows(const uint64_t* offsets, const uint32_t* indices, Vals vals,
+              uint32_t rows, uint64_t nnz, const DenseBlockT<V>& x,
               DenseBlockT<V>& y) {
   // The row accumulators are fp64 (a local register block), rounded to V
   // once on store — exactly SpMv's per-row accumulation, which is what
@@ -85,12 +215,31 @@ void SpMmRows(const uint64_t* offsets, const uint32_t* indices,
   for (uint32_t r = 0; r < rows; ++r) {
     double sums[kWidth];
     for (size_t b = 0; b < kWidth; ++b) sums[b] = 0.0;
+    const uint64_t begin = offsets[r];
     const uint64_t end = offsets[r + 1];
-    for (uint64_t e = offsets[r]; e < end; ++e) {
-      const double w = values[e];
-      const V* __restrict xr = x.RowPtr(indices[e]);
-      for (size_t b = 0; b < kWidth; ++b) {
-        sums[b] += w * static_cast<double>(xr[b]);
+    if constexpr (Vals::kRowConstantWeight) {
+      if (begin != end) {
+        const double w = static_cast<double>(vals.Row(r));
+        for (uint64_t e = begin; e < end; ++e) {
+          if (e + kPrefetchDistance < nnz) {
+            __builtin_prefetch(x.RowPtr(indices[e + kPrefetchDistance]), 0);
+          }
+          const V* __restrict xr = x.RowPtr(indices[e]);
+          for (size_t b = 0; b < kWidth; ++b) {
+            sums[b] += w * static_cast<double>(xr[b]);
+          }
+        }
+      }
+    } else {
+      for (uint64_t e = begin; e < end; ++e) {
+        if (e + kPrefetchDistance < nnz) {
+          __builtin_prefetch(x.RowPtr(indices[e + kPrefetchDistance]), 0);
+        }
+        const double w = vals.Edge(e, indices[e]);
+        const V* __restrict xr = x.RowPtr(indices[e]);
+        for (size_t b = 0; b < kWidth; ++b) {
+          sums[b] += w * static_cast<double>(xr[b]);
+        }
       }
     }
     V* __restrict out = y.RowPtr(r);
@@ -98,20 +247,39 @@ void SpMmRows(const uint64_t* offsets, const uint32_t* indices,
   }
 }
 
-template <typename V>
+template <typename V, typename Vals>
 void SpMmRowsGeneric(const uint64_t* offsets, const uint32_t* indices,
-                     const V* values, uint32_t rows, size_t num_vectors,
-                     const DenseBlockT<V>& x, DenseBlockT<V>& y,
-                     std::vector<double>& sums) {
+                     Vals vals, uint32_t rows, uint64_t nnz,
+                     size_t num_vectors, const DenseBlockT<V>& x,
+                     DenseBlockT<V>& y, std::vector<double>& sums) {
   sums.resize(num_vectors);
   for (uint32_t r = 0; r < rows; ++r) {
     for (size_t b = 0; b < num_vectors; ++b) sums[b] = 0.0;
+    const uint64_t begin = offsets[r];
     const uint64_t end = offsets[r + 1];
-    for (uint64_t e = offsets[r]; e < end; ++e) {
-      const double w = values[e];
-      const V* __restrict xr = x.RowPtr(indices[e]);
-      for (size_t b = 0; b < num_vectors; ++b) {
-        sums[b] += w * static_cast<double>(xr[b]);
+    if constexpr (Vals::kRowConstantWeight) {
+      if (begin != end) {
+        const double w = static_cast<double>(vals.Row(r));
+        for (uint64_t e = begin; e < end; ++e) {
+          if (e + kPrefetchDistance < nnz) {
+            __builtin_prefetch(x.RowPtr(indices[e + kPrefetchDistance]), 0);
+          }
+          const V* __restrict xr = x.RowPtr(indices[e]);
+          for (size_t b = 0; b < num_vectors; ++b) {
+            sums[b] += w * static_cast<double>(xr[b]);
+          }
+        }
+      }
+    } else {
+      for (uint64_t e = begin; e < end; ++e) {
+        if (e + kPrefetchDistance < nnz) {
+          __builtin_prefetch(x.RowPtr(indices[e + kPrefetchDistance]), 0);
+        }
+        const double w = vals.Edge(e, indices[e]);
+        const V* __restrict xr = x.RowPtr(indices[e]);
+        for (size_t b = 0; b < num_vectors; ++b) {
+          sums[b] += w * static_cast<double>(xr[b]);
+        }
       }
     }
     V* __restrict out = y.RowPtr(r);
@@ -119,49 +287,76 @@ void SpMmRowsGeneric(const uint64_t* offsets, const uint32_t* indices,
   }
 }
 
-template <size_t kWidth, typename V>
+template <size_t kWidth, typename V, typename Vals>
 void SpMmTransposeRows(const uint64_t* offsets, const uint32_t* indices,
-                       const V* values, uint32_t rows, const DenseBlockT<V>& x,
-                       DenseBlockT<V>& y) {
+                       Vals vals, uint32_t rows, uint64_t nnz,
+                       const DenseBlockT<V>& x, DenseBlockT<V>& y) {
   // The scatter destinations are known kPrefetch edges ahead from the
   // column-index stream; prefetching them hides the block-row fetch
   // latency that dominates once the n×B output outgrows L2 (a B-wide block
   // row is up to two cache lines, vs one eighth of a line for scalar
   // SpMvTranspose).
-  constexpr uint64_t kPrefetch = 16;
-  const uint64_t nnz = offsets[rows];
+  constexpr uint64_t kPrefetch = kPrefetchDistance;
   for (uint32_t r = 0; r < rows; ++r) {
     const V* __restrict xr = x.RowPtr(r);
     bool any_nonzero = false;
     for (size_t b = 0; b < kWidth; ++b) any_nonzero |= (xr[b] != V{0});
     if (!any_nonzero) continue;
+    const uint64_t begin = offsets[r];
     const uint64_t end = offsets[r + 1];
-    for (uint64_t e = offsets[r]; e < end; ++e) {
-      if (e + kPrefetch < nnz) {
-        __builtin_prefetch(y.RowPtr(indices[e + kPrefetch]), 1);
+    if constexpr (Vals::kRowConstantWeight) {
+      if (begin == end) continue;
+      // Hoist the per-row products: the inner loop is then a pure
+      // index-streamed add — no value load, no multiply.
+      V p[kWidth];
+      const V w = vals.Row(r);
+      for (size_t b = 0; b < kWidth; ++b) p[b] = w * xr[b];
+      for (uint64_t e = begin; e < end; ++e) {
+        if (e + kPrefetch < nnz) {
+          __builtin_prefetch(y.RowPtr(indices[e + kPrefetch]), 1);
+        }
+        V* __restrict yr = y.RowPtr(indices[e]);
+        for (size_t b = 0; b < kWidth; ++b) yr[b] += p[b];
       }
-      const V w = values[e];
-      V* __restrict yr = y.RowPtr(indices[e]);
-      for (size_t b = 0; b < kWidth; ++b) yr[b] += w * xr[b];
+    } else {
+      for (uint64_t e = begin; e < end; ++e) {
+        if (e + kPrefetch < nnz) {
+          __builtin_prefetch(y.RowPtr(indices[e + kPrefetch]), 1);
+        }
+        const V w = vals.Edge(e, indices[e]);
+        V* __restrict yr = y.RowPtr(indices[e]);
+        for (size_t b = 0; b < kWidth; ++b) yr[b] += w * xr[b];
+      }
     }
   }
 }
 
-template <typename V>
+template <typename V, typename Vals>
 void SpMmTransposeRowsGeneric(const uint64_t* offsets, const uint32_t* indices,
-                              const V* values, uint32_t rows,
-                              size_t num_vectors, const DenseBlockT<V>& x,
-                              DenseBlockT<V>& y) {
+                              Vals vals, uint32_t rows, size_t num_vectors,
+                              const DenseBlockT<V>& x, DenseBlockT<V>& y) {
+  std::vector<V> p(num_vectors);
   for (uint32_t r = 0; r < rows; ++r) {
     const V* __restrict xr = x.RowPtr(r);
     bool any_nonzero = false;
     for (size_t b = 0; b < num_vectors; ++b) any_nonzero |= (xr[b] != V{0});
     if (!any_nonzero) continue;
+    const uint64_t begin = offsets[r];
     const uint64_t end = offsets[r + 1];
-    for (uint64_t e = offsets[r]; e < end; ++e) {
-      const V w = values[e];
-      V* __restrict yr = y.RowPtr(indices[e]);
-      for (size_t b = 0; b < num_vectors; ++b) yr[b] += w * xr[b];
+    if constexpr (Vals::kRowConstantWeight) {
+      if (begin == end) continue;
+      const V w = vals.Row(r);
+      for (size_t b = 0; b < num_vectors; ++b) p[b] = w * xr[b];
+      for (uint64_t e = begin; e < end; ++e) {
+        V* __restrict yr = y.RowPtr(indices[e]);
+        for (size_t b = 0; b < num_vectors; ++b) yr[b] += p[b];
+      }
+    } else {
+      for (uint64_t e = begin; e < end; ++e) {
+        const V w = vals.Edge(e, indices[e]);
+        V* __restrict yr = y.RowPtr(indices[e]);
+        for (size_t b = 0; b < num_vectors; ++b) yr[b] += w * xr[b];
+      }
     }
   }
 }
@@ -169,44 +364,150 @@ void SpMmTransposeRowsGeneric(const uint64_t* offsets, const uint32_t* indices,
 }  // namespace
 
 template <typename V>
+CsrMatrixT<V>::CsrMatrixT(uint32_t rows, uint32_t cols,
+                          std::vector<uint64_t> row_offsets,
+                          std::vector<uint32_t> col_indices,
+                          std::vector<V> values)
+    : structure_(MakeCsrStructure(rows, cols, std::move(row_offsets),
+                                  std::move(col_indices))),
+      mode_(CsrValueMode::kExplicit),
+      values_(std::move(values)) {
+  TPA_CHECK_EQ(structure_.nnz(), values_.size());
+}
+
+template <typename V>
+CsrMatrixT<V>::CsrMatrixT(uint32_t rows, uint32_t cols,
+                          std::vector<uint64_t> row_offsets,
+                          std::vector<uint32_t> col_indices, CsrValueMode mode,
+                          std::vector<V> scales)
+    : CsrMatrixT(MakeCsrStructure(rows, cols, std::move(row_offsets),
+                                  std::move(col_indices)),
+                 mode, std::move(scales)) {}
+
+template <typename V>
+CsrMatrixT<V>::CsrMatrixT(CsrStructure structure, std::vector<V> values)
+    : structure_(std::move(structure)),
+      mode_(CsrValueMode::kExplicit),
+      values_(std::move(values)) {
+  TPA_CHECK(structure_.row_offsets != nullptr);
+  TPA_CHECK_EQ(structure_.nnz(), values_.size());
+}
+
+template <typename V>
+CsrMatrixT<V>::CsrMatrixT(CsrStructure structure, CsrValueMode mode,
+                          std::vector<V> scales)
+    : structure_(std::move(structure)), mode_(mode) {
+  TPA_CHECK(structure_.row_offsets != nullptr);
+  if (mode_ == CsrValueMode::kExplicit) {
+    // Overload resolution lands here from the legacy (rows, cols, offsets,
+    // indices, values) shape when `values` is spelled `{}`: an empty braced
+    // list value-initializes CsrValueMode to kExplicit.  Treat the trailing
+    // vector as the per-edge value array so that spelling keeps working.
+    values_ = std::move(scales);
+    TPA_CHECK_EQ(structure_.nnz(), values_.size());
+    return;
+  }
+  scales_ = std::move(scales);
+  if (mode_ == CsrValueMode::kRowConstant) {
+    TPA_CHECK(scales_.empty() ||
+              scales_.size() == static_cast<size_t>(structure_.rows));
+  } else {
+    TPA_CHECK_EQ(scales_.size(), static_cast<size_t>(structure_.cols));
+  }
+}
+
+template <typename V>
+std::span<const V> CsrMatrixT<V>::RowValues(uint32_t r) const {
+  TPA_CHECK(mode_ == CsrValueMode::kExplicit);
+  const uint64_t* offsets = structure_.row_offsets->data();
+  return {values_.data() + offsets[r], values_.data() + offsets[r + 1]};
+}
+
+template <typename V>
+V CsrMatrixT<V>::EdgeWeight(uint32_t r, uint64_t e) const {
+  switch (mode_) {
+    case CsrValueMode::kExplicit:
+      return values_[e];
+    case CsrValueMode::kRowConstant:
+      return scales_.empty()
+                 ? static_cast<V>(1.0 / static_cast<double>(RowNnz(r)))
+                 : scales_[r];
+    case CsrValueMode::kColumnScale:
+      return scales_[(*structure_.col_indices)[e]];
+  }
+  return V{};  // unreachable
+}
+
+template <typename V>
+void CsrMatrixT<V>::SpMv(const std::vector<V>& x, std::vector<V>& y) const {
+  TPA_DCHECK(x.size() == cols());
+  y.resize(rows());
+  if (rows() == 0) return;
+  const uint64_t* offsets = structure_.row_offsets->data();
+  const uint32_t* indices = structure_.col_indices->data();
+  DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
+    SpMvLoop(offsets, indices, vals, rows(), nnz(), x.data(), y.data());
+  });
+}
+
+template <typename V>
+void CsrMatrixT<V>::SpMvTranspose(const std::vector<V>& x,
+                                  std::vector<V>& y) const {
+  TPA_DCHECK(x.size() == rows());
+  y.assign(cols(), V{0});
+  if (rows() == 0) return;
+  const uint64_t* offsets = structure_.row_offsets->data();
+  const uint32_t* indices = structure_.col_indices->data();
+  DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
+    SpMvTransposeLoop(offsets, indices, vals, rows(), nnz(), x.data(),
+                      y.data());
+  });
+}
+
+template <typename V>
 void CsrMatrixT<V>::SpMm(const DenseBlockT<V>& x, DenseBlockT<V>& y) const {
-  TPA_DCHECK(x.rows() == cols_);
+  TPA_DCHECK(x.rows() == cols());
   const size_t num_vectors = x.num_vectors();
-  y.Resize(rows_, num_vectors);
-  const uint64_t* offsets = row_offsets_.data();
-  const uint32_t* indices = col_indices_.data();
-  const V* values = values_.data();
-  DispatchWidth(
-      num_vectors,
-      [&]<size_t kWidth>() {
-        SpMmRows<kWidth>(offsets, indices, values, rows_, x, y);
-      },
-      [&] {
-        std::vector<double> sums;
-        SpMmRowsGeneric(offsets, indices, values, rows_, num_vectors, x, y,
-                        sums);
-      });
+  y.Resize(rows(), num_vectors);
+  if (rows() == 0) return;
+  const uint64_t* offsets = structure_.row_offsets->data();
+  const uint32_t* indices = structure_.col_indices->data();
+  DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
+    DispatchWidth(
+        num_vectors,
+        [&]<size_t kWidth>() {
+          SpMmRows<kWidth>(offsets, indices, vals, rows(), nnz(), x, y);
+        },
+        [&] {
+          std::vector<double> sums;
+          SpMmRowsGeneric(offsets, indices, vals, rows(), nnz(), num_vectors,
+                          x, y, sums);
+        });
+  });
 }
 
 template <typename V>
 void CsrMatrixT<V>::SpMmTranspose(const DenseBlockT<V>& x,
                                   DenseBlockT<V>& y) const {
-  TPA_DCHECK(x.rows() == rows_);
+  TPA_DCHECK(x.rows() == rows());
   const size_t num_vectors = x.num_vectors();
-  y.Resize(cols_, num_vectors);
+  y.Resize(cols(), num_vectors);
   y.SetZero();
-  const uint64_t* offsets = row_offsets_.data();
-  const uint32_t* indices = col_indices_.data();
-  const V* values = values_.data();
-  DispatchWidth(
-      num_vectors,
-      [&]<size_t kWidth>() {
-        SpMmTransposeRows<kWidth>(offsets, indices, values, rows_, x, y);
-      },
-      [&] {
-        SpMmTransposeRowsGeneric(offsets, indices, values, rows_, num_vectors,
-                                 x, y);
-      });
+  if (rows() == 0) return;
+  const uint64_t* offsets = structure_.row_offsets->data();
+  const uint32_t* indices = structure_.col_indices->data();
+  DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
+    DispatchWidth(
+        num_vectors,
+        [&]<size_t kWidth>() {
+          SpMmTransposeRows<kWidth>(offsets, indices, vals, rows(), nnz(), x,
+                                    y);
+        },
+        [&] {
+          SpMmTransposeRowsGeneric(offsets, indices, vals, rows(), num_vectors,
+                                   x, y);
+        });
+  });
 }
 
 namespace {
@@ -214,10 +515,9 @@ namespace {
 /// Inner loop of the block frontier scatter, width-specialized like the
 /// dense SpMmTranspose.  Touched destinations are collected once via the
 /// epoch marks; the caller sorts them afterwards.
-template <size_t kWidth, typename V>
+template <size_t kWidth, typename V, typename Vals>
 void SpMmTransposeFrontierRows(const uint64_t* offsets, const uint32_t* indices,
-                               const V* values,
-                               std::span<const uint32_t> frontier,
+                               Vals vals, std::span<const uint32_t> frontier,
                                const DenseBlockT<V>& x, DenseBlockT<V>& y,
                                std::vector<uint32_t>& next_frontier,
                                FrontierScratch& scratch) {
@@ -226,45 +526,162 @@ void SpMmTransposeFrontierRows(const uint64_t* offsets, const uint32_t* indices,
     bool any_nonzero = false;
     for (size_t b = 0; b < kWidth; ++b) any_nonzero |= (xr[b] != V{0});
     if (!any_nonzero) continue;
+    const uint64_t begin = offsets[r];
     const uint64_t end = offsets[r + 1];
-    for (uint64_t e = offsets[r]; e < end; ++e) {
-      const uint32_t dest = indices[e];
-      const V w = values[e];
-      V* __restrict yr = y.RowPtr(dest);
-      for (size_t b = 0; b < kWidth; ++b) yr[b] += w * xr[b];
-      if (scratch.touched_epoch[dest] != scratch.epoch) {
-        scratch.touched_epoch[dest] = scratch.epoch;
-        next_frontier.push_back(dest);
+    if constexpr (Vals::kRowConstantWeight) {
+      if (begin == end) continue;
+      V p[kWidth];
+      const V w = vals.Row(r);
+      for (size_t b = 0; b < kWidth; ++b) p[b] = w * xr[b];
+      for (uint64_t e = begin; e < end; ++e) {
+        const uint32_t dest = indices[e];
+        V* __restrict yr = y.RowPtr(dest);
+        for (size_t b = 0; b < kWidth; ++b) yr[b] += p[b];
+        if (scratch.touched_epoch[dest] != scratch.epoch) {
+          scratch.touched_epoch[dest] = scratch.epoch;
+          next_frontier.push_back(dest);
+        }
+      }
+    } else {
+      for (uint64_t e = begin; e < end; ++e) {
+        const uint32_t dest = indices[e];
+        const V w = vals.Edge(e, dest);
+        V* __restrict yr = y.RowPtr(dest);
+        for (size_t b = 0; b < kWidth; ++b) yr[b] += w * xr[b];
+        if (scratch.touched_epoch[dest] != scratch.epoch) {
+          scratch.touched_epoch[dest] = scratch.epoch;
+          next_frontier.push_back(dest);
+        }
       }
     }
   }
 }
 
-template <typename V>
+template <typename V, typename Vals>
 void SpMmTransposeFrontierRowsGeneric(const uint64_t* offsets,
-                                      const uint32_t* indices, const V* values,
+                                      const uint32_t* indices, Vals vals,
                                       std::span<const uint32_t> frontier,
                                       size_t num_vectors,
                                       const DenseBlockT<V>& x,
                                       DenseBlockT<V>& y,
                                       std::vector<uint32_t>& next_frontier,
                                       FrontierScratch& scratch) {
+  std::vector<V> p(num_vectors);
   for (uint32_t r : frontier) {
     const V* __restrict xr = x.RowPtr(r);
     bool any_nonzero = false;
     for (size_t b = 0; b < num_vectors; ++b) any_nonzero |= (xr[b] != V{0});
     if (!any_nonzero) continue;
+    const uint64_t begin = offsets[r];
     const uint64_t end = offsets[r + 1];
-    for (uint64_t e = offsets[r]; e < end; ++e) {
-      const uint32_t dest = indices[e];
-      const V w = values[e];
-      V* __restrict yr = y.RowPtr(dest);
-      for (size_t b = 0; b < num_vectors; ++b) yr[b] += w * xr[b];
-      if (scratch.touched_epoch[dest] != scratch.epoch) {
-        scratch.touched_epoch[dest] = scratch.epoch;
-        next_frontier.push_back(dest);
+    if constexpr (Vals::kRowConstantWeight) {
+      if (begin == end) continue;
+      const V w = vals.Row(r);
+      for (size_t b = 0; b < num_vectors; ++b) p[b] = w * xr[b];
+      for (uint64_t e = begin; e < end; ++e) {
+        const uint32_t dest = indices[e];
+        V* __restrict yr = y.RowPtr(dest);
+        for (size_t b = 0; b < num_vectors; ++b) yr[b] += p[b];
+        if (scratch.touched_epoch[dest] != scratch.epoch) {
+          scratch.touched_epoch[dest] = scratch.epoch;
+          next_frontier.push_back(dest);
+        }
+      }
+    } else {
+      for (uint64_t e = begin; e < end; ++e) {
+        const uint32_t dest = indices[e];
+        const V w = vals.Edge(e, dest);
+        V* __restrict yr = y.RowPtr(dest);
+        for (size_t b = 0; b < num_vectors; ++b) yr[b] += w * xr[b];
+        if (scratch.touched_epoch[dest] != scratch.epoch) {
+          scratch.touched_epoch[dest] = scratch.epoch;
+          next_frontier.push_back(dest);
+        }
       }
     }
+  }
+}
+
+/// Inner loop of the block frontier gather: each candidate row is gathered
+/// in full, in SpMm's accumulation order — bitwise-identical per row to the
+/// dense kernel by construction.
+template <size_t kWidth, typename V, typename Vals>
+void SpMmFrontierRows(const uint64_t* offsets, const uint32_t* indices,
+                      Vals vals, std::span<const uint32_t> candidates,
+                      const DenseBlockT<V>& x, DenseBlockT<V>& y,
+                      std::vector<uint32_t>& nonzero_rows) {
+  for (uint32_t r : candidates) {
+    double sums[kWidth];
+    for (size_t b = 0; b < kWidth; ++b) sums[b] = 0.0;
+    const uint64_t begin = offsets[r];
+    const uint64_t end = offsets[r + 1];
+    if constexpr (Vals::kRowConstantWeight) {
+      if (begin != end) {
+        const double w = static_cast<double>(vals.Row(r));
+        for (uint64_t e = begin; e < end; ++e) {
+          const V* __restrict xr = x.RowPtr(indices[e]);
+          for (size_t b = 0; b < kWidth; ++b) {
+            sums[b] += w * static_cast<double>(xr[b]);
+          }
+        }
+      }
+    } else {
+      for (uint64_t e = begin; e < end; ++e) {
+        const double w = vals.Edge(e, indices[e]);
+        const V* __restrict xr = x.RowPtr(indices[e]);
+        for (size_t b = 0; b < kWidth; ++b) {
+          sums[b] += w * static_cast<double>(xr[b]);
+        }
+      }
+    }
+    V* __restrict out = y.RowPtr(r);
+    bool any_nonzero = false;
+    for (size_t b = 0; b < kWidth; ++b) {
+      out[b] = static_cast<V>(sums[b]);
+      any_nonzero |= (out[b] != V{0});
+    }
+    if (any_nonzero) nonzero_rows.push_back(r);
+  }
+}
+
+template <typename V, typename Vals>
+void SpMmFrontierRowsGeneric(const uint64_t* offsets, const uint32_t* indices,
+                             Vals vals, std::span<const uint32_t> candidates,
+                             size_t num_vectors, const DenseBlockT<V>& x,
+                             DenseBlockT<V>& y,
+                             std::vector<uint32_t>& nonzero_rows,
+                             std::vector<double>& sums) {
+  sums.resize(num_vectors);
+  for (uint32_t r : candidates) {
+    for (size_t b = 0; b < num_vectors; ++b) sums[b] = 0.0;
+    const uint64_t begin = offsets[r];
+    const uint64_t end = offsets[r + 1];
+    if constexpr (Vals::kRowConstantWeight) {
+      if (begin != end) {
+        const double w = static_cast<double>(vals.Row(r));
+        for (uint64_t e = begin; e < end; ++e) {
+          const V* __restrict xr = x.RowPtr(indices[e]);
+          for (size_t b = 0; b < num_vectors; ++b) {
+            sums[b] += w * static_cast<double>(xr[b]);
+          }
+        }
+      }
+    } else {
+      for (uint64_t e = begin; e < end; ++e) {
+        const double w = vals.Edge(e, indices[e]);
+        const V* __restrict xr = x.RowPtr(indices[e]);
+        for (size_t b = 0; b < num_vectors; ++b) {
+          sums[b] += w * static_cast<double>(xr[b]);
+        }
+      }
+    }
+    V* __restrict out = y.RowPtr(r);
+    bool any_nonzero = false;
+    for (size_t b = 0; b < num_vectors; ++b) {
+      out[b] = static_cast<V>(sums[b]);
+      any_nonzero |= (out[b] != V{0});
+    }
+    if (any_nonzero) nonzero_rows.push_back(r);
   }
 }
 
@@ -277,11 +694,11 @@ void ZeroBlockRows(DenseBlockT<V>& y, uint32_t begin, uint32_t end) {
   std::fill(first, first + (end - begin) * y.num_vectors(), V{0});
 }
 
-template <size_t kWidth, typename V>
+template <size_t kWidth, typename V, typename Vals>
 void SpMmTransposeRangeRows(const uint64_t* offsets, const uint32_t* indices,
-                            const V* values, uint32_t rows,
-                            const DenseBlockT<V>& x, DenseBlockT<V>& y,
-                            uint32_t col_begin, uint32_t col_end) {
+                            Vals vals, uint32_t rows, const DenseBlockT<V>& x,
+                            DenseBlockT<V>& y, uint32_t col_begin,
+                            uint32_t col_end) {
   for (uint32_t r = 0; r < rows; ++r) {
     const V* __restrict xr = x.RowPtr(r);
     bool any_nonzero = false;
@@ -290,20 +707,32 @@ void SpMmTransposeRangeRows(const uint64_t* offsets, const uint32_t* indices,
     const uint32_t* row_begin = indices + offsets[r];
     const uint32_t* row_end = indices + offsets[r + 1];
     const uint32_t* lo = std::lower_bound(row_begin, row_end, col_begin);
-    for (const uint32_t* it = lo; it != row_end && *it < col_end; ++it) {
-      const V w = values[it - indices];
-      V* __restrict yr = y.RowPtr(*it);
-      for (size_t b = 0; b < kWidth; ++b) yr[b] += w * xr[b];
+    if constexpr (Vals::kRowConstantWeight) {
+      if (lo == row_end || *lo >= col_end) continue;
+      V p[kWidth];
+      const V w = vals.Row(r);
+      for (size_t b = 0; b < kWidth; ++b) p[b] = w * xr[b];
+      for (const uint32_t* it = lo; it != row_end && *it < col_end; ++it) {
+        V* __restrict yr = y.RowPtr(*it);
+        for (size_t b = 0; b < kWidth; ++b) yr[b] += p[b];
+      }
+    } else {
+      for (const uint32_t* it = lo; it != row_end && *it < col_end; ++it) {
+        const V w = vals.Edge(static_cast<uint64_t>(it - indices), *it);
+        V* __restrict yr = y.RowPtr(*it);
+        for (size_t b = 0; b < kWidth; ++b) yr[b] += w * xr[b];
+      }
     }
   }
 }
 
-template <typename V>
+template <typename V, typename Vals>
 void SpMmTransposeRangeRowsGeneric(const uint64_t* offsets,
-                                   const uint32_t* indices, const V* values,
+                                   const uint32_t* indices, Vals vals,
                                    uint32_t rows, size_t num_vectors,
                                    const DenseBlockT<V>& x, DenseBlockT<V>& y,
                                    uint32_t col_begin, uint32_t col_end) {
+  std::vector<V> p(num_vectors);
   for (uint32_t r = 0; r < rows; ++r) {
     const V* __restrict xr = x.RowPtr(r);
     bool any_nonzero = false;
@@ -312,10 +741,20 @@ void SpMmTransposeRangeRowsGeneric(const uint64_t* offsets,
     const uint32_t* row_begin = indices + offsets[r];
     const uint32_t* row_end = indices + offsets[r + 1];
     const uint32_t* lo = std::lower_bound(row_begin, row_end, col_begin);
-    for (const uint32_t* it = lo; it != row_end && *it < col_end; ++it) {
-      const V w = values[it - indices];
-      V* __restrict yr = y.RowPtr(*it);
-      for (size_t b = 0; b < num_vectors; ++b) yr[b] += w * xr[b];
+    if constexpr (Vals::kRowConstantWeight) {
+      if (lo == row_end || *lo >= col_end) continue;
+      const V w = vals.Row(r);
+      for (size_t b = 0; b < num_vectors; ++b) p[b] = w * xr[b];
+      for (const uint32_t* it = lo; it != row_end && *it < col_end; ++it) {
+        V* __restrict yr = y.RowPtr(*it);
+        for (size_t b = 0; b < num_vectors; ++b) yr[b] += p[b];
+      }
+    } else {
+      for (const uint32_t* it = lo; it != row_end && *it < col_end; ++it) {
+        const V w = vals.Edge(static_cast<uint64_t>(it - indices), *it);
+        V* __restrict yr = y.RowPtr(*it);
+        for (size_t b = 0; b < num_vectors; ++b) yr[b] += w * xr[b];
+      }
     }
   }
 }
@@ -329,32 +768,48 @@ bool CsrMatrixT<V>::SpMvTransposeFrontier(const std::vector<V>& x,
                                           std::vector<V>& y,
                                           std::vector<uint32_t>& next_frontier,
                                           FrontierScratch& scratch) const {
-  TPA_DCHECK(x.size() == rows_);
+  TPA_DCHECK(x.size() == rows());
   if (static_cast<double>(frontier.size()) >
-      density_threshold * static_cast<double>(rows_)) {
+      density_threshold * static_cast<double>(rows())) {
     SpMvTranspose(x, y);
     next_frontier.clear();
     return false;
   }
-  TPA_DCHECK(y.size() == cols_);
-  scratch.BeginEpoch(cols_);
+  TPA_DCHECK(y.size() == cols());
+  scratch.BeginEpoch(cols());
   next_frontier.clear();
-  const uint64_t* offsets = row_offsets_.data();
-  const uint32_t* indices = col_indices_.data();
-  const V* values = values_.data();
-  for (uint32_t r : frontier) {
-    const V xr = x[r];
-    if (xr == V{0}) continue;
-    const uint64_t end = offsets[r + 1];
-    for (uint64_t e = offsets[r]; e < end; ++e) {
-      const uint32_t dest = indices[e];
-      y[dest] += values[e] * xr;
-      if (scratch.touched_epoch[dest] != scratch.epoch) {
-        scratch.touched_epoch[dest] = scratch.epoch;
-        next_frontier.push_back(dest);
+  if (rows() == 0) return true;
+  const uint64_t* offsets = structure_.row_offsets->data();
+  const uint32_t* indices = structure_.col_indices->data();
+  DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
+    for (uint32_t r : frontier) {
+      const V xr = x[r];
+      if (xr == V{0}) continue;
+      const uint64_t begin = offsets[r];
+      const uint64_t end = offsets[r + 1];
+      if constexpr (decltype(vals)::kRowConstantWeight) {
+        if (begin == end) continue;
+        const V p = vals.Row(r) * xr;
+        for (uint64_t e = begin; e < end; ++e) {
+          const uint32_t dest = indices[e];
+          y[dest] += p;
+          if (scratch.touched_epoch[dest] != scratch.epoch) {
+            scratch.touched_epoch[dest] = scratch.epoch;
+            next_frontier.push_back(dest);
+          }
+        }
+      } else {
+        for (uint64_t e = begin; e < end; ++e) {
+          const uint32_t dest = indices[e];
+          y[dest] += vals.Edge(e, dest) * xr;
+          if (scratch.touched_epoch[dest] != scratch.epoch) {
+            scratch.touched_epoch[dest] = scratch.epoch;
+            next_frontier.push_back(dest);
+          }
+        }
       }
     }
-  }
+  });
   std::sort(next_frontier.begin(), next_frontier.end());
   return true;
 }
@@ -366,57 +821,144 @@ bool CsrMatrixT<V>::SpMmTransposeFrontier(const DenseBlockT<V>& x,
                                           DenseBlockT<V>& y,
                                           std::vector<uint32_t>& next_frontier,
                                           FrontierScratch& scratch) const {
-  TPA_DCHECK(x.rows() == rows_);
+  TPA_DCHECK(x.rows() == rows());
   if (static_cast<double>(frontier.size()) >
-      density_threshold * static_cast<double>(rows_)) {
+      density_threshold * static_cast<double>(rows())) {
     SpMmTranspose(x, y);
     next_frontier.clear();
     return false;
   }
-  TPA_DCHECK(y.rows() == cols_);
+  TPA_DCHECK(y.rows() == cols());
   TPA_DCHECK(y.num_vectors() == x.num_vectors());
-  scratch.BeginEpoch(cols_);
+  scratch.BeginEpoch(cols());
   next_frontier.clear();
+  if (rows() == 0) return true;
   const size_t num_vectors = x.num_vectors();
-  const uint64_t* offsets = row_offsets_.data();
-  const uint32_t* indices = col_indices_.data();
-  const V* values = values_.data();
-  DispatchWidth(
-      num_vectors,
-      [&]<size_t kWidth>() {
-        SpMmTransposeFrontierRows<kWidth>(offsets, indices, values, frontier,
-                                          x, y, next_frontier, scratch);
-      },
-      [&] {
-        SpMmTransposeFrontierRowsGeneric(offsets, indices, values, frontier,
-                                         num_vectors, x, y, next_frontier,
-                                         scratch);
-      });
+  const uint64_t* offsets = structure_.row_offsets->data();
+  const uint32_t* indices = structure_.col_indices->data();
+  DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
+    DispatchWidth(
+        num_vectors,
+        [&]<size_t kWidth>() {
+          SpMmTransposeFrontierRows<kWidth>(offsets, indices, vals, frontier,
+                                            x, y, next_frontier, scratch);
+        },
+        [&] {
+          SpMmTransposeFrontierRowsGeneric(offsets, indices, vals, frontier,
+                                           num_vectors, x, y, next_frontier,
+                                           scratch);
+        });
+  });
   std::sort(next_frontier.begin(), next_frontier.end());
   return true;
+}
+
+template <typename V>
+bool CsrMatrixT<V>::SpMvFrontier(const std::vector<V>& x,
+                                 std::span<const uint32_t> candidates,
+                                 double density_threshold, std::vector<V>& y,
+                                 std::vector<uint32_t>& nonzero_rows) const {
+  TPA_DCHECK(x.size() == cols());
+  if (static_cast<double>(candidates.size()) >
+      density_threshold * static_cast<double>(rows())) {
+    SpMv(x, y);
+    nonzero_rows.clear();
+    return false;
+  }
+  TPA_DCHECK(y.size() == rows());
+  nonzero_rows.clear();
+  if (rows() == 0) return true;
+  const uint64_t* offsets = structure_.row_offsets->data();
+  const uint32_t* indices = structure_.col_indices->data();
+  DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
+    for (uint32_t r : candidates) {
+      y[r] = static_cast<V>(GatherRow(offsets, indices, vals, x.data(), r));
+      if (y[r] != V{0}) nonzero_rows.push_back(r);
+    }
+  });
+  return true;
+}
+
+template <typename V>
+bool CsrMatrixT<V>::SpMmFrontier(const DenseBlockT<V>& x,
+                                 std::span<const uint32_t> candidates,
+                                 double density_threshold, DenseBlockT<V>& y,
+                                 std::vector<uint32_t>& nonzero_rows) const {
+  TPA_DCHECK(x.rows() == cols());
+  if (static_cast<double>(candidates.size()) >
+      density_threshold * static_cast<double>(rows())) {
+    SpMm(x, y);
+    nonzero_rows.clear();
+    return false;
+  }
+  TPA_DCHECK(y.rows() == rows());
+  TPA_DCHECK(y.num_vectors() == x.num_vectors());
+  nonzero_rows.clear();
+  if (rows() == 0) return true;
+  const size_t num_vectors = x.num_vectors();
+  const uint64_t* offsets = structure_.row_offsets->data();
+  const uint32_t* indices = structure_.col_indices->data();
+  DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
+    DispatchWidth(
+        num_vectors,
+        [&]<size_t kWidth>() {
+          SpMmFrontierRows<kWidth>(offsets, indices, vals, candidates, x, y,
+                                   nonzero_rows);
+        },
+        [&] {
+          std::vector<double> sums;
+          SpMmFrontierRowsGeneric(offsets, indices, vals, candidates,
+                                  num_vectors, x, y, nonzero_rows, sums);
+        });
+  });
+  return true;
+}
+
+template <typename V>
+void CsrMatrixT<V>::ExpandFrontier(std::span<const uint32_t> rows_list,
+                                   std::vector<uint32_t>& expanded,
+                                   FrontierScratch& scratch) const {
+  scratch.BeginEpoch(cols());
+  expanded.clear();
+  if (rows() == 0) return;
+  const uint64_t* offsets = structure_.row_offsets->data();
+  const uint32_t* indices = structure_.col_indices->data();
+  for (uint32_t r : rows_list) {
+    const uint64_t end = offsets[r + 1];
+    for (uint64_t e = offsets[r]; e < end; ++e) {
+      const uint32_t c = indices[e];
+      if (scratch.touched_epoch[c] != scratch.epoch) {
+        scratch.touched_epoch[c] = scratch.epoch;
+        expanded.push_back(c);
+      }
+    }
+  }
+  std::sort(expanded.begin(), expanded.end());
 }
 
 template <typename V>
 std::vector<uint32_t> CsrMatrixT<V>::NnzBalancedColumnRanges(
     size_t num_parts) const {
   num_parts = std::max<size_t>(1, num_parts);
-  std::vector<uint64_t> col_nnz(cols_, 0);
-  for (uint32_t c : col_indices_) ++col_nnz[c];
+  std::vector<uint64_t> col_nnz(cols(), 0);
+  if (structure_.col_indices) {
+    for (uint32_t c : *structure_.col_indices) ++col_nnz[c];
+  }
 
   std::vector<uint32_t> boundaries;
   boundaries.reserve(num_parts + 1);
   boundaries.push_back(0);
-  const uint64_t total = col_indices_.size();
+  const uint64_t total = nnz();
   uint64_t seen = 0;
-  for (uint32_t c = 0; c < cols_ && boundaries.size() < num_parts; ++c) {
+  for (uint32_t c = 0; c < cols() && boundaries.size() < num_parts; ++c) {
     seen += col_nnz[c];
     // Cut after column c once this part has its proportional share.
     if (seen * num_parts >= total * boundaries.size()) {
       boundaries.push_back(c + 1);
     }
   }
-  while (boundaries.size() <= num_parts) boundaries.push_back(cols_);
-  boundaries.back() = cols_;
+  while (boundaries.size() <= num_parts) boundaries.push_back(cols());
+  boundaries.back() = cols();
   return boundaries;
 }
 
@@ -424,48 +966,60 @@ template <typename V>
 void CsrMatrixT<V>::SpMvTransposeRange(const std::vector<V>& x,
                                        std::vector<V>& y, uint32_t col_begin,
                                        uint32_t col_end) const {
-  TPA_DCHECK(x.size() == rows_);
-  TPA_DCHECK(y.size() == cols_);
-  TPA_DCHECK(col_begin <= col_end && col_end <= cols_);
+  TPA_DCHECK(x.size() == rows());
+  TPA_DCHECK(y.size() == cols());
+  TPA_DCHECK(col_begin <= col_end && col_end <= cols());
   std::fill(y.begin() + col_begin, y.begin() + col_end, V{0});
-  const uint64_t* offsets = row_offsets_.data();
-  const uint32_t* indices = col_indices_.data();
-  const V* values = values_.data();
-  for (uint32_t r = 0; r < rows_; ++r) {
-    const V xr = x[r];
-    if (xr == V{0}) continue;
-    const uint32_t* row_begin = indices + offsets[r];
-    const uint32_t* row_end = indices + offsets[r + 1];
-    const uint32_t* lo = std::lower_bound(row_begin, row_end, col_begin);
-    for (const uint32_t* it = lo; it != row_end && *it < col_end; ++it) {
-      y[*it] += values[it - indices] * xr;
+  if (rows() == 0) return;
+  const uint64_t* offsets = structure_.row_offsets->data();
+  const uint32_t* indices = structure_.col_indices->data();
+  DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
+    for (uint32_t r = 0; r < rows(); ++r) {
+      const V xr = x[r];
+      if (xr == V{0}) continue;
+      const uint32_t* row_begin = indices + offsets[r];
+      const uint32_t* row_end = indices + offsets[r + 1];
+      const uint32_t* lo = std::lower_bound(row_begin, row_end, col_begin);
+      if constexpr (decltype(vals)::kRowConstantWeight) {
+        if (lo == row_end || *lo >= col_end) continue;
+        const V p = vals.Row(r) * xr;
+        for (const uint32_t* it = lo; it != row_end && *it < col_end; ++it) {
+          y[*it] += p;
+        }
+      } else {
+        for (const uint32_t* it = lo; it != row_end && *it < col_end; ++it) {
+          y[*it] += vals.Edge(static_cast<uint64_t>(it - indices), *it) * xr;
+        }
+      }
     }
-  }
+  });
 }
 
 template <typename V>
 void CsrMatrixT<V>::SpMmTransposeRange(const DenseBlockT<V>& x,
                                        DenseBlockT<V>& y, uint32_t col_begin,
                                        uint32_t col_end) const {
-  TPA_DCHECK(x.rows() == rows_);
-  TPA_DCHECK(y.rows() == cols_);
+  TPA_DCHECK(x.rows() == rows());
+  TPA_DCHECK(y.rows() == cols());
   TPA_DCHECK(y.num_vectors() == x.num_vectors());
-  TPA_DCHECK(col_begin <= col_end && col_end <= cols_);
+  TPA_DCHECK(col_begin <= col_end && col_end <= cols());
   ZeroBlockRows(y, col_begin, col_end);
+  if (rows() == 0) return;
   const size_t num_vectors = x.num_vectors();
-  const uint64_t* offsets = row_offsets_.data();
-  const uint32_t* indices = col_indices_.data();
-  const V* values = values_.data();
-  DispatchWidth(
-      num_vectors,
-      [&]<size_t kWidth>() {
-        SpMmTransposeRangeRows<kWidth>(offsets, indices, values, rows_, x, y,
-                                       col_begin, col_end);
-      },
-      [&] {
-        SpMmTransposeRangeRowsGeneric(offsets, indices, values, rows_,
-                                      num_vectors, x, y, col_begin, col_end);
-      });
+  const uint64_t* offsets = structure_.row_offsets->data();
+  const uint32_t* indices = structure_.col_indices->data();
+  DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
+    DispatchWidth(
+        num_vectors,
+        [&]<size_t kWidth>() {
+          SpMmTransposeRangeRows<kWidth>(offsets, indices, vals, rows(), x, y,
+                                         col_begin, col_end);
+        },
+        [&] {
+          SpMmTransposeRangeRowsGeneric(offsets, indices, vals, rows(),
+                                        num_vectors, x, y, col_begin, col_end);
+        });
+  });
 }
 
 template <typename V>
@@ -473,11 +1027,11 @@ void CsrMatrixT<V>::SpMvTransposeParallel(const std::vector<V>& x,
                                           std::vector<V>& y,
                                           std::span<const uint32_t> boundaries,
                                           TaskRunner& runner) const {
-  TPA_DCHECK(x.size() == rows_);
+  TPA_DCHECK(x.size() == rows());
   TPA_CHECK_GE(boundaries.size(), 2u);
   TPA_CHECK_EQ(boundaries.front(), 0u);
-  TPA_CHECK_EQ(boundaries.back(), cols_);
-  y.resize(cols_);
+  TPA_CHECK_EQ(boundaries.back(), cols());
+  y.resize(cols());
   runner.ParallelFor(boundaries.size() - 1, [&](size_t p) {
     SpMvTransposeRange(x, y, boundaries[p], boundaries[p + 1]);
   });
@@ -488,11 +1042,11 @@ void CsrMatrixT<V>::SpMmTransposeParallel(const DenseBlockT<V>& x,
                                           DenseBlockT<V>& y,
                                           std::span<const uint32_t> boundaries,
                                           TaskRunner& runner) const {
-  TPA_DCHECK(x.rows() == rows_);
+  TPA_DCHECK(x.rows() == rows());
   TPA_CHECK_GE(boundaries.size(), 2u);
   TPA_CHECK_EQ(boundaries.front(), 0u);
-  TPA_CHECK_EQ(boundaries.back(), cols_);
-  y.Resize(cols_, x.num_vectors());
+  TPA_CHECK_EQ(boundaries.back(), cols());
+  y.Resize(cols(), x.num_vectors());
   runner.ParallelFor(boundaries.size() - 1, [&](size_t p) {
     SpMmTransposeRange(x, y, boundaries[p], boundaries[p + 1]);
   });
@@ -500,8 +1054,7 @@ void CsrMatrixT<V>::SpMmTransposeParallel(const DenseBlockT<V>& x,
 
 template <typename V>
 size_t CsrMatrixT<V>::SizeBytes() const {
-  return row_offsets_.size() * sizeof(uint64_t) +
-         col_indices_.size() * sizeof(uint32_t) + values_.size() * sizeof(V);
+  return StructureBytes() + ValueBytes();
 }
 
 template class CsrMatrixT<double>;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -32,6 +33,46 @@ struct FrontierScratch {
   }
 };
 
+/// How a CsrMatrixT stores (or synthesizes) its edge values.
+enum class CsrValueMode : uint8_t {
+  /// One stored value per edge (size nnz) — the general weighted case.
+  kExplicit,
+  /// Every edge in row r carries the same weight: either synthesized in
+  /// registers as 1/row-nnz (no array at all — the out-degree-normalized
+  /// transition matrix, where the value stream is pure redundancy) or read
+  /// from a caller-supplied per-row scale array of size rows (not nnz).
+  kRowConstant,
+  /// The weight of an edge is a function of its *column*: scales[col], from
+  /// a caller-supplied array of size cols.  This is the transposed view of
+  /// kRowConstant — the in-edge CSR of an out-degree-normalized graph, where
+  /// edge (v ← u) carries 1/out-degree(u) and u is the column index.
+  kColumnScale,
+};
+
+/// The index structure of a CSR matrix — row offsets plus column indices —
+/// held by shared_ptr so several matrices (the two precision tiers of a
+/// graph, or a value-free twin next to an explicit one) alias one topology
+/// instead of cloning it.  Immutable once built.
+struct CsrStructure {
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  std::shared_ptr<const std::vector<uint64_t>> row_offsets;  // size rows+1
+  std::shared_ptr<const std::vector<uint32_t>> col_indices;  // size nnz
+
+  size_t nnz() const { return col_indices ? col_indices->size() : 0; }
+};
+
+/// Validates and adopts the arrays into a shareable structure.  row_offsets
+/// must have rows+1 monotone entries with row_offsets[rows] ==
+/// col_indices.size(); column indices must be < cols.  CHECK-fails otherwise
+/// (programming error: callers construct from already-validated arrays).
+CsrStructure MakeCsrStructure(uint32_t rows, uint32_t cols,
+                              std::vector<uint64_t> row_offsets,
+                              std::vector<uint32_t> col_indices);
+
+/// Bytes of the index structure alone (offsets + indices).
+size_t CsrStructureBytes(const CsrStructure& structure);
+
 /// Immutable CSR matrix specialized for the repository's hot loop: the
 /// transition-matrix products Ã^T·x that every RWR method iterates.
 ///
@@ -41,6 +82,20 @@ struct FrontierScratch {
 /// edge weights inline with the column indices, so the SpMv inner loop is a
 /// single contiguous sweep over (index, value) pairs — no per-edge degree
 /// lookup, no division, no branch.
+///
+/// The value storage has three modes (CsrValueMode).  kExplicit keeps one
+/// value per edge — 12 bytes/nnz at fp64, 8 at fp32.  The value-free modes
+/// drop the per-edge array entirely and the kernels synthesize each weight
+/// in registers (kRowConstant: 1/row-nnz or a per-row scale, hoisted out of
+/// the edge loop; kColumnScale: a per-column scale indexed by the same
+/// column id the kernel already loads), cutting the streamed footprint to
+/// the index-only ≈4 bytes/nnz.  Every kernel is bitwise-identical across
+/// modes when the explicit values equal the synthesized ones bitwise: the
+/// synthesized weight is computed by the exact expression that materialized
+/// the explicit array (1/deg in fp64, rounded once to V), and hoisting the
+/// per-row product out of a scatter loop reorders no floating-point
+/// operation — each destination still accumulates the identical product in
+/// the identical order.
 ///
 /// V is the storage precision tier of the edge values and the vector/block
 /// operands (see Precision).  The arithmetic contract per direction:
@@ -63,30 +118,60 @@ class CsrMatrixT {
  public:
   using value_type = V;
 
-  CsrMatrixT() : rows_(0), cols_(0) {}
+  CsrMatrixT() = default;
 
-  /// Adopts the arrays.  row_offsets must have rows+1 monotone entries with
-  /// row_offsets[rows] == col_indices.size() == values.size(); column
-  /// indices must be < cols.  CHECK-fails otherwise (programming error:
-  /// callers construct from already-validated graph arrays).
+  /// Explicit-value matrix adopting the arrays; validates like
+  /// MakeCsrStructure and additionally requires values.size() == nnz.
   CsrMatrixT(uint32_t rows, uint32_t cols, std::vector<uint64_t> row_offsets,
              std::vector<uint32_t> col_indices, std::vector<V> values);
 
-  uint32_t rows() const { return rows_; }
-  uint32_t cols() const { return cols_; }
-  size_t nnz() const { return col_indices_.size(); }
+  /// Value-free matrix adopting the arrays.  For kRowConstant, `scales` is
+  /// either empty (weights synthesized as 1/row-nnz) or one entry per row;
+  /// for kColumnScale it is one entry per column.  Passing kExplicit makes
+  /// `scales` the per-edge value array (size nnz) — that is also where the
+  /// legacy five-argument shape lands when `values` is spelled `{}`, since
+  /// an empty braced list value-initializes CsrValueMode.
+  CsrMatrixT(uint32_t rows, uint32_t cols, std::vector<uint64_t> row_offsets,
+             std::vector<uint32_t> col_indices, CsrValueMode mode,
+             std::vector<V> scales = {});
+
+  /// Explicit-value matrix over an already-validated shared structure: the
+  /// topology is aliased, not copied.
+  CsrMatrixT(CsrStructure structure, std::vector<V> values);
+
+  /// Value-free matrix over an already-validated shared structure (with the
+  /// same kExplicit fallback as the adopting overload above).
+  CsrMatrixT(CsrStructure structure, CsrValueMode mode,
+             std::vector<V> scales = {});
+
+  uint32_t rows() const { return structure_.rows; }
+  uint32_t cols() const { return structure_.cols; }
+  size_t nnz() const { return structure_.nnz(); }
+
+  /// The shared index structure — alias it into another matrix (a second
+  /// precision tier, a value-free twin) instead of copying the topology.
+  const CsrStructure& structure() const { return structure_; }
+
+  CsrValueMode value_mode() const { return mode_; }
 
   uint32_t RowNnz(uint32_t r) const {
-    return static_cast<uint32_t>(row_offsets_[r + 1] - row_offsets_[r]);
+    const uint64_t* offsets = structure_.row_offsets->data();
+    return static_cast<uint32_t>(offsets[r + 1] - offsets[r]);
   }
   std::span<const uint32_t> RowIndices(uint32_t r) const {
-    return {col_indices_.data() + row_offsets_[r],
-            col_indices_.data() + row_offsets_[r + 1]};
+    const uint64_t* offsets = structure_.row_offsets->data();
+    const uint32_t* indices = structure_.col_indices->data();
+    return {indices + offsets[r], indices + offsets[r + 1]};
   }
-  std::span<const V> RowValues(uint32_t r) const {
-    return {values_.data() + row_offsets_[r],
-            values_.data() + row_offsets_[r + 1]};
-  }
+  /// The stored per-edge values of row r.  CHECK-fails unless the matrix is
+  /// kExplicit — value-free modes have no per-edge array to point into; use
+  /// EdgeWeight for a mode-agnostic (but per-edge-cost) view.
+  std::span<const V> RowValues(uint32_t r) const;
+
+  /// The weight of edge `e` of row `r`, whatever the storage mode — the
+  /// value the kernels act on.  O(1); for tests and debugging, not hot
+  /// loops.  Requires row_offsets[r] <= e < row_offsets[r+1].
+  V EdgeWeight(uint32_t r, uint64_t e) const;
 
   /// y = A x (gather over rows, fp64 row accumulator).  y is resized and
   /// overwritten.  Requires x.size() == cols().
@@ -148,6 +233,45 @@ class CsrMatrixT {
                              std::vector<uint32_t>& next_frontier,
                              FrontierScratch& scratch) const;
 
+  /// Frontier-sparse gather: the pull-side mirror of the scatter frontier
+  /// head.  `candidates` lists, in ascending order, a superset of the rows
+  /// whose gather can be nonzero (every row with an edge into the support of
+  /// x — ExpandFrontier on the companion transpose structure produces
+  /// exactly this set).  Each candidate row is gathered *in full*, so its
+  /// result is unconditionally bitwise-identical to the dense SpMv for that
+  /// row; rows not listed are left untouched.  y must be sized rows() and
+  /// all-zero on entry — the caller recycles the buffer by re-zeroing the
+  /// rows named in the previously returned `nonzero_rows`, which collects,
+  /// ascending, the candidates whose result is nonzero.
+  ///
+  /// When the candidate list is dense — candidates.size() >
+  /// density_threshold · rows() — falls through to SpMv (full overwrite),
+  /// leaves nonzero_rows empty, and returns false.
+  bool SpMvFrontier(const std::vector<V>& x,
+                    std::span<const uint32_t> candidates,
+                    double density_threshold, std::vector<V>& y,
+                    std::vector<uint32_t>& nonzero_rows) const;
+
+  /// Multi-vector frontier gather: same contract as SpMvFrontier with block
+  /// operands; a candidate joins nonzero_rows when any of its B results is
+  /// nonzero.  y must be rows() × B and all-zero on entry.  Falls through
+  /// to SpMm above the density threshold (returns false).  Per computed row
+  /// bitwise-identical to SpMm.
+  bool SpMmFrontier(const DenseBlockT<V>& x,
+                    std::span<const uint32_t> candidates,
+                    double density_threshold, DenseBlockT<V>& y,
+                    std::vector<uint32_t>& nonzero_rows) const;
+
+  /// The sorted union of RowIndices over `rows` — structural frontier
+  /// expansion.  Applied to the *companion* matrix of a gather (the out-CSR
+  /// when gathering over the in-CSR), it maps the support of x to the
+  /// candidate output rows SpMvFrontier/SpMmFrontier need: row r's gather
+  /// can be nonzero iff some support node points at r, i.e. r is an
+  /// out-neighbor of the support.
+  void ExpandFrontier(std::span<const uint32_t> rows,
+                      std::vector<uint32_t>& expanded,
+                      FrontierScratch& scratch) const;
+
   /// Destination-balanced partition of [0, cols()) for the parallel scatter
   /// kernels: num_parts+1 ascending boundaries splitting the columns so each
   /// part receives roughly nnz/num_parts incoming edges (hub destinations
@@ -184,15 +308,23 @@ class CsrMatrixT {
                              std::span<const uint32_t> boundaries,
                              TaskRunner& runner) const;
 
-  /// Logical storage bytes (offsets + indices + values).
+  /// Logical storage bytes: StructureBytes() + ValueBytes().  When several
+  /// matrices alias one structure, each reports the full structure — use
+  /// the split accessors to count shared topology once.
   size_t SizeBytes() const;
+  /// Bytes of the (possibly shared) index structure.
+  size_t StructureBytes() const { return CsrStructureBytes(structure_); }
+  /// Bytes owned by this matrix alone: the value array (kExplicit, nnz
+  /// entries) or the scale array (value-free, rows/cols entries or none).
+  size_t ValueBytes() const {
+    return values_.size() * sizeof(V) + scales_.size() * sizeof(V);
+  }
 
  private:
-  uint32_t rows_;
-  uint32_t cols_;
-  std::vector<uint64_t> row_offsets_;  // size rows+1
-  std::vector<uint32_t> col_indices_;  // size nnz, sorted within a row
-  std::vector<V> values_;              // size nnz
+  CsrStructure structure_;
+  CsrValueMode mode_ = CsrValueMode::kExplicit;
+  std::vector<V> values_;  // kExplicit: size nnz; else empty
+  std::vector<V> scales_;  // kRowConstant: empty or rows; kColumnScale: cols
 };
 
 /// The fp64 matrix every pre-precision-tier caller already uses.

@@ -47,6 +47,21 @@ enum class NodeState : uint8_t { kActive, kSpoke, kHub };
 
 StatusOr<HubSpokeOrdering> SlashBurn(const Graph& graph,
                                      const SlashBurnOptions& options) {
+  return SlashBurn(graph.num_nodes(), graph.OutOffsets(), graph.OutTargets(),
+                   options);
+}
+
+StatusOr<HubSpokeOrdering> SlashBurn(NodeId num_nodes,
+                                     std::span<const uint64_t> out_offsets,
+                                     std::span<const NodeId> out_targets,
+                                     const SlashBurnOptions& options) {
+  TPA_CHECK_EQ(out_offsets.size(), static_cast<size_t>(num_nodes) + 1);
+  TPA_CHECK_EQ(out_offsets.back(), out_targets.size());
+  // The adjacency walk the whole algorithm is built from.
+  const auto out_neighbors = [&](NodeId u) {
+    return out_targets.subspan(out_offsets[u],
+                               out_offsets[u + 1] - out_offsets[u]);
+  };
   if (options.hub_fraction_per_round <= 0.0 ||
       options.hub_fraction_per_round > 1.0) {
     return InvalidArgumentError("hub_fraction_per_round must be in (0,1]");
@@ -58,7 +73,7 @@ StatusOr<HubSpokeOrdering> SlashBurn(const Graph& graph,
     return InvalidArgumentError("max_hub_fraction must be in (0,1]");
   }
 
-  const NodeId n = graph.num_nodes();
+  const NodeId n = num_nodes;
   const NodeId hubs_per_round = std::max<NodeId>(
       1, static_cast<NodeId>(std::ceil(options.hub_fraction_per_round *
                                        static_cast<double>(n))));
@@ -104,7 +119,7 @@ StatusOr<HubSpokeOrdering> SlashBurn(const Graph& graph,
     std::fill(degree.begin(), degree.end(), NodeId{0});
     for (NodeId u = 0; u < n; ++u) {
       if (state[u] != NodeState::kActive) continue;
-      for (NodeId v : graph.OutNeighbors(u)) {
+      for (NodeId v : out_neighbors(u)) {
         if (u == v || state[v] != NodeState::kActive) continue;
         ++degree[u];
         ++degree[v];
@@ -135,7 +150,7 @@ StatusOr<HubSpokeOrdering> SlashBurn(const Graph& graph,
     DisjointSets dsu(n);
     for (NodeId u = 0; u < n; ++u) {
       if (state[u] != NodeState::kActive) continue;
-      for (NodeId v : graph.OutNeighbors(u)) {
+      for (NodeId v : out_neighbors(u)) {
         if (u == v || state[v] != NodeState::kActive) continue;
         dsu.Union(u, v);
       }

@@ -14,6 +14,7 @@
 #include "engine/async_query_engine.h"
 #include "engine/query_engine.h"
 #include "engine/result_cache.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "la/precision.h"
@@ -315,6 +316,102 @@ TEST(EnginePrecisionTest, AsyncServesFp32BitwiseWithBlockingPath) {
     for (size_t j = 0; j < expected.scores_f32.size(); ++j) {
       ASSERT_EQ(got.scores_f32[j], expected.scores_f32[j])
           << seeds[i] << "," << j;
+    }
+  }
+}
+
+TEST(EnginePrecisionTest, DualTierServingSharesOneTopology) {
+  // The fp32 graph is a RematerializeWithPrecision sibling: both tiers
+  // alias one set of index arrays, so a process serving both precisions
+  // holds the topology once.
+  const TierPair graphs = ServingGraphs(37);
+  ASSERT_EQ(graphs.fp64.Transition().structure().col_indices.get(),
+            graphs.fp32.TransitionF().structure().col_indices.get());
+  ASSERT_EQ(graphs.fp64.TransitionTranspose().structure().row_offsets.get(),
+            graphs.fp32.TransitionTransposeF().structure().row_offsets.get());
+
+  QueryEngineOptions options;
+  options.num_threads = 2;
+  options.batch_block_size = 0;
+  auto engine64 = QueryEngine::Create(graphs.fp64,
+                                      std::make_unique<TpaMethod>(), options);
+  auto engine32 = QueryEngine::Create(graphs.fp32,
+                                      std::make_unique<TpaMethod>(), options);
+  ASSERT_TRUE(engine64.ok() && engine32.ok());
+
+  // Each tier serves its own native path off the shared topology, and the
+  // fp32 scores track the fp64 ones within fp32 rounding.
+  for (NodeId seed : {NodeId{42}, NodeId{0}, NodeId{499}}) {
+    const QueryResult r64 = engine64->Query(seed);
+    const QueryResult r32 = engine32->Query(seed);
+    ASSERT_TRUE(r64.status.ok() && r32.status.ok());
+    ASSERT_EQ(r64.scores.size(), graphs.fp64.num_nodes());
+    ASSERT_EQ(r32.scores_f32.size(), graphs.fp32.num_nodes());
+    for (size_t i = 0; i < r64.scores.size(); ++i) {
+      ASSERT_NEAR(static_cast<double>(r32.scores_f32[i]), r64.scores[i], 1e-4)
+          << seed << "," << i;
+    }
+  }
+}
+
+/// Rebuilds `graph`'s edge set through GraphBuilder with the given value
+/// storage (generators always build explicit; the serving comparison needs
+/// a value-free twin of the identical cleaned edge set).
+Graph RebuildWithStorage(const Graph& graph, ValueStorage storage) {
+  GraphBuilder builder(graph.num_nodes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) builder.AddEdge(u, v);
+  }
+  BuildOptions options;
+  // The generator's graph is already cleaned; keep it verbatim (its
+  // self-loops are the dangling policy's, which kKeep must not re-add).
+  options.remove_self_loops = false;
+  options.dangling_policy = DanglingPolicy::kKeep;
+  options.value_storage = storage;
+  auto rebuilt = builder.Build(options);
+  TPA_CHECK(rebuilt.ok());
+  return std::move(rebuilt).value();
+}
+
+TEST(EnginePrecisionTest, ValueFreeGraphServesBitwiseIdenticalResults) {
+  DcsbmOptions graph_options;
+  graph_options.nodes = 400;
+  graph_options.edges = 4000;
+  graph_options.blocks = 8;
+  graph_options.seed = 41;
+  auto generated = GenerateDcsbm(graph_options);
+  ASSERT_TRUE(generated.ok());
+  const Graph explicit_graph =
+      RebuildWithStorage(*generated, ValueStorage::kExplicit);
+  const Graph value_free =
+      RebuildWithStorage(*generated, ValueStorage::kRowConstant);
+  ASSERT_EQ(value_free.value_storage(), ValueStorage::kRowConstant);
+  // The value-free twin drops the 2·nnz fp64 values for n column scales —
+  // the footprint the kAuto threshold keys on.
+  ASSERT_LT(value_free.SizeBytes(), explicit_graph.SizeBytes());
+
+  QueryEngineOptions options;
+  options.num_threads = 2;
+  for (int batch_block_size : {0, 4}) {
+    options.batch_block_size = batch_block_size;
+    auto baseline = QueryEngine::Create(
+        explicit_graph, std::make_unique<TpaMethod>(), options);
+    auto engine = QueryEngine::Create(value_free,
+                                      std::make_unique<TpaMethod>(), options);
+    ASSERT_TRUE(baseline.ok() && engine.ok());
+
+    const std::vector<NodeId> seeds = {5, 123, 399, 0, 321, 77, 9, 250};
+    const std::vector<QueryResult> expected = baseline->QueryBatch(seeds);
+    const std::vector<QueryResult> got = engine->QueryBatch(seeds);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t q = 0; q < expected.size(); ++q) {
+      ASSERT_TRUE(got[q].status.ok());
+      ASSERT_EQ(got[q].scores.size(), expected[q].scores.size());
+      for (size_t i = 0; i < expected[q].scores.size(); ++i) {
+        ASSERT_EQ(got[q].scores[i], expected[q].scores[i])
+            << "block " << batch_block_size << " seed " << seeds[q]
+            << " node " << i;
+      }
     }
   }
 }

@@ -186,5 +186,177 @@ TEST_P(GatherGraphTest, PullGatherAgreesWithPushScatter) {
 INSTANTIATE_TEST_SUITE_P(Seeds, GatherGraphTest,
                          ::testing::Values(1u, 7u, 42u));
 
+// ---------------------------------------------------------------------------
+// Frontier-sparse gather head (SpMvFrontier / SpMmFrontier / ExpandFrontier)
+// — the pull-side mirror of la_frontier_test.cc's scatter coverage.
+// ---------------------------------------------------------------------------
+
+/// The adversarial 6×5 CSR shared by the dense gather tests above: rows 1,
+/// 3, and 5 empty, boundary and repeated columns in row 4.
+la::CsrMatrix AdversarialCsr() {
+  return la::CsrMatrix(6, 5, {0, 2, 2, 3, 3, 6, 6}, {1, 3, 0, 0, 2, 4},
+                       {0.5, 0.25, 1.0, 0.125, -0.75, 2.0});
+}
+
+TEST(GatherFrontierTest, AllRowsAsCandidatesMatchesDenseBitwise) {
+  const la::CsrMatrix a = AdversarialCsr();
+  const std::vector<double> x = RandomVector(a.cols(), 3);
+  std::vector<double> dense;
+  a.SpMv(x, dense);
+
+  const std::vector<uint32_t> candidates = {0, 1, 2, 3, 4, 5};
+  std::vector<double> y(a.rows(), 0.0);
+  std::vector<uint32_t> nonzero_rows;
+  // Threshold above 1.0 keeps even the full candidate list on the sparse
+  // path.
+  ASSERT_TRUE(a.SpMvFrontier(x, candidates, 1.5, y, nonzero_rows));
+  ExpectBitwiseEq(y, dense, "all-candidates gather");
+
+  // nonzero_rows collects exactly the candidates with nonzero results,
+  // ascending (the empty rows 1, 3, 5 gather to exact zero).
+  std::vector<uint32_t> expected;
+  for (uint32_t r = 0; r < a.rows(); ++r) {
+    if (dense[r] != 0.0) expected.push_back(r);
+  }
+  EXPECT_EQ(nonzero_rows, expected);
+}
+
+TEST(GatherFrontierTest, SubsetCandidatesComputeOnlyListedRows) {
+  const la::CsrMatrix a = AdversarialCsr();
+  const std::vector<double> x = RandomVector(a.cols(), 5);
+  std::vector<double> dense;
+  a.SpMv(x, dense);
+
+  const std::vector<uint32_t> candidates = {0, 4};
+  std::vector<double> y(a.rows(), 0.0);
+  std::vector<uint32_t> nonzero_rows;
+  ASSERT_TRUE(a.SpMvFrontier(x, candidates, 0.5, y, nonzero_rows));
+  // Listed rows bitwise match the dense gather; unlisted rows are untouched.
+  EXPECT_EQ(y[0], dense[0]);
+  EXPECT_EQ(y[4], dense[4]);
+  for (uint32_t r : {1u, 2u, 3u, 5u}) EXPECT_EQ(y[r], 0.0) << "row " << r;
+  EXPECT_EQ(nonzero_rows, (std::vector<uint32_t>{0, 4}));
+}
+
+TEST(GatherFrontierTest, EmptyCandidateListTouchesNothing) {
+  const la::CsrMatrix a = AdversarialCsr();
+  const std::vector<double> x = RandomVector(a.cols(), 7);
+  std::vector<double> y(a.rows(), 0.0);
+  std::vector<uint32_t> nonzero_rows = {99};  // must be cleared
+  ASSERT_TRUE(a.SpMvFrontier(x, {}, 0.5, y, nonzero_rows));
+  ExpectBitwiseEq(y, std::vector<double>(a.rows(), 0.0), "empty candidates");
+  EXPECT_TRUE(nonzero_rows.empty());
+}
+
+TEST(GatherFrontierTest, DenseCandidateListFallsThroughToSpMv) {
+  const la::CsrMatrix a = AdversarialCsr();
+  const std::vector<double> x = RandomVector(a.cols(), 9);
+  std::vector<double> dense;
+  a.SpMv(x, dense);
+
+  const std::vector<uint32_t> candidates = {0, 1, 2, 3, 4, 5};
+  std::vector<double> y(a.rows(), 0.0);
+  std::vector<uint32_t> nonzero_rows = {99};
+  // Threshold 0 forces the dense fallthrough: full overwrite, empty
+  // nonzero_rows, and `false` telling the caller to stay dense.
+  ASSERT_FALSE(a.SpMvFrontier(x, candidates, 0.0, y, nonzero_rows));
+  ExpectBitwiseEq(y, dense, "dense fallthrough");
+  EXPECT_TRUE(nonzero_rows.empty());
+}
+
+TEST(GatherFrontierTest, ExpandFrontierIsSortedUnionOfRowIndices) {
+  const la::CsrMatrix a = AdversarialCsr();
+  la::FrontierScratch scratch;
+  std::vector<uint32_t> expanded;
+  // Rows 0 and 4 index columns {1, 3} and {0, 2, 4}: union is everything.
+  a.ExpandFrontier(std::vector<uint32_t>{0, 4}, expanded, scratch);
+  EXPECT_EQ(expanded, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+  // Rows 2 and 4 share column 0 — the duplicate must collapse.
+  a.ExpandFrontier(std::vector<uint32_t>{2, 4}, expanded, scratch);
+  EXPECT_EQ(expanded, (std::vector<uint32_t>{0, 2, 4}));
+  // Empty rows expand to nothing; the scratch is reusable across calls.
+  a.ExpandFrontier(std::vector<uint32_t>{1, 3, 5}, expanded, scratch);
+  EXPECT_TRUE(expanded.empty());
+}
+
+TEST(GatherFrontierTest, PullFrontierPipelineMatchesDenseOnGraph) {
+  // End-to-end pull head: support(x) expanded over the out-CSR gives the
+  // candidate outputs of the in-CSR gather, and the sparse gather matches
+  // the dense one bitwise everywhere (rows off the candidate list can only
+  // be exact zeros in the dense result).
+  RmatOptions options;
+  options.scale = 8;
+  options.edges = 2500;
+  options.seed = 13;
+  auto graph = GenerateRmat(options);
+  ASSERT_TRUE(graph.ok());
+  const la::CsrMatrix& out_csr = graph->Transition();
+  const la::CsrMatrix& in_csr = graph->TransitionTranspose();
+
+  std::vector<uint32_t> support = {1, 5, 17, 100};
+  std::vector<double> x(graph->num_nodes(), 0.0);
+  for (uint32_t s : support) x[s] = 0.5 + 0.01 * s;
+
+  la::FrontierScratch scratch;
+  std::vector<uint32_t> candidates;
+  out_csr.ExpandFrontier(support, candidates, scratch);
+
+  std::vector<double> dense;
+  in_csr.SpMv(x, dense);
+  std::vector<double> y(graph->num_nodes(), 0.0);
+  std::vector<uint32_t> nonzero_rows;
+  ASSERT_TRUE(in_csr.SpMvFrontier(x, candidates, 0.9, y, nonzero_rows));
+  ExpectBitwiseEq(y, dense, "pull pipeline");
+
+  // Iterating: the nonzero rows are the next support.  One more hop still
+  // matches dense.
+  std::vector<double> x2 = y;
+  out_csr.ExpandFrontier(nonzero_rows, candidates, scratch);
+  in_csr.SpMv(x2, dense);
+  std::fill(y.begin(), y.end(), 0.0);
+  ASSERT_TRUE(in_csr.SpMvFrontier(x2, candidates, 0.9, y, nonzero_rows));
+  ExpectBitwiseEq(y, dense, "pull pipeline hop 2");
+}
+
+TEST(GatherFrontierTest, BlockFrontierMatchesSpMmAcrossWidths) {
+  const la::CsrMatrix a = AdversarialCsr();
+  const std::vector<uint32_t> candidates = {0, 2, 4};
+  for (size_t width : {size_t{1}, size_t{3}, size_t{8}, size_t{17}}) {
+    la::DenseBlock block_x(a.cols(), width);
+    for (size_t b = 0; b < width; ++b) {
+      block_x.SetVector(b, RandomVector(a.cols(), 50 + 10 * b));
+    }
+    la::DenseBlock dense;
+    a.SpMm(block_x, dense);
+
+    la::DenseBlock y(a.rows(), width);
+    std::vector<uint32_t> nonzero_rows;
+    ASSERT_TRUE(a.SpMmFrontier(block_x, candidates, 0.9, y, nonzero_rows));
+    const std::string label = "block width " + std::to_string(width);
+    for (uint32_t r : candidates) {
+      for (size_t b = 0; b < width; ++b) {
+        ASSERT_EQ(y.At(r, b), dense.At(r, b)) << label << " row " << r;
+      }
+    }
+    for (uint32_t r : {1u, 3u, 5u}) {
+      for (size_t b = 0; b < width; ++b) {
+        ASSERT_EQ(y.At(r, b), 0.0) << label << " untouched row " << r;
+      }
+    }
+    EXPECT_EQ(nonzero_rows, (std::vector<uint32_t>{0, 2, 4})) << label;
+
+    // Dense fallthrough mirrors SpMm for the whole block.
+    la::DenseBlock y_dense(a.rows(), width);
+    ASSERT_FALSE(
+        a.SpMmFrontier(block_x, candidates, 0.0, y_dense, nonzero_rows));
+    for (uint32_t r = 0; r < a.rows(); ++r) {
+      for (size_t b = 0; b < width; ++b) {
+        ASSERT_EQ(y_dense.At(r, b), dense.At(r, b)) << label;
+      }
+    }
+    EXPECT_TRUE(nonzero_rows.empty());
+  }
+}
+
 }  // namespace
 }  // namespace tpa

@@ -1,0 +1,437 @@
+/// Value-free CSR coverage: every kernel of CsrMatrixT, run on a value-free
+/// matrix (kRowConstant synthesized, kRowConstant with a per-row scale
+/// array, and kColumnScale) and pinned bitwise against its explicit twin —
+/// the same structure with the same numbers materialized per edge — across
+/// adversarial CSRs (empty rows, dangling kKeep graphs, boundary columns)
+/// and block widths 1–17.  Plus the dual-tier shared-structure Graph
+/// round-trip: EnsureTier / RematerializeWithPrecision aliasing one
+/// topology, SizeBytes accounting, and the permutation interplay.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/thread_pool.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "la/csr_matrix.h"
+#include "la/dense_block.h"
+#include "util/random.h"
+
+namespace tpa {
+namespace {
+
+template <typename V>
+std::vector<V> RandomVector(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<V> x(n);
+  for (V& v : x) v = static_cast<V>(rng.NextDouble() - 0.5);
+  return x;
+}
+
+template <typename V>
+void ExpectBitwiseEq(const std::vector<V>& got, const std::vector<V>& expected,
+                     const std::string& label) {
+  ASSERT_EQ(got.size(), expected.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(got[i], expected[i]) << label << " entry " << i;
+  }
+}
+
+template <typename V>
+void ExpectBitwiseEq(const la::DenseBlockT<V>& got,
+                     const la::DenseBlockT<V>& expected,
+                     const std::string& label) {
+  ASSERT_EQ(got.rows(), expected.rows()) << label;
+  ASSERT_EQ(got.num_vectors(), expected.num_vectors()) << label;
+  for (size_t r = 0; r < expected.rows(); ++r) {
+    for (size_t b = 0; b < expected.num_vectors(); ++b) {
+      ASSERT_EQ(got.At(r, b), expected.At(r, b))
+          << label << " row " << r << " vector " << b;
+    }
+  }
+}
+
+/// The explicit twin of a value-free matrix: same shared structure, the
+/// per-edge value array filled with exactly the numbers the value-free
+/// kernels synthesize (EdgeWeight is the mode-agnostic oracle).  Bitwise
+/// agreement between the twin and the original is the tentpole contract.
+template <typename V>
+la::CsrMatrixT<V> ExplicitTwin(const la::CsrMatrixT<V>& a) {
+  std::vector<V> values(a.nnz());
+  const std::vector<uint64_t>& offsets = *a.structure().row_offsets;
+  for (uint32_t r = 0; r < a.rows(); ++r) {
+    for (uint64_t e = offsets[r]; e < offsets[r + 1]; ++e) {
+      values[e] = a.EdgeWeight(r, e);
+    }
+  }
+  return la::CsrMatrixT<V>(a.structure(), std::move(values));
+}
+
+/// Runs the full kernel family on `vf` and its explicit twin and asserts
+/// bitwise-identical outputs: SpMv, SpMvTranspose, SpMm/SpMmTranspose at
+/// specialized and generic widths, the frontier heads in both directions,
+/// and the range/parallel scatter drivers.
+template <typename V>
+void CheckValueFreeBitwise(const la::CsrMatrixT<V>& vf, uint64_t seed,
+                           const std::string& label) {
+  ASSERT_NE(vf.value_mode(), la::CsrValueMode::kExplicit) << label;
+  const la::CsrMatrixT<V> ex = ExplicitTwin(vf);
+  // The twin aliases the structure rather than copying it.
+  ASSERT_EQ(ex.structure().col_indices.get(),
+            vf.structure().col_indices.get());
+
+  const std::vector<V> x_cols = RandomVector<V>(vf.cols(), seed);
+  const std::vector<V> x_rows = RandomVector<V>(vf.rows(), seed + 1);
+
+  std::vector<V> y_vf, y_ex;
+  vf.SpMv(x_cols, y_vf);
+  ex.SpMv(x_cols, y_ex);
+  ExpectBitwiseEq(y_vf, y_ex, label + " SpMv");
+
+  vf.SpMvTranspose(x_rows, y_vf);
+  ex.SpMvTranspose(x_rows, y_ex);
+  ExpectBitwiseEq(y_vf, y_ex, label + " SpMvTranspose");
+
+  for (size_t width : {size_t{1}, size_t{2}, size_t{3}, size_t{7}, size_t{8},
+                       size_t{16}, size_t{17}}) {
+    const std::string wlabel = label + " width " + std::to_string(width);
+    la::DenseBlockT<V> bx_cols(vf.cols(), width);
+    la::DenseBlockT<V> bx_rows(vf.rows(), width);
+    for (size_t b = 0; b < width; ++b) {
+      bx_cols.SetVector(b, RandomVector<V>(vf.cols(), seed + 100 * (b + 1)));
+      bx_rows.SetVector(b, RandomVector<V>(vf.rows(), seed + 101 * (b + 1)));
+    }
+    la::DenseBlockT<V> by_vf, by_ex;
+    vf.SpMm(bx_cols, by_vf);
+    ex.SpMm(bx_cols, by_ex);
+    ExpectBitwiseEq(by_vf, by_ex, wlabel + " SpMm");
+
+    vf.SpMmTranspose(bx_rows, by_vf);
+    ex.SpMmTranspose(bx_rows, by_ex);
+    ExpectBitwiseEq(by_vf, by_ex, wlabel + " SpMmTranspose");
+  }
+
+  // Frontier scatter: a sparse x supported on a few rows, full pipeline.
+  {
+    std::vector<V> sparse(vf.rows(), V{0});
+    std::vector<uint32_t> frontier;
+    for (uint32_t r = 0; r < vf.rows(); r += 2) {
+      sparse[r] = static_cast<V>(0.25 + 0.125 * r);
+      frontier.push_back(r);
+    }
+    la::FrontierScratch scratch_vf, scratch_ex;
+    std::vector<V> sy_vf(vf.cols(), V{0}), sy_ex(vf.cols(), V{0});
+    std::vector<uint32_t> next_vf, next_ex;
+    const bool sparse_vf = vf.SpMvTransposeFrontier(sparse, frontier, 1.5,
+                                                    sy_vf, next_vf, scratch_vf);
+    const bool sparse_ex = ex.SpMvTransposeFrontier(sparse, frontier, 1.5,
+                                                    sy_ex, next_ex, scratch_ex);
+    ASSERT_EQ(sparse_vf, sparse_ex) << label;
+    ExpectBitwiseEq(sy_vf, sy_ex, label + " SpMvTransposeFrontier");
+    EXPECT_EQ(next_vf, next_ex) << label;
+  }
+
+  // Frontier gather: every row as candidate ≡ dense, both matrices.
+  {
+    std::vector<uint32_t> candidates(vf.rows());
+    for (uint32_t r = 0; r < vf.rows(); ++r) candidates[r] = r;
+    std::vector<V> gy_vf(vf.rows(), V{0}), gy_ex(vf.rows(), V{0});
+    std::vector<uint32_t> nz_vf, nz_ex;
+    ASSERT_EQ(vf.SpMvFrontier(x_cols, candidates, 1.5, gy_vf, nz_vf),
+              ex.SpMvFrontier(x_cols, candidates, 1.5, gy_ex, nz_ex))
+        << label;
+    ExpectBitwiseEq(gy_vf, gy_ex, label + " SpMvFrontier");
+    EXPECT_EQ(nz_vf, nz_ex) << label;
+  }
+
+  // Range scatter: thirds of the destination space compose to the full
+  // kernel; each range must agree across modes.
+  {
+    std::vector<V> ry_vf(vf.cols(), V{0}), ry_ex(vf.cols(), V{0});
+    const uint32_t third = vf.cols() / 3;
+    const std::vector<std::pair<uint32_t, uint32_t>> ranges = {
+        {0, third}, {third, 2 * third}, {2 * third, vf.cols()}};
+    for (const auto& [begin, end] : ranges) {
+      vf.SpMvTransposeRange(x_rows, ry_vf, begin, end);
+      ex.SpMvTransposeRange(x_rows, ry_ex, begin, end);
+    }
+    ExpectBitwiseEq(ry_vf, ry_ex, label + " SpMvTransposeRange");
+    ex.SpMvTranspose(x_rows, y_ex);
+    ExpectBitwiseEq(ry_vf, y_ex, label + " range composition");
+  }
+
+  // Parallel scatter driver over an nnz-balanced partition.
+  {
+    ThreadPool pool(2);
+    const std::vector<uint32_t> boundaries = vf.NnzBalancedColumnRanges(2);
+    std::vector<V> py_vf, py_ex;
+    vf.SpMvTransposeParallel(x_rows, py_vf, boundaries, pool);
+    ex.SpMvTransposeParallel(x_rows, py_ex, boundaries, pool);
+    ExpectBitwiseEq(py_vf, py_ex, label + " SpMvTransposeParallel");
+  }
+}
+
+/// The adversarial structure every mode is exercised on: 6×6 with empty
+/// rows 1, 3, 5, a full row, and boundary columns.  Square so that both
+/// scatter and gather directions have matching operand sizes.
+la::CsrStructure AdversarialStructure() {
+  return la::MakeCsrStructure(6, 6, {0, 2, 2, 3, 3, 7, 7},
+                              {1, 3, 0, 0, 2, 4, 5});
+}
+
+TEST(ValueFreeKernelTest, SynthesizedRowConstantMatchesExplicit) {
+  la::CsrMatrix a(AdversarialStructure(), la::CsrValueMode::kRowConstant);
+  EXPECT_EQ(a.value_mode(), la::CsrValueMode::kRowConstant);
+  // Synthesized weight is 1/row-nnz, rounded once from fp64.
+  EXPECT_EQ(a.EdgeWeight(0, 0), 0.5);
+  EXPECT_EQ(a.EdgeWeight(4, 3), 0.25);
+  CheckValueFreeBitwise(a, 3, "synth fp64");
+
+  la::CsrMatrixF af(AdversarialStructure(), la::CsrValueMode::kRowConstant);
+  EXPECT_EQ(af.EdgeWeight(4, 3), 0.25f);
+  CheckValueFreeBitwise(af, 5, "synth fp32");
+}
+
+TEST(ValueFreeKernelTest, PerRowScaleArrayMatchesExplicit) {
+  const std::vector<double> scales = {0.5, 9.0, -1.25, 9.0, 0.125, 9.0};
+  la::CsrMatrix a(AdversarialStructure(), la::CsrValueMode::kRowConstant,
+                  scales);
+  EXPECT_EQ(a.EdgeWeight(2, 2), -1.25);
+  CheckValueFreeBitwise(a, 7, "row-scale fp64");
+
+  const std::vector<float> scales_f(scales.begin(), scales.end());
+  la::CsrMatrixF af(AdversarialStructure(), la::CsrValueMode::kRowConstant,
+                    scales_f);
+  CheckValueFreeBitwise(af, 9, "row-scale fp32");
+}
+
+TEST(ValueFreeKernelTest, ColumnScaleMatchesExplicit) {
+  const std::vector<double> scales = {0.25, 0.5, -2.0, 0.125, 1.0, 3.0};
+  la::CsrMatrix a(AdversarialStructure(), la::CsrValueMode::kColumnScale,
+                  scales);
+  // Edge 1 of row 0 points at column 3: weight is scales[3].
+  EXPECT_EQ(a.EdgeWeight(0, 1), 0.125);
+  CheckValueFreeBitwise(a, 11, "col-scale fp64");
+
+  const std::vector<float> scales_f(scales.begin(), scales.end());
+  la::CsrMatrixF af(AdversarialStructure(), la::CsrValueMode::kColumnScale,
+                    scales_f);
+  CheckValueFreeBitwise(af, 13, "col-scale fp32");
+}
+
+TEST(ValueFreeKernelTest, AllRowsEmpty) {
+  la::CsrMatrix a(4, 4, {0, 0, 0, 0, 0}, {}, la::CsrValueMode::kRowConstant);
+  CheckValueFreeBitwise(a, 17, "all-empty");
+  std::vector<double> y(4, 99.0);
+  a.SpMv({1.0, 2.0, 3.0, 4.0}, y);
+  ExpectBitwiseEq(y, {0.0, 0.0, 0.0, 0.0}, "all-empty overwrite");
+}
+
+TEST(ValueFreeKernelTest, RandomGraphAllModes) {
+  RmatOptions options;
+  options.scale = 9;
+  options.edges = 6000;
+  options.seed = 42;
+  auto graph = GenerateRmat(options);
+  ASSERT_TRUE(graph.ok());
+  const la::CsrStructure& out = graph->Transition().structure();
+  const la::CsrStructure& in = graph->TransitionTranspose().structure();
+
+  CheckValueFreeBitwise(la::CsrMatrix(out, la::CsrValueMode::kRowConstant),
+                        21, "rmat out synth");
+  std::vector<double> col_scales(in.cols);
+  Rng rng(99);
+  for (double& s : col_scales) s = rng.NextDouble() + 0.25;
+  CheckValueFreeBitwise(
+      la::CsrMatrix(in, la::CsrValueMode::kColumnScale, col_scales), 23,
+      "rmat in col-scale");
+}
+
+TEST(ValueFreeKernelTest, RowValuesChecksOnValueFreeMatrices) {
+  la::CsrMatrix a(AdversarialStructure(), la::CsrValueMode::kRowConstant);
+  EXPECT_DEATH(a.RowValues(0), "kExplicit");
+}
+
+TEST(ValueFreeKernelTest, SizeBytesAccounting) {
+  const la::CsrStructure s = AdversarialStructure();
+  const size_t structure_bytes = la::CsrStructureBytes(s);
+  EXPECT_EQ(structure_bytes, 7 * sizeof(uint64_t) + 7 * sizeof(uint32_t));
+
+  la::CsrMatrix synth(s, la::CsrValueMode::kRowConstant);
+  EXPECT_EQ(synth.ValueBytes(), 0u);
+  EXPECT_EQ(synth.SizeBytes(), structure_bytes);
+
+  la::CsrMatrix row_scaled(s, la::CsrValueMode::kRowConstant,
+                           std::vector<double>(6, 0.5));
+  EXPECT_EQ(row_scaled.ValueBytes(), 6 * sizeof(double));
+
+  la::CsrMatrix ex = ExplicitTwin(synth);
+  EXPECT_EQ(ex.ValueBytes(), s.nnz() * sizeof(double));
+  EXPECT_EQ(ex.SizeBytes(), structure_bytes + s.nnz() * sizeof(double));
+  EXPECT_EQ(ex.StructureBytes(), synth.StructureBytes());
+}
+
+// ---------------------------------------------------------------------------
+// Graph level: value-free storage end to end and the dual-tier round-trip.
+// ---------------------------------------------------------------------------
+
+StatusOr<Graph> BuildTestGraph(
+    ValueStorage storage, la::Precision precision, DanglingPolicy dangling,
+    NodeOrdering ordering = NodeOrdering::kOriginal) {
+  RmatOptions rmat;
+  rmat.scale = 8;
+  rmat.edges = 2500;
+  rmat.seed = 7;
+  auto seeded = GenerateRmat(rmat);
+  if (!seeded.ok()) return seeded.status();
+  GraphBuilder builder(seeded->num_nodes());
+  for (NodeId u = 0; u < seeded->num_nodes(); ++u) {
+    for (NodeId v : seeded->OutNeighbors(u)) builder.AddEdge(u, v);
+  }
+  BuildOptions options;
+  options.value_storage = storage;
+  options.value_precision = precision;
+  options.dangling_policy = dangling;
+  options.node_ordering = ordering;
+  return builder.Build(options);
+}
+
+template <typename V>
+void CheckGraphsBitwise(const Graph& vf, const Graph& ex, uint64_t seed) {
+  const std::vector<V> x = RandomVector<V>(vf.num_nodes(), seed);
+  std::vector<V> y_vf, y_ex;
+  vf.TransitionT<V>().SpMvTranspose(x, y_vf);
+  ex.TransitionT<V>().SpMvTranspose(x, y_ex);
+  ExpectBitwiseEq(y_vf, y_ex, "graph push");
+  vf.TransitionTransposeT<V>().SpMv(x, y_vf);
+  ex.TransitionTransposeT<V>().SpMv(x, y_ex);
+  ExpectBitwiseEq(y_vf, y_ex, "graph pull");
+}
+
+TEST(ValueFreeGraphTest, ValueFreeGraphMatchesExplicitBitwise) {
+  // kKeep leaves genuinely dangling nodes: empty out-rows for the
+  // synthesized mode and never-read zero column scales for the in-CSR.
+  for (DanglingPolicy dangling :
+       {DanglingPolicy::kKeep, DanglingPolicy::kAddSelfLoop}) {
+    auto vf = BuildTestGraph(ValueStorage::kRowConstant,
+                             la::Precision::kFloat64, dangling);
+    auto ex = BuildTestGraph(ValueStorage::kExplicit, la::Precision::kFloat64,
+                             dangling);
+    ASSERT_TRUE(vf.ok() && ex.ok());
+    ASSERT_EQ(vf->value_storage(), ValueStorage::kRowConstant);
+    if (dangling == DanglingPolicy::kKeep) {
+      ASSERT_GT(vf->CountDangling(), 0u);
+    }
+    CheckGraphsBitwise<double>(*vf, *ex, 31);
+    // And the whole kernel family on both directions.
+    CheckValueFreeBitwise(vf->Transition(), 33, "graph out");
+    CheckValueFreeBitwise(vf->TransitionTranspose(), 35, "graph in");
+  }
+}
+
+TEST(ValueFreeGraphTest, Fp32TierMatchesExplicitBitwise) {
+  auto vf = BuildTestGraph(ValueStorage::kRowConstant, la::Precision::kFloat32,
+                           DanglingPolicy::kKeep);
+  auto ex = BuildTestGraph(ValueStorage::kExplicit, la::Precision::kFloat32,
+                           DanglingPolicy::kKeep);
+  ASSERT_TRUE(vf.ok() && ex.ok());
+  ASSERT_FALSE(vf->HasTier(la::Precision::kFloat64));
+  CheckGraphsBitwise<float>(*vf, *ex, 37);
+}
+
+TEST(ValueFreeGraphTest, SizeBytesReflectsStorageMode) {
+  auto vf = BuildTestGraph(ValueStorage::kRowConstant, la::Precision::kFloat64,
+                           DanglingPolicy::kAddSelfLoop);
+  auto ex = BuildTestGraph(ValueStorage::kExplicit, la::Precision::kFloat64,
+                           DanglingPolicy::kAddSelfLoop);
+  ASSERT_TRUE(vf.ok() && ex.ok());
+  const size_t structure_bytes =
+      la::CsrStructureBytes(vf->Transition().structure()) +
+      la::CsrStructureBytes(vf->TransitionTranspose().structure());
+  // Value-free: one n-length 1/deg array per direction (row scales for the
+  // out-CSR, column scales for the in-CSR) — nothing proportional to nnz.
+  EXPECT_EQ(vf->SizeBytes(),
+            structure_bytes + 2 * vf->num_nodes() * sizeof(double));
+  // Explicit: 2·nnz fp64 values on top of the same structure.
+  EXPECT_EQ(ex->SizeBytes(),
+            structure_bytes + 2 * ex->num_edges() * sizeof(double));
+  EXPECT_LT(vf->SizeBytes(), ex->SizeBytes());
+}
+
+TEST(ValueFreeGraphTest, EnsureTierSharesOneTopology) {
+  auto graph = BuildTestGraph(ValueStorage::kRowConstant,
+                              la::Precision::kFloat64, DanglingPolicy::kKeep);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->HasTier(la::Precision::kFloat64));
+  ASSERT_FALSE(graph->HasTier(la::Precision::kFloat32));
+
+  const size_t before = graph->SizeBytes();
+  graph->EnsureTier(la::Precision::kFloat32);
+  ASSERT_TRUE(graph->HasTier(la::Precision::kFloat32));
+  // The second tier added only its value layer (here: n fp32 row scales +
+  // n fp32 column scales), never a second copy of the topology…
+  EXPECT_EQ(graph->SizeBytes(),
+            before + 2 * graph->num_nodes() * sizeof(float));
+  // …because both tiers alias the same index arrays.
+  EXPECT_EQ(graph->Transition().structure().col_indices.get(),
+            graph->TransitionF().structure().col_indices.get());
+  EXPECT_EQ(graph->TransitionTranspose().structure().row_offsets.get(),
+            graph->TransitionTransposeF().structure().row_offsets.get());
+  // EnsureTier is idempotent.
+  graph->EnsureTier(la::Precision::kFloat32);
+  EXPECT_EQ(graph->SizeBytes(),
+            before + 2 * graph->num_nodes() * sizeof(float));
+
+  // Both tiers serve correct products off the shared topology.
+  CheckGraphsBitwise<double>(*graph, *graph, 41);
+  const std::vector<float> xf = RandomVector<float>(graph->num_nodes(), 43);
+  std::vector<float> yf;
+  graph->TransitionF().SpMvTranspose(xf, yf);
+  ASSERT_EQ(yf.size(), graph->num_nodes());
+}
+
+TEST(ValueFreeGraphTest, TierAccessorsCheckUnmaterializedTier) {
+  auto graph = BuildTestGraph(ValueStorage::kRowConstant,
+                              la::Precision::kFloat64, DanglingPolicy::kKeep);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_DEATH(graph->TransitionF(), "fp32");
+}
+
+TEST(ValueFreeGraphTest, RematerializeSharesStructureAndPermutation) {
+  auto graph =
+      BuildTestGraph(ValueStorage::kRowConstant, la::Precision::kFloat64,
+                     DanglingPolicy::kAddSelfLoop,
+                     NodeOrdering::kDegreeDescending);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_NE(graph->permutation(), nullptr);
+
+  Graph sibling = RematerializeWithPrecision(*graph, la::Precision::kFloat32);
+  EXPECT_EQ(sibling.value_precision(), la::Precision::kFloat32);
+  EXPECT_EQ(sibling.value_storage(), ValueStorage::kRowConstant);
+  // The sibling aliases the topology and the permutation — no O(nnz) copy.
+  EXPECT_EQ(sibling.TransitionF().structure().col_indices.get(),
+            graph->Transition().structure().col_indices.get());
+  EXPECT_EQ(sibling.permutation(), graph->permutation());
+  // Partition caches are shared too: a partition computed through one graph
+  // is visible through the other (same boundary data).
+  const auto boundaries = graph->OutColumnPartition(4);
+  const auto sibling_boundaries = sibling.OutColumnPartition(4);
+  EXPECT_EQ(boundaries.data(), sibling_boundaries.data());
+
+  // The fp32 sibling's weights are the fp64 weights rounded once — spot
+  // check through the mode-agnostic oracle.
+  for (NodeId u = 0; u < graph->num_nodes(); u += 50) {
+    if (graph->OutDegree(u) == 0) continue;
+    const uint64_t e = (*graph->Transition().structure().row_offsets)[u];
+    EXPECT_EQ(sibling.TransitionF().EdgeWeight(u, e),
+              static_cast<float>(graph->Transition().EdgeWeight(u, e)));
+  }
+}
+
+}  // namespace
+}  // namespace tpa
