@@ -15,9 +15,12 @@
 /// tier; the default fp64 run additionally records fp32 serving rows and
 /// value-free (ValueStorage::kRowConstant, index-only CSR) serving rows so
 /// the tier and layout comparisons land in the JSON of every run.
-/// `--json PATH` additionally emits the results machine-readable (e.g.
-/// BENCH_engine_throughput.json) so the perf trajectory is tracked across
-/// PRs.
+/// An open-loop overload sweep submits deadline-carrying queries at a
+/// multiple of capacity under each degradation policy (fail, certified
+/// partial, fp32 shed) and records the deadline-hit rate, degraded-answer
+/// fraction, and shed rate.  `--json PATH` additionally emits the results
+/// machine-readable (e.g. BENCH_engine_throughput.json) so the perf
+/// trajectory is tracked across PRs.
 
 #include <algorithm>
 #include <atomic>
@@ -92,6 +95,12 @@ struct BenchRow {
   /// Offered arrival rate as a multiple of sequential qps (async open-loop
   /// rows only).
   double rate_multiplier = 0.0;
+  /// Overload-sweep outcome mix (deadline-carrying rows only): fraction of
+  /// queries answered before their deadline (exact or degraded), fraction
+  /// answered as certified partials, fraction served by the fp32 shed tier.
+  double deadline_hit_rate = 0.0;
+  double degraded_fraction = 0.0;
+  double shed_rate = 0.0;
 };
 
 void WriteJson(const std::string& path, const Args& args,
@@ -117,7 +126,10 @@ void WriteJson(const std::string& path, const Args& args,
         << row.qps << ", \"speedup_vs_sequential\": " << row.speedup
         << ", \"mean_group_size\": " << row.mean_group
         << ", \"clients\": " << row.clients
-        << ", \"arrival_rate_multiplier\": " << row.rate_multiplier << "}"
+        << ", \"arrival_rate_multiplier\": " << row.rate_multiplier
+        << ", \"deadline_hit_rate\": " << row.deadline_hit_rate
+        << ", \"degraded_fraction\": " << row.degraded_fraction
+        << ", \"shed_rate\": " << row.shed_rate << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n";
@@ -402,6 +414,105 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // Deadline-enforced overload sweep: open-loop arrivals well past the
+  // pool's capacity, every query carrying the same deadline budget.  Three
+  // policies over the same workload: plain enforcement (a late query
+  // aborts mid-iteration and fails with DEADLINE_EXCEEDED), degradation
+  // (a late query returns its current iterate as a certified partial),
+  // and degradation with fp32 shedding.  The recorded deadline-hit rate,
+  // degraded-answer fraction, and shed rate are the robust-serving
+  // acceptance metrics tracked across PRs.
+  {
+    const int threads = static_cast<int>(std::max(
+        1u, std::min(hardware, static_cast<unsigned>(thread_counts.back()))));
+    QueryEngineOptions engine_options;
+    engine_options.num_threads = threads;
+    engine_options.batch_block_size = 8;
+    // A budget of ~6 sequential service times per query; arrivals at ~4x
+    // the pool's nominal capacity guarantee a backlog that pushes the tail
+    // of the queue past that budget.
+    const double deadline_budget_seconds = 6.0 / seq_qps;
+    const double rate_multiplier = 4.0 * threads;
+
+    struct OverloadMode {
+      const char* mode;
+      bool degrade;
+      bool shed;
+    };
+    const OverloadMode modes[] = {
+        {"async overload deadline-only", false, false},
+        {"async overload degrade", true, false},
+        {"async overload degrade+shed-fp32", true, true},
+    };
+    for (const OverloadMode& mode : modes) {
+      if (mode.shed && tier != la::Precision::kFloat64) continue;
+      AsyncQueryEngineOptions async_options;
+      async_options.queue_capacity = seeds.size() + 1;
+      if (mode.degrade) {
+        async_options.degradation.enabled = true;
+        async_options.degradation.queue_watermark = 0.25;
+        async_options.degradation.min_iterations = 4;
+        async_options.degradation.shed_to_fp32 = mode.shed;
+      }
+      auto async =
+          mode.shed
+              ? AsyncQueryEngine::CreateFromRegistry(
+                    *graph, "TPA", {}, engine_options, async_options)
+              : AsyncQueryEngine::Create(
+                    *graph, std::make_unique<TpaMethod>(tpa_options),
+                    engine_options, async_options);
+      if (!async.ok()) {
+        std::fprintf(stderr, "async engine failed: %s\n",
+                     async.status().ToString().c_str());
+        return 1;
+      }
+      const double interarrival_seconds = 1.0 / (rate_multiplier * seq_qps);
+      std::vector<QueryTicket> tickets;
+      tickets.reserve(seeds.size());
+      const auto start = std::chrono::steady_clock::now();
+      Stopwatch watch;
+      for (size_t i = 0; i < seeds.size(); ++i) {
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            i * interarrival_seconds)));
+        SubmitOptions submit;
+        submit.deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(deadline_budget_seconds));
+        tickets.push_back((*async)->Submit(seeds[i], submit));
+      }
+      size_t degraded = 0;
+      size_t shed = 0;
+      size_t missed = 0;
+      for (QueryTicket& ticket : tickets) {
+        const QueryResult& result = ticket.Wait();
+        if (result.shed_to_fp32) ++shed;
+        if (!result.status.ok()) {
+          ++missed;
+        } else if (result.degraded) {
+          ++degraded;
+        }
+      }
+      const double seconds = watch.ElapsedSeconds();
+      const double total = static_cast<double>(seeds.size());
+      add_row(mode.mode, threads,
+              static_cast<size_t>(engine_options.batch_block_size), seconds,
+              seeds.size(), /*mean_group=*/0.0, /*clients=*/0,
+              rate_multiplier);
+      rows.back().deadline_hit_rate = (total - missed) / total;
+      rows.back().degraded_fraction = degraded / total;
+      rows.back().shed_rate = shed / total;
+      std::printf(
+          "%s: deadline hit %.2f, degraded %.2f, shed %.2f (x%.0f rate)\n",
+          mode.mode, rows.back().deadline_hit_rate,
+          rows.back().degraded_fraction, rows.back().shed_rate,
+          rate_multiplier);
+    }
+  }
+
   // Precision-tier serving rows: the same workload on the fp32-materialized
   // twin graph — sequential native fp32 queries and the fp32 SpMM-group
   // engine — so every default run records the tier comparison in its JSON
@@ -605,10 +716,20 @@ int Run(int argc, char** argv) {
                             options);
     if (!engine.ok()) return 1;
     engine->QueryBatch(seeds);  // populate
+    // A single cached batch completes in a couple of milliseconds — the
+    // pool dispatch is the cost, and it is scheduler-noise-sensitive,
+    // which made this row swing 2× between runs.  Repeat until the
+    // measurement spans tens of milliseconds so the gated speedup is
+    // stable.
+    size_t served = 0;
+    int reps = 0;
     Stopwatch watch;
-    auto results = engine->QueryBatch(seeds);
+    do {
+      served += engine->QueryBatch(seeds).size();
+      ++reps;
+    } while (watch.ElapsedSeconds() < 50e-3 && reps < 10000);
     add_row("engine warm cache", options.num_threads, seeds.size(),
-            watch.ElapsedSeconds(), results.size());
+            watch.ElapsedSeconds(), served);
     const auto stats = engine->cache_stats();
     std::printf("cache: %llu hits / %llu misses\n",
                 static_cast<unsigned long long>(stats.hits),

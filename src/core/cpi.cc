@@ -8,6 +8,7 @@
 
 #include "la/vector_ops.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace tpa {
 
@@ -214,6 +215,35 @@ struct NullObserver {
   }
 };
 
+/// Records a context abort after iteration `i` in both the result and the
+/// context (the certified bound covers the iterations that never ran).
+template <typename V>
+void RecordAbort(QueryContext& context, StatusCode code, int i,
+                 const CpiOptions& options, Cpi::ResultT<V>& result) {
+  const double bound = CpiRemainingMassBound(
+      result.last_interim_norm, options.restart_probability,
+      options.tolerance, i, options.terminal_iteration);
+  result.abort_code = code;
+  result.remaining_mass_bound = bound;
+  context.aborted = true;
+  context.abort_code = code;
+  context.aborted_at_iteration = i;
+  context.error_bound = bound;
+}
+
+/// The per-iteration context poll of the scalar loop: true (and records the
+/// abort) when the run should stop after iteration `i`.  Null context is
+/// one untaken branch.
+template <typename V>
+bool AbortAfterIteration(QueryContext* context, int i,
+                         const CpiOptions& options, Cpi::ResultT<V>& result) {
+  if (context == nullptr || i < context->min_iterations) return false;
+  const StatusCode code = context->AbortNow();
+  if (code == StatusCode::kOk) return false;
+  RecordAbort(*context, code, i, options, result);
+  return true;
+}
+
 /// Shared scalar CPI loop.  Preconditions: options validated; the tier-V
 /// interim buffer holds x(0) = c·q; when frontier_ready, ws.frontier holds
 /// x(0)'s support sorted ascending (callers with explicit seed lists skip
@@ -228,7 +258,8 @@ template <typename V, typename Observer>
 Cpi::ResultT<V> RunScalarLoopObserved(const Graph& graph,
                                       const CpiOptions& options,
                                       Cpi::Workspace& ws, bool frontier_ready,
-                                      Observer& observer) {
+                                      Observer& observer,
+                                      QueryContext* context = nullptr) {
   const NodeId n = graph.num_nodes();
   const double decay = 1.0 - options.restart_probability;
   const double limit =
@@ -264,8 +295,12 @@ Cpi::ResultT<V> RunScalarLoopObserved(const Graph& graph,
     return result;
   }
   if (stop0) return result;
+  if (AbortAfterIteration(context, 0, options, result)) return result;
 
   for (int i = 1; i <= options.terminal_iteration; ++i) {
+    // Propagation-site failpoint (no-op unless TPA_FAILPOINTS=ON): a delay
+    // armed here makes a deadline expire mid-query deterministically.
+    TPA_FAILPOINT_HIT("cpi.iteration");
     if (sparse) {
       // Re-zero the stale support of the recycled buffer (the interim
       // vector from two iterations ago), then scatter from the frontier.
@@ -303,16 +338,20 @@ Cpi::ResultT<V> RunScalarLoopObserved(const Graph& graph,
       break;
     }
     if (stop) break;
+    // Convergence outranks the abort: a run stopped by its own tolerance
+    // is a complete answer even if the deadline also just passed.
+    if (AbortAfterIteration(context, i, options, result)) break;
   }
   return result;
 }
 
 template <typename V>
 Cpi::ResultT<V> RunScalarLoop(const Graph& graph, const CpiOptions& options,
-                              Cpi::Workspace& ws, bool frontier_ready) {
+                              Cpi::Workspace& ws, bool frontier_ready,
+                              QueryContext* context = nullptr) {
   NullObserver<V> observer;
   return RunScalarLoopObserved<V>(graph, options, ws, frontier_ready,
-                                  observer);
+                                  observer, context);
 }
 
 /// Builds x(0) = c·q for a uniform seed set directly in the workspace —
@@ -509,11 +548,30 @@ int CpiIterationCount(double restart_probability, double tolerance) {
       std::ceil(std::log(tolerance / c) / std::log(1.0 - c)));
 }
 
+double CpiRemainingMassBound(double last_interim_norm,
+                             double restart_probability, double tolerance,
+                             int last_iteration, int terminal_iteration) {
+  if (last_interim_norm < tolerance) return 0.0;
+  const double decay = 1.0 - restart_probability;
+  int left = terminal_iteration == CpiOptions::kUnbounded
+                 ? std::numeric_limits<int>::max()
+                 : terminal_iteration - last_iteration;
+  // Convergence horizon, mirroring the top-k tracker's slack: interim
+  // norms shrink at least geometrically, so the first iteration whose norm
+  // lands below ε is the last one the window would have accumulated.
+  const double ratio =
+      std::log(tolerance / last_interim_norm) / std::log(decay);
+  const int horizon = static_cast<int>(std::floor(ratio)) + 1;
+  left = std::min(left, std::max(horizon, 0));
+  return la::GeometricTailMass(last_interim_norm, decay, left);
+}
+
 template <typename V>
 StatusOr<Cpi::ResultT<V>> Cpi::RunT(const Graph& graph,
                                     const std::vector<NodeId>& seeds,
                                     const CpiOptions& options,
-                                    Workspace* workspace) {
+                                    Workspace* workspace,
+                                    QueryContext* context) {
   TPA_RETURN_IF_ERROR(ValidateOptions(options));
   if (seeds.empty()) return InvalidArgumentError("seed set must be non-empty");
   for (NodeId s : seeds) {
@@ -524,7 +582,8 @@ StatusOr<Cpi::ResultT<V>> Cpi::RunT(const Graph& graph,
   Workspace local;
   Workspace& ws = workspace != nullptr ? *workspace : local;
   BuildSeedStart<V>(graph, seeds, options, ws);
-  return RunScalarLoop<V>(graph, options, ws, /*frontier_ready=*/true);
+  return RunScalarLoop<V>(graph, options, ws, /*frontier_ready=*/true,
+                          context);
 }
 
 template <typename V>
@@ -545,13 +604,17 @@ StatusOr<Cpi::ResultT<V>> Cpi::RunWithSeedVectorT(const Graph& graph,
 }
 
 template <typename V>
-StatusOr<la::DenseBlockT<V>> Cpi::RunBatchT(const Graph& graph,
-                                            std::span<const NodeId> seeds,
-                                            const CpiOptions& options,
-                                            Workspace* workspace) {
+StatusOr<la::DenseBlockT<V>> Cpi::RunBatchT(
+    const Graph& graph, std::span<const NodeId> seeds,
+    const CpiOptions& options, Workspace* workspace,
+    std::span<QueryContext* const> contexts) {
   TPA_RETURN_IF_ERROR(ValidateOptions(options));
   if (seeds.empty()) {
     return InvalidArgumentError("seed batch must be non-empty");
+  }
+  if (!contexts.empty() && contexts.size() != seeds.size()) {
+    return InvalidArgumentError(
+        "contexts must be empty or align with the seed batch");
   }
   for (NodeId s : seeds) {
     if (s >= graph.num_nodes()) {
@@ -582,6 +645,30 @@ StatusOr<la::DenseBlockT<V>> Cpi::RunBatchT(const Graph& graph,
   std::vector<char> active(num_vectors, 1);
   size_t remaining = num_vectors;
 
+  // Aborting seeds drop out through the same freeze the convergence check
+  // uses: the frozen vector rides the shared SpMM but stops accumulating,
+  // so its block column is bitwise the aborted scalar run's scores.  Runs
+  // after FreezeConverged so convergence outranks the abort.
+  auto freeze_aborted = [&](int i, const std::vector<double>& norms) {
+    if (contexts.empty()) return;
+    for (size_t b = 0; b < num_vectors; ++b) {
+      QueryContext* context = contexts[b];
+      if (!active[b] || context == nullptr) continue;
+      if (i < context->min_iterations) continue;
+      const StatusCode code = context->AbortNow();
+      if (code == StatusCode::kOk) continue;
+      const double bound = CpiRemainingMassBound(
+          norms[b], options.restart_probability, options.tolerance, i,
+          options.terminal_iteration);
+      context->aborted = true;
+      context->abort_code = code;
+      context->aborted_at_iteration = i;
+      context->error_bound = bound;
+      active[b] = 0;
+      --remaining;
+    }
+  };
+
   // The union frontier: sorted unique seeds, a superset of every vector's
   // support.
   bool sparse = SparseHeadEnabled(options);
@@ -596,20 +683,23 @@ StatusOr<la::DenseBlockT<V>> Cpi::RunBatchT(const Graph& graph,
   if (sparse) next.SetZero();  // the recycled buffer starts fully zeroed
   ws.next_frontier.clear();
 
-  if (sparse) {
-    remaining = FreezeConverged(
-        ScaleAccumulateAndNormsFrontier<V>(1.0, options.start_iteration == 0,
-                                           active, remaining, ws.frontier, x,
-                                           acc),
-        options.tolerance, active, remaining);
-  } else {
-    if (options.start_iteration == 0) la::BlockAxpy(1.0, x, acc);
-    remaining = FreezeConverged(la::BlockColumnNormsL1(x), options.tolerance,
-                                active, remaining);
+  {
+    std::vector<double> norms0;
+    if (sparse) {
+      norms0 = ScaleAccumulateAndNormsFrontier<V>(
+          1.0, options.start_iteration == 0, active, remaining, ws.frontier,
+          x, acc);
+    } else {
+      if (options.start_iteration == 0) la::BlockAxpy(1.0, x, acc);
+      norms0 = la::BlockColumnNormsL1(x);
+    }
+    remaining = FreezeConverged(norms0, options.tolerance, active, remaining);
+    freeze_aborted(0, norms0);
   }
 
   la::TaskRunner* runner = options.task_runner;
   for (int i = 1; i <= options.terminal_iteration && remaining > 0; ++i) {
+    TPA_FAILPOINT_HIT("cpi.iteration");
     if (sparse && static_cast<double>(ws.frontier.size()) > limit) {
       // Cross to the dense tail here (rather than through the kernel's own
       // fallthrough) so the dense sweep can take the partition-parallel
@@ -647,6 +737,7 @@ StatusOr<la::DenseBlockT<V>> Cpi::RunBatchT(const Graph& graph,
                                          active, remaining, x, acc);
     }
     remaining = FreezeConverged(norms, options.tolerance, active, remaining);
+    freeze_aborted(i, norms);
   }
   return acc;
 }
@@ -753,7 +844,8 @@ StatusOr<TopKQueryResult> Cpi::RunTopKT(const Graph& graph,
                                         const CpiOptions& options,
                                         const TopKRunOptions& topk,
                                         const TopKBaseT<V>& base,
-                                        Workspace* workspace) {
+                                        Workspace* workspace,
+                                        QueryContext* context) {
   TPA_RETURN_IF_ERROR(ValidateOptions(options));
   if (seeds.empty()) return InvalidArgumentError("seed set must be non-empty");
   for (NodeId s : seeds) {
@@ -781,22 +873,31 @@ StatusOr<TopKQueryResult> Cpi::RunTopKT(const Graph& graph,
   BuildSeedStart<V>(graph, seeds, options, ws);
   TopKTracker<V> tracker(graph, options, topk, base);
   const ResultT<V> result = RunScalarLoopObserved<V>(
-      graph, options, ws, /*frontier_ready=*/true, tracker);
+      graph, options, ws, /*frontier_ready=*/true, tracker, context);
+  if (result.abort_code != StatusCode::kOk) {
+    // An uncertified partial ranking is not an answer — top-k aborts are
+    // always errors (the dense path is the degradable one).
+    return context->AbortStatus();
+  }
   return tracker.Finalize(result);
 }
 
 template StatusOr<Cpi::ResultT<double>> Cpi::RunT<double>(
-    const Graph&, const std::vector<NodeId>&, const CpiOptions&, Workspace*);
+    const Graph&, const std::vector<NodeId>&, const CpiOptions&, Workspace*,
+    QueryContext*);
 template StatusOr<Cpi::ResultT<float>> Cpi::RunT<float>(
-    const Graph&, const std::vector<NodeId>&, const CpiOptions&, Workspace*);
+    const Graph&, const std::vector<NodeId>&, const CpiOptions&, Workspace*,
+    QueryContext*);
 template StatusOr<Cpi::ResultT<double>> Cpi::RunWithSeedVectorT<double>(
     const Graph&, const std::vector<double>&, const CpiOptions&, Workspace*);
 template StatusOr<Cpi::ResultT<float>> Cpi::RunWithSeedVectorT<float>(
     const Graph&, const std::vector<float>&, const CpiOptions&, Workspace*);
 template StatusOr<la::DenseBlockT<double>> Cpi::RunBatchT<double>(
-    const Graph&, std::span<const NodeId>, const CpiOptions&, Workspace*);
+    const Graph&, std::span<const NodeId>, const CpiOptions&, Workspace*,
+    std::span<QueryContext* const>);
 template StatusOr<la::DenseBlockT<float>> Cpi::RunBatchT<float>(
-    const Graph&, std::span<const NodeId>, const CpiOptions&, Workspace*);
+    const Graph&, std::span<const NodeId>, const CpiOptions&, Workspace*,
+    std::span<QueryContext* const>);
 template StatusOr<std::vector<std::vector<double>>> Cpi::RunWindowedT<double>(
     const Graph&, const std::vector<double>&, const std::vector<int>&,
     const CpiOptions&, Workspace*);
@@ -805,9 +906,11 @@ template StatusOr<std::vector<std::vector<float>>> Cpi::RunWindowedT<float>(
     const CpiOptions&, Workspace*);
 template StatusOr<TopKQueryResult> Cpi::RunTopKT<double>(
     const Graph&, const std::vector<NodeId>&, const CpiOptions&,
-    const TopKRunOptions&, const TopKBaseT<double>&, Workspace*);
+    const TopKRunOptions&, const TopKBaseT<double>&, Workspace*,
+    QueryContext*);
 template StatusOr<TopKQueryResult> Cpi::RunTopKT<float>(
     const Graph&, const std::vector<NodeId>&, const CpiOptions&,
-    const TopKRunOptions&, const TopKBaseT<float>&, Workspace*);
+    const TopKRunOptions&, const TopKBaseT<float>&, Workspace*,
+    QueryContext*);
 
 }  // namespace tpa

@@ -11,6 +11,7 @@
 #include "la/precision.h"
 #include "la/task_runner.h"
 #include "la/topk.h"
+#include "util/query_context.h"
 #include "util/status.h"
 
 namespace tpa {
@@ -74,6 +75,14 @@ class Cpi {
     bool converged = false;
     /// ‖x(i)‖₁ at the last computed iteration.
     double last_interim_norm = 0.0;
+    /// kCancelled / kDeadlineExceeded when a QueryContext stopped the run
+    /// before convergence (the scores then hold the partial window sum
+    /// through last_iteration), kOk otherwise.
+    StatusCode abort_code = StatusCode::kOk;
+    /// Certified L1 bound on ‖scores − converged scores‖₁ when aborted —
+    /// the geometric remaining mass of the iterations that never ran
+    /// (CpiRemainingMassBound); 0 otherwise.
+    double remaining_mass_bound = 0.0;
   };
   using Result = ResultT<double>;
   using ResultF = ResultT<float>;
@@ -104,16 +113,25 @@ class Cpi {
 
   /// Runs CPI from a uniform distribution over `seeds` (Algorithm 1 line 1).
   /// Fails on invalid options, empty or out-of-range seeds.
+  ///
+  /// A non-null `context` is polled at every iteration boundary: on cancel
+  /// or deadline expiry the loop stops within one iteration and the result
+  /// carries the partial window sum with abort_code and the certified
+  /// remaining_mass_bound set (the context's outputs mirror them).
+  /// Converting the partial into an error — or serving it degraded — is
+  /// the caller's choice; RunT itself always returns the iterate.
   template <typename V>
   static StatusOr<ResultT<V>> RunT(const Graph& graph,
                                    const std::vector<NodeId>& seeds,
                                    const CpiOptions& options,
-                                   Workspace* workspace = nullptr);
+                                   Workspace* workspace = nullptr,
+                                   QueryContext* context = nullptr);
   static StatusOr<Result> Run(const Graph& graph,
                               const std::vector<NodeId>& seeds,
                               const CpiOptions& options,
-                              Workspace* workspace = nullptr) {
-    return RunT<double>(graph, seeds, options, workspace);
+                              Workspace* workspace = nullptr,
+                              QueryContext* context = nullptr) {
+    return RunT<double>(graph, seeds, options, workspace, context);
   }
 
   /// Runs CPI from an arbitrary distribution `q` (‖q‖₁ should be 1; scores
@@ -142,17 +160,24 @@ class Cpi {
   /// scalar run would have converged, and the blocked kernels reproduce the
   /// scalar arithmetic per vector (see CsrMatrixT::SpMm*).  Fails on
   /// invalid options, an empty batch, or an out-of-range seed.
+  ///
+  /// `contexts`, when non-empty, must align index-for-index with `seeds`
+  /// (null entries allowed).  An aborting seed is dropped from the batch
+  /// through the same per-seed freeze the convergence check uses — it
+  /// stops accumulating while the shared SpMM continues for the others —
+  /// so its vector is bitwise what the aborted scalar run returns; the
+  /// abort is recorded only in its context (a block has no per-vector
+  /// status channel).
   template <typename V>
-  static StatusOr<la::DenseBlockT<V>> RunBatchT(const Graph& graph,
-                                                std::span<const NodeId> seeds,
-                                                const CpiOptions& options,
-                                                Workspace* workspace =
-                                                    nullptr);
-  static StatusOr<la::DenseBlock> RunBatch(const Graph& graph,
-                                           std::span<const NodeId> seeds,
-                                           const CpiOptions& options,
-                                           Workspace* workspace = nullptr) {
-    return RunBatchT<double>(graph, seeds, options, workspace);
+  static StatusOr<la::DenseBlockT<V>> RunBatchT(
+      const Graph& graph, std::span<const NodeId> seeds,
+      const CpiOptions& options, Workspace* workspace = nullptr,
+      std::span<QueryContext* const> contexts = {});
+  static StatusOr<la::DenseBlock> RunBatch(
+      const Graph& graph, std::span<const NodeId> seeds,
+      const CpiOptions& options, Workspace* workspace = nullptr,
+      std::span<QueryContext* const> contexts = {}) {
+    return RunBatchT<double>(graph, seeds, options, workspace, contexts);
   }
 
   /// Single-pass windowed CPI: runs to convergence and returns one partial
@@ -206,13 +231,19 @@ class Cpi {
   /// ranking is certified and the run stops early (if allowed).  The
   /// returned ranking always equals the full run's top-k (score desc, id
   /// asc); see TopKRunOptions for the score-exactness contract.
+  ///
+  /// A context abort fails the call with kCancelled / kDeadlineExceeded
+  /// (outputs recorded in the context): an uncertified partial ranking has
+  /// no meaningful error bound, so top-k never degrades — callers wanting
+  /// a partial answer run the dense path.
   template <typename V>
   static StatusOr<TopKQueryResult> RunTopKT(const Graph& graph,
                                             const std::vector<NodeId>& seeds,
                                             const CpiOptions& options,
                                             const TopKRunOptions& topk,
                                             const TopKBaseT<V>& base = {},
-                                            Workspace* workspace = nullptr);
+                                            Workspace* workspace = nullptr,
+                                            QueryContext* context = nullptr);
 
   /// Convenience: full PageRank vector via CPI with the uniform seed vector.
   static StatusOr<std::vector<double>> PageRank(const Graph& graph,
@@ -225,6 +256,18 @@ class Cpi {
 
 /// Number of iterations CPI needs to converge: log_{1-c}(ε/c) (Lemma 4).
 int CpiIterationCount(double restart_probability, double tolerance);
+
+/// Certified L1 bound on how far a CPI window sum stopped after
+/// `last_iteration` (with interim norm `last_interim_norm`) can be from the
+/// window run to its natural end: the substochastic geometric tail
+/// Σ_{j=1..left} norm·(1-c)^j over the iterations the window could still
+/// have accumulated, where `left` is capped by both the terminal iteration
+/// and the convergence horizon floor(log(ε/norm)/log(1-c)) + 1 — the same
+/// tail the bound-driven top-k certification uses.  0 when the norm is
+/// already below tolerance (the run had converged).
+double CpiRemainingMassBound(double last_interim_norm,
+                             double restart_probability, double tolerance,
+                             int last_iteration, int terminal_iteration);
 
 /// Validates restart probability and tolerance; shared by CPI and TPA.
 Status ValidateCpiParameters(double restart_probability, double tolerance);

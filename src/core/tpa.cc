@@ -7,6 +7,7 @@
 
 #include "la/vector_ops.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace tpa {
 
@@ -158,6 +159,20 @@ TopKQueryResult Tpa::QueryTopK(NodeId seed, int k,
                                const TopKQueryOptions& topk_options) const {
   TPA_CHECK_LT(seed, graph_->num_nodes());
   TPA_CHECK_GE(k, 0);
+  StatusOr<TopKQueryResult> result =
+      QueryTopK(seed, k, topk_options, /*context=*/nullptr);
+  TPA_CHECK(result.ok());  // inputs validated above and at Preprocess
+  return *std::move(result);
+}
+
+StatusOr<TopKQueryResult> Tpa::QueryTopK(NodeId seed, int k,
+                                         const TopKQueryOptions& topk_options,
+                                         QueryContext* context) const {
+  if (seed >= graph_->num_nodes()) {
+    return OutOfRangeError("seed node out of range");
+  }
+  if (k < 0) return InvalidArgumentError("k must be non-negative");
+  TPA_FAILPOINT("tpa.workspace_checkout");
   CpiOptions cpi = FamilyCpiOptions();
   cpi.frontier_density_threshold = options_.topk_frontier_density_threshold;
   Cpi::TopKRunOptions run;
@@ -169,20 +184,15 @@ TopKQueryResult Tpa::QueryTopK(NodeId seed, int k,
     base.base = &stranger_;
     base.post_scale = 1.0 + NeighborScale();
     base.order = stranger_order_;
-    StatusOr<TopKQueryResult> result =
-        Cpi::RunTopKT<double>(*graph_, {seed}, cpi, run, base,
-                              workspace.get());
-    TPA_CHECK(result.ok());  // inputs validated above and at Preprocess
-    return *std::move(result);
+    return Cpi::RunTopKT<double>(*graph_, {seed}, cpi, run, base,
+                                 workspace.get(), context);
   }
   Cpi::TopKBaseT<float> base;
   base.base = &stranger_f_;
   base.post_scale = 1.0 + NeighborScale();
   base.order = stranger_order_;
-  StatusOr<TopKQueryResult> result =
-      Cpi::RunTopKT<float>(*graph_, {seed}, cpi, run, base, workspace.get());
-  TPA_CHECK(result.ok());
-  return *std::move(result);
+  return Cpi::RunTopKT<float>(*graph_, {seed}, cpi, run, base,
+                              workspace.get(), context);
 }
 
 std::vector<float> Tpa::QueryF(NodeId seed) const {
@@ -195,60 +205,89 @@ std::vector<float> Tpa::QueryF(NodeId seed) const {
 
 template <typename V>
 StatusOr<la::DenseBlockT<V>> Tpa::QueryBatchT(
-    std::span<const NodeId> seeds) const {
+    std::span<const NodeId> seeds,
+    std::span<QueryContext* const> contexts) const {
+  TPA_FAILPOINT("tpa.workspace_checkout");
   CpiOptions cpi = FamilyCpiOptions();
   cpi.task_runner = options_.task_runner;
   WorkspacePool::Lease workspace = workspaces_->Acquire();
   TPA_ASSIGN_OR_RETURN(
       la::DenseBlockT<V> block,
-      Cpi::RunBatchT<V>(*graph_, seeds, cpi, workspace.get()));
+      Cpi::RunBatchT<V>(*graph_, seeds, cpi, workspace.get(), contexts));
 
   // The same fused merge as QueryPersonalized, blocked:
   // total = (1 + scale)·family + stranger per vector.
   la::BlockScale(1.0 + NeighborScale(), block);
   la::BlockAddVector(1.0, StrangerT<V>(), block);
+  // An aborted seed's family bound propagates through the merge scaled by
+  // (1 + scale); the stranger add is exact, so the scaled bound certifies
+  // the returned vector.
+  for (QueryContext* context : contexts) {
+    if (context != nullptr && context->aborted) {
+      context->error_bound *= 1.0 + NeighborScale();
+    }
+  }
   return block;
 }
 
-StatusOr<la::DenseBlock> Tpa::QueryBatch(std::span<const NodeId> seeds) const {
+StatusOr<la::DenseBlock> Tpa::QueryBatch(
+    std::span<const NodeId> seeds,
+    std::span<QueryContext* const> contexts) const {
   if (precision_ == la::Precision::kFloat64) {
-    return QueryBatchT<double>(seeds);
+    return QueryBatchT<double>(seeds, contexts);
   }
-  TPA_ASSIGN_OR_RETURN(la::DenseBlockF block, QueryBatchT<float>(seeds));
+  TPA_ASSIGN_OR_RETURN(la::DenseBlockF block,
+                       QueryBatchT<float>(seeds, contexts));
   la::DenseBlock wide;
   la::ConvertBlock(block, wide);
   return wide;
 }
 
 StatusOr<la::DenseBlockF> Tpa::QueryBatchF(
-    std::span<const NodeId> seeds) const {
+    std::span<const NodeId> seeds,
+    std::span<QueryContext* const> contexts) const {
   TPA_CHECK(precision_ == la::Precision::kFloat32);
-  return QueryBatchT<float>(seeds);
+  return QueryBatchT<float>(seeds, contexts);
 }
 
 template <typename V>
 StatusOr<std::vector<V>> Tpa::QueryPersonalizedT(
-    const std::vector<NodeId>& seeds) const {
+    const std::vector<NodeId>& seeds, QueryContext* context) const {
+  TPA_FAILPOINT("tpa.workspace_checkout");
   const CpiOptions cpi = FamilyCpiOptions();
   WorkspacePool::Lease workspace = workspaces_->Acquire();
-  TPA_ASSIGN_OR_RETURN(Cpi::ResultT<V> family,
-                       Cpi::RunT<V>(*graph_, seeds, cpi, workspace.get()));
+  TPA_ASSIGN_OR_RETURN(
+      Cpi::ResultT<V> family,
+      Cpi::RunT<V>(*graph_, seeds, cpi, workspace.get(), context));
 
   std::vector<V> total = std::move(family.scores);
   // total = (1 + scale)·family + stranger, by the same Algorithm 3 merge.
   la::Scale(1.0 + NeighborScale(), total);
   la::Axpy(1.0, StrangerT<V>(), total);
+  if (context != nullptr && context->aborted) {
+    // As in QueryBatchT: the family bound through the merge's post-scale.
+    context->error_bound *= 1.0 + NeighborScale();
+  }
   return total;
 }
 
 StatusOr<std::vector<double>> Tpa::QueryPersonalized(
-    const std::vector<NodeId>& seeds) const {
+    const std::vector<NodeId>& seeds, QueryContext* context) const {
   if (precision_ == la::Precision::kFloat64) {
-    return QueryPersonalizedT<double>(seeds);
+    return QueryPersonalizedT<double>(seeds, context);
   }
   TPA_ASSIGN_OR_RETURN(std::vector<float> total,
-                       QueryPersonalizedT<float>(seeds));
+                       QueryPersonalizedT<float>(seeds, context));
   return la::ConvertVector<double>(total);
+}
+
+StatusOr<std::vector<float>> Tpa::QueryPersonalizedF(
+    const std::vector<NodeId>& seeds, QueryContext* context) const {
+  if (precision_ != la::Precision::kFloat32) {
+    return FailedPreconditionError(
+        "QueryPersonalizedF requires an fp32 graph");
+  }
+  return QueryPersonalizedT<float>(seeds, context);
 }
 
 double StrangerErrorBound(double restart_probability, int stranger_start) {

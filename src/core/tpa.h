@@ -10,6 +10,7 @@
 #include "graph/graph.h"
 #include "la/dense_block.h"
 #include "la/precision.h"
+#include "util/query_context.h"
 #include "util/status.h"
 
 namespace tpa {
@@ -89,24 +90,53 @@ class Tpa {
   TopKQueryResult QueryTopK(NodeId seed, int k,
                             const TopKQueryOptions& topk_options = {}) const;
 
+  /// Status-returning QueryTopK with cooperative abort: same ranking
+  /// contract, but invalid inputs and context aborts (kCancelled /
+  /// kDeadlineExceeded — top-k never degrades, see Cpi::RunTopKT) come back
+  /// as errors instead of CHECK-failing.  The serving engines route here.
+  StatusOr<TopKQueryResult> QueryTopK(NodeId seed, int k,
+                                      const TopKQueryOptions& topk_options,
+                                      QueryContext* context) const;
+
   /// Batched Algorithm 3: one approximate RWR vector per seed, computed for
   /// the whole batch at once.  The S family iterations run as one SpMM
   /// chain (a single traversal of the Ã^T CSR arrays per iteration, shared
   /// by all B seeds) and the Lemma-2 scale + stranger add are blocked
   /// vector ops — so vector b of the result is bitwise-identical to
   /// Query(seeds[b]).  Fails on an empty batch or an out-of-range seed.
-  StatusOr<la::DenseBlock> QueryBatch(std::span<const NodeId> seeds) const;
+  ///
+  /// `contexts`, when non-empty, aligns index-for-index with `seeds` (null
+  /// entries allowed) and gives each seed its own cooperative abort: an
+  /// aborting seed freezes out of the shared SpMM (Cpi::RunBatchT) and its
+  /// context carries the merged partial's certified error bound — already
+  /// through the Lemma-2 post-scale, so it bounds the returned vector.
+  StatusOr<la::DenseBlock> QueryBatch(
+      std::span<const NodeId> seeds,
+      std::span<QueryContext* const> contexts = {}) const;
 
   /// Native fp32 batch (CHECK-fails unless the graph is fp32); vector b is
   /// bitwise-identical to QueryF(seeds[b]).
-  StatusOr<la::DenseBlockF> QueryBatchF(std::span<const NodeId> seeds) const;
+  StatusOr<la::DenseBlockF> QueryBatchF(
+      std::span<const NodeId> seeds,
+      std::span<QueryContext* const> contexts = {}) const;
 
   /// Personalized-PageRank generalization: approximate RWR for a *set* of
   /// seeds restarted uniformly (Section II-C notes CPI supports seed sets;
   /// TPA's two approximations apply unchanged because both are linear in
   /// the seed vector).  Fails on an empty or out-of-range seed set.
+  ///
+  /// A non-null `context` makes the query cooperatively abortable at
+  /// iteration boundaries; on abort the partial merged vector is still
+  /// returned (context->error_bound certifies it, post-scale included) —
+  /// the caller decides between degrading and failing.
   StatusOr<std::vector<double>> QueryPersonalized(
-      const std::vector<NodeId>& seeds) const;
+      const std::vector<NodeId>& seeds, QueryContext* context = nullptr) const;
+
+  /// Native fp32 QueryPersonalized (fails unless the graph is fp32): the
+  /// Status-returning twin of QueryF the serving engines route through,
+  /// with the same abort contract as QueryPersonalized.
+  StatusOr<std::vector<float>> QueryPersonalizedF(
+      const std::vector<NodeId>& seeds, QueryContext* context = nullptr) const;
 
   /// The decomposition Algorithm 3 produces, exposed for the accuracy
   /// experiments (Table III, Figures 8–9).  Always fp64-typed; on an fp32
@@ -182,9 +212,11 @@ class Tpa {
   /// are thin shims over these.
   template <typename V>
   StatusOr<std::vector<V>> QueryPersonalizedT(
-      const std::vector<NodeId>& seeds) const;
+      const std::vector<NodeId>& seeds, QueryContext* context = nullptr) const;
   template <typename V>
-  StatusOr<la::DenseBlockT<V>> QueryBatchT(std::span<const NodeId> seeds) const;
+  StatusOr<la::DenseBlockT<V>> QueryBatchT(
+      std::span<const NodeId> seeds,
+      std::span<QueryContext* const> contexts = {}) const;
 
   CpiOptions FamilyCpiOptions() const;
 

@@ -32,6 +32,41 @@ enum class QueueFullPolicy {
   kReject,
 };
 
+/// Engine-level overload response: when enabled and the engine is past a
+/// watermark at dispatch time, deadline/cancel aborts stop failing queries
+/// and start degrading them — the client receives the last complete
+/// propagation iterate as a certified approximate answer
+/// (QueryResult::degraded, with its L1 error bound) instead of
+/// DEADLINE_EXCEEDED.  A ticket whose deadline has already expired when a
+/// degrading dispatch picks it up runs a bounded partial instead of
+/// expiring outright.  Degraded answers are never cached.
+struct DegradationPolicy {
+  /// Master switch; when false every other field is ignored and aborts
+  /// fail with their status code as usual.
+  bool enabled = false;
+  /// Queue-depth watermark as a fraction of queue_capacity: a dispatch
+  /// that observes at least this much of the queue occupied runs degraded.
+  /// 0 (the default) means "always overloaded" once the policy is enabled.
+  /// Must lie in [0, 1].
+  double queue_watermark = 0.0;
+  /// Deadline-miss-rate watermark over the EWMA of deadline-bearing
+  /// completions (1 = every deadline missed).  Values above 1 disable the
+  /// signal (the default): queue depth alone decides.
+  double miss_rate_watermark = 2.0;
+  /// Iterations a degrading query must complete before honoring an abort,
+  /// so a degraded answer is never the bare restart vector.  The error
+  /// bound stays certified regardless.
+  int min_iterations = 0;
+  /// Shed overloaded queries to a private fp32 serving tier: the engine
+  /// rematerializes the graph at fp32 and builds a second instance of the
+  /// method over it; overloaded dispatches serve per-seed through that
+  /// tier (QueryResult::scores_f32 + shed_to_fp32) at roughly half the
+  /// memory traffic.  Requires CreateFromRegistry over an fp64 graph with
+  /// a method that supports the fp32 tier — plain Create cannot build the
+  /// second method instance and fails with INVALID_ARGUMENT.
+  bool shed_to_fp32 = false;
+};
+
 /// Configuration of the admission queue layered over a QueryEngine.
 struct AsyncQueryEngineOptions {
   /// Admission-queue capacity in tickets; Submit applies queue_full_policy
@@ -43,14 +78,19 @@ struct AsyncQueryEngineOptions {
   /// free, so under load tickets accumulate in the queue — which is exactly
   /// what lets the next dispatch coalesce them into one SpMM group.
   int max_inflight_jobs = 0;
+  /// Overload response; disabled by default (aborts fail, nothing sheds).
+  DegradationPolicy degradation;
 };
 
 /// Per-submit options.
 struct SubmitOptions {
-  /// Absolute deadline.  Checked when the scheduler hands the ticket to a
-  /// serving job: a ticket whose deadline has already passed completes with
-  /// DEADLINE_EXCEEDED instead of running.  A query that has begun is never
-  /// aborted mid-flight.
+  /// Absolute deadline, enforced end to end.  A ticket whose deadline has
+  /// already passed when a serving job picks it up completes with
+  /// DEADLINE_EXCEEDED without running (unless a degrading dispatch turns
+  /// it into a bounded partial — see DegradationPolicy).  A ticket that is
+  /// already running carries the deadline into the method: iteration-shaped
+  /// methods poll it at propagation-iteration boundaries and abort within
+  /// one iteration, failing with DEADLINE_EXCEEDED or degrading per policy.
   std::optional<std::chrono::steady_clock::time_point> deadline;
   /// Invoked exactly once with the final result, before the ticket becomes
   /// observable as done (a client returning from Wait knows its callback
@@ -89,13 +129,18 @@ class QueryTicket {
   bool done() const;
   State state() const;
 
-  /// Client-side cancellation: completes a still-queued ticket with
-  /// CANCELLED and returns true.  Returns false when serving has already
-  /// begun (or finished) — the result then arrives as usual.  A successful
-  /// Cancel releases the ticket's admission-queue slot *immediately* —
-  /// removing it from the queue and waking one kBlock-blocked submitter —
-  /// instead of leaving a dead ticket occupying capacity until the
-  /// scheduler reaches it.
+  /// Client-side cancellation.  A still-queued ticket completes with
+  /// CANCELLED immediately and its admission-queue slot is released on the
+  /// spot — unlinked from the queue, waking one kBlock-blocked submitter —
+  /// instead of a dead ticket occupying capacity until the scheduler
+  /// reaches it.  A *running* ticket gets a cooperative abort request:
+  /// iteration-shaped methods observe it at the next propagation-iteration
+  /// boundary and the result arrives (through Wait/on_complete as usual)
+  /// as CANCELLED — or as a degraded partial under an active
+  /// DegradationPolicy; a method that finished first, or one with no
+  /// iteration boundary to poll, completes normally.  Returns true when
+  /// the ticket was still queued or running (the cancel landed or was
+  /// requested), false when it had already completed.
   bool Cancel();
 
  private:
@@ -174,41 +219,79 @@ class AsyncQueryEngine {
     uint64_t rejected = 0;
     uint64_t cancelled = 0;
     uint64_t expired = 0;
+    /// Running tickets whose serve ended in a cooperative abort (deadline
+    /// or mid-run Cancel) without a degraded answer.  Subset of completed —
+    /// the ticket was served, just with an abort status.
+    uint64_t aborted = 0;
+    /// Tickets completed with a degraded partial answer (QueryResult::
+    /// degraded).  Subset of completed.
+    uint64_t degraded = 0;
+    /// Tickets routed to the fp32 shed tier (DegradationPolicy::
+    /// shed_to_fp32).  Subset of completed.
+    uint64_t shed = 0;
     /// Serving jobs dispatched and the tickets they carried — the coalescing
     /// signal: seeds_dispatched / groups_dispatched is the mean group size.
     uint64_t groups_dispatched = 0;
     uint64_t seeds_dispatched = 0;
     /// Tickets currently waiting for dispatch.
     size_t queue_depth = 0;
+    /// EWMA of deadline misses over deadline-bearing completions (1 =
+    /// every recent deadline missed) — the DegradationPolicy miss-rate
+    /// signal.  0 while no deadline-bearing ticket has completed.
+    double deadline_miss_rate = 0.0;
   };
   AsyncStats stats() const;
 
  private:
-  AsyncQueryEngine(QueryEngine engine,
-                   const AsyncQueryEngineOptions& options);
+  AsyncQueryEngine(QueryEngine engine, const AsyncQueryEngineOptions& options,
+                   std::unique_ptr<Graph> shed_graph,
+                   std::optional<QueryEngine> shed_engine);
+
+  /// Validates a DegradationPolicy (watermark range, min_iterations);
+  /// shared by Create and CreateFromRegistry.
+  static Status ValidatePolicy(const DegradationPolicy& policy);
 
   void SchedulerLoop();
+  /// Whether a dispatch observing `queue_depth` waiting tickets should run
+  /// degraded under the policy's watermarks.
+  bool IsOverloaded(size_t queue_depth) const;
+  /// Folds one deadline-bearing completion into the miss-rate EWMA.
+  void RecordDeadlineOutcome(bool missed);
   /// One serving job: claims each ticket (skipping cancelled ones, expiring
-  /// past-deadline ones), serves cache hits and invalid seeds per slot, and
-  /// the remaining misses per seed or as one SpMM group.
+  /// past-deadline ones unless the dispatch degrades), then serves cache
+  /// hits and invalid seeds per slot and the remaining misses per seed or
+  /// as one SpMM group — each miss under a per-ticket QueryContext wiring
+  /// its deadline, its mid-run cancel flag, and the dispatch's degradation
+  /// decision into the method.  `overloaded` is the scheduler's
+  /// dispatch-time watermark sample.
   void ServeChunk(
-      const std::vector<std::shared_ptr<internal_async::TicketState>>& chunk);
+      const std::vector<std::shared_ptr<internal_async::TicketState>>& chunk,
+      bool overloaded);
   /// Marks `state` done with `result`'s current content and fires its
   /// callback; bumps completed_ when `served` is true.
   void Complete(internal_async::TicketState& state, bool served);
 
   QueryEngine engine_;
   AsyncQueryEngineOptions options_;
+  /// fp32 shed tier (DegradationPolicy::shed_to_fp32): the rematerialized
+  /// graph must outlive the engine borrowing it, hence the member order.
+  /// The shed engine is cache-less and single-threaded — shed queries are
+  /// the cheap overflow path, not a second serving hierarchy.
+  std::unique_ptr<Graph> shed_graph_;
+  std::optional<QueryEngine> shed_engine_;
   /// Tickets per dispatch: batch_block_size when the method batches
   /// natively, else 1.
   size_t chunk_limit_ = 1;
   size_t max_inflight_ = 1;
 
-  /// The queue, its synchronization, and the cancellation counter live in a
-  /// shared state block so a QueryTicket can reach back (via weak_ptr) and
-  /// release its queue slot on Cancel even though tickets may outlive the
-  /// engine — a dead weak_ptr simply skips the release (the shutdown drain
-  /// has already emptied the queue by then).
+  /// The queue, its synchronization, and the cancellation / rejection
+  /// counters live in a shared state block so a QueryTicket can reach back
+  /// (via weak_ptr) and release its queue slot on Cancel even though
+  /// tickets may outlive the engine — a dead weak_ptr simply skips the
+  /// release (the shutdown drain has already emptied the queue by then).
+  /// Submit keeps its own strong reference across any kBlock wait, so a
+  /// submitter woken by Shutdown survives the engine being destroyed
+  /// right after Shutdown returns.
   std::shared_ptr<internal_async::AdmissionState> admission_;
 
   std::mutex shutdown_mu_;  // serializes Shutdown callers
@@ -216,10 +299,15 @@ class AsyncQueryEngine {
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> aborted_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> groups_dispatched_{0};
   std::atomic<uint64_t> seeds_dispatched_{0};
+  /// Deadline-miss EWMA (α = 0.05), updated lock-free via CAS at each
+  /// deadline-bearing completion.
+  std::atomic<double> miss_ewma_{0.0};
 
   std::thread scheduler_;  // last member: joined by Shutdown before teardown
 };

@@ -9,11 +9,30 @@
 #include "la/vector_ops.h"
 #include "util/cache_info.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/memory_budget.h"
 
 namespace tpa {
 
 namespace {
+
+/// Every method invocation runs inside this guard: the serving contract is
+/// Status-based, so a method (or anything it calls) that throws must fail
+/// only its own query with INTERNAL — never unwind into the thread pool or
+/// the async scheduler, where an escaped exception would terminate the
+/// process.  The failpoint sits inside the try so injected throws exercise
+/// the same containment as real ones.
+template <typename Fn>
+auto InvokeMethodGuarded(Fn&& fn) -> decltype(fn()) {
+  try {
+    TPA_FAILPOINT("engine.serve_query");
+    return fn();
+  } catch (const std::exception& e) {
+    return InternalError(std::string("method threw: ") + e.what());
+  } catch (...) {
+    return InternalError("method threw a non-exception object");
+  }
+}
 
 int ResolveThreadCount(int requested) {
   if (requested > 0) return requested;
@@ -174,7 +193,8 @@ bool QueryEngine::UseNativeTopKPath() const {
          (cache_ == nullptr || options_.cache_topk_only);
 }
 
-void QueryEngine::ServeTopKInto(NodeId seed, QueryResult& result) {
+void QueryEngine::ServeTopKInto(NodeId seed, QueryResult& result,
+                                QueryContext* context) {
   result.seed = seed;
   TopKQueryOptions topk_options;
   // Serving stays score-exact: results must be bitwise-identical to the
@@ -182,13 +202,13 @@ void QueryEngine::ServeTopKInto(NodeId seed, QueryResult& result) {
   // engine never trades certified-lower-bound scores for the last few
   // iterations.  The win is skipping the dense merge and full-vector sort.
   topk_options.allow_early_termination = false;
-  StatusOr<TopKQueryResult> top = [&] {
+  StatusOr<TopKQueryResult> top = InvokeMethodGuarded([&] {
     if (method_->SupportsConcurrentQuery()) {
-      return method_->QueryTopK(seed, options_.top_k, topk_options);
+      return method_->QueryTopK(seed, options_.top_k, topk_options, context);
     }
     std::lock_guard<std::mutex> lock(*method_mu_);
-    return method_->QueryTopK(seed, options_.top_k, topk_options);
-  }();
+    return method_->QueryTopK(seed, options_.top_k, topk_options, context);
+  });
   if (!top.ok()) {
     result.status = top.status();
     return;
@@ -233,12 +253,29 @@ std::vector<V>& ResultDense(QueryResult& result) {
 
 }  // namespace
 
+bool QueryEngine::FinalizeAbort(QueryContext* context, QueryResult& result) {
+  if (context == nullptr || !context->aborted) return true;
+  if (!context->degrade_to_partial) {
+    // Abort without a degradation contract: the partial iterate is
+    // discarded and the query fails with the abort's own code.
+    result.status = context->AbortStatus();
+    result.scores.clear();
+    result.scores_f32.clear();
+    result.top.clear();
+    return false;
+  }
+  result.degraded = true;
+  result.degrade_reason = context->abort_code;
+  result.error_bound = context->error_bound;
+  return false;
+}
+
 template <typename V>
 void QueryEngine::ShapeAndCacheT(NodeId seed, std::vector<V> dense,
-                                 QueryResult& result) {
+                                 QueryResult& result, bool cacheable) {
   if (options_.top_k > 0) {
     result.top = TopKScores(dense, options_.top_k);
-    if (cache_ != nullptr) {
+    if (cacheable && cache_ != nullptr) {
       if (options_.cache_topk_only) {
         cache_->Put(seed, std::make_shared<const CachedResult>(
                               CachedResult::TopKOnly(precision_, result.top)));
@@ -247,7 +284,7 @@ void QueryEngine::ShapeAndCacheT(NodeId seed, std::vector<V> dense,
                               CachedResult::Dense(std::move(dense))));
       }
     }
-  } else if (cache_ != nullptr) {
+  } else if (cacheable && cache_ != nullptr) {
     // The client owns its result vector, so the cached copy is the one
     // unavoidable duplication on a dense-mode miss.
     auto entry = std::make_shared<const CachedResult>(
@@ -259,15 +296,18 @@ void QueryEngine::ShapeAndCacheT(NodeId seed, std::vector<V> dense,
   }
 }
 
-void QueryEngine::ServeInto(NodeId seed, QueryResult& result) {
+void QueryEngine::ServeInto(NodeId seed, QueryResult& result,
+                            QueryContext* context) {
   result.seed = seed;
   if (seed >= graph_->num_nodes()) {
     result.status = OutOfRangeError("seed node out of range");
     return;
   }
+  // A cache hit beats any deadline: serving it is a copy, so an expired or
+  // cancelled context still gets the exact answer for free.
   if (TryServeFromCache(seed, result)) return;
   if (UseNativeTopKPath()) {
-    ServeTopKInto(seed, result);
+    ServeTopKInto(seed, result, context);
     return;
   }
 
@@ -278,35 +318,41 @@ void QueryEngine::ServeInto(NodeId seed, QueryResult& result) {
       permutation != nullptr ? permutation->ToInternal(seed) : seed;
 
   if (precision_ == la::Precision::kFloat32) {
-    StatusOr<std::vector<float>> scores = [&] {
+    StatusOr<std::vector<float>> scores = InvokeMethodGuarded([&] {
       if (method_->SupportsConcurrentQuery()) {
-        return method_->QueryF32(internal);
+        return method_->QueryF32(internal, context);
       }
       std::lock_guard<std::mutex> lock(*method_mu_);
-      return method_->QueryF32(internal);
-    }();
+      return method_->QueryF32(internal, context);
+    });
     if (!scores.ok()) {
       result.status = scores.status();
       return;
     }
     std::vector<float> dense = std::move(scores).value();
+    const bool cacheable = FinalizeAbort(context, result);
+    if (!result.status.ok()) return;
     if (permutation != nullptr) dense = permutation->ScoresToExternal(dense);
-    ShapeAndCacheT<float>(seed, std::move(dense), result);
+    ShapeAndCacheT<float>(seed, std::move(dense), result, cacheable);
     return;
   }
 
-  StatusOr<std::vector<double>> scores = [&] {
-    if (method_->SupportsConcurrentQuery()) return method_->Query(internal);
+  StatusOr<std::vector<double>> scores = InvokeMethodGuarded([&] {
+    if (method_->SupportsConcurrentQuery()) {
+      return method_->Query(internal, context);
+    }
     std::lock_guard<std::mutex> lock(*method_mu_);
-    return method_->Query(internal);
-  }();
+    return method_->Query(internal, context);
+  });
   if (!scores.ok()) {
     result.status = scores.status();
     return;
   }
   std::vector<double> dense = std::move(scores).value();
+  const bool cacheable = FinalizeAbort(context, result);
+  if (!result.status.ok()) return;
   if (permutation != nullptr) dense = permutation->ScoresToExternal(dense);
-  ShapeAndCacheT<double>(seed, std::move(dense), result);
+  ShapeAndCacheT<double>(seed, std::move(dense), result, cacheable);
 }
 
 namespace {
@@ -334,13 +380,17 @@ std::vector<std::vector<V>> FanOutBlock(const la::DenseBlockT<V>& block,
 }  // namespace
 
 void QueryEngine::ServeGroup(const std::vector<NodeId>& group,
-                             const std::vector<QueryResult*>& slots) {
+                             const std::vector<QueryResult*>& slots,
+                             std::span<QueryContext* const> contexts) {
+  const auto context_for = [&contexts](size_t k) {
+    return contexts.empty() ? nullptr : contexts[k];
+  };
   if (UseNativeTopKPath()) {
     // Bound-driven top-k queries never materialize dense vectors, so there
     // is no SpMM block to share across the group; each slot runs the native
     // path (this also covers the async engine's grouped chunks).
     for (size_t k = 0; k < slots.size(); ++k) {
-      ServeTopKInto(group[k], *slots[k]);
+      ServeTopKInto(group[k], *slots[k], context_for(k));
     }
     return;
   }
@@ -357,38 +407,44 @@ void QueryEngine::ServeGroup(const std::vector<NodeId>& group,
   }
 
   if (precision_ == la::Precision::kFloat32) {
-    StatusOr<la::DenseBlockF> block = [&] {
+    StatusOr<la::DenseBlockF> block = InvokeMethodGuarded([&] {
       if (method_->SupportsConcurrentQuery()) {
-        return method_->QueryBatchDenseF32(*method_group);
+        return method_->QueryBatchDenseF32(*method_group, contexts);
       }
       std::lock_guard<std::mutex> lock(*method_mu_);
-      return method_->QueryBatchDenseF32(*method_group);
-    }();
+      return method_->QueryBatchDenseF32(*method_group, contexts);
+    });
     if (!block.ok()) {
       for (QueryResult* slot : slots) slot->status = block.status();
       return;
     }
     std::vector<std::vector<float>> dense = FanOutBlock(*block, permutation);
     for (size_t k = 0; k < slots.size(); ++k) {
-      ShapeAndCacheT<float>(group[k], std::move(dense[k]), *slots[k]);
+      const bool cacheable = FinalizeAbort(context_for(k), *slots[k]);
+      if (!slots[k]->status.ok()) continue;
+      ShapeAndCacheT<float>(group[k], std::move(dense[k]), *slots[k],
+                            cacheable);
     }
     return;
   }
 
-  StatusOr<la::DenseBlock> block = [&] {
+  StatusOr<la::DenseBlock> block = InvokeMethodGuarded([&] {
     if (method_->SupportsConcurrentQuery()) {
-      return method_->QueryBatchDense(*method_group);
+      return method_->QueryBatchDense(*method_group, contexts);
     }
     std::lock_guard<std::mutex> lock(*method_mu_);
-    return method_->QueryBatchDense(*method_group);
-  }();
+    return method_->QueryBatchDense(*method_group, contexts);
+  });
   if (!block.ok()) {
     for (QueryResult* slot : slots) slot->status = block.status();
     return;
   }
   std::vector<std::vector<double>> dense = FanOutBlock(*block, permutation);
   for (size_t k = 0; k < slots.size(); ++k) {
-    ShapeAndCacheT<double>(group[k], std::move(dense[k]), *slots[k]);
+    const bool cacheable = FinalizeAbort(context_for(k), *slots[k]);
+    if (!slots[k]->status.ok()) continue;
+    ShapeAndCacheT<double>(group[k], std::move(dense[k]), *slots[k],
+                           cacheable);
   }
 }
 

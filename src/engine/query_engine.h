@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "la/precision.h"
 #include "method/registry.h"
 #include "method/rwr_method.h"
+#include "util/query_context.h"
 #include "util/status.h"
 
 namespace tpa {
@@ -91,6 +93,24 @@ struct QueryResult {
   std::vector<ScoredNode> top;
   /// True when the scores came from the LRU cache.
   bool from_cache = false;
+  /// True when the query was aborted (deadline / cancellation) under a
+  /// degradation policy and the payload is the last complete propagation
+  /// iterate instead of the converged answer.  `status` is OK — the partial
+  /// is a certified approximate answer, not a failure — and `error_bound`
+  /// holds its guarantee.  Degraded results are never cached.
+  bool degraded = false;
+  /// Why the query degraded: kDeadlineExceeded or kCancelled when
+  /// `degraded`, kOk otherwise.
+  StatusCode degrade_reason = StatusCode::kOk;
+  /// Certified L1 bound on the gap to the converged answer when `degraded`:
+  /// ‖answer − converged‖₁ ≤ error_bound (the geometric remaining-mass
+  /// bound, scaled through the TPA family/stranger merge when applicable).
+  double error_bound = 0.0;
+  /// True when an overloaded engine shed this query to its private fp32
+  /// serving tier (AsyncQueryEngine's DegradationPolicy::shed_to_fp32):
+  /// dense scores arrive in `scores_f32` even though the primary engine
+  /// serves fp64.
+  bool shed_to_fp32 = false;
 };
 
 /// Batched, concurrent RWR query serving over one shared preprocessed
@@ -179,7 +199,14 @@ class QueryEngine {
               const QueryEngineOptions& options, int num_threads);
 
   /// Computes (or fetches) the dense vector and shapes it into `result`.
-  void ServeInto(NodeId seed, QueryResult& result);
+  /// `context`, when non-null, rides along into the method: iteration-shaped
+  /// methods poll it at propagation-iteration boundaries, so a deadline or
+  /// cancellation lands within one iteration.  On abort the result either
+  /// fails with the abort status (default) or — when the context asks for
+  /// degradation — carries the partial iterate with its certified bound
+  /// (QueryResult::degraded); either way nothing is cached.
+  void ServeInto(NodeId seed, QueryResult& result,
+                 QueryContext* context = nullptr);
 
   /// Whether top-k requests route through the method's native bound-driven
   /// path (RwrMethod::QueryTopK) instead of dense-query-then-partial-sort.
@@ -196,7 +223,10 @@ class QueryEngine {
   /// Serves one seed through the native top-k path (caller has already
   /// missed the cache): runs QueryTopK (locking for non-concurrent
   /// methods), fills result.top, and refreshes the top-k-only cache entry.
-  void ServeTopKInto(NodeId seed, QueryResult& result);
+  /// An aborted context always fails the result — a partial top-k ranking
+  /// carries no certificate, so top-k queries never degrade.
+  void ServeTopKInto(NodeId seed, QueryResult& result,
+                     QueryContext* context = nullptr);
 
   /// Whether a stored entry can serve this engine's requests: same
   /// precision tier, and top-k-only entries only for top-k requests they
@@ -213,18 +243,33 @@ class QueryEngine {
   /// by the subsequent insert).
   bool TryServeFromCache(NodeId seed, QueryResult& result);
 
+  /// Applies a context's abort outcome to a served result.  No-op (returns
+  /// true) when `context` is null or the query ran to convergence.  On an
+  /// abort without degradation the result fails with the abort status and
+  /// its payload is dropped; with degradation the result is marked degraded
+  /// and carries the context's certified error bound.  Returns whether the
+  /// result is cacheable — only a converged, unaborted answer is.
+  static bool FinalizeAbort(QueryContext* context, QueryResult& result);
+
   /// Shapes a freshly computed dense tier-V vector into `result` (top-k or
   /// dense) and inserts it into the cache when caching is enabled
-  /// (top-k-only shaped under cache_topk_only).
+  /// (top-k-only shaped under cache_topk_only).  `cacheable` is false for
+  /// degraded partials: they are shaped for the client but must never
+  /// poison the cache with an un-converged vector.
   template <typename V>
-  void ShapeAndCacheT(NodeId seed, std::vector<V> dense, QueryResult& result);
+  void ShapeAndCacheT(NodeId seed, std::vector<V> dense, QueryResult& result,
+                      bool cacheable = true);
 
   /// Serves one SpMM group: runs QueryBatchDense (or the fp32 flavor) for
   /// `group` (locking for non-concurrent methods) and fans the block back
   /// into the result slots `slots[k]` ← vector k.  On failure every slot
-  /// gets the group status.
+  /// gets the group status.  `contexts`, when non-empty, aligns with
+  /// `group`: an aborting seed is frozen out of the shared SpMM (identical
+  /// to aborting a scalar run) and its slot fails or degrades per
+  /// FinalizeAbort while the rest of the group completes normally.
   void ServeGroup(const std::vector<NodeId>& group,
-                  const std::vector<QueryResult*>& slots);
+                  const std::vector<QueryResult*>& slots,
+                  std::span<QueryContext* const> contexts = {});
 
   const Graph* graph_;  // not owned
   QueryEngineOptions options_;

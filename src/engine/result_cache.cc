@@ -29,6 +29,15 @@ ResultCache::Entry ResultCache::GetMatching(
 
 void ResultCache::Put(NodeId seed, Entry scores) {
   if (capacity_ == 0 && capacity_bytes_ == 0) return;
+  // Refuse anything that is not a complete exact answer: a partial or
+  // empty entry served from the cache would silently replace the converged
+  // result for every later query on this seed.
+  if (scores == nullptr || scores->partial) return;
+  if (scores->topk_only ? scores->topk.empty()
+                        : (scores->dense64.empty() &&
+                           scores->dense32.empty())) {
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(seed);
   if (it != index_.end()) {

@@ -32,6 +32,14 @@ namespace tpa {
 struct CachedResult {
   la::Precision precision = la::Precision::kFloat64;
   bool topk_only = false;
+  /// True for a result that is not the converged answer — a degraded
+  /// partial iterate or anything served under an aborted query context.
+  /// The cache refuses such entries outright (see ResultCache::Put): a
+  /// cached partial would be replayed as the exact answer to every later
+  /// query for the same seed.  The serving layer never constructs one
+  /// (degraded results bypass the cache), so this tag is the second,
+  /// independent line of defense.
+  bool partial = false;
   std::vector<double> dense64;
   std::vector<float> dense32;
   std::vector<ScoredNode> topk;
@@ -99,6 +107,12 @@ class ResultCache {
   /// until both the entry cap and the byte budget hold.  An entry larger
   /// than the whole byte budget is evicted immediately (the cache stays
   /// within budget rather than pinning one oversized result).
+  ///
+  /// Shape guard: the call is a silent no-op for entries that must never be
+  /// served as an exact answer — null entries, entries tagged `partial`,
+  /// and malformed entries with an empty payload (a dense entry with no
+  /// scores, or a top-k-only entry with no pairs).  Existing entries are
+  /// left untouched in that case.
   void Put(NodeId seed, Entry scores);
 
   size_t size() const;

@@ -104,7 +104,11 @@ Status BearApprox::Preprocess(const Graph& graph, MemoryBudget& budget) {
   return OkStatus();
 }
 
-StatusOr<std::vector<double>> BearApprox::Query(NodeId seed) {
+StatusOr<std::vector<double>> BearApprox::Query(NodeId seed,
+                                                QueryContext* context) {
+  // No iteration boundary to poll; an expired or cancelled context fails
+  // up front.
+  TPA_RETURN_IF_ERROR(CheckQueryContext(context));
   if (!partition_.has_value()) {
     return FailedPreconditionError("Preprocess must be called before Query");
   }

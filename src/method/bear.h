@@ -39,7 +39,9 @@ class BearApprox final : public RwrMethod {
   std::string_view name() const override { return "BEAR-APPROX"; }
 
   Status Preprocess(const Graph& graph, MemoryBudget& budget) override;
-  StatusOr<std::vector<double>> Query(NodeId seed) override;
+  StatusOr<std::vector<double>> Query(NodeId seed,
+                                      QueryContext* context = nullptr)
+      override;
   size_t PreprocessedBytes() const override;
 
  private:

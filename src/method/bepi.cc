@@ -26,7 +26,11 @@ Status Bepi::Preprocess(const Graph& graph, MemoryBudget& budget) {
   return OkStatus();
 }
 
-StatusOr<std::vector<double>> Bepi::Query(NodeId seed) {
+StatusOr<std::vector<double>> Bepi::Query(NodeId seed,
+                                          QueryContext* context) {
+  // No iteration boundary to poll; an expired or cancelled context fails
+  // up front.
+  TPA_RETURN_IF_ERROR(CheckQueryContext(context));
   if (!partition_.has_value()) {
     return FailedPreconditionError("Preprocess must be called before Query");
   }

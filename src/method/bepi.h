@@ -43,7 +43,9 @@ class Bepi final : public RwrMethod {
   std::string_view name() const override { return "BePI"; }
 
   Status Preprocess(const Graph& graph, MemoryBudget& budget) override;
-  StatusOr<std::vector<double>> Query(NodeId seed) override;
+  StatusOr<std::vector<double>> Query(NodeId seed,
+                                      QueryContext* context = nullptr)
+      override;
   size_t PreprocessedBytes() const override;
 
   /// GMRES iterations spent on the last query (diagnostics).

@@ -38,7 +38,9 @@ class Brppr final : public RwrMethod {
   std::string_view name() const override { return "BRPPR"; }
 
   Status Preprocess(const Graph& graph, MemoryBudget& budget) override;
-  StatusOr<std::vector<double>> Query(NodeId seed) override;
+  StatusOr<std::vector<double>> Query(NodeId seed,
+                                      QueryContext* context = nullptr)
+      override;
   size_t PreprocessedBytes() const override { return 0; }
 
   /// Active-set size of the last query (experiment diagnostics).

@@ -41,7 +41,11 @@ Status Fora::Preprocess(const Graph& graph, MemoryBudget& budget) {
   return OkStatus();
 }
 
-StatusOr<std::vector<double>> Fora::Query(NodeId seed) {
+StatusOr<std::vector<double>> Fora::Query(NodeId seed,
+                                          QueryContext* context) {
+  // Push/walk methods have no iteration boundary to poll; an expired or
+  // cancelled context fails up front.
+  TPA_RETURN_IF_ERROR(CheckQueryContext(context));
   if (!index_.has_value()) {
     return FailedPreconditionError("Preprocess must be called before Query");
   }

@@ -44,7 +44,9 @@ class Fora final : public RwrMethod {
   std::string_view name() const override { return "FORA"; }
 
   Status Preprocess(const Graph& graph, MemoryBudget& budget) override;
-  StatusOr<std::vector<double>> Query(NodeId seed) override;
+  StatusOr<std::vector<double>> Query(NodeId seed,
+                                      QueryContext* context = nullptr)
+      override;
   size_t PreprocessedBytes() const override;
 
   /// Derived parameters (visible for tests and experiment logs).

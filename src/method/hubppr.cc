@@ -69,7 +69,11 @@ Status HubPpr::Preprocess(const Graph& graph, MemoryBudget& budget) {
   return OkStatus();
 }
 
-StatusOr<std::vector<double>> HubPpr::Query(NodeId seed) {
+StatusOr<std::vector<double>> HubPpr::Query(NodeId seed,
+                                            QueryContext* context) {
+  // No iteration boundary to poll; an expired or cancelled context fails
+  // up front.
+  TPA_RETURN_IF_ERROR(CheckQueryContext(context));
   if (graph_ == nullptr) {
     return FailedPreconditionError("Preprocess must be called before Query");
   }

@@ -46,7 +46,9 @@ class HubPpr final : public RwrMethod {
   std::string_view name() const override { return "HubPPR"; }
 
   Status Preprocess(const Graph& graph, MemoryBudget& budget) override;
-  StatusOr<std::vector<double>> Query(NodeId seed) override;
+  StatusOr<std::vector<double>> Query(NodeId seed,
+                                      QueryContext* context = nullptr)
+      override;
   size_t PreprocessedBytes() const override;
 
   uint64_t omega() const { return omega_; }

@@ -86,7 +86,11 @@ Status NbLin::Preprocess(const Graph& graph, MemoryBudget& budget) {
   return OkStatus();
 }
 
-StatusOr<std::vector<double>> NbLin::Query(NodeId seed) {
+StatusOr<std::vector<double>> NbLin::Query(NodeId seed,
+                                           QueryContext* context) {
+  // No iteration boundary to poll; an expired or cancelled context fails
+  // up front.
+  TPA_RETURN_IF_ERROR(CheckQueryContext(context));
   if (graph_ == nullptr || core_.rows() == 0) {
     return FailedPreconditionError("Preprocess must be called before Query");
   }

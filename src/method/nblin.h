@@ -40,7 +40,9 @@ class NbLin final : public RwrMethod {
   std::string_view name() const override { return "NB-LIN"; }
 
   Status Preprocess(const Graph& graph, MemoryBudget& budget) override;
-  StatusOr<std::vector<double>> Query(NodeId seed) override;
+  StatusOr<std::vector<double>> Query(NodeId seed,
+                                      QueryContext* context = nullptr)
+      override;
   size_t PreprocessedBytes() const override;
 
   /// Rank actually used (after the divisor rule).

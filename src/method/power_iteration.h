@@ -29,35 +29,43 @@ class PowerIterationRwr final : public RwrMethod {
     return OkStatus();
   }
 
-  StatusOr<std::vector<double>> Query(NodeId seed) override {
+  StatusOr<std::vector<double>> Query(NodeId seed,
+                                      QueryContext* context =
+                                          nullptr) override {
     if (graph_ == nullptr) {
       return FailedPreconditionError("Preprocess must be called before Query");
     }
     if (graph_->value_precision() == la::Precision::kFloat32) {
       // fp32 graph: run the fp32 loop and widen once at the boundary.
-      TPA_ASSIGN_OR_RETURN(Cpi::ResultF result,
-                           Cpi::RunT<float>(*graph_, {seed}, options_));
+      TPA_ASSIGN_OR_RETURN(
+          Cpi::ResultF result,
+          Cpi::RunT<float>(*graph_, {seed}, options_, nullptr, context));
       return la::ConvertVector<double>(result.scores);
     }
-    return Cpi::ExactRwr(*graph_, seed, options_);
+    TPA_ASSIGN_OR_RETURN(
+        Cpi::Result result,
+        Cpi::Run(*graph_, {seed}, options_, nullptr, context));
+    return std::move(result.scores);
   }
 
   /// Reference native batch path: CPI to convergence for all seeds as one
   /// SpMM chain; each seed's accumulation stops at its own convergence
   /// iteration, so vectors match Query bitwise.
   StatusOr<la::DenseBlock> QueryBatchDense(
-      std::span<const NodeId> seeds) override {
+      std::span<const NodeId> seeds,
+      std::span<QueryContext* const> contexts = {}) override {
     if (graph_ == nullptr) {
       return FailedPreconditionError("Preprocess must be called before Query");
     }
     if (graph_->value_precision() == la::Precision::kFloat32) {
-      TPA_ASSIGN_OR_RETURN(la::DenseBlockF block,
-                           Cpi::RunBatchT<float>(*graph_, seeds, options_));
+      TPA_ASSIGN_OR_RETURN(
+          la::DenseBlockF block,
+          Cpi::RunBatchT<float>(*graph_, seeds, options_, nullptr, contexts));
       la::DenseBlock wide;
       la::ConvertBlock(block, wide);
       return wide;
     }
-    return Cpi::RunBatch(*graph_, seeds, options_);
+    return Cpi::RunBatch(*graph_, seeds, options_, nullptr, contexts);
   }
 
   bool SupportsBatchQuery() const override { return true; }
@@ -66,8 +74,10 @@ class PowerIterationRwr final : public RwrMethod {
   /// with no merge baseline — exact RWR's ranking typically certifies long
   /// before the 1e-9 norm tolerance, cutting the iteration count well
   /// below the full run's.
-  StatusOr<TopKQueryResult> QueryTopK(
-      NodeId seed, int k, const TopKQueryOptions& options = {}) override {
+  StatusOr<TopKQueryResult> QueryTopK(NodeId seed, int k,
+                                      const TopKQueryOptions& options = {},
+                                      QueryContext* context =
+                                          nullptr) override {
     if (graph_ == nullptr) {
       return FailedPreconditionError("Preprocess must be called before Query");
     }
@@ -78,9 +88,11 @@ class PowerIterationRwr final : public RwrMethod {
     run.k = k;
     run.allow_early_termination = options.allow_early_termination;
     if (graph_->value_precision() == la::Precision::kFloat32) {
-      return Cpi::RunTopKT<float>(*graph_, {seed}, options_, run);
+      return Cpi::RunTopKT<float>(*graph_, {seed}, options_, run, {}, nullptr,
+                                  context);
     }
-    return Cpi::RunTopKT<double>(*graph_, {seed}, options_, run);
+    return Cpi::RunTopKT<double>(*graph_, {seed}, options_, run, {}, nullptr,
+                                 context);
   }
 
   bool SupportsTopKQuery() const override { return true; }
@@ -89,27 +101,31 @@ class PowerIterationRwr final : public RwrMethod {
   /// tests runs on a separate fp64 graph).
   bool SupportsPrecision(la::Precision) const override { return true; }
 
-  StatusOr<std::vector<float>> QueryF32(NodeId seed) override {
+  StatusOr<std::vector<float>> QueryF32(NodeId seed,
+                                        QueryContext* context =
+                                            nullptr) override {
     if (graph_ == nullptr) {
       return FailedPreconditionError("Preprocess must be called before Query");
     }
     if (graph_->value_precision() != la::Precision::kFloat32) {
       return FailedPreconditionError("graph is not materialized at fp32");
     }
-    TPA_ASSIGN_OR_RETURN(Cpi::ResultF result,
-                         Cpi::RunT<float>(*graph_, {seed}, options_));
+    TPA_ASSIGN_OR_RETURN(
+        Cpi::ResultF result,
+        Cpi::RunT<float>(*graph_, {seed}, options_, nullptr, context));
     return std::move(result.scores);
   }
 
   StatusOr<la::DenseBlockF> QueryBatchDenseF32(
-      std::span<const NodeId> seeds) override {
+      std::span<const NodeId> seeds,
+      std::span<QueryContext* const> contexts = {}) override {
     if (graph_ == nullptr) {
       return FailedPreconditionError("Preprocess must be called before Query");
     }
     if (graph_->value_precision() != la::Precision::kFloat32) {
       return FailedPreconditionError("graph is not materialized at fp32");
     }
-    return Cpi::RunBatchT<float>(*graph_, seeds, options_);
+    return Cpi::RunBatchT<float>(*graph_, seeds, options_, nullptr, contexts);
   }
 
   void SetTaskRunner(la::TaskRunner* runner) override {

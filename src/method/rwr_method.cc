@@ -5,12 +5,15 @@
 namespace tpa {
 
 StatusOr<TopKQueryResult> RwrMethod::QueryTopK(NodeId seed, int k,
-                                               const TopKQueryOptions&) {
+                                               const TopKQueryOptions&,
+                                               QueryContext* context) {
   if (k < 0) return InvalidArgumentError("k must be non-negative");
   // Full-vector fallback: no bounds to terminate on, so the options'
   // early-termination flag is moot — the ranking and scores are exactly the
-  // dense path's either way.
-  TPA_ASSIGN_OR_RETURN(std::vector<double> scores, Query(seed));
+  // dense path's either way.  An abort mid-query fails the call: top-k
+  // never returns a partial ranking.
+  TPA_ASSIGN_OR_RETURN(std::vector<double> scores, Query(seed, context));
+  if (context != nullptr && context->aborted) return context->AbortStatus();
   TopKQueryResult result;
   const std::vector<size_t> idx =
       la::TopKIndices(scores, static_cast<size_t>(k));
@@ -22,13 +25,19 @@ StatusOr<TopKQueryResult> RwrMethod::QueryTopK(NodeId seed, int k,
 }
 
 StatusOr<la::DenseBlock> RwrMethod::QueryBatchDense(
-    std::span<const NodeId> seeds) {
+    std::span<const NodeId> seeds, std::span<QueryContext* const> contexts) {
   if (seeds.empty()) {
     return InvalidArgumentError("seed batch must be non-empty");
   }
+  if (!contexts.empty() && contexts.size() != seeds.size()) {
+    return InvalidArgumentError(
+        "contexts must be empty or align with the seed batch");
+  }
   la::DenseBlock block;
   for (size_t b = 0; b < seeds.size(); ++b) {
-    TPA_ASSIGN_OR_RETURN(std::vector<double> scores, Query(seeds[b]));
+    QueryContext* context = contexts.empty() ? nullptr : contexts[b];
+    TPA_ASSIGN_OR_RETURN(std::vector<double> scores,
+                         Query(seeds[b], context));
     if (b == 0) block.Resize(scores.size(), seeds.size());
     if (scores.size() != block.rows()) {
       return InternalError("Query returned inconsistently sized vectors");
@@ -38,19 +47,27 @@ StatusOr<la::DenseBlock> RwrMethod::QueryBatchDense(
   return block;
 }
 
-StatusOr<std::vector<float>> RwrMethod::QueryF32(NodeId seed) {
+StatusOr<std::vector<float>> RwrMethod::QueryF32(NodeId seed,
+                                                 QueryContext* context) {
   (void)seed;
+  (void)context;
   return UnimplementedError("method has no fp32 query path");
 }
 
 StatusOr<la::DenseBlockF> RwrMethod::QueryBatchDenseF32(
-    std::span<const NodeId> seeds) {
+    std::span<const NodeId> seeds, std::span<QueryContext* const> contexts) {
   if (seeds.empty()) {
     return InvalidArgumentError("seed batch must be non-empty");
   }
+  if (!contexts.empty() && contexts.size() != seeds.size()) {
+    return InvalidArgumentError(
+        "contexts must be empty or align with the seed batch");
+  }
   la::DenseBlockF block;
   for (size_t b = 0; b < seeds.size(); ++b) {
-    TPA_ASSIGN_OR_RETURN(std::vector<float> scores, QueryF32(seeds[b]));
+    QueryContext* context = contexts.empty() ? nullptr : contexts[b];
+    TPA_ASSIGN_OR_RETURN(std::vector<float> scores,
+                         QueryF32(seeds[b], context));
     if (b == 0) block.Resize(scores.size(), seeds.size());
     if (scores.size() != block.rows()) {
       return InternalError("QueryF32 returned inconsistently sized vectors");

@@ -13,6 +13,7 @@
 #include "la/task_runner.h"
 #include "la/topk.h"
 #include "util/memory_budget.h"
+#include "util/query_context.h"
 #include "util/status.h"
 
 namespace tpa {
@@ -38,7 +39,17 @@ class RwrMethod {
 
   /// Full approximate (or exact) RWR score vector for `seed`.
   /// Non-const: Monte Carlo methods advance their RNG state.
-  virtual StatusOr<std::vector<double>> Query(NodeId seed) = 0;
+  ///
+  /// Every query entry point takes an optional QueryContext — the
+  /// engines' cooperative deadline/cancel channel.  Methods with
+  /// iteration-shaped hot loops (TPA, power iteration) poll it at
+  /// iteration boundaries and, on abort, return the partial iterate with
+  /// the context's certified error bound set; methods without a natural
+  /// poll point at least check it on entry (CheckQueryContext) so an
+  /// already-expired query fails fast.  A null context costs nothing.
+  virtual StatusOr<std::vector<double>> Query(NodeId seed,
+                                              QueryContext* context =
+                                                  nullptr) = 0;
 
   /// Dense score vectors for a whole batch of seeds at once; vector b of
   /// the block is the result for seeds[b].  The base implementation loops
@@ -48,8 +59,11 @@ class RwrMethod {
   /// vector bitwise-identical to the corresponding Query(seed).  Fails on
   /// an empty batch; a per-seed failure (e.g. out of range) fails the
   /// whole call — the QueryEngine validates seeds before dispatching.
+  /// `contexts`, when non-empty, aligns with `seeds` (null entries allowed)
+  /// and aborts only its own seed's accumulation in native batch paths.
   virtual StatusOr<la::DenseBlock> QueryBatchDense(
-      std::span<const NodeId> seeds);
+      std::span<const NodeId> seeds,
+      std::span<QueryContext* const> contexts = {});
 
   /// True when QueryBatchDense runs natively batched (one shared SpMM sweep
   /// instead of B matvec sweeps) and is therefore worth dispatching whole
@@ -66,8 +80,12 @@ class RwrMethod {
   /// SupportsTopKQuery() provide a bound-driven native path that can stop
   /// as soon as the ranking is certified and never materialize the dense
   /// vector.  Fails on an out-of-range seed or negative k.
+  /// A context abort always fails a top-k query (kCancelled /
+  /// kDeadlineExceeded): an uncertified partial ranking carries no usable
+  /// error bound, so top-k never returns degraded results.
   virtual StatusOr<TopKQueryResult> QueryTopK(
-      NodeId seed, int k, const TopKQueryOptions& options = {});
+      NodeId seed, int k, const TopKQueryOptions& options = {},
+      QueryContext* context = nullptr);
 
   /// True when QueryTopK runs natively bound-driven (cheaper than a full
   /// query) and is therefore worth routing the engines' top-k requests to.
@@ -88,12 +106,15 @@ class RwrMethod {
   /// and the returned scores.  Only meaningful for methods that return true
   /// from SupportsPrecision(kFloat32) and were preprocessed against an fp32
   /// graph; the default fails with UNIMPLEMENTED.
-  virtual StatusOr<std::vector<float>> QueryF32(NodeId seed);
+  virtual StatusOr<std::vector<float>> QueryF32(NodeId seed,
+                                                QueryContext* context =
+                                                    nullptr);
 
   /// fp32 flavor of QueryBatchDense; vector b must be bitwise-identical to
   /// QueryF32(seeds[b]).  Default: UNIMPLEMENTED.
   virtual StatusOr<la::DenseBlockF> QueryBatchDenseF32(
-      std::span<const NodeId> seeds);
+      std::span<const NodeId> seeds,
+      std::span<QueryContext* const> contexts = {});
 
   /// Installs a fork-join runner that batched queries may use to partition
   /// their dense propagation sweeps across threads (the QueryEngine passes

@@ -28,30 +28,37 @@ class TpaMethod final : public RwrMethod {
     return OkStatus();
   }
 
-  StatusOr<std::vector<double>> Query(NodeId seed) override {
+  StatusOr<std::vector<double>> Query(NodeId seed,
+                                      QueryContext* context =
+                                          nullptr) override {
     if (!tpa_.has_value()) {
       return FailedPreconditionError("Preprocess must be called before Query");
     }
-    return tpa_->Query(seed);
+    // The single-seed personalized path is bitwise Tpa::Query and threads
+    // the cooperative abort into the family propagation.
+    return tpa_->QueryPersonalized({seed}, context);
   }
 
   /// Native SpMM path: the S family iterations for the whole batch run as
   /// one multi-vector chain (Tpa::QueryBatch), bitwise-identical per seed
   /// to Query.
   StatusOr<la::DenseBlock> QueryBatchDense(
-      std::span<const NodeId> seeds) override {
+      std::span<const NodeId> seeds,
+      std::span<QueryContext* const> contexts = {}) override {
     if (!tpa_.has_value()) {
       return FailedPreconditionError("Preprocess must be called before Query");
     }
-    return tpa_->QueryBatch(seeds);
+    return tpa_->QueryBatch(seeds, contexts);
   }
 
   bool SupportsBatchQuery() const override { return true; }
 
   /// Native bound-driven path: the family CPI under Cpi::RunTopKT with the
   /// stranger tail as the merge baseline, at the graph's tier.
-  StatusOr<TopKQueryResult> QueryTopK(
-      NodeId seed, int k, const TopKQueryOptions& options = {}) override {
+  StatusOr<TopKQueryResult> QueryTopK(NodeId seed, int k,
+                                      const TopKQueryOptions& options = {},
+                                      QueryContext* context =
+                                          nullptr) override {
     if (!tpa_.has_value()) {
       return FailedPreconditionError("Preprocess must be called before Query");
     }
@@ -59,7 +66,7 @@ class TpaMethod final : public RwrMethod {
       return OutOfRangeError("seed node out of range");
     }
     if (k < 0) return InvalidArgumentError("k must be non-negative");
-    return tpa_->QueryTopK(seed, k, options);
+    return tpa_->QueryTopK(seed, k, options, context);
   }
 
   bool SupportsTopKQuery() const override { return true; }
@@ -68,25 +75,28 @@ class TpaMethod final : public RwrMethod {
   /// buffer, the stranger tail, and the returned scores stay fp32.
   bool SupportsPrecision(la::Precision) const override { return true; }
 
-  StatusOr<std::vector<float>> QueryF32(NodeId seed) override {
+  StatusOr<std::vector<float>> QueryF32(NodeId seed,
+                                        QueryContext* context =
+                                            nullptr) override {
     if (!tpa_.has_value()) {
       return FailedPreconditionError("Preprocess must be called before Query");
     }
     if (tpa_->precision() != la::Precision::kFloat32) {
       return FailedPreconditionError("graph is not materialized at fp32");
     }
-    return tpa_->QueryF(seed);
+    return tpa_->QueryPersonalizedF({seed}, context);
   }
 
   StatusOr<la::DenseBlockF> QueryBatchDenseF32(
-      std::span<const NodeId> seeds) override {
+      std::span<const NodeId> seeds,
+      std::span<QueryContext* const> contexts = {}) override {
     if (!tpa_.has_value()) {
       return FailedPreconditionError("Preprocess must be called before Query");
     }
     if (tpa_->precision() != la::Precision::kFloat32) {
       return FailedPreconditionError("graph is not materialized at fp32");
     }
-    return tpa_->QueryBatchF(seeds);
+    return tpa_->QueryBatchF(seeds, contexts);
   }
 
   void SetTaskRunner(la::TaskRunner* runner) override {

@@ -1,0 +1,104 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace tpa {
+namespace {
+
+struct FailpointState {
+  FailpointAction action;
+  int skip = 0;
+  int count = -1;
+  int64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, FailpointState, std::less<>> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Disarmed fast path: sites skip the registry lock entirely while nothing
+/// is armed.
+std::atomic<int>& ArmedCount() {
+  static std::atomic<int> armed{0};
+  return armed;
+}
+
+}  // namespace
+
+void ArmFailpoint(std::string_view name, FailpointAction action, int skip,
+                  int count) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] = registry.points.insert_or_assign(
+      std::string(name), FailpointState{std::move(action), skip, count, 0});
+  (void)it;
+  if (inserted) ArmedCount().fetch_add(1, std::memory_order_release);
+}
+
+void DisarmFailpoint(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  if (it == registry.points.end()) return;
+  registry.points.erase(it);
+  ArmedCount().fetch_sub(1, std::memory_order_release);
+}
+
+void DisarmAllFailpoints() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  ArmedCount().fetch_sub(static_cast<int>(registry.points.size()),
+                         std::memory_order_release);
+  registry.points.clear();
+}
+
+int64_t FailpointHits(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.hits;
+}
+
+bool AnyFailpointArmed() {
+  return ArmedCount().load(std::memory_order_acquire) > 0;
+}
+
+Status EvaluateFailpoint(std::string_view name) {
+  if (!AnyFailpointArmed()) return OkStatus();
+  FailpointAction fired;
+  bool fire = false;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.points.find(name);
+    if (it == registry.points.end()) return OkStatus();
+    FailpointState& state = it->second;
+    const int64_t hit = state.hits++;
+    fire = hit >= state.skip &&
+           (state.count < 0 || hit < state.skip + state.count);
+    if (fire) fired = state.action;
+  }
+  if (!fire) return OkStatus();
+  switch (fired.kind) {
+    case FailpointAction::Kind::kError:
+      return fired.error;
+    case FailpointAction::Kind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(fired.delay_ms));
+      return OkStatus();
+    case FailpointAction::Kind::kThrow:
+      throw std::runtime_error(fired.message);
+  }
+  return OkStatus();
+}
+
+}  // namespace tpa

@@ -1,0 +1,110 @@
+#ifndef TPA_UTIL_FAILPOINT_H_
+#define TPA_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace tpa {
+
+/// Deterministic fault injection for tests.
+///
+/// A failpoint is a named site in the serving / propagation code where a
+/// test can arm an action — return an error Status, sleep for a fixed
+/// delay, or throw an exception — with deterministic skip/count gating
+/// (fire on the (skip+1)-th hit, then `count` more times).  Production
+/// builds compile the sites to nothing: the TPA_FAILPOINT* macros expand
+/// to no-ops unless the build sets TPA_FAILPOINTS_ENABLED (CMake option
+/// TPA_FAILPOINTS=ON).  Even in failpoint builds the disarmed fast path is
+/// one relaxed atomic load of a global counter.
+///
+/// Registry functions are thread-safe; tests typically arm in the test
+/// body and DisarmAllFailpoints() in TearDown.
+
+/// What an armed failpoint does when it fires.
+struct FailpointAction {
+  enum class Kind : uint8_t {
+    /// EvaluateFailpoint returns this error Status.
+    kError,
+    /// Sleep for `delay_ms`, then proceed normally (deterministic way to
+    /// make a deadline expire mid-query).
+    kDelay,
+    /// Throw std::runtime_error(message) — exercises the engines'
+    /// exception containment.
+    kThrow,
+  };
+  Kind kind = Kind::kError;
+  Status error;          // kError
+  int delay_ms = 0;      // kDelay
+  std::string message;   // kThrow
+
+  static FailpointAction Error(Status status) {
+    FailpointAction action;
+    action.kind = Kind::kError;
+    action.error = std::move(status);
+    return action;
+  }
+  static FailpointAction Delay(int delay_ms) {
+    FailpointAction action;
+    action.kind = Kind::kDelay;
+    action.delay_ms = delay_ms;
+    return action;
+  }
+  static FailpointAction Throw(std::string message) {
+    FailpointAction action;
+    action.kind = Kind::kThrow;
+    action.message = std::move(message);
+    return action;
+  }
+};
+
+/// Arms `name`: the action fires on hits skip+1 .. skip+count (count < 0 =
+/// every hit after the skips).  Re-arming a name replaces its state.
+void ArmFailpoint(std::string_view name, FailpointAction action,
+                  int skip = 0, int count = -1);
+
+/// Disarms `name` (no-op when not armed).
+void DisarmFailpoint(std::string_view name);
+
+/// Disarms everything (test teardown).
+void DisarmAllFailpoints();
+
+/// Total hits `name` has seen since it was (last) armed — counts every
+/// evaluation at the site, fired or not.  0 when not armed.
+int64_t FailpointHits(std::string_view name);
+
+/// Evaluates the site `name`: fires the armed action if its skip/count
+/// window says so.  kError → returns the error; kDelay → sleeps, returns
+/// OK; kThrow → throws std::runtime_error.  Disarmed (the common case) →
+/// returns OK via the atomic fast path.
+Status EvaluateFailpoint(std::string_view name);
+
+/// True when any failpoint is armed (the fast-path predicate, exposed for
+/// tests).
+bool AnyFailpointArmed();
+
+}  // namespace tpa
+
+/// Failpoint site macros.  TPA_FAILPOINT is for Status-returning contexts
+/// (propagates an injected error); TPA_FAILPOINT_HIT is for void/hot
+/// contexts (honors delays and throws, discards injected error Statuses).
+#if defined(TPA_FAILPOINTS_ENABLED)
+#define TPA_FAILPOINT(name) \
+  TPA_RETURN_IF_ERROR(::tpa::EvaluateFailpoint(name))
+#define TPA_FAILPOINT_HIT(name)                   \
+  do {                                            \
+    (void)::tpa::EvaluateFailpoint(name);         \
+  } while (0)
+#else
+#define TPA_FAILPOINT(name) \
+  do {                      \
+  } while (0)
+#define TPA_FAILPOINT_HIT(name) \
+  do {                          \
+  } while (0)
+#endif
+
+#endif  // TPA_UTIL_FAILPOINT_H_

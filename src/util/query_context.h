@@ -1,0 +1,106 @@
+#ifndef TPA_UTIL_QUERY_CONTEXT_H_
+#define TPA_UTIL_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+
+#include "util/status.h"
+
+namespace tpa {
+
+/// Cooperative abort + degradation contract for one running query.
+///
+/// A QueryContext threads from the engines through RwrMethod::Query* into
+/// the CPI propagation loops, which poll it at iteration boundaries: when
+/// the deadline passes or the cancel flag flips, the loop stops within one
+/// iteration.  What happens next is the caller's choice:
+///
+///   - degrade_to_partial == false (default): the query fails with
+///     kDeadlineExceeded / kCancelled and the partial iterate is discarded.
+///   - degrade_to_partial == true: the current iterate is returned as an
+///     ε-certified approximate answer — `error_bound` carries the certified
+///     remaining-mass L1 bound (the substochastic geometric tail of the
+///     iterations that never ran), so the caller knows exactly how far the
+///     partial result can be from the converged one.
+///
+/// A null QueryContext* is the NullObserver of this scheme: every hot loop
+/// takes `context = nullptr` and the check compiles down to one untaken
+/// branch per iteration — the happy path costs nothing.
+///
+/// The struct is not synchronized; one query owns it for the duration of
+/// the call.  Only `cancel` may be flipped from other threads (it is read
+/// with relaxed atomics), which is how QueryTicket::Cancel() reaches a
+/// query that is already running.
+struct QueryContext {
+  // --- Inputs (set by the caller before the query runs) ---
+
+  /// Absolute deadline; the loop aborts at the first iteration boundary
+  /// past it.  nullopt = no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// External cancel flag (not owned; must outlive the query).  The loop
+  /// aborts at the first iteration boundary where it reads true.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Abort as a partial result with a certified error bound instead of an
+  /// error status (the degradation contract above).
+  bool degrade_to_partial = false;
+  /// Run at least this many propagation iterations before honoring an
+  /// abort — a degraded answer from an already-expired deadline still
+  /// carries some propagation mass instead of the bare restart vector.
+  int min_iterations = 0;
+
+  // --- Outputs (written by the propagation loop on abort) ---
+
+  /// True when the loop stopped before convergence because of this context.
+  bool aborted = false;
+  /// kCancelled or kDeadlineExceeded when aborted, kOk otherwise.
+  StatusCode abort_code = StatusCode::kOk;
+  /// Propagation iteration after which the loop stopped (-1 = no abort).
+  int aborted_at_iteration = -1;
+  /// Certified L1 bound on ‖partial − converged‖₁ for the returned iterate
+  /// (remaining geometric mass), valid when aborted.
+  double error_bound = 0.0;
+
+  /// Polls the abort inputs: kCancelled / kDeadlineExceeded when the query
+  /// should stop now, kOk otherwise.  Cheap enough for per-iteration use.
+  StatusCode AbortNow() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return StatusCode::kCancelled;
+    }
+    if (deadline.has_value() &&
+        std::chrono::steady_clock::now() >= *deadline) {
+      return StatusCode::kDeadlineExceeded;
+    }
+    return StatusCode::kOk;
+  }
+
+  /// The error Status matching the recorded abort_code.
+  Status AbortStatus() const {
+    switch (abort_code) {
+      case StatusCode::kCancelled:
+        return CancelledError("query cancelled");
+      case StatusCode::kDeadlineExceeded:
+        return DeadlineExceededError("query deadline exceeded");
+      default:
+        return OkStatus();
+    }
+  }
+};
+
+/// Entry check for query paths without mid-flight abort support: fails up
+/// front when the context is already cancelled / past its deadline (and
+/// records the abort in the context), succeeds otherwise.  Null context =
+/// OK.
+inline Status CheckQueryContext(QueryContext* context) {
+  if (context == nullptr) return OkStatus();
+  const StatusCode code = context->AbortNow();
+  if (code == StatusCode::kOk) return OkStatus();
+  context->aborted = true;
+  context->abort_code = code;
+  context->aborted_at_iteration = 0;
+  return context->AbortStatus();
+}
+
+}  // namespace tpa
+
+#endif  // TPA_UTIL_QUERY_CONTEXT_H_

@@ -4,6 +4,7 @@
 
 #include "util/check.h"
 
+#include <atomic>
 #include <cmath>
 #include <string>
 
@@ -299,6 +300,132 @@ TEST(CpiAdaptiveTest, ReusedWorkspaceIsBitwiseStable) {
           << "window " << w << " node " << i;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative aborts: a context-stopped run is not "roughly" the prefix of
+// the computation — it is *exactly* the run a fresh terminal_iteration
+// bound would have produced, and its certified bound really covers the
+// truncated tail.  Both properties hold in every build (no failpoints
+// involved).
+
+/// A context that aborts (kCancelled) at the first poll after
+/// `min_iterations` — the pre-set cancel flag makes the abort land at a
+/// deterministic iteration.
+struct AbortPlan {
+  std::atomic<bool> cancel{true};
+  QueryContext context;
+  explicit AbortPlan(int at_iteration) {
+    context.cancel = &cancel;
+    context.min_iterations = at_iteration;
+  }
+};
+
+TEST(CpiAbortTest, AbortedIterateIsBitwiseTheFreshTerminalRun) {
+  Graph graph = TestGraph();
+  CpiOptions options;
+  options.tolerance = 1e-12;
+
+  for (int i : {0, 1, 3, 7}) {
+    AbortPlan plan(i);
+    auto aborted = Cpi::Run(graph, {11}, options, nullptr, &plan.context);
+    ASSERT_TRUE(aborted.ok());
+    EXPECT_EQ(aborted->abort_code, StatusCode::kCancelled);
+    EXPECT_FALSE(aborted->converged);
+    EXPECT_TRUE(plan.context.aborted);
+    EXPECT_EQ(plan.context.abort_code, StatusCode::kCancelled);
+    EXPECT_EQ(plan.context.aborted_at_iteration, i);
+
+    CpiOptions fresh = options;
+    fresh.terminal_iteration = i;
+    auto reference = Cpi::Run(graph, {11}, fresh);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(aborted->last_iteration, reference->last_iteration);
+    EXPECT_EQ(aborted->last_interim_norm, reference->last_interim_norm);
+    ASSERT_EQ(aborted->scores.size(), reference->scores.size());
+    for (size_t j = 0; j < reference->scores.size(); ++j) {
+      ASSERT_EQ(aborted->scores[j], reference->scores[j])
+          << "iteration " << i << " node " << j;
+    }
+  }
+}
+
+TEST(CpiAbortTest, ErrorBoundCoversTrueGapToConvergedOracle) {
+  Graph graph = TestGraph();
+  CpiOptions options;
+  options.tolerance = 1e-10;
+  auto oracle = Cpi::Run(graph, {42}, options);
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_TRUE(oracle->converged);
+
+  for (int i : {0, 2, 5, 10}) {
+    AbortPlan plan(i);
+    auto aborted = Cpi::Run(graph, {42}, options, nullptr, &plan.context);
+    ASSERT_TRUE(aborted.ok());
+    ASSERT_EQ(aborted->abort_code, StatusCode::kCancelled);
+    const double gap = la::L1Distance(aborted->scores, oracle->scores);
+    EXPECT_GT(aborted->remaining_mass_bound, 0.0);
+    EXPECT_LE(gap, aborted->remaining_mass_bound)
+        << "bound does not cover the truncated tail at iteration " << i;
+    EXPECT_EQ(aborted->remaining_mass_bound, plan.context.error_bound);
+    // The bound stays honest, not vacuous: geometric, so within a decay
+    // factor of the mass actually left on the table.
+    EXPECT_LT(aborted->remaining_mass_bound, 1.0);
+  }
+}
+
+TEST(CpiAbortTest, BatchAbortMatchesScalarAbortBitwise) {
+  Graph graph = TestGraph();
+  CpiOptions options;
+  options.tolerance = 1e-12;
+  const std::vector<NodeId> seeds = {7, 23, 99, 150};
+
+  // Seeds 1 and 3 abort at different iterations; 0 and 2 run to
+  // convergence inside the same shared-SpMM batch.
+  AbortPlan plan1(2);
+  AbortPlan plan3(5);
+  const std::vector<QueryContext*> contexts = {nullptr, &plan1.context,
+                                               nullptr, &plan3.context};
+  auto block = Cpi::RunBatch(graph, seeds, options, nullptr, contexts);
+  ASSERT_TRUE(block.ok());
+  EXPECT_TRUE(plan1.context.aborted);
+  EXPECT_EQ(plan1.context.aborted_at_iteration, 2);
+  EXPECT_TRUE(plan3.context.aborted);
+  EXPECT_EQ(plan3.context.aborted_at_iteration, 5);
+
+  for (size_t b = 0; b < seeds.size(); ++b) {
+    AbortPlan scalar_plan(b == 1 ? 2 : 5);
+    QueryContext* scalar_context =
+        (b == 1 || b == 3) ? &scalar_plan.context : nullptr;
+    auto scalar =
+        Cpi::Run(graph, {seeds[b]}, options, nullptr, scalar_context);
+    ASSERT_TRUE(scalar.ok());
+    for (NodeId r = 0; r < graph.num_nodes(); ++r) {
+      ASSERT_EQ(block->At(r, b), scalar->scores[r])
+          << "seed " << seeds[b] << " node " << r;
+    }
+  }
+  // The batch records per-seed bounds identical to the scalar runs'.
+  AbortPlan scalar1(2);
+  auto scalar = Cpi::Run(graph, {seeds[1]}, options, nullptr,
+                         &scalar1.context);
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(plan1.context.error_bound, scalar1.context.error_bound);
+}
+
+TEST(CpiAbortTest, ConvergenceOutranksAbort) {
+  // A pre-expired deadline on a run that converges at iteration 0 (seed
+  // with tolerance above c) still yields the converged answer, unaborted.
+  Graph graph = TestGraph();
+  CpiOptions options;
+  options.tolerance = 0.5;  // x(0) norm is c = 0.15 < 0.5: instant converge
+  QueryContext context;
+  context.deadline = std::chrono::steady_clock::time_point{};  // long past
+  auto result = Cpi::Run(graph, {3}, options, nullptr, &context);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_EQ(result->abort_code, StatusCode::kOk);
+  EXPECT_FALSE(context.aborted);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -14,6 +15,7 @@
 
 #include "core/tpa.h"
 #include "graph/generators.h"
+#include "la/vector_ops.h"
 #include "method/registry.h"
 #include "method/rwr_method.h"
 #include "method/tpa_method.h"
@@ -70,7 +72,10 @@ class GateMethod final : public RwrMethod {
     return OkStatus();
   }
 
-  StatusOr<std::vector<double>> Query(NodeId seed) override {
+  StatusOr<std::vector<double>> Query(NodeId seed,
+                                      QueryContext* context = nullptr)
+      override {
+    (void)context;
     gate_->Await();
     std::vector<double> scores(num_nodes_, 0.0);
     scores[seed] = 1.0;
@@ -606,6 +611,276 @@ TEST(AsyncQueryEngineTest, WorkspacePopulationStaysWithinPoolSize) {
   EXPECT_GE(pool.created(), 1u);
   EXPECT_LE(pool.created(), 2u) << "workspaces must not exceed pool size";
   EXPECT_EQ(pool.available(), pool.created());  // all returned at quiescence
+}
+
+TEST(AsyncQueryEngineTest, ShutdownWakesBlockedSubmittersCleanly) {
+  // Regression: kBlock submitters parked on the admission queue used to
+  // reference engine members after waking — a shutdown racing the wakeup
+  // could free those members under them.  Blocked submitters must wake on
+  // Shutdown, fail their tickets cleanly, and touch only the admission
+  // block (which they keep alive themselves) even while the engine object
+  // is being destroyed.
+  Graph graph = ServingGraph();
+  auto gate = std::make_shared<GateMethod::Gate>();
+
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = 1;
+  AsyncQueryEngineOptions async_options;
+  async_options.queue_capacity = 1;
+  async_options.max_inflight_jobs = 1;
+  async_options.queue_full_policy = QueueFullPolicy::kBlock;
+  auto created = AsyncQueryEngine::Create(
+      graph, std::make_unique<GateMethod>(gate), engine_options,
+      async_options);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<AsyncQueryEngine> engine = std::move(created).value();
+
+  QueryTicket running = engine->Submit(1);  // occupies the only job slot
+  AwaitDispatched(running);
+  QueryTicket queued = engine->Submit(2);  // fills the 1-slot queue
+
+  constexpr int kBlocked = 8;
+  std::atomic<int> callbacks{0};
+  std::atomic<int> entered{0};
+  std::vector<QueryTicket> blocked(kBlocked);
+  std::vector<std::thread> submitters;
+  // The submitters hold a raw pointer: the object under test is
+  // Submit-racing-destructor, and reading the unique_ptr itself while the
+  // destroyer resets it would be a (test-local) data race of its own.
+  AsyncQueryEngine* raw_engine = engine.get();
+  for (int i = 0; i < kBlocked; ++i) {
+    submitters.emplace_back([&, i] {
+      SubmitOptions options;
+      options.on_complete = [&](const QueryResult&) { callbacks.fetch_add(1); };
+      entered.fetch_add(1);
+      blocked[i] = raw_engine->Submit(static_cast<NodeId>(3 + i), options);
+      blocked[i].Wait();
+    });
+  }
+  while (entered.load() < kBlocked) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  std::this_thread::sleep_for(milliseconds(50));  // let them park on the queue
+
+  // Destroy the engine while the submitters are parked: Shutdown wakes
+  // them, then drains the admitted work (which needs the gate open).
+  std::thread destroyer([&] { engine.reset(); });
+  std::this_thread::sleep_for(milliseconds(20));
+  gate->Open();
+  destroyer.join();
+  for (std::thread& submitter : submitters) submitter.join();
+
+  // Nothing hung, every blocked submitter got a cleanly failed ticket with
+  // its callback fired exactly once, and the admitted work was drained.
+  EXPECT_EQ(callbacks.load(), kBlocked);
+  for (int i = 0; i < kBlocked; ++i) {
+    ASSERT_TRUE(blocked[i].valid()) << "ticket " << i;
+    ASSERT_TRUE(blocked[i].done()) << "ticket " << i;
+    EXPECT_EQ(blocked[i].Wait().status.code(), StatusCode::kFailedPrecondition)
+        << "ticket " << i;
+  }
+  EXPECT_TRUE(running.Wait().status.ok());
+  EXPECT_TRUE(queued.Wait().status.ok());
+}
+
+TEST(AsyncQueryEngineTest, CancelRunningTicketIsACooperativeRequest) {
+  // GateMethod never polls its QueryContext, so cancelling a *running*
+  // ticket is a request, not a guarantee: Cancel returns true (the request
+  // was delivered), and the ticket still completes exactly once through
+  // the serving path with whatever the method produced.
+  Graph graph = ServingGraph();
+  auto gate = std::make_shared<GateMethod::Gate>();
+
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = 1;
+  auto async = AsyncQueryEngine::Create(
+      graph, std::make_unique<GateMethod>(gate), engine_options, {});
+  ASSERT_TRUE(async.ok());
+
+  std::atomic<int> callbacks{0};
+  SubmitOptions options;
+  options.on_complete = [&](const QueryResult&) { callbacks.fetch_add(1); };
+  QueryTicket running = (*async)->Submit(1, options);
+  AwaitDispatched(running);
+
+  EXPECT_TRUE(running.Cancel());   // delivered to the running query
+  EXPECT_FALSE(running.done());    // ...which has not honored it yet
+  gate->Open();
+  const QueryResult& result = running.Wait();
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.scores[1], 1.0);
+  EXPECT_EQ(callbacks.load(), 1);
+
+  const auto stats = (*async)->stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.cancelled, 0u);  // queue-phase counter stays untouched
+}
+
+TEST(AsyncQueryEngineTest, OverloadDegradesPastDeadlineIntoCertifiedPartial) {
+  Graph graph = ServingGraph();
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = 2;
+  AsyncQueryEngineOptions async_options;
+  async_options.degradation.enabled = true;  // watermark 0: always overloaded
+  async_options.degradation.min_iterations = 3;
+  auto async = AsyncQueryEngine::Create(graph, std::make_unique<TpaMethod>(),
+                                        engine_options, async_options);
+  ASSERT_TRUE(async.ok()) << async.status();
+
+  auto oracle =
+      QueryEngine::Create(graph, std::make_unique<TpaMethod>(), {});
+  ASSERT_TRUE(oracle.ok());
+
+  for (NodeId seed : {NodeId{5}, NodeId{77}, NodeId{201}}) {
+    SubmitOptions options;
+    options.deadline = steady_clock::now() - milliseconds(1);
+    QueryTicket ticket = (*async)->Submit(seed, options);
+    ASSERT_TRUE(ticket.WaitFor(kWaitBudget));
+    const QueryResult& result = ticket.Wait();
+    // Under the degradation policy an expired deadline yields a *bounded
+    // partial*, not an error: OK status, degraded flag, and a certified
+    // error bound that covers the true L1 gap to the converged answer.
+    ASSERT_TRUE(result.status.ok()) << result.status;
+    ASSERT_TRUE(result.degraded) << "seed " << seed;
+    EXPECT_EQ(result.degrade_reason, StatusCode::kDeadlineExceeded);
+    ASSERT_FALSE(result.scores.empty());
+    ASSERT_GT(result.error_bound, 0.0);
+    ASSERT_LT(result.error_bound, 1.0);
+
+    const QueryResult exact = oracle->Query(seed);
+    ASSERT_TRUE(exact.status.ok());
+    EXPECT_LE(la::L1Distance(result.scores, exact.scores), result.error_bound)
+        << "seed " << seed;
+    EXPECT_NE(result.scores, exact.scores)  // genuinely partial
+        << "seed " << seed;
+  }
+
+  const auto stats = (*async)->stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.degraded, 3u);
+  EXPECT_EQ(stats.expired, 0u);  // degradation replaced outright expiry
+  EXPECT_GT(stats.deadline_miss_rate, 0.0);
+}
+
+TEST(AsyncQueryEngineTest, DegradedPartialsNeverEnterTheSharedCache) {
+  Graph graph = ServingGraph();
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = 1;
+  engine_options.cache_capacity = 8;
+  AsyncQueryEngineOptions async_options;
+  async_options.degradation.enabled = true;
+  async_options.degradation.min_iterations = 2;
+  auto async = AsyncQueryEngine::Create(graph, std::make_unique<TpaMethod>(),
+                                        engine_options, async_options);
+  ASSERT_TRUE(async.ok()) << async.status();
+
+  SubmitOptions expired;
+  expired.deadline = steady_clock::now() - milliseconds(1);
+  QueryTicket partial = (*async)->Submit(9, expired);
+  ASSERT_TRUE(partial.Wait().status.ok());
+  ASSERT_TRUE(partial.Wait().degraded);
+  EXPECT_EQ((*async)->engine().cache_stats().entries, 0u)
+      << "a degraded partial must never be deposited as an exact answer";
+
+  // The next query for the same seed runs fresh, converges, and is the
+  // one that populates the cache.
+  QueryTicket full = (*async)->Submit(9);
+  const QueryResult& converged = full.Wait();
+  ASSERT_TRUE(converged.status.ok());
+  EXPECT_FALSE(converged.degraded);
+  EXPECT_FALSE(converged.from_cache);
+  EXPECT_EQ((*async)->engine().cache_stats().entries, 1u);
+
+  auto oracle = QueryEngine::Create(graph, std::make_unique<TpaMethod>(), {});
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(converged.scores, oracle->Query(9).scores);
+
+  QueryTicket warm = (*async)->Submit(9);
+  EXPECT_TRUE(warm.Wait().from_cache);
+  EXPECT_EQ(warm.Wait().scores, converged.scores);
+}
+
+TEST(AsyncQueryEngineTest, ShedToFp32ServesFromTheFloatTier) {
+  Graph graph = ServingGraph();
+
+  AsyncQueryEngineOptions shed_options;
+  shed_options.degradation.enabled = true;
+  shed_options.degradation.shed_to_fp32 = true;
+  shed_options.degradation.min_iterations = 2;
+
+  // Create() cannot build the second method instance the fp32 tier needs.
+  auto direct = AsyncQueryEngine::Create(graph, std::make_unique<TpaMethod>(),
+                                         {}, shed_options);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(direct.status().code(), StatusCode::kInvalidArgument);
+
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = 1;
+  auto async = AsyncQueryEngine::CreateFromRegistry(graph, "TPA", {},
+                                                    engine_options,
+                                                    shed_options);
+  ASSERT_TRUE(async.ok()) << async.status();
+
+  // Overloaded (watermark 0) + shed tier: the query routes to fp32.  With
+  // no deadline or cancel the context never trips, so the shed answer is
+  // the fully converged fp32 iterate.
+  QueryTicket shed = (*async)->Submit(21);
+  const QueryResult& result = shed.Wait();
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_TRUE(result.shed_to_fp32);
+  EXPECT_FALSE(result.degraded);
+  ASSERT_FALSE(result.scores_f32.empty());
+  EXPECT_TRUE(result.scores.empty());
+
+  auto oracle = QueryEngine::Create(graph, std::make_unique<TpaMethod>(), {});
+  ASSERT_TRUE(oracle.ok());
+  const QueryResult exact = oracle->Query(21);
+  ASSERT_TRUE(exact.status.ok());
+  double gap = 0.0;
+  ASSERT_EQ(result.scores_f32.size(), exact.scores.size());
+  for (size_t i = 0; i < exact.scores.size(); ++i) {
+    gap += std::abs(static_cast<double>(result.scores_f32[i]) -
+                    exact.scores[i]);
+  }
+  EXPECT_LT(gap, 1e-3);  // fp32 tier tracks the fp64 answer
+
+  // An expired deadline on the shed tier still degrades with a bound.
+  SubmitOptions options;
+  options.deadline = steady_clock::now() - milliseconds(1);
+  QueryTicket bounded = (*async)->Submit(33, options);
+  const QueryResult& partial = bounded.Wait();
+  ASSERT_TRUE(partial.status.ok()) << partial.status;
+  EXPECT_TRUE(partial.shed_to_fp32);
+  EXPECT_TRUE(partial.degraded);
+  EXPECT_GT(partial.error_bound, 0.0);
+
+  const auto stats = (*async)->stats();
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.degraded, 1u);
+}
+
+TEST(AsyncQueryEngineTest, ValidatesDegradationPolicy) {
+  Graph graph = ServingGraph();
+
+  AsyncQueryEngineOptions bad_watermark;
+  bad_watermark.degradation.enabled = true;
+  bad_watermark.degradation.queue_watermark = 1.5;
+  EXPECT_FALSE(AsyncQueryEngine::Create(graph, std::make_unique<TpaMethod>(),
+                                        {}, bad_watermark)
+                   .ok());
+
+  AsyncQueryEngineOptions bad_min_iterations;
+  bad_min_iterations.degradation.enabled = true;
+  bad_min_iterations.degradation.min_iterations = -1;
+  EXPECT_FALSE(AsyncQueryEngine::Create(graph, std::make_unique<TpaMethod>(),
+                                        {}, bad_min_iterations)
+                   .ok());
+
+  AsyncQueryEngineOptions shed_without_enable;
+  shed_without_enable.degradation.shed_to_fp32 = true;
+  EXPECT_FALSE(AsyncQueryEngine::Create(graph, std::make_unique<TpaMethod>(),
+                                        {}, shed_without_enable)
+                   .ok());
 }
 
 }  // namespace

@@ -64,6 +64,34 @@ TEST(ResultCacheTest, BothBoundsZeroCachesNothing) {
   EXPECT_EQ(cache.Get(1), nullptr);
 }
 
+TEST(ResultCacheTest, RefusesPartialAndMalformedEntries) {
+  // Regression: a degraded partial deposited as an exact answer would be
+  // replayed to every later query for the same seed.  The cache is the
+  // second line of defense (serving already bypasses it for degraded
+  // results) and must silently refuse partial-tagged, null, and
+  // payload-less entries.
+  ResultCache cache(/*capacity=*/4);
+
+  CachedResult tagged = CachedResult::Dense(std::vector<double>(4, 1.0));
+  tagged.partial = true;
+  cache.Put(1, std::make_shared<const CachedResult>(std::move(tagged)));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+
+  cache.Put(2, nullptr);
+  cache.Put(3, std::make_shared<const CachedResult>());  // no payload
+  CachedResult empty_topk =
+      CachedResult::TopKOnly(la::Precision::kFloat64, {});
+  cache.Put(4, std::make_shared<const CachedResult>(std::move(empty_topk)));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+
+  // A well-formed entry for a previously refused key still lands.
+  cache.Put(1, MakeEntry(1, 4));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.Get(1), nullptr);
+}
+
 TEST(ResultCacheTest, ConcurrentStormKeepsStatsAndBoundsConsistent) {
   // The async engine probes and fills this cache from every pool worker at
   // once.  N threads × mixed key popularity × varied entry sizes under a

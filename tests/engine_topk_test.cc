@@ -42,14 +42,18 @@ class CountingTpaMethod final : public RwrMethod {
   Status Preprocess(const Graph& graph, MemoryBudget& budget) override {
     return inner_.Preprocess(graph, budget);
   }
-  StatusOr<std::vector<double>> Query(NodeId seed) override {
+  StatusOr<std::vector<double>> Query(NodeId seed,
+                                      QueryContext* context = nullptr)
+      override {
     counters_->query.fetch_add(1, std::memory_order_relaxed);
-    return inner_.Query(seed);
+    return inner_.Query(seed, context);
   }
-  StatusOr<TopKQueryResult> QueryTopK(
-      NodeId seed, int k, const TopKQueryOptions& options = {}) override {
+  StatusOr<TopKQueryResult> QueryTopK(NodeId seed, int k,
+                                      const TopKQueryOptions& options = {},
+                                      QueryContext* context = nullptr)
+      override {
     counters_->query_topk.fetch_add(1, std::memory_order_relaxed);
-    return inner_.QueryTopK(seed, k, options);
+    return inner_.QueryTopK(seed, k, options, context);
   }
   bool SupportsTopKQuery() const override { return true; }
   bool SupportsConcurrentQuery() const override { return true; }
