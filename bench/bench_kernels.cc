@@ -29,6 +29,7 @@
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -335,7 +336,7 @@ std::vector<PrecisionRow> RunPrecisionSweep(const SweepArgs& args,
     // in-loop division), bitwise-identical to the explicit values timed
     // above.
     const la::CsrStructure& out = graph->Transition().structure();
-    const std::vector<uint64_t>& out_offsets = *out.row_offsets;
+    const std::span<const uint64_t> out_offsets = out.row_offsets.span();
     std::vector<double> scales64(graph->num_nodes(), 0.0);
     std::vector<float> scales32(graph->num_nodes(), 0.0f);
     for (uint32_t r = 0; r < graph->num_nodes(); ++r) {

@@ -85,6 +85,39 @@ StatusOr<Tpa> Tpa::Preprocess(const Graph& graph, const TpaOptions& options) {
   return Tpa(&graph, options, {}, std::move(result.scores), std::move(order));
 }
 
+StatusOr<Tpa> Tpa::FromPreprocessedState(const Graph& graph,
+                                         const TpaOptions& options,
+                                         std::vector<double> stranger,
+                                         std::vector<float> stranger_f,
+                                         std::vector<NodeId> stranger_order) {
+  TPA_RETURN_IF_ERROR(ValidateTpaOptions(options));
+  const size_t n = graph.num_nodes();
+  const bool fp64 = graph.value_precision() == la::Precision::kFloat64;
+  if (fp64 && (stranger.size() != n || !stranger_f.empty())) {
+    return InvalidArgumentError(
+        "fp64 preprocessed state requires an n-length fp64 stranger tail "
+        "and no fp32 tail");
+  }
+  if (!fp64 && (stranger_f.size() != n || !stranger.empty())) {
+    return InvalidArgumentError(
+        "fp32 preprocessed state requires an n-length fp32 stranger tail "
+        "and no fp64 tail");
+  }
+  if (stranger_order.size() != n) {
+    return InvalidArgumentError("stranger order must rank all n nodes");
+  }
+  std::vector<bool> seen(n, false);
+  for (const NodeId node : stranger_order) {
+    if (node >= n || seen[node]) {
+      return InvalidArgumentError(
+          "stranger order is not a permutation of the node ids");
+    }
+    seen[node] = true;
+  }
+  return Tpa(&graph, options, std::move(stranger), std::move(stranger_f),
+             std::move(stranger_order));
+}
+
 double Tpa::NeighborScale() const {
   const double decay = 1.0 - options_.restart_probability;
   const double ds = std::pow(decay, options_.family_window);

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/cpi.h"
@@ -14,6 +15,11 @@
 #include "util/status.h"
 
 namespace tpa {
+
+namespace snapshot {
+struct LoadedSnapshot;
+struct LoadOptions;
+}  // namespace snapshot
 
 /// TPA parameters.  The defaults are the paper's global settings; S and T
 /// are tuned per dataset (Table II) and available through DatasetSpec.
@@ -69,6 +75,29 @@ class Tpa {
   /// the graph's precision tier.
   static StatusOr<Tpa> Preprocess(const Graph& graph,
                                   const TpaOptions& options);
+
+  /// Reassembles a preprocessed instance from previously computed state —
+  /// the snapshot load path.  Validates the options and that exactly the
+  /// graph's tier is populated with n-length arrays; every query against
+  /// the result is bitwise-identical to one against the Preprocess run that
+  /// produced the arrays.  Like Preprocess, borrows the graph.
+  static StatusOr<Tpa> FromPreprocessedState(
+      const Graph& graph, const TpaOptions& options,
+      std::vector<double> stranger, std::vector<float> stranger_f,
+      std::vector<NodeId> stranger_order);
+
+  /// Serializes this instance's full serving state (graph included) into a
+  /// versioned, checksummed snapshot file — see snapshot::WriteSnapshot.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Opens a snapshot written by SaveSnapshot and reassembles the serving
+  /// state (graph + preprocessed Tpa) — see snapshot::LoadSnapshot.  The
+  /// overload without options maps the file and verifies checksums (the
+  /// defaults).
+  static StatusOr<snapshot::LoadedSnapshot> LoadSnapshot(
+      const std::string& path);
+  static StatusOr<snapshot::LoadedSnapshot> LoadSnapshot(
+      const std::string& path, const snapshot::LoadOptions& options);
 
   /// Algorithm 3: approximate RWR vector for `seed`.
   /// CHECK-fails on an out-of-range seed (programming error).
@@ -179,6 +208,9 @@ class Tpa {
   }
 
   const TpaOptions& options() const { return options_; }
+
+  /// The graph this instance was preprocessed against (borrowed).
+  const Graph& graph() const { return *graph_; }
 
   /// Installs (or clears) the fork-join runner used by QueryBatch's dense
   /// tail.  Queries already in flight keep the runner they started with;

@@ -79,6 +79,8 @@ StatusOr<BenchArgs> BenchArgs::Parse(int argc, char** argv) {
           static_cast<size_t>(std::atoll(value.c_str())) << 20;
     } else if (flag == "--csv") {
       TPA_ASSIGN_OR_RETURN(args.csv_path, next_value());
+    } else if (flag == "--json") {
+      TPA_ASSIGN_OR_RETURN(args.json_path, next_value());
     } else if (flag == "--datasets") {
       TPA_ASSIGN_OR_RETURN(std::string value, next_value());
       std::stringstream ss(value);
@@ -88,7 +90,7 @@ StatusOr<BenchArgs> BenchArgs::Parse(int argc, char** argv) {
       }
     } else if (flag == "--help" || flag == "-h") {
       std::cout << "flags: --scale F  --seeds N  --budget-mb N  --csv PATH"
-                   "  --datasets a,b,c\n";
+                   "  --json PATH  --datasets a,b,c\n";
       std::exit(0);
     } else {
       return InvalidArgumentError("unknown flag: " + flag);

@@ -54,6 +54,7 @@ struct BenchArgs {
   size_t seeds = kDefaultQuerySeeds;
   size_t budget_bytes = kDefaultMemoryBudgetBytes;
   std::string csv_path;
+  std::string json_path;  // benchmark-specific machine-readable output
   std::vector<std::string> datasets;  // empty = experiment default
 
   static StatusOr<BenchArgs> Parse(int argc, char** argv);

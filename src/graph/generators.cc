@@ -40,7 +40,8 @@ StatusOr<Graph> GenerateErdosRenyi(const ErdosRenyiOptions& options) {
   return builder.Build();
 }
 
-StatusOr<Graph> GenerateRmat(const RmatOptions& options) {
+StatusOr<Graph> GenerateRmat(const RmatOptions& options,
+                             const BuildOptions& build_options) {
   if (options.edges == 0) return InvalidArgumentError("edges must be positive");
   const double a = options.a, b = options.b, c = options.c;
   const double d = 1.0 - a - b - c;
@@ -68,7 +69,7 @@ StatusOr<Graph> GenerateRmat(const RmatOptions& options) {
     }
     builder.AddEdge(u, v);
   }
-  return builder.Build();
+  return builder.Build(build_options);
 }
 
 StatusOr<Graph> GenerateDcsbm(const DcsbmOptions& options) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "graph/builder.h"
 #include "graph/graph.h"
 #include "util/status.h"
 
@@ -39,7 +40,10 @@ struct RmatOptions {
 /// Recursive-matrix (R-MAT) generator: heavy-tailed, self-similar graphs of
 /// the kind common in the graph-mining literature.  Fails on invalid
 /// probabilities (each in (0,1), a+b+c < 1) or edges == 0.
-StatusOr<Graph> GenerateRmat(const RmatOptions& options);
+/// `build_options` selects the finalized graph's precision tier, value
+/// storage, and node ordering (tpa_snapshot's build path).
+StatusOr<Graph> GenerateRmat(const RmatOptions& options,
+                             const BuildOptions& build_options = {});
 
 struct DcsbmOptions {
   NodeId nodes = 0;

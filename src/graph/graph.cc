@@ -14,7 +14,7 @@ namespace {
 /// synthesize per row, which is what pins kExplicit and kRowConstant
 /// bitwise-identical.
 template <typename V>
-std::vector<V> OutWeights(const std::vector<uint64_t>& out_offsets,
+std::vector<V> OutWeights(std::span<const uint64_t> out_offsets,
                           size_t num_edges) {
   std::vector<V> weights(num_edges);
   const size_t num_nodes = out_offsets.size() - 1;
@@ -31,8 +31,8 @@ std::vector<V> OutWeights(const std::vector<uint64_t>& out_offsets,
 /// Per-edge weights for the in-CSR: the edge (v ← u) carries
 /// 1/out-degree(u), looked up from the out offsets.
 template <typename V>
-std::vector<V> InWeights(const std::vector<uint64_t>& out_offsets,
-                         const std::vector<NodeId>& in_sources) {
+std::vector<V> InWeights(std::span<const uint64_t> out_offsets,
+                         std::span<const NodeId> in_sources) {
   std::vector<V> weights(in_sources.size());
   for (size_t e = 0; e < in_sources.size(); ++e) {
     const NodeId u = in_sources[e];
@@ -54,7 +54,7 @@ std::vector<V> InWeights(const std::vector<uint64_t>& out_offsets,
 /// as an in-CSR column, so those entries exist for indexing but are never
 /// read.
 template <typename V>
-std::vector<V> OutDegreeReciprocals(const std::vector<uint64_t>& out_offsets) {
+std::vector<V> OutDegreeReciprocals(std::span<const uint64_t> out_offsets) {
   const size_t num_nodes = out_offsets.size() - 1;
   std::vector<V> scales(num_nodes, V{0});
   for (size_t u = 0; u < num_nodes; ++u) {
@@ -102,12 +102,14 @@ Graph::Graph(const Graph& other, la::Precision tier)
 template <typename V>
 void Graph::MaterializeTierT(la::CsrMatrixT<V>& out,
                              la::CsrMatrixT<V>& in) const {
-  const std::vector<uint64_t>& out_offsets = *out_structure_.row_offsets;
+  const std::span<const uint64_t> out_offsets =
+      out_structure_.row_offsets.span();
   if (value_storage_ == ValueStorage::kExplicit) {
     out = la::CsrMatrixT<V>(out_structure_,
                             OutWeights<V>(out_offsets, out_structure_.nnz()));
-    in = la::CsrMatrixT<V>(
-        in_structure_, InWeights<V>(out_offsets, *in_structure_.col_indices));
+    in = la::CsrMatrixT<V>(in_structure_,
+                           InWeights<V>(out_offsets,
+                                        in_structure_.col_indices.span()));
   } else {
     std::vector<V> scales = OutDegreeReciprocals<V>(out_offsets);
     out = la::CsrMatrixT<V>(out_structure_, la::CsrValueMode::kRowConstant,

@@ -15,6 +15,13 @@
 
 namespace tpa {
 
+namespace snapshot {
+/// Assembles Graphs from deserialized parts (src/snapshot/) — the one friend
+/// allowed to wire pre-built value layers and mmap-backed structures into a
+/// Graph without going through GraphBuilder.
+class GraphFactory;
+}  // namespace snapshot
+
 /// Node identifier.  32 bits covers every graph this repository targets
 /// (the paper's largest graph has 68M nodes).
 using NodeId = uint32_t;
@@ -104,32 +111,32 @@ class Graph {
   void EnsureTier(la::Precision tier);
 
   uint32_t OutDegree(NodeId u) const {
-    const uint64_t* offsets = out_structure_.row_offsets->data();
+    const uint64_t* offsets = out_structure_.row_offsets.data();
     return static_cast<uint32_t>(offsets[u + 1] - offsets[u]);
   }
   uint32_t InDegree(NodeId v) const {
-    const uint64_t* offsets = in_structure_.row_offsets->data();
+    const uint64_t* offsets = in_structure_.row_offsets.data();
     return static_cast<uint32_t>(offsets[v + 1] - offsets[v]);
   }
 
   std::span<const NodeId> OutNeighbors(NodeId u) const {
-    const uint64_t* offsets = out_structure_.row_offsets->data();
-    const NodeId* targets = out_structure_.col_indices->data();
+    const uint64_t* offsets = out_structure_.row_offsets.data();
+    const NodeId* targets = out_structure_.col_indices.data();
     return {targets + offsets[u], targets + offsets[u + 1]};
   }
   std::span<const NodeId> InNeighbors(NodeId v) const {
-    const uint64_t* offsets = in_structure_.row_offsets->data();
-    const NodeId* sources = in_structure_.col_indices->data();
+    const uint64_t* offsets = in_structure_.row_offsets.data();
+    const NodeId* sources = in_structure_.col_indices.data();
     return {sources + offsets[v], sources + offsets[v + 1]};
   }
 
   /// The raw out-CSR index arrays — the adjacency view consumed by
   /// structure-only algorithms (reorder::SlashBurn).
   std::span<const uint64_t> OutOffsets() const {
-    return *out_structure_.row_offsets;
+    return out_structure_.row_offsets.span();
   }
   std::span<const NodeId> OutTargets() const {
-    return *out_structure_.col_indices;
+    return out_structure_.col_indices.span();
   }
 
   /// Ã as a weighted CSR at tier V: row u holds u's out-neighbors with
@@ -302,13 +309,17 @@ class Graph {
   Graph(const Graph& other, la::Precision tier);
   friend Graph RematerializeWithPrecision(const Graph& graph,
                                           la::Precision precision);
+  /// Snapshot load path: GraphFactory fills the fields directly from
+  /// deserialized (possibly mmap-backed) structures and value layers.
+  Graph() = default;
+  friend class snapshot::GraphFactory;
 
   template <typename V>
   void MaterializeTierT(la::CsrMatrixT<V>& out, la::CsrMatrixT<V>& in) const;
 
-  NodeId num_nodes_;
-  la::Precision precision_;
-  ValueStorage value_storage_;
+  NodeId num_nodes_ = 0;
+  la::Precision precision_ = la::Precision::kFloat64;
+  ValueStorage value_storage_ = ValueStorage::kExplicit;
   la::CsrStructure out_structure_;  // Ã topology: row u → out-neighbors
   la::CsrStructure in_structure_;   // Ã^T topology: row v → in-neighbors
   bool has_fp64_ = false;

@@ -9,14 +9,19 @@
 
 namespace tpa {
 
-/// Loads a whitespace-separated directed edge list ("u v" per line).
+/// Loads a whitespace-separated directed edge list ("u v" per line; a line
+/// must contain exactly two ids — trailing non-whitespace is malformed).
 /// Lines starting with '#' or '%' are comments (KONECT/SNAP conventions).
-/// Node ids must be < num_nodes when `num_nodes` > 0; with num_nodes == 0
-/// the node count is inferred as max id + 1.
+/// Node ids must be < num_nodes when `num_nodes` > 0.  With num_nodes == 0
+/// the count comes from SaveEdgeList's "# directed edge list: N nodes"
+/// header when present (so graphs with isolated trailing nodes round-trip
+/// at full size), else is inferred as max id + 1; an empty edge list with
+/// neither source of a count is an InvalidArgument error.
 StatusOr<Graph> LoadEdgeList(const std::string& path, NodeId num_nodes = 0,
                              const BuildOptions& options = {});
 
-/// Writes the graph as a "u v" edge list with a header comment.
+/// Writes the graph as a "u v" edge list with a node/edge-count header
+/// comment that LoadEdgeList reads back (see above).
 Status SaveEdgeList(const Graph& graph, const std::string& path);
 
 }  // namespace tpa

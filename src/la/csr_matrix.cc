@@ -20,22 +20,14 @@ CsrStructure MakeCsrStructure(uint32_t rows, uint32_t cols,
   CsrStructure structure;
   structure.rows = rows;
   structure.cols = cols;
-  structure.row_offsets =
-      std::make_shared<const std::vector<uint64_t>>(std::move(row_offsets));
-  structure.col_indices =
-      std::make_shared<const std::vector<uint32_t>>(std::move(col_indices));
+  structure.row_offsets = SharedArray<uint64_t>(std::move(row_offsets));
+  structure.col_indices = SharedArray<uint32_t>(std::move(col_indices));
   return structure;
 }
 
 size_t CsrStructureBytes(const CsrStructure& structure) {
-  size_t bytes = 0;
-  if (structure.row_offsets) {
-    bytes += structure.row_offsets->size() * sizeof(uint64_t);
-  }
-  if (structure.col_indices) {
-    bytes += structure.col_indices->size() * sizeof(uint32_t);
-  }
-  return bytes;
+  return structure.row_offsets.size() * sizeof(uint64_t) +
+         structure.col_indices.size() * sizeof(uint32_t);
 }
 
 namespace {
@@ -90,8 +82,8 @@ struct ColScaleVals {
 /// Invokes f with the value policy matching `mode` — the single runtime
 /// branch per kernel call; everything inside is mode-specialized code.
 template <typename V, typename F>
-void DispatchVals(CsrValueMode mode, const std::vector<V>& values,
-                  const std::vector<V>& scales, const uint64_t* offsets,
+void DispatchVals(CsrValueMode mode, const SharedArray<V>& values,
+                  const SharedArray<V>& scales, const uint64_t* offsets,
                   F&& f) {
   switch (mode) {
     case CsrValueMode::kExplicit:
@@ -385,19 +377,19 @@ CsrMatrixT<V>::CsrMatrixT(uint32_t rows, uint32_t cols,
                  mode, std::move(scales)) {}
 
 template <typename V>
-CsrMatrixT<V>::CsrMatrixT(CsrStructure structure, std::vector<V> values)
+CsrMatrixT<V>::CsrMatrixT(CsrStructure structure, SharedArray<V> values)
     : structure_(std::move(structure)),
       mode_(CsrValueMode::kExplicit),
       values_(std::move(values)) {
-  TPA_CHECK(structure_.row_offsets != nullptr);
+  TPA_CHECK(structure_.row_offsets.data() != nullptr);
   TPA_CHECK_EQ(structure_.nnz(), values_.size());
 }
 
 template <typename V>
 CsrMatrixT<V>::CsrMatrixT(CsrStructure structure, CsrValueMode mode,
-                          std::vector<V> scales)
+                          SharedArray<V> scales)
     : structure_(std::move(structure)), mode_(mode) {
-  TPA_CHECK(structure_.row_offsets != nullptr);
+  TPA_CHECK(structure_.row_offsets.data() != nullptr);
   if (mode_ == CsrValueMode::kExplicit) {
     // Overload resolution lands here from the legacy (rows, cols, offsets,
     // indices, values) shape when `values` is spelled `{}`: an empty braced
@@ -419,7 +411,7 @@ CsrMatrixT<V>::CsrMatrixT(CsrStructure structure, CsrValueMode mode,
 template <typename V>
 std::span<const V> CsrMatrixT<V>::RowValues(uint32_t r) const {
   TPA_CHECK(mode_ == CsrValueMode::kExplicit);
-  const uint64_t* offsets = structure_.row_offsets->data();
+  const uint64_t* offsets = structure_.row_offsets.data();
   return {values_.data() + offsets[r], values_.data() + offsets[r + 1]};
 }
 
@@ -433,7 +425,7 @@ V CsrMatrixT<V>::EdgeWeight(uint32_t r, uint64_t e) const {
                  ? static_cast<V>(1.0 / static_cast<double>(RowNnz(r)))
                  : scales_[r];
     case CsrValueMode::kColumnScale:
-      return scales_[(*structure_.col_indices)[e]];
+      return scales_[structure_.col_indices[e]];
   }
   return V{};  // unreachable
 }
@@ -443,8 +435,8 @@ void CsrMatrixT<V>::SpMv(const std::vector<V>& x, std::vector<V>& y) const {
   TPA_DCHECK(x.size() == cols());
   y.resize(rows());
   if (rows() == 0) return;
-  const uint64_t* offsets = structure_.row_offsets->data();
-  const uint32_t* indices = structure_.col_indices->data();
+  const uint64_t* offsets = structure_.row_offsets.data();
+  const uint32_t* indices = structure_.col_indices.data();
   DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
     SpMvLoop(offsets, indices, vals, rows(), nnz(), x.data(), y.data());
   });
@@ -456,8 +448,8 @@ void CsrMatrixT<V>::SpMvTranspose(const std::vector<V>& x,
   TPA_DCHECK(x.size() == rows());
   y.assign(cols(), V{0});
   if (rows() == 0) return;
-  const uint64_t* offsets = structure_.row_offsets->data();
-  const uint32_t* indices = structure_.col_indices->data();
+  const uint64_t* offsets = structure_.row_offsets.data();
+  const uint32_t* indices = structure_.col_indices.data();
   DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
     SpMvTransposeLoop(offsets, indices, vals, rows(), nnz(), x.data(),
                       y.data());
@@ -470,8 +462,8 @@ void CsrMatrixT<V>::SpMm(const DenseBlockT<V>& x, DenseBlockT<V>& y) const {
   const size_t num_vectors = x.num_vectors();
   y.Resize(rows(), num_vectors);
   if (rows() == 0) return;
-  const uint64_t* offsets = structure_.row_offsets->data();
-  const uint32_t* indices = structure_.col_indices->data();
+  const uint64_t* offsets = structure_.row_offsets.data();
+  const uint32_t* indices = structure_.col_indices.data();
   DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
     DispatchWidth(
         num_vectors,
@@ -494,8 +486,8 @@ void CsrMatrixT<V>::SpMmTranspose(const DenseBlockT<V>& x,
   y.Resize(cols(), num_vectors);
   y.SetZero();
   if (rows() == 0) return;
-  const uint64_t* offsets = structure_.row_offsets->data();
-  const uint32_t* indices = structure_.col_indices->data();
+  const uint64_t* offsets = structure_.row_offsets.data();
+  const uint32_t* indices = structure_.col_indices.data();
   DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
     DispatchWidth(
         num_vectors,
@@ -779,8 +771,8 @@ bool CsrMatrixT<V>::SpMvTransposeFrontier(const std::vector<V>& x,
   scratch.BeginEpoch(cols());
   next_frontier.clear();
   if (rows() == 0) return true;
-  const uint64_t* offsets = structure_.row_offsets->data();
-  const uint32_t* indices = structure_.col_indices->data();
+  const uint64_t* offsets = structure_.row_offsets.data();
+  const uint32_t* indices = structure_.col_indices.data();
   DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
     for (uint32_t r : frontier) {
       const V xr = x[r];
@@ -834,8 +826,8 @@ bool CsrMatrixT<V>::SpMmTransposeFrontier(const DenseBlockT<V>& x,
   next_frontier.clear();
   if (rows() == 0) return true;
   const size_t num_vectors = x.num_vectors();
-  const uint64_t* offsets = structure_.row_offsets->data();
-  const uint32_t* indices = structure_.col_indices->data();
+  const uint64_t* offsets = structure_.row_offsets.data();
+  const uint32_t* indices = structure_.col_indices.data();
   DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
     DispatchWidth(
         num_vectors,
@@ -868,8 +860,8 @@ bool CsrMatrixT<V>::SpMvFrontier(const std::vector<V>& x,
   TPA_DCHECK(y.size() == rows());
   nonzero_rows.clear();
   if (rows() == 0) return true;
-  const uint64_t* offsets = structure_.row_offsets->data();
-  const uint32_t* indices = structure_.col_indices->data();
+  const uint64_t* offsets = structure_.row_offsets.data();
+  const uint32_t* indices = structure_.col_indices.data();
   DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
     for (uint32_t r : candidates) {
       y[r] = static_cast<V>(GatherRow(offsets, indices, vals, x.data(), r));
@@ -896,8 +888,8 @@ bool CsrMatrixT<V>::SpMmFrontier(const DenseBlockT<V>& x,
   nonzero_rows.clear();
   if (rows() == 0) return true;
   const size_t num_vectors = x.num_vectors();
-  const uint64_t* offsets = structure_.row_offsets->data();
-  const uint32_t* indices = structure_.col_indices->data();
+  const uint64_t* offsets = structure_.row_offsets.data();
+  const uint32_t* indices = structure_.col_indices.data();
   DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
     DispatchWidth(
         num_vectors,
@@ -921,8 +913,8 @@ void CsrMatrixT<V>::ExpandFrontier(std::span<const uint32_t> rows_list,
   scratch.BeginEpoch(cols());
   expanded.clear();
   if (rows() == 0) return;
-  const uint64_t* offsets = structure_.row_offsets->data();
-  const uint32_t* indices = structure_.col_indices->data();
+  const uint64_t* offsets = structure_.row_offsets.data();
+  const uint32_t* indices = structure_.col_indices.data();
   for (uint32_t r : rows_list) {
     const uint64_t end = offsets[r + 1];
     for (uint64_t e = offsets[r]; e < end; ++e) {
@@ -941,9 +933,7 @@ std::vector<uint32_t> CsrMatrixT<V>::NnzBalancedColumnRanges(
     size_t num_parts) const {
   num_parts = std::max<size_t>(1, num_parts);
   std::vector<uint64_t> col_nnz(cols(), 0);
-  if (structure_.col_indices) {
-    for (uint32_t c : *structure_.col_indices) ++col_nnz[c];
-  }
+  for (uint32_t c : structure_.col_indices) ++col_nnz[c];
 
   std::vector<uint32_t> boundaries;
   boundaries.reserve(num_parts + 1);
@@ -971,8 +961,8 @@ void CsrMatrixT<V>::SpMvTransposeRange(const std::vector<V>& x,
   TPA_DCHECK(col_begin <= col_end && col_end <= cols());
   std::fill(y.begin() + col_begin, y.begin() + col_end, V{0});
   if (rows() == 0) return;
-  const uint64_t* offsets = structure_.row_offsets->data();
-  const uint32_t* indices = structure_.col_indices->data();
+  const uint64_t* offsets = structure_.row_offsets.data();
+  const uint32_t* indices = structure_.col_indices.data();
   DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
     for (uint32_t r = 0; r < rows(); ++r) {
       const V xr = x[r];
@@ -1006,8 +996,8 @@ void CsrMatrixT<V>::SpMmTransposeRange(const DenseBlockT<V>& x,
   ZeroBlockRows(y, col_begin, col_end);
   if (rows() == 0) return;
   const size_t num_vectors = x.num_vectors();
-  const uint64_t* offsets = structure_.row_offsets->data();
-  const uint32_t* indices = structure_.col_indices->data();
+  const uint64_t* offsets = structure_.row_offsets.data();
+  const uint32_t* indices = structure_.col_indices.data();
   DispatchVals<V>(mode_, values_, scales_, offsets, [&](auto vals) {
     DispatchWidth(
         num_vectors,

@@ -9,6 +9,7 @@
 
 #include "la/dense_block.h"
 #include "la/precision.h"
+#include "la/shared_array.h"
 #include "la/task_runner.h"
 
 namespace tpa::la {
@@ -50,16 +51,19 @@ enum class CsrValueMode : uint8_t {
 };
 
 /// The index structure of a CSR matrix — row offsets plus column indices —
-/// held by shared_ptr so several matrices (the two precision tiers of a
+/// held as SharedArrays so several matrices (the two precision tiers of a
 /// graph, or a value-free twin next to an explicit one) alias one topology
-/// instead of cloning it.  Immutable once built.
+/// instead of cloning it.  Immutable once built.  The arrays may be
+/// heap-backed (MakeCsrStructure) or non-owning views into an mmap'd
+/// snapshot (SharedArray::View) — the kernels consume raw pointers either
+/// way.
 struct CsrStructure {
   uint32_t rows = 0;
   uint32_t cols = 0;
-  std::shared_ptr<const std::vector<uint64_t>> row_offsets;  // size rows+1
-  std::shared_ptr<const std::vector<uint32_t>> col_indices;  // size nnz
+  SharedArray<uint64_t> row_offsets;  // size rows+1
+  SharedArray<uint32_t> col_indices;  // size nnz
 
-  size_t nnz() const { return col_indices ? col_indices->size() : 0; }
+  size_t nnz() const { return col_indices.size(); }
 };
 
 /// Validates and adopts the arrays into a shareable structure.  row_offsets
@@ -136,13 +140,15 @@ class CsrMatrixT {
              std::vector<V> scales = {});
 
   /// Explicit-value matrix over an already-validated shared structure: the
-  /// topology is aliased, not copied.
-  CsrMatrixT(CsrStructure structure, std::vector<V> values);
+  /// topology is aliased, not copied.  `values` is a SharedArray so the
+  /// value layer may be a heap vector (implicit conversion — the legacy
+  /// shape) or a non-owning view into a mapped snapshot.
+  CsrMatrixT(CsrStructure structure, SharedArray<V> values);
 
   /// Value-free matrix over an already-validated shared structure (with the
   /// same kExplicit fallback as the adopting overload above).
   CsrMatrixT(CsrStructure structure, CsrValueMode mode,
-             std::vector<V> scales = {});
+             SharedArray<V> scales = {});
 
   uint32_t rows() const { return structure_.rows; }
   uint32_t cols() const { return structure_.cols; }
@@ -154,13 +160,20 @@ class CsrMatrixT {
 
   CsrValueMode value_mode() const { return mode_; }
 
+  /// The value/scale arrays exactly as stored — the serialization view.
+  /// values() is non-empty only under kExplicit (nnz entries); scales() only
+  /// under scaled kRowConstant (rows entries) or kColumnScale (cols
+  /// entries).
+  const SharedArray<V>& values() const { return values_; }
+  const SharedArray<V>& scales() const { return scales_; }
+
   uint32_t RowNnz(uint32_t r) const {
-    const uint64_t* offsets = structure_.row_offsets->data();
+    const uint64_t* offsets = structure_.row_offsets.data();
     return static_cast<uint32_t>(offsets[r + 1] - offsets[r]);
   }
   std::span<const uint32_t> RowIndices(uint32_t r) const {
-    const uint64_t* offsets = structure_.row_offsets->data();
-    const uint32_t* indices = structure_.col_indices->data();
+    const uint64_t* offsets = structure_.row_offsets.data();
+    const uint32_t* indices = structure_.col_indices.data();
     return {indices + offsets[r], indices + offsets[r + 1]};
   }
   /// The stored per-edge values of row r.  CHECK-fails unless the matrix is
@@ -323,8 +336,8 @@ class CsrMatrixT {
  private:
   CsrStructure structure_;
   CsrValueMode mode_ = CsrValueMode::kExplicit;
-  std::vector<V> values_;  // kExplicit: size nnz; else empty
-  std::vector<V> scales_;  // kRowConstant: empty or rows; kColumnScale: cols
+  SharedArray<V> values_;  // kExplicit: size nnz; else empty
+  SharedArray<V> scales_;  // kRowConstant: empty or rows; kColumnScale: cols
 };
 
 /// The fp64 matrix every pre-precision-tier caller already uses.

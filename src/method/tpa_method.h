@@ -14,6 +14,16 @@ class TpaMethod final : public RwrMethod {
  public:
   explicit TpaMethod(TpaOptions options = {}) : options_(options) {}
 
+  /// Warm start: adopts an already-preprocessed core object (snapshot load,
+  /// or a Tpa shared with non-engine code).  Preprocess then only verifies
+  /// it is asked to serve the same graph the state was preprocessed against
+  /// and skips the CPI recompute — queries are bitwise-identical to a
+  /// freshly preprocessed engine because the adopted arrays *are* the
+  /// preprocessed state.
+  explicit TpaMethod(Tpa preloaded) : options_(preloaded.options()) {
+    tpa_.emplace(std::move(preloaded));
+  }
+
   std::string_view name() const override { return "TPA"; }
 
   Status Preprocess(const Graph& graph, MemoryBudget& budget) override {
@@ -23,6 +33,17 @@ class TpaMethod final : public RwrMethod {
     TPA_RETURN_IF_ERROR(budget.Reserve(
         graph.num_nodes() *
         la::PrecisionValueBytes(graph.value_precision())));
+    if (tpa_.has_value()) {
+      // Preloaded path: the state is graph-specific, so reject an engine
+      // that binds a different graph instead of silently serving stale
+      // scores.
+      if (&graph != &tpa_->graph()) {
+        return FailedPreconditionError(
+            "preloaded TPA state was preprocessed against a different graph");
+      }
+      tpa_->set_task_runner(options_.task_runner);
+      return OkStatus();
+    }
     TPA_ASSIGN_OR_RETURN(Tpa tpa, Tpa::Preprocess(graph, options_));
     tpa_.emplace(std::move(tpa));
     return OkStatus();

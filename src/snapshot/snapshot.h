@@ -1,0 +1,84 @@
+#ifndef TPA_SNAPSHOT_SNAPSHOT_H_
+#define TPA_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/tpa.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace tpa::snapshot {
+
+/// How LoadSnapshot materializes the O(nnz) arrays.
+enum class LoadMode {
+  /// mmap the file and serve the CSR index/value arrays as non-owning views
+  /// straight out of the mapping (the MappedFile is the SharedArray owner,
+  /// pinned until the last view dies).  Pages fault in lazily; nothing
+  /// O(nnz) is copied.  The warm-start default.
+  kMap,
+  /// Copy every section into heap vectors and close the mapping before
+  /// returning — for writable paths or when the snapshot file may be
+  /// replaced/truncated underneath a long-lived process.
+  kCopy,
+};
+
+struct LoadOptions {
+  LoadMode mode = LoadMode::kMap;
+  /// Verify per-section checksums and structural invariants (offset
+  /// monotonicity, index ranges) before trusting the file.  The default;
+  /// turning it off skips the O(file) verification passes and is only safe
+  /// for files this process just wrote and fsync'd.  Header and section-
+  /// table sanity (magic, version, endianness, bounds, sizes) are always
+  /// checked either way — a corrupt file yields a Status, never a crash.
+  bool verify = true;
+};
+
+/// What a snapshot file says about itself (header + meta section only —
+/// reading it never touches the O(nnz) payload bytes).
+struct SnapshotInfo {
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  la::Precision precision = la::Precision::kFloat64;
+  ValueStorage value_storage = ValueStorage::kExplicit;
+  bool has_fp64 = false;
+  bool has_fp32 = false;
+  bool has_permutation = false;
+  TpaOptions options;
+  uint64_t file_bytes = 0;
+  uint32_t section_count = 0;
+};
+
+/// A warm-started serving state: the Graph (address-stable behind
+/// unique_ptr — the Tpa borrows it) plus the preprocessed Tpa, ready for
+/// QueryEngine::Create with a preloaded TpaMethod.  Under LoadMode::kMap
+/// the graph's index/value arrays alias the mapped file, which stays mapped
+/// for as long as any of them (or any structure-sharing sibling) lives.
+struct LoadedSnapshot {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<Tpa> tpa;
+  SnapshotInfo info;
+};
+
+/// Serializes the Tpa's full preprocessed state — graph topology, value
+/// layers of every materialized tier, permutation, stranger tail + order,
+/// and TpaOptions — into a versioned, checksummed snapshot at `path`.
+Status WriteSnapshot(const Tpa& tpa, const std::string& path);
+
+/// Opens a snapshot and reassembles the serving state.  A query against the
+/// loaded state is bitwise-identical to one against the freshly preprocessed
+/// original: the stored bytes are exactly the preprocessed arrays.
+StatusOr<LoadedSnapshot> LoadSnapshot(const std::string& path,
+                                      const LoadOptions& options = {});
+
+/// Header + meta only (no payload verification).
+StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
+
+/// Full integrity check — header, section table, per-section checksums, and
+/// structural invariants — without building the serving state.
+Status VerifySnapshot(const std::string& path);
+
+}  // namespace tpa::snapshot
+
+#endif  // TPA_SNAPSHOT_SNAPSHOT_H_

@@ -1,0 +1,143 @@
+#include "util/serial.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tpa {
+
+namespace {
+
+/// The CRC-32 lookup table for the reflected IEEE polynomial 0xEDB88320,
+/// built once at static-init time.
+std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+Status ErrnoError(const std::string& action, const std::string& path) {
+  return InternalError(action + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = MakeCrc32Table();
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoError("cannot open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = ErrnoError("cannot stat", path);
+    ::close(fd);
+    return status;
+  }
+  MappedFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const Status status = ErrnoError("cannot mmap", path);
+      ::close(fd);
+      return status;
+    }
+    file.addr_ = addr;
+  }
+  ::close(fd);  // the mapping outlives the descriptor
+  return file;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) ::munmap(addr_, size_);
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+StatusOr<BinaryFileWriter> BinaryFileWriter::Create(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return ErrnoError("cannot create", path);
+  BinaryFileWriter writer;
+  writer.file_ = file;
+  return writer;
+}
+
+BinaryFileWriter& BinaryFileWriter::operator=(
+    BinaryFileWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    offset_ = std::exchange(other.offset_, 0);
+  }
+  return *this;
+}
+
+BinaryFileWriter::~BinaryFileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status BinaryFileWriter::WriteBytes(const void* data, size_t size) {
+  if (file_ == nullptr) {
+    return FailedPreconditionError("writer is closed or moved-from");
+  }
+  if (size == 0) return OkStatus();
+  if (std::fwrite(data, 1, size, file_) != size) {
+    return InternalError("short write to snapshot file");
+  }
+  offset_ += size;
+  return OkStatus();
+}
+
+Status BinaryFileWriter::AlignTo(size_t alignment) {
+  const uint64_t misalign = offset_ % alignment;
+  if (misalign == 0) return OkStatus();
+  static constexpr uint8_t kZeros[64] = {};
+  uint64_t padding = alignment - misalign;
+  while (padding > 0) {
+    const size_t chunk =
+        padding < sizeof(kZeros) ? static_cast<size_t>(padding)
+                                 : sizeof(kZeros);
+    TPA_RETURN_IF_ERROR(WriteBytes(kZeros, chunk));
+    padding -= chunk;
+  }
+  return OkStatus();
+}
+
+Status BinaryFileWriter::Close() {
+  if (file_ == nullptr) {
+    return FailedPreconditionError("writer is closed or moved-from");
+  }
+  const int status = std::fclose(file_);
+  file_ = nullptr;
+  if (status != 0) return InternalError("cannot flush snapshot file");
+  return OkStatus();
+}
+
+}  // namespace tpa

@@ -1,0 +1,80 @@
+#ifndef TPA_UTIL_SERIAL_H_
+#define TPA_UTIL_SERIAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/status.h"
+
+namespace tpa {
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) of `size` bytes.  Chain calls by
+/// feeding the previous return value as `seed` (0 starts a fresh checksum).
+/// Software table-based — fast enough to verify snapshot sections at load
+/// time without any library dependency.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// Read-only memory-mapped file (RAII over mmap/munmap).  The snapshot
+/// reader hands non-owning SharedArray views into the mapping, with a
+/// shared_ptr<MappedFile> as the keep-alive owner — the file pages in
+/// lazily and is never copied.
+class MappedFile {
+ public:
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(addr_); }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile() = default;
+
+  void* addr_ = nullptr;  // null for an empty file
+  size_t size_ = 0;
+};
+
+/// Sequential binary file writer with explicit alignment control: the
+/// snapshot writer lays sections on 64-byte boundaries (AlignTo pads with
+/// zeros) so the mapped file satisfies every element type's alignment.
+/// All errors surface as Status; Close() flushes and reports the final
+/// write errors that a destructor would have to swallow.
+class BinaryFileWriter {
+ public:
+  static StatusOr<BinaryFileWriter> Create(const std::string& path);
+
+  BinaryFileWriter(BinaryFileWriter&& other) noexcept {
+    *this = std::move(other);
+  }
+  BinaryFileWriter& operator=(BinaryFileWriter&& other) noexcept;
+  BinaryFileWriter(const BinaryFileWriter&) = delete;
+  BinaryFileWriter& operator=(const BinaryFileWriter&) = delete;
+  ~BinaryFileWriter();
+
+  Status WriteBytes(const void* data, size_t size);
+
+  /// Pads with zero bytes until offset() is a multiple of `alignment`
+  /// (a power of two).
+  Status AlignTo(size_t alignment);
+
+  /// Bytes written so far == the file offset the next write lands at.
+  uint64_t offset() const { return offset_; }
+
+  Status Close();
+
+ private:
+  BinaryFileWriter() = default;
+
+  std::FILE* file_ = nullptr;
+  uint64_t offset_ = 0;
+};
+
+}  // namespace tpa
+
+#endif  // TPA_UTIL_SERIAL_H_

@@ -325,10 +325,10 @@ TEST(EnginePrecisionTest, DualTierServingSharesOneTopology) {
   // alias one set of index arrays, so a process serving both precisions
   // holds the topology once.
   const TierPair graphs = ServingGraphs(37);
-  ASSERT_EQ(graphs.fp64.Transition().structure().col_indices.get(),
-            graphs.fp32.TransitionF().structure().col_indices.get());
-  ASSERT_EQ(graphs.fp64.TransitionTranspose().structure().row_offsets.get(),
-            graphs.fp32.TransitionTransposeF().structure().row_offsets.get());
+  ASSERT_EQ(graphs.fp64.Transition().structure().col_indices.data(),
+            graphs.fp32.TransitionF().structure().col_indices.data());
+  ASSERT_EQ(graphs.fp64.TransitionTranspose().structure().row_offsets.data(),
+            graphs.fp32.TransitionTransposeF().structure().row_offsets.data());
 
   QueryEngineOptions options;
   options.num_threads = 2;

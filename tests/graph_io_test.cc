@@ -96,5 +96,91 @@ TEST_F(GraphIoTest, HandlesTabsAndCarriageReturns) {
   EXPECT_EQ(graph->num_edges(), 2u);
 }
 
+TEST_F(GraphIoTest, RejectsTrailingGarbageAfterSecondId) {
+  WriteFile("0 1\n1 2junk\n");
+  auto graph = LoadEdgeList(path_);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(graph.status().message().find(":2"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, RejectsThirdFieldOnEdgeLine) {
+  WriteFile("1 2 3\n");
+  auto graph = LoadEdgeList(path_);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, AcceptsTrailingWhitespaceAfterSecondId) {
+  WriteFile("0 1 \t\r\n1 0\n");
+  auto graph = LoadEdgeList(path_);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 2u);
+}
+
+TEST_F(GraphIoTest, RoundTripKeepsIsolatedTrailingNodes) {
+  // Nodes 3..9 have no edges, so the edge lines alone name only ids 0..2.
+  // SaveEdgeList's header records the true count and LoadEdgeList (with
+  // num_nodes unset) must honor it instead of shrinking to max id + 1.
+  GraphBuilder builder(10);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  BuildOptions keep;  // no self-loops: nodes 3..9 stay truly isolated
+  keep.dangling_policy = DanglingPolicy::kKeep;
+  auto original = builder.Build(keep);
+  ASSERT_TRUE(original.ok());
+  ASSERT_EQ(original->num_nodes(), 10u);
+  ASSERT_EQ(original->num_edges(), 3u);
+
+  ASSERT_TRUE(SaveEdgeList(*original, path_).ok());
+  auto loaded = LoadEdgeList(path_, /*num_nodes=*/0, keep);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), 10u);
+  EXPECT_EQ(loaded->num_edges(), original->num_edges());
+}
+
+TEST_F(GraphIoTest, ExplicitNodeCountOverridesHeader) {
+  WriteFile("# directed edge list: 10 nodes, 1 edges\n0 1\n");
+  auto graph = LoadEdgeList(path_, /*num_nodes=*/4);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 4u);
+}
+
+TEST_F(GraphIoTest, RejectsEdgeBeyondHeaderNodeCount) {
+  WriteFile("# directed edge list: 3 nodes, 1 edges\n0 7\n");
+  auto graph = LoadEdgeList(path_);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, EmptyFileWithoutNodeCountIsAnError) {
+  WriteFile("");
+  auto graph = LoadEdgeList(path_);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, CommentOnlyFileWithoutNodeCountIsAnError) {
+  WriteFile("# just a comment\n% another\n");
+  auto graph = LoadEdgeList(path_);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, EdgeFreeFileWithHeaderBuildsEmptyGraph) {
+  WriteFile("# directed edge list: 5 nodes, 0 edges\n");
+  auto graph = LoadEdgeList(path_);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 5u);
+}
+
+TEST_F(GraphIoTest, EmptyFileWithExplicitNodeCountStillLoads) {
+  WriteFile("");
+  auto graph = LoadEdgeList(path_, /*num_nodes=*/3);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 3u);
+}
+
 }  // namespace
 }  // namespace tpa

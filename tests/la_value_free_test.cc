@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -63,7 +64,7 @@ void ExpectBitwiseEq(const la::DenseBlockT<V>& got,
 template <typename V>
 la::CsrMatrixT<V> ExplicitTwin(const la::CsrMatrixT<V>& a) {
   std::vector<V> values(a.nnz());
-  const std::vector<uint64_t>& offsets = *a.structure().row_offsets;
+  const std::span<const uint64_t> offsets = a.structure().row_offsets.span();
   for (uint32_t r = 0; r < a.rows(); ++r) {
     for (uint64_t e = offsets[r]; e < offsets[r + 1]; ++e) {
       values[e] = a.EdgeWeight(r, e);
@@ -82,8 +83,8 @@ void CheckValueFreeBitwise(const la::CsrMatrixT<V>& vf, uint64_t seed,
   ASSERT_NE(vf.value_mode(), la::CsrValueMode::kExplicit) << label;
   const la::CsrMatrixT<V> ex = ExplicitTwin(vf);
   // The twin aliases the structure rather than copying it.
-  ASSERT_EQ(ex.structure().col_indices.get(),
-            vf.structure().col_indices.get());
+  ASSERT_EQ(ex.structure().col_indices.data(),
+            vf.structure().col_indices.data());
 
   const std::vector<V> x_cols = RandomVector<V>(vf.cols(), seed);
   const std::vector<V> x_rows = RandomVector<V>(vf.rows(), seed + 1);
@@ -378,10 +379,10 @@ TEST(ValueFreeGraphTest, EnsureTierSharesOneTopology) {
   EXPECT_EQ(graph->SizeBytes(),
             before + 2 * graph->num_nodes() * sizeof(float));
   // …because both tiers alias the same index arrays.
-  EXPECT_EQ(graph->Transition().structure().col_indices.get(),
-            graph->TransitionF().structure().col_indices.get());
-  EXPECT_EQ(graph->TransitionTranspose().structure().row_offsets.get(),
-            graph->TransitionTransposeF().structure().row_offsets.get());
+  EXPECT_EQ(graph->Transition().structure().col_indices.data(),
+            graph->TransitionF().structure().col_indices.data());
+  EXPECT_EQ(graph->TransitionTranspose().structure().row_offsets.data(),
+            graph->TransitionTransposeF().structure().row_offsets.data());
   // EnsureTier is idempotent.
   graph->EnsureTier(la::Precision::kFloat32);
   EXPECT_EQ(graph->SizeBytes(),
@@ -414,8 +415,8 @@ TEST(ValueFreeGraphTest, RematerializeSharesStructureAndPermutation) {
   EXPECT_EQ(sibling.value_precision(), la::Precision::kFloat32);
   EXPECT_EQ(sibling.value_storage(), ValueStorage::kRowConstant);
   // The sibling aliases the topology and the permutation — no O(nnz) copy.
-  EXPECT_EQ(sibling.TransitionF().structure().col_indices.get(),
-            graph->Transition().structure().col_indices.get());
+  EXPECT_EQ(sibling.TransitionF().structure().col_indices.data(),
+            graph->Transition().structure().col_indices.data());
   EXPECT_EQ(sibling.permutation(), graph->permutation());
   // Partition caches are shared too: a partition computed through one graph
   // is visible through the other (same boundary data).
@@ -427,7 +428,7 @@ TEST(ValueFreeGraphTest, RematerializeSharesStructureAndPermutation) {
   // check through the mode-agnostic oracle.
   for (NodeId u = 0; u < graph->num_nodes(); u += 50) {
     if (graph->OutDegree(u) == 0) continue;
-    const uint64_t e = (*graph->Transition().structure().row_offsets)[u];
+    const uint64_t e = graph->Transition().structure().row_offsets[u];
     EXPECT_EQ(sibling.TransitionF().EdgeWeight(u, e),
               static_cast<float>(graph->Transition().EdgeWeight(u, e)));
   }

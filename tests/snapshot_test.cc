@@ -1,0 +1,372 @@
+/// Snapshot persistence: save → load → query bitwise-identity across both
+/// precision tiers, both value-storage modes (covering all three
+/// CsrValueModes), both load modes (mmap views and heap copies), and
+/// reordered graphs; warm-started engines (sync and async) serving bitwise
+/// the fresh-preprocess results; the corruption matrix (truncation, bad
+/// magic/version/endianness, checksum flips) surfacing as Status errors —
+/// never crashes; and mmap-view lifetime under ASan.
+
+#include "snapshot/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/async_query_engine.h"
+#include "engine/query_engine.h"
+#include "graph/generators.h"
+#include "method/tpa_method.h"
+#include "snapshot/format.h"
+#include "util/failpoint.h"
+
+namespace tpa {
+namespace {
+
+Graph MakeGraph(la::Precision precision, ValueStorage storage,
+                NodeOrdering ordering = NodeOrdering::kOriginal) {
+  RmatOptions rmat;
+  rmat.scale = 8;
+  rmat.edges = 4096;
+  rmat.seed = 42;
+  BuildOptions build;
+  build.value_precision = precision;
+  build.value_storage = storage;
+  build.node_ordering = ordering;
+  auto graph = GenerateRmat(rmat, build);
+  EXPECT_TRUE(graph.ok()) << graph.status().message();
+  return std::move(*graph);
+}
+
+Tpa MakeTpa(const Graph& graph) {
+  auto tpa = Tpa::Preprocess(graph, TpaOptions{});
+  EXPECT_TRUE(tpa.ok()) << tpa.status().message();
+  return std::move(*tpa);
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/snapshot_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".tpasnap";
+  }
+  void TearDown() override {
+    DisarmAllFailpoints();
+    std::remove(path_.c_str());
+  }
+
+  std::vector<uint8_t> ReadFileBytes() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  }
+  void WriteFileBytes(const std::vector<uint8_t>& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+};
+
+/// The tentpole contract, across every configuration axis: a query against
+/// the loaded state is bitwise-identical to one against the original
+/// preprocessed state.
+TEST_F(SnapshotTest, RoundTripIsBitwiseAcrossTiersStoragesAndLoadModes) {
+  const la::Precision precisions[] = {la::Precision::kFloat64,
+                                      la::Precision::kFloat32};
+  const ValueStorage storages[] = {ValueStorage::kExplicit,
+                                   ValueStorage::kRowConstant};
+  const snapshot::LoadMode modes[] = {snapshot::LoadMode::kMap,
+                                      snapshot::LoadMode::kCopy};
+  for (la::Precision precision : precisions) {
+    for (ValueStorage storage : storages) {
+      const Graph graph = MakeGraph(precision, storage);
+      const Tpa fresh = MakeTpa(graph);
+      ASSERT_TRUE(fresh.SaveSnapshot(path_).ok());
+      for (snapshot::LoadMode mode : modes) {
+        SCOPED_TRACE(std::string(la::PrecisionName(precision)) +
+                     (storage == ValueStorage::kExplicit ? "/explicit"
+                                                         : "/value-free") +
+                     (mode == snapshot::LoadMode::kMap ? "/mmap" : "/copy"));
+        snapshot::LoadOptions load;
+        load.mode = mode;
+        auto loaded = Tpa::LoadSnapshot(path_, load);
+        ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+        ASSERT_EQ(loaded->graph->num_nodes(), graph.num_nodes());
+        ASSERT_EQ(loaded->graph->num_edges(), graph.num_edges());
+        EXPECT_EQ(loaded->graph->value_precision(), precision);
+        EXPECT_EQ(loaded->graph->value_storage(), storage);
+        // The stored preprocessed arrays round-trip bitwise.
+        EXPECT_EQ(loaded->tpa->stranger_scores(), fresh.stranger_scores());
+        EXPECT_EQ(loaded->tpa->stranger_scores_f32(),
+                  fresh.stranger_scores_f32());
+        EXPECT_EQ(loaded->tpa->stranger_order(), fresh.stranger_order());
+        for (NodeId seed : {NodeId{0}, NodeId{7}, NodeId{200}}) {
+          if (precision == la::Precision::kFloat64) {
+            EXPECT_EQ(loaded->tpa->Query(seed), fresh.Query(seed));
+          } else {
+            EXPECT_EQ(loaded->tpa->QueryF(seed), fresh.QueryF(seed));
+          }
+          const auto fresh_topk = fresh.QueryTopK(seed, 10);
+          const auto loaded_topk = loaded->tpa->QueryTopK(seed, 10);
+          ASSERT_EQ(loaded_topk.top.size(), fresh_topk.top.size());
+          for (size_t i = 0; i < fresh_topk.top.size(); ++i) {
+            EXPECT_EQ(loaded_topk.top[i].node, fresh_topk.top[i].node);
+            EXPECT_EQ(loaded_topk.top[i].score, fresh_topk.top[i].score);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SnapshotTest, RoundTripPreservesPermutation) {
+  const Graph graph = MakeGraph(la::Precision::kFloat64,
+                                ValueStorage::kExplicit,
+                                NodeOrdering::kHubCluster);
+  ASSERT_NE(graph.permutation(), nullptr);
+  const Tpa fresh = MakeTpa(graph);
+  ASSERT_TRUE(fresh.SaveSnapshot(path_).ok());
+
+  auto loaded = Tpa::LoadSnapshot(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ASSERT_NE(loaded->graph->permutation(), nullptr);
+  EXPECT_EQ(loaded->graph->permutation()->external_of_internal(),
+            graph.permutation()->external_of_internal());
+  for (NodeId seed : {NodeId{3}, NodeId{150}}) {
+    EXPECT_EQ(loaded->tpa->Query(seed), fresh.Query(seed));
+  }
+}
+
+TEST_F(SnapshotTest, InfoReflectsConfiguration) {
+  const Graph graph =
+      MakeGraph(la::Precision::kFloat32, ValueStorage::kRowConstant);
+  TpaOptions options;
+  options.family_window = 4;
+  options.stranger_start = 9;
+  auto fresh = Tpa::Preprocess(graph, options);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(fresh->SaveSnapshot(path_).ok());
+
+  auto info = snapshot::ReadSnapshotInfo(path_);
+  ASSERT_TRUE(info.ok()) << info.status().message();
+  EXPECT_EQ(info->num_nodes, graph.num_nodes());
+  EXPECT_EQ(info->num_edges, graph.num_edges());
+  EXPECT_EQ(info->precision, la::Precision::kFloat32);
+  EXPECT_EQ(info->value_storage, ValueStorage::kRowConstant);
+  EXPECT_FALSE(info->has_fp64);
+  EXPECT_TRUE(info->has_fp32);
+  EXPECT_FALSE(info->has_permutation);
+  EXPECT_EQ(info->options.family_window, 4);
+  EXPECT_EQ(info->options.stranger_start, 9);
+  EXPECT_EQ(info->section_count, 8u);
+}
+
+TEST_F(SnapshotTest, VerifyAcceptsCleanFile) {
+  const Graph graph =
+      MakeGraph(la::Precision::kFloat64, ValueStorage::kRowConstant);
+  ASSERT_TRUE(MakeTpa(graph).SaveSnapshot(path_).ok());
+  EXPECT_TRUE(snapshot::VerifySnapshot(path_).ok());
+}
+
+/// Every corruption is a Status, never a crash — the load path must treat
+/// the file as hostile until verified.
+TEST_F(SnapshotTest, CorruptFilesAreRejectedWithClearErrors) {
+  const Graph graph =
+      MakeGraph(la::Precision::kFloat64, ValueStorage::kExplicit);
+  ASSERT_TRUE(MakeTpa(graph).SaveSnapshot(path_).ok());
+  const std::vector<uint8_t> clean = ReadFileBytes();
+  ASSERT_GT(clean.size(), 256u);
+
+  auto expect_rejected = [&](const std::string& trace,
+                             const std::string& needle) {
+    SCOPED_TRACE(trace);
+    const Status verify = snapshot::VerifySnapshot(path_);
+    EXPECT_FALSE(verify.ok());
+    if (!needle.empty()) {
+      EXPECT_NE(verify.message().find(needle), std::string::npos)
+          << verify.message();
+    }
+    const auto loaded = snapshot::LoadSnapshot(path_);
+    EXPECT_FALSE(loaded.ok());
+  };
+
+  // Truncated to half: the header's file_bytes no longer matches.
+  WriteFileBytes(std::vector<uint8_t>(clean.begin(),
+                                      clean.begin() + clean.size() / 2));
+  expect_rejected("truncated", "truncated");
+
+  // Truncated below even the header.
+  WriteFileBytes(std::vector<uint8_t>(clean.begin(), clean.begin() + 10));
+  expect_rejected("tiny", "header");
+
+  std::vector<uint8_t> bytes = clean;
+  bytes[0] ^= 0xFF;  // magic
+  WriteFileBytes(bytes);
+  expect_rejected("bad magic", "magic");
+
+  bytes = clean;
+  bytes[8] = 0x01;  // endian tag as an opposite-endian writer would store it
+  bytes[9] = 0x02;
+  bytes[10] = 0x03;
+  bytes[11] = 0x04;
+  WriteFileBytes(bytes);
+  expect_rejected("wrong endianness", "endianness");
+
+  bytes = clean;
+  bytes[12] = 99;  // format_version
+  WriteFileBytes(bytes);
+  expect_rejected("wrong version", "version");
+
+  bytes = clean;
+  bytes[sizeof(snapshot::SnapshotHeader) + 4] ^= 0x01;  // section table
+  WriteFileBytes(bytes);
+  expect_rejected("table corruption", "section table checksum");
+
+  bytes = clean;
+  bytes[bytes.size() - 1] ^= 0x01;  // last payload byte
+  WriteFileBytes(bytes);
+  expect_rejected("payload corruption", "checksum");
+
+  WriteFileBytes({});
+  expect_rejected("empty file", "header");
+
+  WriteFileBytes(std::vector<uint8_t>(4096, 0xAB));
+  expect_rejected("garbage", "magic");
+
+  std::remove(path_.c_str());
+  EXPECT_FALSE(snapshot::VerifySnapshot(path_).ok());
+  EXPECT_FALSE(snapshot::LoadSnapshot(path_).ok());
+  EXPECT_FALSE(snapshot::ReadSnapshotInfo(path_).ok());
+}
+
+/// The mmap views must keep the mapping alive through arbitrary moves: the
+/// Graph and Tpa are moved out of the LoadedSnapshot bundle, the bundle
+/// dies, and queries still read the (file-backed) CSR arrays.  ASan turns
+/// any lifetime bug here into a hard failure.
+TEST_F(SnapshotTest, MappedViewsOutliveTheLoadedSnapshotBundle) {
+  const Graph graph =
+      MakeGraph(la::Precision::kFloat64, ValueStorage::kExplicit);
+  const Tpa fresh = MakeTpa(graph);
+  ASSERT_TRUE(fresh.SaveSnapshot(path_).ok());
+
+  std::unique_ptr<Graph> loaded_graph;
+  std::unique_ptr<Tpa> loaded_tpa;
+  {
+    auto loaded = Tpa::LoadSnapshot(path_);
+    ASSERT_TRUE(loaded.ok());
+    loaded_graph = std::move(loaded->graph);
+    loaded_tpa = std::move(loaded->tpa);
+  }
+  // The snapshot file is deleted from the filesystem; the mapping persists
+  // until the last view dies (POSIX keeps unlinked mappings alive).
+  std::remove(path_.c_str());
+  for (NodeId seed : {NodeId{1}, NodeId{99}}) {
+    EXPECT_EQ(loaded_tpa->Query(seed), fresh.Query(seed));
+  }
+}
+
+/// Warm-started QueryEngine: construction from a loaded snapshot skips the
+/// CPI recompute and serves bitwise the fresh engine's results.
+TEST_F(SnapshotTest, WarmStartedEngineServesBitwiseIdenticalResults) {
+  const Graph graph =
+      MakeGraph(la::Precision::kFloat64, ValueStorage::kRowConstant);
+  ASSERT_TRUE(MakeTpa(graph).SaveSnapshot(path_).ok());
+
+  QueryEngineOptions options;
+  options.num_threads = 2;
+  auto fresh_engine = QueryEngine::Create(
+      graph, std::make_unique<TpaMethod>(TpaOptions{}), options);
+  ASSERT_TRUE(fresh_engine.ok());
+
+  auto loaded = Tpa::LoadSnapshot(path_);
+  ASSERT_TRUE(loaded.ok());
+  auto warm_engine = QueryEngine::Create(
+      *loaded->graph, std::make_unique<TpaMethod>(std::move(*loaded->tpa)),
+      options);
+  ASSERT_TRUE(warm_engine.ok()) << warm_engine.status().message();
+
+  const std::vector<NodeId> seeds = {0, 3, 77, 191, 255};
+  std::vector<QueryResult> fresh_results = fresh_engine->QueryBatch(seeds);
+  std::vector<QueryResult> warm_results = warm_engine->QueryBatch(seeds);
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    ASSERT_TRUE(fresh_results[i].status.ok());
+    ASSERT_TRUE(warm_results[i].status.ok());
+    EXPECT_EQ(warm_results[i].scores, fresh_results[i].scores);
+  }
+}
+
+TEST_F(SnapshotTest, WarmStartedAsyncEngineServesBitwiseIdenticalResults) {
+  const Graph graph =
+      MakeGraph(la::Precision::kFloat32, ValueStorage::kExplicit);
+  ASSERT_TRUE(MakeTpa(graph).SaveSnapshot(path_).ok());
+
+  QueryEngineOptions options;
+  options.num_threads = 2;
+  auto fresh_engine = QueryEngine::Create(
+      graph, std::make_unique<TpaMethod>(TpaOptions{}), options);
+  ASSERT_TRUE(fresh_engine.ok());
+
+  auto loaded = Tpa::LoadSnapshot(path_);
+  ASSERT_TRUE(loaded.ok());
+  auto async_engine = AsyncQueryEngine::Create(
+      *loaded->graph, std::make_unique<TpaMethod>(std::move(*loaded->tpa)),
+      options);
+  ASSERT_TRUE(async_engine.ok()) << async_engine.status().message();
+
+  const std::vector<NodeId> seeds = {2, 50, 130};
+  std::vector<QueryTicket> tickets;
+  for (NodeId seed : seeds) tickets.push_back((*async_engine)->Submit(seed));
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    const QueryResult& warm = tickets[i].Wait();
+    ASSERT_TRUE(warm.status.ok()) << warm.status.message();
+    QueryResult fresh = fresh_engine->Query(seeds[i]);
+    ASSERT_TRUE(fresh.status.ok());
+    EXPECT_EQ(warm.scores_f32, fresh.scores_f32);
+  }
+}
+
+/// A preloaded TpaMethod is graph-specific: binding it to a different graph
+/// must fail loudly instead of serving stale scores.
+TEST_F(SnapshotTest, PreloadedMethodRejectsADifferentGraph) {
+  const Graph graph =
+      MakeGraph(la::Precision::kFloat64, ValueStorage::kExplicit);
+  ASSERT_TRUE(MakeTpa(graph).SaveSnapshot(path_).ok());
+  auto loaded = Tpa::LoadSnapshot(path_);
+  ASSERT_TRUE(loaded.ok());
+
+  const Graph other =
+      MakeGraph(la::Precision::kFloat64, ValueStorage::kExplicit);
+  auto engine = QueryEngine::Create(
+      other, std::make_unique<TpaMethod>(std::move(*loaded->tpa)));
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SnapshotTest, LoadFailpointInjectsError) {
+#if !defined(TPA_FAILPOINTS_ENABLED)
+  GTEST_SKIP() << "requires a TPA_FAILPOINTS=ON build";
+#else
+  const Graph graph =
+      MakeGraph(la::Precision::kFloat64, ValueStorage::kExplicit);
+  ASSERT_TRUE(MakeTpa(graph).SaveSnapshot(path_).ok());
+
+  ArmFailpoint("snapshot.load",
+               FailpointAction::Error(InternalError("injected load fault")));
+  auto loaded = snapshot::LoadSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("injected load fault"),
+            std::string::npos);
+  DisarmFailpoint("snapshot.load");
+  EXPECT_TRUE(snapshot::LoadSnapshot(path_).ok());
+#endif
+}
+
+}  // namespace
+}  // namespace tpa

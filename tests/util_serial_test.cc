@@ -1,0 +1,128 @@
+/// Serialization utilities: CRC-32 against published vectors, the aligned
+/// binary writer's layout contract, and MappedFile's mmap RAII.
+
+#include "util/serial.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tpa {
+namespace {
+
+class SerialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/serial_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST(Crc32Test, MatchesPublishedVectors) {
+  // The standard CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc", 3), 0x352441C2u);
+}
+
+TEST(Crc32Test, ChainsAcrossCalls) {
+  const uint32_t whole = Crc32("123456789", 9);
+  uint32_t chained = Crc32("1234", 4);
+  chained = Crc32("56789", 5, chained);
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::vector<uint8_t> data(257, 0xA5);
+  const uint32_t clean = Crc32(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); i += 64) {
+    data[i] ^= 0x01;
+    EXPECT_NE(Crc32(data.data(), data.size()), clean) << "flip at " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+TEST_F(SerialTest, WriterTracksOffsetAndAligns) {
+  auto writer = BinaryFileWriter::Create(path_);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ(writer->offset(), 0u);
+  ASSERT_TRUE(writer->WriteBytes("abc", 3).ok());
+  EXPECT_EQ(writer->offset(), 3u);
+  ASSERT_TRUE(writer->AlignTo(64).ok());
+  EXPECT_EQ(writer->offset(), 64u);
+  // Already aligned: a second AlignTo is a no-op.
+  ASSERT_TRUE(writer->AlignTo(64).ok());
+  EXPECT_EQ(writer->offset(), 64u);
+  ASSERT_TRUE(writer->WriteBytes("z", 1).ok());
+  ASSERT_TRUE(writer->AlignTo(8).ok());
+  EXPECT_EQ(writer->offset(), 72u);
+  ASSERT_TRUE(writer->Close().ok());
+
+  // The padding is zero bytes and the payload lands where offset() said.
+  std::ifstream in(path_, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  ASSERT_EQ(bytes.size(), 72u);
+  EXPECT_EQ(bytes[0], 'a');
+  EXPECT_EQ(bytes[2], 'c');
+  for (size_t i = 3; i < 64; ++i) EXPECT_EQ(bytes[i], 0) << "pad at " << i;
+  EXPECT_EQ(bytes[64], 'z');
+}
+
+TEST_F(SerialTest, WriterRejectsUseAfterClose) {
+  auto writer = BinaryFileWriter::Create(path_);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Close().ok());
+  EXPECT_EQ(writer->WriteBytes("x", 1).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->Close().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SerialTest, MappedFileRoundTrips) {
+  {
+    auto writer = BinaryFileWriter::Create(path_);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteBytes("hello mmap", 10).ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto file = MappedFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ(file->size(), 10u);
+  EXPECT_EQ(std::memcmp(file->data(), "hello mmap", 10), 0);
+}
+
+TEST_F(SerialTest, MappedFileMoveTransfersOwnership) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "abc";
+  }
+  auto file = MappedFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  MappedFile moved = std::move(*file);
+  ASSERT_EQ(moved.size(), 3u);
+  EXPECT_EQ(std::memcmp(moved.data(), "abc", 3), 0);
+}
+
+TEST_F(SerialTest, MappedFileHandlesEmptyFile) {
+  { std::ofstream out(path_, std::ios::binary); }
+  auto file = MappedFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->size(), 0u);
+}
+
+TEST_F(SerialTest, MappedFileMissingFileIsAnError) {
+  auto file = MappedFile::Open(path_ + ".does-not-exist");
+  EXPECT_FALSE(file.ok());
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,250 @@
+/// tpa_snapshot — build, inspect, verify, and serve TPA snapshot files.
+///
+/// Subcommands:
+///   build  --out FILE [--scale S] [--edges M] [--seed R]
+///          [--precision fp64|fp32] [--value-storage explicit|value-free]
+///          [--ordering original|degree|hub]
+///          [--restart C] [--family-window S] [--stranger-start T]
+///       Generates a deterministic R-MAT graph, runs Tpa::Preprocess, and
+///       writes the full serving state to FILE.
+///   info FILE
+///       Prints the header/meta summary (never touches payload bytes).
+///   verify FILE
+///       Full integrity check: checksums + structural invariants.
+///   query FILE --seed N [--topk K] [--copy] [--no-verify]
+///       Loads FILE (mmap by default), warm-starts a QueryEngine, and
+///       prints the top-k scores for the seed node.
+///
+/// Exit status: 0 on success, 1 on any error (message on stderr).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "graph/generators.h"
+#include "method/tpa_method.h"
+#include "snapshot/snapshot.h"
+#include "util/stopwatch.h"
+
+namespace tpa {
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "tpa_snapshot: %s\n", message.c_str());
+  return 1;
+}
+
+int FailStatus(const Status& status) { return Fail(status.message()); }
+
+/// Minimal --flag VALUE parser over the argv tail.
+class ArgList {
+ public:
+  ArgList(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  /// The value after `flag`, or `fallback` when absent.  Flags are
+  /// consumed, so Unparsed() reports leftovers.
+  std::string Value(const std::string& flag, const std::string& fallback) {
+    for (size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == flag) {
+        used_[i] = used_[i + 1] = true;
+        return args_[i + 1];
+      }
+    }
+    return fallback;
+  }
+
+  bool Present(const std::string& flag) {
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == flag) {
+        used_[i] = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// First positional (non-flag) argument, or "".
+  std::string Positional() {
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (!used_[i] && args_[i].rfind("--", 0) != 0) {
+        used_[i] = true;
+        return args_[i];
+      }
+    }
+    return "";
+  }
+
+  std::string Unparsed() const {
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (!used_.count(i) || !used_.at(i)) return args_[i];
+    }
+    return "";
+  }
+
+ private:
+  std::vector<std::string> args_;
+  std::map<size_t, bool> used_;
+};
+
+int CmdBuild(ArgList& args) {
+  const std::string out = args.Value("--out", "");
+  if (out.empty()) return Fail("build requires --out FILE");
+  RmatOptions rmat;
+  rmat.scale = static_cast<uint32_t>(
+      std::strtoul(args.Value("--scale", "14").c_str(), nullptr, 10));
+  rmat.edges = std::strtoull(args.Value("--edges", "0").c_str(), nullptr, 10);
+  if (rmat.edges == 0) rmat.edges = (uint64_t{1} << rmat.scale) * 16;
+  rmat.seed = std::strtoull(args.Value("--seed", "1").c_str(), nullptr, 10);
+
+  BuildOptions build;
+  const std::string precision = args.Value("--precision", "fp64");
+  if (precision == "fp32") {
+    build.value_precision = la::Precision::kFloat32;
+  } else if (precision != "fp64") {
+    return Fail("--precision must be fp64 or fp32");
+  }
+  const std::string storage = args.Value("--value-storage", "explicit");
+  if (storage == "value-free") {
+    build.value_storage = ValueStorage::kRowConstant;
+  } else if (storage != "explicit") {
+    return Fail("--value-storage must be explicit or value-free");
+  }
+  const std::string ordering = args.Value("--ordering", "original");
+  if (ordering == "degree") {
+    build.node_ordering = NodeOrdering::kDegreeDescending;
+  } else if (ordering == "hub") {
+    build.node_ordering = NodeOrdering::kHubCluster;
+  } else if (ordering != "original") {
+    return Fail("--ordering must be original, degree, or hub");
+  }
+
+  TpaOptions options;
+  options.restart_probability =
+      std::strtod(args.Value("--restart", "0.15").c_str(), nullptr);
+  options.family_window = static_cast<int>(
+      std::strtol(args.Value("--family-window", "5").c_str(), nullptr, 10));
+  options.stranger_start = static_cast<int>(
+      std::strtol(args.Value("--stranger-start", "10").c_str(), nullptr, 10));
+  if (!args.Unparsed().empty()) {
+    return Fail("unknown argument: " + args.Unparsed());
+  }
+
+  Stopwatch watch;
+  StatusOr<Graph> graph = GenerateRmat(rmat, build);
+  if (!graph.ok()) return FailStatus(graph.status());
+  StatusOr<Tpa> tpa = Tpa::Preprocess(*graph, options);
+  if (!tpa.ok()) return FailStatus(tpa.status());
+  const double build_seconds = watch.ElapsedSeconds();
+  watch = Stopwatch();
+  const Status saved = tpa->SaveSnapshot(out);
+  if (!saved.ok()) return FailStatus(saved);
+  std::printf(
+      "built scale=%u n=%u m=%llu %s/%s ordering=%s in %.3fs, saved '%s' "
+      "in %.3fs\n",
+      rmat.scale, graph->num_nodes(),
+      static_cast<unsigned long long>(graph->num_edges()), precision.c_str(),
+      storage.c_str(), ordering.c_str(), build_seconds, out.c_str(),
+      watch.ElapsedSeconds());
+  return 0;
+}
+
+int CmdInfo(ArgList& args) {
+  const std::string path = args.Positional();
+  if (path.empty()) return Fail("info requires a snapshot path");
+  StatusOr<snapshot::SnapshotInfo> info = snapshot::ReadSnapshotInfo(path);
+  if (!info.ok()) return FailStatus(info.status());
+  std::printf(
+      "snapshot '%s'\n"
+      "  nodes=%llu edges=%llu precision=%s storage=%s\n"
+      "  tiers: fp64=%d fp32=%d permutation=%d\n"
+      "  tpa: c=%g eps=%g S=%d T=%d\n"
+      "  file: %llu bytes, %u sections\n",
+      path.c_str(), static_cast<unsigned long long>(info->num_nodes),
+      static_cast<unsigned long long>(info->num_edges),
+      std::string(la::PrecisionName(info->precision)).c_str(),
+      info->value_storage == ValueStorage::kExplicit ? "explicit"
+                                                     : "value-free",
+      info->has_fp64 ? 1 : 0, info->has_fp32 ? 1 : 0,
+      info->has_permutation ? 1 : 0, info->options.restart_probability,
+      info->options.tolerance, info->options.family_window,
+      info->options.stranger_start,
+      static_cast<unsigned long long>(info->file_bytes), info->section_count);
+  return 0;
+}
+
+int CmdVerify(ArgList& args) {
+  const std::string path = args.Positional();
+  if (path.empty()) return Fail("verify requires a snapshot path");
+  Stopwatch watch;
+  const Status status = snapshot::VerifySnapshot(path);
+  if (!status.ok()) return FailStatus(status);
+  std::printf("snapshot '%s' verified in %.3fs\n", path.c_str(),
+              watch.ElapsedSeconds());
+  return 0;
+}
+
+int CmdQuery(ArgList& args) {
+  const std::string path = args.Positional();
+  if (path.empty()) return Fail("query requires a snapshot path");
+  const NodeId seed = static_cast<NodeId>(
+      std::strtoul(args.Value("--seed", "0").c_str(), nullptr, 10));
+  const int topk = static_cast<int>(
+      std::strtol(args.Value("--topk", "10").c_str(), nullptr, 10));
+  snapshot::LoadOptions load;
+  if (args.Present("--copy")) load.mode = snapshot::LoadMode::kCopy;
+  if (args.Present("--no-verify")) load.verify = false;
+  if (!args.Unparsed().empty()) {
+    return Fail("unknown argument: " + args.Unparsed());
+  }
+
+  Stopwatch watch;
+  StatusOr<snapshot::LoadedSnapshot> loaded =
+      snapshot::LoadSnapshot(path, load);
+  if (!loaded.ok()) return FailStatus(loaded.status());
+  const double load_seconds = watch.ElapsedSeconds();
+
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = 1;
+  engine_options.top_k = topk;
+  StatusOr<QueryEngine> engine = QueryEngine::Create(
+      *loaded->graph, std::make_unique<TpaMethod>(std::move(*loaded->tpa)),
+      engine_options);
+  if (!engine.ok()) return FailStatus(engine.status());
+  QueryResult result = engine->Query(seed);
+  if (!result.status.ok()) return FailStatus(result.status);
+
+  std::printf("loaded '%s' in %.3fs (%s)\n", path.c_str(), load_seconds,
+              load.mode == snapshot::LoadMode::kMap ? "mmap" : "copy");
+  std::printf("top-%d for seed %u:\n", topk, seed);
+  for (size_t i = 0; i < result.top.size(); ++i) {
+    std::printf("  %2zu. node %u  score %.6e\n", i + 1, result.top[i].node,
+                result.top[i].score);
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    return Fail("usage: tpa_snapshot build|info|verify|query ...");
+  }
+  const std::string command = argv[1];
+  ArgList args(argc, argv, 2);
+  if (command == "build") return CmdBuild(args);
+  if (command == "info") return CmdInfo(args);
+  if (command == "verify") return CmdVerify(args);
+  if (command == "query") return CmdQuery(args);
+  return Fail("unknown command: " + command);
+}
+
+}  // namespace
+}  // namespace tpa
+
+int main(int argc, char** argv) { return tpa::Run(argc, argv); }
