@@ -43,6 +43,7 @@
 #include "graph/generators.h"
 #include "la/precision.h"
 #include "method/tpa_method.h"
+#include "util/mem_stats.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
 
@@ -101,6 +102,9 @@ struct BenchRow {
   double deadline_hit_rate = 0.0;
   double degraded_fraction = 0.0;
   double shed_rate = 0.0;
+  /// VmHWM when the row was recorded — a running process-lifetime maximum,
+  /// so later rows dominate earlier ones.
+  size_t peak_rss_bytes = 0;
 };
 
 void WriteJson(const std::string& path, const Args& args,
@@ -129,7 +133,8 @@ void WriteJson(const std::string& path, const Args& args,
         << ", \"arrival_rate_multiplier\": " << row.rate_multiplier
         << ", \"deadline_hit_rate\": " << row.deadline_hit_rate
         << ", \"degraded_fraction\": " << row.degraded_fraction
-        << ", \"shed_rate\": " << row.shed_rate << "}"
+        << ", \"shed_rate\": " << row.shed_rate
+        << ", \"peak_rss_bytes\": " << row.peak_rss_bytes << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n";
@@ -221,6 +226,7 @@ int Run(int argc, char** argv) {
       {"Mode", "Threads", "Batch", "Queries/s", "vs sequential"});
   std::vector<BenchRow> rows;
   rows.push_back({"sequential Tpa::Query", 1, seeds.size(), seq_qps, 1.0});
+  rows.back().peak_rss_bytes = PeakRssBytes();
   table.AddRow({"sequential Tpa::Query", "1",
                 std::to_string(seeds.size()),
                 TablePrinter::FormatDouble(seq_qps, 1), "1.00x"});
@@ -235,6 +241,7 @@ int Run(int argc, char** argv) {
     const double qps = queries / seconds;
     rows.push_back({mode, threads, batch, qps, qps / seq_qps, mean_group,
                     clients, rate_multiplier});
+    rows.back().peak_rss_bytes = PeakRssBytes();
     table.AddRow({mode, std::to_string(threads), std::to_string(batch),
                   TablePrinter::FormatDouble(qps, 1),
                   TablePrinter::FormatDouble(qps / seq_qps, 2) + "x"});

@@ -19,6 +19,7 @@
 #include "graph/presets.h"
 #include "method/registry.h"
 #include "snapshot/snapshot.h"
+#include "util/mem_stats.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
 
@@ -33,6 +34,8 @@ struct ColdStartRow {
   uint64_t snapshot_bytes = 0;
   double load_map_seconds = 0.0;     // open + mmap, no payload verification
   double load_verify_seconds = 0.0;  // open + mmap + full checksum pass
+  /// VmHWM when the row was recorded — a running process-lifetime maximum.
+  size_t peak_rss_bytes = 0;
 };
 
 /// Measures one dataset's cold-start pair.  The snapshot is written to (and
@@ -76,6 +79,7 @@ StatusOr<ColdStartRow> MeasureColdStart(const DatasetSpec& spec,
   row.load_verify_seconds = watch.ElapsedSeconds();
 
   std::remove(snapshot_path.c_str());
+  row.peak_rss_bytes = PeakRssBytes();
   return row;
 }
 
@@ -97,7 +101,7 @@ Status WriteColdStartJson(const std::vector<ColdStartRow>& rows,
         << (row.load_map_seconds > 0.0
                 ? row.rebuild_seconds / row.load_map_seconds
                 : 0.0)
-        << "}";
+        << ", \"peak_rss_bytes\": " << row.peak_rss_bytes << "}";
   }
   out << "\n  ]\n}\n";
   if (!out.good()) return InternalError("short write to " + path);

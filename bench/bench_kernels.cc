@@ -43,6 +43,7 @@
 #include "method/monte_carlo.h"
 #include "method/push.h"
 #include "util/check.h"
+#include "util/mem_stats.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
 
@@ -213,6 +214,8 @@ struct SweepRow {
   double spmv_dense_ms = 0.0;
   double spmm_sparse_ms = 0.0;
   double spmm_dense_ms = 0.0;
+  /// VmHWM when the row was recorded — a running process-lifetime maximum.
+  size_t peak_rss_bytes = 0;
 };
 
 /// Runs `op` repeatedly until ~80ms of wall time accumulates and returns
@@ -258,6 +261,8 @@ struct PrecisionRow {
   double spmm8_vf32_ms = 0.0;
   double spmm16_vf64_ms = 0.0;
   double spmm16_vf32_ms = 0.0;
+  /// VmHWM when the row was recorded — a running process-lifetime maximum.
+  size_t peak_rss_bytes = 0;
 };
 
 /// Times the dense kernels at both value tiers on one graph pair.  Dense
@@ -387,6 +392,7 @@ std::vector<PrecisionRow> RunPrecisionSweep(const SweepArgs& args,
         row.spmvt_vf32_ms, row.spmvt_fp32_ms / row.spmvt_vf32_ms,
         row.spmm16_vf64_ms, row.spmm16_fp64_ms / row.spmm16_vf64_ms,
         row.spmm16_vf32_ms, row.spmm16_fp32_ms / row.spmm16_vf32_ms);
+    row.peak_rss_bytes = PeakRssBytes();
     rows.push_back(row);
   }
   return rows;
@@ -427,7 +433,8 @@ void AppendPrecisionJson(std::ofstream& out,
         << ", \"spmm16_vf64_speedup_vs_fp64\": "
         << row.spmm16_fp64_ms / row.spmm16_vf64_ms
         << ", \"spmm16_vf32_speedup_vs_fp32\": "
-        << row.spmm16_fp32_ms / row.spmm16_vf32_ms << "}"
+        << row.spmm16_fp32_ms / row.spmm16_vf32_ms
+        << ", \"peak_rss_bytes\": " << row.peak_rss_bytes << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n";
@@ -503,6 +510,7 @@ int RunCrossoverSweep(const SweepArgs& args) {
         row.spmv_dense_ms, row.spmv_dense_ms / row.spmv_sparse_ms,
         kBlockWidth, row.spmm_sparse_ms, row.spmm_dense_ms,
         row.spmm_dense_ms / row.spmm_sparse_ms);
+    row.peak_rss_bytes = PeakRssBytes();
     rows.push_back(row);
   }
 
@@ -545,7 +553,8 @@ int RunCrossoverSweep(const SweepArgs& args) {
         << ", \"spmv_sparse_ms\": " << row.spmv_sparse_ms
         << ", \"spmv_dense_ms\": " << row.spmv_dense_ms
         << ", \"spmm_sparse_ms\": " << row.spmm_sparse_ms
-        << ", \"spmm_dense_ms\": " << row.spmm_dense_ms << "}"
+        << ", \"spmm_dense_ms\": " << row.spmm_dense_ms
+        << ", \"peak_rss_bytes\": " << row.peak_rss_bytes << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n";

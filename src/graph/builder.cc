@@ -35,11 +35,17 @@ std::pair<std::vector<uint64_t>, std::vector<NodeId>> OutAdjacency(
 
 /// Converts a cleaned (sorted, deduplicated, dangling-resolved) edge list
 /// into the CSR Graph.  `edges` must be sorted by (u, v).
-Graph FinalizeCsr(NodeId num_nodes, const EdgeList& edges,
-                  la::Precision precision = la::Precision::kFloat64,
-                  ValueStorage value_storage = ValueStorage::kExplicit) {
+StatusOr<Graph> FinalizeCsr(NodeId num_nodes, const EdgeList& edges,
+                            la::Precision precision = la::Precision::kFloat64,
+                            ValueStorage value_storage =
+                                ValueStorage::kExplicit) {
   const size_t m = edges.size();
+  TPA_RETURN_IF_ERROR(ValidateEdgeCount(num_nodes, m));
   auto [out_offsets, out_targets] = OutAdjacency(num_nodes, edges);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    TPA_RETURN_IF_ERROR(
+        ValidateRowDegree(u, out_offsets[u + 1] - out_offsets[u]));
+  }
 
   // Transpose (counting sort by target); sources end up sorted within each
   // in-list because `edges` is sorted by (u, v).
@@ -52,6 +58,10 @@ Graph FinalizeCsr(NodeId num_nodes, const EdgeList& edges,
   {
     std::vector<uint64_t> cursor(in_offsets.begin(), in_offsets.end() - 1);
     for (const auto& [u, v] : edges) in_sources[cursor[v]++] = u;
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    TPA_RETURN_IF_ERROR(
+        ValidateRowDegree(v, in_offsets[v + 1] - in_offsets[v]));
   }
 
   return Graph(num_nodes, std::move(out_offsets), std::move(out_targets),
@@ -92,6 +102,48 @@ StatusOr<std::vector<NodeId>> HubClusterOrder(NodeId num_nodes,
 }
 
 }  // namespace
+
+Status ValidateNodeCount(uint64_t num_nodes) {
+  if (num_nodes == 0) {
+    return InvalidArgumentError("graph must have at least one node");
+  }
+  // NodeId is uint32 and the offset arrays hold num_nodes + 1 entries, so
+  // the largest representable node count is 2^32 - 1.
+  constexpr uint64_t kMaxNodes = uint64_t{0xFFFFFFFF};
+  if (num_nodes > kMaxNodes) {
+    return InvalidArgumentError("node count " + std::to_string(num_nodes) +
+                                " exceeds the uint32 node-id limit " +
+                                std::to_string(kMaxNodes));
+  }
+  return OkStatus();
+}
+
+Status ValidateRowDegree(uint64_t node, uint64_t degree) {
+  constexpr uint64_t kMaxDegree = uint64_t{0xFFFFFFFF};
+  if (degree > kMaxDegree) {
+    return InvalidArgumentError(
+        "node " + std::to_string(node) + " has degree " +
+        std::to_string(degree) +
+        ", which exceeds the uint32 per-row limit " +
+        std::to_string(kMaxDegree));
+  }
+  return OkStatus();
+}
+
+Status ValidateEdgeCount(uint64_t num_nodes, uint64_t num_edges) {
+  TPA_RETURN_IF_ERROR(ValidateNodeCount(num_nodes));
+  // Leave headroom for one dangling self-loop per node so the uint64 nnz
+  // arithmetic (and the final offsets entry) cannot wrap mid-build.
+  const uint64_t limit = UINT64_MAX - num_nodes;
+  if (num_edges > limit) {
+    return InvalidArgumentError(
+        "edge count " + std::to_string(num_edges) + " with " +
+        std::to_string(num_nodes) +
+        " nodes overflows the uint64 offset arithmetic (limit " +
+        std::to_string(limit) + ")");
+  }
+  return OkStatus();
+}
 
 void GraphBuilder::AddEdge(NodeId u, NodeId v) {
   TPA_CHECK_LT(u, num_nodes_);
@@ -165,8 +217,9 @@ StatusOr<Graph> GraphBuilder::Build(const BuildOptions& options) {
   }
   std::sort(edges.begin(), edges.end());
 
-  Graph graph = FinalizeCsr(num_nodes_, edges, options.value_precision,
-                            options.value_storage);
+  TPA_ASSIGN_OR_RETURN(Graph graph,
+                       FinalizeCsr(num_nodes_, edges, options.value_precision,
+                                   options.value_storage));
   graph.AttachPermutation(
       std::make_shared<const Permutation>(std::move(permutation)));
   return graph;

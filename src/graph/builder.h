@@ -58,6 +58,20 @@ struct BuildOptions {
   ValueStorage value_storage = ValueStorage::kExplicit;
 };
 
+/// Bounds the CSR representation can actually hold: node ids are NodeId
+/// (uint32) and Graph::OutDegree narrows each row's offset difference to
+/// uint32, so a node count above 2^32 or a single row with 2^32 or more
+/// edges cannot round-trip the arrays.  These checks turn such counts into
+/// a clean InvalidArgument naming the offending node/count instead of a
+/// silent truncation; both builders call them, and the streaming
+/// (out-of-core) builder feeds them aggregates it never materializes as
+/// vectors — which is why they take plain integers, not arrays.
+Status ValidateNodeCount(uint64_t num_nodes);
+Status ValidateRowDegree(uint64_t node, uint64_t degree);
+/// Total edges must leave room for up to one dangling self-loop per node
+/// without wrapping the uint64 offset arithmetic.
+Status ValidateEdgeCount(uint64_t num_nodes, uint64_t num_edges);
+
 /// Accumulates an edge list and finalizes it into an immutable CSR Graph.
 ///
 /// Build is O(m log m) (sort-based) and produces neighbor lists sorted by id,

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <optional>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "graph/builder.h"
@@ -14,6 +15,37 @@ namespace {
 
 uint64_t PackEdge(NodeId u, NodeId v) {
   return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+Status ValidateRmatOptions(const RmatOptions& options) {
+  if (options.edges == 0) return InvalidArgumentError("edges must be positive");
+  const double d = 1.0 - options.a - options.b - options.c;
+  if (options.a <= 0 || options.b <= 0 || options.c <= 0 || d <= 0) {
+    return InvalidArgumentError("quadrant probabilities must be in (0,1)");
+  }
+  return OkStatus();
+}
+
+/// One R-MAT edge draw: `scale` quadrant choices, one NextDouble each.
+/// Shared by the in-RAM and out-of-core generators so both consume the Rng
+/// identically — same options and seed, same edge sequence, which is what
+/// pins the two build paths bitwise-equal.
+std::pair<NodeId, NodeId> DrawRmatEdge(Rng& rng, const RmatOptions& options) {
+  NodeId u = 0, v = 0;
+  for (uint32_t bit = options.scale; bit-- > 0;) {
+    const double p = rng.NextDouble();
+    if (p < options.a) {
+      // top-left quadrant: both bits 0
+    } else if (p < options.a + options.b) {
+      v |= NodeId{1} << bit;
+    } else if (p < options.a + options.b + options.c) {
+      u |= NodeId{1} << bit;
+    } else {
+      u |= NodeId{1} << bit;
+      v |= NodeId{1} << bit;
+    }
+  }
+  return {u, v};
 }
 
 }  // namespace
@@ -42,34 +74,32 @@ StatusOr<Graph> GenerateErdosRenyi(const ErdosRenyiOptions& options) {
 
 StatusOr<Graph> GenerateRmat(const RmatOptions& options,
                              const BuildOptions& build_options) {
-  if (options.edges == 0) return InvalidArgumentError("edges must be positive");
-  const double a = options.a, b = options.b, c = options.c;
-  const double d = 1.0 - a - b - c;
-  if (a <= 0 || b <= 0 || c <= 0 || d <= 0) {
-    return InvalidArgumentError("quadrant probabilities must be in (0,1)");
-  }
+  TPA_RETURN_IF_ERROR(ValidateRmatOptions(options));
   const NodeId n = NodeId{1} << options.scale;
 
   Rng rng(options.seed);
   GraphBuilder builder(n);
   for (uint64_t e = 0; e < options.edges; ++e) {
-    NodeId u = 0, v = 0;
-    for (uint32_t bit = options.scale; bit-- > 0;) {
-      const double p = rng.NextDouble();
-      if (p < a) {
-        // top-left quadrant: both bits 0
-      } else if (p < a + b) {
-        v |= NodeId{1} << bit;
-      } else if (p < a + b + c) {
-        u |= NodeId{1} << bit;
-      } else {
-        u |= NodeId{1} << bit;
-        v |= NodeId{1} << bit;
-      }
-    }
+    const auto [u, v] = DrawRmatEdge(rng, options);
     builder.AddEdge(u, v);
   }
   return builder.Build(build_options);
+}
+
+StatusOr<OutOfCoreGraph> GenerateRmatOutOfCore(const RmatOptions& options,
+                                               OutOfCoreOptions ooc_options) {
+  TPA_RETURN_IF_ERROR(ValidateRmatOptions(options));
+  const NodeId n = NodeId{1} << options.scale;
+
+  Rng rng(options.seed);
+  TPA_ASSIGN_OR_RETURN(
+      OutOfCoreGraphBuilder builder,
+      OutOfCoreGraphBuilder::Create(n, std::move(ooc_options)));
+  for (uint64_t e = 0; e < options.edges; ++e) {
+    const auto [u, v] = DrawRmatEdge(rng, options);
+    TPA_RETURN_IF_ERROR(builder.AddEdge(u, v));
+  }
+  return builder.Build();
 }
 
 StatusOr<Graph> GenerateDcsbm(const DcsbmOptions& options) {

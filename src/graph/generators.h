@@ -5,6 +5,7 @@
 
 #include "graph/builder.h"
 #include "graph/graph.h"
+#include "graph/out_of_core.h"
 #include "util/status.h"
 
 namespace tpa {
@@ -44,6 +45,18 @@ struct RmatOptions {
 /// storage, and node ordering (tpa_snapshot's build path).
 StatusOr<Graph> GenerateRmat(const RmatOptions& options,
                              const BuildOptions& build_options = {});
+
+/// The same R-MAT draw sequence streamed through OutOfCoreGraphBuilder:
+/// edges spill to disk in bounded chunks instead of accumulating on the
+/// heap, and the result is a Graph served off a file-backed CSR.  Identical
+/// options and seed yield a graph bitwise-identical to GenerateRmat's (both
+/// generators share one edge-draw routine, so they consume the Rng
+/// identically), at a resident footprint set by
+/// `ooc_options.memory_budget_bytes` instead of by the edge count.
+/// `ooc_options.build` plays the role of `build_options` above, restricted
+/// to NodeOrdering::kOriginal.
+StatusOr<OutOfCoreGraph> GenerateRmatOutOfCore(const RmatOptions& options,
+                                               OutOfCoreOptions ooc_options);
 
 struct DcsbmOptions {
   NodeId nodes = 0;

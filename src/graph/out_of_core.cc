@@ -1,0 +1,480 @@
+#include "graph/out_of_core.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "la/csr_matrix.h"
+#include "la/precision.h"
+#include "la/shared_array.h"
+#include "snapshot/graph_factory.h"
+
+namespace tpa {
+
+namespace {
+
+constexpr char kOocMagic[8] = {'T', 'P', 'A', 'C', 'S', 'R', '1', '\0'};
+constexpr uint32_t kOocEndianTag = 0x01020304u;
+constexpr uint32_t kOocVersion = 1;
+constexpr uint64_t kOocAlignment = 64;
+
+/// Self-describing header of the file-backed CSR, so a previously built
+/// file can be reopened (OpenOutOfCoreGraph) without re-running the build.
+struct OocHeader {
+  char magic[8];
+  uint32_t endian_tag;
+  uint32_t version;
+  uint64_t num_nodes;
+  uint64_t num_edges;
+  uint32_t precision;      // la::Precision
+  uint32_t value_storage;  // ValueStorage
+  uint64_t file_bytes;
+  uint8_t reserved[16];
+};
+static_assert(sizeof(OocHeader) == 64, "OOC CSR header is exactly 64 bytes");
+
+uint64_t AlignUp(uint64_t offset, uint64_t alignment) {
+  return (offset + alignment - 1) / alignment * alignment;
+}
+
+/// Byte offsets of every array in the CSR file — a pure function of the
+/// graph dimensions and the value configuration, shared by the writer and
+/// the reopen path.
+struct OocLayout {
+  uint64_t out_offsets = 0;
+  uint64_t out_indices = 0;
+  uint64_t in_offsets = 0;
+  uint64_t in_indices = 0;
+  /// kExplicit: per-edge out values then per-edge in values.
+  /// kRowConstant: one n-length scales array (values_b unused).
+  uint64_t values_a = 0;
+  uint64_t values_b = 0;
+  uint64_t total = 0;
+};
+
+OocLayout ComputeLayout(uint64_t n, uint64_t m, la::Precision precision,
+                        ValueStorage storage) {
+  const uint64_t value_bytes = la::PrecisionValueBytes(precision);
+  OocLayout layout;
+  uint64_t offset = sizeof(OocHeader);
+  auto place = [&offset](uint64_t size) {
+    offset = AlignUp(offset, kOocAlignment);
+    const uint64_t at = offset;
+    offset += size;
+    return at;
+  };
+  layout.out_offsets = place((n + 1) * sizeof(uint64_t));
+  layout.out_indices = place(m * sizeof(uint32_t));
+  layout.in_offsets = place((n + 1) * sizeof(uint64_t));
+  layout.in_indices = place(m * sizeof(uint32_t));
+  if (storage == ValueStorage::kExplicit) {
+    layout.values_a = place(m * value_bytes);
+    layout.values_b = place(m * value_bytes);
+  } else {
+    layout.values_a = place(n * value_bytes);
+  }
+  layout.total = offset;
+  return layout;
+}
+
+uint32_t EdgeHigh(uint64_t record) {
+  return static_cast<uint32_t>(record >> 32);
+}
+uint32_t EdgeLow(uint64_t record) { return static_cast<uint32_t>(record); }
+
+/// Explicit out-CSR values: every edge of row u carries 1/out-degree(u),
+/// the fp64 reciprocal rounded once to V — Graph's OutWeights expression,
+/// swept sequentially over the mapped arrays.
+template <typename V>
+void WriteOutValues(const uint64_t* out_offsets, uint64_t n, V* values) {
+  for (uint64_t u = 0; u < n; ++u) {
+    const uint64_t begin = out_offsets[u];
+    const uint64_t end = out_offsets[u + 1];
+    if (begin == end) continue;
+    const V w = static_cast<V>(1.0 / static_cast<double>(end - begin));
+    for (uint64_t e = begin; e < end; ++e) values[e] = w;
+  }
+}
+
+/// Explicit in-CSR values: edge (v ← u) carries 1/out-degree(u) — Graph's
+/// InWeights expression.  Streams in_indices sequentially; the out-offset
+/// lookups are the one gather of the build.
+template <typename V>
+void WriteInValues(const uint64_t* out_offsets, const uint32_t* in_indices,
+                   uint64_t m, V* values) {
+  for (uint64_t e = 0; e < m; ++e) {
+    const uint32_t u = in_indices[e];
+    values[e] = static_cast<V>(
+        1.0 / static_cast<double>(out_offsets[u + 1] - out_offsets[u]));
+  }
+}
+
+/// Value-free scales: Graph's OutDegreeReciprocals expression (dangling
+/// nodes 0).
+template <typename V>
+void WriteScales(const uint64_t* out_offsets, uint64_t n, V* scales) {
+  for (uint64_t u = 0; u < n; ++u) {
+    const uint64_t degree = out_offsets[u + 1] - out_offsets[u];
+    scales[u] = degree == 0
+                    ? V{0}
+                    : static_cast<V>(1.0 / static_cast<double>(degree));
+  }
+}
+
+/// Assembles the Graph over a mapped CSR file whose header has already been
+/// validated.  `base` may be the writable or the read-only mapping.
+StatusOr<OutOfCoreGraph> AssembleGraph(std::shared_ptr<MappedFile> file,
+                                       const uint8_t* base) {
+  const OocHeader* header = reinterpret_cast<const OocHeader*>(base);
+  const uint64_t n = header->num_nodes;
+  const uint64_t m = header->num_edges;
+  const la::Precision precision =
+      static_cast<la::Precision>(header->precision);
+  const ValueStorage storage =
+      static_cast<ValueStorage>(header->value_storage);
+  const OocLayout layout = ComputeLayout(n, m, precision, storage);
+
+  auto view_u64 = [&](uint64_t offset, uint64_t count) {
+    return la::SharedArray<uint64_t>::View(
+        file, reinterpret_cast<const uint64_t*>(base + offset), count);
+  };
+  auto view_u32 = [&](uint64_t offset, uint64_t count) {
+    return la::SharedArray<uint32_t>::View(
+        file, reinterpret_cast<const uint32_t*>(base + offset), count);
+  };
+
+  snapshot::GraphFactory::Parts parts;
+  parts.num_nodes = static_cast<NodeId>(n);
+  parts.precision = precision;
+  parts.value_storage = storage;
+  parts.has_fp64 = precision == la::Precision::kFloat64;
+  parts.has_fp32 = precision == la::Precision::kFloat32;
+  parts.out_structure.rows = static_cast<uint32_t>(n);
+  parts.out_structure.cols = static_cast<uint32_t>(n);
+  parts.out_structure.row_offsets = view_u64(layout.out_offsets, n + 1);
+  parts.out_structure.col_indices = view_u32(layout.out_indices, m);
+  parts.in_structure.rows = static_cast<uint32_t>(n);
+  parts.in_structure.cols = static_cast<uint32_t>(n);
+  parts.in_structure.row_offsets = view_u64(layout.in_offsets, n + 1);
+  parts.in_structure.col_indices = view_u32(layout.in_indices, m);
+
+  if (storage == ValueStorage::kExplicit) {
+    if (parts.has_fp64) {
+      parts.out_values64 = la::SharedArray<double>::View(
+          file, reinterpret_cast<const double*>(base + layout.values_a), m);
+      parts.in_values64 = la::SharedArray<double>::View(
+          file, reinterpret_cast<const double*>(base + layout.values_b), m);
+    } else {
+      parts.out_values32 = la::SharedArray<float>::View(
+          file, reinterpret_cast<const float*>(base + layout.values_a), m);
+      parts.in_values32 = la::SharedArray<float>::View(
+          file, reinterpret_cast<const float*>(base + layout.values_b), m);
+    }
+  } else {
+    if (parts.has_fp64) {
+      parts.scales64 = la::SharedArray<double>::View(
+          file, reinterpret_cast<const double*>(base + layout.values_a), n);
+    } else {
+      parts.scales32 = la::SharedArray<float>::View(
+          file, reinterpret_cast<const float*>(base + layout.values_a), n);
+    }
+  }
+
+  OutOfCoreGraph result;
+  result.graph = snapshot::GraphFactory::Make(std::move(parts));
+  result.file_bytes = layout.total;
+  result.file = std::move(file);
+  return result;
+}
+
+Status ValidateOocHeader(const OocHeader& header, uint64_t mapped_bytes,
+                         const std::string& path) {
+  if (std::memcmp(header.magic, kOocMagic, sizeof(kOocMagic)) != 0) {
+    return InvalidArgumentError("'" + path + "' is not a TPACSR1 file");
+  }
+  if (header.endian_tag != kOocEndianTag) {
+    return InvalidArgumentError("'" + path +
+                                "' was written on a different endianness");
+  }
+  if (header.version != kOocVersion) {
+    return InvalidArgumentError("'" + path + "' has unsupported version " +
+                                std::to_string(header.version));
+  }
+  TPA_RETURN_IF_ERROR(ValidateNodeCount(header.num_nodes));
+  const OocLayout layout = ComputeLayout(
+      header.num_nodes, header.num_edges,
+      static_cast<la::Precision>(header.precision),
+      static_cast<ValueStorage>(header.value_storage));
+  if (header.file_bytes != layout.total || mapped_bytes < layout.total) {
+    return InvalidArgumentError("'" + path + "' is truncated: header says " +
+                                std::to_string(header.file_bytes) +
+                                " bytes, layout needs " +
+                                std::to_string(layout.total) + ", file has " +
+                                std::to_string(mapped_bytes));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<OutOfCoreGraphBuilder> OutOfCoreGraphBuilder::Create(
+    NodeId num_nodes, OutOfCoreOptions options) {
+  TPA_RETURN_IF_ERROR(ValidateNodeCount(num_nodes));
+  if (options.csr_path.empty()) {
+    return InvalidArgumentError("OutOfCoreOptions.csr_path is required");
+  }
+  if (options.build.node_ordering != NodeOrdering::kOriginal) {
+    return UnimplementedError(
+        "out-of-core builds support NodeOrdering::kOriginal only (locality "
+        "orderings need the edge list in RAM)");
+  }
+
+  // The two chunk buffers are the builder's dominant heap use; give each
+  // 1/8 of the budget so the merge buffers, the dangling bitset, and the
+  // mapped-page working set fit comfortably in the rest.
+  ExternalU64Sorter::Options sorter_options;
+  if (options.memory_budget_bytes > 0) {
+    const size_t chunk_bytes =
+        std::max<size_t>(options.memory_budget_bytes / 8, size_t{1} << 20);
+    sorter_options.chunk_records = chunk_bytes / sizeof(uint64_t);
+  }
+  const std::string spill_prefix =
+      options.spill_dir.empty() ? options.csr_path
+                                : options.spill_dir + "/tpa-ooc";
+
+  OutOfCoreGraphBuilder builder;
+  builder.num_nodes_ = num_nodes;
+
+  sorter_options.spill_path = spill_prefix + ".spill-out";
+  TPA_ASSIGN_OR_RETURN(ExternalU64Sorter fwd,
+                       ExternalU64Sorter::Create(sorter_options));
+  builder.fwd_ = std::make_unique<ExternalU64Sorter>(std::move(fwd));
+
+  sorter_options.spill_path = spill_prefix + ".spill-in";
+  TPA_ASSIGN_OR_RETURN(ExternalU64Sorter rev,
+                       ExternalU64Sorter::Create(sorter_options));
+  builder.rev_ = std::make_unique<ExternalU64Sorter>(std::move(rev));
+
+  builder.options_ = std::move(options);
+  return builder;
+}
+
+Status OutOfCoreGraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    return InvalidArgumentError(
+        "edge (" + std::to_string(u) + ", " + std::to_string(v) +
+        ") out of range for " + std::to_string(num_nodes_) + " nodes");
+  }
+  if (options_.build.remove_self_loops && u == v) return OkStatus();
+  TPA_RETURN_IF_ERROR(
+      fwd_->Add((static_cast<uint64_t>(u) << 32) | v));
+  TPA_RETURN_IF_ERROR(
+      rev_->Add((static_cast<uint64_t>(v) << 32) | u));
+  ++added_edges_;
+  return OkStatus();
+}
+
+uint64_t OutOfCoreGraphBuilder::spilled_bytes() const {
+  return (fwd_ ? fwd_->spilled_bytes() : 0) +
+         (rev_ ? rev_->spilled_bytes() : 0);
+}
+
+StatusOr<OutOfCoreGraph> OutOfCoreGraphBuilder::Build() {
+  const uint64_t n = num_nodes_;
+  const bool dedupe = options_.build.deduplicate;
+  const bool add_self_loops =
+      options_.build.dangling_policy == DanglingPolicy::kAddSelfLoop;
+  TPA_RETURN_IF_ERROR(fwd_->Seal());
+  TPA_RETURN_IF_ERROR(rev_->Seal());
+  TPA_RETURN_IF_ERROR(ValidateEdgeCount(n, fwd_->record_count()));
+
+  // Counting pass: one streamed merge determines the cleaned edge count
+  // (duplicates collapsed, dangling self-loops added), which sizes the
+  // file before a single CSR byte is written.
+  uint64_t kept = 0;
+  uint64_t nodes_with_out = 0;
+  {
+    TPA_ASSIGN_OR_RETURN(ExternalU64Sorter::MergeStream stream,
+                         fwd_->Merge());
+    uint64_t record = 0, prev = 0;
+    bool has_prev = false;
+    while (stream.Next(&record)) {
+      if (!has_prev || EdgeHigh(record) != EdgeHigh(prev)) ++nodes_with_out;
+      if (!(dedupe && has_prev && record == prev)) ++kept;
+      prev = record;
+      has_prev = true;
+    }
+    TPA_RETURN_IF_ERROR(stream.status());
+  }
+  const uint64_t dangling = add_self_loops ? n - nodes_with_out : 0;
+  const uint64_t m = kept + dangling;
+  TPA_RETURN_IF_ERROR(ValidateEdgeCount(n, m));
+
+  const la::Precision precision = options_.build.value_precision;
+  const ValueStorage storage = options_.build.value_storage;
+  const OocLayout layout = ComputeLayout(n, m, precision, storage);
+  TPA_ASSIGN_OR_RETURN(MappedFile mapped,
+                       MappedFile::Create(options_.csr_path, layout.total));
+  auto file = std::make_shared<MappedFile>(std::move(mapped));
+  uint8_t* base = file->mutable_data();
+  if (options_.steward != nullptr) {
+    options_.steward->RegisterRegion(file, base, file->size());
+  }
+
+  uint64_t* out_offsets =
+      reinterpret_cast<uint64_t*>(base + layout.out_offsets);
+  uint32_t* out_indices =
+      reinterpret_cast<uint32_t*>(base + layout.out_indices);
+  uint64_t* in_offsets = reinterpret_cast<uint64_t*>(base + layout.in_offsets);
+  uint32_t* in_indices = reinterpret_cast<uint32_t*>(base + layout.in_indices);
+
+  // One bit per node: which rows received a dangling self-loop in the out
+  // pass (the transpose pass must merge the same loops in).  The only O(n)
+  // heap the build keeps.
+  std::vector<uint64_t> dangling_bits;
+  if (add_self_loops) dangling_bits.assign((n + 63) / 64, 0);
+  auto mark_dangling = [&dangling_bits](uint64_t u) {
+    dangling_bits[u >> 6] |= uint64_t{1} << (u & 63);
+  };
+  auto is_dangling = [&dangling_bits](uint64_t u) {
+    return (dangling_bits[u >> 6] >> (u & 63)) & 1;
+  };
+
+  // Out pass: sequential write of offsets and indices off the (u, v)-sorted
+  // stream, collapsing duplicates and appending a self-loop to every row
+  // that would otherwise stay empty — the streaming equivalent of the
+  // in-RAM builder's erase/unique/inplace_merge cleaning.
+  {
+    TPA_ASSIGN_OR_RETURN(ExternalU64Sorter::MergeStream stream,
+                         fwd_->Merge());
+    uint64_t record = 0;
+    bool have = stream.Next(&record);
+    uint64_t pos = 0;
+    out_offsets[0] = 0;
+    for (uint64_t u = 0; u < n; ++u) {
+      uint64_t row_begin = pos;
+      uint64_t prev = 0;
+      bool has_prev = false;
+      while (have && EdgeHigh(record) == u) {
+        if (!(dedupe && has_prev && record == prev)) {
+          out_indices[pos++] = EdgeLow(record);
+        }
+        prev = record;
+        has_prev = true;
+        have = stream.Next(&record);
+      }
+      if (pos == row_begin && add_self_loops) {
+        out_indices[pos++] = static_cast<uint32_t>(u);
+        mark_dangling(u);
+      }
+      TPA_RETURN_IF_ERROR(ValidateRowDegree(u, pos - row_begin));
+      out_offsets[u + 1] = pos;
+    }
+    TPA_RETURN_IF_ERROR(stream.status());
+    if (have || pos != m) {
+      return InternalError(
+          "out-of-core out pass wrote " + std::to_string(pos) +
+          " edges, counting pass said " + std::to_string(m));
+    }
+  }
+
+  // In pass: same streaming cleanup off the (v, u)-sorted transpose order,
+  // with each dangling row's self-loop inserted at its sorted position
+  // among the sources.
+  {
+    TPA_ASSIGN_OR_RETURN(ExternalU64Sorter::MergeStream stream,
+                         rev_->Merge());
+    uint64_t record = 0;
+    bool have = stream.Next(&record);
+    uint64_t pos = 0;
+    in_offsets[0] = 0;
+    for (uint64_t v = 0; v < n; ++v) {
+      const uint64_t row_begin = pos;
+      bool inserted = !(add_self_loops && is_dangling(v));
+      uint64_t prev = 0;
+      bool has_prev = false;
+      while (have && EdgeHigh(record) == v) {
+        const uint32_t u = EdgeLow(record);
+        if (!(dedupe && has_prev && record == prev)) {
+          if (!inserted && u > v) {
+            in_indices[pos++] = static_cast<uint32_t>(v);
+            inserted = true;
+          }
+          in_indices[pos++] = u;
+        }
+        prev = record;
+        has_prev = true;
+        have = stream.Next(&record);
+      }
+      if (!inserted) in_indices[pos++] = static_cast<uint32_t>(v);
+      TPA_RETURN_IF_ERROR(ValidateRowDegree(v, pos - row_begin));
+      in_offsets[v + 1] = pos;
+    }
+    TPA_RETURN_IF_ERROR(stream.status());
+    if (have || pos != m) {
+      return InternalError(
+          "out-of-core in pass wrote " + std::to_string(pos) +
+          " edges, counting pass said " + std::to_string(m));
+    }
+  }
+
+  // Value passes, same expressions as the in-RAM Graph's tier
+  // materialization.
+  if (storage == ValueStorage::kExplicit) {
+    if (precision == la::Precision::kFloat64) {
+      WriteOutValues(out_offsets, n,
+                     reinterpret_cast<double*>(base + layout.values_a));
+      WriteInValues(out_offsets, in_indices, m,
+                    reinterpret_cast<double*>(base + layout.values_b));
+    } else {
+      WriteOutValues(out_offsets, n,
+                     reinterpret_cast<float*>(base + layout.values_a));
+      WriteInValues(out_offsets, in_indices, m,
+                    reinterpret_cast<float*>(base + layout.values_b));
+    }
+  } else {
+    if (precision == la::Precision::kFloat64) {
+      WriteScales(out_offsets, n,
+                  reinterpret_cast<double*>(base + layout.values_a));
+    } else {
+      WriteScales(out_offsets, n,
+                  reinterpret_cast<float*>(base + layout.values_a));
+    }
+  }
+
+  OocHeader header = {};
+  std::memcpy(header.magic, kOocMagic, sizeof(kOocMagic));
+  header.endian_tag = kOocEndianTag;
+  header.version = kOocVersion;
+  header.num_nodes = n;
+  header.num_edges = m;
+  header.precision = static_cast<uint32_t>(precision);
+  header.value_storage = static_cast<uint32_t>(storage);
+  header.file_bytes = layout.total;
+  std::memcpy(base, &header, sizeof(header));
+
+  if (options_.sync_on_finish) TPA_RETURN_IF_ERROR(file->Sync());
+
+  // The spill files are no longer needed; drop them before the graph goes
+  // to work so the disk footprint is just the CSR.
+  fwd_.reset();
+  rev_.reset();
+
+  return AssembleGraph(std::move(file), base);
+}
+
+StatusOr<OutOfCoreGraph> OpenOutOfCoreGraph(const std::string& csr_path) {
+  TPA_ASSIGN_OR_RETURN(MappedFile mapped, MappedFile::Open(csr_path));
+  if (mapped.size() < sizeof(OocHeader)) {
+    return InvalidArgumentError("'" + csr_path +
+                                "' is too small to be a TPACSR1 file");
+  }
+  auto file = std::make_shared<MappedFile>(std::move(mapped));
+  const uint8_t* base = file->data();
+  const OocHeader* header = reinterpret_cast<const OocHeader*>(base);
+  TPA_RETURN_IF_ERROR(ValidateOocHeader(*header, file->size(), csr_path));
+  return AssembleGraph(std::move(file), base);
+}
+
+}  // namespace tpa

@@ -25,6 +25,50 @@ CsrStructure MakeCsrStructure(uint32_t rows, uint32_t cols,
   return structure;
 }
 
+StatusOr<CsrStructure> MakeCsrStructureChecked(
+    uint32_t rows, uint32_t cols, std::vector<uint64_t> row_offsets,
+    std::vector<uint32_t> col_indices) {
+  if (row_offsets.size() != static_cast<size_t>(rows) + 1) {
+    return InvalidArgumentError(
+        "row_offsets has " + std::to_string(row_offsets.size()) +
+        " entries, want rows+1 = " +
+        std::to_string(static_cast<size_t>(rows) + 1));
+  }
+  if (row_offsets.front() != 0) {
+    return InvalidArgumentError("row_offsets[0] = " +
+                                std::to_string(row_offsets.front()) +
+                                ", want 0");
+  }
+  if (row_offsets.back() != col_indices.size()) {
+    return InvalidArgumentError(
+        "row_offsets[rows] = " + std::to_string(row_offsets.back()) +
+        " does not match col_indices.size() = " +
+        std::to_string(col_indices.size()));
+  }
+  for (uint32_t r = 0; r < rows; ++r) {
+    if (row_offsets[r] > row_offsets[r + 1]) {
+      return InvalidArgumentError(
+          "row_offsets not monotone at row " + std::to_string(r) + ": " +
+          std::to_string(row_offsets[r]) + " > " +
+          std::to_string(row_offsets[r + 1]));
+    }
+  }
+  for (size_t i = 0; i < col_indices.size(); ++i) {
+    if (col_indices[i] >= cols) {
+      return InvalidArgumentError("col_indices[" + std::to_string(i) + "] = " +
+                                  std::to_string(col_indices[i]) +
+                                  " out of range for " + std::to_string(cols) +
+                                  " columns");
+    }
+  }
+  CsrStructure structure;
+  structure.rows = rows;
+  structure.cols = cols;
+  structure.row_offsets = SharedArray<uint64_t>(std::move(row_offsets));
+  structure.col_indices = SharedArray<uint32_t>(std::move(col_indices));
+  return structure;
+}
+
 size_t CsrStructureBytes(const CsrStructure& structure) {
   return structure.row_offsets.size() * sizeof(uint64_t) +
          structure.col_indices.size() * sizeof(uint32_t);

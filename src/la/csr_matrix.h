@@ -11,6 +11,7 @@
 #include "la/precision.h"
 #include "la/shared_array.h"
 #include "la/task_runner.h"
+#include "util/status.h"
 
 namespace tpa::la {
 
@@ -73,6 +74,15 @@ struct CsrStructure {
 CsrStructure MakeCsrStructure(uint32_t rows, uint32_t cols,
                               std::vector<uint64_t> row_offsets,
                               std::vector<uint32_t> col_indices);
+
+/// Status-returning twin of MakeCsrStructure for arrays that come from
+/// untrusted arithmetic rather than an already-validated build — e.g. edge
+/// counts near the uint32 node / uint64 nnz limits.  Malformed input comes
+/// back as InvalidArgument naming the offending row and count instead of a
+/// CHECK abort.
+StatusOr<CsrStructure> MakeCsrStructureChecked(
+    uint32_t rows, uint32_t cols, std::vector<uint64_t> row_offsets,
+    std::vector<uint32_t> col_indices);
 
 /// Bytes of the index structure alone (offsets + indices).
 size_t CsrStructureBytes(const CsrStructure& structure);

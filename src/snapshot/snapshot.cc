@@ -8,88 +8,12 @@
 #include "graph/permutation.h"
 #include "la/shared_array.h"
 #include "snapshot/format.h"
+#include "snapshot/graph_factory.h"
 #include "util/failpoint.h"
+#include "util/mem_stats.h"
 #include "util/serial.h"
 
 namespace tpa::snapshot {
-
-/// The one friend of Graph: wires deserialized (possibly mmap-backed)
-/// structures and value layers directly into Graph's private fields, and
-/// exposes the private in-direction structure for the writer.  Everything
-/// passed to Make must already be validated — the factory only assembles.
-class GraphFactory {
- public:
-  struct Parts {
-    NodeId num_nodes = 0;
-    la::Precision precision = la::Precision::kFloat64;
-    ValueStorage value_storage = ValueStorage::kExplicit;
-    la::CsrStructure out_structure;
-    la::CsrStructure in_structure;
-    bool has_fp64 = false;
-    bool has_fp32 = false;
-    // kExplicit layers (per materialized tier): one value per edge.
-    la::SharedArray<double> out_values64, in_values64;
-    la::SharedArray<float> out_values32, in_values32;
-    // kRowConstant layers: the n-length 1/out-degree array shared by both
-    // directions (per-row scale out, per-column scale in).
-    la::SharedArray<double> scales64;
-    la::SharedArray<float> scales32;
-    std::shared_ptr<const Permutation> permutation;
-  };
-
-  static std::unique_ptr<Graph> Make(Parts parts) {
-    auto graph = std::unique_ptr<Graph>(new Graph());
-    graph->num_nodes_ = parts.num_nodes;
-    graph->precision_ = parts.precision;
-    graph->value_storage_ = parts.value_storage;
-    graph->out_structure_ = parts.out_structure;
-    graph->in_structure_ = parts.in_structure;
-    graph->has_fp64_ = parts.has_fp64;
-    graph->has_fp32_ = parts.has_fp32;
-    const bool explicit_values =
-        parts.value_storage == ValueStorage::kExplicit;
-    if (parts.has_fp64) {
-      if (explicit_values) {
-        graph->out_csr_ = la::CsrMatrix(parts.out_structure,
-                                        std::move(parts.out_values64));
-        graph->in_csr_ =
-            la::CsrMatrix(parts.in_structure, std::move(parts.in_values64));
-      } else {
-        graph->out_csr_ = la::CsrMatrix(
-            parts.out_structure, la::CsrValueMode::kRowConstant,
-            parts.scales64);
-        graph->in_csr_ = la::CsrMatrix(parts.in_structure,
-                                       la::CsrValueMode::kColumnScale,
-                                       std::move(parts.scales64));
-      }
-    }
-    if (parts.has_fp32) {
-      if (explicit_values) {
-        graph->out_csr_f_ = la::CsrMatrixF(parts.out_structure,
-                                           std::move(parts.out_values32));
-        graph->in_csr_f_ =
-            la::CsrMatrixF(parts.in_structure, std::move(parts.in_values32));
-      } else {
-        graph->out_csr_f_ = la::CsrMatrixF(
-            parts.out_structure, la::CsrValueMode::kRowConstant,
-            parts.scales32);
-        graph->in_csr_f_ = la::CsrMatrixF(parts.in_structure,
-                                          la::CsrValueMode::kColumnScale,
-                                          std::move(parts.scales32));
-      }
-    }
-    graph->permutation_ = std::move(parts.permutation);
-    graph->partition_cache_ = std::make_shared<Graph::PartitionCache>();
-    return graph;
-  }
-
-  static const la::CsrStructure& OutStructure(const Graph& graph) {
-    return graph.out_structure_;
-  }
-  static const la::CsrStructure& InStructure(const Graph& graph) {
-    return graph.in_structure_;
-  }
-};
 
 namespace {
 
@@ -222,11 +146,18 @@ Status CheckNodePermutation(const uint32_t* nodes, uint64_t n,
 /// and exact sizes — always; payload checksums and structural invariants
 /// when `verify_payload`.
 StatusOr<ParsedSnapshot> ParseSnapshot(const std::string& path,
-                                       bool verify_payload) {
+                                       bool verify_payload,
+                                       ResidentSteward* steward = nullptr) {
   ParsedSnapshot parsed;
   {
     TPA_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
     parsed.file = std::make_shared<const MappedFile>(std::move(file));
+  }
+  if (steward != nullptr) {
+    // Register before the verification sweep below pages the payload in,
+    // so a snapshot larger than the budget can still be verified inside it.
+    steward->RegisterRegion(parsed.file, parsed.file->data(),
+                            parsed.file->size());
   }
   const MappedFile& file = *parsed.file;
   if (file.size() < sizeof(SnapshotHeader)) {
@@ -521,11 +452,15 @@ Status WriteSnapshot(const Tpa& tpa, const std::string& path) {
 StatusOr<LoadedSnapshot> LoadSnapshot(const std::string& path,
                                       const LoadOptions& options) {
   TPA_FAILPOINT("snapshot.load");
-  TPA_ASSIGN_OR_RETURN(ParsedSnapshot parsed,
-                       ParseSnapshot(path, options.verify));
+  const LoadMode mode = options.mode;
+  TPA_ASSIGN_OR_RETURN(
+      ParsedSnapshot parsed,
+      ParseSnapshot(path, options.verify, options.steward));
   const MetaSection& meta = parsed.meta;
   const uint64_t n = meta.num_nodes;
-  const LoadMode mode = options.mode;
+  if (mode == LoadMode::kMap && options.advice != MappedAdvice::kNormal) {
+    (void)parsed.file->Advise(options.advice);  // best-effort
+  }
 
   GraphFactory::Parts parts;
   parts.num_nodes = static_cast<NodeId>(n);
@@ -596,6 +531,7 @@ StatusOr<LoadedSnapshot> LoadSnapshot(const std::string& path,
           std::move(stranger_f),
           SectionVector<NodeId>(parsed, SectionId::kStrangerOrder)));
   loaded.tpa = std::make_unique<Tpa>(std::move(tpa));
+  if (mode == LoadMode::kMap) loaded.mapped_file = parsed.file;
   return loaded;
 }
 

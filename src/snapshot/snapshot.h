@@ -7,7 +7,12 @@
 
 #include "core/tpa.h"
 #include "graph/graph.h"
+#include "util/serial.h"
 #include "util/status.h"
+
+namespace tpa {
+class ResidentSteward;
+}  // namespace tpa
 
 namespace tpa::snapshot {
 
@@ -33,6 +38,22 @@ struct LoadOptions {
   /// table sanity (magic, version, endianness, bounds, sizes) are always
   /// checked either way — a corrupt file yields a Status, never a crash.
   bool verify = true;
+  /// Paging-pattern hint applied to the whole mapping after a kMap load
+  /// (ignored under kCopy).  kSequential suits the propagation sweeps of a
+  /// preprocess/benchmark run (aggressive readahead, eager reclaim behind
+  /// the sweep); kWillNeed prefetches the file for a serving process about
+  /// to be hit; kRandom suits sparse single-seed query traffic (no wasted
+  /// readahead on the gathers).  Best-effort — advice failures don't fail
+  /// the load.
+  MappedAdvice advice = MappedAdvice::kNormal;
+  /// When set (and running), the mapping is registered with this steward
+  /// immediately after mmap — before the verification sweep touches the
+  /// payload — so even the load's own O(file) passes stay inside the
+  /// steward's resident budget.  The registration persists for the
+  /// mapping's lifetime; the caller must keep the steward alive at least
+  /// as long as it stays started.  No effect under kCopy beyond the load
+  /// itself (the mapping closes when the load returns).
+  ResidentSteward* steward = nullptr;
 };
 
 /// What a snapshot file says about itself (header + meta section only —
@@ -59,6 +80,13 @@ struct LoadedSnapshot {
   std::unique_ptr<Graph> graph;
   std::unique_ptr<Tpa> tpa;
   SnapshotInfo info;
+  /// The backing mapping under LoadMode::kMap (null under kCopy) — the
+  /// handle a bounded-RSS server hands to ResidentSteward::RegisterRegion
+  /// so query sweeps over a snapshot larger than the budget stay
+  /// droppable, and to MappedFile::Advise for per-phase paging hints.
+  /// The graph's views share ownership; holding or dropping this pointer
+  /// does not affect their lifetime.
+  std::shared_ptr<const MappedFile> mapped_file;
 };
 
 /// Serializes the Tpa's full preprocessed state — graph topology, value

@@ -1,0 +1,116 @@
+#include "util/mem_stats.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+namespace tpa {
+
+namespace {
+
+/// Parses one "Vm...:   12345 kB" line into bytes; 0 when absent.
+size_t ParseKbLine(const char* line, const char* key) {
+  const size_t key_len = std::strlen(key);
+  if (std::strncmp(line, key, key_len) != 0) return 0;
+  unsigned long long kb = 0;
+  if (std::sscanf(line + key_len, " %llu", &kb) != 1) return 0;
+  return static_cast<size_t>(kb) * 1024;
+}
+
+}  // namespace
+
+MemStats ReadMemStats() {
+  MemStats stats;
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return stats;
+  char line[256];
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (const size_t rss = ParseKbLine(line, "VmRSS:")) {
+      stats.vm_rss_bytes = rss;
+    } else if (const size_t hwm = ParseKbLine(line, "VmHWM:")) {
+      stats.vm_hwm_bytes = hwm;
+    }
+    if (stats.vm_rss_bytes != 0 && stats.vm_hwm_bytes != 0) break;
+  }
+  std::fclose(file);
+  return stats;
+}
+
+size_t PeakRssBytes() { return ReadMemStats().vm_hwm_bytes; }
+
+ResidentSteward::ResidentSteward(Options options) : options_(options) {}
+
+ResidentSteward::~ResidentSteward() { Stop(); }
+
+void ResidentSteward::RegisterRegion(std::shared_ptr<const void> owner,
+                                     const void* addr, size_t length) {
+  if (addr == nullptr || length == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  regions_.push_back({std::move(owner), addr, length});
+}
+
+void ResidentSteward::DropAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const size_t page_size = page > 0 ? static_cast<size_t>(page) : 4096;
+  for (const Region& region : regions_) {
+    // Align inward to full pages: a partial first/last page may share data
+    // with a neighboring heap allocation in principle — mapped sections are
+    // page-aligned in practice, so this is belt and braces.
+    uintptr_t begin = reinterpret_cast<uintptr_t>(region.addr);
+    uintptr_t end = begin + region.length;
+    begin = (begin + page_size - 1) / page_size * page_size;
+    end = end / page_size * page_size;
+    if (end <= begin) continue;
+    ::madvise(reinterpret_cast<void*>(begin), end - begin, MADV_DONTNEED);
+  }
+}
+
+void ResidentSteward::Start() {
+  if (options_.budget_bytes == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+  }
+  thread_ = std::thread([this] { Poll(); });
+}
+
+void ResidentSteward::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+size_t ResidentSteward::drop_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drop_count_;
+}
+
+void ResidentSteward::Poll() {
+  const size_t watermark = static_cast<size_t>(
+      static_cast<double>(options_.budget_bytes) *
+      options_.high_watermark_fraction);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_interval_ms),
+                 [this] { return !running_; });
+    if (!running_) return;
+    lock.unlock();
+    const size_t rss = ReadMemStats().vm_rss_bytes;
+    const bool over = rss != 0 && rss > watermark;
+    if (over) DropAll();
+    lock.lock();
+    if (over) ++drop_count_;
+  }
+}
+
+}  // namespace tpa

@@ -5,10 +5,14 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <cstring>
+#include <functional>
 #include <utility>
+
+#include "util/failpoint.h"
 
 namespace tpa {
 
@@ -29,7 +33,64 @@ std::array<uint32_t, 256> MakeCrc32Table() {
 }
 
 Status ErrnoError(const std::string& action, const std::string& path) {
+  if (errno == ENOSPC || errno == EDQUOT) {
+    return ResourceExhaustedError(action + " '" + path +
+                                  "': " + std::strerror(errno));
+  }
   return InternalError(action + " '" + path + "': " + std::strerror(errno));
+}
+
+/// Full-length pwrite with partial-write retry; errno is preserved on error.
+bool PwriteAll(int fd, const void* data, size_t size, uint64_t offset) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t written =
+        ::pwrite(fd, bytes, size, static_cast<off_t>(offset));
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (written == 0) {
+      errno = EIO;
+      return false;
+    }
+    bytes += written;
+    size -= static_cast<size_t>(written);
+    offset += static_cast<uint64_t>(written);
+  }
+  return true;
+}
+
+/// Full-length pread; a short read (EOF before `size`) is an error here
+/// because the sorter knows exactly how many records each chunk holds.
+bool PreadAll(int fd, void* data, size_t size, uint64_t offset) {
+  uint8_t* bytes = static_cast<uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t got = ::pread(fd, bytes, size, static_cast<off_t>(offset));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) {
+      errno = EIO;
+      return false;
+    }
+    bytes += got;
+    size -= static_cast<size_t>(got);
+    offset += static_cast<uint64_t>(got);
+  }
+  return true;
+}
+
+int ToMadvise(MappedAdvice advice) {
+  switch (advice) {
+    case MappedAdvice::kNormal: return MADV_NORMAL;
+    case MappedAdvice::kSequential: return MADV_SEQUENTIAL;
+    case MappedAdvice::kRandom: return MADV_RANDOM;
+    case MappedAdvice::kWillNeed: return MADV_WILLNEED;
+    case MappedAdvice::kDontNeed: return MADV_DONTNEED;
+  }
+  return MADV_NORMAL;
 }
 
 }  // namespace
@@ -68,17 +129,73 @@ StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
   return file;
 }
 
+StatusOr<MappedFile> MappedFile::Create(const std::string& path, size_t size) {
+  if (size == 0) {
+    return InvalidArgumentError("MappedFile::Create needs a positive size");
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoError("cannot create", path);
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const Status status = ErrnoError("cannot size", path);
+    ::close(fd);
+    return status;
+  }
+  void* addr =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (addr == MAP_FAILED) {
+    const Status status = ErrnoError("cannot mmap", path);
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);  // MAP_SHARED keeps the file reference
+  MappedFile file;
+  file.addr_ = addr;
+  file.size_ = size;
+  file.writable_ = true;
+  return file;
+}
+
 MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
   if (this != &other) {
     if (addr_ != nullptr) ::munmap(addr_, size_);
     addr_ = std::exchange(other.addr_, nullptr);
     size_ = std::exchange(other.size_, 0);
+    writable_ = std::exchange(other.writable_, false);
   }
   return *this;
 }
 
 MappedFile::~MappedFile() {
   if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+Status MappedFile::Sync() {
+  if (!writable_) {
+    return FailedPreconditionError("Sync on a read-only mapping");
+  }
+  TPA_FAILPOINT("serial.msync");
+  if (addr_ != nullptr && ::msync(addr_, size_, MS_SYNC) != 0) {
+    return ErrnoError("cannot msync", "<mapped file>");
+  }
+  return OkStatus();
+}
+
+Status MappedFile::Advise(MappedAdvice advice, size_t offset,
+                          size_t length) const {
+  if (addr_ == nullptr || offset >= size_) return OkStatus();
+  if (length == 0 || offset + length > size_) length = size_ - offset;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const size_t page_size = page > 0 ? static_cast<size_t>(page) : 4096;
+  // madvise wants a page-aligned start; widen the range down to the page
+  // the offset falls in.
+  const size_t aligned = offset / page_size * page_size;
+  length += offset - aligned;
+  uint8_t* base = static_cast<uint8_t*>(addr_) + aligned;
+  if (::madvise(base, length, ToMadvise(advice)) != 0) {
+    return InternalError(std::string("madvise failed: ") +
+                         std::strerror(errno));
+  }
+  return OkStatus();
 }
 
 StatusOr<BinaryFileWriter> BinaryFileWriter::Create(const std::string& path) {
@@ -138,6 +255,153 @@ Status BinaryFileWriter::Close() {
   file_ = nullptr;
   if (status != 0) return InternalError("cannot flush snapshot file");
   return OkStatus();
+}
+
+StatusOr<ExternalU64Sorter> ExternalU64Sorter::Create(Options options) {
+  if (options.spill_path.empty()) {
+    return InvalidArgumentError("ExternalU64Sorter needs a spill_path");
+  }
+  if (options.chunk_records == 0 || options.merge_buffer_records == 0) {
+    return InvalidArgumentError(
+        "ExternalU64Sorter chunk_records and merge_buffer_records must be "
+        "positive");
+  }
+  const int fd =
+      ::open(options.spill_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoError("cannot create spill file", options.spill_path);
+  ExternalU64Sorter sorter;
+  sorter.path_ = options.spill_path;
+  sorter.options_ = std::move(options);
+  sorter.fd_ = fd;
+  sorter.buffer_.reserve(sorter.options_.chunk_records);
+  return sorter;
+}
+
+ExternalU64Sorter& ExternalU64Sorter::operator=(
+    ExternalU64Sorter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      ::unlink(path_.c_str());
+    }
+    options_ = std::move(other.options_);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    buffer_ = std::move(other.buffer_);
+    chunks_ = std::move(other.chunks_);
+    record_count_ = std::exchange(other.record_count_, 0);
+    file_records_ = std::exchange(other.file_records_, 0);
+    sealed_ = std::exchange(other.sealed_, false);
+  }
+  return *this;
+}
+
+ExternalU64Sorter::~ExternalU64Sorter() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+Status ExternalU64Sorter::Add(uint64_t record) {
+  if (sealed_) return FailedPreconditionError("Add after Seal");
+  if (fd_ < 0) return FailedPreconditionError("sorter is moved-from");
+  buffer_.push_back(record);
+  record_count_++;
+  if (buffer_.size() >= options_.chunk_records) return SpillBuffer();
+  return OkStatus();
+}
+
+Status ExternalU64Sorter::SpillBuffer() {
+  if (buffer_.empty()) return OkStatus();
+  std::sort(buffer_.begin(), buffer_.end());
+  TPA_FAILPOINT("builder.spill");
+  if (!PwriteAll(fd_, buffer_.data(), buffer_.size() * sizeof(uint64_t),
+                 file_records_ * sizeof(uint64_t))) {
+    return ErrnoError("cannot spill sort chunk to", path_);
+  }
+  chunks_.push_back({file_records_, buffer_.size()});
+  file_records_ += buffer_.size();
+  buffer_.clear();
+  return OkStatus();
+}
+
+Status ExternalU64Sorter::Seal() {
+  if (sealed_) return OkStatus();
+  if (fd_ < 0) return FailedPreconditionError("sorter is moved-from");
+  TPA_RETURN_IF_ERROR(SpillBuffer());
+  buffer_.shrink_to_fit();  // release the chunk buffer before the merge
+  sealed_ = true;
+  return OkStatus();
+}
+
+StatusOr<ExternalU64Sorter::MergeStream> ExternalU64Sorter::Merge() const {
+  if (!sealed_) return FailedPreconditionError("Merge before Seal");
+  MergeStream stream;
+  stream.fd_ = fd_;
+  stream.buffer_records_ = options_.merge_buffer_records;
+  stream.sources_.resize(chunks_.size());
+  stream.heap_.reserve(chunks_.size());
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    MergeStream::Source& source = stream.sources_[i];
+    source.next_offset_records = chunks_[i].offset_records;
+    source.remaining_records = chunks_[i].count;
+    if (!stream.Refill(i)) {
+      if (!stream.status_.ok()) return stream.status_;
+      continue;  // empty chunk (cannot happen today, but harmless)
+    }
+    stream.heap_.emplace_back(source.buffer[source.cursor++],
+                              static_cast<uint32_t>(i));
+  }
+  std::make_heap(stream.heap_.begin(), stream.heap_.end(),
+                 std::greater<std::pair<uint64_t, uint32_t>>());
+  return stream;
+}
+
+bool ExternalU64Sorter::MergeStream::Refill(size_t source_index) {
+  Source& source = sources_[source_index];
+  if (source.cursor < source.buffer.size()) return true;
+  if (source.remaining_records == 0) return false;
+  if (!status_.ok()) return false;
+  const Status injected = [] {
+    TPA_FAILPOINT("builder.merge");
+    return OkStatus();
+  }();
+  if (!injected.ok()) {
+    status_ = injected;
+    return false;
+  }
+  const size_t want = static_cast<size_t>(std::min<uint64_t>(
+      source.remaining_records, buffer_records_));
+  source.buffer.resize(want);
+  source.cursor = 0;
+  if (!PreadAll(fd_, source.buffer.data(), want * sizeof(uint64_t),
+                source.next_offset_records * sizeof(uint64_t))) {
+    status_ = InternalError(std::string("cannot read sort chunk: ") +
+                            std::strerror(errno));
+    return false;
+  }
+  source.next_offset_records += want;
+  source.remaining_records -= want;
+  return true;
+}
+
+bool ExternalU64Sorter::MergeStream::Next(uint64_t* record) {
+  if (heap_.empty() || !status_.ok()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(),
+                std::greater<std::pair<uint64_t, uint32_t>>());
+  const auto [value, source_index] = heap_.back();
+  *record = value;
+  Source& source = sources_[source_index];
+  if (source.cursor < source.buffer.size() || Refill(source_index)) {
+    heap_.back() = {source.buffer[source.cursor++], source_index};
+    std::push_heap(heap_.begin(), heap_.end(),
+                   std::greater<std::pair<uint64_t, uint32_t>>());
+  } else {
+    heap_.pop_back();
+    if (!status_.ok()) return false;  // refill error, not exhaustion
+  }
+  return true;
 }
 
 }  // namespace tpa

@@ -4,7 +4,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -16,13 +18,41 @@ namespace tpa {
 /// time without any library dependency.
 uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
 
-/// Read-only memory-mapped file (RAII over mmap/munmap).  The snapshot
-/// reader hands non-owning SharedArray views into the mapping, with a
-/// shared_ptr<MappedFile> as the keep-alive owner — the file pages in
-/// lazily and is never copied.
+/// Paging-pattern hints forwarded to madvise on a mapped range.  The
+/// out-of-core pipeline applies kSequential ahead of propagation sweeps
+/// (aggressive readahead, early reclaim behind the sweep), kWillNeed to
+/// warm a section about to be served, kRandom on gather-indexed sections
+/// (no wasted readahead), and kDontNeed to drop a phase's streamed pages
+/// from the resident set (file-backed pages re-fault with identical
+/// contents — see ResidentSteward).
+enum class MappedAdvice : uint8_t {
+  kNormal,
+  kSequential,
+  kRandom,
+  kWillNeed,
+  kDontNeed,
+};
+
+/// Memory-mapped file (RAII over mmap/munmap).
+///
+/// Open() maps read-only — the snapshot reader hands non-owning SharedArray
+/// views into the mapping, with a shared_ptr<MappedFile> as the keep-alive
+/// owner; the file pages in lazily and is never copied.
+///
+/// Create() maps read-write (O_CREAT + ftruncate + MAP_SHARED): the
+/// out-of-core CSR builder streams arrays straight into the mapping, so
+/// the built graph never exists on the heap.  Writes reach the file via
+/// the page cache; Sync() (msync) makes them durable.  MAP_SHARED also
+/// means madvise(MADV_DONTNEED) never discards dirty data — it only
+/// unmaps the pages from this process, which is what lets the resident
+/// steward bound RSS during a build.
 class MappedFile {
  public:
   static StatusOr<MappedFile> Open(const std::string& path);
+
+  /// Creates (or truncates) `path` at exactly `size` bytes and maps it
+  /// read-write.  `size` must be positive.
+  static StatusOr<MappedFile> Create(const std::string& path, size_t size);
 
   MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
   MappedFile& operator=(MappedFile&& other) noexcept;
@@ -33,11 +63,30 @@ class MappedFile {
   const uint8_t* data() const { return static_cast<const uint8_t*>(addr_); }
   size_t size() const { return size_; }
 
+  /// Writable view of the mapping; null unless Create()'d.
+  uint8_t* mutable_data() {
+    return writable_ ? static_cast<uint8_t*>(addr_) : nullptr;
+  }
+  bool writable() const { return writable_; }
+
+  /// Flushes dirty pages to the file (msync MS_SYNC).  Only valid on a
+  /// writable mapping.  Failpoint site "serial.msync" — a simulated
+  /// disk-full surfaces here as a Status.
+  Status Sync();
+
+  /// Applies `advice` to [offset, offset + length) — length 0 means "to the
+  /// end of the mapping".  Offsets are aligned down to page boundaries.
+  /// Advice is best-effort: an madvise error (e.g. an unsupported hint) is
+  /// reported but safe to ignore.
+  Status Advise(MappedAdvice advice, size_t offset = 0,
+                size_t length = 0) const;
+
  private:
   MappedFile() = default;
 
   void* addr_ = nullptr;  // null for an empty file
   size_t size_ = 0;
+  bool writable_ = false;
 };
 
 /// Sequential binary file writer with explicit alignment control: the
@@ -73,6 +122,107 @@ class BinaryFileWriter {
 
   std::FILE* file_ = nullptr;
   uint64_t offset_ = 0;
+};
+
+/// Streams the globally sorted order of a uint64 sequence too large for
+/// RAM: Add() buffers records up to `chunk_records`, sorts each full buffer
+/// and spills it to a temp file; after Seal(), Merge() opens a k-way merge
+/// over the spilled chunks that yields the records in ascending order using
+/// only the bounded per-chunk read buffers.  Merge() may be called any
+/// number of times — the out-of-core CSR build replays the same sorted
+/// stream once to count degrees and once per direction to write indices.
+///
+/// Records are opaque uint64s ordered by value; the graph pipeline packs an
+/// edge as (u << 32) | v so value order is (u, v) lexicographic order.
+/// Duplicate records are preserved — deduplication is the consumer's
+/// policy, applied trivially on a sorted stream.
+///
+/// The spill file is unlinked on destruction.  Failpoint sites:
+/// "builder.spill" before each chunk write, "builder.merge" before each
+/// merge-buffer refill — the fault suite turns them into simulated
+/// disk-full / short-read errors.
+class ExternalU64Sorter {
+ public:
+  struct Options {
+    /// Backing file for the spilled chunks (created/truncated).
+    std::string spill_path;
+    /// In-RAM buffer capacity in records; this is the sorter's dominant
+    /// memory use (8 bytes per record).  Must be positive.
+    size_t chunk_records = size_t{1} << 22;  // 32 MB
+    /// Per-chunk read buffer during merge, in records.
+    size_t merge_buffer_records = size_t{1} << 15;  // 256 KB per chunk
+  };
+
+  /// A pull cursor over the merged, ascending record stream.  Errors during
+  /// refills end the stream early; callers must check status() after the
+  /// final Next().
+  class MergeStream {
+   public:
+    /// True: *record is the next value in ascending order.  False: end of
+    /// stream, or an I/O error (status() distinguishes).
+    bool Next(uint64_t* record);
+
+    const Status& status() const { return status_; }
+
+   private:
+    friend class ExternalU64Sorter;
+    struct Source {
+      uint64_t next_offset_records = 0;  // into the spill file
+      uint64_t remaining_records = 0;
+      std::vector<uint64_t> buffer;
+      size_t cursor = 0;
+    };
+
+    bool Refill(size_t source_index);
+
+    int fd_ = -1;  // borrowed from the sorter
+    size_t buffer_records_ = 0;
+    std::vector<Source> sources_;
+    /// Min-heap of (value, source) pairs, one per non-exhausted source.
+    std::vector<std::pair<uint64_t, uint32_t>> heap_;
+    Status status_;
+  };
+
+  static StatusOr<ExternalU64Sorter> Create(Options options);
+
+  ExternalU64Sorter(ExternalU64Sorter&& other) noexcept {
+    *this = std::move(other);
+  }
+  ExternalU64Sorter& operator=(ExternalU64Sorter&& other) noexcept;
+  ExternalU64Sorter(const ExternalU64Sorter&) = delete;
+  ExternalU64Sorter& operator=(const ExternalU64Sorter&) = delete;
+  ~ExternalU64Sorter();
+
+  Status Add(uint64_t record);
+
+  /// Spills the tail chunk and freezes the sorter; Add() afterwards is an
+  /// error, Merge() becomes available.  Idempotent.
+  Status Seal();
+
+  StatusOr<MergeStream> Merge() const;
+
+  uint64_t record_count() const { return record_count_; }
+  size_t chunk_count() const { return chunks_.size(); }
+  uint64_t spilled_bytes() const { return record_count_ * sizeof(uint64_t); }
+
+ private:
+  struct Chunk {
+    uint64_t offset_records;
+    uint64_t count;
+  };
+
+  ExternalU64Sorter() = default;
+
+  Status SpillBuffer();
+
+  Options options_;
+  int fd_ = -1;
+  std::string path_;
+  std::vector<uint64_t> buffer_;
+  std::vector<Chunk> chunks_;
+  uint64_t record_count_ = 0;
+  uint64_t file_records_ = 0;
+  bool sealed_ = false;
 };
 
 }  // namespace tpa

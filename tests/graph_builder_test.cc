@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
 #include "la/vector_ops.h"
 
 namespace tpa {
@@ -79,6 +82,39 @@ TEST(GraphBuilderTest, EmptyGraphRejected) {
 TEST(GraphBuilderDeathTest, OutOfRangeEdgeDies) {
   GraphBuilder builder(2);
   EXPECT_DEATH(builder.AddEdge(0, 2), "CHECK");
+}
+
+// The CSR representability validators at their exact uint32/uint64
+// boundaries: the largest legal value passes, one past it is a clean
+// InvalidArgument (never a silent truncation).
+TEST(GraphBuilderTest, ValidateNodeCountBoundaries) {
+  EXPECT_EQ(ValidateNodeCount(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ValidateNodeCount(1).ok());
+  EXPECT_TRUE(ValidateNodeCount(uint64_t{0xFFFFFFFF}).ok());
+  EXPECT_EQ(ValidateNodeCount(uint64_t{0x100000000}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, ValidateRowDegreeBoundaries) {
+  EXPECT_TRUE(ValidateRowDegree(7, 0).ok());
+  EXPECT_TRUE(ValidateRowDegree(7, uint64_t{0xFFFFFFFF}).ok());
+  const Status status = ValidateRowDegree(7, uint64_t{0x100000000});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The message names the offending node so the failure is actionable.
+  EXPECT_NE(status.message().find("7"), std::string::npos);
+}
+
+TEST(GraphBuilderTest, ValidateEdgeCountBoundaries) {
+  EXPECT_TRUE(ValidateEdgeCount(4, 0).ok());
+  // The limit leaves room for one dangling self-loop per node in uint64
+  // offset arithmetic.
+  const uint64_t nodes = 1000;
+  EXPECT_TRUE(ValidateEdgeCount(nodes, UINT64_MAX - nodes).ok());
+  EXPECT_EQ(ValidateEdgeCount(nodes, UINT64_MAX - nodes + 1).code(),
+            StatusCode::kInvalidArgument);
+  // An invalid node count fails the edge validation too.
+  EXPECT_EQ(ValidateEdgeCount(uint64_t{0x100000000}, 1).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(GraphTest, MultiplyTransposeIsColumnStochastic) {

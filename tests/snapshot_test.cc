@@ -24,6 +24,7 @@
 #include "method/tpa_method.h"
 #include "snapshot/format.h"
 #include "util/failpoint.h"
+#include "util/mem_stats.h"
 
 namespace tpa {
 namespace {
@@ -269,6 +270,60 @@ TEST_F(SnapshotTest, MappedViewsOutliveTheLoadedSnapshotBundle) {
   std::remove(path_.c_str());
   for (NodeId seed : {NodeId{1}, NodeId{99}}) {
     EXPECT_EQ(loaded_tpa->Query(seed), fresh.Query(seed));
+  }
+}
+
+/// A kMap load exposes its backing mapping (the handle a bounded-RSS
+/// server registers with ResidentSteward); kCopy closes the file before
+/// returning, so it exposes nothing.
+TEST_F(SnapshotTest, MappedFileHandleTracksTheLoadMode) {
+  const Graph graph =
+      MakeGraph(la::Precision::kFloat64, ValueStorage::kExplicit);
+  ASSERT_TRUE(MakeTpa(graph).SaveSnapshot(path_).ok());
+
+  auto mapped = Tpa::LoadSnapshot(path_);
+  ASSERT_TRUE(mapped.ok());
+  ASSERT_NE(mapped->mapped_file, nullptr);
+  EXPECT_EQ(mapped->mapped_file->size(), mapped->info.file_bytes);
+
+  snapshot::LoadOptions copy;
+  copy.mode = snapshot::LoadMode::kCopy;
+  auto copied = Tpa::LoadSnapshot(path_, copy);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_EQ(copied->mapped_file, nullptr);
+
+  // Dropping the handle must not tear down the graph's views: they share
+  // ownership of the mapping independently.
+  mapped->mapped_file.reset();
+  EXPECT_EQ(mapped->tpa->Query(1), copied->tpa->Query(1));
+}
+
+/// LoadOptions::steward registers the mapping before the verification
+/// sweep; a drop of every resident snapshot page afterwards must refault
+/// to identical contents (the serving contract the bounded-RSS path
+/// relies on).
+TEST_F(SnapshotTest, StewardedLoadSurvivesAFullPageDrop) {
+  const Graph graph =
+      MakeGraph(la::Precision::kFloat64, ValueStorage::kRowConstant);
+  const Tpa fresh = MakeTpa(graph);
+  ASSERT_TRUE(fresh.SaveSnapshot(path_).ok());
+
+  ResidentSteward steward({});  // budget 0: registration only, no thread
+  snapshot::LoadOptions load;
+  load.steward = &steward;
+  auto loaded = Tpa::LoadSnapshot(path_, load);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ASSERT_NE(loaded->mapped_file, nullptr);
+
+  steward.DropAll();
+  EXPECT_EQ(loaded->tpa->Query(7), fresh.Query(7));
+  steward.DropAll();
+  const auto fresh_topk = fresh.QueryTopK(7, 10);
+  const auto loaded_topk = loaded->tpa->QueryTopK(7, 10);
+  ASSERT_EQ(loaded_topk.top.size(), fresh_topk.top.size());
+  for (size_t i = 0; i < fresh_topk.top.size(); ++i) {
+    EXPECT_EQ(loaded_topk.top[i].node, fresh_topk.top[i].node);
+    EXPECT_EQ(loaded_topk.top[i].score, fresh_topk.top[i].score);
   }
 }
 

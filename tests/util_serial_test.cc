@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -122,6 +123,172 @@ TEST_F(SerialTest, MappedFileHandlesEmptyFile) {
 TEST_F(SerialTest, MappedFileMissingFileIsAnError) {
   auto file = MappedFile::Open(path_ + ".does-not-exist");
   EXPECT_FALSE(file.ok());
+}
+
+TEST_F(SerialTest, WritableMappingPersistsThroughSync) {
+  {
+    auto file = MappedFile::Create(path_, 4096);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->writable());
+    ASSERT_NE(file->mutable_data(), nullptr);
+    std::memcpy(file->mutable_data(), "written in place", 16);
+    file->mutable_data()[4095] = 0x7F;
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  auto readback = MappedFile::Open(path_);
+  ASSERT_TRUE(readback.ok());
+  ASSERT_EQ(readback->size(), 4096u);
+  EXPECT_EQ(std::memcmp(readback->data(), "written in place", 16), 0);
+  EXPECT_EQ(readback->data()[4095], 0x7F);
+  // A read-only mapping exposes no writable view and refuses Sync.
+  EXPECT_FALSE(readback->writable());
+  EXPECT_EQ(readback->mutable_data(), nullptr);
+  EXPECT_EQ(readback->Sync().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SerialTest, CreateRequiresPositiveSize) {
+  EXPECT_FALSE(MappedFile::Create(path_, 0).ok());
+}
+
+TEST_F(SerialTest, AdviseIsAcceptedOnEveryHint) {
+  auto file = MappedFile::Create(path_, 1 << 16);
+  ASSERT_TRUE(file.ok());
+  for (MappedAdvice advice :
+       {MappedAdvice::kNormal, MappedAdvice::kSequential, MappedAdvice::kRandom,
+        MappedAdvice::kWillNeed, MappedAdvice::kDontNeed}) {
+    EXPECT_TRUE(file->Advise(advice).ok());
+  }
+  // Sub-range advice with an unaligned offset is aligned down internally.
+  EXPECT_TRUE(file->Advise(MappedAdvice::kDontNeed, 100, 8000).ok());
+}
+
+class ExternalSortTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/extsort_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".spill";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Pushes `records` through a sorter with the given chunk capacity and
+  /// checks the merged stream equals std::sort of the same records
+  /// (duplicates preserved).
+  void RoundTrip(std::vector<uint64_t> records, size_t chunk_records,
+                 size_t expected_chunks, size_t merge_buffer_records = 4) {
+    ExternalU64Sorter::Options options;
+    options.spill_path = path_;
+    options.chunk_records = chunk_records;
+    options.merge_buffer_records = merge_buffer_records;
+    auto sorter = ExternalU64Sorter::Create(options);
+    ASSERT_TRUE(sorter.ok());
+    for (uint64_t r : records) ASSERT_TRUE(sorter->Add(r).ok());
+    ASSERT_TRUE(sorter->Seal().ok());
+    EXPECT_EQ(sorter->record_count(), records.size());
+    EXPECT_EQ(sorter->chunk_count(), expected_chunks);
+
+    std::vector<uint64_t> expected = records;
+    std::sort(expected.begin(), expected.end());
+
+    // Twice: Merge() must be re-runnable over the same spill.
+    for (int pass = 0; pass < 2; ++pass) {
+      auto stream = sorter->Merge();
+      ASSERT_TRUE(stream.ok());
+      std::vector<uint64_t> merged;
+      uint64_t record = 0;
+      while (stream->Next(&record)) merged.push_back(record);
+      ASSERT_TRUE(stream->status().ok());
+      EXPECT_EQ(merged, expected) << "pass " << pass;
+    }
+  }
+
+  std::string path_;
+};
+
+/// Deterministic scrambled sequence with duplicates sprinkled in.
+std::vector<uint64_t> ScrambledRecords(size_t count) {
+  std::vector<uint64_t> records(count);
+  for (size_t i = 0; i < count; ++i) {
+    records[i] = (i * 0x9E3779B97F4A7C15ULL) >> 13;
+    if (i % 7 == 0) records[i] = records[i / 2];  // cross-chunk duplicates
+  }
+  return records;
+}
+
+TEST_F(ExternalSortTest, CountExactlyOnChunkBoundary) {
+  RoundTrip(ScrambledRecords(64), /*chunk_records=*/8, /*expected_chunks=*/8);
+}
+
+TEST_F(ExternalSortTest, CountOneBelowChunkBoundary) {
+  RoundTrip(ScrambledRecords(63), /*chunk_records=*/8, /*expected_chunks=*/8);
+}
+
+TEST_F(ExternalSortTest, CountOneAboveChunkBoundary) {
+  RoundTrip(ScrambledRecords(65), /*chunk_records=*/8, /*expected_chunks=*/9);
+}
+
+TEST_F(ExternalSortTest, SingleChunkStaysInOneSpill) {
+  RoundTrip(ScrambledRecords(5), /*chunk_records=*/1024,
+            /*expected_chunks=*/1);
+}
+
+TEST_F(ExternalSortTest, SingleRecordPerChunkDegenerate) {
+  RoundTrip(ScrambledRecords(9), /*chunk_records=*/1, /*expected_chunks=*/9);
+}
+
+TEST_F(ExternalSortTest, AllDuplicatesSurviveTheMerge) {
+  RoundTrip(std::vector<uint64_t>(40, 0xDEADBEEFULL), /*chunk_records=*/8,
+            /*expected_chunks=*/5);
+}
+
+TEST_F(ExternalSortTest, EmptySorterMergesToEmptyStream) {
+  ExternalU64Sorter::Options options;
+  options.spill_path = path_;
+  options.chunk_records = 8;
+  auto sorter = ExternalU64Sorter::Create(options);
+  ASSERT_TRUE(sorter.ok());
+  ASSERT_TRUE(sorter->Seal().ok());
+  EXPECT_EQ(sorter->record_count(), 0u);
+  EXPECT_EQ(sorter->chunk_count(), 0u);
+  auto stream = sorter->Merge();
+  ASSERT_TRUE(stream.ok());
+  uint64_t record = 0;
+  EXPECT_FALSE(stream->Next(&record));
+  EXPECT_TRUE(stream->status().ok());
+}
+
+TEST_F(ExternalSortTest, AddAfterSealIsAnError) {
+  ExternalU64Sorter::Options options;
+  options.spill_path = path_;
+  auto sorter = ExternalU64Sorter::Create(options);
+  ASSERT_TRUE(sorter.ok());
+  ASSERT_TRUE(sorter->Add(1).ok());
+  ASSERT_TRUE(sorter->Seal().ok());
+  EXPECT_FALSE(sorter->Add(2).ok());
+  // Seal is idempotent.
+  EXPECT_TRUE(sorter->Seal().ok());
+}
+
+TEST_F(ExternalSortTest, MergeBeforeSealIsAnError) {
+  ExternalU64Sorter::Options options;
+  options.spill_path = path_;
+  auto sorter = ExternalU64Sorter::Create(options);
+  ASSERT_TRUE(sorter.ok());
+  EXPECT_FALSE(sorter->Merge().ok());
+}
+
+TEST_F(ExternalSortTest, SpillFileIsUnlinkedOnDestruction) {
+  {
+    ExternalU64Sorter::Options options;
+    options.spill_path = path_;
+    options.chunk_records = 4;
+    auto sorter = ExternalU64Sorter::Create(options);
+    ASSERT_TRUE(sorter.ok());
+    for (uint64_t r = 0; r < 32; ++r) ASSERT_TRUE(sorter->Add(r).ok());
+    ASSERT_TRUE(sorter->Seal().ok());
+    EXPECT_GT(sorter->spilled_bytes(), 0u);
+  }
+  std::ifstream gone(path_);
+  EXPECT_FALSE(gone.good());
 }
 
 }  // namespace

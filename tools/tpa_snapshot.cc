@@ -5,15 +5,30 @@
 ///          [--precision fp64|fp32] [--value-storage explicit|value-free]
 ///          [--ordering original|degree|hub]
 ///          [--restart C] [--family-window S] [--stranger-start T]
+///          [--out-of-core] [--memory-budget-mb M] [--workdir DIR]
+///          [--from-csr FILE.csr]
 ///       Generates a deterministic R-MAT graph, runs Tpa::Preprocess, and
-///       writes the full serving state to FILE.
+///       writes the full serving state to FILE.  With --out-of-core the
+///       graph is generated/built through the file-backed CSR pipeline
+///       (edges spill to disk, the CSR is mmap'd, a resident steward keeps
+///       peak RSS under --memory-budget-mb); --from-csr skips generation
+///       and preprocesses an existing `gen` output instead.
+///   gen    --out FILE.csr [--scale S] [--edges M] [--seed R]
+///          [--precision fp64|fp32] [--value-storage explicit|value-free]
+///          [--memory-budget-mb M] [--workdir DIR]
+///       Out-of-core R-MAT generation only: streams the edges through the
+///       external-memory sorter into a reopenable file-backed CSR
+///       (TPACSR1), never holding the graph on the heap.
 ///   info FILE
 ///       Prints the header/meta summary (never touches payload bytes).
 ///   verify FILE
 ///       Full integrity check: checksums + structural invariants.
 ///   query FILE --seed N [--topk K] [--copy] [--no-verify]
+///          [--memory-budget-mb M]
 ///       Loads FILE (mmap by default), warm-starts a QueryEngine, and
-///       prints the top-k scores for the seed node.
+///       prints the top-k scores for the seed node.  With a budget, a
+///       resident steward drops cold snapshot pages so the serving sweep
+///       stays under M MB of RSS even when the file is larger.
 ///
 /// Exit status: 0 on success, 1 on any error (message on stderr).
 
@@ -28,8 +43,10 @@
 
 #include "engine/query_engine.h"
 #include "graph/generators.h"
+#include "graph/out_of_core.h"
 #include "method/tpa_method.h"
 #include "snapshot/snapshot.h"
+#include "util/mem_stats.h"
 #include "util/stopwatch.h"
 
 namespace tpa {
@@ -94,29 +111,52 @@ class ArgList {
   std::map<size_t, bool> used_;
 };
 
-int CmdBuild(ArgList& args) {
-  const std::string out = args.Value("--out", "");
-  if (out.empty()) return Fail("build requires --out FILE");
+/// Shared --scale/--edges/--seed parsing (defaults: scale 14, 16 edge
+/// draws per node).
+RmatOptions ParseRmatArgs(ArgList& args) {
   RmatOptions rmat;
   rmat.scale = static_cast<uint32_t>(
       std::strtoul(args.Value("--scale", "14").c_str(), nullptr, 10));
   rmat.edges = std::strtoull(args.Value("--edges", "0").c_str(), nullptr, 10);
   if (rmat.edges == 0) rmat.edges = (uint64_t{1} << rmat.scale) * 16;
   rmat.seed = std::strtoull(args.Value("--seed", "1").c_str(), nullptr, 10);
+  return rmat;
+}
 
-  BuildOptions build;
+/// Parses --precision/--value-storage into `build`; returns "" on success,
+/// else the error message.
+std::string ParseValueArgs(ArgList& args, BuildOptions& build) {
   const std::string precision = args.Value("--precision", "fp64");
   if (precision == "fp32") {
     build.value_precision = la::Precision::kFloat32;
   } else if (precision != "fp64") {
-    return Fail("--precision must be fp64 or fp32");
+    return "--precision must be fp64 or fp32";
   }
   const std::string storage = args.Value("--value-storage", "explicit");
   if (storage == "value-free") {
     build.value_storage = ValueStorage::kRowConstant;
   } else if (storage != "explicit") {
-    return Fail("--value-storage must be explicit or value-free");
+    return "--value-storage must be explicit or value-free";
   }
+  return "";
+}
+
+size_t ParseBudgetBytes(ArgList& args) {
+  return static_cast<size_t>(std::strtoull(
+             args.Value("--memory-budget-mb", "0").c_str(), nullptr, 10))
+         << 20;
+}
+
+int CmdBuild(ArgList& args) {
+  const std::string out = args.Value("--out", "");
+  if (out.empty()) return Fail("build requires --out FILE");
+  RmatOptions rmat = ParseRmatArgs(args);
+
+  BuildOptions build;
+  const std::string value_error = ParseValueArgs(args, build);
+  if (!value_error.empty()) return Fail(value_error);
+  const std::string precision = args.Value("--precision", "fp64");
+  const std::string storage = args.Value("--value-storage", "explicit");
   const std::string ordering = args.Value("--ordering", "original");
   if (ordering == "degree") {
     build.node_ordering = NodeOrdering::kDegreeDescending;
@@ -133,11 +173,64 @@ int CmdBuild(ArgList& args) {
       std::strtol(args.Value("--family-window", "5").c_str(), nullptr, 10));
   options.stranger_start = static_cast<int>(
       std::strtol(args.Value("--stranger-start", "10").c_str(), nullptr, 10));
+  const bool out_of_core = args.Present("--out-of-core");
+  const size_t budget_bytes = ParseBudgetBytes(args);
+  const std::string workdir = args.Value("--workdir", "");
+  const std::string from_csr = args.Value("--from-csr", "");
   if (!args.Unparsed().empty()) {
     return Fail("unknown argument: " + args.Unparsed());
   }
 
   Stopwatch watch;
+  if (out_of_core || !from_csr.empty()) {
+    // File-backed pipeline: the CSR never sits on the heap, and the steward
+    // keeps its mapped pages from accumulating past the budget through
+    // generation, preprocess, and save.
+    ResidentSteward::Options steward_options;
+    steward_options.budget_bytes = budget_bytes;
+    ResidentSteward steward(steward_options);
+    steward.Start();
+
+    StatusOr<OutOfCoreGraph> ooc = [&]() -> StatusOr<OutOfCoreGraph> {
+      if (!from_csr.empty()) {
+        StatusOr<OutOfCoreGraph> opened = OpenOutOfCoreGraph(from_csr);
+        if (opened.ok() && opened->file != nullptr) {
+          steward.RegisterRegion(opened->file, opened->file->data(),
+                                 opened->file->size());
+        }
+        return opened;
+      }
+      OutOfCoreOptions ooc_options;
+      ooc_options.csr_path = out + ".csr";
+      ooc_options.spill_dir = workdir;
+      ooc_options.memory_budget_bytes = budget_bytes;
+      ooc_options.build = build;
+      ooc_options.steward = &steward;
+      return GenerateRmatOutOfCore(rmat, std::move(ooc_options));
+    }();
+    if (!ooc.ok()) return FailStatus(ooc.status());
+    // Preprocess sweeps the CSR front to back; tell the kernel.
+    (void)ooc->file->Advise(MappedAdvice::kSequential);
+    StatusOr<Tpa> tpa = Tpa::Preprocess(*ooc->graph, options);
+    if (!tpa.ok()) return FailStatus(tpa.status());
+    const double build_seconds = watch.ElapsedSeconds();
+    watch = Stopwatch();
+    const Status saved = tpa->SaveSnapshot(out);
+    if (!saved.ok()) return FailStatus(saved);
+    steward.Stop();
+    std::printf(
+        "built scale=%u n=%u m=%llu %s/%s out-of-core in %.3fs, saved '%s' "
+        "in %.3fs (csr %llu bytes, peak rss %zu MB, budget %zu MB, "
+        "%zu steward drops)\n",
+        rmat.scale, ooc->graph->num_nodes(),
+        static_cast<unsigned long long>(ooc->graph->num_edges()),
+        precision.c_str(), storage.c_str(), build_seconds, out.c_str(),
+        watch.ElapsedSeconds(),
+        static_cast<unsigned long long>(ooc->file_bytes),
+        PeakRssBytes() >> 20, budget_bytes >> 20, steward.drop_count());
+    return 0;
+  }
+
   StatusOr<Graph> graph = GenerateRmat(rmat, build);
   if (!graph.ok()) return FailStatus(graph.status());
   StatusOr<Tpa> tpa = Tpa::Preprocess(*graph, options);
@@ -153,6 +246,50 @@ int CmdBuild(ArgList& args) {
       static_cast<unsigned long long>(graph->num_edges()), precision.c_str(),
       storage.c_str(), ordering.c_str(), build_seconds, out.c_str(),
       watch.ElapsedSeconds());
+  return 0;
+}
+
+int CmdGen(ArgList& args) {
+  const std::string out = args.Value("--out", "");
+  if (out.empty()) return Fail("gen requires --out FILE.csr");
+  RmatOptions rmat = ParseRmatArgs(args);
+  BuildOptions build;
+  const std::string value_error = ParseValueArgs(args, build);
+  if (!value_error.empty()) return Fail(value_error);
+  const std::string precision = args.Value("--precision", "fp64");
+  const std::string storage = args.Value("--value-storage", "explicit");
+  const size_t budget_bytes = ParseBudgetBytes(args);
+  const std::string workdir = args.Value("--workdir", "");
+  if (!args.Unparsed().empty()) {
+    return Fail("unknown argument: " + args.Unparsed());
+  }
+
+  ResidentSteward::Options steward_options;
+  steward_options.budget_bytes = budget_bytes;
+  ResidentSteward steward(steward_options);
+  steward.Start();
+
+  OutOfCoreOptions ooc_options;
+  ooc_options.csr_path = out;
+  ooc_options.spill_dir = workdir;
+  ooc_options.memory_budget_bytes = budget_bytes;
+  ooc_options.build = build;
+  ooc_options.steward = &steward;
+
+  Stopwatch watch;
+  StatusOr<OutOfCoreGraph> ooc =
+      GenerateRmatOutOfCore(rmat, std::move(ooc_options));
+  if (!ooc.ok()) return FailStatus(ooc.status());
+  steward.Stop();
+  std::printf(
+      "generated scale=%u n=%u m=%llu %s/%s into '%s' (%llu bytes) in %.3fs "
+      "(peak rss %zu MB, budget %zu MB, %zu steward drops)\n",
+      rmat.scale, ooc->graph->num_nodes(),
+      static_cast<unsigned long long>(ooc->graph->num_edges()),
+      precision.c_str(), storage.c_str(), out.c_str(),
+      static_cast<unsigned long long>(ooc->file_bytes),
+      watch.ElapsedSeconds(), PeakRssBytes() >> 20, budget_bytes >> 20,
+      steward.drop_count());
   return 0;
 }
 
@@ -201,8 +338,20 @@ int CmdQuery(ArgList& args) {
   snapshot::LoadOptions load;
   if (args.Present("--copy")) load.mode = snapshot::LoadMode::kCopy;
   if (args.Present("--no-verify")) load.verify = false;
+  const uint64_t budget_mb = std::strtoull(
+      args.Value("--memory-budget-mb", "0").c_str(), nullptr, 10);
   if (!args.Unparsed().empty()) {
     return Fail("unknown argument: " + args.Unparsed());
+  }
+  ResidentSteward::Options steward_options;
+  steward_options.budget_bytes = budget_mb << 20;
+  ResidentSteward steward(steward_options);
+  if (budget_mb > 0) {
+    // Started before the load so the verification sweep over the payload
+    // is already inside the budget, not just the query traffic after it.
+    load.advice = MappedAdvice::kRandom;
+    load.steward = &steward;
+    steward.Start();
   }
 
   Stopwatch watch;
@@ -220,9 +369,16 @@ int CmdQuery(ArgList& args) {
   if (!engine.ok()) return FailStatus(engine.status());
   QueryResult result = engine->Query(seed);
   if (!result.status.ok()) return FailStatus(result.status);
+  steward.Stop();
 
   std::printf("loaded '%s' in %.3fs (%s)\n", path.c_str(), load_seconds,
               load.mode == snapshot::LoadMode::kMap ? "mmap" : "copy");
+  if (budget_mb > 0) {
+    std::printf("peak RSS %.1f MB (budget %llu MB, %zu steward drops)\n",
+                static_cast<double>(PeakRssBytes()) / (1 << 20),
+                static_cast<unsigned long long>(budget_mb),
+                steward.drop_count());
+  }
   std::printf("top-%d for seed %u:\n", topk, seed);
   for (size_t i = 0; i < result.top.size(); ++i) {
     std::printf("  %2zu. node %u  score %.6e\n", i + 1, result.top[i].node,
@@ -233,11 +389,12 @@ int CmdQuery(ArgList& args) {
 
 int Run(int argc, char** argv) {
   if (argc < 2) {
-    return Fail("usage: tpa_snapshot build|info|verify|query ...");
+    return Fail("usage: tpa_snapshot build|gen|info|verify|query ...");
   }
   const std::string command = argv[1];
   ArgList args(argc, argv, 2);
   if (command == "build") return CmdBuild(args);
+  if (command == "gen") return CmdGen(args);
   if (command == "info") return CmdInfo(args);
   if (command == "verify") return CmdVerify(args);
   if (command == "query") return CmdQuery(args);
